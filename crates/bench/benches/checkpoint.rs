@@ -1,0 +1,65 @@
+//! Checkpoint container throughput: encode, decode, and the per-framework
+//! save path (including TensorFlow's layout permutations).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sefi_bench::synthetic_checkpoint;
+use sefi_frameworks::{save_checkpoint, FrameworkKind};
+use sefi_hdf5::{Dtype, H5File};
+use sefi_models::{alexnet, ModelConfig};
+use sefi_rng::DetRng;
+use std::hint::black_box;
+
+fn bench_encode_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("container_codec");
+    for entries in [10_000usize, 100_000] {
+        let file = synthetic_checkpoint(entries, Dtype::F32);
+        let bytes = file.to_bytes();
+        group.throughput(Throughput::Bytes(bytes.len() as u64));
+        group.bench_with_input(BenchmarkId::new("encode", entries), &file, |b, f| {
+            b.iter(|| black_box(f.to_bytes()));
+        });
+        group.bench_with_input(BenchmarkId::new("decode", entries), &bytes, |b, by| {
+            b.iter(|| black_box(H5File::from_bytes(by).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_framework_save(c: &mut Criterion) {
+    let mut group = c.benchmark_group("framework_checkpoint_save");
+    let cfg = ModelConfig { scale: 0.1, input_size: 16, num_classes: 10 };
+    let (mut net, _) = alexnet(cfg, &mut DetRng::new(1));
+    for fw in FrameworkKind::all() {
+        group.bench_function(fw.id(), |b| {
+            b.iter(|| black_box(save_checkpoint(fw, &mut net, 20, Dtype::F32)));
+        });
+    }
+    // Precision variants (f16 narrowing vs f64 widening).
+    for dtype in [Dtype::F16, Dtype::F32, Dtype::F64] {
+        group.bench_function(format!("chainer_{dtype:?}"), |b| {
+            b.iter(|| black_box(save_checkpoint(FrameworkKind::Chainer, &mut net, 20, dtype)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_entry_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataset_entry_access");
+    let file = synthetic_checkpoint(100_000, Dtype::F64);
+    let path = "model/conv1/W";
+    group.throughput(Throughput::Elements(25_000));
+    group.bench_function("get_set_bits", |b| {
+        let mut f = file.clone();
+        b.iter(|| {
+            let ds = f.dataset_mut(path).unwrap();
+            for i in 0..ds.len() {
+                let bits = ds.get_bits(i).unwrap();
+                ds.set_bits(i, bits ^ 1).unwrap();
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode_decode, bench_framework_save, bench_entry_access);
+criterion_main!(benches);

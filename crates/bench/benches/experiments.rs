@@ -1,0 +1,147 @@
+//! One benchmark per paper table/figure, each driving the experiment
+//! harness end-to-end at micro scale. These are the regeneration targets
+//! DESIGN.md §3 maps to the evaluation section; `cargo bench -p sefi-bench
+//! --bench experiments` exercises all of them.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sefi_experiments::{
+    exp_bitranges, exp_curves, exp_equivalent, exp_heatmap, exp_layers, exp_masks, exp_nev,
+    exp_predict, exp_propagation, exp_rwc, Budget, Prebaked,
+};
+use sefi_float::Precision;
+use sefi_frameworks::FrameworkKind;
+use sefi_models::{LayerRole, ModelKind};
+use std::hint::black_box;
+
+/// A micro budget so each regeneration fits a Criterion iteration.
+fn micro() -> Budget {
+    Budget {
+        trials: 2,
+        curve_trials: 1,
+        restart_epoch: 1,
+        resume_epochs: 1,
+        curve_end_epoch: 2,
+        predict_trials: 1,
+        predict_images: 30,
+        fig2_trainings: 1,
+        ..Budget::smoke()
+    }
+}
+
+fn pre() -> Prebaked {
+    let pre = Prebaked::new(micro());
+    // Warm the pretraining cache outside the timed region.
+    for model in ModelKind::all() {
+        let _ = pre.checkpoint(FrameworkKind::Chainer, model, sefi_hdf5::Dtype::F64);
+    }
+    pre
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let pre = pre();
+    let mut group = c.benchmark_group("paper_tables");
+    group.sample_size(10);
+    group.bench_function("table4_nev_cell", |b| {
+        b.iter(|| {
+            black_box(exp_nev::nev_cell(
+                &pre,
+                FrameworkKind::Chainer,
+                ModelKind::AlexNet,
+                Precision::Fp64,
+                100,
+                2,
+            ))
+        });
+    });
+    group.bench_function("table5_rwc_cell", |b| {
+        b.iter(|| {
+            black_box(exp_rwc::rwc_cell(&pre, FrameworkKind::Chainer, ModelKind::AlexNet, 2))
+        });
+    });
+    group.bench_function("table6_mask_cell", |b| {
+        b.iter(|| black_box(exp_masks::mask_cell(&pre, FrameworkKind::Chainer, 6, "11101101")));
+    });
+    group.bench_function("table7_nev_cell_fp16", |b| {
+        b.iter(|| {
+            black_box(exp_nev::nev_cell(
+                &pre,
+                FrameworkKind::Chainer,
+                ModelKind::AlexNet,
+                Precision::Fp16,
+                100,
+                2,
+            ))
+        });
+    });
+    group.bench_function("table8_predict_cell", |b| {
+        let trained = exp_predict::TrainedCheckpoints::new(&pre);
+        // Warm the trained-checkpoint cache outside the timed loop.
+        let _ = trained.get(ModelKind::AlexNet, sefi_hdf5::Dtype::F32);
+        b.iter(|| {
+            black_box(exp_predict::predict_cell(
+                &trained,
+                ModelKind::AlexNet,
+                Precision::Fp32,
+                100,
+            ))
+        });
+    });
+    group.finish();
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let pre = pre();
+    let mut group = c.benchmark_group("paper_figures");
+    group.sample_size(10);
+    group.bench_function("fig2_bit_range_sweep", |b| {
+        b.iter(|| black_box(exp_bitranges::figure2(&pre)));
+    });
+    group.bench_function("fig3_corrupted_curve", |b| {
+        b.iter(|| {
+            black_box(exp_curves::corrupted_curve(
+                &pre,
+                FrameworkKind::TensorFlow,
+                ModelKind::AlexNet,
+                100,
+                "bench",
+            ))
+        });
+    });
+    group.bench_function("fig4_layer_curve", |b| {
+        b.iter(|| {
+            black_box(exp_layers::layer_curve(
+                &pre,
+                FrameworkKind::Chainer,
+                ModelKind::AlexNet,
+                LayerRole::Middle,
+            ))
+        });
+    });
+    group.bench_function("fig5_equivalent_replay_curve", |b| {
+        let (_, log) = exp_layers::layer_curve(
+            &pre,
+            FrameworkKind::Chainer,
+            ModelKind::AlexNet,
+            LayerRole::First,
+        );
+        b.iter(|| {
+            black_box(exp_equivalent::replay_curve(
+                &pre,
+                FrameworkKind::PyTorch,
+                ModelKind::AlexNet,
+                LayerRole::First,
+                &log,
+            ))
+        });
+    });
+    group.bench_function("fig6_propagation", |b| {
+        b.iter(|| black_box(exp_propagation::figure6(&pre)));
+    });
+    group.bench_function("fig7_heat_cell", |b| {
+        b.iter(|| black_box(exp_heatmap::heat_cell(&pre, 10, 4500.0)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables, bench_figures);
+criterion_main!(benches);

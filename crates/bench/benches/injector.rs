@@ -1,0 +1,132 @@
+//! Injector throughput: corruption modes × precisions, NaN-avoidance cost,
+//! and the N-EV threshold ablation (DESIGN.md §4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sefi_bench::synthetic_checkpoint;
+use sefi_core::{Corrupter, CorrupterConfig, CorruptionMode};
+use sefi_float::{BitMask, BitRange, NevPolicy, Precision};
+use sefi_hdf5::Dtype;
+use std::hint::black_box;
+
+const FLIPS: u64 = 1000;
+const ENTRIES: usize = 100_000;
+
+fn bench_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("injector_modes");
+    group.throughput(Throughput::Elements(FLIPS));
+    let file = synthetic_checkpoint(ENTRIES, Dtype::F64);
+
+    let configs = [
+        ("bit_range", CorruptionMode::BitRange(BitRange::below_exponent_msb(Precision::Fp64))),
+        ("bit_mask", CorruptionMode::BitMask(BitMask::parse("11101101").unwrap())),
+        ("scaling_factor", CorruptionMode::ScalingFactor(4500.0)),
+    ];
+    for (name, mode) in configs {
+        group.bench_function(name, |b| {
+            let mut cfg = CorrupterConfig::bit_flips(FLIPS, Precision::Fp64, 1);
+            cfg.mode = mode.clone();
+            cfg.allow_nan_values = true;
+            let corrupter = Corrupter::new(cfg).unwrap();
+            b.iter(|| {
+                let mut ck = file.clone();
+                black_box(corrupter.corrupt(&mut ck).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_precisions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("injector_precisions");
+    group.throughput(Throughput::Elements(FLIPS));
+    for (dtype, precision) in [
+        (Dtype::F16, Precision::Fp16),
+        (Dtype::F32, Precision::Fp32),
+        (Dtype::F64, Precision::Fp64),
+    ] {
+        let file = synthetic_checkpoint(ENTRIES, dtype);
+        group.bench_function(format!("fp{}", precision.width()), |b| {
+            let corrupter =
+                Corrupter::new(CorrupterConfig::bit_flips_full_range(FLIPS, precision, 2))
+                    .unwrap();
+            b.iter(|| {
+                let mut ck = file.clone();
+                black_box(corrupter.corrupt(&mut ck).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_nan_avoidance(c: &mut Criterion) {
+    // The NaN-avoidance redraw loop's overhead: full-range flips with and
+    // without the retry (the retry triggers on every exponent-MSB draw).
+    let mut group = c.benchmark_group("injector_nan_avoidance");
+    let file = synthetic_checkpoint(ENTRIES, Dtype::F64);
+    for allow in [true, false] {
+        group.bench_function(if allow { "allow_nan" } else { "redraw_nan" }, |b| {
+            let mut cfg = CorrupterConfig::bit_flips_full_range(FLIPS, Precision::Fp64, 3);
+            cfg.allow_nan_values = allow;
+            let corrupter = Corrupter::new(cfg).unwrap();
+            b.iter(|| {
+                let mut ck = file.clone();
+                black_box(corrupter.corrupt(&mut ck).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_nev_threshold_ablation(c: &mut Criterion) {
+    // DESIGN.md §4.6: N-EV classification cost across thresholds (it is on
+    // the hot path of collapse detection after every epoch).
+    let mut group = c.benchmark_group("nev_threshold_ablation");
+    let values: Vec<f32> = (0..ENTRIES).map(|i| ((i as f32) * 0.61).tan()).collect();
+    group.throughput(Throughput::Elements(ENTRIES as u64));
+    for threshold in [1e10f64, 1e30, 1e300] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{threshold:e}")),
+            &threshold,
+            |b, &t| {
+                let policy = NevPolicy::with_threshold(t);
+                b.iter(|| black_box(policy.count_nev(&values)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_equivalent_replay(c: &mut Criterion) {
+    // Log replay vs fresh corruption (Section IV-C machinery).
+    let mut group = c.benchmark_group("equivalent_injection");
+    let file = synthetic_checkpoint(ENTRIES, Dtype::F64);
+    let corrupter = Corrupter::new(CorrupterConfig::bit_flips(FLIPS, Precision::Fp64, 4)).unwrap();
+    let (_, log) = {
+        let mut ck = file.clone();
+        corrupter.corrupt_with_log(&mut ck).unwrap()
+    };
+    group.throughput(Throughput::Elements(FLIPS));
+    group.bench_function("replay_log", |b| {
+        b.iter(|| {
+            let mut ck = file.clone();
+            black_box(log.replay(&mut ck, 9).unwrap())
+        });
+    });
+    group.bench_function("json_roundtrip", |b| {
+        b.iter(|| {
+            let json = log.to_json();
+            black_box(sefi_core::InjectionLog::from_json(&json).unwrap())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_modes,
+    bench_precisions,
+    bench_nan_avoidance,
+    bench_nev_threshold_ablation,
+    bench_equivalent_replay
+);
+criterion_main!(benches);

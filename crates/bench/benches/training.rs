@@ -1,0 +1,61 @@
+//! Training-substrate cost: one epoch per model, plus the forward-only
+//! prediction path (Table VIII's workload).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sefi_data::{DataConfig, SyntheticCifar10};
+use sefi_frameworks::{FrameworkKind, Session, SessionConfig};
+use sefi_models::{ModelConfig, ModelKind};
+use std::hint::black_box;
+
+fn data() -> SyntheticCifar10 {
+    SyntheticCifar10::generate(DataConfig {
+        train: 64,
+        test: 32,
+        image_size: 16,
+        seed: 1,
+        noise: 0.25,
+    })
+}
+
+fn session(model: ModelKind) -> Session {
+    let mut cfg = SessionConfig::new(FrameworkKind::Chainer, model, 1);
+    cfg.model_config = ModelConfig { scale: 0.03, input_size: 16, num_classes: 10 };
+    cfg.train.batch_size = 16;
+    Session::new(cfg)
+}
+
+fn bench_epoch(c: &mut Criterion) {
+    let d = data();
+    let mut group = c.benchmark_group("train_one_epoch");
+    group.sample_size(10);
+    for model in ModelKind::all() {
+        group.bench_function(model.id(), |b| {
+            b.iter_batched(
+                || session(model),
+                |mut s| {
+                    black_box(s.train_to(&d, 1));
+                    s
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let d = data();
+    let mut group = c.benchmark_group("predict_batch");
+    group.sample_size(10);
+    let (images, _) = d.prediction_set(32);
+    for model in ModelKind::all() {
+        let mut s = session(model);
+        group.bench_function(model.id(), |b| {
+            b.iter(|| black_box(s.predict(images.clone())));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_epoch, bench_predict);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Benchmark support: shared fixtures for the Criterion benches.
+//!
+//! The benches live in `benches/`:
+//! * `injector` — corruption throughput per mode/precision, plus the
+//!   N-EV-threshold ablation (DESIGN.md §4.6).
+//! * `checkpoint` — container encode/decode/save throughput.
+//! * `training` — per-epoch training cost per model.
+//! * `experiments` — one benchmark per paper table/figure, driving the
+//!   experiment harness at micro scale.
+
+use sefi_hdf5::{Dataset, Dtype, H5File};
+
+/// A synthetic checkpoint with `entries` float values spread over several
+/// datasets, mimicking a small model file.
+pub fn synthetic_checkpoint(entries: usize, dtype: Dtype) -> H5File {
+    let mut f = H5File::new();
+    let per = (entries / 4).max(1);
+    for (i, name) in ["conv1/W", "conv1/b", "fc/W", "fc/b"].iter().enumerate() {
+        let values: Vec<f32> =
+            (0..per).map(|k| (((k + i * 7) as f32) * 0.37).sin()).collect();
+        f.create_dataset(&format!("model/{name}"), Dataset::from_f32(&values, &[per], dtype).unwrap())
+            .unwrap();
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_has_requested_magnitude() {
+        let f = synthetic_checkpoint(1000, Dtype::F64);
+        assert_eq!(f.total_entries(), 1000);
+        assert_eq!(f.dataset_paths().len(), 4);
+    }
+}

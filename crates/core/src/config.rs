@@ -1,0 +1,192 @@
+//! Corrupter configuration — Table I of the paper, as a typed struct.
+
+use crate::error::CorruptError;
+use sefi_float::{BitMask, BitRange, Precision};
+
+/// How many injection attempts to make (Table I: `injection_type` +
+/// `injection_attempts`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InjectionAmount {
+    /// A fixed number of attempts.
+    Count(u64),
+    /// A percentage (0–100) of the corruptible entries in the selected
+    /// locations. The paper counts entries as "the numerical values of all
+    /// the objects in the file; in dataset objects, the product of their
+    /// dimensions".
+    Percentage(f64),
+}
+
+/// What each successful injection does to the value (Table I:
+/// `corruption_mode`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CorruptionMode {
+    /// XOR a multi-bit pattern at a random placement offset in
+    /// `[0, precision − mask_len]` (paper: zeros padded to both sides).
+    BitMask(BitMask),
+    /// Flip one uniformly chosen bit inside `[first_bit, last_bit]`.
+    BitRange(BitRange),
+    /// Multiply the value by a factor (Section VI-3's "dramatic
+    /// corruption" mode).
+    ScalingFactor(f64),
+}
+
+/// Which objects to corrupt (Table I: `locations_to_corrupt` /
+/// `use_random_locations`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum LocationSelection {
+    /// Use all object paths in the file ("pick a random location every
+    /// time").
+    AllRandom,
+    /// An explicit list; groups expand to "all sublocations inside".
+    Listed(Vec<String>),
+}
+
+/// The full injector configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorrupterConfig {
+    /// Probability that each injection attempt actually fires.
+    pub injection_probability: f64,
+    /// How many attempts.
+    pub amount: InjectionAmount,
+    /// Expected float storage width; float datasets of any other width are
+    /// rejected (the original tool interprets raw values at this width, so
+    /// a mismatch would silently corrupt the wrong bits — we make it loud).
+    /// Integer datasets are exempt and use Python-`bin()` semantics.
+    pub float_precision: Precision,
+    /// What a successful injection does.
+    pub mode: CorruptionMode,
+    /// When false, corruptions that would produce NaN/Inf are redrawn
+    /// ("a new corruption attempt is performed until a valid value is
+    /// obtained").
+    pub allow_nan_values: bool,
+    /// Which objects are eligible.
+    pub locations: LocationSelection,
+    /// Seed for the injector's private random stream. Same seed + same
+    /// config + same file ⇒ identical corruption.
+    pub seed: u64,
+}
+
+impl CorrupterConfig {
+    /// A baseline config matching the paper's most common experiment:
+    /// `n` single-bit flips anywhere in the value except the exponent MSB
+    /// (Section V-C: "we omit the most significant bit of the exponent"),
+    /// 64-bit floats, NaN suppressed by redraw.
+    pub fn bit_flips(n: u64, precision: Precision, seed: u64) -> Self {
+        CorrupterConfig {
+            injection_probability: 1.0,
+            amount: InjectionAmount::Count(n),
+            float_precision: precision,
+            mode: CorruptionMode::BitRange(BitRange::below_exponent_msb(precision)),
+            allow_nan_values: false,
+            locations: LocationSelection::AllRandom,
+            seed,
+        }
+    }
+
+    /// Like [`CorrupterConfig::bit_flips`] but over the full bit range,
+    /// sign and exponent MSB included, with NaN/Inf allowed — the Table IV
+    /// N-EV incidence setting.
+    pub fn bit_flips_full_range(n: u64, precision: Precision, seed: u64) -> Self {
+        CorrupterConfig {
+            mode: CorruptionMode::BitRange(BitRange::full(precision)),
+            allow_nan_values: true,
+            ..Self::bit_flips(n, precision, seed)
+        }
+    }
+
+    /// Validate internal consistency. Called by
+    /// [`crate::Corrupter::new`]; exposed for config-building code.
+    pub fn validate(&self) -> Result<(), CorruptError> {
+        if !(0.0..=1.0).contains(&self.injection_probability) {
+            return Err(CorruptError::InvalidConfig(format!(
+                "injection_probability {} outside [0, 1]",
+                self.injection_probability
+            )));
+        }
+        match self.amount {
+            InjectionAmount::Percentage(p) if !(0.0..=100.0).contains(&p) => {
+                return Err(CorruptError::InvalidConfig(format!(
+                    "percentage {p} outside [0, 100]"
+                )));
+            }
+            _ => {}
+        }
+        match &self.mode {
+            CorruptionMode::BitRange(r) => r
+                .validate(self.float_precision)
+                .map_err(CorruptError::InvalidConfig)?,
+            CorruptionMode::BitMask(m) => {
+                m.max_offset(self.float_precision)
+                    .map_err(CorruptError::InvalidConfig)?;
+            }
+            CorruptionMode::ScalingFactor(f) => {
+                if !f.is_finite() {
+                    return Err(CorruptError::InvalidConfig(format!(
+                        "scaling factor {f} is not finite"
+                    )));
+                }
+            }
+        }
+        if let LocationSelection::Listed(locs) = &self.locations {
+            if locs.is_empty() {
+                return Err(CorruptError::InvalidConfig(
+                    "locations_to_corrupt is empty".to_string(),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        for p in [Precision::Fp16, Precision::Fp32, Precision::Fp64] {
+            CorrupterConfig::bit_flips(10, p, 0).validate().unwrap();
+            CorrupterConfig::bit_flips_full_range(1000, p, 0).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn preset_excludes_exponent_msb() {
+        let c = CorrupterConfig::bit_flips(1, Precision::Fp64, 0);
+        match c.mode {
+            CorruptionMode::BitRange(r) => {
+                assert!(!r.contains(62));
+                assert!(r.contains(61));
+                assert!(r.contains(0));
+            }
+            _ => panic!("expected bit range"),
+        }
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = CorrupterConfig::bit_flips(1, Precision::Fp64, 0);
+        c.injection_probability = 1.5;
+        assert!(c.validate().is_err());
+
+        let mut c = CorrupterConfig::bit_flips(1, Precision::Fp64, 0);
+        c.amount = InjectionAmount::Percentage(101.0);
+        assert!(c.validate().is_err());
+
+        let mut c = CorrupterConfig::bit_flips(1, Precision::Fp16, 0);
+        c.mode = CorruptionMode::BitRange(BitRange { first_bit: 0, last_bit: 40 });
+        assert!(c.validate().is_err());
+
+        let mut c = CorrupterConfig::bit_flips(1, Precision::Fp16, 0);
+        c.mode = CorruptionMode::BitMask(BitMask::parse(&"1".repeat(20)).unwrap());
+        assert!(c.validate().is_err());
+
+        let mut c = CorrupterConfig::bit_flips(1, Precision::Fp64, 0);
+        c.mode = CorruptionMode::ScalingFactor(f64::INFINITY);
+        assert!(c.validate().is_err());
+
+        let mut c = CorrupterConfig::bit_flips(1, Precision::Fp64, 0);
+        c.locations = LocationSelection::Listed(vec![]);
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,185 @@
+//! Checkpoint differencing — the analysis tool behind the paper's
+//! Figure 6 ("the propagation was calculated based on the difference
+//! between the value of the error-free weights and the same weights of
+//! the checkpoint injected with the bit-flips").
+//!
+//! Compares two structurally identical checkpoints value-by-value and
+//! summarizes where and how much they diverge, per dataset and overall.
+
+use crate::error::CorruptError;
+use sefi_hdf5::H5File;
+
+/// Per-dataset divergence summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetDiff {
+    /// Dataset path.
+    pub location: String,
+    /// Entries compared.
+    pub entries: usize,
+    /// Entries whose values differ.
+    pub differing: usize,
+    /// Largest absolute difference (NaN-affected entries count as
+    /// infinite divergence).
+    pub max_abs_diff: f64,
+    /// Sum of absolute differences over differing entries (f64; NaN/Inf
+    /// propagate).
+    pub total_abs_diff: f64,
+}
+
+/// Whole-file divergence summary.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CheckpointDiff {
+    /// Per-dataset rows, in path order, only datasets with differences.
+    pub datasets: Vec<DatasetDiff>,
+    /// Total entries compared.
+    pub entries: usize,
+    /// Total differing entries.
+    pub differing: usize,
+}
+
+impl CheckpointDiff {
+    /// True when the files are value-identical.
+    pub fn is_identical(&self) -> bool {
+        self.differing == 0
+    }
+}
+
+/// Compare two checkpoints. Errors if their structure (paths, shapes,
+/// dtypes) differs — value comparison across different models is
+/// meaningless.
+pub fn diff_checkpoints(a: &H5File, b: &H5File) -> Result<CheckpointDiff, CorruptError> {
+    let pa = a.dataset_paths();
+    let pb = b.dataset_paths();
+    if pa != pb {
+        return Err(CorruptError::InvalidConfig(
+            "checkpoints have different dataset sets".to_string(),
+        ));
+    }
+    let mut out = CheckpointDiff::default();
+    for path in pa {
+        let da = a.dataset(&path)?;
+        let db = b.dataset(&path)?;
+        if da.shape() != db.shape() || da.dtype() != db.dtype() {
+            return Err(CorruptError::InvalidConfig(format!(
+                "dataset {path:?} differs in shape or dtype"
+            )));
+        }
+        let mut row = DatasetDiff {
+            location: path.clone(),
+            entries: da.len(),
+            differing: 0,
+            max_abs_diff: 0.0,
+            total_abs_diff: 0.0,
+        };
+        for i in 0..da.len() {
+            let (x, y) = (da.get_f64(i)?, db.get_f64(i)?);
+            let same_bits = da.get_bits(i)? == db.get_bits(i)?;
+            if same_bits {
+                continue;
+            }
+            row.differing += 1;
+            let d = if x.is_nan() || y.is_nan() { f64::INFINITY } else { (x - y).abs() };
+            row.max_abs_diff = row.max_abs_diff.max(d);
+            row.total_abs_diff += d;
+        }
+        out.entries += row.entries;
+        out.differing += row.differing;
+        if row.differing > 0 {
+            out.datasets.push(row);
+        }
+    }
+    Ok(out)
+}
+
+/// Like [`diff_checkpoints`] but also returns the finite non-zero absolute
+/// differences for distribution analysis (Figure 6's boxplots).
+pub fn diff_checkpoint_values(
+    a: &H5File,
+    b: &H5File,
+) -> Result<(CheckpointDiff, Vec<f64>), CorruptError> {
+    let summary = diff_checkpoints(a, b)?;
+    let mut values = Vec::with_capacity(summary.differing);
+    for path in a.dataset_paths() {
+        let da = a.dataset(&path)?;
+        let db = b.dataset(&path)?;
+        for i in 0..da.len() {
+            if da.get_bits(i)? != db.get_bits(i)? {
+                let (x, y) = (da.get_f64(i)?, db.get_f64(i)?);
+                let d = (x - y).abs();
+                if d.is_finite() && d > 0.0 {
+                    values.push(d);
+                }
+            }
+        }
+    }
+    Ok((summary, values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Corrupter, CorrupterConfig};
+    use sefi_float::Precision;
+    use sefi_hdf5::{Dataset, Dtype};
+
+    fn file() -> H5File {
+        let mut f = H5File::new();
+        let values: Vec<f32> = (0..50).map(|i| (i as f32) * 0.1 - 2.5).collect();
+        f.create_dataset("m/w", Dataset::from_f32(&values, &[50], Dtype::F64).unwrap())
+            .unwrap();
+        f.create_dataset("m/b", Dataset::from_f32(&[0.1; 5], &[5], Dtype::F64).unwrap())
+            .unwrap();
+        f
+    }
+
+    #[test]
+    fn identical_files_diff_empty() {
+        let f = file();
+        let d = diff_checkpoints(&f, &f.clone()).unwrap();
+        assert!(d.is_identical());
+        assert_eq!(d.entries, 55);
+        assert!(d.datasets.is_empty());
+    }
+
+    #[test]
+    fn injections_show_up_with_exact_counts() {
+        let a = file();
+        let mut b = a.clone();
+        let report = Corrupter::new(CorrupterConfig::bit_flips(7, Precision::Fp64, 2))
+            .unwrap()
+            .corrupt(&mut b)
+            .unwrap();
+        let (d, values) = diff_checkpoint_values(&a, &b).unwrap();
+        // Each injection flips one bit; collisions can restore a previous
+        // flip, so differing ≤ injections.
+        assert!(d.differing >= 1 && d.differing <= report.injections as usize);
+        assert_eq!(values.len(), d.differing);
+        assert!(d.datasets.iter().all(|r| r.max_abs_diff > 0.0));
+    }
+
+    #[test]
+    fn nan_differences_are_infinite() {
+        let a = file();
+        let mut b = a.clone();
+        b.dataset_mut("m/w").unwrap().set_f64(0, f64::NAN).unwrap();
+        let d = diff_checkpoints(&a, &b).unwrap();
+        assert_eq!(d.differing, 1);
+        assert_eq!(d.datasets[0].max_abs_diff, f64::INFINITY);
+        // But the distribution values skip non-finite entries.
+        let (_, values) = diff_checkpoint_values(&a, &b).unwrap();
+        assert!(values.is_empty());
+    }
+
+    #[test]
+    fn structural_mismatch_is_an_error() {
+        let a = file();
+        let mut b = H5File::new();
+        b.create_dataset("other", Dataset::zeros(&[3], Dtype::F32)).unwrap();
+        assert!(diff_checkpoints(&a, &b).is_err());
+        // Same paths, different shape.
+        let mut c = H5File::new();
+        c.create_dataset("m/w", Dataset::zeros(&[50], Dtype::F32)).unwrap();
+        c.create_dataset("m/b", Dataset::zeros(&[5], Dtype::F64)).unwrap();
+        assert!(diff_checkpoints(&a, &c).is_err());
+    }
+}

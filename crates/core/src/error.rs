@@ -1,0 +1,84 @@
+//! Corrupter error type.
+
+use std::fmt;
+
+/// Configuration or injection failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CorruptError {
+    /// The configuration is self-inconsistent (bad probability, inverted
+    /// bit range, oversized mask, …).
+    InvalidConfig(String),
+    /// A configured location does not exist in the file.
+    LocationNotFound(String),
+    /// The resolved location list contains no corruptible entries.
+    NothingToCorrupt,
+    /// A float dataset's stored precision does not match the configured
+    /// `float_precision`.
+    PrecisionMismatch {
+        /// Dataset path.
+        location: String,
+        /// The dataset's stored width in bits.
+        stored_bits: u32,
+        /// The configured width in bits.
+        configured_bits: u32,
+    },
+    /// `allow_NaN_values = false` but the corruption mode kept producing
+    /// NaN/Inf after the retry budget.
+    NanRetryExhausted {
+        /// Dataset path.
+        location: String,
+        /// Entry index within the dataset.
+        index: usize,
+    },
+    /// Underlying container error.
+    H5(String),
+    /// Log (de)serialization failure.
+    Log(String),
+    /// Filesystem failure.
+    Io(String),
+}
+
+impl fmt::Display for CorruptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorruptError::InvalidConfig(m) => write!(f, "invalid corrupter config: {m}"),
+            CorruptError::LocationNotFound(l) => write!(f, "location {l:?} not found in file"),
+            CorruptError::NothingToCorrupt => write!(f, "no corruptible entries in the selected locations"),
+            CorruptError::PrecisionMismatch { location, stored_bits, configured_bits } => write!(
+                f,
+                "dataset {location:?} stores {stored_bits}-bit floats but the corrupter is configured for {configured_bits}-bit"
+            ),
+            CorruptError::NanRetryExhausted { location, index } => write!(
+                f,
+                "could not produce a non-NaN corruption at {location:?}[{index}] within the retry budget"
+            ),
+            CorruptError::H5(m) => write!(f, "checkpoint container error: {m}"),
+            CorruptError::Log(m) => write!(f, "injection log error: {m}"),
+            CorruptError::Io(m) => write!(f, "I/O error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CorruptError {}
+
+impl From<sefi_hdf5::Error> for CorruptError {
+    fn from(e: sefi_hdf5::Error) -> Self {
+        CorruptError::H5(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_details() {
+        let e = CorruptError::PrecisionMismatch {
+            location: "predictor/conv1/W".into(),
+            stored_bits: 32,
+            configured_bits: 64,
+        };
+        let s = e.to_string();
+        assert!(s.contains("predictor/conv1/W") && s.contains("32") && s.contains("64"));
+    }
+}

@@ -1,0 +1,255 @@
+//! N-EV detection and repair — the paper's Section VI-1 direction.
+//!
+//! "There is practically only one critical bit. […] If the detection of
+//! N-EV was implemented at either the hardware or software level, then DL
+//! platforms would be virtually unbreakable."
+//!
+//! [`NevGuard`] is that software-level detector: it scans a checkpoint for
+//! NaN / Inf / extreme values and (optionally) repairs them before the
+//! model is loaded. Repair policies follow what a framework could cheaply
+//! do without any reference data:
+//!
+//! * [`RepairPolicy::Zero`] — overwrite with 0.0 (a dropped weight; the
+//!   model's natural redundancy absorbs it exactly like a benign flip).
+//! * [`RepairPolicy::ClampTo`] — clamp the magnitude to a safe bound
+//!   (preserves sign and "direction" of the weight).
+//! * [`RepairPolicy::DetectOnly`] — report, don't touch.
+
+use crate::report::{InjectionRecord, ValueChange};
+use sefi_float::{FpValue, Nev, NevPolicy};
+use sefi_hdf5::H5File;
+use serde::{Deserialize, Serialize};
+
+/// What to do with a detected N-EV.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RepairPolicy {
+    /// Report only.
+    DetectOnly,
+    /// Replace the value with 0.0.
+    Zero,
+    /// Clamp the magnitude to the carried bound; NaN becomes 0.0.
+    ///
+    /// The bound must be small enough that downstream arithmetic cannot
+    /// overflow — clamping to the *detection* threshold (1e30) is not safe,
+    /// because a 1e30 weight still overflows an f32 forward pass on first
+    /// use (squaring it exceeds f32::MAX). The unit tests pin this trap.
+    ClampTo(f64),
+}
+
+/// One detected (and possibly repaired) value.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GuardFinding {
+    /// Dataset path.
+    pub location: String,
+    /// Entry index within the dataset.
+    pub entry_index: usize,
+    /// Classification of the offending value.
+    pub kind: Nev,
+    /// The offending value (widened).
+    pub value: f64,
+    /// The replacement written, if any.
+    pub repaired_to: Option<f64>,
+}
+
+/// Scan summary.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GuardReport {
+    /// Values scanned.
+    pub scanned: u64,
+    /// All findings in path order.
+    pub findings: Vec<GuardFinding>,
+}
+
+impl GuardReport {
+    /// True when the checkpoint was clean.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Findings per [`Nev`] kind: `(nan, inf, extreme)`.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for f in &self.findings {
+            match f.kind {
+                Nev::NaN => c.0 += 1,
+                Nev::Inf => c.1 += 1,
+                Nev::Extreme => c.2 += 1,
+            }
+        }
+        c
+    }
+}
+
+/// A checkpoint scrubber: detects and repairs N-EV values.
+#[derive(Debug, Clone)]
+pub struct NevGuard {
+    policy: NevPolicy,
+    repair: RepairPolicy,
+}
+
+impl NevGuard {
+    /// Guard with the given N-EV policy and repair action.
+    pub fn new(policy: NevPolicy, repair: RepairPolicy) -> Self {
+        NevGuard { policy, repair }
+    }
+
+    /// A zero-repair guard with the default N-EV policy — the
+    /// "virtually unbreakable" configuration.
+    pub fn default_repair() -> Self {
+        NevGuard::new(NevPolicy::default(), RepairPolicy::Zero)
+    }
+
+    /// Scan all float datasets of `file`, applying the repair policy.
+    pub fn scrub(&self, file: &mut H5File) -> GuardReport {
+        let mut report = GuardReport::default();
+        for path in file.dataset_paths() {
+            let ds = file.dataset_mut(&path).expect("path enumerated from file");
+            let Some(precision) = ds.dtype().precision() else {
+                continue; // integer datasets cannot hold NaN/Inf
+            };
+            for i in 0..ds.len() {
+                report.scanned += 1;
+                let v = FpValue::from_bits(precision, ds.get_bits(i).expect("in bounds"));
+                let Some(kind) = self.policy.classify(v) else {
+                    continue;
+                };
+                let repaired_to = match self.repair {
+                    RepairPolicy::DetectOnly => None,
+                    RepairPolicy::Zero => Some(0.0),
+                    RepairPolicy::ClampTo(bound) => {
+                        let raw = v.to_f64();
+                        Some(if raw.is_nan() { 0.0 } else { raw.clamp(-bound, bound) })
+                    }
+                };
+                if let Some(r) = repaired_to {
+                    ds.set_fp(i, FpValue::from_f64(precision, r)).expect("in bounds");
+                }
+                report.findings.push(GuardFinding {
+                    location: path.clone(),
+                    entry_index: i,
+                    kind,
+                    value: v.to_f64(),
+                    repaired_to,
+                });
+            }
+        }
+        report
+    }
+
+    /// Cross-check a scrub against an injection report: which injected
+    /// N-EVs the guard caught (by location and index).
+    pub fn caught(
+        report: &GuardReport,
+        injections: &[InjectionRecord],
+        policy: &NevPolicy,
+    ) -> (usize, usize) {
+        let injected_nev: Vec<&InjectionRecord> = injections
+            .iter()
+            .filter(|r| policy.classify_f64(r.new_value).is_some())
+            .collect();
+        let caught = injected_nev
+            .iter()
+            .filter(|r| {
+                report
+                    .findings
+                    .iter()
+                    .any(|f| f.location == r.location && f.entry_index == r.entry_index)
+            })
+            .count();
+        let _ = ValueChange::BitFlip { bit: 0 }; // anchor the re-export
+        (caught, injected_nev.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Corrupter, CorrupterConfig};
+    use sefi_float::Precision;
+    use sefi_hdf5::{Dataset, Dtype};
+
+    fn poisoned_file() -> H5File {
+        let mut f = H5File::new();
+        let values = [1.0f32, -2.0, 3.0, -4.0];
+        f.create_dataset("m/w", Dataset::from_f32(&values, &[4], Dtype::F64).unwrap())
+            .unwrap();
+        f.create_dataset("m/epoch", Dataset::scalar_i64(20)).unwrap();
+        let ds = f.dataset_mut("m/w").unwrap();
+        ds.set_f64(1, f64::NAN).unwrap();
+        ds.set_f64(2, f64::INFINITY).unwrap();
+        ds.set_f64(3, -1e300).unwrap();
+        f
+    }
+
+    #[test]
+    fn detects_all_three_kinds() {
+        let mut f = poisoned_file();
+        let guard = NevGuard::new(NevPolicy::default(), RepairPolicy::DetectOnly);
+        let report = guard.scrub(&mut f);
+        assert_eq!(report.scanned, 4); // integer epoch skipped
+        assert_eq!(report.counts(), (1, 1, 1));
+        // Detect-only: the file still holds the poison.
+        assert!(f.dataset("m/w").unwrap().get_f64(1).unwrap().is_nan());
+    }
+
+    #[test]
+    fn zero_repair_cleans_the_file() {
+        let mut f = poisoned_file();
+        let report = NevGuard::default_repair().scrub(&mut f);
+        assert_eq!(report.findings.len(), 3);
+        let ds = f.dataset("m/w").unwrap();
+        for i in 0..ds.len() {
+            assert!(ds.get_f64(i).unwrap().is_finite());
+        }
+        assert_eq!(ds.get_f64(1).unwrap(), 0.0);
+        // Re-scrub finds nothing.
+        let again = NevGuard::default_repair().scrub(&mut f);
+        assert!(again.is_clean());
+    }
+
+    #[test]
+    fn clamp_preserves_sign() {
+        let mut f = poisoned_file();
+        let guard = NevGuard::new(NevPolicy::default(), RepairPolicy::ClampTo(10.0));
+        guard.scrub(&mut f);
+        let ds = f.dataset("m/w").unwrap();
+        assert_eq!(ds.get_f64(2).unwrap(), 10.0); // +Inf clamped to +bound
+        assert_eq!(ds.get_f64(3).unwrap(), -10.0); // -1e300 clamped to -bound
+        assert_eq!(ds.get_f64(1).unwrap(), 0.0); // NaN has no sign to keep
+    }
+
+    #[test]
+    fn benign_values_are_untouched() {
+        let mut f = H5File::new();
+        f.create_dataset(
+            "w",
+            Dataset::from_f32(&[0.5, -0.25, 1e20], &[3], Dtype::F32).unwrap(),
+        )
+        .unwrap();
+        let before = f.to_bytes();
+        let report = NevGuard::default_repair().scrub(&mut f);
+        assert!(report.is_clean());
+        assert_eq!(f.to_bytes(), before);
+    }
+
+    #[test]
+    fn guard_catches_every_injected_nev() {
+        let mut f = H5File::new();
+        let values: Vec<f32> = (0..200).map(|i| (i as f32 - 100.0) / 50.0).collect();
+        f.create_dataset("m/w", Dataset::from_f32(&values, &[200], Dtype::F64).unwrap())
+            .unwrap();
+        let cfg = CorrupterConfig::bit_flips_full_range(100, Precision::Fp64, 11);
+        let report = Corrupter::new(cfg).unwrap().corrupt(&mut f).unwrap();
+        let policy = NevPolicy::default();
+
+        let guard_report = NevGuard::default_repair().scrub(&mut f);
+        let (caught, injected) = NevGuard::caught(&guard_report, &report.records, &policy);
+        // Every injected N-EV that is still an N-EV in the file must be
+        // found. (A later flip can re-corrupt the same slot, so caught can
+        // exceed what survives, but never fall below findings.)
+        assert!(injected > 0, "100 full-range flips should create N-EVs");
+        assert_eq!(caught, injected, "guard missed injected N-EVs");
+        // And the cleaned file carries none.
+        assert!(NevGuard::default_repair().scrub(&mut f).is_clean());
+    }
+}

@@ -1,0 +1,138 @@
+//! Injection reporting: what actually changed in the file.
+
+use sefi_float::{Nev, NevPolicy};
+use serde::{Deserialize, Serialize};
+
+/// The concrete action a single injection took.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ValueChange {
+    /// One bit flipped (bit-range mode, or integer corruption).
+    BitFlip {
+        /// Flipped bit index (0 = LSB).
+        bit: u32,
+    },
+    /// A mask XORed at an offset (bit-mask mode).
+    MaskApplied {
+        /// Placement offset of the mask's LSB.
+        offset: u32,
+        /// Number of 1-bits in the mask.
+        bits_flipped: u32,
+    },
+    /// Value multiplied by a factor (scaling-factor mode).
+    Scaled {
+        /// The factor.
+        factor: f64,
+    },
+}
+
+/// One successful injection.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InjectionRecord {
+    /// Order of this injection within the run (0-based).
+    pub order: u64,
+    /// Dataset path that was corrupted.
+    pub location: String,
+    /// Entry index within the dataset.
+    pub entry_index: usize,
+    /// What was done.
+    pub change: ValueChange,
+    /// Value before, widened to f64.
+    pub old_value: f64,
+    /// Value after, widened to f64.
+    pub new_value: f64,
+}
+
+/// Summary of a corruption run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct InjectionReport {
+    /// Injection attempts made (the configured amount).
+    pub attempts: u64,
+    /// Attempts that passed the probability gate and changed a value.
+    pub injections: u64,
+    /// Attempts skipped by the probability gate.
+    pub skipped: u64,
+    /// Redraws performed by the NaN-avoidance loop.
+    pub nan_redraws: u64,
+    /// Every successful injection, in order.
+    pub records: Vec<InjectionRecord>,
+}
+
+impl InjectionReport {
+    /// Count how many injected values are N-EV under a policy — the
+    /// quantity behind the paper's Tables IV, VI and VII.
+    pub fn nev_count(&self, policy: &NevPolicy) -> usize {
+        self.records.iter().filter(|r| policy.classify_f64(r.new_value).is_some()).count()
+    }
+
+    /// True if any injected value is an N-EV.
+    pub fn produced_nev(&self, policy: &NevPolicy) -> bool {
+        self.records.iter().any(|r| policy.classify_f64(r.new_value).is_some())
+    }
+
+    /// N-EV classifications per record (None = benign).
+    pub fn nev_kinds(&self, policy: &NevPolicy) -> Vec<Option<Nev>> {
+        self.records.iter().map(|r| policy.classify_f64(r.new_value)).collect()
+    }
+
+    /// Distinct locations touched.
+    pub fn locations_touched(&self) -> Vec<&str> {
+        let mut locs: Vec<&str> = self.records.iter().map(|r| r.location.as_str()).collect();
+        locs.sort_unstable();
+        locs.dedup();
+        locs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(order: u64, loc: &str, new_value: f64) -> InjectionRecord {
+        InjectionRecord {
+            order,
+            location: loc.to_string(),
+            entry_index: 0,
+            change: ValueChange::BitFlip { bit: 3 },
+            old_value: 1.0,
+            new_value,
+        }
+    }
+
+    #[test]
+    fn nev_counting() {
+        let report = InjectionReport {
+            attempts: 3,
+            injections: 3,
+            skipped: 0,
+            nan_redraws: 0,
+            records: vec![
+                record(0, "a/w", 2.0),
+                record(1, "a/w", f64::NAN),
+                record(2, "b/w", 1e308),
+            ],
+        };
+        let p = NevPolicy::default();
+        assert_eq!(report.nev_count(&p), 2);
+        assert!(report.produced_nev(&p));
+        assert_eq!(report.locations_touched(), vec!["a/w", "b/w"]);
+        let kinds = report.nev_kinds(&p);
+        assert_eq!(kinds[0], None);
+        assert_eq!(kinds[1], Some(Nev::NaN));
+        assert_eq!(kinds[2], Some(Nev::Extreme));
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let report = InjectionReport {
+            attempts: 1,
+            injections: 1,
+            skipped: 0,
+            nan_redraws: 2,
+            records: vec![record(0, "x", 5.0)],
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        let back: InjectionReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.records.len(), 1);
+        assert_eq!(back.nan_redraws, 2);
+    }
+}

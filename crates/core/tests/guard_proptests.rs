@@ -1,0 +1,83 @@
+//! Property tests for the N-EV guard: after a Zero-repair scrub, no file
+//! can contain an N-EV, whatever was done to it first.
+
+use proptest::prelude::*;
+use sefi_core::{Corrupter, CorrupterConfig, CorruptionMode, NevGuard, RepairPolicy};
+use sefi_float::{BitRange, NevPolicy, Precision};
+use sefi_hdf5::{Dataset, Dtype, H5File};
+
+fn file(values: &[f32], precision: Precision) -> H5File {
+    let mut f = H5File::new();
+    f.create_dataset(
+        "w",
+        Dataset::from_f32(values, &[values.len()], Dtype::from_precision(precision)).unwrap(),
+    )
+    .unwrap();
+    f
+}
+
+fn any_precision() -> impl Strategy<Value = Precision> {
+    prop_oneof![
+        Just(Precision::Fp16),
+        Just(Precision::Fp32),
+        Just(Precision::Fp64),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Scrub(corrupt(x)) never contains an N-EV, for any corruption.
+    #[test]
+    fn zero_repair_is_a_total_sanitizer(
+        precision in any_precision(),
+        values in prop::collection::vec(-100.0f32..100.0, 4..32),
+        flips in 0u64..64,
+        seed in any::<u64>(),
+    ) {
+        let mut f = file(&values, precision);
+        if flips > 0 {
+            let mut cfg = CorrupterConfig::bit_flips_full_range(flips, precision, seed);
+            cfg.mode = CorruptionMode::BitRange(BitRange::full(precision));
+            Corrupter::new(cfg).unwrap().corrupt(&mut f).unwrap();
+        }
+        NevGuard::default_repair().scrub(&mut f);
+        let policy = NevPolicy::default();
+        let ds = f.dataset("w").unwrap();
+        for i in 0..ds.len() {
+            let v = ds.get_f64(i).unwrap();
+            prop_assert!(policy.classify_f64(v).is_none(), "w[{i}] = {v}");
+        }
+    }
+
+    /// Scrubbing is idempotent: a second scrub finds nothing.
+    #[test]
+    fn scrub_is_idempotent(
+        precision in any_precision(),
+        values in prop::collection::vec(-10.0f32..10.0, 4..16),
+        seed in any::<u64>(),
+    ) {
+        let mut f = file(&values, precision);
+        let cfg = CorrupterConfig::bit_flips_full_range(20, precision, seed);
+        Corrupter::new(cfg).unwrap().corrupt(&mut f).unwrap();
+        NevGuard::default_repair().scrub(&mut f);
+        let second = NevGuard::default_repair().scrub(&mut f);
+        prop_assert!(second.is_clean());
+    }
+
+    /// Detect-only never modifies the file.
+    #[test]
+    fn detect_only_is_read_only(
+        values in prop::collection::vec(-10.0f32..10.0, 4..16),
+        seed in any::<u64>(),
+    ) {
+        let mut f = file(&values, Precision::Fp64);
+        Corrupter::new(CorrupterConfig::bit_flips_full_range(10, Precision::Fp64, seed))
+            .unwrap()
+            .corrupt(&mut f)
+            .unwrap();
+        let before = f.to_bytes();
+        NevGuard::new(NevPolicy::default(), RepairPolicy::DetectOnly).scrub(&mut f);
+        prop_assert_eq!(f.to_bytes(), before);
+    }
+}

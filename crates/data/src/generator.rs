@@ -1,0 +1,307 @@
+//! Class-conditional image synthesis.
+
+use sefi_rng::DetRng;
+use sefi_tensor::Tensor;
+
+/// CIFAR-10 has ten classes; the synthetic task keeps that.
+pub const NUM_CLASSES: usize = 10;
+
+/// Which split an image belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Split {
+    /// Training images.
+    Train,
+    /// Held-out evaluation images.
+    Test,
+}
+
+/// Generation parameters.
+#[derive(Debug, Clone)]
+pub struct DataConfig {
+    /// Number of training images.
+    pub train: usize,
+    /// Number of test images.
+    pub test: usize,
+    /// Spatial edge length (CIFAR-10 is 32; experiments may scale down).
+    pub image_size: usize,
+    /// Master seed; same seed → bit-identical dataset.
+    pub seed: u64,
+    /// Gaussian pixel-noise standard deviation (0.25 default: hard enough
+    /// that accuracy grows over epochs instead of saturating immediately).
+    pub noise: f64,
+}
+
+impl Default for DataConfig {
+    fn default() -> Self {
+        DataConfig { train: 2000, test: 500, image_size: 32, seed: 0xC1FA_10, noise: 0.25 }
+    }
+}
+
+/// The generated dataset: flat image storage plus labels, both splits.
+#[derive(Debug, Clone)]
+pub struct SyntheticCifar10 {
+    config: DataConfig,
+    train_images: Vec<f32>,
+    train_labels: Vec<u8>,
+    test_images: Vec<f32>,
+    test_labels: Vec<u8>,
+}
+
+impl SyntheticCifar10 {
+    /// Pixels per image (`3 * size * size`).
+    pub fn image_len(&self) -> usize {
+        3 * self.config.image_size * self.config.image_size
+    }
+
+    /// Generate the dataset described by `config`.
+    pub fn generate(config: DataConfig) -> Self {
+        let root = DetRng::new(config.seed);
+        let (train_images, train_labels) =
+            gen_split(&config, &root.substream("train"), config.train);
+        let (test_images, test_labels) = gen_split(&config, &root.substream("test"), config.test);
+        SyntheticCifar10 { config, train_images, train_labels, test_images, test_labels }
+    }
+
+    /// The generation parameters.
+    pub fn config(&self) -> &DataConfig {
+        &self.config
+    }
+
+    /// Number of images in a split.
+    pub fn len(&self, split: Split) -> usize {
+        match split {
+            Split::Train => self.train_labels.len(),
+            Split::Test => self.test_labels.len(),
+        }
+    }
+
+    /// True when the split holds no images.
+    pub fn is_empty(&self, split: Split) -> bool {
+        self.len(split) == 0
+    }
+
+    /// Label of image `idx` in a split.
+    pub fn label(&self, split: Split, idx: usize) -> u8 {
+        match split {
+            Split::Train => self.train_labels[idx],
+            Split::Test => self.test_labels[idx],
+        }
+    }
+
+    /// All labels of a split.
+    pub fn labels(&self, split: Split) -> &[u8] {
+        match split {
+            Split::Train => &self.train_labels,
+            Split::Test => &self.test_labels,
+        }
+    }
+
+    /// Raw pixels of image `idx` (length [`Self::image_len`], CHW order,
+    /// values roughly in `[-1, 1]`).
+    pub fn image(&self, split: Split, idx: usize) -> &[f32] {
+        let il = self.image_len();
+        let store = match split {
+            Split::Train => &self.train_images,
+            Split::Test => &self.test_images,
+        };
+        &store[idx * il..(idx + 1) * il]
+    }
+
+    /// Gather images `indices` into a `[n, 3, s, s]` batch tensor plus labels.
+    pub fn gather(&self, split: Split, indices: &[usize]) -> (Tensor, Vec<u8>) {
+        let il = self.image_len();
+        let s = self.config.image_size;
+        let mut data = Vec::with_capacity(indices.len() * il);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            data.extend_from_slice(self.image(split, i));
+            labels.push(self.label(split, i));
+        }
+        (Tensor::from_vec(data, &[indices.len(), 3, s, s]), labels)
+    }
+
+    /// The first `n` test images as one batch — the paper's Table VIII
+    /// protocol evaluates prediction sets of 1 000 images.
+    pub fn prediction_set(&self, n: usize) -> (Tensor, Vec<u8>) {
+        let n = n.min(self.len(Split::Test));
+        let indices: Vec<usize> = (0..n).collect();
+        self.gather(Split::Test, &indices)
+    }
+}
+
+/// Deterministic per-class texture parameters, derived (not sampled) so any
+/// split/config agrees on what a class looks like.
+struct ClassPattern {
+    freq_x: f64,
+    freq_y: f64,
+    phase: [f64; 3],
+    patch_x: usize,
+    patch_y: usize,
+    patch_color: [f32; 3],
+}
+
+fn class_pattern(class: usize, size: usize) -> ClassPattern {
+    let c = class as f64;
+    ClassPattern {
+        freq_x: 1.0 + (c * 0.7) % 4.0,
+        freq_y: 1.0 + (c * 1.3) % 4.0,
+        phase: [c * 0.61, c * 1.17, c * 1.83],
+        patch_x: (class * 7) % (size / 2),
+        patch_y: (class * 3) % (size / 2),
+        patch_color: [
+            if class % 2 == 0 { 0.8 } else { -0.8 },
+            if class % 3 == 0 { 0.8 } else { -0.4 },
+            if class % 5 == 0 { 0.6 } else { -0.6 },
+        ],
+    }
+}
+
+fn gen_split(config: &DataConfig, rng: &DetRng, count: usize) -> (Vec<f32>, Vec<u8>) {
+    let s = config.image_size;
+    let il = 3 * s * s;
+    let mut images = vec![0.0f32; count * il];
+    let mut labels = vec![0u8; count];
+    let mut label_rng = rng.substream("labels");
+    let mut noise_rng = rng.substream("noise");
+    let patch = (s / 4).max(2);
+
+    for (i, label) in labels.iter_mut().enumerate() {
+        let class = label_rng.index(NUM_CLASSES);
+        *label = class as u8;
+        let p = class_pattern(class, s);
+        let img = &mut images[i * il..(i + 1) * il];
+        for ch in 0..3 {
+            for y in 0..s {
+                for x in 0..s {
+                    let fx = x as f64 / s as f64;
+                    let fy = y as f64 / s as f64;
+                    let mut v = 0.5
+                        * ((std::f64::consts::TAU * (p.freq_x * fx + p.freq_y * fy)
+                            + p.phase[ch])
+                            .sin());
+                    if x >= p.patch_x && x < p.patch_x + patch && y >= p.patch_y && y < p.patch_y + patch {
+                        v += p.patch_color[ch] as f64;
+                    }
+                    v += noise_rng.normal() * config.noise;
+                    img[(ch * s + y) * s + x] = v.clamp(-2.0, 2.0) as f32;
+                }
+            }
+        }
+    }
+    (images, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> DataConfig {
+        DataConfig { train: 60, test: 30, image_size: 16, seed: 1, noise: 0.2 }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SyntheticCifar10::generate(small());
+        let b = SyntheticCifar10::generate(small());
+        assert_eq!(a.labels(Split::Train), b.labels(Split::Train));
+        assert_eq!(a.image(Split::Train, 5), b.image(Split::Train, 5));
+        assert_eq!(a.image(Split::Test, 3), b.image(Split::Test, 3));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SyntheticCifar10::generate(small());
+        let mut cfg = small();
+        cfg.seed = 2;
+        let b = SyntheticCifar10::generate(cfg);
+        assert_ne!(a.image(Split::Train, 0), b.image(Split::Train, 0));
+    }
+
+    #[test]
+    fn splits_are_distinct() {
+        let d = SyntheticCifar10::generate(small());
+        assert_ne!(d.image(Split::Train, 0), d.image(Split::Test, 0));
+    }
+
+    #[test]
+    fn shapes_and_ranges() {
+        let d = SyntheticCifar10::generate(small());
+        assert_eq!(d.len(Split::Train), 60);
+        assert_eq!(d.len(Split::Test), 30);
+        assert_eq!(d.image_len(), 3 * 16 * 16);
+        for i in 0..d.len(Split::Train) {
+            assert!(d.label(Split::Train, i) < NUM_CLASSES as u8);
+            assert!(d.image(Split::Train, i).iter().all(|v| v.is_finite() && v.abs() <= 2.0));
+        }
+    }
+
+    #[test]
+    fn all_classes_appear() {
+        let d = SyntheticCifar10::generate(DataConfig { train: 500, ..small() });
+        let mut seen = [false; NUM_CLASSES];
+        for &l in d.labels(Split::Train) {
+            seen[l as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "labels missing: {seen:?}");
+    }
+
+    #[test]
+    fn classes_are_separable_by_template_matching() {
+        // A nearest-class-mean classifier on raw pixels must beat chance by
+        // a wide margin, otherwise no network can learn the task.
+        let d = SyntheticCifar10::generate(DataConfig { train: 400, test: 100, ..small() });
+        let il = d.image_len();
+        let mut means = vec![vec![0.0f64; il]; NUM_CLASSES];
+        let mut counts = [0usize; NUM_CLASSES];
+        for i in 0..d.len(Split::Train) {
+            let c = d.label(Split::Train, i) as usize;
+            counts[c] += 1;
+            for (m, &v) in means[c].iter_mut().zip(d.image(Split::Train, i)) {
+                *m += v as f64;
+            }
+        }
+        for (m, &c) in means.iter_mut().zip(&counts) {
+            if c > 0 {
+                for v in m.iter_mut() {
+                    *v /= c as f64;
+                }
+            }
+        }
+        let mut correct = 0;
+        for i in 0..d.len(Split::Test) {
+            let img = d.image(Split::Test, i);
+            let best = (0..NUM_CLASSES)
+                .min_by(|&a, &b| {
+                    let da: f64 = means[a]
+                        .iter()
+                        .zip(img)
+                        .map(|(&m, &v)| (m - v as f64).powi(2))
+                        .sum();
+                    let db: f64 = means[b]
+                        .iter()
+                        .zip(img)
+                        .map(|(&m, &v)| (m - v as f64).powi(2))
+                        .sum();
+                    da.partial_cmp(&db).unwrap()
+                })
+                .unwrap();
+            if best == d.label(Split::Test, i) as usize {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / d.len(Split::Test) as f64;
+        assert!(acc > 0.5, "template accuracy only {acc}");
+    }
+
+    #[test]
+    fn gather_and_prediction_set() {
+        let d = SyntheticCifar10::generate(small());
+        let (batch, labels) = d.gather(Split::Train, &[3, 1, 4]);
+        assert_eq!(batch.shape(), &[3, 3, 16, 16]);
+        assert_eq!(labels.len(), 3);
+        assert_eq!(labels[0], d.label(Split::Train, 3));
+        let (pred, pl) = d.prediction_set(1000); // clamps to test size
+        assert_eq!(pred.shape()[0], 30);
+        assert_eq!(pl.len(), 30);
+    }
+}

@@ -1,0 +1,56 @@
+//! Property-based tests for the synthetic dataset.
+
+use proptest::prelude::*;
+use sefi_data::{BatchIter, DataConfig, Split, SyntheticCifar10, NUM_CLASSES};
+
+fn any_config() -> impl Strategy<Value = DataConfig> {
+    (10usize..80, 5usize..30, prop_oneof![Just(8usize), Just(16)], any::<u64>())
+        .prop_map(|(train, test, image_size, seed)| DataConfig {
+            train,
+            test,
+            image_size,
+            seed,
+            noise: 0.3,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generation_is_a_pure_function_of_config(cfg in any_config()) {
+        let a = SyntheticCifar10::generate(cfg.clone());
+        let b = SyntheticCifar10::generate(cfg);
+        prop_assert_eq!(a.labels(Split::Train), b.labels(Split::Train));
+        for i in 0..a.len(Split::Train) {
+            prop_assert_eq!(a.image(Split::Train, i), b.image(Split::Train, i));
+        }
+    }
+
+    #[test]
+    fn labels_in_range_and_pixels_finite(cfg in any_config()) {
+        let d = SyntheticCifar10::generate(cfg);
+        for split in [Split::Train, Split::Test] {
+            for i in 0..d.len(split) {
+                prop_assert!(d.label(split, i) < NUM_CLASSES as u8);
+                prop_assert!(d.image(split, i).iter().all(|v| v.is_finite()));
+            }
+        }
+    }
+
+    #[test]
+    fn every_epoch_is_a_permutation(cfg in any_config(), epoch in 0usize..5, bs in 1usize..16) {
+        let d = SyntheticCifar10::generate(cfg);
+        let total: usize = BatchIter::new(&d, Split::Train, bs, epoch).map(|b| b.labels.len()).sum();
+        prop_assert_eq!(total, d.len(Split::Train));
+    }
+
+    #[test]
+    fn batches_never_exceed_requested_size(cfg in any_config(), bs in 1usize..16) {
+        let d = SyntheticCifar10::generate(cfg);
+        for b in BatchIter::new(&d, Split::Train, bs, 0) {
+            prop_assert!(b.labels.len() <= bs);
+            prop_assert_eq!(b.images.shape()[0], b.labels.len());
+        }
+    }
+}

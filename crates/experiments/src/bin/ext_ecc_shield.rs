@@ -1,0 +1,105 @@
+//! Extension: SEC-DED ECC on checkpoints vs the paper's error models.
+//!
+//! Table V studies single bit-flips (the dominant real SDC); Table VI
+//! studies multi-bit DRAM masks and closes by motivating "more robust
+//! error detection and correction systems". This binary quantifies both
+//! against an extended-Hamming(72,64) parity sidecar (`sefi-ecc`):
+//! single flips are always repaired (checkpoint byte-identical to the
+//! original), while the paper's 3–6-bit masks defeat correction — even-
+//! weight masks are detected-uncorrectable, odd-weight masks alias into
+//! miscorrections.
+
+use sefi_core::{Corrupter, CorrupterConfig, CorruptionMode, InjectionAmount, LocationSelection};
+use sefi_ecc::EccShield;
+use sefi_experiments::{budget_from_args, combo_seed, table::TextTable, Prebaked};
+use sefi_float::{BitMask, Precision};
+use sefi_frameworks::FrameworkKind;
+use sefi_hdf5::Dtype;
+use sefi_models::ModelKind;
+
+fn main() {
+    let budget = budget_from_args();
+    println!("Extension — SEC-DED checkpoint protection (Chainer/AlexNet)");
+    println!("budget: {} ({} trials/row)\n", budget.name, budget.trials);
+    let pre = Prebaked::new(budget);
+    let pristine = pre.checkpoint(FrameworkKind::Chainer, ModelKind::AlexNet, Dtype::F64);
+    let shield = EccShield::protect(&pristine);
+    let trials = budget.trials;
+
+    let mut table = TextTable::new(&[
+        "Error model",
+        "Trials",
+        "Fully repaired",
+        "Detected uncorrectable",
+        "Miscorrected",
+    ]);
+
+    // Row set 1: single bit-flips (1 and 10 per checkpoint).
+    for flips in [1u64, 10] {
+        let (mut repaired, mut detected, mut miscorrected) = (0, 0, 0);
+        for trial in 0..trials {
+            let mut ck = pristine.clone();
+            let cfg = CorrupterConfig::bit_flips_full_range(
+                flips,
+                Precision::Fp64,
+                combo_seed(FrameworkKind::Chainer, ModelKind::AlexNet, "ecc-flip", trial)
+                    ^ flips,
+            );
+            Corrupter::new(cfg).unwrap().corrupt(&mut ck).unwrap();
+            let report = shield.verify_and_repair(&mut ck).unwrap();
+            if ck.to_bytes() == pristine.to_bytes() {
+                repaired += 1;
+            } else if report.uncorrectable() > 0 {
+                detected += 1;
+            } else {
+                miscorrected += 1;
+            }
+        }
+        table.row(vec![
+            format!("{flips} random bit-flip(s)"),
+            trials.to_string(),
+            repaired.to_string(),
+            detected.to_string(),
+            miscorrected.to_string(),
+        ]);
+    }
+
+    // Row set 2: the paper's multi-bit masks, 10 weights each (Table VI).
+    for (bits, mask) in sefi_experiments::exp_masks::MASKS {
+        let (mut repaired, mut detected, mut miscorrected) = (0, 0, 0);
+        for trial in 0..trials {
+            let mut ck = pristine.clone();
+            let cfg = CorrupterConfig {
+                injection_probability: 1.0,
+                amount: InjectionAmount::Count(10),
+                float_precision: Precision::Fp64,
+                mode: CorruptionMode::BitMask(BitMask::parse(mask).unwrap()),
+                allow_nan_values: true,
+                locations: LocationSelection::AllRandom,
+                seed: combo_seed(FrameworkKind::Chainer, ModelKind::AlexNet, mask, trial),
+            };
+            Corrupter::new(cfg).unwrap().corrupt(&mut ck).unwrap();
+            let report = shield.verify_and_repair(&mut ck).unwrap();
+            if ck.to_bytes() == pristine.to_bytes() {
+                repaired += 1;
+            } else if report.uncorrectable() > 0 {
+                detected += 1;
+            } else {
+                miscorrected += 1;
+            }
+        }
+        table.row(vec![
+            format!("mask {mask} ({bits} bits) x10"),
+            trials.to_string(),
+            repaired.to_string(),
+            detected.to_string(),
+            miscorrected.to_string(),
+        ]);
+    }
+
+    println!("{}", table.render());
+    println!(
+        "single flips repaired exactly; multi-bit masks defeat SEC-DED — the paper's\n\
+         motivation for stronger codes (its refs [44]-[46]) reproduced."
+    );
+}

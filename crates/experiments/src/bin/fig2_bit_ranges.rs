@@ -1,0 +1,19 @@
+//! Regenerates Figure 2 / Section V-B1: which bit ranges collapse training.
+
+use sefi_experiments::{budget_from_args, exp_bitranges, Prebaked};
+
+fn main() {
+    let budget = budget_from_args();
+    println!("Figure 2 — bit ranges that collapse a neural network (Chainer/AlexNet)");
+    println!("budget: {} ({} trainings/range, 1000 flips each)\n", budget.name, budget.fig2_trainings);
+    let pre = Prebaked::new(budget);
+    let (rows, table) = exp_bitranges::figure2(&pre);
+    println!("{}", table.render());
+    println!(
+        "collapse occurs only when the range includes exponent MSB (bit 62): {}",
+        exp_bitranges::collapse_only_with_critical_bit(&rows)
+    );
+    let _ = std::fs::create_dir_all("results");
+    let _ = std::fs::write("results/fig2.csv", table.to_csv());
+    println!("wrote results/fig2.csv");
+}

@@ -1,0 +1,29 @@
+//! Regenerates Figure 5: equivalent injection replayed on PyTorch and
+//! TensorFlow from Chainer logs.
+
+use sefi_experiments::{budget_from_args, exp_curves, exp_equivalent, exp_layers, Prebaked};
+use sefi_models::ModelKind;
+
+fn main() {
+    let budget = budget_from_args();
+    println!("Figure 5 — equivalent injection in PyTorch and TensorFlow (AlexNet)");
+    println!("budget: {}\n", budget.name);
+    let pre = Prebaked::new(budget);
+    // Generate the Chainer logs (the Figure 4 protocol).
+    let (_, logs) = exp_layers::figure4(&pre);
+    let _ = std::fs::create_dir_all("results");
+    for (fw, series) in exp_equivalent::figure5(&pre, &logs) {
+        let panel = exp_curves::Panel { framework: fw, model: ModelKind::AlexNet, series };
+        let t = exp_curves::render_panel(&panel);
+        println!(
+            "panel: {} (no degradation vs error-free: {})",
+            fw.display(),
+            exp_curves::no_degradation(&panel, 0.10)
+        );
+        println!("{}", t.render());
+        println!("{}", sefi_experiments::chart::render_chart(&panel.series));
+        let name = format!("results/fig5_{}.csv", fw.id());
+        let _ = std::fs::write(&name, t.to_csv());
+        println!("wrote {name}\n");
+    }
+}

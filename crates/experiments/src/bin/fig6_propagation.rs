@@ -1,0 +1,21 @@
+//! Regenerates Figure 6: soft-error propagation boxplots
+//! (TensorFlow/AlexNet).
+
+use sefi_experiments::{budget_from_args, exp_propagation, Prebaked};
+
+fn main() {
+    let budget = budget_from_args();
+    println!("Figure 6 — propagation of errors (TensorFlow/AlexNet, 1000 flips)");
+    println!(
+        "budget: {} (inject at epoch {}, compare at epoch {})\n",
+        budget.name,
+        budget.restart_epoch,
+        budget.restart_epoch + budget.resume_epochs
+    );
+    let pre = Prebaked::new(budget);
+    let (_, table) = exp_propagation::figure6(&pre);
+    println!("{}", table.render());
+    let _ = std::fs::create_dir_all("results");
+    let _ = std::fs::write("results/fig6.csv", table.to_csv());
+    println!("wrote results/fig6.csv");
+}

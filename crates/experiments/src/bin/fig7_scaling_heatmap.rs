@@ -1,0 +1,18 @@
+//! Regenerates Figure 7: accuracy heat map under scaling-factor corruption
+//! (Chainer/ResNet50).
+
+use sefi_experiments::{budget_from_args, exp_heatmap, Prebaked};
+
+fn main() {
+    let budget = budget_from_args();
+    println!("Figure 7 — accuracy under scaling-factor corruption (Chainer/ResNet50)");
+    println!("budget: {}\n", budget.name);
+    let pre = Prebaked::new(budget);
+    let (cells, baseline, table) = exp_heatmap::figure7(&pre);
+    println!("baseline accuracy: {baseline:.3}\n");
+    println!("{}", table.render());
+    println!("monotone damage (heavy >= light): {}", exp_heatmap::monotone_damage(&cells));
+    let _ = std::fs::create_dir_all("results");
+    let _ = std::fs::write("results/fig7.csv", table.to_csv());
+    println!("wrote results/fig7.csv");
+}

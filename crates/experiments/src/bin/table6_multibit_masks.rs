@@ -1,0 +1,15 @@
+//! Regenerates Table VI: multi-bit DRAM-study masks applied to ResNet50.
+
+use sefi_experiments::{budget_from_args, exp_masks, Prebaked};
+
+fn main() {
+    let budget = budget_from_args();
+    println!("Table VI — multi-bit mask corruption of ResNet50");
+    println!("budget: {}\n", budget.name);
+    let pre = Prebaked::new(budget);
+    let (_, table) = exp_masks::table6(&pre);
+    println!("{}", table.render());
+    let _ = std::fs::create_dir_all("results");
+    let _ = std::fs::write("results/table6.csv", table.to_csv());
+    println!("wrote results/table6.csv");
+}

@@ -1,0 +1,19 @@
+//! Regenerates Table VII: N-EV incidence at 16- and 32-bit precision.
+
+use sefi_experiments::{budget_from_args, exp_nev, Prebaked};
+
+fn main() {
+    let budget = budget_from_args();
+    println!("Table VII — N-EV incidence at 16/32-bit precision (Chainer)");
+    println!("budget: {} ({} trainings/cell)\n", budget.name, budget.trials);
+    let pre = Prebaked::new(budget);
+    let (cells, table) = exp_nev::table7(&pre);
+    println!("{}", table.render());
+    println!(
+        "ascending N-EV pattern with bit-flip count: {}",
+        exp_nev::ascending_pattern_holds(&cells)
+    );
+    let _ = std::fs::create_dir_all("results");
+    let _ = std::fs::write("results/table7.csv", table.to_csv());
+    println!("wrote results/table7.csv");
+}

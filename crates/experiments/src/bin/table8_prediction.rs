@@ -1,0 +1,19 @@
+//! Regenerates Table VIII: prediction accuracy under corruption at
+//! different floating-point precisions.
+
+use sefi_experiments::{budget_from_args, exp_predict, Prebaked};
+
+fn main() {
+    let budget = budget_from_args();
+    println!("Table VIII — prediction under different precisions and bit-flip rates (Chainer)");
+    println!(
+        "budget: {} ({} predictions x {} images per cell)\n",
+        budget.name, budget.predict_trials, budget.predict_images
+    );
+    let pre = Prebaked::new(budget);
+    let (_, table) = exp_predict::table8(&pre);
+    println!("{}", table.render());
+    let _ = std::fs::create_dir_all("results");
+    let _ = std::fs::write("results/table8.csv", table.to_csv());
+    println!("wrote results/table8.csv");
+}

@@ -1,0 +1,111 @@
+//! Terminal line charts: render accuracy-vs-epoch series the way the
+//! paper's figures show them, so the figure binaries are readable without
+//! opening the CSVs.
+
+use crate::exp_curves::Series;
+
+/// Plot height in character rows.
+const ROWS: usize = 14;
+
+/// Render a set of series (accuracies in `[0, 1]` over epochs) as an ASCII
+/// chart. Each series gets a marker character; overlapping points show the
+/// later series' marker.
+pub fn render_chart(series: &[Series]) -> String {
+    const MARKERS: [char; 8] = ['o', 'x', '+', '*', '#', '@', '%', '&'];
+    let epochs: Vec<usize> = {
+        let mut e: Vec<usize> =
+            series.iter().flat_map(|s| s.points.iter().map(|&(x, _)| x)).collect();
+        e.sort_unstable();
+        e.dedup();
+        e
+    };
+    if epochs.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let cols = epochs.len();
+    let mut grid = vec![vec![' '; cols]; ROWS];
+    for (si, s) in series.iter().enumerate() {
+        let marker = MARKERS[si % MARKERS.len()];
+        for &(e, acc) in &s.points {
+            let col = epochs.iter().position(|&x| x == e).expect("epoch enumerated");
+            let clamped = acc.clamp(0.0, 1.0);
+            let row = ((1.0 - clamped) * (ROWS - 1) as f64).round() as usize;
+            grid[row][col] = marker;
+        }
+    }
+
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            "100% |"
+        } else if r == ROWS - 1 {
+            "  0% |"
+        } else if r == ROWS / 2 {
+            " 50% |"
+        } else {
+            "     |"
+        };
+        out.push_str(label);
+        for &c in row {
+            out.push(' ');
+            out.push(c);
+        }
+        out.push('\n');
+    }
+    out.push_str("      ");
+    for _ in 0..cols {
+        out.push_str("--");
+    }
+    out.push('\n');
+    out.push_str("epoch ");
+    for &e in &epochs {
+        out.push_str(&format!("{:>2}", e % 100));
+    }
+    out.push('\n');
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("  {} {}\n", MARKERS[si % MARKERS.len()], s.label));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(label: &str, pts: &[(usize, f64)]) -> Series {
+        Series { label: label.to_string(), points: pts.to_vec() }
+    }
+
+    #[test]
+    fn renders_markers_and_legend() {
+        let chart = render_chart(&[
+            series("error-free", &[(5, 1.0), (6, 0.9), (7, 1.0)]),
+            series("1000 flips", &[(5, 0.0), (6, 0.5), (7, 0.8)]),
+        ]);
+        assert!(chart.contains("error-free"));
+        assert!(chart.contains("1000 flips"));
+        assert!(chart.contains('o'));
+        assert!(chart.contains('x'));
+        assert!(chart.contains("100% |"));
+        assert!(chart.contains("  0% |"));
+    }
+
+    #[test]
+    fn top_row_holds_the_best_accuracy() {
+        let chart = render_chart(&[series("s", &[(0, 1.0)])]);
+        let first_line = chart.lines().next().unwrap();
+        assert!(first_line.contains('o'), "{first_line}");
+    }
+
+    #[test]
+    fn empty_input_is_graceful() {
+        assert_eq!(render_chart(&[]), "(no data)\n");
+        assert_eq!(render_chart(&[series("s", &[])]), "(no data)\n");
+    }
+
+    #[test]
+    fn out_of_range_accuracies_are_clamped() {
+        let chart = render_chart(&[series("s", &[(0, 1.5), (1, -0.2)])]);
+        assert!(chart.lines().next().unwrap().contains('o'));
+    }
+}

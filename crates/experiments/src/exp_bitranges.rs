@@ -1,0 +1,125 @@
+//! Figure 2 / Section V-B1 — which bits collapse a neural network.
+//!
+//! The injector's `bit_range` is swept across configurations of the 64-bit
+//! IEEE-754 layout; each range gets `fig2_trainings` runs of 1 000 flips.
+//! "The results show that the training collapses only when the injection
+//! range accounts for the most significant bit of the exponent."
+
+use crate::runner::{combo_seed, Prebaked};
+use crate::stats::percent;
+use crate::table::{pct, TextTable};
+use rayon::prelude::*;
+use sefi_core::{Corrupter, CorrupterConfig, CorruptionMode};
+use sefi_float::{BitRange, Precision};
+use sefi_frameworks::FrameworkKind;
+use sefi_hdf5::Dtype;
+use sefi_models::ModelKind;
+
+/// The swept ranges (64-bit layout: mantissa 0–51, exponent 52–62, sign 63).
+pub fn ranges() -> Vec<(&'static str, BitRange)> {
+    vec![
+        ("mantissa only [0,51]", BitRange { first_bit: 0, last_bit: 51 }),
+        ("low exponent [0,60]", BitRange { first_bit: 0, last_bit: 60 }),
+        ("all but exp MSB [0,61]", BitRange { first_bit: 0, last_bit: 61 }),
+        ("includes exp MSB [0,62]", BitRange { first_bit: 0, last_bit: 62 }),
+        ("full value [0,63]", BitRange { first_bit: 0, last_bit: 63 }),
+        ("exponent sans MSB [52,61]", BitRange { first_bit: 52, last_bit: 61 }),
+        ("exp MSB only [62,62]", BitRange { first_bit: 62, last_bit: 62 }),
+        ("sign only [63,63]", BitRange { first_bit: 63, last_bit: 63 }),
+    ]
+}
+
+/// One row of the sweep.
+#[derive(Debug, Clone)]
+pub struct RangeRow {
+    /// Human label.
+    pub label: &'static str,
+    /// The swept range.
+    pub range: BitRange,
+    /// Whether the range includes the exponent MSB (bit 62).
+    pub includes_critical_bit: bool,
+    /// Trainings run.
+    pub trainings: usize,
+    /// Trainings that collapsed.
+    pub collapsed: usize,
+}
+
+/// Run the sweep (Chainer/AlexNet; 1 000 flips per training, NaN allowed —
+/// the point is to observe collapse).
+pub fn figure2(pre: &Prebaked) -> (Vec<RangeRow>, TextTable) {
+    let fw = FrameworkKind::Chainer;
+    let model = ModelKind::AlexNet;
+    let trials = pre.budget().fig2_trainings;
+    let pristine = pre.checkpoint(fw, model, Dtype::F64);
+    let mut rows = Vec::new();
+    let mut table =
+        TextTable::new(&["Range", "Critical bit", "Trainings", "Collapsed", "%"]);
+    for (label, range) in ranges() {
+        let collapsed: usize = (0..trials)
+            .into_par_iter()
+            .map(|trial| {
+                let seed = combo_seed(fw, model, &format!("fig2-{label}"), trial);
+                let mut ck = pristine.clone();
+                let mut cfg = CorrupterConfig::bit_flips_full_range(1000, Precision::Fp64, seed);
+                cfg.mode = CorruptionMode::BitRange(range);
+                Corrupter::new(cfg)
+                    .expect("valid config")
+                    .corrupt(&mut ck)
+                    .expect("corruption succeeds");
+                let out = pre.resume(fw, model, &ck, pre.budget().resume_epochs);
+                usize::from(out.collapsed())
+            })
+            .sum();
+        let includes_critical_bit = range.contains(Precision::Fp64.exponent_msb());
+        table.row(vec![
+            label.to_string(),
+            if includes_critical_bit { "yes" } else { "no" }.to_string(),
+            trials.to_string(),
+            collapsed.to_string(),
+            pct(percent(collapsed, trials)),
+        ]);
+        rows.push(RangeRow { label, range, includes_critical_bit, trainings: trials, collapsed });
+    }
+    (rows, table)
+}
+
+/// The paper's claim: collapse ⇔ the range includes bit 62.
+pub fn collapse_only_with_critical_bit(rows: &[RangeRow]) -> bool {
+    rows.iter().all(|r| {
+        if r.includes_critical_bit {
+            r.collapsed > 0 || r.trainings == 0
+        } else {
+            r.collapsed == 0
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_inventory_flags_critical_bit_correctly() {
+        for (label, range) in ranges() {
+            let flagged = range.contains(62);
+            assert_eq!(
+                flagged,
+                range.first_bit <= 62 && 62 <= range.last_bit,
+                "{label}"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_smoke() {
+        let pre = Prebaked::new(crate::budget::Budget::smoke());
+        let (rows, _) = figure2(&pre);
+        assert_eq!(rows.len(), ranges().len());
+        // The safe ranges must never collapse; the exp-MSB-only range at
+        // 1000 flips collapses essentially always.
+        let safe = rows.iter().find(|r| r.label.contains("all but exp MSB")).unwrap();
+        assert_eq!(safe.collapsed, 0);
+        let critical = rows.iter().find(|r| r.label.contains("exp MSB only")).unwrap();
+        assert!(critical.collapsed >= critical.trainings.saturating_sub(1));
+    }
+}

@@ -1,0 +1,171 @@
+//! Figure 3 — sensitivity to different bit-flip rates.
+//!
+//! Three panels (one per framework, each with a different model, as in the
+//! paper: 3a ResNet50, 3b VGG16, 3c AlexNet). Each line is the average
+//! accuracy of `curve_trials` trainings restarted from the restart-epoch
+//! checkpoint with 1/10/100/1000 bit-flips (exponent MSB excluded); the
+//! "green line" is the error-free full training.
+
+use crate::runner::{combo_seed, Prebaked};
+use crate::table::TextTable;
+use rayon::prelude::*;
+use sefi_core::{Corrupter, CorrupterConfig};
+use sefi_float::Precision;
+use sefi_frameworks::FrameworkKind;
+use sefi_hdf5::Dtype;
+use sefi_models::ModelKind;
+
+/// One accuracy-vs-epoch series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Label (e.g. "1000 bit-flips" or "error-free").
+    pub label: String,
+    /// `(epoch, mean accuracy)` points.
+    pub points: Vec<(usize, f64)>,
+}
+
+/// One panel of Figure 3.
+#[derive(Debug, Clone)]
+pub struct Panel {
+    /// Framework of the panel.
+    pub framework: FrameworkKind,
+    /// Model of the panel.
+    pub model: ModelKind,
+    /// All series, error-free first.
+    pub series: Vec<Series>,
+}
+
+/// The paper's three panels.
+pub fn panels() -> [(FrameworkKind, ModelKind); 3] {
+    [
+        (FrameworkKind::Chainer, ModelKind::ResNet50),
+        (FrameworkKind::PyTorch, ModelKind::Vgg16),
+        (FrameworkKind::TensorFlow, ModelKind::AlexNet),
+    ]
+}
+
+/// Mean resumed-accuracy curve for a corrupted restart.
+pub fn corrupted_curve(
+    pre: &Prebaked,
+    fw: FrameworkKind,
+    model: ModelKind,
+    bitflips: u64,
+    label: &str,
+) -> Series {
+    let budget = *pre.budget();
+    let pristine = pre.checkpoint(fw, model, Dtype::F64);
+    let end = budget.curve_end_epoch;
+    let epochs = end - budget.restart_epoch;
+    let curves: Vec<Vec<f64>> = (0..budget.curve_trials)
+        .into_par_iter()
+        .map(|trial| {
+            let seed = combo_seed(fw, model, &format!("curve-{label}-{bitflips}"), trial);
+            let mut ck = pristine.clone();
+            if bitflips > 0 {
+                let cfg = CorrupterConfig::bit_flips(bitflips, Precision::Fp64, seed);
+                Corrupter::new(cfg)
+                    .expect("valid preset")
+                    .corrupt(&mut ck)
+                    .expect("corruption succeeds");
+            }
+            let out = pre.resume(fw, model, &ck, epochs);
+            out.history().iter().map(|r| r.test_accuracy).collect()
+        })
+        .collect();
+    let points = (0..epochs)
+        .map(|i| {
+            let vals: Vec<f64> = curves.iter().filter_map(|c| c.get(i).copied()).collect();
+            (budget.restart_epoch + i, crate::stats::mean(&vals))
+        })
+        .collect();
+    Series { label: format!("{bitflips} bit-flips"), points }
+}
+
+/// Build one panel: the error-free full-training line plus the four
+/// corrupted-restart lines.
+pub fn panel(pre: &Prebaked, fw: FrameworkKind, model: ModelKind) -> Panel {
+    let budget = *pre.budget();
+    let mut series = Vec::new();
+    // Error-free line: the deterministic resumed baseline to the end epoch.
+    let baseline = pre.baseline_curve(model, Dtype::F64, budget.curve_end_epoch);
+    series.push(Series {
+        label: "error-free".to_string(),
+        points: baseline.iter().map(|r| (r.epoch, r.test_accuracy)).collect(),
+    });
+    for &flips in &budget.bitflip_counts() {
+        series.push(corrupted_curve(pre, fw, model, flips, "fig3"));
+    }
+    Panel { framework: fw, model, series }
+}
+
+/// Figure 3 as three panels.
+pub fn figure3(pre: &Prebaked) -> Vec<Panel> {
+    panels()
+        .iter()
+        .map(|&(fw, model)| panel(pre, fw, model))
+        .collect()
+}
+
+/// Render a panel as an epoch × series table (the figure's data).
+pub fn render_panel(p: &Panel) -> TextTable {
+    let mut header: Vec<String> = vec!["epoch".to_string()];
+    header.extend(p.series.iter().map(|s| s.label.clone()));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut table = TextTable::new(&header_refs);
+    let epochs: Vec<usize> = p.series.iter().flat_map(|s| s.points.iter().map(|&(e, _)| e)).collect();
+    let (lo, hi) = (
+        epochs.iter().copied().min().unwrap_or(0),
+        epochs.iter().copied().max().unwrap_or(0),
+    );
+    for e in lo..=hi {
+        let mut row = vec![e.to_string()];
+        for s in &p.series {
+            match s.points.iter().find(|&&(pe, _)| pe == e) {
+                Some(&(_, acc)) => row.push(format!("{:.2}", acc * 100.0)),
+                None => row.push("-".to_string()),
+            }
+        }
+        table.row(row);
+    }
+    table
+}
+
+/// The paper's headline finding for Figure 3: corrupted restarts show no
+/// accuracy degradation relative to the error-free line at the final epoch
+/// (within a tolerance that accounts for reduced trial counts).
+pub fn no_degradation(p: &Panel, tolerance: f64) -> bool {
+    let last = |s: &Series| s.points.last().map(|&(_, a)| a).unwrap_or(0.0);
+    let baseline = last(&p.series[0]);
+    p.series[1..].iter().all(|s| last(s) >= baseline - tolerance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::Budget;
+
+    #[test]
+    fn corrupted_restart_curve_has_the_resume_window() {
+        let pre = Prebaked::new(Budget::smoke());
+        let s = corrupted_curve(&pre, FrameworkKind::TensorFlow, ModelKind::AlexNet, 10, "t");
+        let b = pre.budget();
+        assert_eq!(s.points.len(), b.curve_end_epoch - b.restart_epoch);
+        assert!(s.points.iter().all(|&(_, a)| (0.0..=1.0).contains(&a)));
+    }
+
+    #[test]
+    fn render_shape() {
+        let p = Panel {
+            framework: FrameworkKind::Chainer,
+            model: ModelKind::AlexNet,
+            series: vec![
+                Series { label: "error-free".into(), points: vec![(0, 0.3), (1, 0.4)] },
+                Series { label: "1 bit-flips".into(), points: vec![(1, 0.39)] },
+            ],
+        };
+        let t = render_panel(&p);
+        let rendered = t.render();
+        assert!(rendered.contains("error-free"));
+        assert!(rendered.contains('-'));
+    }
+}

@@ -1,0 +1,118 @@
+//! Figure 7 — dramatic corruption via scaling factors
+//! (Chainer/ResNet50 heat map).
+//!
+//! "Instead of injecting a bit-flip into a value, we used a scaling factor
+//! to alter that value. […] Modifying 10 values with a scaling factor of
+//! 4,500 could cut accuracy in half." (Section VI-3). Each heat-map cell
+//! scales N random weights by a factor and reports the model's accuracy
+//! right after loading the corrupted checkpoint, averaged over trials.
+
+use crate::runner::{combo_seed, Prebaked};
+use crate::table::TextTable;
+use rayon::prelude::*;
+use sefi_core::{Corrupter, CorrupterConfig, CorruptionMode, InjectionAmount, LocationSelection};
+use sefi_float::Precision;
+use sefi_frameworks::FrameworkKind;
+use sefi_hdf5::Dtype;
+use sefi_models::ModelKind;
+
+/// Weights-affected axis of the heat map.
+pub const WEIGHTS_AXIS: [u64; 4] = [1, 10, 100, 1000];
+
+/// Scaling-factor axis.
+pub const FACTOR_AXIS: [f64; 5] = [1.5, 10.0, 100.0, 1000.0, 4500.0];
+
+/// One heat-map cell.
+#[derive(Debug, Clone)]
+pub struct HeatCell {
+    /// Number of weights scaled.
+    pub weights: u64,
+    /// Scaling factor applied.
+    pub factor: f64,
+    /// Mean accuracy (0–1) immediately after loading.
+    pub accuracy: f64,
+}
+
+/// Measure one cell.
+pub fn heat_cell(pre: &Prebaked, weights: u64, factor: f64) -> HeatCell {
+    let fw = FrameworkKind::Chainer;
+    let model = ModelKind::ResNet50;
+    let trials = pre.budget().curve_trials.max(3);
+    let pristine = pre.checkpoint(fw, model, Dtype::F64);
+    let accs: Vec<f64> = (0..trials)
+        .into_par_iter()
+        .map(|trial| {
+            let seed = combo_seed(fw, model, &format!("heat-{weights}-{factor}"), trial);
+            let mut ck = pristine.clone();
+            let cfg = CorrupterConfig {
+                injection_probability: 1.0,
+                amount: InjectionAmount::Count(weights),
+                float_precision: Precision::Fp64,
+                mode: CorruptionMode::ScalingFactor(factor),
+                allow_nan_values: true,
+                locations: LocationSelection::AllRandom,
+                seed,
+            };
+            Corrupter::new(cfg)
+                .expect("valid config")
+                .corrupt(&mut ck)
+                .expect("corruption succeeds");
+            let mut session = pre.session_at_restart(fw, model);
+            session.restore(&ck).expect("corrupted checkpoint loads");
+            session.test_accuracy(pre.data())
+        })
+        .collect();
+    HeatCell { weights, factor, accuracy: crate::stats::mean(&accs) }
+}
+
+/// Full Figure 7 grid plus the baseline accuracy.
+pub fn figure7(pre: &Prebaked) -> (Vec<HeatCell>, f64, TextTable) {
+    let baseline = {
+        let mut s = pre.session_at_restart(FrameworkKind::Chainer, ModelKind::ResNet50);
+        s.test_accuracy(pre.data())
+    };
+    let mut cells = Vec::new();
+    let mut header = vec!["weights\\factor".to_string()];
+    header.extend(FACTOR_AXIS.iter().map(|f| format!("{f}")));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut table = TextTable::new(&header_refs);
+    for &w in &WEIGHTS_AXIS {
+        let mut row = vec![w.to_string()];
+        for &f in &FACTOR_AXIS {
+            let cell = heat_cell(pre, w, f);
+            row.push(format!("{:.3}", cell.accuracy));
+            cells.push(cell);
+        }
+        table.row(row);
+    }
+    (cells, baseline, table)
+}
+
+/// The paper's qualitative claim: heavy scaling of many weights hurts far
+/// more than light scaling of few.
+pub fn monotone_damage(cells: &[HeatCell]) -> bool {
+    let acc = |w: u64, f: f64| -> f64 {
+        cells
+            .iter()
+            .find(|c| c.weights == w && c.factor == f)
+            .map(|c| c.accuracy)
+            .unwrap_or(0.0)
+    };
+    acc(1000, 4500.0) <= acc(1, 1.5) + 1e-9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::Budget;
+
+    #[test]
+    fn extreme_scaling_damages_more_than_mild() {
+        let pre = Prebaked::new(Budget::smoke());
+        let mild = heat_cell(&pre, 1, 1.5);
+        let severe = heat_cell(&pre, 1000, 4500.0);
+        // Scaling 1000 weights by 4500 must not beat scaling 1 weight by
+        // 1.5 (paper: "the effect of scaling values is dramatic").
+        assert!(severe.accuracy <= mild.accuracy + 0.10, "{severe:?} vs {mild:?}");
+    }
+}

@@ -1,0 +1,135 @@
+//! Figure 4 — fault injection in different layers of AlexNet (Chainer).
+//!
+//! 1 000 bit-flips are aimed at the first / middle / last layer via
+//! `locations_to_corrupt`; the resumed accuracy curves show the first
+//! layer degrading and then recovering, while middle- and last-layer
+//! injections are absorbed (Section V-C2).
+
+use crate::exp_curves::Series;
+use crate::runner::{combo_seed, Prebaked};
+use rayon::prelude::*;
+use sefi_core::{Corrupter, CorrupterConfig, InjectionLog, LocationSelection};
+use sefi_float::Precision;
+use sefi_frameworks::{FrameworkKind, Session, SessionConfig};
+use sefi_hdf5::Dtype;
+use sefi_models::{LayerRole, ModelKind};
+
+/// The bit-flip count of the paper's per-layer experiments.
+pub const LAYER_FLIPS: u64 = 1000;
+
+/// The three targeted roles, in the paper's order.
+pub fn roles() -> [LayerRole; 3] {
+    [LayerRole::First, LayerRole::Middle, LayerRole::Last]
+}
+
+/// Human label for a role.
+pub fn role_label(role: LayerRole) -> &'static str {
+    match role {
+        LayerRole::First => "first layer",
+        LayerRole::Middle => "middle layer",
+        LayerRole::Last => "last layer",
+    }
+}
+
+/// Resolve the injector locations for a role in a framework/model pair
+/// without training (builds the model structure only).
+pub fn locations_for(pre: &Prebaked, fw: FrameworkKind, model: ModelKind, role: LayerRole) -> Vec<String> {
+    let mut cfg = SessionConfig::new(fw, model, 0);
+    cfg.model_config = pre.budget().model_config();
+    Session::new(cfg).layer_locations(role)
+}
+
+/// Corrupt `LAYER_FLIPS` flips into one layer and resume; returns the mean
+/// accuracy curve and the injection log of trial 0 (for Figure 5's
+/// equivalent-injection replay).
+pub fn layer_curve(
+    pre: &Prebaked,
+    fw: FrameworkKind,
+    model: ModelKind,
+    role: LayerRole,
+) -> (Series, InjectionLog) {
+    let budget = *pre.budget();
+    let pristine = pre.checkpoint(fw, model, Dtype::F64);
+    let locations = locations_for(pre, fw, model, role);
+    let epochs = budget.curve_end_epoch - budget.restart_epoch;
+
+    let runs: Vec<(Vec<f64>, InjectionLog)> = (0..budget.curve_trials)
+        .into_par_iter()
+        .map(|trial| {
+            let seed = combo_seed(fw, model, &format!("layer-{}", role_label(role)), trial);
+            let mut ck = pristine.clone();
+            let mut cfg = CorrupterConfig::bit_flips(LAYER_FLIPS, Precision::Fp64, seed);
+            cfg.locations = LocationSelection::Listed(locations.clone());
+            let (_, log) = Corrupter::new(cfg)
+                .expect("valid preset")
+                .corrupt_with_log(&mut ck)
+                .expect("layer-targeted corruption succeeds");
+            let out = pre.resume(fw, model, &ck, epochs);
+            (out.history().iter().map(|r| r.test_accuracy).collect(), log)
+        })
+        .collect();
+
+    let points = (0..epochs)
+        .map(|i| {
+            let vals: Vec<f64> =
+                runs.iter().filter_map(|(c, _)| c.get(i).copied()).collect();
+            (budget.restart_epoch + i, crate::stats::mean(&vals))
+        })
+        .collect();
+    let log = runs.into_iter().next().map(|(_, l)| l).unwrap_or_default();
+    (Series { label: format!("{} ({LAYER_FLIPS} flips)", role_label(role)), points }, log)
+}
+
+/// Figure 4: Chainer/AlexNet, all three roles plus the error-free line.
+/// Also returns the per-role logs used by Figure 5.
+pub fn figure4(pre: &Prebaked) -> (Vec<Series>, Vec<(LayerRole, InjectionLog)>) {
+    let budget = *pre.budget();
+    let mut series = Vec::new();
+    let baseline = pre.baseline_curve(ModelKind::AlexNet, Dtype::F64, budget.curve_end_epoch);
+    series.push(Series {
+        label: "error-free".to_string(),
+        points: baseline.iter().map(|r| (r.epoch, r.test_accuracy)).collect(),
+    });
+    let mut logs = Vec::new();
+    for role in roles() {
+        let (s, log) = layer_curve(pre, FrameworkKind::Chainer, ModelKind::AlexNet, role);
+        series.push(s);
+        logs.push((role, log));
+    }
+    (series, logs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::Budget;
+
+    #[test]
+    fn injections_stay_inside_the_targeted_layer() {
+        let pre = Prebaked::new(Budget::smoke());
+        let (_, log) = layer_curve(
+            &pre,
+            FrameworkKind::Chainer,
+            ModelKind::AlexNet,
+            LayerRole::Middle,
+        );
+        assert_eq!(log.len() as u64, LAYER_FLIPS);
+        for r in log.records() {
+            assert!(
+                r.location.starts_with("predictor/conv4"),
+                "record escaped target layer: {}",
+                r.location
+            );
+        }
+    }
+
+    #[test]
+    fn role_locations_per_framework() {
+        let pre = Prebaked::new(Budget::smoke());
+        let ch = locations_for(&pre, FrameworkKind::Chainer, ModelKind::AlexNet, LayerRole::Last);
+        assert_eq!(ch, vec!["predictor/fc8".to_string()]);
+        let tf =
+            locations_for(&pre, FrameworkKind::TensorFlow, ModelKind::AlexNet, LayerRole::Last);
+        assert_eq!(tf, vec!["model_weights/fc8".to_string()]);
+    }
+}

@@ -1,0 +1,168 @@
+//! Table VI — multi-bit masks from the DRAM field study applied to
+//! ResNet50 training.
+//!
+//! The masks come from Bautista-Gomez et al.'s large-scale DRAM error
+//! study (the paper's reference \[43\]). Each mask is applied to 10 weights
+//! at a random placement offset; 10 trainings per cell; the table reports
+//! the average accuracy immediately after loading the corrupted checkpoint
+//! (AvgI-Acc, excluding collapsed trainings) and the number of N-EV events.
+
+use crate::runner::{combo_seed, Prebaked};
+use crate::table::TextTable;
+use rayon::prelude::*;
+use sefi_core::{Corrupter, CorrupterConfig, CorruptionMode, InjectionAmount, LocationSelection};
+use sefi_float::{BitMask, NevPolicy, Precision};
+use sefi_frameworks::FrameworkKind;
+use sefi_hdf5::Dtype;
+use sefi_models::ModelKind;
+
+/// The paper's five masks: (active bits, pattern).
+pub const MASKS: [(u32, &str); 5] = [
+    (3, "10001010"),
+    (4, "01101010"),
+    (4, "10110010"),
+    (5, "11110001"),
+    (6, "11101101"),
+];
+
+/// Weights hit per training (paper: "each multi-bit mask is applied to 10
+/// weights of the neural network").
+pub const WEIGHTS_PER_TRAINING: u64 = 10;
+
+/// One Table VI cell.
+#[derive(Debug, Clone)]
+pub struct MaskCell {
+    /// Framework column.
+    pub framework: FrameworkKind,
+    /// Mask pattern (empty string for the error-free row).
+    pub mask: String,
+    /// Active bits in the mask.
+    pub bits: u32,
+    /// Average initial accuracy (× 100), collapsed trainings excluded.
+    pub avg_initial_acc: f64,
+    /// Number of trainings that produced an N-EV.
+    pub nev: usize,
+}
+
+/// Accuracy immediately after loading a checkpoint (no retraining).
+fn initial_accuracy(
+    pre: &Prebaked,
+    fw: FrameworkKind,
+    model: ModelKind,
+    ck: &sefi_hdf5::H5File,
+) -> (f64, bool) {
+    let mut session = pre.session_at_restart(fw, model);
+    session.restore(ck).expect("corrupted checkpoint remains structurally valid");
+    let nev = {
+        let sd = session.network_mut().state_dict();
+        let policy = NevPolicy::default();
+        sd.entries().iter().any(|e| {
+            e.tensor.data().iter().any(|&v| policy.classify_f64(v as f64).is_some())
+        })
+    };
+    (session.test_accuracy(pre.data()), nev)
+}
+
+/// One cell: ten trainings with one mask.
+pub fn mask_cell(pre: &Prebaked, fw: FrameworkKind, bits: u32, mask: &str) -> MaskCell {
+    let model = ModelKind::ResNet50;
+    let trials = pre.budget().curve_trials.max(3);
+    let pristine = pre.checkpoint(fw, model, Dtype::F64);
+    let results: Vec<(f64, bool)> = (0..trials)
+        .into_par_iter()
+        .map(|trial| {
+            let seed = combo_seed(fw, model, &format!("mask-{mask}"), trial);
+            let mut ck = pristine.clone();
+            let cfg = CorrupterConfig {
+                injection_probability: 1.0,
+                amount: InjectionAmount::Count(WEIGHTS_PER_TRAINING),
+                float_precision: Precision::Fp64,
+                mode: CorruptionMode::BitMask(
+                    BitMask::parse(mask).expect("paper masks are valid"),
+                ),
+                allow_nan_values: true,
+                locations: LocationSelection::AllRandom,
+                seed,
+            };
+            Corrupter::new(cfg)
+                .expect("valid config")
+                .corrupt(&mut ck)
+                .expect("corruption succeeds");
+            initial_accuracy(pre, fw, model, &ck)
+        })
+        .collect();
+    let nev = results.iter().filter(|(_, n)| *n).count();
+    let clean: Vec<f64> =
+        results.iter().filter(|(_, n)| !*n).map(|(a, _)| *a * 100.0).collect();
+    MaskCell {
+        framework: fw,
+        mask: mask.to_string(),
+        bits,
+        avg_initial_acc: crate::stats::mean(&clean),
+        nev,
+    }
+}
+
+/// Error-free row (0 bits): the restart checkpoint's own accuracy.
+pub fn baseline_cell(pre: &Prebaked, fw: FrameworkKind) -> MaskCell {
+    let model = ModelKind::ResNet50;
+    let ck = pre.checkpoint(fw, model, Dtype::F64);
+    let (acc, _) = initial_accuracy(pre, fw, model, &ck);
+    MaskCell {
+        framework: fw,
+        mask: "00000000".to_string(),
+        bits: 0,
+        avg_initial_acc: acc * 100.0,
+        nev: 0,
+    }
+}
+
+/// Full Table VI.
+pub fn table6(pre: &Prebaked) -> (Vec<MaskCell>, TextTable) {
+    let mut cells = Vec::new();
+    let mut table = TextTable::new(&["Bits", "Mask", "Framework", "AvgI-Acc", "N-EV"]);
+    for fw in FrameworkKind::all() {
+        let base = baseline_cell(pre, fw);
+        table.row(vec![
+            "0".into(),
+            base.mask.clone(),
+            fw.display().to_string(),
+            format!("{:.2}", base.avg_initial_acc),
+            "-".into(),
+        ]);
+        cells.push(base);
+        for &(bits, mask) in &MASKS {
+            let cell = mask_cell(pre, fw, bits, mask);
+            table.row(vec![
+                bits.to_string(),
+                mask.to_string(),
+                fw.display().to_string(),
+                format!("{:.2}", cell.avg_initial_acc),
+                cell.nev.to_string(),
+            ]);
+            cells.push(cell);
+        }
+    }
+    (cells, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::Budget;
+
+    #[test]
+    fn paper_masks_parse_with_declared_popcounts() {
+        for (bits, mask) in MASKS {
+            assert_eq!(BitMask::parse(mask).unwrap().ones(), bits);
+        }
+    }
+
+    #[test]
+    fn mask_cell_reports_sane_numbers() {
+        let pre = Prebaked::new(Budget::smoke());
+        let cell = mask_cell(&pre, FrameworkKind::Chainer, 3, "10001010");
+        assert!((0.0..=100.0).contains(&cell.avg_initial_acc) || cell.nev == pre.budget().curve_trials.max(3));
+        assert!(cell.nev <= pre.budget().curve_trials.max(3));
+    }
+}

@@ -1,0 +1,169 @@
+//! Tables IV and VII — incidence of NaN and extreme values (N-EV).
+//!
+//! Protocol (Section V-B2): corrupt a restart checkpoint with 1/10/100/1000
+//! bit-flips over the **full** bit range (exponent MSB and sign included,
+//! NaN allowed), resume training, and count the trainings that collapse on
+//! a NaN or extreme value. Table IV runs all nine framework×model
+//! combinations at 64-bit; Table VII repeats Chainer's column at 16- and
+//! 32-bit precision.
+
+use crate::runner::{combo_seed, Prebaked};
+use crate::stats::percent;
+use crate::table::{pct, TextTable};
+use rayon::prelude::*;
+use sefi_core::{Corrupter, CorrupterConfig};
+use sefi_float::Precision;
+use sefi_frameworks::FrameworkKind;
+use sefi_hdf5::Dtype;
+use sefi_models::ModelKind;
+
+/// One table cell.
+#[derive(Debug, Clone)]
+pub struct NevCell {
+    /// Framework column.
+    pub framework: FrameworkKind,
+    /// Model column.
+    pub model: ModelKind,
+    /// Bit-flips injected per training.
+    pub bitflips: u64,
+    /// Trainings run.
+    pub trainings: usize,
+    /// Trainings that collapsed computing an N-EV.
+    pub nev: usize,
+    /// Percentage.
+    pub pct: f64,
+}
+
+/// Measure one cell: `trials` independent corrupted resumes.
+pub fn nev_cell(
+    pre: &Prebaked,
+    fw: FrameworkKind,
+    model: ModelKind,
+    precision: Precision,
+    bitflips: u64,
+    trials: usize,
+) -> NevCell {
+    let dtype = Dtype::from_precision(precision);
+    let pristine = pre.checkpoint(fw, model, dtype);
+    let collapses: usize = (0..trials)
+        .into_par_iter()
+        .map(|trial| {
+            let seed =
+                combo_seed(fw, model, &format!("nev-{}-{bitflips}", precision.width()), trial);
+            let mut ck = pristine.clone();
+            let cfg = CorrupterConfig::bit_flips_full_range(bitflips, precision, seed);
+            Corrupter::new(cfg)
+                .expect("valid preset")
+                .corrupt(&mut ck)
+                .expect("corruption succeeds on pristine checkpoint");
+            let out = pre.resume(fw, model, &ck, pre.budget().resume_epochs);
+            usize::from(out.collapsed())
+        })
+        .sum();
+    NevCell {
+        framework: fw,
+        model,
+        bitflips,
+        trainings: trials,
+        nev: collapses,
+        pct: percent(collapses, trials),
+    }
+}
+
+/// Table IV: 64-bit, all nine combinations.
+pub fn table4(pre: &Prebaked) -> (Vec<NevCell>, TextTable) {
+    let budget = *pre.budget();
+    let mut cells = Vec::new();
+    let mut table =
+        TextTable::new(&["Bit-flips", "Trainings", "Framework", "Model", "N-EV", "%"]);
+    for &flips in &budget.bitflip_counts() {
+        for fw in FrameworkKind::all() {
+            for model in ModelKind::all() {
+                let cell = nev_cell(pre, fw, model, Precision::Fp64, flips, budget.trials);
+                table.row(vec![
+                    flips.to_string(),
+                    cell.trainings.to_string(),
+                    fw.display().to_string(),
+                    model.id().to_string(),
+                    cell.nev.to_string(),
+                    pct(cell.pct),
+                ]);
+                cells.push(cell);
+            }
+        }
+    }
+    (cells, table)
+}
+
+/// Table VII: Chainer at 16- and 32-bit precision.
+pub fn table7(pre: &Prebaked) -> (Vec<NevCell>, TextTable) {
+    let budget = *pre.budget();
+    let mut cells = Vec::new();
+    let mut table =
+        TextTable::new(&["Bit-flips", "DL Train", "Precision", "Model", "N-EV", "%"]);
+    for &flips in &budget.bitflip_counts() {
+        for precision in [Precision::Fp16, Precision::Fp32] {
+            for model in ModelKind::all() {
+                let cell =
+                    nev_cell(pre, FrameworkKind::Chainer, model, precision, flips, budget.trials);
+                table.row(vec![
+                    flips.to_string(),
+                    cell.trainings.to_string(),
+                    format!("{} bits", precision.width()),
+                    model.id().to_string(),
+                    cell.nev.to_string(),
+                    pct(cell.pct),
+                ]);
+                cells.push(cell);
+            }
+        }
+    }
+    (cells, table)
+}
+
+/// The qualitative claim the paper draws from Table IV, checkable on any
+/// budget: N-EV incidence ascends with the flip count.
+pub fn ascending_pattern_holds(cells: &[NevCell]) -> bool {
+    let rate_at = |flips: u64| -> f64 {
+        let subset: Vec<&NevCell> = cells.iter().filter(|c| c.bitflips == flips).collect();
+        subset.iter().map(|c| c.pct).sum::<f64>() / subset.len().max(1) as f64
+    };
+    rate_at(1) <= rate_at(10) && rate_at(10) <= rate_at(100) && rate_at(100) <= rate_at(1000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::Budget;
+
+    #[test]
+    fn thousand_flips_collapse_nearly_all() {
+        let pre = Prebaked::new(Budget::smoke());
+        let cell = nev_cell(
+            &pre,
+            FrameworkKind::Chainer,
+            ModelKind::AlexNet,
+            Precision::Fp64,
+            1000,
+            4,
+        );
+        assert_eq!(cell.trainings, 4);
+        // Paper Table IV: 96-99.6% at 1000 flips.
+        assert!(cell.nev >= 3, "only {} of 4 collapsed", cell.nev);
+    }
+
+    #[test]
+    fn one_flip_rarely_collapses() {
+        let pre = Prebaked::new(Budget::smoke());
+        let cell = nev_cell(
+            &pre,
+            FrameworkKind::Chainer,
+            ModelKind::AlexNet,
+            Precision::Fp64,
+            1,
+            6,
+        );
+        // Paper: ≤ 0.4% at one flip.
+        assert!(cell.nev <= 1, "{} of 6 collapsed on one flip", cell.nev);
+    }
+}

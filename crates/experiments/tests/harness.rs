@@ -1,0 +1,81 @@
+//! Integration tests of the experiment harness itself at smoke scale:
+//! the structural guarantees every table/figure build on.
+
+use sefi_experiments::{exp_bitranges, exp_curves, exp_nev, exp_rwc, Budget, Prebaked};
+use sefi_float::Precision;
+use sefi_frameworks::FrameworkKind;
+use sefi_hdf5::Dtype;
+use sefi_models::ModelKind;
+
+#[test]
+fn cells_are_reproducible_functions_of_their_inputs() {
+    let pre = Prebaked::new(Budget::smoke());
+    let a = exp_nev::nev_cell(
+        &pre,
+        FrameworkKind::PyTorch,
+        ModelKind::AlexNet,
+        Precision::Fp64,
+        100,
+        4,
+    );
+    let b = exp_nev::nev_cell(
+        &pre,
+        FrameworkKind::PyTorch,
+        ModelKind::AlexNet,
+        Precision::Fp64,
+        100,
+        4,
+    );
+    assert_eq!(a.nev, b.nev, "a table cell must be deterministic");
+    // And a fresh Prebaked (new pretraining via cache) agrees too.
+    let pre2 = Prebaked::new(Budget::smoke());
+    let c = exp_nev::nev_cell(
+        &pre2,
+        FrameworkKind::PyTorch,
+        ModelKind::AlexNet,
+        Precision::Fp64,
+        100,
+        4,
+    );
+    assert_eq!(a.nev, c.nev, "cells must not depend on harness instance");
+}
+
+#[test]
+fn rwc_is_total_when_nothing_is_injected() {
+    // The RWC definition's sanity anchor: with zero deviation sources, the
+    // baseline equals itself.
+    let pre = Prebaked::new(Budget::smoke());
+    let baseline = pre.baseline_final_accuracy(ModelKind::AlexNet, Dtype::F64);
+    for fw in FrameworkKind::all() {
+        let ck = pre.checkpoint(fw, ModelKind::AlexNet, Dtype::F64);
+        let out = pre.resume(fw, ModelKind::AlexNet, &ck, pre.budget().resume_epochs);
+        assert_eq!(out.final_accuracy().unwrap(), baseline, "{fw:?}");
+    }
+}
+
+#[test]
+fn figure2_and_rwc_agree_on_the_critical_bit() {
+    // Cross-experiment consistency: Fig. 2 finds bit 62 is the only
+    // collapse trigger; Table V (which excludes bit 62) must therefore
+    // never collapse.
+    let pre = Prebaked::new(Budget::smoke());
+    let (rows, _) = exp_bitranges::figure2(&pre);
+    assert!(exp_bitranges::collapse_only_with_critical_bit(&rows));
+    let cell = exp_rwc::rwc_cell(&pre, FrameworkKind::Chainer, ModelKind::AlexNet, 4);
+    assert!(cell.max_deviation.is_finite(), "no collapsed RWC trials");
+}
+
+#[test]
+fn curves_share_the_baseline_prefix() {
+    // Every Figure 3 series starts from the same restart checkpoint, so at
+    // the restart epoch a 0-flip curve equals the error-free baseline.
+    let pre = Prebaked::new(Budget::smoke());
+    let b = pre.budget();
+    let baseline = pre.baseline_curve(ModelKind::AlexNet, Dtype::F64, b.curve_end_epoch);
+    let zero =
+        exp_curves::corrupted_curve(&pre, FrameworkKind::Chainer, ModelKind::AlexNet, 0, "t");
+    for (base, z) in baseline.iter().zip(&zero.points) {
+        assert_eq!(base.epoch, z.0);
+        assert!((base.test_accuracy - z.1).abs() < 1e-12);
+    }
+}

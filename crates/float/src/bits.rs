@@ -1,0 +1,273 @@
+//! Bit-level corruption primitives.
+//!
+//! These are deliberately deterministic: randomness (choosing which bit to
+//! flip, or where to place a mask) lives in the injector, which draws from
+//! its own seeded stream and passes concrete indices/offsets down here. That
+//! split is what makes equivalent injection replayable: a log entry records
+//! the concrete bit positions, and replay calls these functions directly.
+
+use crate::fields::Precision;
+
+/// Flip a single bit (by index, 0 = LSB) in a raw bit pattern.
+#[inline]
+pub fn flip_bit(bits: u64, bit: u32) -> u64 {
+    debug_assert!(bit < 64);
+    bits ^ (1u64 << bit)
+}
+
+/// XOR an aligned mask against a raw bit pattern.
+#[inline]
+pub fn apply_xor_mask(bits: u64, mask: u64) -> u64 {
+    bits ^ mask
+}
+
+/// An inclusive range of corruptible bit indices, `first_bit..=last_bit`,
+/// within one precision's width — the injector's `bit_range` corruption mode
+/// and the instrument of the paper's Figure 2 sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitRange {
+    /// Lowest corruptible bit index.
+    pub first_bit: u32,
+    /// Highest corruptible bit index (inclusive).
+    pub last_bit: u32,
+}
+
+impl BitRange {
+    /// A range covering every bit of `p`, sign included.
+    pub fn full(p: Precision) -> Self {
+        BitRange { first_bit: 0, last_bit: p.width() - 1 }
+    }
+
+    /// Every bit except the exponent's most significant bit — the paper's
+    /// configuration for all Section V-C experiments ("we omit the most
+    /// significant bit of the exponent to ensure that the training was
+    /// executed without collapsing").
+    ///
+    /// Note the sign bit is *also* above the exponent MSB; the paper keeps
+    /// the sign bit corruptible (sign flips do not produce extreme values),
+    /// so this range excludes exactly one bit and is represented as the
+    /// contiguous range below it plus the sign handled by [`BitRange::contains`]
+    /// callers via [`SafeBits`]. For the common case the paper uses
+    /// `[0, exponent_msb - 1]`; use [`BitRange::below_exponent_msb`] for that.
+    pub fn below_exponent_msb(p: Precision) -> Self {
+        BitRange { first_bit: 0, last_bit: p.exponent_msb() - 1 }
+    }
+
+    /// Mantissa bits only.
+    pub fn mantissa_only(p: Precision) -> Self {
+        let m = p.field_map();
+        BitRange { first_bit: m.mantissa_lo, last_bit: m.mantissa_hi }
+    }
+
+    /// Validate against a precision: in-width and non-inverted.
+    pub fn validate(&self, p: Precision) -> Result<(), String> {
+        if self.first_bit > self.last_bit {
+            return Err(format!(
+                "bit range inverted: first_bit {} > last_bit {}",
+                self.first_bit, self.last_bit
+            ));
+        }
+        if self.last_bit >= p.width() {
+            return Err(format!(
+                "bit range [{}..={}] exceeds {}-bit precision",
+                self.first_bit,
+                self.last_bit,
+                p.width()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Number of selectable bits.
+    pub fn len(&self) -> u32 {
+        self.last_bit - self.first_bit + 1
+    }
+
+    /// True when the range is a single bit.
+    pub fn is_empty(&self) -> bool {
+        false // inclusive range always holds >= 1 bit
+    }
+
+    /// Whether the range includes a bit index.
+    pub fn contains(&self, bit: u32) -> bool {
+        bit >= self.first_bit && bit <= self.last_bit
+    }
+
+    /// The bit index at offset `k` into the range (`k < self.len()`).
+    pub fn nth(&self, k: u32) -> u32 {
+        debug_assert!(k < self.len());
+        self.first_bit + k
+    }
+}
+
+/// A multi-bit XOR pattern — the injector's `bit_mask` corruption mode.
+///
+/// The paper (Table I): "A pattern of bits to flip (e.g., 101101), the first
+/// bit to apply the mask in each value is randomly selected from
+/// `[0, float_precision - length(bit_mask)]`, zeros are padded to both sides
+/// of the mask to match `float_precision`, then we XOR the mask against the
+/// floating-point value."
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitMask {
+    pattern: u64,
+    len: u32,
+}
+
+impl BitMask {
+    /// Parse a binary-string pattern such as `"10110010"`.
+    ///
+    /// The leftmost character is the pattern's most significant bit. Leading
+    /// zeros are significant: they count toward the mask's length (and thus
+    /// restrict where it can be placed) even though they flip nothing.
+    pub fn parse(pattern: &str) -> Result<Self, String> {
+        if pattern.is_empty() {
+            return Err("empty bit mask".into());
+        }
+        if pattern.len() > 64 {
+            return Err(format!("bit mask longer than 64 bits: {}", pattern.len()));
+        }
+        let mut bits = 0u64;
+        for c in pattern.chars() {
+            bits <<= 1;
+            match c {
+                '0' => {}
+                '1' => bits |= 1,
+                other => return Err(format!("invalid bit mask character {other:?}")),
+            }
+        }
+        Ok(BitMask { pattern: bits, len: pattern.len() as u32 })
+    }
+
+    /// The mask length in bits (including leading zeros of the pattern).
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// True if the pattern has no characters (unreachable after `parse`).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of 1-bits (how many bits a single application flips).
+    pub fn ones(&self) -> u32 {
+        self.pattern.count_ones()
+    }
+
+    /// Highest valid placement offset for precision `p`:
+    /// `float_precision - length(bit_mask)` per the paper.
+    pub fn max_offset(&self, p: Precision) -> Result<u32, String> {
+        if self.len > p.width() {
+            return Err(format!(
+                "bit mask of {} bits does not fit {}-bit precision",
+                self.len,
+                p.width()
+            ));
+        }
+        Ok(p.width() - self.len)
+    }
+
+    /// The aligned 64-bit XOR mask produced by placing the pattern with its
+    /// least significant bit at `offset`.
+    pub fn aligned(&self, offset: u32) -> u64 {
+        debug_assert!(offset + self.len <= 64);
+        self.pattern << offset
+    }
+
+    /// Apply the mask at `offset` to a raw bit pattern.
+    pub fn apply(&self, bits: u64, offset: u32) -> u64 {
+        bits ^ self.aligned(offset)
+    }
+
+    /// Render the pattern back to its binary string.
+    pub fn to_pattern_string(&self) -> String {
+        (0..self.len)
+            .rev()
+            .map(|i| if (self.pattern >> i) & 1 == 1 { '1' } else { '0' })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flip_bit_is_involutive() {
+        let v = 0x1234_5678_9ABC_DEF0u64;
+        for bit in [0u32, 7, 31, 62, 63] {
+            assert_ne!(flip_bit(v, bit), v);
+            assert_eq!(flip_bit(flip_bit(v, bit), bit), v);
+        }
+    }
+
+    #[test]
+    fn bit_range_constructors() {
+        let r = BitRange::full(Precision::Fp64);
+        assert_eq!((r.first_bit, r.last_bit, r.len()), (0, 63, 64));
+        let r = BitRange::below_exponent_msb(Precision::Fp64);
+        assert_eq!((r.first_bit, r.last_bit), (0, 61));
+        assert!(!r.contains(62));
+        let r = BitRange::mantissa_only(Precision::Fp32);
+        assert_eq!((r.first_bit, r.last_bit), (0, 22));
+    }
+
+    #[test]
+    fn bit_range_validation() {
+        assert!(BitRange { first_bit: 2, last_bit: 63 }.validate(Precision::Fp64).is_ok());
+        assert!(BitRange { first_bit: 5, last_bit: 4 }.validate(Precision::Fp64).is_err());
+        assert!(BitRange { first_bit: 0, last_bit: 32 }.validate(Precision::Fp32).is_err());
+    }
+
+    #[test]
+    fn bit_mask_parse_and_roundtrip() {
+        let m = BitMask::parse("101101").unwrap();
+        assert_eq!(m.len(), 6);
+        assert_eq!(m.ones(), 4);
+        assert_eq!(m.to_pattern_string(), "101101");
+        // Leading zeros count toward length.
+        let m = BitMask::parse("00101").unwrap();
+        assert_eq!(m.len(), 5);
+        assert_eq!(m.ones(), 2);
+        assert_eq!(m.to_pattern_string(), "00101");
+    }
+
+    #[test]
+    fn bit_mask_rejects_bad_input() {
+        assert!(BitMask::parse("").is_err());
+        assert!(BitMask::parse("10a1").is_err());
+        assert!(BitMask::parse(&"1".repeat(65)).is_err());
+    }
+
+    #[test]
+    fn bit_mask_placement_bounds() {
+        let m = BitMask::parse("11101101").unwrap(); // the paper's 6-bit DRAM mask
+        assert_eq!(m.max_offset(Precision::Fp64).unwrap(), 56);
+        assert_eq!(m.max_offset(Precision::Fp16).unwrap(), 8);
+        let wide = BitMask::parse(&"1".repeat(20)).unwrap();
+        assert!(wide.max_offset(Precision::Fp16).is_err());
+    }
+
+    #[test]
+    fn bit_mask_apply_is_involutive_and_positioned() {
+        let m = BitMask::parse("101").unwrap();
+        let v = 0u64;
+        let out = m.apply(v, 4);
+        assert_eq!(out, 0b101_0000);
+        assert_eq!(m.apply(out, 4), v);
+    }
+
+    #[test]
+    fn paper_table6_masks_parse() {
+        for (bits, pat) in [
+            (3u32, "10001010"),
+            (4, "01101010"),
+            (4, "10110010"),
+            (5, "11110001"),
+            (6, "11101101"),
+        ] {
+            let m = BitMask::parse(pat).unwrap();
+            assert_eq!(m.ones(), bits, "mask {pat}");
+            assert_eq!(m.len(), 8);
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! IEEE-754 binary16 ("half precision") implemented from scratch.
+//!
+//! Layout: 1 sign bit, 5 exponent bits (bias 15), 10 mantissa bits.
+//! Conversions use round-to-nearest-even, matching hardware `f32 -> f16`
+//! conversion semantics, so checkpoints stored at 16-bit behave like the
+//! paper's framework-native float16 tensors.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An IEEE-754 binary16 value, stored as its raw bit pattern.
+#[allow(non_camel_case_types)]
+#[derive(Clone, Copy, Default)]
+pub struct f16(u16);
+
+
+const MAN_BITS: u32 = 10;
+const EXP_BIAS: i32 = 15;
+const EXP_MASK: u16 = 0x7C00;
+const MAN_MASK: u16 = 0x03FF;
+const SIGN_MASK: u16 = 0x8000;
+
+impl f16 {
+    /// Positive zero.
+    pub const ZERO: f16 = f16(0);
+    /// One.
+    pub const ONE: f16 = f16(0x3C00);
+    /// Positive infinity.
+    pub const INFINITY: f16 = f16(0x7C00);
+    /// Negative infinity.
+    pub const NEG_INFINITY: f16 = f16(0xFC00);
+    /// A quiet NaN.
+    pub const NAN: f16 = f16(0x7E00);
+    /// Largest finite value (65504).
+    pub const MAX: f16 = f16(0x7BFF);
+    /// Smallest positive normal value (2^-14).
+    pub const MIN_POSITIVE: f16 = f16(0x0400);
+
+    /// Construct from a raw bit pattern.
+    #[inline]
+    pub const fn from_bits(bits: u16) -> Self {
+        f16(bits)
+    }
+
+    /// The raw bit pattern.
+    #[inline]
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Convert from `f32` with round-to-nearest-even.
+    pub fn from_f32(value: f32) -> Self {
+        let bits = value.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let exp = ((bits >> 23) & 0xFF) as i32;
+        let man = bits & 0x007F_FFFF;
+
+        if exp == 0xFF {
+            // Inf or NaN: preserve NaN-ness (set a mantissa bit if any were set).
+            let nan_payload = if man != 0 { 0x0200 } else { 0 };
+            return f16(sign | EXP_MASK | nan_payload | ((man >> 13) as u16 & MAN_MASK));
+        }
+
+        // Unbiased exponent.
+        let unbiased = exp - 127;
+        let half_exp = unbiased + EXP_BIAS;
+
+        if half_exp >= 0x1F {
+            // Overflow -> infinity.
+            return f16(sign | EXP_MASK);
+        }
+
+        if half_exp <= 0 {
+            // Subnormal or zero in half precision.
+            if half_exp < -10 {
+                // Too small: rounds to zero.
+                return f16(sign);
+            }
+            // Add the implicit leading one, then shift into subnormal position.
+            let man_with_hidden = man | 0x0080_0000;
+            let shift = (14 - half_exp) as u32; // 14..24
+            let halfway = 1u32 << (shift - 1);
+            let mut half_man = man_with_hidden >> shift;
+            let rem = man_with_hidden & ((1 << shift) - 1);
+            if rem > halfway || (rem == halfway && (half_man & 1) == 1) {
+                half_man += 1; // may carry into the exponent; that is correct.
+            }
+            return f16(sign | half_man as u16);
+        }
+
+        // Normal number: keep top 10 mantissa bits, round-to-nearest-even on
+        // the 13 dropped bits.
+        let mut out = (sign as u32) | ((half_exp as u32) << MAN_BITS) | (man >> 13);
+        let rem = man & 0x1FFF;
+        if rem > 0x1000 || (rem == 0x1000 && (out & 1) == 1) {
+            out += 1; // carry may overflow into infinity; that is correct RNE.
+        }
+        f16(out as u16)
+    }
+
+    /// Convert to `f32` (exact; every binary16 value is representable).
+    pub fn to_f32(self) -> f32 {
+        let bits = self.0;
+        let sign = ((bits & SIGN_MASK) as u32) << 16;
+        let exp = ((bits & EXP_MASK) >> MAN_BITS) as i32;
+        let man = (bits & MAN_MASK) as u32;
+
+        if exp == 0x1F {
+            // Inf / NaN.
+            return f32::from_bits(sign | 0x7F80_0000 | (man << 13));
+        }
+        if exp == 0 {
+            if man == 0 {
+                return f32::from_bits(sign); // ±0
+            }
+            // Subnormal: value = man * 2^-24. Normalize so the magnitude's
+            // MSB becomes the implicit leading one.
+            let lz = man.leading_zeros(); // man != 0, so lz <= 31
+            let msb = 31 - lz; // bit position of the magnitude's MSB
+            let shifted = man << (MAN_BITS - msb); // MSB now at bit 10 (hidden)
+            let new_exp = 127 - 24 + msb; // value = 1.frac * 2^(msb - 24)
+            return f32::from_bits(sign | (new_exp << 23) | ((shifted & MAN_MASK as u32) << 13));
+        }
+        let new_exp = (exp - EXP_BIAS + 127) as u32;
+        f32::from_bits(sign | (new_exp << 23) | (man << 13))
+    }
+
+    /// Convert from `f64` (via `f32`; double rounding is harmless here
+    /// because `f64 -> f32` keeps 29 extra bits beyond half's 10).
+    pub fn from_f64(value: f64) -> Self {
+        // Direct f64->f16 RNE to avoid double-rounding edge cases entirely.
+        let bits = value.to_bits();
+        let sign = ((bits >> 48) & 0x8000) as u16;
+        let exp = ((bits >> 52) & 0x7FF) as i32;
+        let man = bits & 0x000F_FFFF_FFFF_FFFF;
+
+        if exp == 0x7FF {
+            let nan_payload = if man != 0 { 0x0200 } else { 0 };
+            return f16(sign | EXP_MASK | nan_payload | ((man >> 42) as u16 & MAN_MASK));
+        }
+        let unbiased = exp - 1023;
+        let half_exp = unbiased + EXP_BIAS;
+        if half_exp >= 0x1F {
+            return f16(sign | EXP_MASK);
+        }
+        if half_exp <= 0 {
+            if half_exp < -10 {
+                return f16(sign);
+            }
+            let man_with_hidden = man | 0x0010_0000_0000_0000;
+            let shift = (43 - half_exp) as u32;
+            let halfway = 1u64 << (shift - 1);
+            let mut half_man = man_with_hidden >> shift;
+            let rem = man_with_hidden & ((1u64 << shift) - 1);
+            if rem > halfway || (rem == halfway && (half_man & 1) == 1) {
+                half_man += 1;
+            }
+            return f16(sign | half_man as u16);
+        }
+        let mut out = (sign as u64) | ((half_exp as u64) << MAN_BITS) | (man >> 42);
+        let rem = man & ((1u64 << 42) - 1);
+        let halfway = 1u64 << 41;
+        if rem > halfway || (rem == halfway && (out & 1) == 1) {
+            out += 1;
+        }
+        f16(out as u16)
+    }
+
+    /// Convert to `f64` (exact).
+    pub fn to_f64(self) -> f64 {
+        self.to_f32() as f64
+    }
+
+    /// True if this is a NaN.
+    pub fn is_nan(self) -> bool {
+        (self.0 & EXP_MASK) == EXP_MASK && (self.0 & MAN_MASK) != 0
+    }
+
+    /// True if this is ±∞.
+    pub fn is_infinite(self) -> bool {
+        (self.0 & EXP_MASK) == EXP_MASK && (self.0 & MAN_MASK) == 0
+    }
+
+    /// True if neither NaN nor infinite.
+    pub fn is_finite(self) -> bool {
+        (self.0 & EXP_MASK) != EXP_MASK
+    }
+
+    /// True for subnormals and zeros.
+    pub fn is_subnormal_or_zero(self) -> bool {
+        (self.0 & EXP_MASK) == 0
+    }
+
+    /// True if the sign bit is set.
+    pub fn is_sign_negative(self) -> bool {
+        (self.0 & SIGN_MASK) != 0
+    }
+}
+
+impl From<f32> for f16 {
+    fn from(v: f32) -> Self {
+        f16::from_f32(v)
+    }
+}
+
+impl From<f16> for f32 {
+    fn from(v: f16) -> Self {
+        v.to_f32()
+    }
+}
+
+impl PartialEq for f16 {
+    fn eq(&self, other: &Self) -> bool {
+        // IEEE semantics: NaN != NaN, +0 == -0.
+        self.to_f32() == other.to_f32()
+    }
+}
+
+impl PartialOrd for f16 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        self.to_f32().partial_cmp(&other.to_f32())
+    }
+}
+
+impl fmt::Debug for f16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f16({})", self.to_f32())
+    }
+}
+
+impl fmt::Display for f16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_have_expected_bit_patterns() {
+        assert_eq!(f16::ONE.to_f32(), 1.0);
+        assert_eq!(f16::MAX.to_f32(), 65504.0);
+        assert_eq!(f16::MIN_POSITIVE.to_f32(), 6.103515625e-5);
+        assert!(f16::NAN.is_nan());
+        assert!(f16::INFINITY.is_infinite());
+        assert!(f16::NEG_INFINITY.is_infinite() && f16::NEG_INFINITY.is_sign_negative());
+    }
+
+    #[test]
+    fn golden_conversions() {
+        // Values with exact half representations.
+        for &(v, bits) in &[
+            (0.0f32, 0x0000u16),
+            (-0.0, 0x8000),
+            (1.0, 0x3C00),
+            (-2.0, 0xC000),
+            (0.5, 0x3800),
+            (0.25, 0x3400),
+            (65504.0, 0x7BFF),
+            (6.103515625e-5, 0x0400),  // min normal
+            (5.960464477539063e-8, 0x0001), // min subnormal
+        ] {
+            assert_eq!(f16::from_f32(v).to_bits(), bits, "from_f32({v})");
+            assert_eq!(f16::from_bits(bits).to_f32(), v, "to_f32({bits:#06x})");
+        }
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and the next half; RNE
+        // picks the even mantissa (1.0).
+        let halfway = 1.0f32 + 2.0f32.powi(-11);
+        assert_eq!(f16::from_f32(halfway).to_bits(), f16::ONE.to_bits());
+        // 1 + 3*2^-11 is halfway between two halves with odd lower mantissa;
+        // rounds up to 1 + 2^-9.
+        let halfway_up = 1.0f32 + 3.0 * 2.0f32.powi(-11);
+        assert_eq!(f16::from_f32(halfway_up).to_f32(), 1.0 + 2.0f32.powi(-9));
+    }
+
+    #[test]
+    fn overflow_and_underflow() {
+        assert!(f16::from_f32(1e6).is_infinite());
+        assert!(f16::from_f32(-1e6).is_infinite());
+        assert_eq!(f16::from_f32(1e-10).to_bits(), 0); // flush to +0
+        assert_eq!(f16::from_f32(-1e-10).to_bits(), 0x8000); // -0
+    }
+
+    #[test]
+    fn subnormal_roundtrip() {
+        for bits in 1u16..0x0400 {
+            let v = f16::from_bits(bits);
+            assert_eq!(f16::from_f32(v.to_f32()).to_bits(), bits, "subnormal {bits:#06x}");
+        }
+    }
+
+    #[test]
+    fn all_finite_bit_patterns_roundtrip_through_f32() {
+        for bits in 0u16..=u16::MAX {
+            let v = f16::from_bits(bits);
+            if v.is_nan() {
+                assert!(f16::from_f32(v.to_f32()).is_nan());
+            } else {
+                assert_eq!(f16::from_f32(v.to_f32()).to_bits(), bits, "{bits:#06x}");
+            }
+        }
+    }
+
+    #[test]
+    fn f64_direct_path_matches_f32_path_on_exact_values() {
+        for bits in 0u16..=u16::MAX {
+            let v = f16::from_bits(bits);
+            if v.is_nan() {
+                continue;
+            }
+            assert_eq!(f16::from_f64(v.to_f64()).to_bits(), bits, "{bits:#06x}");
+        }
+    }
+
+    #[test]
+    fn nan_propagates_payload_flag() {
+        let n = f16::from_f32(f32::NAN);
+        assert!(n.is_nan());
+        let n = f16::from_f64(f64::NAN);
+        assert!(n.is_nan());
+    }
+}

@@ -1,0 +1,183 @@
+//! IEEE-754 field layout per precision — the paper's Figure 2.
+//!
+//! Bit indices follow the paper's convention: bit 0 is the least-significant
+//! mantissa bit, the exponent sits above the mantissa, and the top bit is the
+//! sign. E.g. for binary64, mantissa = bits 0..=51, exponent = bits 52..=62
+//! (MSB at 62), sign = bit 63.
+
+use serde::{Deserialize, Serialize};
+
+/// Floating-point storage precision of a checkpoint dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Precision {
+    /// IEEE-754 binary16: 1 sign, 5 exponent, 10 mantissa.
+    Fp16,
+    /// IEEE-754 binary32: 1 sign, 8 exponent, 23 mantissa.
+    Fp32,
+    /// IEEE-754 binary64: 1 sign, 11 exponent, 52 mantissa.
+    Fp64,
+}
+
+impl Precision {
+    /// Total width in bits (16, 32 or 64).
+    pub const fn width(self) -> u32 {
+        match self {
+            Precision::Fp16 => 16,
+            Precision::Fp32 => 32,
+            Precision::Fp64 => 64,
+        }
+    }
+
+    /// Number of exponent bits (5, 8 or 11).
+    pub const fn exponent_bits(self) -> u32 {
+        match self {
+            Precision::Fp16 => 5,
+            Precision::Fp32 => 8,
+            Precision::Fp64 => 11,
+        }
+    }
+
+    /// Number of mantissa bits (10, 23 or 52).
+    pub const fn mantissa_bits(self) -> u32 {
+        self.width() - self.exponent_bits() - 1
+    }
+
+    /// Construct from a bit width as the injector configuration names it.
+    pub fn from_width(width: u32) -> Option<Self> {
+        match width {
+            16 => Some(Precision::Fp16),
+            32 => Some(Precision::Fp32),
+            64 => Some(Precision::Fp64),
+            _ => None,
+        }
+    }
+
+    /// The field layout for this precision.
+    pub const fn field_map(self) -> FieldMap {
+        let m = self.mantissa_bits();
+        let e = self.exponent_bits();
+        FieldMap {
+            precision: self,
+            mantissa_lo: 0,
+            mantissa_hi: m - 1,
+            exponent_lo: m,
+            exponent_hi: m + e - 1,
+            sign_bit: m + e,
+        }
+    }
+
+    /// Bit index of the exponent's most significant bit — the paper's single
+    /// "critical bit" whose flip collapses a network (Section V-B1).
+    pub const fn exponent_msb(self) -> u32 {
+        self.field_map().exponent_hi
+    }
+
+    /// Bit index of the sign bit (the topmost bit).
+    pub const fn sign_bit(self) -> u32 {
+        self.field_map().sign_bit
+    }
+
+    /// Mask of the valid bit pattern for this width, as a u64.
+    pub const fn bit_mask(self) -> u64 {
+        match self {
+            Precision::Fp16 => 0xFFFF,
+            Precision::Fp32 => 0xFFFF_FFFF,
+            Precision::Fp64 => u64::MAX,
+        }
+    }
+}
+
+/// Inclusive bit-index ranges of the three IEEE-754 fields at one precision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FieldMap {
+    /// The precision this map describes.
+    pub precision: Precision,
+    /// Lowest mantissa bit index (always 0).
+    pub mantissa_lo: u32,
+    /// Highest mantissa bit index.
+    pub mantissa_hi: u32,
+    /// Lowest exponent bit index.
+    pub exponent_lo: u32,
+    /// Highest exponent bit index (the critical bit).
+    pub exponent_hi: u32,
+    /// Sign bit index.
+    pub sign_bit: u32,
+}
+
+impl FieldMap {
+    /// Which IEEE-754 field the given bit index falls in.
+    pub fn classify_bit(&self, bit: u32) -> FloatClass {
+        if bit <= self.mantissa_hi {
+            FloatClass::Mantissa
+        } else if bit <= self.exponent_hi {
+            FloatClass::Exponent
+        } else if bit == self.sign_bit {
+            FloatClass::Sign
+        } else {
+            FloatClass::OutOfRange
+        }
+    }
+}
+
+/// The IEEE-754 field a bit belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FloatClass {
+    /// Fraction bits.
+    Mantissa,
+    /// Biased-exponent bits.
+    Exponent,
+    /// The sign bit.
+    Sign,
+    /// Beyond the precision's width.
+    OutOfRange,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fp64_layout_matches_paper_figure2() {
+        let m = Precision::Fp64.field_map();
+        assert_eq!(m.mantissa_lo, 0);
+        assert_eq!(m.mantissa_hi, 51);
+        assert_eq!(m.exponent_lo, 52);
+        assert_eq!(m.exponent_hi, 62);
+        assert_eq!(m.sign_bit, 63);
+        assert_eq!(Precision::Fp64.exponent_msb(), 62);
+    }
+
+    #[test]
+    fn fp32_and_fp16_layouts() {
+        let m = Precision::Fp32.field_map();
+        assert_eq!((m.mantissa_hi, m.exponent_hi, m.sign_bit), (22, 30, 31));
+        let m = Precision::Fp16.field_map();
+        assert_eq!((m.mantissa_hi, m.exponent_hi, m.sign_bit), (9, 14, 15));
+    }
+
+    #[test]
+    fn classify_bits() {
+        let m = Precision::Fp64.field_map();
+        assert_eq!(m.classify_bit(0), FloatClass::Mantissa);
+        assert_eq!(m.classify_bit(51), FloatClass::Mantissa);
+        assert_eq!(m.classify_bit(52), FloatClass::Exponent);
+        assert_eq!(m.classify_bit(62), FloatClass::Exponent);
+        assert_eq!(m.classify_bit(63), FloatClass::Sign);
+        assert_eq!(m.classify_bit(64), FloatClass::OutOfRange);
+    }
+
+    #[test]
+    fn from_width() {
+        assert_eq!(Precision::from_width(16), Some(Precision::Fp16));
+        assert_eq!(Precision::from_width(32), Some(Precision::Fp32));
+        assert_eq!(Precision::from_width(64), Some(Precision::Fp64));
+        assert_eq!(Precision::from_width(8), None);
+    }
+
+    #[test]
+    fn widths_sum() {
+        for p in [Precision::Fp16, Precision::Fp32, Precision::Fp64] {
+            assert_eq!(1 + p.exponent_bits() + p.mantissa_bits(), p.width());
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Integer corruption with Python `bin()` semantics.
+//!
+//! The paper (Section IV-B): "Python has unlimited precision integer values
+//! […] we ask Python for the binary representation of the integer by using
+//! the built-in function `bin()`. After that, one of those bits is randomly
+//! flipped." `bin(11)` is `'0b1011'` and `bin(-11)` is `'-0b1011'`: the
+//! representation is of the *magnitude*, with no fixed width, and the sign
+//! is carried separately. Flipping therefore always targets a bit within the
+//! minimal binary width of the magnitude — it can never flip a sign or a
+//! padding bit.
+
+/// Number of characters in Python's `bin(abs(v))` after the `0b` prefix:
+/// the minimal number of bits needed to represent the magnitude.
+/// Python renders `bin(0)` as `'0b0'`, i.e. one flippable (zero) bit.
+pub fn minimal_bit_width(v: i64) -> u32 {
+    let mag = v.unsigned_abs();
+    if mag == 0 {
+        1
+    } else {
+        64 - mag.leading_zeros()
+    }
+}
+
+/// Flip bit `bit` (0 = LSB) of the magnitude of `v`, preserving its sign,
+/// exactly as flipping a character of Python's `bin(v)` output would.
+///
+/// Returns `None` if `bit` falls outside the minimal binary width (a replay
+/// log could carry such an index only if the underlying value changed).
+/// Flips that would overflow `i64` (magnitude of `i64::MIN`) also return
+/// `None` rather than wrapping.
+pub fn corrupt_int(v: i64, bit: u32) -> Option<i64> {
+    if bit >= minimal_bit_width(v) {
+        return None;
+    }
+    let mag = v.unsigned_abs() ^ (1u64 << bit);
+    let signed = i64::try_from(mag).ok()?;
+    Some(if v < 0 { -signed } else { signed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_match_python_bin() {
+        // bin(0)='0b0', bin(1)='0b1', bin(2)='0b10', bin(11)='0b1011',
+        // bin(255)='0b11111111', bin(256)='0b100000000'
+        assert_eq!(minimal_bit_width(0), 1);
+        assert_eq!(minimal_bit_width(1), 1);
+        assert_eq!(minimal_bit_width(2), 2);
+        assert_eq!(minimal_bit_width(11), 4);
+        assert_eq!(minimal_bit_width(255), 8);
+        assert_eq!(minimal_bit_width(256), 9);
+        assert_eq!(minimal_bit_width(-11), 4); // bin(-11)='-0b1011'
+    }
+
+    #[test]
+    fn flips_magnitude_bits_only() {
+        assert_eq!(corrupt_int(11, 0), Some(10)); // 1011 -> 1010
+        assert_eq!(corrupt_int(11, 2), Some(15)); // 1011 -> 1111
+        assert_eq!(corrupt_int(11, 3), Some(3)); // 1011 -> 0011
+        assert_eq!(corrupt_int(11, 4), None); // outside bin() width
+        assert_eq!(corrupt_int(-11, 2), Some(-15)); // sign preserved
+        assert_eq!(corrupt_int(0, 0), Some(1)); // bin(0) has one '0' bit
+        assert_eq!(corrupt_int(0, 1), None);
+    }
+
+    #[test]
+    fn flip_is_involutive_within_width() {
+        // Flipping a bit below the MSB keeps the width, so flipping again
+        // restores the value. (Flipping the MSB shrinks the width, making
+        // the inverse flip out-of-range — also Python's behaviour.)
+        for v in [1i64, 5, 100, -37, 1 << 40] {
+            let w = minimal_bit_width(v);
+            for bit in 0..w.saturating_sub(1) {
+                let c = corrupt_int(v, bit).unwrap();
+                assert_eq!(corrupt_int(c, bit), Some(v), "v={v} bit={bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn i64_min_magnitude_does_not_wrap() {
+        // |i64::MIN| does not fit i64; turning on bit 63 of a large
+        // magnitude must not panic or wrap.
+        let v = -(1i64 << 62);
+        assert_eq!(minimal_bit_width(v), 63);
+        // Flipping bit 62 of magnitude 2^62 gives 0 -> -0 = 0.
+        assert_eq!(corrupt_int(v, 62), Some(0));
+        assert_eq!(corrupt_int(i64::MIN, 63), Some(0));
+        // corrupt_int on i64::MIN at a lower bit yields magnitude 2^63 ^ bit
+        // which still exceeds i64::MAX -> None, no wrap.
+        assert_eq!(corrupt_int(i64::MIN, 0), None);
+    }
+}

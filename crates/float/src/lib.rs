@@ -1,0 +1,157 @@
+//! IEEE-754 bit-level utilities for checkpoint fault injection.
+//!
+//! This crate is the lowest substrate of the reproduction: every corruption
+//! mode of the checkpoint corrupter (bit ranges, XOR masks, scaling factors,
+//! NaN avoidance) bottoms out in the primitives defined here.
+//!
+//! It provides:
+//!
+//! * [`f16`] — IEEE-754 binary16 implemented from scratch (the paper's
+//!   Table VII/VIII study 16-bit checkpoints; Rust has no native `f16` on
+//!   stable and the external `half` crate is out of the sanctioned set).
+//! * [`Precision`] and [`FieldMap`] — sign/exponent/mantissa field layout
+//!   for 16/32/64-bit floats (the paper's Figure 2).
+//! * [`bits`] — bit-flip, XOR-mask and bit-range primitives operating on the
+//!   raw bit patterns of floats of any supported precision.
+//! * [`nev`] — NaN / extreme-value ("N-EV") classification, the paper's
+//!   collapse criterion (Section V-B).
+//! * [`intbits`] — integer corruption with Python `bin()` semantics
+//!   (Section IV-B: flip a random bit within the minimal binary width).
+
+#![deny(missing_docs)]
+
+pub mod bits;
+mod f16_impl;
+pub mod fields;
+pub mod intbits;
+pub mod nev;
+
+pub use bits::{apply_xor_mask, flip_bit, BitMask, BitRange};
+#[allow(non_camel_case_types)]
+pub use f16_impl::f16;
+pub use fields::{FieldMap, FloatClass, Precision};
+pub use intbits::{corrupt_int, minimal_bit_width};
+pub use nev::{classify, Nev, NevPolicy};
+
+/// A floating-point value carried at one of the three supported precisions.
+///
+/// The corrupter operates on *stored* values: a checkpoint dataset declares
+/// its element precision, and every corruption must round-trip through that
+/// precision's bit pattern. `FpValue` is the common currency between the
+/// checkpoint container and the injector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FpValue {
+    /// IEEE-754 binary16.
+    F16(f16),
+    /// IEEE-754 binary32.
+    F32(f32),
+    /// IEEE-754 binary64.
+    F64(f64),
+}
+
+impl FpValue {
+    /// The precision this value is stored at.
+    pub fn precision(self) -> Precision {
+        match self {
+            FpValue::F16(_) => Precision::Fp16,
+            FpValue::F32(_) => Precision::Fp32,
+            FpValue::F64(_) => Precision::Fp64,
+        }
+    }
+
+    /// Raw bit pattern, zero-extended to 64 bits.
+    pub fn to_bits(self) -> u64 {
+        match self {
+            FpValue::F16(v) => v.to_bits() as u64,
+            FpValue::F32(v) => v.to_bits() as u64,
+            FpValue::F64(v) => v.to_bits(),
+        }
+    }
+
+    /// Rebuild a value of precision `p` from a (low-`p.width()`-bits) pattern.
+    pub fn from_bits(p: Precision, bits: u64) -> Self {
+        match p {
+            Precision::Fp16 => FpValue::F16(f16::from_bits(bits as u16)),
+            Precision::Fp32 => FpValue::F32(f32::from_bits(bits as u32)),
+            Precision::Fp64 => FpValue::F64(f64::from_bits(bits)),
+        }
+    }
+
+    /// Widen to `f64` (lossless for all supported precisions).
+    pub fn to_f64(self) -> f64 {
+        match self {
+            FpValue::F16(v) => v.to_f64(),
+            FpValue::F32(v) => v as f64,
+            FpValue::F64(v) => v,
+        }
+    }
+
+    /// Narrow an `f64` into precision `p` (round-to-nearest-even).
+    pub fn from_f64(p: Precision, v: f64) -> Self {
+        match p {
+            Precision::Fp16 => FpValue::F16(f16::from_f64(v)),
+            Precision::Fp32 => FpValue::F32(v as f32),
+            Precision::Fp64 => FpValue::F64(v),
+        }
+    }
+
+    /// True if the value is NaN at its stored precision.
+    pub fn is_nan(self) -> bool {
+        match self {
+            FpValue::F16(v) => v.is_nan(),
+            FpValue::F32(v) => v.is_nan(),
+            FpValue::F64(v) => v.is_nan(),
+        }
+    }
+
+    /// True if the value is ±∞ at its stored precision.
+    pub fn is_infinite(self) -> bool {
+        match self {
+            FpValue::F16(v) => v.is_infinite(),
+            FpValue::F32(v) => v.is_infinite(),
+            FpValue::F64(v) => v.is_infinite(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fpvalue_roundtrips_through_bits() {
+        let cases = [0.0, -0.0, 0.25, 1.0, -3.5, 1e-3];
+        for &c in &cases {
+            for p in [Precision::Fp16, Precision::Fp32, Precision::Fp64] {
+                let v = FpValue::from_f64(p, c);
+                let b = v.to_bits();
+                let v2 = FpValue::from_bits(p, b);
+                assert_eq!(v, v2, "precision {p:?} value {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_exponent_msb_example() {
+        // Section V-B: 0.25 in binary64 has exponent 01111111101; flipping
+        // the exponent MSB (bit 62) yields 4.49423283715579e+307.
+        let v = 0.25f64;
+        let flipped = f64::from_bits(flip_bit(v.to_bits(), 62));
+        assert!((flipped - 4.49423283715579e307).abs() / flipped < 1e-12);
+    }
+
+    #[test]
+    fn precision_reported() {
+        assert_eq!(FpValue::from_f64(Precision::Fp16, 1.0).precision(), Precision::Fp16);
+        assert_eq!(FpValue::from_f64(Precision::Fp32, 1.0).precision(), Precision::Fp32);
+        assert_eq!(FpValue::from_f64(Precision::Fp64, 1.0).precision(), Precision::Fp64);
+    }
+
+    #[test]
+    fn nan_and_inf_detection_per_precision() {
+        let nan16 = FpValue::F16(f16::NAN);
+        assert!(nan16.is_nan() && !nan16.is_infinite());
+        let inf32 = FpValue::F32(f32::INFINITY);
+        assert!(inf32.is_infinite() && !inf32.is_nan());
+    }
+}

@@ -1,0 +1,146 @@
+//! NaN / extreme-value ("N-EV") classification.
+//!
+//! The paper (Section V-B) uses the term *extreme values* for "integers or
+//! floats whose value is so large that it causes a neural network to collapse
+//! when computing with the value", and reports the joint incidence of NaNs
+//! and extreme values as "N-EV". This module centralizes that collapse
+//! criterion so the corrupter, the training loop, and the experiment harness
+//! all agree on it.
+
+use crate::FpValue;
+use serde::{Deserialize, Serialize};
+
+/// Kind of undesirable value detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Nev {
+    /// Not-a-number.
+    NaN,
+    /// Positive or negative infinity.
+    Inf,
+    /// Finite but beyond the policy's extreme-magnitude threshold.
+    Extreme,
+}
+
+/// Policy deciding what counts as an N-EV.
+///
+/// The paper never states a numeric threshold; operationally its trainings
+/// "collapse when computing some N-EV", i.e. when a weight's magnitude is so
+/// large the forward pass overflows. The default threshold 1e30 sits far
+/// above any trained-weight magnitude and far below f32 overflow when squared
+/// (1e30² overflows f32's 3.4e38), which is exactly the "collapses the
+/// network" regime; it is configurable for ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NevPolicy {
+    /// Finite magnitudes strictly above this are classified [`Nev::Extreme`].
+    pub extreme_threshold: f64,
+}
+
+impl Default for NevPolicy {
+    fn default() -> Self {
+        NevPolicy { extreme_threshold: 1e30 }
+    }
+}
+
+impl NevPolicy {
+    /// A policy with a custom extreme-magnitude threshold.
+    pub fn with_threshold(extreme_threshold: f64) -> Self {
+        NevPolicy { extreme_threshold }
+    }
+
+    /// Classify an `f64` value; `None` means the value is benign.
+    pub fn classify_f64(&self, v: f64) -> Option<Nev> {
+        if v.is_nan() {
+            Some(Nev::NaN)
+        } else if v.is_infinite() {
+            Some(Nev::Inf)
+        } else if v.abs() > self.extreme_threshold {
+            Some(Nev::Extreme)
+        } else {
+            None
+        }
+    }
+
+    /// Classify a stored value at its own precision.
+    ///
+    /// NaN/Inf are judged at the storage precision (an f16 Inf is an Inf even
+    /// though 65504.0 < any f64 threshold); extremeness is judged on the
+    /// widened value.
+    pub fn classify(&self, v: FpValue) -> Option<Nev> {
+        if v.is_nan() {
+            return Some(Nev::NaN);
+        }
+        if v.is_infinite() {
+            return Some(Nev::Inf);
+        }
+        if v.to_f64().abs() > self.extreme_threshold {
+            return Some(Nev::Extreme);
+        }
+        None
+    }
+
+    /// True if any value in the slice is an N-EV.
+    pub fn any_nev(&self, values: &[f32]) -> bool {
+        values.iter().any(|&v| self.classify_f64(v as f64).is_some())
+    }
+
+    /// Count N-EVs in the slice.
+    pub fn count_nev(&self, values: &[f32]) -> usize {
+        values.iter().filter(|&&v| self.classify_f64(v as f64).is_some()).count()
+    }
+}
+
+/// Classify with the default policy.
+pub fn classify(v: f64) -> Option<Nev> {
+    NevPolicy::default().classify_f64(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::f16;
+
+    #[test]
+    fn classifies_nan_inf_extreme() {
+        let p = NevPolicy::default();
+        assert_eq!(p.classify_f64(f64::NAN), Some(Nev::NaN));
+        assert_eq!(p.classify_f64(f64::INFINITY), Some(Nev::Inf));
+        assert_eq!(p.classify_f64(f64::NEG_INFINITY), Some(Nev::Inf));
+        assert_eq!(p.classify_f64(4.49423283715579e307), Some(Nev::Extreme));
+        assert_eq!(p.classify_f64(-1e31), Some(Nev::Extreme));
+        assert_eq!(p.classify_f64(1e29), None);
+        assert_eq!(p.classify_f64(0.0), None);
+        assert_eq!(p.classify_f64(-123.456), None);
+    }
+
+    #[test]
+    fn extremely_small_values_are_benign() {
+        // Paper: "the extremely small values that could be generated in the
+        // weights of the network are not catastrophic."
+        let p = NevPolicy::default();
+        assert_eq!(p.classify_f64(1e-300), None);
+        assert_eq!(p.classify_f64(f64::MIN_POSITIVE), None);
+    }
+
+    #[test]
+    fn storage_precision_infinity_counts() {
+        let p = NevPolicy::default();
+        assert_eq!(p.classify(FpValue::F16(f16::INFINITY)), Some(Nev::Inf));
+        assert_eq!(p.classify(FpValue::F16(f16::MAX)), None); // 65504 is finite
+        assert_eq!(p.classify(FpValue::F16(f16::NAN)), Some(Nev::NaN));
+    }
+
+    #[test]
+    fn slice_helpers() {
+        let p = NevPolicy::default();
+        assert!(!p.any_nev(&[1.0, -2.0, 3.0]));
+        assert!(p.any_nev(&[1.0, f32::NAN]));
+        assert_eq!(p.count_nev(&[f32::INFINITY, 1.0, f32::NAN]), 2);
+    }
+
+    #[test]
+    fn custom_threshold() {
+        let p = NevPolicy::with_threshold(100.0);
+        assert_eq!(p.classify_f64(101.0), Some(Nev::Extreme));
+        assert_eq!(p.classify_f64(100.0), None);
+    }
+}

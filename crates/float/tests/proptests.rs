@@ -1,0 +1,148 @@
+//! Property-based tests for the IEEE-754 substrate.
+
+use proptest::prelude::*;
+use sefi_float::{
+    corrupt_int, f16, flip_bit, minimal_bit_width, BitMask, BitRange, FloatClass, FpValue, Nev,
+    NevPolicy, Precision,
+};
+
+fn any_precision() -> impl Strategy<Value = Precision> {
+    prop_oneof![
+        Just(Precision::Fp16),
+        Just(Precision::Fp32),
+        Just(Precision::Fp64),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn f16_f32_roundtrip_is_exact_for_representable(bits in any::<u16>()) {
+        let v = f16::from_bits(bits);
+        if v.is_nan() {
+            prop_assert!(f16::from_f32(v.to_f32()).is_nan());
+        } else {
+            prop_assert_eq!(f16::from_f32(v.to_f32()).to_bits(), bits);
+        }
+    }
+
+    #[test]
+    fn f16_from_f32_is_monotone(a in -70000.0f32..70000.0, b in -70000.0f32..70000.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let (l, h) = (f16::from_f32(lo), f16::from_f32(hi));
+        prop_assert!(l.to_f32() <= h.to_f32(), "RNE must preserve order: {lo} {hi}");
+    }
+
+    #[test]
+    fn f16_conversion_error_is_within_half_ulp(v in -60000.0f32..60000.0) {
+        let h = f16::from_f32(v);
+        prop_assume!(h.is_finite());
+        let back = h.to_f32();
+        // ulp at magnitude |v|: 2^(floor(log2|v|) - 10), at least the
+        // subnormal step 2^-24.
+        let ulp = if v == 0.0 {
+            2.0f32.powi(-24)
+        } else {
+            2.0f32.powi((v.abs().log2().floor() as i32 - 10).max(-24))
+        };
+        prop_assert!((back - v).abs() <= ulp / 2.0 + f32::EPSILON,
+            "v={v} back={back} ulp={ulp}");
+    }
+
+    #[test]
+    fn flip_bit_changes_exactly_one_bit(bits in any::<u64>(), bit in 0u32..64) {
+        let flipped = flip_bit(bits, bit);
+        prop_assert_eq!((flipped ^ bits).count_ones(), 1);
+        prop_assert_eq!(flip_bit(flipped, bit), bits);
+    }
+
+    #[test]
+    fn xor_mask_is_involutive_anywhere(
+        bits in any::<u64>(),
+        pattern in "[01]{1,16}",
+        offset_seed in any::<u32>(),
+    ) {
+        let mask = BitMask::parse(&pattern).unwrap();
+        let max = mask.max_offset(Precision::Fp64).unwrap();
+        let offset = offset_seed % (max + 1);
+        let once = mask.apply(bits, offset);
+        prop_assert_eq!(mask.apply(once, offset), bits);
+        // Only bits within the placement window may change.
+        let window = ((1u128 << mask.len()) - 1) as u64;
+        prop_assert_eq!((once ^ bits) & !(window << offset), 0);
+    }
+
+    #[test]
+    fn bit_range_nth_stays_in_range(p in any_precision(), a in 0u32..64, b in 0u32..64, k in any::<u32>()) {
+        let (first, last) = if a <= b { (a, b) } else { (b, a) };
+        let r = BitRange { first_bit: first, last_bit: last };
+        if r.validate(p).is_ok() {
+            let bit = r.nth(k % r.len());
+            prop_assert!(r.contains(bit));
+            prop_assert!(bit < p.width());
+        }
+    }
+
+    #[test]
+    fn below_exponent_msb_never_selects_critical_bit(p in any_precision(), k in any::<u32>()) {
+        let r = BitRange::below_exponent_msb(p);
+        let bit = r.nth(k % r.len());
+        prop_assert_ne!(bit, p.exponent_msb());
+        // And a flip there can never produce an infinity from a finite value:
+        // flipping below the exponent MSB cannot set all exponent bits if the
+        // MSB was clear.
+        let m = p.field_map();
+        prop_assert!(matches!(m.classify_bit(bit), FloatClass::Mantissa | FloatClass::Exponent));
+    }
+
+    #[test]
+    fn fpvalue_bits_roundtrip(p in any_precision(), raw in any::<u64>()) {
+        let bits = raw & p.bit_mask();
+        let v = FpValue::from_bits(p, bits);
+        prop_assert_eq!(v.to_bits(), bits);
+        prop_assert_eq!(v.precision(), p);
+    }
+
+    #[test]
+    fn nev_policy_is_total_and_consistent(v in any::<f64>()) {
+        let p = NevPolicy::default();
+        match p.classify_f64(v) {
+            Some(Nev::NaN) => prop_assert!(v.is_nan()),
+            Some(Nev::Inf) => prop_assert!(v.is_infinite()),
+            Some(Nev::Extreme) => prop_assert!(v.is_finite() && v.abs() > p.extreme_threshold),
+            None => prop_assert!(v.is_finite() && v.abs() <= p.extreme_threshold),
+        }
+    }
+
+    #[test]
+    fn int_corruption_respects_python_bin_width(v in any::<i64>(), bit in 0u32..70) {
+        match corrupt_int(v, bit) {
+            None => prop_assert!(
+                bit >= minimal_bit_width(v) || v.unsigned_abs() ^ (1u64 << bit) > i64::MAX as u64
+            ),
+            Some(c) => {
+                prop_assert!(bit < minimal_bit_width(v));
+                prop_assert_eq!(c.unsigned_abs() ^ v.unsigned_abs(), 1u64 << bit);
+                if v != 0 {
+                    prop_assert_eq!(c < 0, v < 0, "sign preserved");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exponent_msb_flip_of_small_value_is_extreme(p in any_precision(), v in 0.01f64..1.99) {
+        // The paper's collapse mechanism: flipping the exponent MSB of a
+        // normal value with magnitude < 2 produces an enormous value.
+        let stored = FpValue::from_f64(p, v);
+        let flipped = FpValue::from_bits(p, flip_bit(stored.to_bits(), p.exponent_msb()));
+        // Flipping the exponent MSB (when clear) multiplies the magnitude by
+        // 2^(2^(exponent_bits - 1)): ×2^16 at f16, ×2^128 at f32 (overflow),
+        // ×2^1024 at f64 (overflow). Assert the ratio, precision-agnostically.
+        let log_ratio = (1u32 << (p.exponent_bits() - 1)) as f64;
+        prop_assert!(
+            flipped.is_infinite()
+                || flipped.is_nan()
+                || flipped.to_f64().abs().log2() >= stored.to_f64().abs().log2() + log_ratio - 1.0
+        );
+    }
+}

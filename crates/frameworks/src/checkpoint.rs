@@ -1,0 +1,191 @@
+//! Checkpoint save/load per framework personality.
+
+use crate::kind::FrameworkKind;
+use crate::mapping::{engine_to_file_path, tensor_from_file_layout, tensor_to_file_layout};
+use sefi_hdf5::{Attr, Dataset, Dtype, H5File};
+use sefi_nn::Network;
+
+/// Serialize a network into this framework's checkpoint layout at the given
+/// storage dtype (the paper's 16/32/64-bit precision studies select this).
+pub fn save_checkpoint(
+    fw: FrameworkKind,
+    net: &mut Network,
+    epoch: usize,
+    dtype: Dtype,
+) -> H5File {
+    assert!(dtype.is_float(), "checkpoint weight dtype must be a float type");
+    let mut file = H5File::new();
+    let sd = net.state_dict();
+    for entry in sd.entries() {
+        let path = engine_to_file_path(fw, &entry.path);
+        let (shape, data) = tensor_to_file_layout(fw, &entry.path, &entry.tensor);
+        let ds = Dataset::from_f32(&data, &shape, dtype)
+            .expect("state-dict tensors are shape-consistent");
+        file.create_dataset(&path, ds).expect("state-dict paths are unique");
+    }
+    file.create_dataset(fw.epoch_path(), Dataset::scalar_i64(epoch as i64))
+        .expect("epoch path cannot collide with weight paths");
+    file.root_mut().set_attr("framework", Attr::Str(fw.id().to_string()));
+    file.root_mut().set_attr("format", Attr::Str("sefi-checkpoint-v1".to_string()));
+    file
+}
+
+/// Restore a network from a checkpoint. Returns the stored epoch.
+///
+/// The file may have been deliberately corrupted — that is the whole point
+/// of the study — so numeric values are accepted as-is (NaN, Inf, extreme).
+/// *Structural* problems (missing tensors, wrong shapes, wrong framework)
+/// are errors: the corrupter only alters dataset element bytes, never
+/// structure, so structure damage means operator error.
+pub fn load_checkpoint(fw: FrameworkKind, net: &mut Network, file: &H5File) -> Result<usize, String> {
+    if let Some(Attr::Str(stored_fw)) = file.root().attr("framework") {
+        if stored_fw != fw.id() {
+            return Err(format!(
+                "checkpoint was written by {stored_fw:?}, not {:?}",
+                fw.id()
+            ));
+        }
+    }
+    let mut sd = net.state_dict();
+    let mut new_sd = sefi_nn::StateDict::new();
+    for entry in sd.entries() {
+        let path = engine_to_file_path(fw, &entry.path);
+        let ds = file
+            .dataset(&path)
+            .map_err(|e| format!("loading {:?}: {e}", entry.path))?;
+        if ds.len() != entry.tensor.len() {
+            return Err(format!(
+                "tensor {path:?} has {} entries, network expects {}",
+                ds.len(),
+                entry.tensor.len()
+            ));
+        }
+        let stored = ds.to_f32_vec();
+        let t = tensor_from_file_layout(fw, &entry.path, entry.tensor.shape(), &stored);
+        new_sd.push(entry.path.clone(), t, entry.trainable);
+    }
+    net.load_state_dict(&new_sd)?;
+    sd = new_sd; // keep the loaded dict alive for clarity; not otherwise used
+    let _ = sd;
+    let epoch = file
+        .dataset(fw.epoch_path())
+        .map_err(|e| format!("reading epoch: {e}"))?
+        .get_i64(0)
+        .map_err(|e| format!("reading epoch: {e}"))?;
+    Ok(epoch as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sefi_models::{alexnet, ModelConfig};
+    use sefi_rng::DetRng;
+    use sefi_tensor::Tensor;
+
+    fn small_net() -> Network {
+        let cfg = ModelConfig { scale: 0.05, input_size: 16, num_classes: 10 };
+        alexnet(cfg, &mut DetRng::new(5)).0
+    }
+
+    #[test]
+    fn roundtrip_preserves_outputs_for_all_frameworks() {
+        for fw in FrameworkKind::all() {
+            let mut a = small_net();
+            let ck = save_checkpoint(fw, &mut a, 20, Dtype::F64);
+            let mut b = {
+                let cfg = ModelConfig { scale: 0.05, input_size: 16, num_classes: 10 };
+                alexnet(cfg, &mut DetRng::new(99)).0
+            };
+            let epoch = load_checkpoint(fw, &mut b, &ck).unwrap();
+            assert_eq!(epoch, 20);
+            let x = Tensor::full(&[1, 3, 16, 16], 0.25);
+            assert_eq!(
+                a.forward(x.clone(), false).data(),
+                b.forward(x, false).data(),
+                "{fw:?} roundtrip changed the model"
+            );
+        }
+    }
+
+    #[test]
+    fn f32_checkpoint_is_lossless_for_f32_engine() {
+        let mut a = small_net();
+        let ck = save_checkpoint(FrameworkKind::Chainer, &mut a, 1, Dtype::F32);
+        let mut b = small_net();
+        load_checkpoint(FrameworkKind::Chainer, &mut b, &ck).unwrap();
+        assert_eq!(a.state_dict(), b.state_dict());
+    }
+
+    #[test]
+    fn f16_checkpoint_quantizes() {
+        let mut a = small_net();
+        let ck = save_checkpoint(FrameworkKind::Chainer, &mut a, 1, Dtype::F16);
+        let mut b = small_net();
+        load_checkpoint(FrameworkKind::Chainer, &mut b, &ck).unwrap();
+        // Quantized but close.
+        let sa = a.state_dict();
+        let sb = b.state_dict();
+        assert_ne!(sa, sb);
+        for (ea, eb) in sa.entries().iter().zip(sb.entries()) {
+            for (&x, &y) in ea.tensor.data().iter().zip(eb.tensor.data()) {
+                assert!((x - y).abs() <= 1e-3 * (1.0 + x.abs()), "{}: {x} vs {y}", ea.path);
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_framework_is_rejected() {
+        let mut a = small_net();
+        let ck = save_checkpoint(FrameworkKind::Chainer, &mut a, 1, Dtype::F32);
+        let err = load_checkpoint(FrameworkKind::TensorFlow, &mut a, &ck).unwrap_err();
+        assert!(err.contains("written by"), "{err}");
+    }
+
+    #[test]
+    fn checkpoint_structures_differ_across_frameworks() {
+        let mut a = small_net();
+        let ch = save_checkpoint(FrameworkKind::Chainer, &mut a, 1, Dtype::F32);
+        let tf = save_checkpoint(FrameworkKind::TensorFlow, &mut a, 1, Dtype::F32);
+        let pt = save_checkpoint(FrameworkKind::PyTorch, &mut a, 1, Dtype::F32);
+        assert!(ch.dataset("predictor/conv1/W").is_ok());
+        assert!(tf.dataset("model_weights/conv1/kernel").is_ok());
+        assert!(pt.dataset("state_dict/conv1.weight").is_ok());
+        // Same logical kernel, different stored bytes for TF (HWIO).
+        let ch_k = ch.dataset("predictor/conv1/W").unwrap();
+        let tf_k = tf.dataset("model_weights/conv1/kernel").unwrap();
+        assert_eq!(ch_k.len(), tf_k.len());
+        assert_ne!(ch_k.to_f32_vec(), tf_k.to_f32_vec());
+        assert_ne!(ch_k.shape(), tf_k.shape());
+    }
+
+    #[test]
+    fn missing_tensor_is_a_structural_error() {
+        let mut a = small_net();
+        let mut ck = save_checkpoint(FrameworkKind::Chainer, &mut a, 1, Dtype::F32);
+        // Rebuild the file without one dataset.
+        let paths = ck.dataset_paths();
+        let mut pruned = H5File::new();
+        for p in paths.iter().filter(|p| !p.ends_with("conv3/W")) {
+            pruned
+                .create_dataset(p, ck.dataset(p).unwrap().clone())
+                .unwrap();
+        }
+        ck = pruned;
+        let err = load_checkpoint(FrameworkKind::Chainer, &mut a, &ck).unwrap_err();
+        assert!(err.contains("conv3"), "{err}");
+    }
+
+    #[test]
+    fn corrupted_values_load_fine() {
+        // Numeric corruption must NOT be rejected by the loader.
+        let mut a = small_net();
+        let mut ck = save_checkpoint(FrameworkKind::Chainer, &mut a, 20, Dtype::F32);
+        let ds = ck.dataset_mut("predictor/conv1/W").unwrap();
+        ds.set_f64(0, f64::NAN).unwrap();
+        ds.set_f64(1, 1e38).unwrap();
+        let mut b = small_net();
+        let epoch = load_checkpoint(FrameworkKind::Chainer, &mut b, &ck).unwrap();
+        assert_eq!(epoch, 20);
+        assert!(b.has_non_finite());
+    }
+}

@@ -1,0 +1,72 @@
+//! Framework identifiers.
+
+/// Which framework personality a session uses (paper Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrameworkKind {
+    /// Chainer: `snapshot` extension, `save_hdf5()` serialization.
+    Chainer,
+    /// PyTorch: pickle-native; HDF5 via the paper's own `Ckpt_Py_HDF5` tool.
+    PyTorch,
+    /// TensorFlow: `ModelCheckpoint()` callback with an `.h5` filename.
+    TensorFlow,
+}
+
+impl FrameworkKind {
+    /// Lower-case identifier used in checkpoint filenames and tables.
+    pub fn id(self) -> &'static str {
+        match self {
+            FrameworkKind::Chainer => "chainer",
+            FrameworkKind::PyTorch => "pytorch",
+            FrameworkKind::TensorFlow => "tensorflow",
+        }
+    }
+
+    /// Display name as printed in the paper's tables.
+    pub fn display(self) -> &'static str {
+        match self {
+            FrameworkKind::Chainer => "Chainer",
+            FrameworkKind::PyTorch => "PyTorch",
+            FrameworkKind::TensorFlow => "TensorFlow",
+        }
+    }
+
+    /// All three, in the paper's column order.
+    pub fn all() -> [FrameworkKind; 3] {
+        [FrameworkKind::Chainer, FrameworkKind::PyTorch, FrameworkKind::TensorFlow]
+    }
+
+    /// The root group of this framework's checkpoints.
+    pub fn root_group(self) -> &'static str {
+        match self {
+            FrameworkKind::Chainer => "predictor",
+            FrameworkKind::PyTorch => "state_dict",
+            FrameworkKind::TensorFlow => "model_weights",
+        }
+    }
+
+    /// Where this framework stores the epoch counter in a checkpoint.
+    pub fn epoch_path(self) -> &'static str {
+        match self {
+            FrameworkKind::Chainer => "updater/epoch",
+            FrameworkKind::PyTorch => "meta/epoch",
+            FrameworkKind::TensorFlow => "optimizer_weights/epoch",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_and_roots_are_distinct() {
+        let kinds = FrameworkKind::all();
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                assert_ne!(kinds[i].id(), kinds[j].id());
+                assert_ne!(kinds[i].root_group(), kinds[j].root_group());
+                assert_ne!(kinds[i].epoch_path(), kinds[j].epoch_path());
+            }
+        }
+    }
+}

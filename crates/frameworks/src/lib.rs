@@ -1,0 +1,34 @@
+//! The three deep-learning framework frontends: Chainer, PyTorch, and
+//! TensorFlow personalities over the shared `sefi-nn` engine.
+//!
+//! The paper's methodology is framework-agnostic *because* each framework
+//! writes a different HDF5 checkpoint for the same model: "the paths
+//! `chpt_ch_vgg_e_5.h5/predictor/conv1_1` and
+//! `chpt_tf_vgg_e_5.h5/model_weights/_block1_conv1` represent the first
+//! convolutional layer of model VGG using frameworks Chainer and
+//! TensorFlow" (Section IV-C). This crate reproduces exactly those
+//! differences — and nothing else:
+//!
+//! | personality | checkpoint layout | kernel memory layout |
+//! |---|---|---|
+//! | Chainer | `predictor/<layer>/W`, BN stats as `avg_mean`/`avg_var` | OIHW, dense `[out, in]` |
+//! | PyTorch | flat `state_dict/<module>.weight` dotted keys | OIHW, dense `[out, in]` |
+//! | TensorFlow | `model_weights/<layer>/kernel` | **HWIO**, dense `[in, out]` (transposed) |
+//!
+//! Because all three share one numeric engine, a given seed produces the
+//! same logical weights everywhere; what differs is where and in what
+//! byte order those weights live in the checkpoint file. That is the
+//! precise setting of the paper's *equivalent injection* experiments
+//! (same logical location, different file representation).
+
+#![deny(missing_docs)]
+
+mod checkpoint;
+mod kind;
+mod mapping;
+mod session;
+
+pub use checkpoint::{load_checkpoint, save_checkpoint};
+pub use kind::FrameworkKind;
+pub use mapping::{engine_to_file_path, file_layer_location, tensor_to_file_layout, tensor_from_file_layout};
+pub use session::{Session, SessionConfig};

@@ -1,0 +1,285 @@
+//! Engine-path ⇄ checkpoint-path mapping and tensor layout conversion.
+//!
+//! Engine parameter paths look like `conv1/W`, `res2a/bn1/gamma`,
+//! `fc8/b`. Each framework maps these to its own file schema, and two of
+//! them also reorder tensor memory (TensorFlow stores convolution kernels
+//! HWIO and dense kernels transposed). Both directions are implemented and
+//! tested as exact inverses — a checkpoint round-trip must be lossless or
+//! every experiment comparing resumed trainings would be invalid.
+
+use crate::kind::FrameworkKind;
+use sefi_tensor::Tensor;
+
+/// Map an engine parameter path to this framework's checkpoint path.
+pub fn engine_to_file_path(fw: FrameworkKind, engine_path: &str) -> String {
+    let (dirs, leaf) = split_leaf(engine_path);
+    match fw {
+        FrameworkKind::Chainer => {
+            let leaf = match leaf {
+                "W" => "W",
+                "b" => "b",
+                "gamma" => "gamma",
+                "beta" => "beta",
+                "running_mean" => "avg_mean",
+                "running_var" => "avg_var",
+                other => other,
+            };
+            if dirs.is_empty() {
+                format!("predictor/{leaf}")
+            } else {
+                format!("predictor/{}/{leaf}", dirs.join("/"))
+            }
+        }
+        FrameworkKind::PyTorch => {
+            let leaf = match leaf {
+                "W" | "gamma" => "weight",
+                "b" | "beta" => "bias",
+                other => other, // running_mean / running_var keep their names
+            };
+            let module = dirs.join(".");
+            if module.is_empty() {
+                format!("state_dict/{leaf}")
+            } else {
+                format!("state_dict/{module}.{leaf}")
+            }
+        }
+        FrameworkKind::TensorFlow => {
+            let leaf = match leaf {
+                "W" => "kernel",
+                "b" => "bias",
+                "gamma" => "gamma",
+                "beta" => "beta",
+                "running_mean" => "moving_mean",
+                "running_var" => "moving_variance",
+                other => other,
+            };
+            if dirs.is_empty() {
+                format!("model_weights/{leaf}")
+            } else {
+                format!("model_weights/{}/{leaf}", dirs.join("/"))
+            }
+        }
+    }
+}
+
+/// The checkpoint locations covering one engine layer — what
+/// `locations_to_corrupt` should contain to target that layer in this
+/// framework (paper Figures 4–5).
+///
+/// Group-structured layouts return the single enclosing group; PyTorch's
+/// flat dotted layout has no per-layer group, so the datasets are listed
+/// explicitly. Both forms are valid injector locations.
+pub fn file_layer_location(fw: FrameworkKind, engine_layer: &str) -> Vec<String> {
+    match fw {
+        FrameworkKind::Chainer => vec![format!("predictor/{engine_layer}")],
+        FrameworkKind::TensorFlow => vec![format!("model_weights/{engine_layer}")],
+        FrameworkKind::PyTorch => {
+            // All parameter kinds a layer (or block subtree) may own; the
+            // caller filters to those present in the file.
+            let module = engine_layer.replace('/', ".");
+            ["weight", "bias", "running_mean", "running_var"]
+                .iter()
+                .map(|leaf| format!("state_dict/{module}.{leaf}"))
+                .collect()
+        }
+    }
+}
+
+/// Convert an engine tensor into this framework's storage layout.
+/// Returns the stored shape and the reordered data.
+pub fn tensor_to_file_layout(
+    fw: FrameworkKind,
+    engine_path: &str,
+    t: &Tensor,
+) -> (Vec<usize>, Vec<f32>) {
+    if fw != FrameworkKind::TensorFlow || !is_kernel(engine_path) {
+        return (t.shape().to_vec(), t.data().to_vec());
+    }
+    match t.shape() {
+        // Convolution kernel OIHW -> HWIO.
+        [o, i, kh, kw] => {
+            let (o, i, kh, kw) = (*o, *i, *kh, *kw);
+            let src = t.data();
+            let mut out = vec![0.0f32; src.len()];
+            for oo in 0..o {
+                for ii in 0..i {
+                    for h in 0..kh {
+                        for w in 0..kw {
+                            out[((h * kw + w) * i + ii) * o + oo] =
+                                src[((oo * i + ii) * kh + h) * kw + w];
+                        }
+                    }
+                }
+            }
+            (vec![kh, kw, i, o], out)
+        }
+        // Dense kernel [out, in] -> [in, out].
+        [o, i] => {
+            let (o, i) = (*o, *i);
+            let src = t.data();
+            let mut out = vec![0.0f32; src.len()];
+            for oo in 0..o {
+                for ii in 0..i {
+                    out[ii * o + oo] = src[oo * i + ii];
+                }
+            }
+            (vec![i, o], out)
+        }
+        _ => (t.shape().to_vec(), t.data().to_vec()),
+    }
+}
+
+/// Convert stored data back into the engine layout. `engine_shape` is the
+/// shape the network expects.
+pub fn tensor_from_file_layout(
+    fw: FrameworkKind,
+    engine_path: &str,
+    engine_shape: &[usize],
+    stored: &[f32],
+) -> Tensor {
+    if fw != FrameworkKind::TensorFlow || !is_kernel(engine_path) {
+        return Tensor::from_vec(stored.to_vec(), engine_shape);
+    }
+    match engine_shape {
+        [o, i, kh, kw] => {
+            let (o, i, kh, kw) = (*o, *i, *kh, *kw);
+            let mut out = vec![0.0f32; stored.len()];
+            for oo in 0..o {
+                for ii in 0..i {
+                    for h in 0..kh {
+                        for w in 0..kw {
+                            out[((oo * i + ii) * kh + h) * kw + w] =
+                                stored[((h * kw + w) * i + ii) * o + oo];
+                        }
+                    }
+                }
+            }
+            Tensor::from_vec(out, engine_shape)
+        }
+        [o, i] => {
+            let (o, i) = (*o, *i);
+            let mut out = vec![0.0f32; stored.len()];
+            for oo in 0..o {
+                for ii in 0..i {
+                    out[oo * i + ii] = stored[ii * o + oo];
+                }
+            }
+            Tensor::from_vec(out, engine_shape)
+        }
+        _ => Tensor::from_vec(stored.to_vec(), engine_shape),
+    }
+}
+
+fn is_kernel(engine_path: &str) -> bool {
+    engine_path.ends_with("/W")
+}
+
+fn split_leaf(path: &str) -> (Vec<&str>, &str) {
+    let mut parts: Vec<&str> = path.split('/').collect();
+    let leaf = parts.pop().expect("non-empty path");
+    (parts, leaf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chainer_paths_match_paper_example() {
+        // Paper: "chpt_ch_vgg_e_5.h5/predictor/conv1_1".
+        assert_eq!(
+            engine_to_file_path(FrameworkKind::Chainer, "conv1_1/W"),
+            "predictor/conv1_1/W"
+        );
+        assert_eq!(
+            engine_to_file_path(FrameworkKind::Chainer, "res2a/bn1/running_mean"),
+            "predictor/res2a/bn1/avg_mean"
+        );
+    }
+
+    #[test]
+    fn tensorflow_paths_match_paper_example() {
+        // Paper: "chpt_tf_vgg_e_5.h5/model_weights/_block1_conv1".
+        assert_eq!(
+            engine_to_file_path(FrameworkKind::TensorFlow, "block1_conv1/W"),
+            "model_weights/block1_conv1/kernel"
+        );
+        assert_eq!(
+            engine_to_file_path(FrameworkKind::TensorFlow, "bn1/running_var"),
+            "model_weights/bn1/moving_variance"
+        );
+    }
+
+    #[test]
+    fn pytorch_paths_use_dotted_keys() {
+        assert_eq!(
+            engine_to_file_path(FrameworkKind::PyTorch, "conv1/W"),
+            "state_dict/conv1.weight"
+        );
+        assert_eq!(
+            engine_to_file_path(FrameworkKind::PyTorch, "res2a/bn1/gamma"),
+            "state_dict/res2a.bn1.weight"
+        );
+        assert_eq!(
+            engine_to_file_path(FrameworkKind::PyTorch, "res2a/bn1/running_var"),
+            "state_dict/res2a.bn1.running_var"
+        );
+    }
+
+    #[test]
+    fn frameworks_give_distinct_paths_for_same_parameter() {
+        let paths: Vec<String> = FrameworkKind::all()
+            .iter()
+            .map(|&fw| engine_to_file_path(fw, "conv1/W"))
+            .collect();
+        assert_ne!(paths[0], paths[1]);
+        assert_ne!(paths[1], paths[2]);
+        assert_ne!(paths[0], paths[2]);
+    }
+
+    #[test]
+    fn layer_locations() {
+        assert_eq!(
+            file_layer_location(FrameworkKind::Chainer, "conv4"),
+            vec!["predictor/conv4".to_string()]
+        );
+        let pt = file_layer_location(FrameworkKind::PyTorch, "conv4");
+        assert!(pt.contains(&"state_dict/conv4.weight".to_string()));
+        let pt_block = file_layer_location(FrameworkKind::PyTorch, "res2a/conv1");
+        assert!(pt_block.contains(&"state_dict/res2a.conv1.weight".to_string()));
+    }
+
+    #[test]
+    fn tf_conv_kernel_roundtrip_oihw_hwio() {
+        let t = Tensor::from_vec((0..2 * 3 * 2 * 2).map(|v| v as f32).collect(), &[2, 3, 2, 2]);
+        let (shape, data) = tensor_to_file_layout(FrameworkKind::TensorFlow, "conv1/W", &t);
+        assert_eq!(shape, vec![2, 2, 3, 2]); // HWIO
+        assert_ne!(data, t.data()); // actually permuted
+        let back =
+            tensor_from_file_layout(FrameworkKind::TensorFlow, "conv1/W", t.shape(), &data);
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn tf_dense_kernel_is_transposed() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let (shape, data) = tensor_to_file_layout(FrameworkKind::TensorFlow, "fc/W", &t);
+        assert_eq!(shape, vec![3, 2]);
+        assert_eq!(data, vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+        let back = tensor_from_file_layout(FrameworkKind::TensorFlow, "fc/W", &[2, 3], &data);
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn non_kernels_and_other_frameworks_are_identity() {
+        let t = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        for fw in FrameworkKind::all() {
+            let (shape, data) = tensor_to_file_layout(fw, "conv1/b", &t);
+            assert_eq!(shape, vec![2]);
+            assert_eq!(data, t.data());
+        }
+        let k = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let (_, data) = tensor_to_file_layout(FrameworkKind::PyTorch, "fc/W", &k);
+        assert_eq!(data, k.data());
+    }
+}

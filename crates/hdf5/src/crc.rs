@@ -1,0 +1,57 @@
+//! CRC-32 (IEEE 802.3 polynomial) — integrity checksum for the payload.
+//!
+//! Table-driven implementation, built at first use. The superblock stores
+//! the CRC of everything after itself; a mismatch on load is a hard
+//! [`crate::Error::Malformed`], never silent acceptance — a fault injector's
+//! own storage must be able to distinguish *intended* corruption (applied to
+//! decoded values and re-encoded) from accidental file damage.
+
+use std::sync::OnceLock;
+
+const POLY: u32 = 0xEDB8_8320; // reflected IEEE polynomial
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 == 1 { (c >> 1) ^ POLY } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        t
+    })
+}
+
+/// CRC-32 of a byte slice (init 0xFFFF_FFFF, final XOR, reflected — the
+/// standard zlib/PNG variant).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let t = table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard test vectors for CRC-32/IEEE.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn sensitive_to_single_bit() {
+        let a = crc32(b"checkpoint");
+        let b = crc32(b"checkpoInt");
+        assert_ne!(a, b);
+    }
+}

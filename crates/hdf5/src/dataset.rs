@@ -1,0 +1,439 @@
+//! Typed n-dimensional datasets with bit-level element access.
+//!
+//! Elements are stored little-endian in a flat byte buffer at the declared
+//! dtype's width. The corrupter reads and writes *raw bit patterns* at the
+//! stored precision — exactly what "altering a checkpoint file" means — and
+//! the training frameworks read/write the numeric views.
+
+use crate::error::{Error, Result};
+use sefi_float::{f16, FpValue, Precision};
+
+/// Element type of a dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dtype {
+    /// IEEE-754 binary16.
+    F16,
+    /// IEEE-754 binary32.
+    F32,
+    /// IEEE-754 binary64.
+    F64,
+    /// 32-bit signed integer.
+    I32,
+    /// 64-bit signed integer.
+    I64,
+    /// Unsigned byte.
+    U8,
+}
+
+impl Dtype {
+    /// Element width in bytes.
+    pub const fn size(self) -> usize {
+        match self {
+            Dtype::F16 => 2,
+            Dtype::F32 | Dtype::I32 => 4,
+            Dtype::F64 | Dtype::I64 => 8,
+            Dtype::U8 => 1,
+        }
+    }
+
+    /// True for floating-point dtypes.
+    pub const fn is_float(self) -> bool {
+        matches!(self, Dtype::F16 | Dtype::F32 | Dtype::F64)
+    }
+
+    /// The IEEE-754 precision of a float dtype.
+    pub fn precision(self) -> Option<Precision> {
+        match self {
+            Dtype::F16 => Some(Precision::Fp16),
+            Dtype::F32 => Some(Precision::Fp32),
+            Dtype::F64 => Some(Precision::Fp64),
+            _ => None,
+        }
+    }
+
+    /// The float dtype storing a given precision.
+    pub fn from_precision(p: Precision) -> Self {
+        match p {
+            Precision::Fp16 => Dtype::F16,
+            Precision::Fp32 => Dtype::F32,
+            Precision::Fp64 => Dtype::F64,
+        }
+    }
+
+    /// Stable on-disk tag.
+    pub(crate) const fn tag(self) -> u8 {
+        match self {
+            Dtype::F16 => 1,
+            Dtype::F32 => 2,
+            Dtype::F64 => 3,
+            Dtype::I32 => 4,
+            Dtype::I64 => 5,
+            Dtype::U8 => 6,
+        }
+    }
+
+    /// Stable on-disk tag (shared by the hierarchical and flat formats).
+    pub fn tag_public(self) -> u8 {
+        self.tag()
+    }
+
+    /// Inverse of [`Dtype::tag_public`].
+    pub fn from_tag_public(tag: u8) -> Result<Self> {
+        Self::from_tag(tag)
+    }
+
+    /// Inverse of [`Dtype::tag`].
+    pub(crate) fn from_tag(tag: u8) -> Result<Self> {
+        Ok(match tag {
+            1 => Dtype::F16,
+            2 => Dtype::F32,
+            3 => Dtype::F64,
+            4 => Dtype::I32,
+            5 => Dtype::I64,
+            6 => Dtype::U8,
+            other => return Err(Error::Malformed(format!("unknown dtype tag {other}"))),
+        })
+    }
+}
+
+/// A typed n-dimensional array. Scalars are rank-0 (empty shape, one entry).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    dtype: Dtype,
+    shape: Vec<usize>,
+    /// Little-endian packed elements, `len() * dtype.size()` bytes.
+    data: Vec<u8>,
+}
+
+/// Number of entries implied by a shape ("the product of their dimensions").
+fn shape_len(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+impl Dataset {
+    /// A dataset of zeros.
+    pub fn zeros(shape: &[usize], dtype: Dtype) -> Self {
+        Dataset {
+            dtype,
+            shape: shape.to_vec(),
+            data: vec![0u8; shape_len(shape) * dtype.size()],
+        }
+    }
+
+    /// Build a float dataset from `f32` values, narrowing/widening to
+    /// `dtype` (which must be a float type).
+    pub fn from_f32(values: &[f32], shape: &[usize], dtype: Dtype) -> Result<Self> {
+        if !dtype.is_float() {
+            return Err(Error::DtypeMismatch(format!("from_f32 into {dtype:?}")));
+        }
+        if shape_len(shape) != values.len() {
+            return Err(Error::ShapeMismatch { expected: shape_len(shape), got: values.len() });
+        }
+        let mut ds = Dataset::zeros(shape, dtype);
+        for (i, &v) in values.iter().enumerate() {
+            ds.write_f64_unchecked(i, v as f64);
+        }
+        Ok(ds)
+    }
+
+    /// Build an integer dataset from `i64` values (dtype I32/I64/U8;
+    /// values are truncated to the storage width).
+    pub fn from_i64(values: &[i64], shape: &[usize], dtype: Dtype) -> Result<Self> {
+        if dtype.is_float() {
+            return Err(Error::DtypeMismatch(format!("from_i64 into {dtype:?}")));
+        }
+        if shape_len(shape) != values.len() {
+            return Err(Error::ShapeMismatch { expected: shape_len(shape), got: values.len() });
+        }
+        let mut ds = Dataset::zeros(shape, dtype);
+        for (i, &v) in values.iter().enumerate() {
+            ds.write_i64_unchecked(i, v);
+        }
+        Ok(ds)
+    }
+
+    /// A rank-0 I64 scalar (e.g. the checkpoint's epoch counter).
+    pub fn scalar_i64(v: i64) -> Self {
+        Dataset::from_i64(&[v], &[], Dtype::I64).expect("scalar shape always valid")
+    }
+
+    /// A rank-0 F64 scalar.
+    pub fn scalar_f64(v: f64) -> Self {
+        let mut ds = Dataset::zeros(&[], Dtype::F64);
+        ds.write_f64_unchecked(0, v);
+        ds
+    }
+
+    /// Reconstruct from raw parts with length validation (used by both
+    /// on-disk decoders).
+    pub fn from_raw_public(dtype: Dtype, shape: Vec<usize>, data: Vec<u8>) -> Result<Self> {
+        Self::from_raw(dtype, shape, data)
+    }
+
+    /// Reconstruct from raw parts (used by the decoder).
+    pub(crate) fn from_raw(dtype: Dtype, shape: Vec<usize>, data: Vec<u8>) -> Result<Self> {
+        let expected = shape_len(&shape) * dtype.size();
+        if data.len() != expected {
+            return Err(Error::Malformed(format!(
+                "dataset byte length {} does not match shape (expected {expected})",
+                data.len()
+            )));
+        }
+        Ok(Dataset { dtype, shape, data })
+    }
+
+    /// Element type.
+    pub fn dtype(&self) -> Dtype {
+        self.dtype
+    }
+
+    /// Shape (empty for scalars).
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of entries (dimension product; 1 for scalars).
+    pub fn len(&self) -> usize {
+        shape_len(&self.shape)
+    }
+
+    /// True when the dataset holds no entries (some dimension is zero).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Raw byte buffer.
+    pub fn bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    fn check_index(&self, index: usize) -> Result<()> {
+        if index >= self.len() {
+            return Err(Error::IndexOutOfBounds { index, len: self.len() });
+        }
+        Ok(())
+    }
+
+    /// Raw bit pattern of entry `index`, zero-extended to 64 bits.
+    pub fn get_bits(&self, index: usize) -> Result<u64> {
+        self.check_index(index)?;
+        let w = self.dtype.size();
+        let off = index * w;
+        let mut buf = [0u8; 8];
+        buf[..w].copy_from_slice(&self.data[off..off + w]);
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Overwrite entry `index` with a raw bit pattern (low `size()` bytes).
+    pub fn set_bits(&mut self, index: usize, bits: u64) -> Result<()> {
+        self.check_index(index)?;
+        let w = self.dtype.size();
+        let off = index * w;
+        self.data[off..off + w].copy_from_slice(&bits.to_le_bytes()[..w]);
+        Ok(())
+    }
+
+    /// Read a float entry at its stored precision.
+    pub fn get_fp(&self, index: usize) -> Result<FpValue> {
+        let p = self
+            .dtype
+            .precision()
+            .ok_or_else(|| Error::DtypeMismatch(format!("get_fp on {:?}", self.dtype)))?;
+        Ok(FpValue::from_bits(p, self.get_bits(index)?))
+    }
+
+    /// Write a float entry at its stored precision.
+    pub fn set_fp(&mut self, index: usize, v: FpValue) -> Result<()> {
+        let p = self
+            .dtype
+            .precision()
+            .ok_or_else(|| Error::DtypeMismatch(format!("set_fp on {:?}", self.dtype)))?;
+        if v.precision() != p {
+            return Err(Error::DtypeMismatch(format!(
+                "value precision {:?} vs dataset {:?}",
+                v.precision(),
+                p
+            )));
+        }
+        self.set_bits(index, v.to_bits())
+    }
+
+    /// Read any entry widened to `f64` (integers convert exactly for I32/U8).
+    pub fn get_f64(&self, index: usize) -> Result<f64> {
+        match self.dtype {
+            Dtype::F16 | Dtype::F32 | Dtype::F64 => Ok(self.get_fp(index)?.to_f64()),
+            Dtype::I32 => Ok(self.get_bits(index)? as u32 as i32 as f64),
+            Dtype::I64 => Ok(self.get_bits(index)? as i64 as f64),
+            Dtype::U8 => Ok(self.get_bits(index)? as u8 as f64),
+        }
+    }
+
+    /// Write an `f64`, narrowing to the stored dtype (round-to-nearest-even
+    /// for floats; saturating cast for integers).
+    pub fn set_f64(&mut self, index: usize, v: f64) -> Result<()> {
+        self.check_index(index)?;
+        self.write_f64_unchecked(index, v);
+        Ok(())
+    }
+
+    fn write_f64_unchecked(&mut self, index: usize, v: f64) {
+        let bits = match self.dtype {
+            Dtype::F16 => f16::from_f64(v).to_bits() as u64,
+            Dtype::F32 => (v as f32).to_bits() as u64,
+            Dtype::F64 => v.to_bits(),
+            Dtype::I32 => (v as i32) as u32 as u64,
+            Dtype::I64 => (v as i64) as u64,
+            Dtype::U8 => (v as u8) as u64,
+        };
+        let w = self.dtype.size();
+        let off = index * w;
+        self.data[off..off + w].copy_from_slice(&bits.to_le_bytes()[..w]);
+    }
+
+    /// Read an integer entry.
+    pub fn get_i64(&self, index: usize) -> Result<i64> {
+        match self.dtype {
+            Dtype::I32 => Ok(self.get_bits(index)? as u32 as i32 as i64),
+            Dtype::I64 => Ok(self.get_bits(index)? as i64),
+            Dtype::U8 => Ok(self.get_bits(index)? as u8 as i64),
+            _ => Err(Error::DtypeMismatch(format!("get_i64 on {:?}", self.dtype))),
+        }
+    }
+
+    /// Write an integer entry (truncating to the storage width).
+    pub fn set_i64(&mut self, index: usize, v: i64) -> Result<()> {
+        if self.dtype.is_float() {
+            return Err(Error::DtypeMismatch(format!("set_i64 on {:?}", self.dtype)));
+        }
+        self.check_index(index)?;
+        self.write_i64_unchecked(index, v);
+        Ok(())
+    }
+
+    fn write_i64_unchecked(&mut self, index: usize, v: i64) {
+        let w = self.dtype.size();
+        let off = index * w;
+        self.data[off..off + w].copy_from_slice(&(v as u64).to_le_bytes()[..w]);
+    }
+
+    /// All entries widened to `f32` (the frameworks' working precision).
+    pub fn to_f32_vec(&self) -> Vec<f32> {
+        (0..self.len()).map(|i| self.get_f64(i).expect("in-bounds") as f32).collect()
+    }
+
+    /// All entries widened to `f64`.
+    pub fn to_f64_vec(&self) -> Vec<f64> {
+        (0..self.len()).map(|i| self.get_f64(i).expect("in-bounds")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtype_sizes_and_tags_roundtrip() {
+        for d in [Dtype::F16, Dtype::F32, Dtype::F64, Dtype::I32, Dtype::I64, Dtype::U8] {
+            assert_eq!(Dtype::from_tag(d.tag()).unwrap(), d);
+        }
+        assert!(Dtype::from_tag(0).is_err());
+        assert!(Dtype::from_tag(99).is_err());
+        assert_eq!(Dtype::F16.size(), 2);
+        assert_eq!(Dtype::U8.size(), 1);
+    }
+
+    #[test]
+    fn f32_dataset_stores_and_reads() {
+        let ds = Dataset::from_f32(&[1.5, -2.25, 0.0], &[3], Dtype::F32).unwrap();
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.get_f64(1).unwrap(), -2.25);
+        assert_eq!(ds.to_f32_vec(), vec![1.5, -2.25, 0.0]);
+    }
+
+    #[test]
+    fn f16_dataset_narrows_with_rne() {
+        let ds = Dataset::from_f32(&[1.0, 65504.0, 1e-8], &[3], Dtype::F16).unwrap();
+        assert_eq!(ds.get_f64(0).unwrap(), 1.0);
+        assert_eq!(ds.get_f64(1).unwrap(), 65504.0);
+        assert_eq!(ds.get_f64(2).unwrap(), 0.0); // underflow to zero
+        assert_eq!(ds.bytes().len(), 6);
+    }
+
+    #[test]
+    fn f64_dataset_is_lossless() {
+        let v = 0.1f64;
+        let mut ds = Dataset::zeros(&[1], Dtype::F64);
+        ds.set_f64(0, v).unwrap();
+        assert_eq!(ds.get_f64(0).unwrap(), v);
+    }
+
+    #[test]
+    fn scalar_has_one_entry() {
+        let ds = Dataset::scalar_i64(20);
+        assert_eq!(ds.shape(), &[] as &[usize]);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds.get_i64(0).unwrap(), 20);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        assert!(matches!(
+            Dataset::from_f32(&[1.0, 2.0], &[3], Dtype::F32),
+            Err(Error::ShapeMismatch { expected: 3, got: 2 })
+        ));
+    }
+
+    #[test]
+    fn bit_level_access_matches_native_layout() {
+        let mut ds = Dataset::from_f32(&[0.25], &[1], Dtype::F64).unwrap();
+        assert_eq!(ds.get_bits(0).unwrap(), 0.25f64.to_bits());
+        // Flip the exponent MSB (paper's example) via raw bits.
+        ds.set_bits(0, ds.get_bits(0).unwrap() ^ (1 << 62)).unwrap();
+        assert!((ds.get_f64(0).unwrap() - 4.49423283715579e307).abs() < 1e295);
+    }
+
+    #[test]
+    fn out_of_bounds_is_an_error_not_a_panic() {
+        let ds = Dataset::from_f32(&[1.0], &[1], Dtype::F32).unwrap();
+        assert!(matches!(ds.get_bits(1), Err(Error::IndexOutOfBounds { .. })));
+        assert!(matches!(ds.get_f64(5), Err(Error::IndexOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn dtype_mismatch_errors() {
+        let ds = Dataset::scalar_i64(7);
+        assert!(matches!(ds.get_fp(0), Err(Error::DtypeMismatch(_))));
+        let fds = Dataset::from_f32(&[1.0], &[1], Dtype::F32).unwrap();
+        assert!(matches!(fds.get_i64(0), Err(Error::DtypeMismatch(_))));
+        assert!(Dataset::from_f32(&[1.0], &[1], Dtype::I32).is_err());
+        assert!(Dataset::from_i64(&[1], &[1], Dtype::F32).is_err());
+    }
+
+    #[test]
+    fn integer_storage_widths() {
+        let ds = Dataset::from_i64(&[-5, 300], &[2], Dtype::I32).unwrap();
+        assert_eq!(ds.get_i64(0).unwrap(), -5);
+        assert_eq!(ds.get_i64(1).unwrap(), 300);
+        let ds = Dataset::from_i64(&[200, 255], &[2], Dtype::U8).unwrap();
+        assert_eq!(ds.get_i64(0).unwrap(), 200);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let ds = Dataset::zeros(&[0, 3], Dtype::F32);
+        assert!(ds.is_empty());
+        assert_eq!(ds.len(), 0);
+        assert!(ds.get_f64(0).is_err());
+    }
+
+    #[test]
+    fn set_fp_enforces_precision() {
+        use sefi_float::Precision;
+        let mut ds = Dataset::zeros(&[1], Dtype::F32);
+        let wrong = FpValue::from_f64(Precision::Fp64, 1.0);
+        assert!(ds.set_fp(0, wrong).is_err());
+        let right = FpValue::from_f64(Precision::Fp32, 1.0);
+        ds.set_fp(0, right).unwrap();
+        assert_eq!(ds.get_f64(0).unwrap(), 1.0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Error type for the checkpoint container.
+
+use std::fmt;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Everything that can go wrong reading, writing, or addressing a file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// No object at this path.
+    NotFound(String),
+    /// Path exists but is a group where a dataset was required.
+    NotADataset(String),
+    /// Path exists but is a dataset where a group was required.
+    NotAGroup(String),
+    /// An object already exists at this path.
+    AlreadyExists(String),
+    /// A path failed validation (empty segment, leading/trailing slash, …).
+    InvalidPath(String),
+    /// Shape/data-length mismatch when constructing or writing a dataset.
+    ShapeMismatch {
+        /// Expected element count (dimension product).
+        expected: usize,
+        /// Provided element count.
+        got: usize,
+    },
+    /// Element index out of bounds for a dataset.
+    IndexOutOfBounds {
+        /// Offending linear index.
+        index: usize,
+        /// Dataset length.
+        len: usize,
+    },
+    /// Operation requires a floating-point dataset but dtype is integral
+    /// (or vice versa).
+    DtypeMismatch(String),
+    /// The on-disk bytes are not a valid file (bad magic, truncation,
+    /// unknown version/dtype, checksum failure, …).
+    Malformed(String),
+    /// Filesystem-level failure (path, OS message).
+    Io(String, String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NotFound(p) => write!(f, "no object at path {p:?}"),
+            Error::NotADataset(p) => write!(f, "object at {p:?} is a group, not a dataset"),
+            Error::NotAGroup(p) => write!(f, "object at {p:?} is a dataset, not a group"),
+            Error::AlreadyExists(p) => write!(f, "an object already exists at {p:?}"),
+            Error::InvalidPath(p) => write!(f, "invalid object path {p:?}"),
+            Error::ShapeMismatch { expected, got } => {
+                write!(f, "shape mismatch: dimension product {expected}, data length {got}")
+            }
+            Error::IndexOutOfBounds { index, len } => {
+                write!(f, "entry index {index} out of bounds for dataset of {len} entries")
+            }
+            Error::DtypeMismatch(msg) => write!(f, "dtype mismatch: {msg}"),
+            Error::Malformed(msg) => write!(f, "malformed file: {msg}"),
+            Error::Io(path, msg) => write!(f, "I/O error on {path}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::ShapeMismatch { expected: 6, got: 5 };
+        assert!(e.to_string().contains('6') && e.to_string().contains('5'));
+        assert!(Error::NotFound("a/b".into()).to_string().contains("a/b"));
+        assert!(Error::Malformed("bad magic".into()).to_string().contains("bad magic"));
+    }
+}

@@ -1,0 +1,312 @@
+//! The on-disk binary format.
+//!
+//! ```text
+//! superblock:  magic "SEFIH5\x89\n" (8 bytes) | version u32 LE | crc32 u32 LE
+//! payload:     <group>                        (crc covers the whole payload)
+//! group:       attr_count u32 | attrs… | child_count u32 | children…
+//! attr:        name str | tag u8 (1 int, 2 float, 3 str) | value
+//! child:       name str | tag u8 (1 group, 2 dataset) | body
+//! dataset:     dtype u8 | rank u32 | dims u64… | byte_len u64 | bytes
+//! str:         len u32 | utf-8 bytes
+//! ```
+//!
+//! All integers little-endian. Encoding is deterministic (BTreeMap order),
+//! so encode∘decode∘encode is byte-identical — the property that lets tests
+//! compare corrupted checkpoints by file bytes.
+
+use crate::crc::crc32;
+use crate::dataset::{Dataset, Dtype};
+use crate::error::{Error, Result};
+use crate::node::{Attr, Group, Node};
+use crate::H5File;
+
+const MAGIC: &[u8; 8] = b"SEFIH5\x89\n";
+const VERSION: u32 = 1;
+
+/// Hard cap on any single length field (1 GiB) so a corrupted length can't
+/// trigger an enormous allocation before the CRC check would catch it.
+const MAX_LEN: u64 = 1 << 30;
+
+// ---------------------------------------------------------------- encoding
+
+pub(crate) fn encode(file: &H5File) -> Vec<u8> {
+    let mut payload = Vec::new();
+    encode_group(file.root(), &mut payload);
+    let mut out = Vec::with_capacity(16 + payload.len());
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn encode_group(g: &Group, out: &mut Vec<u8>) {
+    let attrs: Vec<_> = g.attrs().collect();
+    out.extend_from_slice(&(attrs.len() as u32).to_le_bytes());
+    for (name, attr) in attrs {
+        put_str(out, name);
+        match attr {
+            Attr::Int(v) => {
+                out.push(1);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            Attr::Float(v) => {
+                out.push(2);
+                out.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+            Attr::Str(v) => {
+                out.push(3);
+                put_str(out, v);
+            }
+        }
+    }
+    let children: Vec<_> = g.children().collect();
+    out.extend_from_slice(&(children.len() as u32).to_le_bytes());
+    for (name, node) in children {
+        put_str(out, name);
+        match node {
+            Node::Group(sub) => {
+                out.push(1);
+                encode_group(sub, out);
+            }
+            Node::Dataset(ds) => {
+                out.push(2);
+                encode_dataset(ds, out);
+            }
+        }
+    }
+}
+
+fn encode_dataset(ds: &Dataset, out: &mut Vec<u8>) {
+    out.push(ds.dtype().tag());
+    out.extend_from_slice(&(ds.shape().len() as u32).to_le_bytes());
+    for &d in ds.shape() {
+        out.extend_from_slice(&(d as u64).to_le_bytes());
+    }
+    out.extend_from_slice(&(ds.bytes().len() as u64).to_le_bytes());
+    out.extend_from_slice(ds.bytes());
+}
+
+// ---------------------------------------------------------------- decoding
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.buf.len() - self.pos < n {
+            return Err(Error::Malformed(format!(
+                "truncated: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn checked_len(&mut self, what: &str) -> Result<usize> {
+        let n = self.u64()?;
+        if n > MAX_LEN {
+            return Err(Error::Malformed(format!("{what} length {n} exceeds limit")));
+        }
+        Ok(n as usize)
+    }
+
+    fn str(&mut self) -> Result<String> {
+        let n = self.u32()? as usize;
+        if n as u64 > MAX_LEN {
+            return Err(Error::Malformed(format!("string length {n} exceeds limit")));
+        }
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| Error::Malformed("non-UTF-8 name".to_string()))
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+pub(crate) fn decode(bytes: &[u8]) -> Result<H5File> {
+    if bytes.len() < 16 {
+        return Err(Error::Malformed(format!("file too short: {} bytes", bytes.len())));
+    }
+    if &bytes[..8] != MAGIC {
+        return Err(Error::Malformed("bad magic — not a SEFI-H5 file".to_string()));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(Error::Malformed(format!("unsupported format version {version}")));
+    }
+    let stored_crc = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes"));
+    let payload = &bytes[16..];
+    let actual_crc = crc32(payload);
+    if stored_crc != actual_crc {
+        return Err(Error::Malformed(format!(
+            "checksum mismatch: stored {stored_crc:#010x}, computed {actual_crc:#010x}"
+        )));
+    }
+    let mut cur = Cursor { buf: payload, pos: 0 };
+    let root = decode_group(&mut cur, 0)?;
+    if !cur.done() {
+        return Err(Error::Malformed(format!(
+            "{} trailing bytes after root group",
+            payload.len() - cur.pos
+        )));
+    }
+    let mut file = H5File::new();
+    *file.root_mut() = root;
+    Ok(file)
+}
+
+/// Depth guard: object trees in checkpoints are shallow; 64 is generous and
+/// prevents stack exhaustion on maliciously nested input.
+const MAX_DEPTH: u32 = 64;
+
+fn decode_group(cur: &mut Cursor<'_>, depth: u32) -> Result<Group> {
+    if depth > MAX_DEPTH {
+        return Err(Error::Malformed("group nesting exceeds limit".to_string()));
+    }
+    let mut g = Group::new();
+    let attr_count = cur.u32()?;
+    for _ in 0..attr_count {
+        let name = cur.str()?;
+        let attr = match cur.u8()? {
+            1 => Attr::Int(i64::from_le_bytes(cur.take(8)?.try_into().expect("8 bytes"))),
+            2 => Attr::Float(f64::from_bits(cur.u64()?)),
+            3 => Attr::Str(cur.str()?),
+            other => return Err(Error::Malformed(format!("unknown attr tag {other}"))),
+        };
+        g.set_attr(&name, attr);
+    }
+    let child_count = cur.u32()?;
+    for _ in 0..child_count {
+        let name = cur.str()?;
+        let node = match cur.u8()? {
+            1 => Node::Group(decode_group(cur, depth + 1)?),
+            2 => Node::Dataset(decode_dataset(cur)?),
+            other => return Err(Error::Malformed(format!("unknown node tag {other}"))),
+        };
+        g.insert_node(name, node)?;
+    }
+    Ok(g)
+}
+
+fn decode_dataset(cur: &mut Cursor<'_>) -> Result<Dataset> {
+    let dtype = Dtype::from_tag(cur.u8()?)?;
+    let rank = cur.u32()?;
+    if rank > 16 {
+        return Err(Error::Malformed(format!("dataset rank {rank} exceeds limit")));
+    }
+    let mut shape = Vec::with_capacity(rank as usize);
+    for _ in 0..rank {
+        shape.push(cur.checked_len("dimension")?);
+    }
+    let byte_len = cur.checked_len("dataset")?;
+    let data = cur.take(byte_len)?.to_vec();
+    Dataset::from_raw(dtype, shape, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> H5File {
+        let mut f = H5File::new();
+        f.create_group("g").unwrap().set_attr("epoch", Attr::Int(20));
+        f.create_group("g").unwrap().set_attr("acc", Attr::Float(0.576));
+        f.create_group("g").unwrap().set_attr("fw", Attr::Str("tensorflow".into()));
+        f.create_dataset("g/w", Dataset::from_f32(&[1.0, -2.0], &[2], Dtype::F16).unwrap())
+            .unwrap();
+        f
+    }
+
+    #[test]
+    fn roundtrip_with_attrs() {
+        let f = sample();
+        let g = decode(&encode(&f)).unwrap();
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut b = encode(&sample());
+        b[0] ^= 0xFF;
+        assert!(matches!(decode(&b), Err(Error::Malformed(m)) if m.contains("magic")));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut b = encode(&sample());
+        b[8] = 99;
+        assert!(matches!(decode(&b), Err(Error::Malformed(m)) if m.contains("version")));
+    }
+
+    #[test]
+    fn payload_corruption_detected_by_crc() {
+        let mut b = encode(&sample());
+        let last = b.len() - 1;
+        b[last] ^= 0x01;
+        assert!(matches!(decode(&b), Err(Error::Malformed(m)) if m.contains("checksum")));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let b = encode(&sample());
+        for cut in [0, 4, 15, 16, b.len() / 2, b.len() - 1] {
+            assert!(decode(&b[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_detected() {
+        let mut b = encode(&sample());
+        // Keep the CRC valid over the extended payload to isolate the
+        // trailing-bytes check: recompute CRC over payload + garbage.
+        b.push(0xAB);
+        let crc = crc32(&b[16..]);
+        b[12..16].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(decode(&b), Err(Error::Malformed(m)) if m.contains("trailing")));
+    }
+
+    #[test]
+    fn oversized_length_fields_rejected_before_allocation() {
+        // Hand-craft: valid superblock, payload declaring a huge string.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&1u32.to_le_bytes()); // one attr
+        payload.extend_from_slice(&u32::MAX.to_le_bytes()); // absurd name len
+        let mut b = Vec::new();
+        b.extend_from_slice(MAGIC);
+        b.extend_from_slice(&VERSION.to_le_bytes());
+        b.extend_from_slice(&crc32(&payload).to_le_bytes());
+        b.extend_from_slice(&payload);
+        assert!(decode(&b).is_err());
+    }
+
+    #[test]
+    fn empty_file_roundtrips() {
+        let f = H5File::new();
+        assert_eq!(decode(&encode(&f)).unwrap(), f);
+    }
+}

@@ -1,0 +1,273 @@
+//! A from-scratch hierarchical checkpoint container, HDF5-style.
+//!
+//! The paper's injector operates on HDF5 checkpoint files: "an HDF5 file has
+//! a collection of groups (i.e., folders), which are sets of objects (i.e.,
+//! files) or other groups […] objects are common data types, such as
+//! strings, integers, floats, arrays, datasets" (Section IV-A). Rust's HDF5
+//! bindings are immature (and bind C libraries we cannot vendor), so this
+//! crate rebuilds the *contract* the study depends on:
+//!
+//! * a tree of named **groups** containing **datasets** (typed n-dimensional
+//!   arrays) and scalar **attributes**;
+//! * absolute **path addressing** (`model_weights/block1_conv1/kernel`);
+//! * datasets stored at a declared element precision (f16/f32/f64, plus
+//!   integer types), mutable **in place** at the bit level;
+//! * a binary on-disk format with a superblock, a checksummed payload, and
+//!   hard failure (never panic, never silent corruption) on malformed input;
+//! * tree walking and **entry counting** ("in dataset objects, the product
+//!   of their dimensions represents how many entries that object has"),
+//!   which the injector's `percentage` mode requires.
+//!
+//! Nothing in the fault-injection study depends on HDF5's B-tree/chunking
+//! internals, so those are intentionally out of scope (see DESIGN.md §1).
+
+#![deny(missing_docs)]
+
+pub mod crc;
+pub mod flat;
+mod dataset;
+mod error;
+mod format;
+mod node;
+mod path;
+
+pub use dataset::{Dataset, Dtype};
+pub use error::{Error, Result};
+pub use node::{Attr, Group, Node};
+pub use path::{join_path, split_path, validate_path};
+
+use std::fs;
+use std::path::Path;
+
+/// An in-memory hierarchical checkpoint file.
+///
+/// The root is an anonymous group; every object is addressed by a
+/// `/`-separated absolute path (no leading slash).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct H5File {
+    root: Group,
+}
+
+impl H5File {
+    /// An empty file.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The root group.
+    pub fn root(&self) -> &Group {
+        &self.root
+    }
+
+    /// Mutable root group.
+    pub fn root_mut(&mut self) -> &mut Group {
+        &mut self.root
+    }
+
+    /// Create (or return existing) nested groups along `path`.
+    pub fn create_group(&mut self, path: &str) -> Result<&mut Group> {
+        validate_path(path)?;
+        self.root.create_group_path(&split_path(path))
+    }
+
+    /// Insert a dataset at `path`, creating intermediate groups. Fails if an
+    /// object already exists at that path.
+    pub fn create_dataset(&mut self, path: &str, ds: Dataset) -> Result<()> {
+        validate_path(path)?;
+        let parts = split_path(path);
+        let (name, dirs) = parts.split_last().expect("validated path is non-empty");
+        let group = self.root.create_group_path(dirs)?;
+        group.insert_dataset(name, ds)
+    }
+
+    /// Look up a node by absolute path.
+    pub fn get(&self, path: &str) -> Option<&Node> {
+        if path.is_empty() {
+            return None;
+        }
+        self.root.get_path(&split_path(path))
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, path: &str) -> Option<&mut Node> {
+        if path.is_empty() {
+            return None;
+        }
+        self.root.get_path_mut(&split_path(path))
+    }
+
+    /// Look up a dataset by path.
+    pub fn dataset(&self, path: &str) -> Result<&Dataset> {
+        match self.get(path) {
+            Some(Node::Dataset(ds)) => Ok(ds),
+            Some(Node::Group(_)) => Err(Error::NotADataset(path.to_string())),
+            None => Err(Error::NotFound(path.to_string())),
+        }
+    }
+
+    /// Mutable dataset lookup — the corrupter's entry point.
+    pub fn dataset_mut(&mut self, path: &str) -> Result<&mut Dataset> {
+        match self.get_mut(path) {
+            Some(Node::Dataset(ds)) => Ok(ds),
+            Some(Node::Group(_)) => Err(Error::NotADataset(path.to_string())),
+            None => Err(Error::NotFound(path.to_string())),
+        }
+    }
+
+    /// Absolute paths of every dataset, in deterministic (sorted) order.
+    pub fn dataset_paths(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.root.collect_dataset_paths("", &mut out);
+        out
+    }
+
+    /// Absolute paths of all objects (groups and datasets), sorted order.
+    pub fn object_paths(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.root.collect_object_paths("", &mut out);
+        out
+    }
+
+    /// Dataset paths under a location prefix: the location itself if it is a
+    /// dataset, or "all sublocations inside a location" (Table I,
+    /// `locations_to_corrupt`) if it is a group.
+    pub fn datasets_under(&self, location: &str) -> Result<Vec<String>> {
+        match self.get(location) {
+            Some(Node::Dataset(_)) => Ok(vec![location.to_string()]),
+            Some(Node::Group(g)) => {
+                let mut out = Vec::new();
+                g.collect_dataset_paths(location, &mut out);
+                Ok(out)
+            }
+            None => Err(Error::NotFound(location.to_string())),
+        }
+    }
+
+    /// Total number of corruptible numeric entries in the file (the
+    /// injector's `percentage` accounting).
+    pub fn total_entries(&self) -> u64 {
+        self.dataset_paths()
+            .iter()
+            .map(|p| self.dataset(p).map(|d| d.len() as u64).unwrap_or(0))
+            .sum()
+    }
+
+    /// Serialize to the on-disk binary format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        format::encode(self)
+    }
+
+    /// Deserialize from the on-disk binary format.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        format::decode(bytes)
+    }
+
+    /// Write to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        fs::write(path.as_ref(), self.to_bytes())
+            .map_err(|e| Error::Io(path.as_ref().display().to_string(), e.to_string()))
+    }
+
+    /// Read from a file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        let bytes = fs::read(path.as_ref())
+            .map_err(|e| Error::Io(path.as_ref().display().to_string(), e.to_string()))?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_file() -> H5File {
+        let mut f = H5File::new();
+        f.create_dataset(
+            "model_weights/block1_conv1/kernel",
+            Dataset::from_f32(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3], Dtype::F32).unwrap(),
+        )
+        .unwrap();
+        f.create_dataset(
+            "model_weights/block1_conv1/bias",
+            Dataset::from_f32(&[0.1, 0.2, 0.3], &[3], Dtype::F64).unwrap(),
+        )
+        .unwrap();
+        f.create_dataset("meta/epoch", Dataset::scalar_i64(20)).unwrap();
+        f
+    }
+
+    #[test]
+    fn create_and_lookup() {
+        let f = sample_file();
+        assert!(matches!(f.get("model_weights"), Some(Node::Group(_))));
+        assert!(matches!(f.get("model_weights/block1_conv1/kernel"), Some(Node::Dataset(_))));
+        assert!(f.get("nope").is_none());
+        assert!(f.get("").is_none());
+        assert_eq!(f.dataset("model_weights/block1_conv1/kernel").unwrap().shape(), &[2, 3]);
+    }
+
+    #[test]
+    fn dataset_errors_are_typed() {
+        let f = sample_file();
+        assert!(matches!(f.dataset("model_weights"), Err(Error::NotADataset(_))));
+        assert!(matches!(f.dataset("missing/x"), Err(Error::NotFound(_))));
+    }
+
+    #[test]
+    fn duplicate_dataset_rejected() {
+        let mut f = sample_file();
+        let err = f.create_dataset("meta/epoch", Dataset::scalar_i64(30)).unwrap_err();
+        assert!(matches!(err, Error::AlreadyExists(_)));
+    }
+
+    #[test]
+    fn dataset_paths_sorted_and_complete() {
+        let f = sample_file();
+        assert_eq!(
+            f.dataset_paths(),
+            vec![
+                "meta/epoch".to_string(),
+                "model_weights/block1_conv1/bias".to_string(),
+                "model_weights/block1_conv1/kernel".to_string(),
+            ]
+        );
+    }
+
+    #[test]
+    fn datasets_under_group_and_leaf() {
+        let f = sample_file();
+        let under = f.datasets_under("model_weights").unwrap();
+        assert_eq!(under.len(), 2);
+        let leaf = f.datasets_under("meta/epoch").unwrap();
+        assert_eq!(leaf, vec!["meta/epoch".to_string()]);
+        assert!(f.datasets_under("bogus").is_err());
+    }
+
+    #[test]
+    fn entry_counting_uses_dimension_products() {
+        let f = sample_file();
+        // 2*3 + 3 + 1 (scalar)
+        assert_eq!(f.total_entries(), 10);
+    }
+
+    #[test]
+    fn roundtrip_through_bytes() {
+        let f = sample_file();
+        let bytes = f.to_bytes();
+        let g = H5File::from_bytes(&bytes).unwrap();
+        assert_eq!(f, g);
+        // Byte-stability: encoding is deterministic.
+        assert_eq!(bytes, g.to_bytes());
+    }
+
+    #[test]
+    fn save_and_load_file() {
+        let dir = std::env::temp_dir().join("sefi_hdf5_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("ckpt.sefi5");
+        let f = sample_file();
+        f.save(&p).unwrap();
+        let g = H5File::load(&p).unwrap();
+        assert_eq!(f, g);
+    }
+}

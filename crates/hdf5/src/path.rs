@@ -1,0 +1,53 @@
+//! Object-path handling: `/`-separated absolute paths without a leading
+//! slash, e.g. `predictor/conv1_1/W`.
+
+use crate::error::{Error, Result};
+
+/// Split a path into its segments. Assumes validation already happened.
+pub fn split_path(path: &str) -> Vec<&str> {
+    path.split('/').collect()
+}
+
+/// Join segments into a path.
+pub fn join_path(parts: &[&str]) -> String {
+    parts.join("/")
+}
+
+/// Validate a path: non-empty, no empty segments (i.e. no leading/trailing
+/// or doubled slashes), no `.`/`..` segments.
+pub fn validate_path(path: &str) -> Result<()> {
+    if path.is_empty() {
+        return Err(Error::InvalidPath(path.to_string()));
+    }
+    for seg in path.split('/') {
+        if seg.is_empty() || seg == "." || seg == ".." {
+            return Err(Error::InvalidPath(path.to_string()));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_paths() {
+        for p in ["a", "a/b", "model_weights/block1_conv1/kernel", "with space/ok"] {
+            assert!(validate_path(p).is_ok(), "{p}");
+        }
+    }
+
+    #[test]
+    fn invalid_paths() {
+        for p in ["", "/a", "a/", "a//b", "a/./b", "a/../b", "."] {
+            assert!(validate_path(p).is_err(), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn split_join_roundtrip() {
+        let p = "a/b/c";
+        assert_eq!(join_path(&split_path(p)), p);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the checkpoint container.
+
+use proptest::prelude::*;
+use sefi_hdf5::{Attr, Dataset, Dtype, H5File};
+
+fn any_dtype() -> impl Strategy<Value = Dtype> {
+    prop_oneof![
+        Just(Dtype::F16),
+        Just(Dtype::F32),
+        Just(Dtype::F64),
+        Just(Dtype::I32),
+        Just(Dtype::I64),
+        Just(Dtype::U8),
+    ]
+}
+
+fn path_segment() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}".prop_map(|s| s)
+}
+
+/// A small random file: a handful of datasets at random depths.
+fn any_file() -> impl Strategy<Value = H5File> {
+    let entry = (
+        prop::collection::vec(path_segment(), 1..4),
+        any_dtype(),
+        prop::collection::vec(-1000.0f32..1000.0, 0..20),
+    );
+    prop::collection::vec(entry, 0..8).prop_map(|entries| {
+        let mut f = H5File::new();
+        for (segs, dtype, values) in entries {
+            let path = segs.join("/");
+            let ds = if dtype.is_float() {
+                Dataset::from_f32(&values, &[values.len()], dtype).unwrap()
+            } else {
+                let ints: Vec<i64> = values.iter().map(|&v| v as i64).collect();
+                Dataset::from_i64(&ints, &[ints.len()], dtype).unwrap()
+            };
+            // Collisions (dataset blocking a group or duplicate path) are
+            // legitimate: skip those entries.
+            let _ = f.create_dataset(&path, ds);
+        }
+        f
+    })
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_roundtrip(f in any_file()) {
+        let bytes = f.to_bytes();
+        let g = H5File::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(&f, &g);
+        // Deterministic encoding: decode∘encode is byte-stable.
+        prop_assert_eq!(bytes, g.to_bytes());
+    }
+
+    #[test]
+    fn single_byte_corruption_never_panics_and_is_detected_or_rejected(
+        f in any_file(),
+        pos_seed in any::<usize>(),
+        xor in 1u8..=255,
+    ) {
+        let mut bytes = f.to_bytes();
+        let pos = pos_seed % bytes.len();
+        bytes[pos] ^= xor;
+        // Any single-byte flip must produce a clean error (magic, version,
+        // CRC, or structural) — never a panic, never an Ok with different
+        // content accepted silently. An Ok is only possible if the flip was
+        // somehow compensated, which CRC32 prevents for single bytes.
+        prop_assert!(H5File::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncation_never_panics(f in any_file(), cut_seed in any::<usize>()) {
+        let bytes = f.to_bytes();
+        let cut = cut_seed % (bytes.len() + 1);
+        let _ = H5File::from_bytes(&bytes[..cut]); // must not panic
+    }
+
+    #[test]
+    fn entry_count_equals_sum_of_dataset_lengths(f in any_file()) {
+        let total: u64 = f
+            .dataset_paths()
+            .iter()
+            .map(|p| f.dataset(p).unwrap().len() as u64)
+            .sum();
+        prop_assert_eq!(f.total_entries(), total);
+    }
+
+    #[test]
+    fn set_bits_get_bits_roundtrip(
+        dtype in any_dtype(),
+        len in 1usize..16,
+        idx_seed in any::<usize>(),
+        raw in any::<u64>(),
+    ) {
+        let mut ds = Dataset::zeros(&[len], dtype);
+        let idx = idx_seed % len;
+        let masked = raw & (u64::MAX >> (64 - 8 * dtype.size() as u32)).min(u64::MAX);
+        ds.set_bits(idx, masked).unwrap();
+        prop_assert_eq!(ds.get_bits(idx).unwrap(), masked);
+        // Neighbours untouched.
+        for i in 0..len {
+            if i != idx {
+                prop_assert_eq!(ds.get_bits(i).unwrap(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn attrs_roundtrip(name in path_segment(), iv in any::<i64>(), fv in any::<f64>(), sv in ".{0,20}") {
+        prop_assume!(!fv.is_nan()); // NaN != NaN under PartialEq
+        let mut f = H5File::new();
+        let g = f.create_group("g").unwrap();
+        g.set_attr(&format!("{name}_i"), Attr::Int(iv));
+        g.set_attr(&format!("{name}_f"), Attr::Float(fv));
+        g.set_attr(&format!("{name}_s"), Attr::Str(sv));
+        let g2 = H5File::from_bytes(&f.to_bytes()).unwrap();
+        prop_assert_eq!(f, g2);
+    }
+}

@@ -1,0 +1,90 @@
+//! AlexNet, CIFAR-shaped: 5 convolutional layers + 3 fully connected
+//! (Krizhevsky et al.; the paper's smallest model, used for the per-layer
+//! and propagation studies precisely because it "has the fewest number of
+//! layers of the three neural networks", Section V-F).
+//!
+//! The ImageNet stem (11×11 stride-4 kernels) is replaced by the standard
+//! CIFAR adaptation (3×3 stride-1), keeping the layer count and ordering:
+//! conv1 … conv5, fc6, fc7, fc8.
+
+use crate::meta::{ModelKind, ModelMeta};
+use crate::ModelConfig;
+use sefi_nn::{Conv2d, Dense, Flatten, MaxPool2d, Network, ReLU};
+use sefi_rng::DetRng;
+
+/// Build AlexNet. Returns the network and its layer metadata
+/// (first = `conv1`, middle = `conv4`, last = `fc8` — the layers the paper
+/// injects in Figures 4–6).
+pub fn alexnet(config: ModelConfig, rng: &mut DetRng) -> (Network, ModelMeta) {
+    assert!(config.input_size % 8 == 0, "AlexNet needs input divisible by 8");
+    let c1 = config.ch(64);
+    let c2 = config.ch(192);
+    let c3 = config.ch(384);
+    let c4 = config.ch(256);
+    let c5 = config.ch(256);
+    let f6 = config.ch(4096);
+    let f7 = config.ch(4096);
+    let spatial = config.input_size / 8; // three 2× pools
+    let flat = c5 * spatial * spatial;
+
+    let net = Network::new(vec![
+        Box::new(Conv2d::new("conv1", 3, c1, 3, 1, 1, rng)),
+        Box::new(ReLU::new("relu1")),
+        Box::new(MaxPool2d::new("pool1", 2, 2)),
+        Box::new(Conv2d::new("conv2", c1, c2, 3, 1, 1, rng)),
+        Box::new(ReLU::new("relu2")),
+        Box::new(MaxPool2d::new("pool2", 2, 2)),
+        Box::new(Conv2d::new("conv3", c2, c3, 3, 1, 1, rng)),
+        Box::new(ReLU::new("relu3")),
+        Box::new(Conv2d::new("conv4", c3, c4, 3, 1, 1, rng)),
+        Box::new(ReLU::new("relu4")),
+        Box::new(Conv2d::new("conv5", c4, c5, 3, 1, 1, rng)),
+        Box::new(ReLU::new("relu5")),
+        Box::new(MaxPool2d::new("pool5", 2, 2)),
+        Box::new(Flatten::new("flatten")),
+        Box::new(Dense::new("fc6", flat, f6, rng)),
+        Box::new(ReLU::new("relu6")),
+        Box::new(Dense::new("fc7", f6, f7, rng)),
+        Box::new(ReLU::new("relu7")),
+        Box::new(Dense::new("fc8", f7, config.num_classes, rng)),
+    ]);
+
+    let meta = ModelMeta {
+        kind: ModelKind::AlexNet,
+        weight_layers: ["conv1", "conv2", "conv3", "conv4", "conv5", "fc6", "fc7", "fc8"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        first_layer: "conv1".into(),
+        middle_layer: "conv4".into(),
+        last_layer: "fc8".into(),
+    };
+    (net, meta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_eight_weight_layers() {
+        let mut rng = DetRng::new(1);
+        let (_, meta) = alexnet(ModelConfig::default(), &mut rng);
+        assert_eq!(meta.weight_layers.len(), 8);
+        assert_eq!(meta.first_layer, "conv1");
+        assert_eq!(meta.middle_layer, "conv4");
+        assert_eq!(meta.last_layer, "fc8");
+    }
+
+    #[test]
+    fn full_width_parameter_count_matches_alexnet_order_of_magnitude() {
+        // Full-scale CIFAR AlexNet: the FC layers dominate; the paper quotes
+        // 61 M for the ImageNet variant. The CIFAR stem shrinks conv1 and
+        // fc6's input, so expect tens of millions.
+        let mut rng = DetRng::new(1);
+        let (mut net, _) =
+            alexnet(ModelConfig { scale: 1.0, input_size: 32, num_classes: 10 }, &mut rng);
+        let n = net.num_parameters();
+        assert!(n > 20_000_000, "full AlexNet has {n} params");
+    }
+}

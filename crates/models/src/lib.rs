@@ -1,0 +1,79 @@
+//! The paper's three neural-network models, CIFAR-shaped.
+//!
+//! * **AlexNet** — 8 layers: 5 convolutional + 3 fully connected
+//!   (Section III-A; 61 M parameters at full width).
+//! * **VGG16** — 16 layers: 13 convolutional + 3 fully connected
+//!   (138 M parameters at full width).
+//! * **ResNet50** — a 50-layer residual network: a stem convolution,
+//!   16 bottleneck blocks (3+4+6+3) of 3 convolutions each, and a final
+//!   dense layer (26 M parameters at full width).
+//!
+//! All three accept CIFAR-10 geometry (3×32×32, 10 classes). A
+//! **width scale** shrinks every channel/feature count proportionally so
+//! the experiment harness can run hundreds of trainings on CPU; at
+//! `scale = 1.0` the full-width architectures are produced (DESIGN.md §1
+//! documents why per-bit sensitivity phenomena are width-independent).
+
+#![deny(missing_docs)]
+
+mod alexnet;
+mod meta;
+mod resnet;
+mod vgg;
+
+pub use alexnet::alexnet;
+pub use meta::{LayerRole, ModelKind, ModelMeta};
+pub use resnet::resnet50;
+pub use vgg::vgg16;
+
+use sefi_nn::Network;
+use sefi_rng::DetRng;
+
+/// Model construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelConfig {
+    /// Channel/feature width multiplier (1.0 = paper-size architecture).
+    pub scale: f64,
+    /// Input spatial extent (CIFAR-10: 32).
+    pub input_size: usize,
+    /// Number of output classes (CIFAR-10: 10).
+    pub num_classes: usize,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig { scale: 0.125, input_size: 32, num_classes: 10 }
+    }
+}
+
+impl ModelConfig {
+    /// Scale a full-width channel count, with a floor of 4 so tiny scales
+    /// keep blocks functional.
+    pub fn ch(&self, full_width: usize) -> usize {
+        ((full_width as f64 * self.scale).round() as usize).max(4)
+    }
+}
+
+/// Build a model by kind.
+pub fn build(kind: ModelKind, config: ModelConfig, rng: &mut DetRng) -> (Network, ModelMeta) {
+    match kind {
+        ModelKind::AlexNet => alexnet(config, rng),
+        ModelKind::Vgg16 => vgg16(config, rng),
+        ModelKind::ResNet50 => resnet50(config, rng),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_scaling_has_floor() {
+        let c = ModelConfig { scale: 0.01, input_size: 32, num_classes: 10 };
+        assert_eq!(c.ch(64), 4);
+        let c = ModelConfig { scale: 1.0, input_size: 32, num_classes: 10 };
+        assert_eq!(c.ch(64), 64);
+        let c = ModelConfig { scale: 0.125, input_size: 32, num_classes: 10 };
+        assert_eq!(c.ch(64), 8);
+    }
+}

@@ -1,0 +1,82 @@
+//! Model metadata: the map from architectural positions ("the first
+//! convolutional layer") to engine layer names, which the experiments use
+//! to target injections (paper Figures 4–6).
+
+/// Which of the paper's three models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// 5 conv + 3 FC.
+    AlexNet,
+    /// 13 conv + 3 FC.
+    Vgg16,
+    /// Stem + 16 bottlenecks + FC.
+    ResNet50,
+}
+
+impl ModelKind {
+    /// Lower-case identifier used in checkpoint names and tables.
+    pub fn id(self) -> &'static str {
+        match self {
+            ModelKind::AlexNet => "alexnet",
+            ModelKind::Vgg16 => "vgg16",
+            ModelKind::ResNet50 => "resnet50",
+        }
+    }
+
+    /// All three, in the paper's table order.
+    pub fn all() -> [ModelKind; 3] {
+        [ModelKind::ResNet50, ModelKind::Vgg16, ModelKind::AlexNet]
+    }
+}
+
+/// Structural position of a layer within a model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayerRole {
+    /// The model's first weight layer (paper: "layer 1 (convolutional)").
+    First,
+    /// The designated middle weight layer (AlexNet: layer 4).
+    Middle,
+    /// The final weight layer (AlexNet: layer 8, fully connected).
+    Last,
+}
+
+/// Metadata describing a constructed model.
+#[derive(Debug, Clone)]
+pub struct ModelMeta {
+    /// Which architecture.
+    pub kind: ModelKind,
+    /// Engine names of all weight-bearing layers, in forward order.
+    /// For composite layers the name is the top-level layer (the residual
+    /// block), which is also the checkpoint group that contains it.
+    pub weight_layers: Vec<String>,
+    /// Engine layer name for the first weight layer.
+    pub first_layer: String,
+    /// Engine layer name for the middle weight layer.
+    pub middle_layer: String,
+    /// Engine layer name for the last weight layer.
+    pub last_layer: String,
+}
+
+impl ModelMeta {
+    /// Engine layer name for a structural role.
+    pub fn layer_for_role(&self, role: LayerRole) -> &str {
+        match role {
+            LayerRole::First => &self.first_layer,
+            LayerRole::Middle => &self.middle_layer,
+            LayerRole::Last => &self.last_layer,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_stable() {
+        assert_eq!(ModelKind::AlexNet.id(), "alexnet");
+        assert_eq!(ModelKind::Vgg16.id(), "vgg16");
+        assert_eq!(ModelKind::ResNet50.id(), "resnet50");
+        assert_eq!(ModelKind::all().len(), 3);
+    }
+}

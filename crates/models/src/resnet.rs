@@ -1,0 +1,121 @@
+//! ResNet50, CIFAR-shaped: stem convolution, four stages of bottleneck
+//! blocks (3 + 4 + 6 + 3 = 16 blocks × 3 convolutions), global average
+//! pooling, and a dense classifier — 50 weight layers (He et al.). The
+//! paper's only residual model ("shortcuts or skip connections to move
+//! between layers", Section III-A).
+//!
+//! Block names follow the original nomenclature: `res2a` … `res5c`, with
+//! inner convolutions `conv1`/`conv2`/`conv3` and projection `proj`.
+
+use crate::meta::{ModelKind, ModelMeta};
+use crate::ModelConfig;
+use sefi_nn::{AvgPool2d, BatchNorm2d, Conv2d, Dense, Flatten, Layer, Network, ReLU, Residual};
+use sefi_rng::DetRng;
+
+/// (stage base width, block count); output channels are 4× the base.
+const STAGES: [(usize, usize); 4] = [(64, 3), (128, 4), (256, 6), (512, 3)];
+const EXPANSION: usize = 4;
+
+fn bottleneck(
+    name: &str,
+    in_ch: usize,
+    base: usize,
+    stride: usize,
+    rng: &mut DetRng,
+) -> Residual {
+    let out_ch = base * EXPANSION;
+    let main: Vec<Box<dyn Layer>> = vec![
+        Box::new(Conv2d::new("conv1", in_ch, base, 1, 1, 0, rng)),
+        Box::new(BatchNorm2d::new("bn1", base)),
+        Box::new(ReLU::new("relu1")),
+        Box::new(Conv2d::new("conv2", base, base, 3, stride, 1, rng)),
+        Box::new(BatchNorm2d::new("bn2", base)),
+        Box::new(ReLU::new("relu2")),
+        Box::new(Conv2d::new("conv3", base, out_ch, 1, 1, 0, rng)),
+        Box::new(BatchNorm2d::new("bn3", out_ch)),
+    ];
+    let shortcut: Vec<Box<dyn Layer>> = if stride != 1 || in_ch != out_ch {
+        vec![
+            Box::new(Conv2d::new("proj", in_ch, out_ch, 1, stride, 0, rng)),
+            Box::new(BatchNorm2d::new("proj_bn", out_ch)),
+        ]
+    } else {
+        vec![]
+    };
+    Residual::new(name, main, shortcut)
+}
+
+/// Build ResNet50. First = the stem `conv1`, middle = block `res3d`
+/// (the 8th of 16 bottlenecks), last = the classifier `fc`.
+pub fn resnet50(config: ModelConfig, rng: &mut DetRng) -> (Network, ModelMeta) {
+    assert!(config.input_size % 8 == 0, "ResNet50 needs input divisible by 8");
+    let stem = config.ch(64);
+    let mut layers: Vec<Box<dyn Layer>> = vec![
+        // CIFAR stem: 3×3 stride 1 (the ImageNet 7×7/2 + maxpool would
+        // collapse 32×32 inputs too aggressively).
+        Box::new(Conv2d::new("conv1", 3, stem, 3, 1, 1, rng)),
+        Box::new(BatchNorm2d::new("bn1", stem)),
+        Box::new(ReLU::new("relu1")),
+    ];
+    let mut weight_layers = vec!["conv1".to_string()];
+    let mut in_ch = stem;
+
+    for (s, &(full_base, blocks)) in STAGES.iter().enumerate() {
+        let base = config.ch(full_base);
+        for b in 0..blocks {
+            // Stage 2 keeps stride 1 (its first block only projects
+            // channels); stages 3-5 downsample in their first block.
+            let stride = if b == 0 && s > 0 { 2 } else { 1 };
+            let name = format!("res{}{}", s + 2, (b'a' + b as u8) as char);
+            layers.push(Box::new(bottleneck(&name, in_ch, base, stride, rng)));
+            weight_layers.push(name);
+            in_ch = base * EXPANSION;
+        }
+    }
+
+    // Three stage transitions halve the spatial extent.
+    let spatial = config.input_size / 8;
+    layers.push(Box::new(AvgPool2d::new("global_pool", spatial, spatial)));
+    layers.push(Box::new(Flatten::new("flatten")));
+    layers.push(Box::new(Dense::new("fc", in_ch, config.num_classes, rng)));
+    weight_layers.push("fc".to_string());
+
+    let meta = ModelMeta {
+        kind: ModelKind::ResNet50,
+        first_layer: "conv1".into(),
+        middle_layer: "res3d".into(),
+        last_layer: "fc".into(),
+        weight_layers,
+    };
+    (Network::new(layers), meta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_stem_sixteen_blocks_and_fc() {
+        let mut rng = DetRng::new(1);
+        let (_, meta) = resnet50(ModelConfig::default(), &mut rng);
+        assert_eq!(meta.weight_layers.len(), 1 + 16 + 1);
+        assert_eq!(meta.weight_layers[1], "res2a");
+        assert_eq!(meta.weight_layers[16], "res5c");
+        assert_eq!(meta.middle_layer, "res3d");
+    }
+
+    #[test]
+    fn fifty_weight_layer_count() {
+        // 1 stem + 16 blocks × 3 convs + 1 fc = 50 weight layers; blocks
+        // with projections add their shortcut conv on top.
+        let mut rng = DetRng::new(1);
+        let (mut net, _) = resnet50(ModelConfig::default(), &mut rng);
+        let conv_and_fc = net
+            .params_mut()
+            .iter()
+            .filter(|p| p.name.ends_with("/W"))
+            .count();
+        // 1 + 48 + 1 = 50 core weight layers, plus 4 projection convs.
+        assert_eq!(conv_and_fc, 54);
+    }
+}

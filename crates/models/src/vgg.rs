@@ -1,0 +1,98 @@
+//! VGG16, CIFAR-shaped: 13 convolutional layers in five pooled blocks plus
+//! three fully connected layers (Simonyan & Zisserman). The paper singles
+//! out VGG16's "large size, no skip connections" as the reason it absorbs
+//! more bit-flips than the other models (Section V-B2).
+//!
+//! Layer names follow the TensorFlow/Keras convention the paper quotes in
+//! its equivalent-injection example: `block1_conv1` … `block5_conv3`.
+
+use crate::meta::{ModelKind, ModelMeta};
+use crate::ModelConfig;
+use sefi_nn::{Conv2d, Dense, Flatten, Layer, MaxPool2d, Network, ReLU};
+use sefi_rng::DetRng;
+
+/// Channels per block at full width.
+const BLOCKS: [(usize, usize); 5] = [(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)];
+
+/// Build VGG16. First = `block1_conv1`, middle = `block3_conv1` (the 7th of
+/// 13 convolutions), last = `fc3`.
+pub fn vgg16(config: ModelConfig, rng: &mut DetRng) -> (Network, ModelMeta) {
+    assert!(
+        config.input_size >= 8 && config.input_size.is_power_of_two(),
+        "VGG16 needs a power-of-two input of at least 8"
+    );
+    let mut layers: Vec<Box<dyn Layer>> = Vec::new();
+    let mut weight_layers = Vec::new();
+    let mut in_ch = 3usize;
+    let mut spatial = config.input_size;
+
+    for (b, &(full, convs)) in BLOCKS.iter().enumerate() {
+        let out_ch = config.ch(full);
+        for c in 0..convs {
+            let name = format!("block{}_conv{}", b + 1, c + 1);
+            layers.push(Box::new(Conv2d::new(&name, in_ch, out_ch, 3, 1, 1, rng)));
+            layers.push(Box::new(ReLU::new(&format!("block{}_relu{}", b + 1, c + 1))));
+            weight_layers.push(name);
+            in_ch = out_ch;
+        }
+        // At 32×32 all five block pools fire (32 → 1), the standard CIFAR
+        // adaptation; smaller experiment inputs skip trailing pools once
+        // the spatial extent bottoms out at 1.
+        if spatial >= 2 {
+            layers.push(Box::new(MaxPool2d::new(&format!("block{}_pool", b + 1), 2, 2)));
+            spatial /= 2;
+        }
+    }
+
+    let flat = in_ch * spatial * spatial;
+    let f1 = config.ch(4096);
+    let f2 = config.ch(4096);
+    layers.push(Box::new(Flatten::new("flatten")));
+    layers.push(Box::new(Dense::new("fc1", flat, f1, rng)));
+    layers.push(Box::new(ReLU::new("fc1_relu")));
+    layers.push(Box::new(Dense::new("fc2", f1, f2, rng)));
+    layers.push(Box::new(ReLU::new("fc2_relu")));
+    layers.push(Box::new(Dense::new("fc3", f2, config.num_classes, rng)));
+    for fc in ["fc1", "fc2", "fc3"] {
+        weight_layers.push(fc.to_string());
+    }
+
+    let meta = ModelMeta {
+        kind: ModelKind::Vgg16,
+        first_layer: "block1_conv1".into(),
+        middle_layer: "block3_conv1".into(),
+        last_layer: "fc3".into(),
+        weight_layers,
+    };
+    (Network::new(layers), meta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_sixteen_weight_layers() {
+        let mut rng = DetRng::new(1);
+        let (_, meta) = vgg16(ModelConfig::default(), &mut rng);
+        assert_eq!(meta.weight_layers.len(), 16); // 13 conv + 3 fc
+        assert_eq!(meta.weight_layers[0], "block1_conv1");
+        assert_eq!(meta.weight_layers[12], "block5_conv3");
+        assert_eq!(meta.last_layer, "fc3");
+    }
+
+    #[test]
+    fn vgg_is_the_largest_model() {
+        // Paper: VGG16 has ~138 M parameters, the largest of the three.
+        let mut rng = DetRng::new(1);
+        let cfg = ModelConfig { scale: 0.125, input_size: 32, num_classes: 10 };
+        let (mut v, _) = vgg16(cfg, &mut rng);
+        let (mut a, _) = crate::alexnet(cfg, &mut DetRng::new(1));
+        let (mut r, _) = crate::resnet50(cfg, &mut DetRng::new(1));
+        let nv = v.num_parameters();
+        assert!(nv > r.num_parameters(), "VGG must outsize ResNet50");
+        // At CIFAR geometry AlexNet's fc6 is smaller than ImageNet's, so VGG
+        // dominates it as well.
+        assert!(nv > a.num_parameters() / 2, "sanity: VGG within range of AlexNet");
+    }
+}

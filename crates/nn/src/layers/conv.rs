@@ -1,0 +1,122 @@
+//! 2-D convolution layer.
+
+use super::{Layer, ParamRefMut};
+use sefi_rng::DetRng;
+use sefi_tensor::{conv2d, conv2d_backward, he_normal, ConvSpec, Tensor};
+
+/// A convolutional layer with weights `[out_ch, in_ch, k, k]` and a bias.
+pub struct Conv2d {
+    name: String,
+    weight: Tensor,
+    bias: Tensor,
+    dweight: Tensor,
+    dbias: Tensor,
+    spec: ConvSpec,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// He-initialized convolution.
+    pub fn new(
+        name: &str,
+        in_ch: usize,
+        out_ch: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut DetRng,
+    ) -> Self {
+        let fan_in = in_ch * kernel * kernel;
+        let shape = [out_ch, in_ch, kernel, kernel];
+        Conv2d {
+            name: name.to_string(),
+            weight: he_normal(&shape, fan_in, rng),
+            bias: Tensor::zeros(&[out_ch]),
+            dweight: Tensor::zeros(&shape),
+            dbias: Tensor::zeros(&[out_ch]),
+            spec: ConvSpec { stride, pad },
+            cached_input: None,
+        }
+    }
+
+    /// The convolution geometry.
+    pub fn spec(&self) -> ConvSpec {
+        self.spec
+    }
+
+    /// Weight shape `[out_ch, in_ch, k, k]`.
+    pub fn weight_shape(&self) -> &[usize] {
+        self.weight.shape()
+    }
+}
+
+impl Layer for Conv2d {
+    fn layer_name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, x: Tensor, _train: bool) -> Tensor {
+        let out = conv2d(&x, &self.weight, &self.bias, self.spec);
+        self.cached_input = Some(x);
+        out
+    }
+
+    fn backward(&mut self, dout: Tensor) -> Tensor {
+        let x = self.cached_input.take().expect("backward before forward");
+        let grads = conv2d_backward(&x, &self.weight, &dout, self.spec);
+        self.dweight.add_assign(&grads.dw);
+        self.dbias.add_assign(&grads.db);
+        grads.dx
+    }
+
+    fn params_mut(&mut self) -> Vec<ParamRefMut<'_>> {
+        vec![
+            ParamRefMut { name: "W".into(), value: &mut self.weight, grad: &mut self.dweight },
+            ParamRefMut { name: "b".into(), value: &mut self.bias, grad: &mut self.dbias },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shape_and_params() {
+        let mut rng = DetRng::new(1);
+        let mut c = Conv2d::new("c1", 3, 8, 3, 1, 1, &mut rng);
+        let x = Tensor::zeros(&[2, 3, 16, 16]);
+        let y = c.forward(x, true);
+        assert_eq!(y.shape(), &[2, 8, 16, 16]);
+        let names: Vec<String> = c.params_mut().into_iter().map(|p| p.name).collect();
+        assert_eq!(names, vec!["W", "b"]);
+    }
+
+    #[test]
+    fn backward_accumulates_gradients() {
+        let mut rng = DetRng::new(2);
+        let mut c = Conv2d::new("c1", 1, 2, 3, 1, 0, &mut rng);
+        let x = Tensor::full(&[1, 1, 5, 5], 1.0);
+        let y = c.forward(x.clone(), true);
+        let d = Tensor::full(y.shape(), 1.0);
+        let _ = c.backward(d);
+        let g1: f32 = c.params_mut()[0].grad.data().iter().sum();
+        // Second pass accumulates on top.
+        let y = c.forward(x, true);
+        let d = Tensor::full(y.shape(), 1.0);
+        let _ = c.backward(d);
+        let g2: f32 = c.params_mut()[0].grad.data().iter().sum();
+        assert!((g2 - 2.0 * g1).abs() < 1e-3);
+        c.zero_grad();
+        let g3: f32 = c.params_mut()[0].grad.data().iter().sum();
+        assert_eq!(g3, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward before forward")]
+    fn backward_without_forward_panics() {
+        let mut rng = DetRng::new(3);
+        let mut c = Conv2d::new("c", 1, 1, 3, 1, 1, &mut rng);
+        c.backward(Tensor::zeros(&[1, 1, 4, 4]));
+    }
+}

@@ -1,0 +1,127 @@
+//! Pooling layers.
+
+use super::Layer;
+use sefi_tensor::{avgpool2d, maxpool2d, maxpool2d_backward, PoolSpec, Tensor};
+
+/// Max pooling.
+pub struct MaxPool2d {
+    name: String,
+    spec: PoolSpec,
+    arg: Vec<usize>,
+    input_shape: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Window `size`, step `stride`.
+    pub fn new(name: &str, size: usize, stride: usize) -> Self {
+        MaxPool2d {
+            name: name.to_string(),
+            spec: PoolSpec { size, stride },
+            arg: Vec::new(),
+            input_shape: Vec::new(),
+        }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn layer_name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, x: Tensor, _train: bool) -> Tensor {
+        self.input_shape = x.shape().to_vec();
+        let (out, arg) = maxpool2d(&x, self.spec);
+        self.arg = arg;
+        out
+    }
+
+    fn backward(&mut self, dout: Tensor) -> Tensor {
+        assert!(!self.input_shape.is_empty(), "backward before forward");
+        maxpool2d_backward(&dout, &self.arg, &self.input_shape)
+    }
+}
+
+/// Average pooling. With `size == stride == spatial extent` this is the
+/// global average pooling that closes ResNet50.
+pub struct AvgPool2d {
+    name: String,
+    spec: PoolSpec,
+    input_shape: Vec<usize>,
+}
+
+impl AvgPool2d {
+    /// Window `size`, step `stride`.
+    pub fn new(name: &str, size: usize, stride: usize) -> Self {
+        AvgPool2d { name: name.to_string(), spec: PoolSpec { size, stride }, input_shape: Vec::new() }
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn layer_name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, x: Tensor, _train: bool) -> Tensor {
+        self.input_shape = x.shape().to_vec();
+        avgpool2d(&x, self.spec)
+    }
+
+    fn backward(&mut self, dout: Tensor) -> Tensor {
+        assert!(!self.input_shape.is_empty(), "backward before forward");
+        // Spread each output gradient uniformly over its window.
+        let [n, c, h, w] =
+            [self.input_shape[0], self.input_shape[1], self.input_shape[2], self.input_shape[3]];
+        let oh = dout.shape()[2];
+        let ow = dout.shape()[3];
+        let norm = 1.0 / (self.spec.size * self.spec.size) as f32;
+        let mut dx = Tensor::zeros(&self.input_shape);
+        let d = dout.data();
+        let out = dx.data_mut();
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * h * w;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = d[((ni * c + ci) * oh + oy) * ow + ox] * norm;
+                        for ky in 0..self.spec.size {
+                            for kx in 0..self.spec.size {
+                                out[base
+                                    + (oy * self.spec.stride + ky) * w
+                                    + (ox * self.spec.stride + kx)] += g;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        dx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_layer_roundtrip() {
+        let mut p = MaxPool2d::new("p", 2, 2);
+        let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]);
+        let y = p.forward(x, true);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[5.0, 7.0, 13.0, 15.0]);
+        let dx = p.backward(Tensor::full(&[1, 1, 2, 2], 1.0));
+        assert_eq!(dx.sum(), 4.0);
+        assert_eq!(dx.at(&[0, 0, 1, 1]), 1.0);
+    }
+
+    #[test]
+    fn avgpool_gradient_is_uniform() {
+        let mut p = AvgPool2d::new("g", 4, 4);
+        let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]);
+        let y = p.forward(x, true);
+        assert_eq!(y.shape(), &[1, 1, 1, 1]);
+        assert!((y.data()[0] - 7.5).abs() < 1e-6);
+        let dx = p.backward(Tensor::full(&[1, 1, 1, 1], 16.0));
+        assert!(dx.data().iter().all(|&g| (g - 1.0).abs() < 1e-6));
+    }
+}

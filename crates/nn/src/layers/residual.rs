@@ -1,0 +1,191 @@
+//! Residual block: `y = ReLU(main(x) + shortcut(x))`.
+//!
+//! The paper's third model is ResNet50, "a type of network that uses
+//! shortcuts or skip connections to move between layers" (Section III-A).
+//! Composite layers prefix their children's parameter names, so checkpoint
+//! paths look like `res2a/conv1/W`.
+
+use super::{Layer, ParamRefMut, StateRefMut};
+use sefi_tensor::Tensor;
+
+/// A residual block with a main branch and an optional projection shortcut
+/// (identity when `None`). A final ReLU follows the join.
+pub struct Residual {
+    name: String,
+    main: Vec<Box<dyn Layer>>,
+    shortcut: Vec<Box<dyn Layer>>,
+    relu_mask: Vec<bool>,
+    cached_input: Option<Tensor>,
+}
+
+impl Residual {
+    /// Build from branch layer stacks. An empty `shortcut` means identity.
+    pub fn new(name: &str, main: Vec<Box<dyn Layer>>, shortcut: Vec<Box<dyn Layer>>) -> Self {
+        assert!(!main.is_empty(), "residual main branch cannot be empty");
+        Residual {
+            name: name.to_string(),
+            main,
+            shortcut,
+            relu_mask: Vec::new(),
+            cached_input: None,
+        }
+    }
+}
+
+impl Layer for Residual {
+    fn layer_name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, x: Tensor, train: bool) -> Tensor {
+        self.cached_input = Some(x.clone());
+        let mut m = x.clone();
+        for layer in &mut self.main {
+            m = layer.forward(m, train);
+        }
+        let mut s = x;
+        for layer in &mut self.shortcut {
+            s = layer.forward(s, train);
+        }
+        assert_eq!(
+            m.shape(),
+            s.shape(),
+            "residual join shape mismatch in {}: main {:?} vs shortcut {:?}",
+            self.name,
+            m.shape(),
+            s.shape()
+        );
+        m.add_assign(&s);
+        // Final ReLU.
+        self.relu_mask.clear();
+        self.relu_mask.reserve(m.len());
+        for v in m.data_mut() {
+            let pass = *v > 0.0;
+            self.relu_mask.push(pass);
+            if !pass {
+                *v = 0.0;
+            }
+        }
+        m
+    }
+
+    fn backward(&mut self, mut dout: Tensor) -> Tensor {
+        assert_eq!(dout.len(), self.relu_mask.len(), "backward before forward");
+        self.cached_input.take().expect("backward before forward");
+        for (g, &pass) in dout.data_mut().iter_mut().zip(&self.relu_mask) {
+            if !pass {
+                *g = 0.0;
+            }
+        }
+        // Main branch, reversed.
+        let mut dm = dout.clone();
+        for layer in self.main.iter_mut().rev() {
+            dm = layer.backward(dm);
+        }
+        // Shortcut branch (identity passes dout straight through).
+        let mut ds = dout;
+        for layer in self.shortcut.iter_mut().rev() {
+            ds = layer.backward(ds);
+        }
+        dm.add_assign(&ds);
+        dm
+    }
+
+    fn params_mut(&mut self) -> Vec<ParamRefMut<'_>> {
+        let mut out = Vec::new();
+        for layer in self.main.iter_mut().chain(self.shortcut.iter_mut()) {
+            let prefix = layer.layer_name().to_string();
+            for p in layer.params_mut() {
+                out.push(ParamRefMut {
+                    name: format!("{prefix}/{}", p.name),
+                    value: p.value,
+                    grad: p.grad,
+                });
+            }
+        }
+        out
+    }
+
+    fn state_mut(&mut self) -> Vec<StateRefMut<'_>> {
+        let mut out = Vec::new();
+        for layer in self.main.iter_mut().chain(self.shortcut.iter_mut()) {
+            let prefix = layer.layer_name().to_string();
+            for s in layer.state_mut() {
+                out.push(StateRefMut { name: format!("{prefix}/{}", s.name), value: s.value });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Conv2d, ReLU};
+    use sefi_rng::DetRng;
+
+    fn block(rng: &mut DetRng) -> Residual {
+        Residual::new(
+            "res1",
+            vec![
+                Box::new(Conv2d::new("conv1", 2, 2, 3, 1, 1, rng)),
+                Box::new(ReLU::new("relu1")),
+                Box::new(Conv2d::new("conv2", 2, 2, 3, 1, 1, rng)),
+            ],
+            vec![],
+        )
+    }
+
+    #[test]
+    fn identity_shortcut_preserves_shape() {
+        let mut rng = DetRng::new(1);
+        let mut r = block(&mut rng);
+        let x = Tensor::full(&[1, 2, 4, 4], 0.5);
+        let y = r.forward(x, true);
+        assert_eq!(y.shape(), &[1, 2, 4, 4]);
+        assert!(y.data().iter().all(|&v| v >= 0.0)); // post-join ReLU
+    }
+
+    #[test]
+    fn param_names_are_prefixed() {
+        let mut rng = DetRng::new(2);
+        let mut r = block(&mut rng);
+        let names: Vec<String> = r.params_mut().into_iter().map(|p| p.name).collect();
+        assert_eq!(names, vec!["conv1/W", "conv1/b", "conv2/W", "conv2/b"]);
+    }
+
+    #[test]
+    fn projection_shortcut_params_included() {
+        let mut rng = DetRng::new(3);
+        let r = Residual::new(
+            "res2",
+            vec![Box::new(Conv2d::new("conv1", 2, 4, 3, 2, 1, &mut rng))],
+            vec![Box::new(Conv2d::new("proj", 2, 4, 1, 2, 0, &mut rng))],
+        );
+        let mut r = r;
+        let names: Vec<String> = r.params_mut().into_iter().map(|p| p.name).collect();
+        assert!(names.contains(&"proj/W".to_string()));
+        let x = Tensor::full(&[1, 2, 8, 8], 0.3);
+        let y = r.forward(x, true);
+        assert_eq!(y.shape(), &[1, 4, 4, 4]);
+    }
+
+    #[test]
+    fn gradient_flows_through_both_branches() {
+        let mut rng = DetRng::new(4);
+        let mut r = block(&mut rng);
+        let x = Tensor::full(&[1, 2, 4, 4], 0.5);
+        let y = r.forward(x, true);
+        let dx = r.backward(Tensor::full(y.shape(), 1.0));
+        assert_eq!(dx.shape(), &[1, 2, 4, 4]);
+        // With identity shortcut the input gradient includes the masked
+        // upstream gradient directly, so it cannot be all zeros.
+        assert!(dx.data().iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "main branch cannot be empty")]
+    fn empty_main_rejected() {
+        Residual::new("bad", vec![], vec![]);
+    }
+}

@@ -1,0 +1,114 @@
+//! Softmax cross-entropy loss.
+
+use sefi_tensor::Tensor;
+
+/// Compute mean cross-entropy over a batch of logits `[n, classes]` and
+/// return `(loss, dlogits)` where `dlogits` is the gradient of the mean
+/// loss w.r.t. the logits.
+///
+/// Numerically stabilized by subtracting the row max before exponentiation.
+/// If a logit row contains NaN/Inf the loss will be non-finite — callers
+/// (the trainer) use that as the N-EV collapse signal rather than this
+/// function masking it.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[u8]) -> (f64, Tensor) {
+    let s = logits.shape();
+    assert_eq!(s.len(), 2, "logits must be [n, classes]");
+    let (n, c) = (s[0], s[1]);
+    assert_eq!(labels.len(), n, "labels/batch mismatch");
+    let src = logits.data();
+    let mut dlogits = Tensor::zeros(&[n, c]);
+    let d = dlogits.data_mut();
+    let mut loss = 0.0f64;
+    let inv_n = 1.0 / n as f32;
+
+    for (i, &label) in labels.iter().enumerate() {
+        let label = label as usize;
+        assert!(label < c, "label {label} out of range for {c} classes");
+        let row = &src[i * c..(i + 1) * c];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0f64;
+        for &v in row {
+            denom += ((v - max) as f64).exp();
+        }
+        let log_denom = denom.ln();
+        loss -= (row[label] - max) as f64 - log_denom;
+        for (j, &v) in row.iter().enumerate() {
+            let p = (((v - max) as f64).exp() / denom) as f32;
+            d[i * c + j] = (p - if j == label { 1.0 } else { 0.0 }) * inv_n;
+        }
+    }
+    (loss / n as f64, dlogits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_c() {
+        let logits = Tensor::zeros(&[4, 10]);
+        let labels = [0u8, 3, 7, 9];
+        let (loss, _) = softmax_cross_entropy(&logits, &labels);
+        assert!((loss - (10.0f64).ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perfect_prediction_has_tiny_loss() {
+        let mut logits = Tensor::zeros(&[1, 3]);
+        logits.data_mut()[1] = 100.0;
+        let (loss, _) = softmax_cross_entropy(&logits, &[1]);
+        assert!(loss < 1e-6);
+    }
+
+    #[test]
+    fn gradient_matches_numeric() {
+        let logits =
+            Tensor::from_vec(vec![0.3, -0.7, 1.1, 0.2, 0.9, -1.0], &[2, 3]);
+        let labels = [2u8, 0];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3f32;
+        for flat in 0..6 {
+            let mut lp = logits.clone();
+            lp.data_mut()[flat] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[flat] -= eps;
+            let (loss_p, _) = softmax_cross_entropy(&lp, &labels);
+            let (loss_m, _) = softmax_cross_entropy(&lm, &labels);
+            let num = (loss_p - loss_m) / (2.0 * eps as f64);
+            let ana = grad.data()[flat] as f64;
+            assert!((num - ana).abs() < 1e-5, "grad[{flat}]: {num} vs {ana}");
+        }
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.5, 0.0], &[2, 3]);
+        let (_, grad) = softmax_cross_entropy(&logits, &[0, 1]);
+        for row in grad.data().chunks(3) {
+            let s: f32 = row.iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn large_logits_do_not_overflow() {
+        let logits = Tensor::from_vec(vec![1e4, -1e4, 0.0], &[1, 3]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss.is_finite());
+        assert!(!grad.has_non_finite());
+    }
+
+    #[test]
+    fn nan_logits_surface_as_nan_loss() {
+        let logits = Tensor::from_vec(vec![f32::NAN, 0.0], &[1, 2]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss.is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "label")]
+    fn out_of_range_label_panics() {
+        let logits = Tensor::zeros(&[1, 3]);
+        softmax_cross_entropy(&logits, &[3]);
+    }
+}

@@ -1,0 +1,239 @@
+//! Sequential network container.
+
+use crate::layers::{Layer, ParamRefMut};
+use crate::statedict::StateDict;
+use sefi_tensor::Tensor;
+use std::collections::HashMap;
+
+/// A feed-forward stack of layers (which may themselves be composite, e.g.
+/// [`crate::Residual`]) with qualified parameter naming and state-dict
+/// import/export.
+pub struct Network {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Network {
+    /// Build from a layer stack.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        let mut names = std::collections::HashSet::new();
+        for l in &layers {
+            assert!(names.insert(l.layer_name().to_string()), "duplicate layer name {:?}", l.layer_name());
+        }
+        Network { layers }
+    }
+
+    /// Layer names in order.
+    pub fn layer_names(&self) -> Vec<&str> {
+        self.layers.iter().map(|l| l.layer_name()).collect()
+    }
+
+    /// Forward through all layers.
+    pub fn forward(&mut self, x: Tensor, train: bool) -> Tensor {
+        let mut h = x;
+        for layer in &mut self.layers {
+            h = layer.forward(h, train);
+        }
+        h
+    }
+
+    /// Backward through all layers (after a forward pass).
+    pub fn backward(&mut self, dout: Tensor) -> Tensor {
+        let mut d = dout;
+        for layer in self.layers.iter_mut().rev() {
+            d = layer.backward(d);
+        }
+        d
+    }
+
+    /// Zero all parameter gradients.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    /// All trainable parameters with fully qualified `layer/param` names,
+    /// in deterministic traversal order.
+    pub fn params_mut(&mut self) -> Vec<ParamRefMut<'_>> {
+        let mut out = Vec::new();
+        for layer in &mut self.layers {
+            let prefix = layer.layer_name().to_string();
+            for p in layer.params_mut() {
+                out.push(ParamRefMut {
+                    name: format!("{prefix}/{}", p.name),
+                    value: p.value,
+                    grad: p.grad,
+                });
+            }
+        }
+        out
+    }
+
+    /// Total number of trainable scalars.
+    pub fn num_parameters(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.value.len()).sum()
+    }
+
+    /// Export parameters and auxiliary state as a [`StateDict`].
+    pub fn state_dict(&mut self) -> StateDict {
+        let mut sd = StateDict::new();
+        for layer in &mut self.layers {
+            let prefix = layer.layer_name().to_string();
+            for p in layer.params_mut() {
+                sd.push(format!("{prefix}/{}", p.name), p.value.clone(), true);
+            }
+            for s in layer.state_mut() {
+                sd.push(format!("{prefix}/{}", s.name), s.value.clone(), false);
+            }
+        }
+        sd
+    }
+
+    /// Load a [`StateDict`] previously produced by [`Network::state_dict`]
+    /// on an identically shaped network. Every network tensor must be
+    /// present with a matching shape; extra entries are rejected too —
+    /// silent partial loads would invalidate experiments.
+    pub fn load_state_dict(&mut self, sd: &StateDict) -> Result<(), String> {
+        let mut by_path: HashMap<&str, &crate::NamedTensor> =
+            sd.entries().iter().map(|e| (e.path.as_str(), e)).collect();
+        for layer in &mut self.layers {
+            let prefix = layer.layer_name().to_string();
+            for p in layer.params_mut() {
+                let path = format!("{prefix}/{}", p.name);
+                let entry = by_path
+                    .remove(path.as_str())
+                    .ok_or_else(|| format!("missing tensor {path:?} in state dict"))?;
+                if entry.tensor.shape() != p.value.shape() {
+                    return Err(format!(
+                        "shape mismatch for {path:?}: network {:?}, checkpoint {:?}",
+                        p.value.shape(),
+                        entry.tensor.shape()
+                    ));
+                }
+                *p.value = entry.tensor.clone();
+            }
+            for s in layer.state_mut() {
+                let path = format!("{prefix}/{}", s.name);
+                let entry = by_path
+                    .remove(path.as_str())
+                    .ok_or_else(|| format!("missing tensor {path:?} in state dict"))?;
+                if entry.tensor.shape() != s.value.shape() {
+                    return Err(format!(
+                        "shape mismatch for {path:?}: network {:?}, checkpoint {:?}",
+                        s.value.shape(),
+                        entry.tensor.shape()
+                    ));
+                }
+                *s.value = entry.tensor.clone();
+            }
+        }
+        if let Some((path, _)) = by_path.into_iter().next() {
+            return Err(format!("unexpected tensor {path:?} in state dict"));
+        }
+        Ok(())
+    }
+
+    /// Class predictions (row argmax of the logits) for a batch.
+    pub fn predict(&mut self, x: Tensor) -> Vec<usize> {
+        self.forward(x, false).argmax_rows()
+    }
+
+    /// True if any parameter or state tensor holds a non-finite value.
+    pub fn has_non_finite(&mut self) -> bool {
+        self.state_dict().has_non_finite()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Conv2d, Dense, Flatten, MaxPool2d, ReLU};
+    use sefi_rng::DetRng;
+
+    fn tiny_net(seed: u64) -> Network {
+        let mut rng = DetRng::new(seed);
+        Network::new(vec![
+            Box::new(Conv2d::new("conv1", 3, 4, 3, 1, 1, &mut rng)),
+            Box::new(ReLU::new("relu1")),
+            Box::new(MaxPool2d::new("pool1", 2, 2)),
+            Box::new(Flatten::new("flat")),
+            Box::new(Dense::new("fc", 4 * 4 * 4, 10, &mut rng)),
+        ])
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut net = tiny_net(1);
+        let y = net.forward(Tensor::zeros(&[2, 3, 8, 8]), false);
+        assert_eq!(y.shape(), &[2, 10]);
+    }
+
+    #[test]
+    fn qualified_param_names() {
+        let mut net = tiny_net(1);
+        let names: Vec<String> = net.params_mut().into_iter().map(|p| p.name).collect();
+        assert_eq!(names, vec!["conv1/W", "conv1/b", "fc/W", "fc/b"]);
+    }
+
+    #[test]
+    fn state_dict_roundtrip_restores_outputs() {
+        let mut a = tiny_net(1);
+        let sd = a.state_dict();
+        let mut b = tiny_net(2); // different init
+        let x = Tensor::full(&[1, 3, 8, 8], 0.5);
+        assert_ne!(a.forward(x.clone(), false).data(), b.forward(x.clone(), false).data());
+        b.load_state_dict(&sd).unwrap();
+        assert_eq!(a.forward(x.clone(), false).data(), b.forward(x, false).data());
+    }
+
+    #[test]
+    fn load_rejects_missing_and_extra_and_mismatched() {
+        let mut net = tiny_net(1);
+        let mut sd = net.state_dict();
+        // Extra entry.
+        sd.push("ghost/W".into(), Tensor::zeros(&[1]), true);
+        assert!(net.load_state_dict(&sd).is_err());
+        // Missing entry.
+        let sd2 = {
+            let full = net.state_dict();
+            let mut partial = StateDict::new();
+            for e in full.entries().iter().skip(1) {
+                partial.push(e.path.clone(), e.tensor.clone(), e.trainable);
+            }
+            partial
+        };
+        assert!(net.load_state_dict(&sd2).is_err());
+        // Shape mismatch.
+        let sd3 = {
+            let full = net.state_dict();
+            let mut bad = StateDict::new();
+            for e in full.entries() {
+                let t = if e.path == "conv1/b" {
+                    Tensor::zeros(&[5])
+                } else {
+                    e.tensor.clone()
+                };
+                bad.push(e.path.clone(), t, e.trainable);
+            }
+            bad
+        };
+        assert!(net.load_state_dict(&sd3).unwrap_err().contains("shape mismatch"));
+    }
+
+    #[test]
+    fn num_parameters_counts_scalars() {
+        let mut net = tiny_net(1);
+        // conv: 4*3*3*3 + 4 = 112; fc: 10*64 + 10 = 650
+        assert_eq!(net.num_parameters(), 112 + 650);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate layer name")]
+    fn duplicate_layer_names_rejected() {
+        let mut rng = DetRng::new(1);
+        Network::new(vec![
+            Box::new(ReLU::new("x")),
+            Box::new(Dense::new("x", 2, 2, &mut rng)),
+        ]);
+    }
+}

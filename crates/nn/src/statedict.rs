@@ -1,0 +1,115 @@
+//! Named-tensor state dictionaries — the bridge between networks and
+//! checkpoint files.
+//!
+//! A [`StateDict`] is an ordered list of `(path, tensor)` pairs. The
+//! framework frontends map these engine-level paths onto their own
+//! checkpoint layouts (`sefi-frameworks`), which is where the paper's
+//! "equivalent, not equal" cross-framework differences live.
+
+use sefi_tensor::Tensor;
+
+/// One named tensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NamedTensor {
+    /// Slash-separated engine path, e.g. `conv1/W`.
+    pub path: String,
+    /// The tensor value.
+    pub tensor: Tensor,
+    /// True for trainable parameters, false for auxiliary state
+    /// (batch-norm running statistics).
+    pub trainable: bool,
+}
+
+/// An ordered collection of named tensors.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StateDict {
+    entries: Vec<NamedTensor>,
+}
+
+impl StateDict {
+    /// Empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an entry (paths must be unique).
+    pub fn push(&mut self, path: String, tensor: Tensor, trainable: bool) {
+        assert!(
+            !self.entries.iter().any(|e| e.path == path),
+            "duplicate state-dict path {path:?}"
+        );
+        self.entries.push(NamedTensor { path, tensor, trainable });
+    }
+
+    /// Entries in insertion (network traversal) order.
+    pub fn entries(&self) -> &[NamedTensor] {
+        &self.entries
+    }
+
+    /// Number of tensors.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if there are no tensors.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up by path.
+    pub fn get(&self, path: &str) -> Option<&NamedTensor> {
+        self.entries.iter().find(|e| e.path == path)
+    }
+
+    /// Total number of scalar elements across all tensors.
+    pub fn total_elements(&self) -> usize {
+        self.entries.iter().map(|e| e.tensor.len()).sum()
+    }
+
+    /// True if any tensor holds a non-finite value (post-corruption check).
+    pub fn has_non_finite(&self) -> bool {
+        self.entries.iter().any(|e| e.tensor.has_non_finite())
+    }
+}
+
+impl IntoIterator for StateDict {
+    type Item = NamedTensor;
+    type IntoIter = std::vec::IntoIter<NamedTensor>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get() {
+        let mut sd = StateDict::new();
+        sd.push("conv1/W".into(), Tensor::zeros(&[2, 2]), true);
+        sd.push("bn1/running_mean".into(), Tensor::zeros(&[2]), false);
+        assert_eq!(sd.len(), 2);
+        assert_eq!(sd.total_elements(), 6);
+        assert!(sd.get("conv1/W").unwrap().trainable);
+        assert!(!sd.get("bn1/running_mean").unwrap().trainable);
+        assert!(sd.get("nope").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_path_panics() {
+        let mut sd = StateDict::new();
+        sd.push("a".into(), Tensor::zeros(&[1]), true);
+        sd.push("a".into(), Tensor::zeros(&[1]), true);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut sd = StateDict::new();
+        let mut t = Tensor::zeros(&[2]);
+        t.data_mut()[0] = f32::INFINITY;
+        sd.push("w".into(), t, true);
+        assert!(sd.has_non_finite());
+    }
+}

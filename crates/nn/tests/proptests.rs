@@ -1,0 +1,118 @@
+//! Property-based tests for the training framework's invariants.
+
+use proptest::prelude::*;
+use sefi_nn::{
+    softmax_cross_entropy, Conv2d, Dense, Flatten, MaxPool2d, Network, ReLU, StateDict,
+};
+use sefi_rng::DetRng;
+use sefi_tensor::Tensor;
+
+fn net(seed: u64) -> Network {
+    let mut rng = DetRng::new(seed);
+    Network::new(vec![
+        Box::new(Conv2d::new("conv1", 2, 3, 3, 1, 1, &mut rng)),
+        Box::new(ReLU::new("relu1")),
+        Box::new(MaxPool2d::new("pool1", 2, 2)),
+        Box::new(Flatten::new("flat")),
+        Box::new(Dense::new("fc", 3 * 4 * 4, 5, &mut rng)),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn loss_is_nonnegative_and_finite_for_finite_logits(
+        logits_data in prop::collection::vec(-50.0f32..50.0, 3 * 4),
+        labels in prop::collection::vec(0u8..4, 3),
+    ) {
+        let logits = Tensor::from_vec(logits_data, &[3, 4]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &labels);
+        prop_assert!(loss >= 0.0, "cross entropy cannot be negative: {loss}");
+        prop_assert!(loss.is_finite());
+        prop_assert!(!grad.has_non_finite());
+        // Gradient rows sum to ~0 (softmax simplex tangent).
+        for row in grad.data().chunks(4) {
+            let s: f32 = row.iter().sum();
+            prop_assert!(s.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn loss_gradient_points_downhill(
+        logits_data in prop::collection::vec(-3.0f32..3.0, 2 * 5),
+        labels in prop::collection::vec(0u8..5, 2),
+    ) {
+        let logits = Tensor::from_vec(logits_data, &[2, 5]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &labels);
+        // One small step against the gradient must not increase the loss.
+        let stepped = Tensor::from_vec(
+            logits.data().iter().zip(grad.data()).map(|(&l, &g)| l - 0.01 * g).collect(),
+            logits.shape(),
+        );
+        let (loss2, _) = softmax_cross_entropy(&stepped, &labels);
+        prop_assert!(loss2 <= loss + 1e-9, "{loss} -> {loss2}");
+    }
+
+    #[test]
+    fn forward_is_deterministic_and_seed_sensitive(
+        data in prop::collection::vec(-1.0f32..1.0, 2 * 2 * 8 * 8),
+        seed in 0u64..1000,
+    ) {
+        let x = Tensor::from_vec(data, &[2, 2, 8, 8]);
+        let mut a = net(seed);
+        let mut b = net(seed);
+        let ya = a.forward(x.clone(), false);
+        let yb = b.forward(x.clone(), false);
+        prop_assert_eq!(ya.data(), yb.data());
+        let mut c = net(seed + 1);
+        let yc = c.forward(x, false);
+        prop_assert_ne!(ya.data(), yc.data());
+    }
+
+    #[test]
+    fn state_dict_roundtrip_is_identity(seed in 0u64..500) {
+        let mut a = net(seed);
+        let sd = a.state_dict();
+        let mut b = net(seed ^ 0xDEAD);
+        b.load_state_dict(&sd).unwrap();
+        prop_assert_eq!(a.state_dict(), b.state_dict());
+    }
+
+    #[test]
+    fn gradient_descent_on_sum_loss_reduces_sum(
+        data in prop::collection::vec(0.1f32..1.0, 1 * 2 * 8 * 8),
+        seed in 0u64..100,
+    ) {
+        // Minimizing sum(output) by one SGD step must reduce sum(output)
+        // for a small enough learning rate (first-order sanity of the
+        // whole backward pass composed across layer types).
+        let x = Tensor::from_vec(data, &[1, 2, 8, 8]);
+        let mut n = net(seed);
+        let before = n.forward(x.clone(), true).sum();
+        let out_shape = [1usize, 5];
+        n.backward(Tensor::full(&out_shape, 1.0));
+        let mut opt = sefi_nn::Sgd::new(sefi_nn::SgdConfig {
+            lr: 1e-4,
+            momentum: 0.0,
+            weight_decay: 0.0,
+        });
+        opt.step(&mut n.params_mut());
+        let after = n.forward(x, true).sum();
+        prop_assert!(after <= before + 1e-4, "{before} -> {after}");
+    }
+
+    #[test]
+    fn partial_state_dicts_are_always_rejected(seed in 0u64..100, drop_idx in 0usize..4) {
+        let mut n = net(seed);
+        let full = n.state_dict();
+        prop_assume!(drop_idx < full.len());
+        let mut partial = StateDict::new();
+        for (i, e) in full.entries().iter().enumerate() {
+            if i != drop_idx {
+                partial.push(e.path.clone(), e.tensor.clone(), e.trainable);
+            }
+        }
+        prop_assert!(n.load_state_dict(&partial).is_err());
+    }
+}

@@ -1,0 +1,296 @@
+//! Deterministic random-number substrate.
+//!
+//! The paper (Section V-A3, Code 1) goes to great lengths to make the DL
+//! frameworks deterministic, because error-injection studies compare a
+//! corrupted resume against a bit-identical error-free baseline. This crate
+//! is the reproduction's single source of randomness: a from-scratch
+//! xoshiro256\*\* generator with splitmix64 seeding, so results are
+//! bit-stable across platforms, Rust versions, and dependency upgrades
+//! (which `rand::StdRng` explicitly does not guarantee).
+//!
+//! Two facilities keep experiments independent:
+//!
+//! * [`DetRng::substream`] derives an independent named stream, so e.g. the
+//!   injector's draws can never perturb the training loop's draws (the
+//!   checkpoint-alteration methodology requires training to be *identical*
+//!   up to the corrupted weights).
+//! * All distributions are implemented here (uniform, normal via
+//!   Box–Muller, Bernoulli, Fisher–Yates shuffles) with fixed algorithms.
+
+#![deny(missing_docs)]
+
+mod splitmix;
+mod xoshiro;
+
+pub use splitmix::SplitMix64;
+pub use xoshiro::Xoshiro256StarStar;
+
+/// The deterministic RNG used throughout the reproduction.
+///
+/// Wraps xoshiro256\*\* and layers distributions plus named substream
+/// derivation on top.
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    core: Xoshiro256StarStar,
+}
+
+impl DetRng {
+    /// Seed a generator. Equal seeds yield bit-identical streams forever.
+    pub fn new(seed: u64) -> Self {
+        DetRng { core: Xoshiro256StarStar::seed_from_u64(seed) }
+    }
+
+    /// Derive an independent generator for a named purpose.
+    ///
+    /// The derivation hashes the label into the parent's seed material via
+    /// splitmix64, so `substream("init")` and `substream("batch")` are
+    /// decorrelated, and drawing from one never advances the other.
+    /// Deriving is a pure function of (parent seed material, label): it does
+    /// not advance the parent.
+    pub fn substream(&self, label: &str) -> DetRng {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+        for b in label.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut mix = SplitMix64::new(self.core.state_fingerprint() ^ h);
+        DetRng {
+            core: Xoshiro256StarStar::from_state([mix.next(), mix.next(), mix.next(), mix.next()]),
+        }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.core.next_u64()
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Unbiased uniform integer in `[0, n)` via Lemire's multiply-shift with
+    /// rejection. Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut l = m as u64;
+        if l < n {
+            let t = n.wrapping_neg() % n;
+            while l < t {
+                x = self.next_u64();
+                m = (x as u128) * (n as u128);
+                l = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform `usize` index in `[0, n)`.
+    pub fn index(&mut self, n: usize) -> usize {
+        self.below(n as u64) as usize
+    }
+
+    /// Bernoulli trial: true with probability `p` (clamped to `[0,1]`).
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        self.uniform() < p
+    }
+
+    /// Standard normal via Box–Muller (each call consumes exactly two
+    /// uniforms — no cached spare — keeping parallel streams alignable).
+    pub fn normal(&mut self) -> f64 {
+        let u1 = loop {
+            let u = self.uniform();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal with mean and standard deviation.
+    pub fn normal_ms(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.normal()
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// A shuffled permutation of `0..n`.
+    pub fn permutation(&mut self, n: usize) -> Vec<usize> {
+        let mut p: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut p);
+        p
+    }
+
+    /// Pick a uniformly random element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> &'a T {
+        assert!(!slice.is_empty(), "choose from empty slice");
+        &slice[self.index(slice.len())]
+    }
+
+    /// Fill a buffer with normals (weight-init helper).
+    pub fn fill_normal(&mut self, buf: &mut [f32], mean: f64, std_dev: f64) {
+        for v in buf {
+            *v = self.normal_ms(mean, std_dev) as f32;
+        }
+    }
+
+    /// Fill a buffer with uniforms in `[lo, hi)`.
+    pub fn fill_uniform(&mut self, buf: &mut [f32], lo: f64, hi: f64) {
+        for v in buf {
+            *v = self.uniform_range(lo, hi) as f32;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_equal_streams() {
+        let mut a = DetRng::new(42);
+        let mut b = DetRng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn substreams_are_independent_and_stable() {
+        let root = DetRng::new(7);
+        let mut s1 = root.substream("injector");
+        let mut s1_again = root.substream("injector");
+        let mut s2 = root.substream("training");
+        let v1 = s1.next_u64();
+        assert_eq!(v1, s1_again.next_u64());
+        assert_ne!(v1, s2.next_u64());
+    }
+
+    #[test]
+    fn substream_derivation_does_not_advance_parent() {
+        let mut a = DetRng::new(9);
+        let mut b = DetRng::new(9);
+        let _ = b.substream("x");
+        let _ = b.substream("y");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut r = DetRng::new(3);
+        for _ in 0..10_000 {
+            let u = r.uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn below_is_unbiased_enough_and_in_range() {
+        let mut r = DetRng::new(5);
+        let n = 10u64;
+        let mut counts = [0usize; 10];
+        let trials = 100_000;
+        for _ in 0..trials {
+            let v = r.below(n);
+            assert!(v < n);
+            counts[v as usize] += 1;
+        }
+        let expected = trials as f64 / n as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expected).abs() < expected * 0.1,
+                "bucket {i}: {c} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "below(0)")]
+    fn below_zero_panics() {
+        DetRng::new(0).below(0);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = DetRng::new(11);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn bernoulli_rate_and_clamping() {
+        let mut r = DetRng::new(13);
+        let hits = (0..100_000).filter(|_| r.bernoulli(0.3)).count();
+        assert!((hits as f64 / 100_000.0 - 0.3).abs() < 0.01);
+        assert!(r.bernoulli(1.0));
+        assert!(!r.bernoulli(0.0));
+        assert!(r.bernoulli(1.5));
+        assert!(!r.bernoulli(-0.5));
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut r = DetRng::new(17);
+        let p = r.permutation(100);
+        let mut seen = vec![false; 100];
+        for &i in &p {
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_empty_and_single() {
+        let mut r = DetRng::new(19);
+        let mut empty: [u8; 0] = [];
+        r.shuffle(&mut empty);
+        let mut one = [42];
+        r.shuffle(&mut one);
+        assert_eq!(one, [42]);
+    }
+
+    #[test]
+    fn stream_is_reproducible_from_scratch() {
+        let mut r = DetRng::new(0);
+        let got: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        let mut r2 = DetRng::new(0);
+        let again: Vec<u64> = (0..4).map(|_| r2.next_u64()).collect();
+        assert_eq!(got, again);
+        assert_ne!(got[0], got[1]);
+    }
+}

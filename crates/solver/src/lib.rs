@@ -1,0 +1,329 @@
+//! Beyond deep learning: checkpoint alteration for a traditional iterative
+//! solver (the paper's Section VI-5 research direction).
+//!
+//! "We argue that checkpoint alteration is applicable to the whole spectrum
+//! of scientific codes. Traditional iterative solvers of systems of partial
+//! differential equations or particle-interaction codes are well-suited for
+//! this technique."
+//!
+//! This crate implements a 2-D steady-state heat-equation solver (Jacobi
+//! iteration on a Dirichlet-boundary grid) that checkpoints its entire
+//! state into the same hierarchical container the DL frameworks use —
+//! making it corruptible by the same injector with zero changes. Jacobi
+//! iteration is *self-correcting*: a perturbed interior value is averaged
+//! away geometrically, so most bit-flips heal, while an extreme value
+//! floods the grid — exactly the dichotomy the paper found in DL training.
+
+#![deny(missing_docs)]
+
+use sefi_float::NevPolicy;
+use sefi_hdf5::{Dataset, Dtype, H5File};
+
+/// A 2-D steady-state heat-diffusion problem with fixed boundary
+/// temperatures, solved by Jacobi iteration.
+#[derive(Debug, Clone)]
+pub struct HeatSolver {
+    width: usize,
+    height: usize,
+    /// Current temperature field, row-major `height × width`.
+    grid: Vec<f64>,
+    /// Boundary mask: true cells are Dirichlet (never updated).
+    fixed: Vec<bool>,
+    iteration: u64,
+}
+
+/// Result of running the solver for a while.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveOutcome {
+    /// Residual fell below the tolerance after this many iterations.
+    Converged(u64),
+    /// Iteration budget exhausted; last residual attached.
+    Unconverged(f64),
+    /// The grid computed a NaN or extreme value (the paper's N-EV) —
+    /// the solver's analogue of a collapsed training.
+    Collapsed(u64),
+}
+
+impl HeatSolver {
+    /// A `width × height` plate, `left`/`right`/`top`/`bottom` edge
+    /// temperatures fixed, interior initialized to their mean.
+    pub fn new(width: usize, height: usize, edges: [f64; 4]) -> Self {
+        assert!(width >= 3 && height >= 3, "grid must have an interior");
+        let [left, right, top, bottom] = edges;
+        let mean = (left + right + top + bottom) / 4.0;
+        let mut grid = vec![mean; width * height];
+        let mut fixed = vec![false; width * height];
+        for y in 0..height {
+            for x in 0..width {
+                let i = y * width + x;
+                if x == 0 {
+                    grid[i] = left;
+                    fixed[i] = true;
+                } else if x == width - 1 {
+                    grid[i] = right;
+                    fixed[i] = true;
+                } else if y == 0 {
+                    grid[i] = top;
+                    fixed[i] = true;
+                } else if y == height - 1 {
+                    grid[i] = bottom;
+                    fixed[i] = true;
+                }
+            }
+        }
+        HeatSolver { width, height, grid, fixed, iteration: 0 }
+    }
+
+    /// Grid dimensions.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.width, self.height)
+    }
+
+    /// Iterations performed so far.
+    pub fn iteration(&self) -> u64 {
+        self.iteration
+    }
+
+    /// The temperature field.
+    pub fn grid(&self) -> &[f64] {
+        &self.grid
+    }
+
+    /// One Jacobi sweep; returns the max absolute update (the residual).
+    pub fn step(&mut self) -> f64 {
+        let w = self.width;
+        let mut next = self.grid.clone();
+        let mut residual = 0.0f64;
+        for y in 1..self.height - 1 {
+            for x in 1..w - 1 {
+                let i = y * w + x;
+                if self.fixed[i] {
+                    continue;
+                }
+                let v = 0.25
+                    * (self.grid[i - 1] + self.grid[i + 1] + self.grid[i - w]
+                        + self.grid[i + w]);
+                residual = residual.max((v - self.grid[i]).abs());
+                next[i] = v;
+            }
+        }
+        self.grid = next;
+        self.iteration += 1;
+        residual
+    }
+
+    /// Run until the residual drops below `tol` or `max_iters` sweeps pass.
+    /// N-EV values in the grid abort the run (a corrupted checkpoint can
+    /// introduce them; the solver mirrors the trainer's collapse check).
+    pub fn run(&mut self, tol: f64, max_iters: u64, nev: &NevPolicy) -> SolveOutcome {
+        let mut last = f64::INFINITY;
+        for _ in 0..max_iters {
+            if self.grid.iter().any(|&v| nev.classify_f64(v).is_some()) {
+                return SolveOutcome::Collapsed(self.iteration);
+            }
+            last = self.step();
+            if last < tol {
+                return SolveOutcome::Converged(self.iteration);
+            }
+        }
+        SolveOutcome::Unconverged(last)
+    }
+
+    /// Maximum absolute difference from another solver's field.
+    pub fn max_diff(&self, other: &HeatSolver) -> f64 {
+        self.grid
+            .iter()
+            .zip(&other.grid)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Checkpoint the full solver state into the same container format the
+    /// DL frameworks use — and therefore into the injector's reach.
+    pub fn checkpoint(&self) -> H5File {
+        let mut f = H5File::new();
+        f.create_dataset(
+            "solver/grid",
+            Dataset::from_f32(
+                &self.grid.iter().map(|&v| v as f32).collect::<Vec<_>>(),
+                &[self.height, self.width],
+                Dtype::F64,
+            )
+            .expect("grid shape is consistent"),
+        )
+        .expect("fresh file");
+        // Store the exact f64 values (from_f32 above narrowed); overwrite
+        // element-wise for bit-exactness.
+        {
+            let ds = f.dataset_mut("solver/grid").expect("just created");
+            for (i, &v) in self.grid.iter().enumerate() {
+                ds.set_f64(i, v).expect("in bounds");
+            }
+        }
+        f.create_dataset(
+            "solver/fixed_mask",
+            Dataset::from_i64(
+                &self.fixed.iter().map(|&b| b as i64).collect::<Vec<_>>(),
+                &[self.height, self.width],
+                Dtype::U8,
+            )
+            .expect("mask shape is consistent"),
+        )
+        .expect("unique path");
+        f.create_dataset("solver/iteration", Dataset::scalar_i64(self.iteration as i64))
+            .expect("unique path");
+        f
+    }
+
+    /// Restore from a checkpoint (possibly corrupted — values are taken as
+    /// found; structure must match).
+    pub fn restore(&mut self, file: &H5File) -> Result<(), String> {
+        let grid = file.dataset("solver/grid").map_err(|e| e.to_string())?;
+        if grid.shape() != [self.height, self.width] {
+            return Err(format!(
+                "grid shape {:?} does not match solver {}x{}",
+                grid.shape(),
+                self.height,
+                self.width
+            ));
+        }
+        let mask = file.dataset("solver/fixed_mask").map_err(|e| e.to_string())?;
+        if mask.len() != self.fixed.len() {
+            return Err("fixed mask size mismatch".to_string());
+        }
+        self.grid = grid.to_f64_vec();
+        self.fixed = (0..mask.len())
+            .map(|i| mask.get_i64(i).expect("in bounds") != 0)
+            .collect();
+        self.iteration = file
+            .dataset("solver/iteration")
+            .and_then(|d| d.get_i64(0))
+            .map_err(|e| e.to_string())? as u64;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sefi_core::{Corrupter, CorrupterConfig, LocationSelection};
+    use sefi_float::{BitRange, Precision};
+
+    fn solver() -> HeatSolver {
+        HeatSolver::new(16, 16, [100.0, 0.0, 50.0, 25.0])
+    }
+
+    #[test]
+    fn converges_to_a_harmonic_field() {
+        let mut s = solver();
+        let out = s.run(1e-9, 20_000, &NevPolicy::default());
+        assert!(matches!(out, SolveOutcome::Converged(_)), "{out:?}");
+        // Harmonic interior: every cell equals its neighbour average.
+        let (w, _) = s.dims();
+        for y in 1..15 {
+            for x in 1..15 {
+                let i = y * w + x;
+                let avg = 0.25
+                    * (s.grid[i - 1] + s.grid[i + 1] + s.grid[i - w] + s.grid[i + w]);
+                assert!((s.grid[i] - avg).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_is_exact() {
+        let mut s = solver();
+        for _ in 0..10 {
+            s.step();
+        }
+        let ck = s.checkpoint();
+        let mut r = solver();
+        r.restore(&ck).unwrap();
+        assert_eq!(r.iteration(), 10);
+        assert_eq!(r.grid(), s.grid());
+        // Continuing both produces identical fields (determinism).
+        s.step();
+        r.step();
+        assert_eq!(r.grid(), s.grid());
+    }
+
+    #[test]
+    fn mantissa_flips_self_correct() {
+        // The paper's expectation for iterative solvers: benign corruption
+        // is healed by the iteration itself.
+        let mut s = solver();
+        s.run(1e-9, 20_000, &NevPolicy::default());
+        let reference = s.clone();
+
+        let mut ck = s.checkpoint();
+        let mut cfg = CorrupterConfig::bit_flips(20, Precision::Fp64, 77);
+        cfg.mode = sefi_core::CorruptionMode::BitRange(BitRange::mantissa_only(Precision::Fp64));
+        cfg.locations = LocationSelection::Listed(vec!["solver/grid".to_string()]);
+        Corrupter::new(cfg).unwrap().corrupt(&mut ck).unwrap();
+
+        let mut victim = solver();
+        victim.restore(&ck).unwrap();
+        let out = victim.run(1e-12, 20_000, &NevPolicy::default());
+        assert!(matches!(out, SolveOutcome::Converged(_)), "{out:?}");
+        // Flips on *interior* cells heal completely; flips that land on the
+        // Dirichlet boundary permanently (but slightly) shift the solution.
+        // A mantissa flip changes a value by < 1 ulp of its exponent, so
+        // the total deviation stays tiny either way.
+        assert!(
+            victim.max_diff(&reference) < 1e-2,
+            "solution did not heal: diff {}",
+            victim.max_diff(&reference)
+        );
+    }
+
+    #[test]
+    fn interior_corruption_heals_completely() {
+        let mut s = solver();
+        s.run(1e-9, 20_000, &NevPolicy::default());
+        let reference = s.clone();
+        // Perturb an interior cell directly (bypassing the boundary).
+        let (w, _) = s.dims();
+        s.grid[5 * w + 5] += 37.5;
+        let out = s.run(1e-11, 50_000, &NevPolicy::default());
+        assert!(matches!(out, SolveOutcome::Converged(_)), "{out:?}");
+        assert!(s.max_diff(&reference) < 1e-7, "diff {}", s.max_diff(&reference));
+    }
+
+    #[test]
+    fn critical_bit_flips_collapse_the_solver() {
+        // Keep all temperatures below 2.0 so the biased exponent's MSB is
+        // clear and a bit-62 flip multiplies by 2^1024 → extreme value
+        // (values ≥ 2 would instead flip *down* to harmless tiny numbers —
+        // the same asymmetry the paper observes for DL weights, which live
+        // well below 2).
+        let mut s = HeatSolver::new(16, 16, [1.5, 0.5, 1.0, 0.25]);
+        s.run(1e-9, 20_000, &NevPolicy::default());
+        let mut ck = s.checkpoint();
+        let mut cfg = CorrupterConfig::bit_flips_full_range(50, Precision::Fp64, 3);
+        cfg.mode = sefi_core::CorruptionMode::BitRange(BitRange {
+            first_bit: 62,
+            last_bit: 62,
+        });
+        cfg.locations = LocationSelection::Listed(vec!["solver/grid".to_string()]);
+        Corrupter::new(cfg).unwrap().corrupt(&mut ck).unwrap();
+        let mut victim = HeatSolver::new(16, 16, [1.5, 0.5, 1.0, 0.25]);
+        victim.restore(&ck).unwrap();
+        let out = victim.run(1e-9, 1000, &NevPolicy::default());
+        assert!(matches!(out, SolveOutcome::Collapsed(_)), "{out:?}");
+    }
+
+    #[test]
+    fn structural_damage_is_rejected() {
+        let s = solver();
+        let ck = s.checkpoint();
+        let mut small = HeatSolver::new(8, 8, [1.0, 2.0, 3.0, 4.0]);
+        assert!(small.restore(&ck).is_err());
+        assert!(solver().restore(&H5File::new()).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "interior")]
+    fn degenerate_grid_rejected() {
+        HeatSolver::new(2, 5, [0.0; 4]);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests for the heat-equation solver substrate.
+
+use proptest::prelude::*;
+use sefi_float::NevPolicy;
+use sefi_solver::{HeatSolver, SolveOutcome};
+
+fn any_edges() -> impl Strategy<Value = [f64; 4]> {
+    prop::array::uniform4(-50.0f64..50.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The discrete maximum principle: interior temperatures stay within
+    /// the range spanned by the boundary at every iteration.
+    #[test]
+    fn maximum_principle_holds(edges in any_edges(), steps in 1u64..200) {
+        let mut s = HeatSolver::new(10, 10, edges);
+        let lo = edges.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = edges.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for _ in 0..steps {
+            s.step();
+        }
+        for &v in s.grid() {
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "{v} outside [{lo}, {hi}]");
+        }
+    }
+
+    /// Residuals are monotone non-increasing for Jacobi on this problem
+    /// (diagonally dominant system), so convergence cannot stall upward.
+    #[test]
+    fn residual_decreases(edges in any_edges()) {
+        let mut s = HeatSolver::new(12, 12, edges);
+        let mut last = f64::INFINITY;
+        for _ in 0..50 {
+            let r = s.step();
+            prop_assert!(r <= last + 1e-12, "{r} > {last}");
+            last = r;
+        }
+    }
+
+    /// Checkpoint/restore is exact at any point of the solve.
+    #[test]
+    fn checkpoint_restore_is_exact(edges in any_edges(), steps in 0u64..60) {
+        let mut s = HeatSolver::new(9, 9, edges);
+        for _ in 0..steps {
+            s.step();
+        }
+        let ck = s.checkpoint();
+        let mut r = HeatSolver::new(9, 9, edges);
+        r.restore(&ck).unwrap();
+        prop_assert_eq!(r.grid(), s.grid());
+        prop_assert_eq!(r.iteration(), s.iteration());
+        // Continue both one step: still identical.
+        s.step();
+        r.step();
+        prop_assert_eq!(r.grid(), s.grid());
+    }
+
+    /// The solved field is independent of how often we checkpoint/restore
+    /// along the way (restart transparency — the property the paper's
+    /// whole methodology assumes of the application under test).
+    #[test]
+    fn restarts_are_transparent(edges in any_edges(), cut in 1u64..40) {
+        let nev = NevPolicy::default();
+        let mut direct = HeatSolver::new(8, 8, edges);
+        let o1 = direct.run(1e-11, 20_000, &nev);
+        prop_assert!(matches!(o1, SolveOutcome::Converged(_)));
+
+        let mut first = HeatSolver::new(8, 8, edges);
+        for _ in 0..cut {
+            first.step();
+        }
+        let ck = first.checkpoint();
+        let mut resumed = HeatSolver::new(8, 8, edges);
+        resumed.restore(&ck).unwrap();
+        let o2 = resumed.run(1e-11, 20_000, &nev);
+        prop_assert!(matches!(o2, SolveOutcome::Converged(_)));
+        prop_assert!(resumed.max_diff(&direct) < 1e-8);
+    }
+}

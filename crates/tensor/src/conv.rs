@@ -1,0 +1,481 @@
+//! Convolution and pooling, NCHW layout.
+//!
+//! Convolution is im2col + matmul: unfold every receptive field into a row,
+//! multiply by the flattened kernel matrix, fold the result back. Backward
+//! reuses the same machinery (col2im scatters gradient patches). All
+//! parallelism is inherited from [`crate::matmul`], keeping determinism.
+
+use crate::{matmul, matmul_a_bt, matmul_at_b, Tensor};
+
+/// Stride/padding configuration of a convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvSpec {
+    /// Step between receptive fields.
+    pub stride: usize,
+    /// Zero-padding applied to all four borders.
+    pub pad: usize,
+}
+
+impl ConvSpec {
+    /// Output spatial extent for an input extent and kernel extent.
+    pub fn out_extent(&self, input: usize, kernel: usize) -> usize {
+        assert!(
+            input + 2 * self.pad >= kernel,
+            "kernel {kernel} larger than padded input {}",
+            input + 2 * self.pad
+        );
+        (input + 2 * self.pad - kernel) / self.stride + 1
+    }
+}
+
+/// Pooling window configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolSpec {
+    /// Window edge length.
+    pub size: usize,
+    /// Step between windows.
+    pub stride: usize,
+}
+
+/// Unfold `x: [n, c, h, w]` into `[n * oh * ow, c * kh * kw]` patch rows.
+pub fn im2col(x: &Tensor, kh: usize, kw: usize, spec: ConvSpec) -> Tensor {
+    let [n, c, h, w] = dims4(x);
+    let oh = spec.out_extent(h, kh);
+    let ow = spec.out_extent(w, kw);
+    let row_len = c * kh * kw;
+    let mut out = vec![0.0f32; n * oh * ow * row_len];
+    let src = x.data();
+
+    for ni in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((ni * oh + oy) * ow + ox) * row_len;
+                for ci in 0..c {
+                    for ky in 0..kh {
+                        let iy = (oy * spec.stride + ky) as isize - spec.pad as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue; // zero padding: leave zeros
+                        }
+                        for kx in 0..kw {
+                            let ix = (ox * spec.stride + kx) as isize - spec.pad as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let src_idx =
+                                ((ni * c + ci) * h + iy as usize) * w + ix as usize;
+                            let dst_idx = row + (ci * kh + ky) * kw + kx;
+                            out[dst_idx] = src[src_idx];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n * oh * ow, row_len])
+}
+
+/// Fold patch-row gradients back onto the input: inverse scatter of
+/// [`im2col`] (overlapping patches accumulate).
+pub fn col2im(
+    cols: &Tensor,
+    input_shape: &[usize],
+    kh: usize,
+    kw: usize,
+    spec: ConvSpec,
+) -> Tensor {
+    let [n, c, h, w] = [input_shape[0], input_shape[1], input_shape[2], input_shape[3]];
+    let oh = spec.out_extent(h, kh);
+    let ow = spec.out_extent(w, kw);
+    let row_len = c * kh * kw;
+    assert_eq!(cols.shape(), &[n * oh * ow, row_len], "col2im shape mismatch");
+    let src = cols.data();
+    let mut out = vec![0.0f32; n * c * h * w];
+
+    for ni in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((ni * oh + oy) * ow + ox) * row_len;
+                for ci in 0..c {
+                    for ky in 0..kh {
+                        let iy = (oy * spec.stride + ky) as isize - spec.pad as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..kw {
+                            let ix = (ox * spec.stride + kx) as isize - spec.pad as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let dst_idx =
+                                ((ni * c + ci) * h + iy as usize) * w + ix as usize;
+                            out[dst_idx] += src[row + (ci * kh + ky) * kw + kx];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, input_shape)
+}
+
+/// Forward convolution: `x [n,c,h,w]`, `weight [o,c,kh,kw]`, `bias [o]`
+/// → `[n,o,oh,ow]`.
+pub fn conv2d(x: &Tensor, weight: &Tensor, bias: &Tensor, spec: ConvSpec) -> Tensor {
+    let [n, c, h, w] = dims4(x);
+    let [o, c2, kh, kw] = dims4(weight);
+    assert_eq!(c, c2, "conv2d channel mismatch: input {c}, weight {c2}");
+    assert_eq!(bias.shape(), &[o], "bias shape");
+    let oh = spec.out_extent(h, kh);
+    let ow = spec.out_extent(w, kw);
+
+    let cols = im2col(x, kh, kw, spec); // [n*oh*ow, c*kh*kw]
+    let w_flat = Tensor::from_vec(weight.data().to_vec(), &[o, c * kh * kw]);
+    let prod = matmul_a_bt(&cols, &w_flat); // [n*oh*ow, o]
+
+    // Permute [n*oh*ow, o] -> [n, o, oh, ow] and add bias.
+    let mut out = vec![0.0f32; n * o * oh * ow];
+    let p = prod.data();
+    let b = bias.data();
+    for ni in 0..n {
+        for s in 0..oh * ow {
+            let src_row = (ni * oh * ow + s) * o;
+            for oi in 0..o {
+                out[(ni * o + oi) * oh * ow + s] = p[src_row + oi] + b[oi];
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, o, oh, ow])
+}
+
+/// Gradients of a convolution.
+#[derive(Debug)]
+pub struct Conv2dGrads {
+    /// Gradient w.r.t. the input, `[n,c,h,w]`.
+    pub dx: Tensor,
+    /// Gradient w.r.t. the weights, `[o,c,kh,kw]`.
+    pub dw: Tensor,
+    /// Gradient w.r.t. the bias, `[o]`.
+    pub db: Tensor,
+}
+
+/// Backward convolution given upstream gradient `dout [n,o,oh,ow]`.
+pub fn conv2d_backward(
+    x: &Tensor,
+    weight: &Tensor,
+    dout: &Tensor,
+    spec: ConvSpec,
+) -> Conv2dGrads {
+    let [n, c, h, w] = dims4(x);
+    let [o, _c2, kh, kw] = dims4(weight);
+    let oh = spec.out_extent(h, kh);
+    let ow = spec.out_extent(w, kw);
+    assert_eq!(dout.shape(), &[n, o, oh, ow], "dout shape");
+
+    // Permute dout [n,o,oh,ow] -> flat [n*oh*ow, o].
+    let mut dflat = vec![0.0f32; n * oh * ow * o];
+    let d = dout.data();
+    for ni in 0..n {
+        for oi in 0..o {
+            for s in 0..oh * ow {
+                dflat[(ni * oh * ow + s) * o + oi] = d[(ni * o + oi) * oh * ow + s];
+            }
+        }
+    }
+    let dflat = Tensor::from_vec(dflat, &[n * oh * ow, o]);
+
+    let cols = im2col(x, kh, kw, spec); // [n*oh*ow, c*kh*kw]
+
+    // dW = dflatᵀ · cols -> [o, c*kh*kw]
+    let dw = matmul_at_b(&dflat, &cols).reshape(&[o, c, kh, kw]);
+
+    // db = column sums of dflat.
+    let mut db = vec![0.0f32; o];
+    for row in dflat.data().chunks(o) {
+        for (acc, &v) in db.iter_mut().zip(row) {
+            *acc += v;
+        }
+    }
+    let db = Tensor::from_vec(db, &[o]);
+
+    // dX = col2im(dflat · w_flat).
+    let w_flat = Tensor::from_vec(weight.data().to_vec(), &[o, c * kh * kw]);
+    let dcols = matmul(&dflat, &w_flat); // [n*oh*ow, c*kh*kw]
+    let dx = col2im(&dcols, x.shape(), kh, kw, spec);
+
+    Conv2dGrads { dx, dw, db }
+}
+
+/// Max pooling forward. Returns the pooled tensor and the flat source index
+/// each output element selected (for the backward scatter).
+pub fn maxpool2d(x: &Tensor, spec: PoolSpec) -> (Tensor, Vec<usize>) {
+    let [n, c, h, w] = dims4(x);
+    let conv = ConvSpec { stride: spec.stride, pad: 0 };
+    let oh = conv.out_extent(h, spec.size);
+    let ow = conv.out_extent(w, spec.size);
+    let src = x.data();
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    let mut arg = vec![0usize; n * c * oh * ow];
+
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best_idx = base + (oy * spec.stride) * w + ox * spec.stride;
+                    let mut best = src[best_idx];
+                    for ky in 0..spec.size {
+                        for kx in 0..spec.size {
+                            let idx =
+                                base + (oy * spec.stride + ky) * w + (ox * spec.stride + kx);
+                            if src[idx] > best {
+                                best = src[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    let o_idx = ((ni * c + ci) * oh + oy) * ow + ox;
+                    out[o_idx] = best;
+                    arg[o_idx] = best_idx;
+                }
+            }
+        }
+    }
+    (Tensor::from_vec(out, &[n, c, oh, ow]), arg)
+}
+
+/// Max pooling backward: route each output gradient to its argmax source.
+pub fn maxpool2d_backward(dout: &Tensor, arg: &[usize], input_shape: &[usize]) -> Tensor {
+    assert_eq!(dout.len(), arg.len(), "argmax table length");
+    let mut dx = vec![0.0f32; input_shape.iter().product()];
+    for (&g, &idx) in dout.data().iter().zip(arg) {
+        dx[idx] += g;
+    }
+    Tensor::from_vec(dx, input_shape)
+}
+
+/// Average pooling forward (used as global average pooling in ResNet50 by
+/// setting the window to the full spatial extent).
+pub fn avgpool2d(x: &Tensor, spec: PoolSpec) -> Tensor {
+    let [n, c, h, w] = dims4(x);
+    let conv = ConvSpec { stride: spec.stride, pad: 0 };
+    let oh = conv.out_extent(h, spec.size);
+    let ow = conv.out_extent(w, spec.size);
+    let src = x.data();
+    let norm = 1.0 / (spec.size * spec.size) as f32;
+    let mut out = vec![0.0f32; n * c * oh * ow];
+
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0f32;
+                    for ky in 0..spec.size {
+                        for kx in 0..spec.size {
+                            acc += src
+                                [base + (oy * spec.stride + ky) * w + (ox * spec.stride + kx)];
+                        }
+                    }
+                    out[((ni * c + ci) * oh + oy) * ow + ox] = acc * norm;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, c, oh, ow])
+}
+
+fn dims4(t: &Tensor) -> [usize; 4] {
+    let s = t.shape();
+    assert_eq!(s.len(), 4, "expected rank-4 tensor, got {s:?}");
+    [s[0], s[1], s[2], s[3]]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Direct (quadruple-loop) convolution as the reference implementation.
+    fn conv2d_naive(x: &Tensor, weight: &Tensor, bias: &Tensor, spec: ConvSpec) -> Tensor {
+        let [n, c, h, w] = dims4(x);
+        let [o, _, kh, kw] = dims4(weight);
+        let oh = spec.out_extent(h, kh);
+        let ow = spec.out_extent(w, kw);
+        let mut out = Tensor::zeros(&[n, o, oh, ow]);
+        for ni in 0..n {
+            for oi in 0..o {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = bias.data()[oi];
+                        for ci in 0..c {
+                            for ky in 0..kh {
+                                for kx in 0..kw {
+                                    let iy =
+                                        (oy * spec.stride + ky) as isize - spec.pad as isize;
+                                    let ix =
+                                        (ox * spec.stride + kx) as isize - spec.pad as isize;
+                                    if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize
+                                    {
+                                        continue;
+                                    }
+                                    acc += x.at(&[ni, ci, iy as usize, ix as usize])
+                                        * weight.at(&[oi, ci, ky, kx]);
+                                }
+                            }
+                        }
+                        *out.at_mut(&[ni, oi, oy, ox]) = acc;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn seq_tensor(shape: &[usize]) -> Tensor {
+        let n: usize = shape.iter().product();
+        Tensor::from_vec(
+            (0..n).map(|i| ((i * 37 % 23) as f32 - 11.0) / 7.0).collect(),
+            shape,
+        )
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        for (i, (&x, &y)) in a.data().iter().zip(b.data()).enumerate() {
+            assert!((x - y).abs() <= tol, "elem {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn conv_matches_naive_no_pad() {
+        let x = seq_tensor(&[2, 3, 6, 6]);
+        let w = seq_tensor(&[4, 3, 3, 3]);
+        let b = seq_tensor(&[4]);
+        let spec = ConvSpec { stride: 1, pad: 0 };
+        assert_close(&conv2d(&x, &w, &b, spec), &conv2d_naive(&x, &w, &b, spec), 1e-4);
+    }
+
+    #[test]
+    fn conv_matches_naive_with_pad_and_stride() {
+        let x = seq_tensor(&[1, 2, 7, 7]);
+        let w = seq_tensor(&[3, 2, 3, 3]);
+        let b = seq_tensor(&[3]);
+        for spec in [
+            ConvSpec { stride: 1, pad: 1 },
+            ConvSpec { stride: 2, pad: 1 },
+            ConvSpec { stride: 2, pad: 0 },
+            ConvSpec { stride: 3, pad: 2 },
+        ] {
+            assert_close(&conv2d(&x, &w, &b, spec), &conv2d_naive(&x, &w, &b, spec), 1e-4);
+        }
+    }
+
+    #[test]
+    fn conv_1x1_kernel() {
+        let x = seq_tensor(&[1, 4, 5, 5]);
+        let w = seq_tensor(&[2, 4, 1, 1]);
+        let b = Tensor::zeros(&[2]);
+        let spec = ConvSpec { stride: 1, pad: 0 };
+        assert_close(&conv2d(&x, &w, &b, spec), &conv2d_naive(&x, &w, &b, spec), 1e-4);
+    }
+
+    #[test]
+    fn conv_backward_matches_numeric_gradient() {
+        let x = seq_tensor(&[1, 2, 5, 5]);
+        let w = seq_tensor(&[2, 2, 3, 3]);
+        let b = seq_tensor(&[2]);
+        let spec = ConvSpec { stride: 1, pad: 1 };
+        // Loss = sum(conv output); dout = ones.
+        let out = conv2d(&x, &w, &b, spec);
+        let dout = Tensor::full(out.shape(), 1.0);
+        let grads = conv2d_backward(&x, &w, &dout, spec);
+
+        let eps = 1e-2f32;
+        // Check a scattering of weight gradients numerically.
+        for &flat in &[0usize, 5, 17, 35] {
+            let mut wp = w.clone();
+            wp.data_mut()[flat] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[flat] -= eps;
+            let num = (conv2d(&x, &wp, &b, spec).sum() - conv2d(&x, &wm, &b, spec).sum())
+                / (2.0 * eps as f64);
+            let ana = grads.dw.data()[flat] as f64;
+            assert!((num - ana).abs() < 2e-2 * (1.0 + ana.abs()), "dw[{flat}]: {num} vs {ana}");
+        }
+        // And input gradients.
+        for &flat in &[0usize, 12, 24, 49] {
+            let mut xp = x.clone();
+            xp.data_mut()[flat] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[flat] -= eps;
+            let num = (conv2d(&xp, &w, &b, spec).sum() - conv2d(&xm, &w, &b, spec).sum())
+                / (2.0 * eps as f64);
+            let ana = grads.dx.data()[flat] as f64;
+            assert!((num - ana).abs() < 2e-2 * (1.0 + ana.abs()), "dx[{flat}]: {num} vs {ana}");
+        }
+        // Bias gradient of a sum-loss is the number of output positions.
+        let per_channel = (out.len() / 2) as f32;
+        for &g in grads.db.data() {
+            assert!((g - per_channel).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_adjointness() {
+        // <im2col(x), y> == <x, col2im(y)> — the defining property of the
+        // scatter/gather pair used by backward.
+        let x = seq_tensor(&[1, 2, 5, 5]);
+        let spec = ConvSpec { stride: 2, pad: 1 };
+        let cols = im2col(&x, 3, 3, spec);
+        let y = seq_tensor(cols.shape());
+        let lhs: f64 = cols.data().iter().zip(y.data()).map(|(&a, &b)| (a * b) as f64).sum();
+        let folded = col2im(&y, x.shape(), 3, 3, spec);
+        let rhs: f64 = x.data().iter().zip(folded.data()).map(|(&a, &b)| (a * b) as f64).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn maxpool_forward_and_backward() {
+        let x = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 5.0, 3.0, //
+                4.0, 0.0, 1.0, 2.0, //
+                7.0, 1.0, 0.0, 1.0, //
+                2.0, 3.0, 4.0, 9.0,
+            ],
+            &[1, 1, 4, 4],
+        );
+        let (out, arg) = maxpool2d(&x, PoolSpec { size: 2, stride: 2 });
+        assert_eq!(out.data(), &[4.0, 5.0, 7.0, 9.0]);
+        let dout = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let dx = maxpool2d_backward(&dout, &arg, x.shape());
+        assert_eq!(dx.at(&[0, 0, 1, 0]), 1.0); // the 4.0
+        assert_eq!(dx.at(&[0, 0, 0, 2]), 2.0); // the 5.0
+        assert_eq!(dx.at(&[0, 0, 2, 0]), 3.0); // the 7.0
+        assert_eq!(dx.at(&[0, 0, 3, 3]), 4.0); // the 9.0
+        assert_eq!(dx.sum(), 10.0);
+    }
+
+    #[test]
+    fn avgpool_global() {
+        let x = seq_tensor(&[2, 3, 4, 4]);
+        let out = avgpool2d(&x, PoolSpec { size: 4, stride: 4 });
+        assert_eq!(out.shape(), &[2, 3, 1, 1]);
+        // First channel average.
+        let manual: f32 = x.data()[..16].iter().sum::<f32>() / 16.0;
+        assert!((out.data()[0] - manual).abs() < 1e-5);
+    }
+
+    #[test]
+    fn out_extent_formula() {
+        let s = ConvSpec { stride: 2, pad: 1 };
+        assert_eq!(s.out_extent(32, 3), 16);
+        let s1 = ConvSpec { stride: 1, pad: 1 };
+        assert_eq!(s1.out_extent(32, 3), 32); // "same" conv
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel")]
+    fn kernel_too_large_panics() {
+        ConvSpec { stride: 1, pad: 0 }.out_extent(2, 5);
+    }
+}

@@ -1,0 +1,66 @@
+//! Deterministic weight initializers.
+//!
+//! Both draw from a [`DetRng`] stream, so a (seed, architecture) pair always
+//! produces bit-identical initial weights — the starting point of the
+//! paper's deterministic-training requirement.
+
+use crate::Tensor;
+use sefi_rng::DetRng;
+
+/// He (Kaiming) normal initialization: `N(0, sqrt(2 / fan_in))`.
+/// Standard for ReLU networks (AlexNet/VGG/ResNet all use ReLU).
+pub fn he_normal(shape: &[usize], fan_in: usize, rng: &mut DetRng) -> Tensor {
+    assert!(fan_in > 0, "fan_in must be positive");
+    let std = (2.0 / fan_in as f64).sqrt();
+    let mut t = Tensor::zeros(shape);
+    rng.fill_normal(t.data_mut(), 0.0, std);
+    t
+}
+
+/// Xavier (Glorot) uniform initialization:
+/// `U(-sqrt(6/(fan_in+fan_out)), +sqrt(6/(fan_in+fan_out)))`.
+pub fn xavier_uniform(shape: &[usize], fan_in: usize, fan_out: usize, rng: &mut DetRng) -> Tensor {
+    assert!(fan_in + fan_out > 0, "fans must be positive");
+    let bound = (6.0 / (fan_in + fan_out) as f64).sqrt();
+    let mut t = Tensor::zeros(shape);
+    rng.fill_uniform(t.data_mut(), -bound, bound);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn he_normal_is_deterministic() {
+        let mut r1 = DetRng::new(42);
+        let mut r2 = DetRng::new(42);
+        let a = he_normal(&[64, 3, 3, 3], 27, &mut r1);
+        let b = he_normal(&[64, 3, 3, 3], 27, &mut r2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn he_normal_std_is_right() {
+        let mut rng = DetRng::new(7);
+        let fan_in = 128;
+        let t = he_normal(&[100_000], fan_in, &mut rng);
+        let mean = t.mean();
+        let var = t.data().iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>()
+            / t.len() as f64;
+        let want = 2.0 / fan_in as f64;
+        assert!(mean.abs() < 0.01);
+        assert!((var - want).abs() < want * 0.05, "var {var} want {want}");
+    }
+
+    #[test]
+    fn xavier_uniform_bounds() {
+        let mut rng = DetRng::new(9);
+        let t = xavier_uniform(&[10_000], 100, 50, &mut rng);
+        let bound = (6.0f64 / 150.0).sqrt() as f32;
+        assert!(t.data().iter().all(|&v| v >= -bound && v < bound));
+        // Spread should actually use the range.
+        assert!(t.data().iter().any(|&v| v > bound * 0.9));
+        assert!(t.data().iter().any(|&v| v < -bound * 0.9));
+    }
+}

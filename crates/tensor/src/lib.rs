@@ -1,0 +1,22 @@
+//! Dense tensor substrate for the training frameworks.
+//!
+//! Row-major `f32` tensors with exactly the operations the three framework
+//! frontends need: elementwise arithmetic, matrix multiplication, im2col
+//! convolution, and pooling. Matrix multiplication and convolution
+//! parallelize over independent output rows with rayon — each output element
+//! is produced by exactly one task with a fixed left-to-right accumulation
+//! order, so results are bitwise-deterministic regardless of thread count or
+//! schedule (the paper's Section V-A3 determinism requirement; see also the
+//! atomics guide's advice to keep accumulation out of shared state).
+
+#![deny(missing_docs)]
+
+mod conv;
+mod init;
+mod linalg;
+mod tensor;
+
+pub use conv::{avgpool2d, col2im, conv2d, conv2d_backward, im2col, maxpool2d, maxpool2d_backward, Conv2dGrads, ConvSpec, PoolSpec};
+pub use init::{he_normal, xavier_uniform};
+pub use linalg::{matmul, matmul_at_b, matmul_a_bt, transpose2d};
+pub use tensor::Tensor;

@@ -1,0 +1,176 @@
+//! Matrix products — the computational core of dense and (via im2col)
+//! convolutional layers.
+//!
+//! Parallelism: rows of the output are distributed over the rayon pool.
+//! Each output element is computed by exactly one task with a fixed
+//! accumulation order, so the result is bitwise identical for any thread
+//! count — the determinism contract training depends on.
+
+use crate::Tensor;
+use rayon::prelude::*;
+
+/// Threshold below which parallel dispatch costs more than it saves.
+const PAR_MIN_FLOPS: usize = 64 * 64 * 64;
+
+/// `C = A · B` for `A: [m, k]`, `B: [k, n]`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = mat_dims(a, "A");
+    let (k2, n) = mat_dims(b, "B");
+    assert_eq!(k, k2, "matmul inner dims: {k} vs {k2}");
+    let mut out = vec![0.0f32; m * n];
+    let a_data = a.data();
+    let b_data = b.data();
+
+    let row_job = |(r, out_row): (usize, &mut [f32])| {
+        let a_row = &a_data[r * k..(r + 1) * k];
+        // k-outer loop with a running row accumulator keeps inner loops
+        // contiguous over B's rows (cache-friendly) while preserving a
+        // fixed per-element accumulation order.
+        for (kk, &a_v) in a_row.iter().enumerate() {
+            let b_row = &b_data[kk * n..(kk + 1) * n];
+            for (o, &b_v) in out_row.iter_mut().zip(b_row) {
+                *o += a_v * b_v;
+            }
+        }
+    };
+
+    if m * n * k >= PAR_MIN_FLOPS {
+        out.par_chunks_mut(n).enumerate().for_each(row_job);
+    } else {
+        out.chunks_mut(n).enumerate().for_each(row_job);
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// `C = Aᵀ · B` for `A: [k, m]`, `B: [k, n]` (weight-gradient shape).
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = mat_dims(a, "A");
+    let (k2, n) = mat_dims(b, "B");
+    assert_eq!(k, k2, "matmul_at_b inner dims: {k} vs {k2}");
+    let a_t = transpose2d(a);
+    // Reuse the cache-friendly kernel on the transposed copy; A is usually
+    // the smaller operand (activations), so the copy is cheap relative to
+    // the product.
+    let _ = m;
+    let _ = n;
+    matmul(&a_t, b)
+}
+
+/// `C = A · Bᵀ` for `A: [m, k]`, `B: [n, k]` (input-gradient shape).
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = mat_dims(a, "A");
+    let (n, k2) = mat_dims(b, "B");
+    assert_eq!(k, k2, "matmul_a_bt inner dims: {k} vs {k2}");
+    let mut out = vec![0.0f32; m * n];
+    let a_data = a.data();
+    let b_data = b.data();
+
+    let row_job = |(r, out_row): (usize, &mut [f32])| {
+        let a_row = &a_data[r * k..(r + 1) * k];
+        for (c, o) in out_row.iter_mut().enumerate() {
+            let b_row = &b_data[c * k..(c + 1) * k];
+            let mut acc = 0.0f32;
+            for (&x, &y) in a_row.iter().zip(b_row) {
+                acc += x * y;
+            }
+            *o = acc;
+        }
+    };
+
+    if m * n * k >= PAR_MIN_FLOPS {
+        out.par_chunks_mut(n).enumerate().for_each(row_job);
+    } else {
+        out.chunks_mut(n).enumerate().for_each(row_job);
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Transpose a `[r, c]` matrix into `[c, r]`.
+pub fn transpose2d(a: &Tensor) -> Tensor {
+    let (r, c) = mat_dims(a, "A");
+    let src = a.data();
+    let mut out = vec![0.0f32; r * c];
+    for i in 0..r {
+        for j in 0..c {
+            out[j * r + i] = src[i * c + j];
+        }
+    }
+    Tensor::from_vec(out, &[c, r])
+}
+
+fn mat_dims(t: &Tensor, name: &str) -> (usize, usize) {
+    let s = t.shape();
+    assert_eq!(s.len(), 2, "{name} must be a matrix, got shape {s:?}");
+    (s[0], s[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], shape: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), shape)
+    }
+
+    #[test]
+    fn small_matmul() {
+        // [[1,2],[3,4]] · [[5,6],[7,8]] = [[19,22],[43,50]]
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(&[5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        assert_eq!(matmul(&a, &b).data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn rectangular_matmul() {
+        let a = t(&[1.0, 0.0, 2.0, -1.0, 3.0, 1.0], &[2, 3]); // 2x3
+        let b = t(&[1.0, 2.0, 0.0, 1.0, 4.0, 0.0], &[3, 2]); // 3x2
+        let c = matmul(&a, &b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[9.0, 2.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let i = t(&[1.0, 0.0, 0.0, 1.0], &[2, 2]);
+        assert_eq!(matmul(&a, &i), a);
+        assert_eq!(matmul(&i, &a), a);
+    }
+
+    #[test]
+    fn transposed_variants_match_explicit_transpose() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]);
+        let b = t(&[1.0, -1.0, 2.0, 0.5, 0.0, 3.0], &[3, 2]);
+        assert_eq!(matmul_at_b(&a, &b), matmul(&transpose2d(&a), &b));
+        let a2 = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b2 = t(&[5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        assert_eq!(matmul_a_bt(&a2, &b2), matmul(&a2, &transpose2d(&b2)));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        assert_eq!(transpose2d(&transpose2d(&a)), a);
+    }
+
+    #[test]
+    fn large_matmul_is_deterministic_across_runs() {
+        // Crosses the parallel threshold; re-running must give bit-equal
+        // results (fixed accumulation order per element).
+        let n = 80;
+        let data: Vec<f32> = (0..n * n).map(|i| ((i * 2654435761usize) % 1000) as f32 / 997.0).collect();
+        let a = Tensor::from_vec(data.clone(), &[n, n]);
+        let b = Tensor::from_vec(data, &[n, n]);
+        let c1 = matmul(&a, &b);
+        let c2 = matmul(&a, &b);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims")]
+    fn dim_mismatch_panics() {
+        let a = t(&[1.0, 2.0], &[1, 2]);
+        let b = t(&[1.0, 2.0, 3.0], &[3, 1]);
+        matmul(&a, &b);
+    }
+}

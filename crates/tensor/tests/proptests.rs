@@ -1,0 +1,121 @@
+//! Property-based tests for the tensor kernels.
+
+use proptest::prelude::*;
+use sefi_tensor::{
+    avgpool2d, col2im, conv2d, im2col, matmul, matmul_a_bt, matmul_at_b, maxpool2d,
+    maxpool2d_backward, transpose2d, ConvSpec, PoolSpec, Tensor,
+};
+
+fn tensor(shape: Vec<usize>) -> impl Strategy<Value = Tensor> {
+    let n: usize = shape.iter().product();
+    prop::collection::vec(-10.0f32..10.0, n)
+        .prop_map(move |data| Tensor::from_vec(data, &shape))
+}
+
+fn close(a: &Tensor, b: &Tensor, tol: f32) -> bool {
+    a.shape() == b.shape()
+        && a.data().iter().zip(b.data()).all(|(&x, &y)| (x - y).abs() <= tol)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in tensor(vec![4, 5]),
+        b in tensor(vec![5, 3]),
+        c in tensor(vec![5, 3]),
+    ) {
+        // A·(B + C) == A·B + A·C (within float tolerance).
+        let mut bc = b.clone();
+        bc.add_assign(&c);
+        let lhs = matmul(&a, &bc);
+        let mut rhs = matmul(&a, &b);
+        rhs.add_assign(&matmul(&a, &c));
+        prop_assert!(close(&lhs, &rhs, 1e-3));
+    }
+
+    #[test]
+    fn transpose_is_an_involution(t in tensor(vec![7, 4])) {
+        prop_assert_eq!(transpose2d(&transpose2d(&t)), t);
+    }
+
+    #[test]
+    fn matmul_transpose_identity((a, b) in (tensor(vec![3, 6]), tensor(vec![6, 4]))) {
+        // (A·B)ᵀ == Bᵀ·Aᵀ
+        let lhs = transpose2d(&matmul(&a, &b));
+        let rhs = matmul(&transpose2d(&b), &transpose2d(&a));
+        prop_assert!(close(&lhs, &rhs, 1e-3));
+    }
+
+    #[test]
+    fn fused_transpose_variants_agree(
+        a in tensor(vec![6, 4]),
+        b in tensor(vec![6, 5]),
+        c in tensor(vec![4, 6]),
+        d in tensor(vec![5, 6]),
+    ) {
+        prop_assert!(close(&matmul_at_b(&a, &b), &matmul(&transpose2d(&a), &b), 1e-3));
+        prop_assert!(close(&matmul_a_bt(&c, &d), &matmul(&c, &transpose2d(&d)), 1e-3));
+    }
+
+    #[test]
+    fn im2col_col2im_are_adjoint(
+        x in tensor(vec![1, 2, 6, 6]),
+        stride in 1usize..3,
+        pad in 0usize..2,
+    ) {
+        // <im2col(x), y> == <x, col2im(y)> for random y.
+        let spec = ConvSpec { stride, pad };
+        let cols = im2col(&x, 3, 3, spec);
+        let y_data: Vec<f32> = (0..cols.len()).map(|i| ((i * 31 % 17) as f32 - 8.0) / 5.0).collect();
+        let y = Tensor::from_vec(y_data, cols.shape());
+        let lhs: f64 = cols.data().iter().zip(y.data()).map(|(&a, &b)| (a * b) as f64).sum();
+        let folded = col2im(&y, x.shape(), 3, 3, spec);
+        let rhs: f64 = x.data().iter().zip(folded.data()).map(|(&a, &b)| (a * b) as f64).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn conv_is_linear_in_the_input(
+        x1 in tensor(vec![1, 2, 5, 5]),
+        x2 in tensor(vec![1, 2, 5, 5]),
+        w in tensor(vec![3, 2, 3, 3]),
+    ) {
+        // conv(x1 + x2) == conv(x1) + conv(x2) with zero bias.
+        let spec = ConvSpec { stride: 1, pad: 1 };
+        let bias = Tensor::zeros(&[3]);
+        let mut sum = x1.clone();
+        sum.add_assign(&x2);
+        let lhs = conv2d(&sum, &w, &bias, spec);
+        let mut rhs = conv2d(&x1, &w, &bias, spec);
+        rhs.add_assign(&conv2d(&x2, &w, &bias, spec));
+        prop_assert!(close(&lhs, &rhs, 1e-2));
+    }
+
+    #[test]
+    fn maxpool_output_dominates_avgpool(x in tensor(vec![1, 1, 6, 6])) {
+        let spec = PoolSpec { size: 2, stride: 2 };
+        let (mx, _) = maxpool2d(&x, spec);
+        let avg = avgpool2d(&x, spec);
+        for (m, a) in mx.data().iter().zip(avg.data()) {
+            prop_assert!(m >= a);
+        }
+    }
+
+    #[test]
+    fn maxpool_backward_conserves_gradient_mass(x in tensor(vec![1, 2, 4, 4])) {
+        let spec = PoolSpec { size: 2, stride: 2 };
+        let (out, arg) = maxpool2d(&x, spec);
+        let dout = Tensor::full(out.shape(), 1.0);
+        let dx = maxpool2d_backward(&dout, &arg, x.shape());
+        prop_assert!((dx.sum() - dout.sum()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn reshape_preserves_sum(t in tensor(vec![3, 8])) {
+        let s = t.sum();
+        let r = t.reshape(&[4, 6]);
+        prop_assert_eq!(r.sum(), s);
+    }
+}

@@ -1,0 +1,67 @@
+//! IEEE-754 anatomy of a soft error (the paper's Section V-B).
+//!
+//! Walks every bit of a 64-bit float, flips it, and shows the resulting
+//! value — reproducing the paper's observation that "there is practically
+//! only one critical bit": the exponent MSB. Also demonstrates the
+//! 16/32-bit layouts and the N-EV classification.
+//!
+//! ```text
+//! cargo run --example bit_anatomy
+//! ```
+
+use sefi_float::{classify, flip_bit, FloatClass, FpValue, Precision};
+
+fn main() {
+    let value = 0.25f64;
+    println!("anatomy of {value} (binary64):\n");
+    println!("{:>4}  {:<9} {:<24} {}", "bit", "field", "flipped value", "N-EV?");
+    let map = Precision::Fp64.field_map();
+    for bit in (0..64).rev() {
+        let flipped = f64::from_bits(flip_bit(value.to_bits(), bit));
+        let field = match map.classify_bit(bit) {
+            FloatClass::Sign => "sign",
+            FloatClass::Exponent => "exponent",
+            FloatClass::Mantissa => "mantissa",
+            FloatClass::OutOfRange => unreachable!("bit < 64"),
+        };
+        let nev = match classify(flipped) {
+            Some(kind) => format!("{kind:?}"),
+            None => "-".to_string(),
+        };
+        // Print the interesting bits: the full exponent + sign, and a few
+        // representative mantissa positions.
+        if bit >= 50 || bit % 13 == 0 {
+            println!("{bit:>4}  {field:<9} {flipped:<24.6e} {nev}");
+        }
+    }
+
+    println!("\nthe paper's example: flipping the exponent MSB of 0.25 gives");
+    let critical = Precision::Fp64.exponent_msb();
+    let boom = f64::from_bits(flip_bit(value.to_bits(), critical));
+    println!("  bit {critical} -> {boom:e}  (paper: 4.49423283715579e+307)");
+
+    println!("\nthe same flip at lower precision:");
+    for p in [Precision::Fp32, Precision::Fp16] {
+        let stored = FpValue::from_f64(p, value);
+        let flipped = FpValue::from_bits(p, flip_bit(stored.to_bits(), p.exponent_msb()));
+        println!(
+            "  binary{}: bit {} -> {:e}",
+            p.width(),
+            p.exponent_msb(),
+            flipped.to_f64()
+        );
+    }
+
+    println!("\nfield layout per precision (paper Figure 2):");
+    for p in [Precision::Fp16, Precision::Fp32, Precision::Fp64] {
+        let m = p.field_map();
+        println!(
+            "  binary{:<3} sign: bit {:>2} | exponent: bits {:>2}-{:<2} | mantissa: bits 0-{}",
+            p.width(),
+            m.sign_bit,
+            m.exponent_lo,
+            m.exponent_hi,
+            m.mantissa_hi
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Checkpoint differencing — how Figure 6's propagation analysis works.
+//!
+//! Train a model twice from the same checkpoint — once clean, once after
+//! corruption — and diff the resulting checkpoints to see how far the
+//! injected error spread through backpropagation.
+//!
+//! ```text
+//! cargo run --release --example checkpoint_diff
+//! ```
+
+use sefi_core::{diff_checkpoint_values, Corrupter, CorrupterConfig, LocationSelection};
+use sefi_data::{DataConfig, SyntheticCifar10};
+use sefi_float::Precision;
+use sefi_frameworks::{FrameworkKind, Session, SessionConfig};
+use sefi_hdf5::Dtype;
+use sefi_models::{LayerRole, ModelConfig, ModelKind};
+
+fn session() -> Session {
+    let mut cfg = SessionConfig::new(FrameworkKind::TensorFlow, ModelKind::AlexNet, 17);
+    cfg.model_config = ModelConfig { scale: 0.05, input_size: 16, num_classes: 10 };
+    cfg.train.batch_size = 16;
+    Session::new(cfg)
+}
+
+fn main() {
+    let data = SyntheticCifar10::generate(DataConfig {
+        train: 240,
+        test: 120,
+        image_size: 16,
+        seed: 15,
+        noise: 0.3,
+    });
+
+    // Common ancestor: train to epoch 2 and checkpoint.
+    let mut s = session();
+    s.train_to(&data, 2);
+    let ancestor = s.checkpoint(Dtype::F64);
+
+    // Branch A: clean continuation to epoch 4.
+    let mut clean = session();
+    clean.restore(&ancestor).unwrap();
+    clean.train_to(&data, 4);
+    let clean_ck = clean.checkpoint(Dtype::F64);
+
+    // Branch B: corrupt the first layer, then continue identically.
+    let mut corrupted_ck = ancestor.clone();
+    let mut cfg = CorrupterConfig::bit_flips(200, Precision::Fp64, 4);
+    cfg.locations = LocationSelection::Listed(
+        session().layer_locations(LayerRole::First),
+    );
+    Corrupter::new(cfg).unwrap().corrupt(&mut corrupted_ck).unwrap();
+    let mut dirty = session();
+    dirty.restore(&corrupted_ck).unwrap();
+    dirty.train_to(&data, 4);
+    let dirty_ck = dirty.checkpoint(Dtype::F64);
+
+    // Diff the two descendants: where did the error propagate?
+    let (summary, diffs) = diff_checkpoint_values(&clean_ck, &dirty_ck).unwrap();
+    println!(
+        "after 2 shared epochs post-injection: {} of {} values differ ({:.1}%)\n",
+        summary.differing,
+        summary.entries,
+        100.0 * summary.differing as f64 / summary.entries as f64
+    );
+    println!("{:<42} {:>9} {:>10} {:>12}", "dataset", "entries", "differing", "max |diff|");
+    for row in summary.datasets.iter().take(12) {
+        println!(
+            "{:<42} {:>9} {:>10} {:>12.3e}",
+            row.location, row.entries, row.differing, row.max_abs_diff
+        );
+    }
+    if let Some(fence) = sefi_experiments_stats(&diffs) {
+        println!(
+            "\nnon-zero |diff| five-number summary: min {:.2e}  Q1 {:.2e}  median {:.2e}  Q3 {:.2e}  max {:.2e}",
+            fence.0, fence.1, fence.2, fence.3, fence.4
+        );
+    }
+}
+
+/// Local five-number summary (the experiments crate has a richer one; the
+/// example stays dependency-light).
+fn sefi_experiments_stats(xs: &[f64]) -> Option<(f64, f64, f64, f64, f64)> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let q = |p: f64| v[((v.len() - 1) as f64 * p) as usize];
+    Some((v[0], q(0.25), q(0.5), q(0.75), v[v.len() - 1]))
+}

@@ -1,0 +1,108 @@
+//! A command-line checkpoint corrupter mirroring the paper's Python tool.
+//!
+//! Creates a demo checkpoint on disk, then corrupts it according to flags
+//! that mirror the original `hdf5_corrupter` settings (Table I):
+//!
+//! ```text
+//! cargo run --example corrupter_cli -- \
+//!     --attempts 20 --probability 0.8 --precision 64 \
+//!     --mode bit_range --first-bit 0 --last-bit 61 \
+//!     --location model/dense1 --no-nan
+//! ```
+//!
+//! With no flags it runs a sensible default and prints the report.
+
+use sefi_core::{corrupt_file, CorrupterConfig, CorruptionMode, InjectionAmount, LocationSelection};
+use sefi_float::{BitMask, BitRange, Precision};
+use sefi_hdf5::{Dataset, Dtype, H5File};
+
+fn demo_checkpoint(path: &std::path::Path) {
+    let mut f = H5File::new();
+    let w: Vec<f32> = (0..256).map(|i| ((i as f32) * 0.37).sin()).collect();
+    f.create_dataset("model/dense1/W", Dataset::from_f32(&w, &[16, 16], Dtype::F64).unwrap())
+        .unwrap();
+    f.create_dataset("model/dense1/b", Dataset::from_f32(&[0.01; 16], &[16], Dtype::F64).unwrap())
+        .unwrap();
+    f.create_dataset("model/dense2/W", Dataset::from_f32(&w, &[256], Dtype::F64).unwrap())
+        .unwrap();
+    f.create_dataset("meta/epoch", Dataset::scalar_i64(20)).unwrap();
+    f.save(path).expect("write demo checkpoint");
+}
+
+fn arg(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let path = std::env::temp_dir().join("sefi_demo_ckpt.sefi5");
+    demo_checkpoint(&path);
+    println!("demo checkpoint: {}", path.display());
+
+    let precision = match arg(&args, "--precision").as_deref() {
+        Some("16") => Precision::Fp16,
+        Some("32") => Precision::Fp32,
+        _ => Precision::Fp64,
+    };
+    let mode = match arg(&args, "--mode").as_deref() {
+        Some("bit_mask") => CorruptionMode::BitMask(
+            BitMask::parse(&arg(&args, "--mask").unwrap_or_else(|| "10110010".into()))
+                .expect("valid mask pattern"),
+        ),
+        Some("scaling_factor") => CorruptionMode::ScalingFactor(
+            arg(&args, "--factor").and_then(|f| f.parse().ok()).unwrap_or(4500.0),
+        ),
+        _ => CorruptionMode::BitRange(BitRange {
+            first_bit: arg(&args, "--first-bit").and_then(|v| v.parse().ok()).unwrap_or(0),
+            last_bit: arg(&args, "--last-bit")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(precision.exponent_msb() - 1),
+        }),
+    };
+    let amount = match arg(&args, "--percentage").and_then(|v| v.parse::<f64>().ok()) {
+        Some(p) => InjectionAmount::Percentage(p),
+        None => InjectionAmount::Count(
+            arg(&args, "--attempts").and_then(|v| v.parse().ok()).unwrap_or(20),
+        ),
+    };
+    let locations = match arg(&args, "--location") {
+        Some(loc) => LocationSelection::Listed(vec![loc]),
+        None => LocationSelection::AllRandom,
+    };
+    let config = CorrupterConfig {
+        injection_probability: arg(&args, "--probability")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1.0),
+        amount,
+        float_precision: precision,
+        mode,
+        allow_nan_values: !args.iter().any(|a| a == "--no-nan"),
+        locations,
+        seed: arg(&args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(2021),
+    };
+    println!("config: {config:#?}\n");
+
+    match corrupt_file(&path, config) {
+        Ok(report) => {
+            println!(
+                "attempts={} injections={} skipped={} nan_redraws={}",
+                report.attempts, report.injections, report.skipped, report.nan_redraws
+            );
+            for r in report.records.iter().take(10) {
+                println!(
+                    "  #{:<3} {}[{}] {:?}: {:.6e} -> {:.6e}",
+                    r.order, r.location, r.entry_index, r.change, r.old_value, r.new_value
+                );
+            }
+            if report.records.len() > 10 {
+                println!("  … {} more", report.records.len() - 10);
+            }
+            let nev = report.nev_count(&sefi_float::NevPolicy::default());
+            println!("N-EV values produced: {nev}");
+        }
+        Err(e) => {
+            eprintln!("corruption failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Checkpoint alteration beyond deep learning (paper Section VI-5): a 2-D
+//! heat-equation solver checkpointed into the same container, corrupted by
+//! the same injector.
+//!
+//! Demonstrates the paper's claim that the methodology extends to
+//! "traditional iterative solvers of systems of partial differential
+//! equations": mantissa flips self-correct; exponent-MSB flips flood the
+//! grid.
+//!
+//! ```text
+//! cargo run --release --example iterative_solver
+//! ```
+
+use sefi_core::{Corrupter, CorrupterConfig, CorruptionMode, LocationSelection};
+use sefi_float::{BitRange, NevPolicy, Precision};
+use sefi_solver::{HeatSolver, SolveOutcome};
+
+fn main() {
+    let nev = NevPolicy::default();
+    let mut solver = HeatSolver::new(32, 32, [100.0, 0.0, 50.0, 25.0]);
+    let out = solver.run(1e-10, 100_000, &nev);
+    println!("error-free solve: {out:?}");
+    let reference = solver.clone();
+    let checkpoint = solver.checkpoint();
+    println!(
+        "checkpoint holds {} entries across {:?}\n",
+        checkpoint.total_entries(),
+        checkpoint.dataset_paths()
+    );
+
+    // Scenario 1: 50 mantissa bit-flips — Jacobi iteration heals them.
+    let mut ck = checkpoint.clone();
+    let mut cfg = CorrupterConfig::bit_flips(50, Precision::Fp64, 42);
+    cfg.mode = CorruptionMode::BitRange(BitRange::mantissa_only(Precision::Fp64));
+    cfg.locations = LocationSelection::Listed(vec!["solver/grid".to_string()]);
+    Corrupter::new(cfg).unwrap().corrupt(&mut ck).unwrap();
+    let mut victim = HeatSolver::new(32, 32, [100.0, 0.0, 50.0, 25.0]);
+    victim.restore(&ck).unwrap();
+    println!("after 50 mantissa flips: initial deviation {:.3e}", victim.max_diff(&reference));
+    let out = victim.run(1e-12, 100_000, &nev);
+    println!(
+        "  re-solve: {out:?}; final deviation {:.3e}  (self-corrected)\n",
+        victim.max_diff(&reference)
+    );
+
+    // Scenario 2: a single exponent-MSB flip. Direction matters: values
+    // with magnitude >= 2 have the exponent MSB set and flip DOWN to
+    // harmless tiny numbers; values < 2 flip UP by 2^1024 — an N-EV. Use a
+    // normalized plate (all temperatures < 2, like trained NN weights) so
+    // the flip floods the grid.
+    let mut norm = HeatSolver::new(32, 32, [1.0, 0.0, 0.5, 0.25]);
+    norm.run(1e-12, 100_000, &nev);
+    let norm_ck = norm.checkpoint();
+    let mut ck = norm_ck.clone();
+    let mut cfg = CorrupterConfig::bit_flips_full_range(1, Precision::Fp64, 7);
+    cfg.mode = CorruptionMode::BitRange(BitRange { first_bit: 62, last_bit: 62 });
+    cfg.locations = LocationSelection::Listed(vec!["solver/grid".to_string()]);
+    let report = Corrupter::new(cfg).unwrap().corrupt(&mut ck).unwrap();
+    let r = &report.records[0];
+    println!(
+        "one critical-bit flip at {}[{}]: {:.3e} -> {:.3e}",
+        r.location, r.entry_index, r.old_value, r.new_value
+    );
+    let mut victim = HeatSolver::new(32, 32, [1.0, 0.0, 0.5, 0.25]);
+    victim.restore(&ck).unwrap();
+    match victim.run(1e-12, 100_000, &nev) {
+        SolveOutcome::Collapsed(iter) => {
+            println!("  re-solve collapsed on an N-EV at iteration {iter} (as in DL training)")
+        }
+        other => println!("  re-solve: {other:?}"),
+    }
+}

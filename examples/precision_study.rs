@@ -1,0 +1,75 @@
+//! Floating-point precision vs soft-error sensitivity (the paper's
+//! Section V-D trade-off).
+//!
+//! Stores the same trained model at 16-, 32- and 64-bit precision, injects
+//! the same number of full-range bit-flips into each, and reports how many
+//! injected values became NaN/extreme and how prediction accuracy held up.
+//!
+//! ```text
+//! cargo run --release --example precision_study
+//! ```
+
+use sefi_core::{Corrupter, CorrupterConfig};
+use sefi_data::{DataConfig, SyntheticCifar10};
+use sefi_float::{NevPolicy, Precision};
+use sefi_frameworks::{FrameworkKind, Session, SessionConfig};
+use sefi_hdf5::Dtype;
+use sefi_models::{ModelConfig, ModelKind};
+
+fn main() {
+    let data = SyntheticCifar10::generate(DataConfig {
+        train: 300,
+        test: 150,
+        image_size: 16,
+        seed: 21,
+        noise: 0.3,
+    });
+    let mut cfg = SessionConfig::new(FrameworkKind::Chainer, ModelKind::AlexNet, 11);
+    cfg.model_config = ModelConfig { scale: 0.05, input_size: 16, num_classes: 10 };
+    cfg.train.batch_size = 16;
+
+    // Train once.
+    let mut trained = Session::new(cfg.clone());
+    trained.train_to(&data, 5);
+    let clean_acc = trained.test_accuracy(&data);
+    println!("trained model accuracy: {:.2}%\n", clean_acc * 100.0);
+
+    let policy = NevPolicy::default();
+    let (images, labels) = data.prediction_set(150);
+    println!(
+        "{:<10} {:>10} {:>12} {:>14} {:>12}",
+        "precision", "bit-flips", "N-EV values", "prediction %", "NaN logits"
+    );
+
+    for precision in [Precision::Fp16, Precision::Fp32, Precision::Fp64] {
+        let dtype = Dtype::from_precision(precision);
+        for flips in [10u64, 100, 1000] {
+            let mut ck = trained.checkpoint(dtype);
+            let report = Corrupter::new(CorrupterConfig::bit_flips_full_range(
+                flips,
+                precision,
+                flips ^ precision.width() as u64,
+            ))
+            .expect("valid config")
+            .corrupt(&mut ck)
+            .expect("corruption succeeds");
+
+            let mut victim = Session::new(cfg.clone());
+            victim.restore(&ck).expect("corrupted checkpoint loads");
+            let (preds, nan_logits) = victim.predict(images.clone());
+            let correct = preds
+                .iter()
+                .zip(&labels)
+                .filter(|(p, &l)| **p == l as usize)
+                .count();
+            println!(
+                "{:<10} {:>10} {:>12} {:>13.1}% {:>12}",
+                format!("{} bit", precision.width()),
+                flips,
+                report.nev_count(&policy),
+                100.0 * correct as f64 / labels.len() as f64,
+                if nan_logits { "yes" } else { "no" }
+            );
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Quickstart: the paper's core loop in ~60 lines.
+//!
+//! Train a model, checkpoint it, flip bits in the checkpoint file, resume
+//! training from the corrupted file, and compare against the deterministic
+//! error-free baseline.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use sefi_core::{Corrupter, CorrupterConfig};
+use sefi_data::{DataConfig, SyntheticCifar10};
+use sefi_float::Precision;
+use sefi_frameworks::{FrameworkKind, Session, SessionConfig};
+use sefi_hdf5::Dtype;
+use sefi_models::{ModelConfig, ModelKind};
+
+fn main() {
+    // A small synthetic CIFAR-10-like task and a scaled-down AlexNet.
+    let data = SyntheticCifar10::generate(DataConfig {
+        train: 300,
+        test: 150,
+        image_size: 16,
+        seed: 7,
+        noise: 0.3,
+    });
+    let mut cfg = SessionConfig::new(FrameworkKind::TensorFlow, ModelKind::AlexNet, 42);
+    cfg.model_config = ModelConfig { scale: 0.05, input_size: 16, num_classes: 10 };
+    cfg.train.batch_size = 16;
+
+    // 1. Train to epoch 3 and write a checkpoint (TensorFlow layout, f64).
+    let mut session = Session::new(cfg.clone());
+    session.train_to(&data, 3);
+    let checkpoint = session.checkpoint(Dtype::F64);
+    println!("checkpointed at epoch {} ({} datasets)", session.epoch(), checkpoint.dataset_paths().len());
+
+    // 2. Error-free baseline: resume the pristine checkpoint to epoch 6.
+    let mut baseline = Session::new(cfg.clone());
+    baseline.restore(&checkpoint).expect("pristine restore");
+    let base_out = baseline.train_to(&data, 6);
+    let base_acc = base_out.final_accuracy().expect("baseline completes");
+    println!("error-free resumed accuracy:  {:.2}%", base_acc * 100.0);
+
+    // 3. Corrupt a copy of the checkpoint: 10 random bit-flips anywhere
+    //    except the exponent MSB (the paper's "critical bit").
+    let mut corrupted = checkpoint.clone();
+    let injector = Corrupter::new(CorrupterConfig::bit_flips(10, Precision::Fp64, 1234))
+        .expect("valid config");
+    let report = injector.corrupt(&mut corrupted).expect("corruption succeeds");
+    println!(
+        "injected {} bit-flips into {} locations",
+        report.injections,
+        report.locations_touched().len()
+    );
+    for r in report.records.iter().take(3) {
+        println!("  e.g. {}[{}]: {} -> {}", r.location, r.entry_index, r.old_value, r.new_value);
+    }
+
+    // 4. Resume from the corrupted file — it loads as if nothing happened.
+    let mut victim = Session::new(cfg);
+    victim.restore(&corrupted).expect("corrupted checkpoints load fine");
+    let out = victim.train_to(&data, 6);
+    match out.final_accuracy() {
+        Some(acc) => {
+            println!("corrupted resumed accuracy:   {:.2}%", acc * 100.0);
+            println!(
+                "bit-flips were {}",
+                if acc == base_acc { "fully absorbed (RWC)" } else { "not fully absorbed" }
+            );
+        }
+        None => println!("training collapsed on an N-EV"),
+    }
+}

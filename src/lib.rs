@@ -1,0 +1,16 @@
+//! Umbrella crate for the checkpoint-alteration soft-error study.
+//!
+//! Re-exports the full stack so examples and downstream users can depend
+//! on one crate. See README.md for the tour and DESIGN.md for the system
+//! inventory.
+
+pub use sefi_core as core;
+pub use sefi_data as data;
+pub use sefi_experiments as experiments;
+pub use sefi_float as float;
+pub use sefi_frameworks as frameworks;
+pub use sefi_hdf5 as hdf5;
+pub use sefi_models as models;
+pub use sefi_nn as nn;
+pub use sefi_rng as rng;
+pub use sefi_tensor as tensor;

@@ -1,0 +1,103 @@
+//! Failure injection against the substrate itself: damaged checkpoint
+//! files must fail loudly at every layer of the stack — never panic,
+//! never load silently-wrong weights.
+
+use sefi_data::{DataConfig, SyntheticCifar10};
+use sefi_frameworks::{FrameworkKind, Session, SessionConfig};
+use sefi_hdf5::{Dataset, Dtype, H5File};
+use sefi_models::{ModelConfig, ModelKind};
+
+fn checkpoint_bytes() -> (Session, Vec<u8>) {
+    let data = SyntheticCifar10::generate(DataConfig {
+        train: 40,
+        test: 20,
+        image_size: 16,
+        seed: 1,
+        noise: 0.25,
+    });
+    let mut cfg = SessionConfig::new(FrameworkKind::Chainer, ModelKind::AlexNet, 3);
+    cfg.model_config = ModelConfig { scale: 0.03, input_size: 16, num_classes: 10 };
+    cfg.train.batch_size = 16;
+    let mut s = Session::new(cfg);
+    s.train_to(&data, 1);
+    let bytes = s.checkpoint(Dtype::F32).to_bytes();
+    (s, bytes)
+}
+
+#[test]
+fn accidental_file_damage_is_detected_not_loaded() {
+    let (_, bytes) = checkpoint_bytes();
+    // Corrupting raw FILE bytes (as opposed to decoded values, which is
+    // what the injector legitimately does) must be caught by the CRC.
+    for pos in [16usize, 100, bytes.len() / 2, bytes.len() - 1] {
+        let mut damaged = bytes.clone();
+        damaged[pos] ^= 0x40;
+        assert!(
+            H5File::from_bytes(&damaged).is_err(),
+            "byte {pos} flip was accepted"
+        );
+    }
+}
+
+#[test]
+fn truncated_files_error_cleanly() {
+    let (_, bytes) = checkpoint_bytes();
+    for frac in [0, 1, 7, 15, 16, 17, 50] {
+        let cut = bytes.len() * frac / 100;
+        assert!(H5File::from_bytes(&bytes[..cut]).is_err(), "cut at {frac}%");
+    }
+}
+
+#[test]
+fn structurally_wrong_checkpoints_are_rejected_by_restore() {
+    let (mut session, bytes) = checkpoint_bytes();
+    let good = H5File::from_bytes(&bytes).unwrap();
+
+    // Missing weight tensor.
+    let mut pruned = H5File::new();
+    for p in good.dataset_paths().iter().filter(|p| !p.contains("conv2")) {
+        pruned.create_dataset(p, good.dataset(p).unwrap().clone()).unwrap();
+    }
+    assert!(session.restore(&pruned).is_err());
+
+    // Wrong-sized tensor.
+    let mut resized = H5File::new();
+    for p in good.dataset_paths() {
+        let ds = if p.ends_with("conv1/b") {
+            Dataset::zeros(&[1], Dtype::F32)
+        } else {
+            good.dataset(&p).unwrap().clone()
+        };
+        resized.create_dataset(&p, ds).unwrap();
+    }
+    assert!(session.restore(&resized).is_err());
+
+    // Checkpoint from a different framework.
+    let other = {
+        let data = SyntheticCifar10::generate(DataConfig {
+            train: 40,
+            test: 20,
+            image_size: 16,
+            seed: 1,
+            noise: 0.25,
+        });
+        let mut cfg = SessionConfig::new(FrameworkKind::PyTorch, ModelKind::AlexNet, 3);
+        cfg.model_config = ModelConfig { scale: 0.03, input_size: 16, num_classes: 10 };
+        cfg.train.batch_size = 16;
+        let mut s = Session::new(cfg);
+        s.train_to(&data, 1);
+        s.checkpoint(Dtype::F32)
+    };
+    assert!(session.restore(&other).is_err());
+
+    // After all the rejections the session still works with a good file.
+    session.restore(&good).unwrap();
+}
+
+#[test]
+fn empty_and_garbage_files_error() {
+    assert!(H5File::from_bytes(&[]).is_err());
+    assert!(H5File::from_bytes(b"definitely not a checkpoint").is_err());
+    let zeros = vec![0u8; 1024];
+    assert!(H5File::from_bytes(&zeros).is_err());
+}

@@ -1,0 +1,116 @@
+//! Integration: the protection layers (NevGuard, SEC-DED shield) composed
+//! with real framework checkpoints and resumed training.
+
+use sefi_core::{Corrupter, CorrupterConfig, NevGuard};
+use sefi_data::{DataConfig, SyntheticCifar10};
+use sefi_ecc::EccShield;
+use sefi_float::Precision;
+use sefi_frameworks::{FrameworkKind, Session, SessionConfig};
+use sefi_hdf5::Dtype;
+use sefi_models::{ModelConfig, ModelKind};
+
+fn data() -> SyntheticCifar10 {
+    SyntheticCifar10::generate(DataConfig {
+        train: 80,
+        test: 40,
+        image_size: 16,
+        seed: 13,
+        noise: 0.25,
+    })
+}
+
+fn session() -> Session {
+    let mut cfg = SessionConfig::new(FrameworkKind::TensorFlow, ModelKind::AlexNet, 31);
+    cfg.model_config = ModelConfig { scale: 0.03, input_size: 16, num_classes: 10 };
+    cfg.train.batch_size = 16;
+    Session::new(cfg)
+}
+
+#[test]
+fn guard_turns_a_collapsing_checkpoint_into_a_trainable_one() {
+    let d = data();
+    let mut s = session();
+    s.train_to(&d, 1);
+    let mut ck = s.checkpoint(Dtype::F64);
+
+    // Heavy full-range corruption: unguarded resume collapses.
+    Corrupter::new(CorrupterConfig::bit_flips_full_range(500, Precision::Fp64, 8))
+        .unwrap()
+        .corrupt(&mut ck)
+        .unwrap();
+    let mut unguarded = session();
+    unguarded.restore(&ck).unwrap();
+    assert!(unguarded.train_to(&d, 2).collapsed());
+
+    // Guarded resume survives.
+    let report = NevGuard::default_repair().scrub(&mut ck);
+    assert!(!report.is_clean(), "500 full-range flips must produce N-EVs");
+    let mut guarded = session();
+    guarded.restore(&ck).unwrap();
+    let out = guarded.train_to(&d, 2);
+    assert!(!out.collapsed(), "scrubbed checkpoint must train");
+}
+
+#[test]
+fn ecc_restores_single_flip_checkpoints_to_rwc() {
+    // With ECC, a single-flip corruption resumes *identically* to the
+    // error-free baseline — RWC by construction, not by absorption.
+    let d = data();
+    let mut s = session();
+    s.train_to(&d, 1);
+    let ck = s.checkpoint(Dtype::F64);
+    let shield = EccShield::protect(&ck);
+
+    // Baseline resume.
+    let mut base = session();
+    base.restore(&ck).unwrap();
+    let base_out = base.train_to(&d, 3);
+
+    // Corrupt one bit, repair, resume.
+    let mut hit = ck.clone();
+    Corrupter::new(CorrupterConfig::bit_flips_full_range(1, Precision::Fp64, 77))
+        .unwrap()
+        .corrupt(&mut hit)
+        .unwrap();
+    assert_ne!(hit.to_bytes(), ck.to_bytes());
+    let report = shield.verify_and_repair(&mut hit).unwrap();
+    assert_eq!(report.corrected(), 1);
+    assert_eq!(hit.to_bytes(), ck.to_bytes(), "ECC must restore byte-identity");
+
+    let mut repaired = session();
+    repaired.restore(&hit).unwrap();
+    let rep_out = repaired.train_to(&d, 3);
+    assert_eq!(rep_out.history(), base_out.history(), "repaired resume == baseline");
+}
+
+#[test]
+fn guard_then_ecc_protect_different_things() {
+    // ECC needs the *pristine* parity sidecar; the guard needs nothing.
+    // Composing them: ECC repairs what it can, the guard catches what
+    // slipped through (multi-bit damage that produced an N-EV).
+    let d = data();
+    let mut s = session();
+    s.train_to(&d, 1);
+    let ck = s.checkpoint(Dtype::F64);
+    let shield = EccShield::protect(&ck);
+
+    let mut hit = ck.clone();
+    // Heavy corruption: some words take multiple flips.
+    Corrupter::new(CorrupterConfig::bit_flips_full_range(300, Precision::Fp64, 5))
+        .unwrap()
+        .corrupt(&mut hit)
+        .unwrap();
+    let ecc_report = shield.verify_and_repair(&mut hit).unwrap();
+    let guard_report = NevGuard::default_repair().scrub(&mut hit);
+    // Whatever remains after both layers trains without collapse.
+    let mut healed = session();
+    healed.restore(&hit).unwrap();
+    let out = healed.train_to(&d, 2);
+    assert!(
+        !out.collapsed(),
+        "ecc corrected {} / flagged {}, guard repaired {}, yet training collapsed",
+        ecc_report.corrected(),
+        ecc_report.uncorrectable(),
+        guard_report.findings.len()
+    );
+}
