@@ -78,12 +78,7 @@ fn bench_tables(c: &mut Criterion) {
         // Warm the trained-checkpoint cache outside the timed loop.
         let _ = trained.get(ModelKind::AlexNet, sefi_hdf5::Dtype::F32);
         b.iter(|| {
-            black_box(exp_predict::predict_cell(
-                &trained,
-                ModelKind::AlexNet,
-                Precision::Fp32,
-                100,
-            ))
+            black_box(exp_predict::predict_cell(&trained, ModelKind::AlexNet, Precision::Fp32, 100))
         });
     });
     group.finish();

@@ -47,8 +47,7 @@ fn bench_precisions(c: &mut Criterion) {
         let file = synthetic_checkpoint(ENTRIES, dtype);
         group.bench_function(format!("fp{}", precision.width()), |b| {
             let corrupter =
-                Corrupter::new(CorrupterConfig::bit_flips_full_range(FLIPS, precision, 2))
-                    .unwrap();
+                Corrupter::new(CorrupterConfig::bit_flips_full_range(FLIPS, precision, 2)).unwrap();
             b.iter(|| {
                 let mut ck = file.clone();
                 black_box(corrupter.corrupt(&mut ck).unwrap())

@@ -1,0 +1,139 @@
+//! Telemetry overhead: what the per-trial event emit + manifest append
+//! costs next to a real trial.
+//!
+//! The campaign machinery adds, per executed trial, two sink emits
+//! (`TrialStart`/`TrialEnd`) and one flushed manifest append. This bench
+//! measures that bookkeeping in isolation, measures one real (micro-scale)
+//! Table IV trial, and asserts the bookkeeping stays under 1% of the trial
+//! — the acceptance bound for the campaign telemetry layer. Real budgets
+//! train for far longer than the micro budget, so the production ratio is
+//! smaller still.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sefi_core::{Corrupter, CorrupterConfig};
+use sefi_experiments::{Budget, Prebaked};
+use sefi_float::Precision;
+use sefi_frameworks::FrameworkKind;
+use sefi_models::ModelKind;
+use sefi_telemetry::{digest64, Event, JsonlSink, Manifest, TrialOutcome, TrialRecord};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn micro() -> Budget {
+    Budget {
+        trials: 2,
+        curve_trials: 1,
+        restart_epoch: 1,
+        resume_epochs: 1,
+        curve_end_epoch: 2,
+        fig2_trainings: 1,
+        ..Budget::smoke()
+    }
+}
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("sefi_bench_tel_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create bench scratch dir");
+    dir
+}
+
+fn outcome() -> TrialOutcome {
+    TrialOutcome::ok().with_collapsed(true).with_counters(1000, 37, 0)
+}
+
+fn record(seed: u64) -> TrialRecord {
+    TrialRecord {
+        experiment: "nev".to_string(),
+        cell: "nev-64-1000".to_string(),
+        framework: "chainer".to_string(),
+        model: "alexnet".to_string(),
+        trial: seed,
+        seed,
+        config_digest: digest64("bench"),
+        duration_ns: 1_000_000,
+        outcome: outcome(),
+    }
+}
+
+/// One trial's worth of telemetry bookkeeping.
+fn bookkeep(sink: &JsonlSink, manifest: &Manifest, seed: u64) {
+    sink.emit(&Event::TrialStart {
+        experiment: "nev".to_string(),
+        cell: "nev-64-1000".to_string(),
+        trial: seed,
+        seed,
+    });
+    manifest.record(record(seed)).expect("manifest append succeeds");
+    sink.emit(&Event::TrialEnd {
+        experiment: "nev".to_string(),
+        cell: "nev-64-1000".to_string(),
+        trial: seed,
+        seed,
+        status: "collapsed".to_string(),
+        duration_ns: 1_000_000,
+        injections: 1000,
+        nan_redraws: 37,
+        skipped: 0,
+        cached: false,
+    });
+}
+
+/// One real Table IV trial at micro scale (corrupt + resume), without the
+/// campaign machinery.
+fn one_trial(pre: &Prebaked, seed: u64) -> bool {
+    let pristine =
+        pre.checkpoint(FrameworkKind::Chainer, ModelKind::AlexNet, sefi_hdf5::Dtype::F64);
+    let mut ck = pristine.clone();
+    let cfg = CorrupterConfig::bit_flips_full_range(1000, Precision::Fp64, seed);
+    Corrupter::new(cfg).expect("valid preset").corrupt(&mut ck).expect("corruption succeeds");
+    pre.resume(FrameworkKind::Chainer, ModelKind::AlexNet, &ck, pre.budget().resume_epochs)
+        .collapsed()
+}
+
+fn bench_telemetry(c: &mut Criterion) {
+    let dir = scratch("sink");
+    let sink = JsonlSink::to_file(dir.join("telemetry.jsonl")).expect("sink opens");
+    let manifest = Manifest::open(dir.join("manifest.jsonl")).expect("manifest opens");
+    let mut seed = 0u64;
+    c.bench_function("telemetry/per_trial_bookkeeping", |b| {
+        b.iter(|| {
+            seed += 1;
+            bookkeep(black_box(&sink), black_box(&manifest), seed);
+        })
+    });
+
+    let pre = Prebaked::new(micro());
+    c.bench_function("telemetry/one_micro_trial", |b| {
+        let mut s = 0u64;
+        b.iter(|| {
+            s += 1;
+            black_box(one_trial(&pre, s));
+        })
+    });
+
+    // The acceptance bound, checked directly: average bookkeeping cost
+    // must stay under 1% of one micro-scale trial.
+    const BOOKKEEPS: u32 = 200;
+    let t0 = Instant::now();
+    for i in 0..BOOKKEEPS {
+        bookkeep(&sink, &manifest, 1_000_000 + u64::from(i));
+    }
+    let per_bookkeep = t0.elapsed() / BOOKKEEPS;
+    let t0 = Instant::now();
+    let _ = black_box(one_trial(&pre, 424_242));
+    let per_trial = t0.elapsed();
+    println!(
+        "telemetry overhead: {per_bookkeep:?} bookkeeping vs {per_trial:?} trial \
+         ({:.4}%)",
+        100.0 * per_bookkeep.as_secs_f64() / per_trial.as_secs_f64()
+    );
+    assert!(
+        per_bookkeep.as_secs_f64() < 0.01 * per_trial.as_secs_f64(),
+        "telemetry bookkeeping ({per_bookkeep:?}) exceeds 1% of a trial ({per_trial:?})"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_telemetry);
+criterion_main!(benches);

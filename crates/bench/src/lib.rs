@@ -16,10 +16,12 @@ pub fn synthetic_checkpoint(entries: usize, dtype: Dtype) -> H5File {
     let mut f = H5File::new();
     let per = (entries / 4).max(1);
     for (i, name) in ["conv1/W", "conv1/b", "fc/W", "fc/b"].iter().enumerate() {
-        let values: Vec<f32> =
-            (0..per).map(|k| (((k + i * 7) as f32) * 0.37).sin()).collect();
-        f.create_dataset(&format!("model/{name}"), Dataset::from_f32(&values, &[per], dtype).unwrap())
-            .unwrap();
+        let values: Vec<f32> = (0..per).map(|k| (((k + i * 7) as f32) * 0.37).sin()).collect();
+        f.create_dataset(
+            &format!("model/{name}"),
+            Dataset::from_f32(&values, &[per], dtype).unwrap(),
+        )
+        .unwrap();
     }
     f
 }

@@ -112,12 +112,11 @@ impl CorrupterConfig {
             _ => {}
         }
         match &self.mode {
-            CorruptionMode::BitRange(r) => r
-                .validate(self.float_precision)
-                .map_err(CorruptError::InvalidConfig)?,
+            CorruptionMode::BitRange(r) => {
+                r.validate(self.float_precision).map_err(CorruptError::InvalidConfig)?
+            }
             CorruptionMode::BitMask(m) => {
-                m.max_offset(self.float_precision)
-                    .map_err(CorruptError::InvalidConfig)?;
+                m.max_offset(self.float_precision).map_err(CorruptError::InvalidConfig)?;
             }
             CorruptionMode::ScalingFactor(f) => {
                 if !f.is_finite() {

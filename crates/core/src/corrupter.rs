@@ -104,9 +104,8 @@ impl Corrupter {
                         )
                     }
                     CorruptionMode::BitMask(mask) => {
-                        let max = mask
-                            .max_offset(precision)
-                            .expect("validated against this precision");
+                        let max =
+                            mask.max_offset(precision).expect("validated against this precision");
                         let offset = rng.below(max as u64 + 1) as u32;
                         (
                             FpValue::from_bits(precision, mask.apply(old.to_bits(), offset)),
@@ -122,7 +121,10 @@ impl Corrupter {
                     redraws += 1;
                     report.nan_redraws += 1;
                     if redraws > MAX_NAN_REDRAWS {
-                        return Err(CorruptError::NanRetryExhausted { location, index: entry_index });
+                        return Err(CorruptError::NanRetryExhausted {
+                            location,
+                            index: entry_index,
+                        });
                     }
                     continue;
                 }
@@ -135,15 +137,15 @@ impl Corrupter {
                 let width = minimal_bit_width(old);
                 let bit = rng.below(width as u64) as u32;
                 match corrupt_int(old, bit) {
-                    Some(new) => Some((
-                        old as f64,
-                        new as u64,
-                        new as f64,
-                        ValueChange::BitFlip { bit },
-                    )),
+                    Some(new) => {
+                        Some((old as f64, new as u64, new as f64, ValueChange::BitFlip { bit }))
+                    }
                     None => {
-                        // Magnitude overflow (|i64::MIN| edge): redraw.
+                        // Magnitude overflow (|i64::MIN| edge): redraw, and
+                        // account for it exactly like the float NaN path so
+                        // `report.nan_redraws` covers every redrawn attempt.
                         redraws += 1;
+                        report.nan_redraws += 1;
                         if redraws > MAX_NAN_REDRAWS {
                             return Err(CorruptError::NanRetryExhausted {
                                 location,
@@ -431,9 +433,7 @@ mod tests {
 
     #[test]
     fn f16_and_f32_checkpoints_corrupt_at_their_width() {
-        for (dtype, precision) in
-            [(Dtype::F16, Precision::Fp16), (Dtype::F32, Precision::Fp32)]
-        {
+        for (dtype, precision) in [(Dtype::F16, Precision::Fp16), (Dtype::F32, Precision::Fp32)] {
             let mut f = test_file(dtype);
             let cfg = CorrupterConfig::bit_flips_full_range(50, precision, 11);
             let report = Corrupter::new(cfg).unwrap().corrupt(&mut f).unwrap();
@@ -456,14 +456,32 @@ mod tests {
 
     #[test]
     fn corrupt_file_roundtrips_on_disk() {
-        let dir = std::env::temp_dir().join("sefi_core_test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let p = dir.join("ckpt.sefi5");
+        let dir = crate::testutil::TestDir::new("core_corrupt");
+        let p = dir.file("ckpt.sefi5");
         test_file(Dtype::F64).save(&p).unwrap();
-        let report =
-            corrupt_file(&p, CorrupterConfig::bit_flips(5, Precision::Fp64, 13)).unwrap();
+        let report = corrupt_file(&p, CorrupterConfig::bit_flips(5, Precision::Fp64, 13)).unwrap();
         assert_eq!(report.injections, 5);
         let loaded = H5File::load(&p).unwrap();
         assert_ne!(loaded, test_file(Dtype::F64));
+    }
+
+    #[test]
+    fn integer_overflow_redraws_are_counted_in_the_report() {
+        // |i64::MIN| = 2^63 occupies the full 64-bit magnitude: flipping any
+        // bit but 63 overflows (corrupt_int returns None) and must be
+        // redrawn. Those redraws are accounted in `report.nan_redraws`
+        // exactly like the float path's NaN redraws.
+        let mut f = H5File::new();
+        f.create_dataset("meta/step", Dataset::from_i64(&[i64::MIN], &[1], Dtype::I64).unwrap())
+            .unwrap();
+        let c = Corrupter::new(CorrupterConfig::bit_flips(1, Precision::Fp64, 3)).unwrap();
+        let report = c.corrupt(&mut f).unwrap();
+        assert_eq!(report.injections, 1);
+        assert!(
+            report.nan_redraws > 0,
+            "seed 3 must draw at least one overflowing bit before bit 63"
+        );
+        // The only survivable flip zeroes the magnitude.
+        assert_eq!(f.dataset("meta/step").unwrap().get_i64(0).unwrap(), 0);
     }
 }

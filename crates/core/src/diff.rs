@@ -125,10 +125,8 @@ mod tests {
     fn file() -> H5File {
         let mut f = H5File::new();
         let values: Vec<f32> = (0..50).map(|i| (i as f32) * 0.1 - 2.5).collect();
-        f.create_dataset("m/w", Dataset::from_f32(&values, &[50], Dtype::F64).unwrap())
-            .unwrap();
-        f.create_dataset("m/b", Dataset::from_f32(&[0.1; 5], &[5], Dtype::F64).unwrap())
-            .unwrap();
+        f.create_dataset("m/w", Dataset::from_f32(&values, &[50], Dtype::F64).unwrap()).unwrap();
+        f.create_dataset("m/b", Dataset::from_f32(&[0.1; 5], &[5], Dtype::F64).unwrap()).unwrap();
         f
     }
 

@@ -143,10 +143,8 @@ impl NevGuard {
         injections: &[InjectionRecord],
         policy: &NevPolicy,
     ) -> (usize, usize) {
-        let injected_nev: Vec<&InjectionRecord> = injections
-            .iter()
-            .filter(|r| policy.classify_f64(r.new_value).is_some())
-            .collect();
+        let injected_nev: Vec<&InjectionRecord> =
+            injections.iter().filter(|r| policy.classify_f64(r.new_value).is_some()).collect();
         let caught = injected_nev
             .iter()
             .filter(|r| {
@@ -171,8 +169,7 @@ mod tests {
     fn poisoned_file() -> H5File {
         let mut f = H5File::new();
         let values = [1.0f32, -2.0, 3.0, -4.0];
-        f.create_dataset("m/w", Dataset::from_f32(&values, &[4], Dtype::F64).unwrap())
-            .unwrap();
+        f.create_dataset("m/w", Dataset::from_f32(&values, &[4], Dtype::F64).unwrap()).unwrap();
         f.create_dataset("m/epoch", Dataset::scalar_i64(20)).unwrap();
         let ds = f.dataset_mut("m/w").unwrap();
         ds.set_f64(1, f64::NAN).unwrap();
@@ -221,11 +218,8 @@ mod tests {
     #[test]
     fn benign_values_are_untouched() {
         let mut f = H5File::new();
-        f.create_dataset(
-            "w",
-            Dataset::from_f32(&[0.5, -0.25, 1e20], &[3], Dtype::F32).unwrap(),
-        )
-        .unwrap();
+        f.create_dataset("w", Dataset::from_f32(&[0.5, -0.25, 1e20], &[3], Dtype::F32).unwrap())
+            .unwrap();
         let before = f.to_bytes();
         let report = NevGuard::default_repair().scrub(&mut f);
         assert!(report.is_clean());
@@ -236,8 +230,7 @@ mod tests {
     fn guard_catches_every_injected_nev() {
         let mut f = H5File::new();
         let values: Vec<f32> = (0..200).map(|i| (i as f32 - 100.0) / 50.0).collect();
-        f.create_dataset("m/w", Dataset::from_f32(&values, &[200], Dtype::F64).unwrap())
-            .unwrap();
+        f.create_dataset("m/w", Dataset::from_f32(&values, &[200], Dtype::F64).unwrap()).unwrap();
         let cfg = CorrupterConfig::bit_flips_full_range(100, Precision::Fp64, 11);
         let report = Corrupter::new(cfg).unwrap().corrupt(&mut f).unwrap();
         let policy = NevPolicy::default();

@@ -35,11 +35,13 @@ mod error;
 pub mod guard;
 mod log;
 mod report;
+#[cfg(test)]
+mod testutil;
 
 pub use config::{CorrupterConfig, CorruptionMode, InjectionAmount, LocationSelection};
 pub use corrupter::{corrupt_file, Corrupter};
 pub use diff::{diff_checkpoint_values, diff_checkpoints, CheckpointDiff, DatasetDiff};
 pub use error::CorruptError;
-pub use log::{InjectionLog, LogRecord};
 pub use guard::{GuardFinding, GuardReport, NevGuard, RepairPolicy};
+pub use log::{InjectionLog, LogRecord};
 pub use report::{InjectionRecord, InjectionReport, ValueChange};

@@ -143,10 +143,8 @@ impl InjectionLog {
     /// dataset names differ.
     pub fn replay(&self, file: &mut H5File, seed: u64) -> Result<InjectionReport, CorruptError> {
         let mut rng = DetRng::new(seed).substream("replay");
-        let mut report = InjectionReport {
-            attempts: self.records.len() as u64,
-            ..Default::default()
-        };
+        let mut report =
+            InjectionReport { attempts: self.records.len() as u64, ..Default::default() };
         for rec in &self.records {
             let candidates = file
                 .datasets_under(&rec.location)
@@ -162,9 +160,7 @@ impl InjectionLog {
             let ds = file.dataset_mut(&location)?;
             let entry_index = rng.index(ds.len());
             let precision = ds.dtype().precision().ok_or_else(|| {
-                CorruptError::Log(format!(
-                    "replay target {location:?} is not a float dataset"
-                ))
+                CorruptError::Log(format!("replay target {location:?} is not a float dataset"))
             })?;
             let old = FpValue::from_bits(precision, ds.get_bits(entry_index)?);
             let new = match rec.change {
@@ -222,10 +218,16 @@ mod tests {
     fn file_with_layout(root: &str) -> H5File {
         let mut f = H5File::new();
         let values: Vec<f32> = (0..64).map(|i| (i as f32 - 32.0) / 16.0).collect();
-        f.create_dataset(&format!("{root}/conv1/W"), Dataset::from_f32(&values, &[64], Dtype::F64).unwrap())
-            .unwrap();
-        f.create_dataset(&format!("{root}/conv1/b"), Dataset::from_f32(&[0.1; 8], &[8], Dtype::F64).unwrap())
-            .unwrap();
+        f.create_dataset(
+            &format!("{root}/conv1/W"),
+            Dataset::from_f32(&values, &[64], Dtype::F64).unwrap(),
+        )
+        .unwrap();
+        f.create_dataset(
+            &format!("{root}/conv1/b"),
+            Dataset::from_f32(&[0.1; 8], &[8], Dtype::F64).unwrap(),
+        )
+        .unwrap();
         f
     }
 
@@ -324,10 +326,7 @@ mod tests {
     fn replay_missing_location_errors() {
         let (_, log) = logged_run(5);
         let mut wrong = file_with_layout("model_weights");
-        assert!(matches!(
-            log.replay(&mut wrong, 0),
-            Err(CorruptError::LocationNotFound(_))
-        ));
+        assert!(matches!(log.replay(&mut wrong, 0), Err(CorruptError::LocationNotFound(_))));
     }
 
     #[test]
@@ -340,17 +339,15 @@ mod tests {
             entry_index: 0,
         });
         let mut f = H5File::new();
-        f.create_dataset("g/w", Dataset::from_f32(&[1.0; 4], &[4], Dtype::F16).unwrap())
-            .unwrap();
+        f.create_dataset("g/w", Dataset::from_f32(&[1.0; 4], &[4], Dtype::F16).unwrap()).unwrap();
         assert!(matches!(log.replay(&mut f, 0), Err(CorruptError::Log(_))));
     }
 
     #[test]
     fn save_and_load_from_disk() {
         let (_, log) = logged_run(6);
-        let dir = std::env::temp_dir().join("sefi_log_test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let p = dir.join("inj.json");
+        let dir = crate::testutil::TestDir::new("log");
+        let p = dir.file("inj.json");
         log.save(&p).unwrap();
         assert_eq!(InjectionLog::load(&p).unwrap(), log);
     }

@@ -51,7 +51,9 @@ pub struct InjectionReport {
     pub injections: u64,
     /// Attempts skipped by the probability gate.
     pub skipped: u64,
-    /// Redraws performed by the NaN-avoidance loop.
+    /// Attempts redrawn before a value change stuck: float candidates
+    /// rejected by NaN avoidance, and integer flips rejected because the
+    /// flipped magnitude would overflow (the `|i64::MIN|` edge).
     pub nan_redraws: u64,
     /// Every successful injection, in order.
     pub records: Vec<InjectionRecord>,

@@ -17,11 +17,7 @@ fn file(values: &[f32], precision: Precision) -> H5File {
 }
 
 fn any_precision() -> impl Strategy<Value = Precision> {
-    prop_oneof![
-        Just(Precision::Fp16),
-        Just(Precision::Fp32),
-        Just(Precision::Fp64),
-    ]
+    prop_oneof![Just(Precision::Fp16), Just(Precision::Fp32), Just(Precision::Fp64),]
 }
 
 proptest! {

@@ -1,27 +1,19 @@
 //! Property-based tests for the corrupter's contracts.
 
 use proptest::prelude::*;
-use sefi_core::{
-    Corrupter, CorrupterConfig, CorruptionMode, InjectionAmount, LocationSelection,
-};
+use sefi_core::{Corrupter, CorrupterConfig, CorruptionMode, InjectionAmount, LocationSelection};
 use sefi_float::{BitMask, BitRange, Precision};
 use sefi_hdf5::{Dataset, Dtype, H5File};
 
 fn any_precision() -> impl Strategy<Value = Precision> {
-    prop_oneof![
-        Just(Precision::Fp16),
-        Just(Precision::Fp32),
-        Just(Precision::Fp64),
-    ]
+    prop_oneof![Just(Precision::Fp16), Just(Precision::Fp32), Just(Precision::Fp64),]
 }
 
 fn file_for(precision: Precision, values: &[f32]) -> H5File {
     let dtype = Dtype::from_precision(precision);
     let mut f = H5File::new();
-    f.create_dataset("w/a", Dataset::from_f32(values, &[values.len()], dtype).unwrap())
-        .unwrap();
-    f.create_dataset("w/b", Dataset::from_f32(values, &[values.len()], dtype).unwrap())
-        .unwrap();
+    f.create_dataset("w/a", Dataset::from_f32(values, &[values.len()], dtype).unwrap()).unwrap();
+    f.create_dataset("w/b", Dataset::from_f32(values, &[values.len()], dtype).unwrap()).unwrap();
     f
 }
 

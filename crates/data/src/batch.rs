@@ -99,8 +99,7 @@ mod tests {
     #[test]
     fn covers_every_image_exactly_once() {
         let d = data();
-        let total: usize =
-            BatchIter::new(&d, Split::Train, 8, 0).map(|b| b.labels.len()).sum();
+        let total: usize = BatchIter::new(&d, Split::Train, 8, 0).map(|b| b.labels.len()).sum();
         assert_eq!(total, 53);
         // Label histogram over the epoch equals the dataset's histogram,
         // confirming a permutation (not sampling with replacement).

@@ -33,7 +33,7 @@ pub struct DataConfig {
 
 impl Default for DataConfig {
     fn default() -> Self {
-        DataConfig { train: 2000, test: 500, image_size: 32, seed: 0xC1FA_10, noise: 0.25 }
+        DataConfig { train: 2000, test: 500, image_size: 32, seed: 0xC1_FA10, noise: 0.25 }
     }
 }
 
@@ -149,9 +149,9 @@ fn class_pattern(class: usize, size: usize) -> ClassPattern {
         patch_x: (class * 7) % (size / 2),
         patch_y: (class * 3) % (size / 2),
         patch_color: [
-            if class % 2 == 0 { 0.8 } else { -0.8 },
-            if class % 3 == 0 { 0.8 } else { -0.4 },
-            if class % 5 == 0 { 0.6 } else { -0.6 },
+            if class.is_multiple_of(2) { 0.8 } else { -0.8 },
+            if class.is_multiple_of(3) { 0.8 } else { -0.4 },
+            if class.is_multiple_of(5) { 0.6 } else { -0.6 },
         ],
     }
 }
@@ -176,10 +176,13 @@ fn gen_split(config: &DataConfig, rng: &DetRng, count: usize) -> (Vec<f32>, Vec<
                     let fx = x as f64 / s as f64;
                     let fy = y as f64 / s as f64;
                     let mut v = 0.5
-                        * ((std::f64::consts::TAU * (p.freq_x * fx + p.freq_y * fy)
-                            + p.phase[ch])
+                        * ((std::f64::consts::TAU * (p.freq_x * fx + p.freq_y * fy) + p.phase[ch])
                             .sin());
-                    if x >= p.patch_x && x < p.patch_x + patch && y >= p.patch_y && y < p.patch_y + patch {
+                    if x >= p.patch_x
+                        && x < p.patch_x + patch
+                        && y >= p.patch_y
+                        && y < p.patch_y + patch
+                    {
                         v += p.patch_color[ch] as f64;
                     }
                     v += noise_rng.normal() * config.noise;
@@ -272,16 +275,10 @@ mod tests {
             let img = d.image(Split::Test, i);
             let best = (0..NUM_CLASSES)
                 .min_by(|&a, &b| {
-                    let da: f64 = means[a]
-                        .iter()
-                        .zip(img)
-                        .map(|(&m, &v)| (m - v as f64).powi(2))
-                        .sum();
-                    let db: f64 = means[b]
-                        .iter()
-                        .zip(img)
-                        .map(|(&m, &v)| (m - v as f64).powi(2))
-                        .sum();
+                    let da: f64 =
+                        means[a].iter().zip(img).map(|(&m, &v)| (m - v as f64).powi(2)).sum();
+                    let db: f64 =
+                        means[b].iter().zip(img).map(|(&m, &v)| (m - v as f64).powi(2)).sum();
                     da.partial_cmp(&db).unwrap()
                 })
                 .unwrap();

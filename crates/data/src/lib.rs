@@ -19,5 +19,5 @@
 mod batch;
 mod generator;
 
-pub use batch::{BatchIter, Batch};
+pub use batch::{Batch, BatchIter};
 pub use generator::{DataConfig, Split, SyntheticCifar10, NUM_CLASSES};

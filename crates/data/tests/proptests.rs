@@ -4,14 +4,9 @@ use proptest::prelude::*;
 use sefi_data::{BatchIter, DataConfig, Split, SyntheticCifar10, NUM_CLASSES};
 
 fn any_config() -> impl Strategy<Value = DataConfig> {
-    (10usize..80, 5usize..30, prop_oneof![Just(8usize), Just(16)], any::<u64>())
-        .prop_map(|(train, test, image_size, seed)| DataConfig {
-            train,
-            test,
-            image_size,
-            seed,
-            noise: 0.3,
-        })
+    (10usize..80, 5usize..30, prop_oneof![Just(8usize), Just(16)], any::<u64>()).prop_map(
+        |(train, test, image_size, seed)| DataConfig { train, test, image_size, seed, noise: 0.3 },
+    )
 }
 
 proptest! {

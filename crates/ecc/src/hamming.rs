@@ -81,8 +81,7 @@ fn hamming_parities(cw: u128) -> u8 {
 pub fn encode(data: u64) -> u8 {
     let cw = spread(data);
     let parities = hamming_parities(cw);
-    let overall =
-        (data.count_ones() + u32::from(parities.count_ones())) & 1;
+    let overall = (data.count_ones() + parities.count_ones()) & 1;
     parities | ((overall as u8) << 7)
 }
 
@@ -101,7 +100,7 @@ pub fn decode(data: u64, parity: u8) -> DecodeResult {
     }
     // Overall parity over data + stored parity byte (all 8 bits: the
     // overall bit protects itself by inclusion).
-    let overall_ok = (data.count_ones() + u32::from(parity.count_ones())) & 1 == 0;
+    let overall_ok = (data.count_ones() + parity.count_ones()) & 1 == 0;
 
     match (syndrome, overall_ok) {
         (0, true) => DecodeResult::Clean(data),

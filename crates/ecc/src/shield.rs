@@ -86,8 +86,7 @@ impl EccShield {
                 match decode(word, parity) {
                     DecodeResult::Clean(_) => {}
                     DecodeResult::Corrected { data, .. } => {
-                        let buf =
-                            repaired_bytes.get_or_insert_with(|| ds.bytes().to_vec());
+                        let buf = repaired_bytes.get_or_insert_with(|| ds.bytes().to_vec());
                         let le = data.to_le_bytes();
                         let end = ((w + 1) * 8).min(buf.len());
                         buf[w * 8..end].copy_from_slice(&le[..end - w * 8]);
@@ -172,10 +171,8 @@ mod tests {
     fn checkpoint() -> H5File {
         let mut f = H5File::new();
         let values: Vec<f32> = (0..64).map(|i| ((i as f32) * 0.21).cos()).collect();
-        f.create_dataset("m/w", Dataset::from_f32(&values, &[64], Dtype::F64).unwrap())
-            .unwrap();
-        f.create_dataset("m/b", Dataset::from_f32(&[0.5; 7], &[7], Dtype::F32).unwrap())
-            .unwrap();
+        f.create_dataset("m/w", Dataset::from_f32(&values, &[64], Dtype::F64).unwrap()).unwrap();
+        f.create_dataset("m/b", Dataset::from_f32(&[0.5; 7], &[7], Dtype::F32).unwrap()).unwrap();
         f.create_dataset("m/epoch", Dataset::scalar_i64(20)).unwrap();
         f
     }
@@ -265,8 +262,10 @@ mod tests {
         }
         let report = shield.verify_and_repair(&mut g).unwrap();
         assert_eq!(report.uncorrectable(), 1, "even-weight mask must be detected");
-        assert_ne!(g.dataset("m/w").unwrap().get_bits(10).unwrap(),
-                   f.dataset("m/w").unwrap().get_bits(10).unwrap());
+        assert_ne!(
+            g.dataset("m/w").unwrap().get_bits(10).unwrap(),
+            f.dataset("m/w").unwrap().get_bits(10).unwrap()
+        );
     }
 
     #[test]
@@ -283,9 +282,7 @@ mod tests {
         let f = checkpoint();
         let shield = EccShield::protect(&f);
         let mut other = H5File::new();
-        other
-            .create_dataset("different", Dataset::zeros(&[4], Dtype::F32))
-            .unwrap();
+        other.create_dataset("different", Dataset::zeros(&[4], Dtype::F32)).unwrap();
         assert!(shield.verify_and_repair(&mut other).is_err());
     }
 }

@@ -48,13 +48,12 @@ proptest! {
     ) {
         let parity = encode(data) ^ (1u8 << pbit);
         let corrupted = data ^ (1u64 << dbit);
-        match decode(corrupted, parity) {
-            DecodeResult::Clean(_) => return Err(TestCaseError::fail("missed".to_string())),
-            // Detected, or miscorrected to some word — SEC-DED's contract
-            // only promises detection for double errors within its own
-            // coverage; a flip in the overall bit plus a data bit aliases
-            // to a single data error. Either way, never Clean.
-            _ => {}
+        // Detected, or miscorrected to some word — SEC-DED's contract
+        // only promises detection for double errors within its own
+        // coverage; a flip in the overall bit plus a data bit aliases
+        // to a single data error. Either way, never Clean.
+        if let DecodeResult::Clean(_) = decode(corrupted, parity) {
+            return Err(TestCaseError::fail("missed".to_string()));
         }
     }
 }

@@ -32,8 +32,8 @@ fn main() {
                 Precision::Fp64,
                 combo_seed(FrameworkKind::Chainer, ModelKind::AlexNet, "thr", trial),
             );
-            let report = Corrupter::new(cfg).unwrap().corrupt(&mut ck).unwrap();
-            report
+
+            Corrupter::new(cfg).unwrap().corrupt(&mut ck).unwrap()
         })
         .collect();
 

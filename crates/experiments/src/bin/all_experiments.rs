@@ -1,4 +1,10 @@
 //! Runs every table and figure in sequence (the full campaign).
+//!
+//! The campaign records telemetry under `results/telemetry.jsonl` and a
+//! per-experiment completed-trial manifest under
+//! `results/<experiment>/manifest.jsonl`. Kill it at any point and re-run:
+//! completed trials are served from the manifest and only the missing ones
+//! execute, reproducing byte-identical tables.
 
 use sefi_experiments::*;
 use sefi_frameworks::FrameworkKind;
@@ -7,79 +13,117 @@ use sefi_models::ModelKind;
 fn main() {
     let budget = budget_from_args();
     println!("=== full experimental campaign, budget: {} ===\n", budget.name);
-    let pre = Prebaked::new(budget);
+    let pre = Prebaked::with_campaign(budget, CampaignConfig::new("all-experiments"))
+        .expect("results directory is writable");
     let _ = std::fs::create_dir_all("results");
 
-    let (rows, t) = exp_bitranges::figure2(&pre);
-    println!("--- Figure 2: bit ranges ---\n{}", t.render());
-    println!(
-        "collapse only with critical bit: {}\n",
-        exp_bitranges::collapse_only_with_critical_bit(&rows)
-    );
-    let _ = std::fs::write("results/fig2.csv", t.to_csv());
-
-    let (cells, t) = exp_nev::table4(&pre);
-    println!("--- Table IV: N-EV incidence (64-bit) ---\n{}", t.render());
-    println!("ascending pattern: {}\n", exp_nev::ascending_pattern_holds(&cells));
-    let _ = std::fs::write("results/table4.csv", t.to_csv());
-
-    let (_, t) = exp_rwc::table5(&pre);
-    println!("--- Table V: RWC under 1 bit-flip ---\n{}", t.render());
-    let _ = std::fs::write("results/table5.csv", t.to_csv());
-
-    for panel in exp_curves::figure3(&pre) {
-        let t = exp_curves::render_panel(&panel);
+    {
+        let _phase = pre.phase("fig2");
+        let (rows, t) = exp_bitranges::figure2(&pre);
+        println!("--- Figure 2: bit ranges ---\n{}", t.render());
         println!(
-            "--- Figure 3 panel {} / {} ---\n{}",
-            panel.framework.display(),
-            panel.model.id(),
-            t.render()
+            "collapse only with critical bit: {}\n",
+            exp_bitranges::collapse_only_with_critical_bit(&rows)
         );
-        let _ = std::fs::write(
-            format!("results/fig3_{}_{}.csv", panel.framework.id(), panel.model.id()),
-            t.to_csv(),
-        );
+        let _ = std::fs::write("results/fig2.csv", t.to_csv());
     }
 
-    let (series, logs) = exp_layers::figure4(&pre);
-    let panel = exp_curves::Panel {
-        framework: FrameworkKind::Chainer,
-        model: ModelKind::AlexNet,
-        series,
-    };
-    let t = exp_curves::render_panel(&panel);
-    println!("--- Figure 4: per-layer injection (Chainer/AlexNet) ---\n{}", t.render());
-    let _ = std::fs::write("results/fig4.csv", t.to_csv());
+    {
+        let _phase = pre.phase("table4");
+        let (cells, t) = exp_nev::table4(&pre);
+        println!("--- Table IV: N-EV incidence (64-bit) ---\n{}", t.render());
+        println!("ascending pattern: {}\n", exp_nev::ascending_pattern_holds(&cells));
+        let _ = std::fs::write("results/table4.csv", t.to_csv());
+    }
 
-    for (fw, series) in exp_equivalent::figure5(&pre, &logs) {
-        let panel = exp_curves::Panel { framework: fw, model: ModelKind::AlexNet, series };
+    {
+        let _phase = pre.phase("table5");
+        let (_, t) = exp_rwc::table5(&pre);
+        println!("--- Table V: RWC under 1 bit-flip ---\n{}", t.render());
+        let _ = std::fs::write("results/table5.csv", t.to_csv());
+    }
+
+    {
+        let _phase = pre.phase("fig3");
+        for panel in exp_curves::figure3(&pre) {
+            let t = exp_curves::render_panel(&panel);
+            println!(
+                "--- Figure 3 panel {} / {} ---\n{}",
+                panel.framework.display(),
+                panel.model.id(),
+                t.render()
+            );
+            let _ = std::fs::write(
+                format!("results/fig3_{}_{}.csv", panel.framework.id(), panel.model.id()),
+                t.to_csv(),
+            );
+        }
+    }
+
+    let logs = {
+        let _phase = pre.phase("fig4");
+        let (series, logs) = exp_layers::figure4(&pre);
+        let panel = exp_curves::Panel {
+            framework: FrameworkKind::Chainer,
+            model: ModelKind::AlexNet,
+            series,
+        };
         let t = exp_curves::render_panel(&panel);
-        println!("--- Figure 5 panel {} ---\n{}", fw.display(), t.render());
-        let _ = std::fs::write(format!("results/fig5_{}.csv", fw.id()), t.to_csv());
+        println!("--- Figure 4: per-layer injection (Chainer/AlexNet) ---\n{}", t.render());
+        let _ = std::fs::write("results/fig4.csv", t.to_csv());
+        logs
+    };
+
+    {
+        let _phase = pre.phase("fig5");
+        for (fw, series) in exp_equivalent::figure5(&pre, &logs) {
+            let panel = exp_curves::Panel { framework: fw, model: ModelKind::AlexNet, series };
+            let t = exp_curves::render_panel(&panel);
+            println!("--- Figure 5 panel {} ---\n{}", fw.display(), t.render());
+            let _ = std::fs::write(format!("results/fig5_{}.csv", fw.id()), t.to_csv());
+        }
     }
 
-    let (_, t) = exp_masks::table6(&pre);
-    println!("--- Table VI: multi-bit masks (ResNet50) ---\n{}", t.render());
-    let _ = std::fs::write("results/table6.csv", t.to_csv());
+    {
+        let _phase = pre.phase("table6");
+        let (_, t) = exp_masks::table6(&pre);
+        println!("--- Table VI: multi-bit masks (ResNet50) ---\n{}", t.render());
+        let _ = std::fs::write("results/table6.csv", t.to_csv());
+    }
 
-    let (cells, t) = exp_nev::table7(&pre);
-    println!("--- Table VII: N-EV at 16/32-bit (Chainer) ---\n{}", t.render());
-    println!("ascending pattern: {}\n", exp_nev::ascending_pattern_holds(&cells));
-    let _ = std::fs::write("results/table7.csv", t.to_csv());
+    {
+        let _phase = pre.phase("table7");
+        let (cells, t) = exp_nev::table7(&pre);
+        println!("--- Table VII: N-EV at 16/32-bit (Chainer) ---\n{}", t.render());
+        println!("ascending pattern: {}\n", exp_nev::ascending_pattern_holds(&cells));
+        let _ = std::fs::write("results/table7.csv", t.to_csv());
+    }
 
-    let (_, t) = exp_predict::table8(&pre);
-    println!("--- Table VIII: prediction under corruption (Chainer) ---\n{}", t.render());
-    let _ = std::fs::write("results/table8.csv", t.to_csv());
+    {
+        let _phase = pre.phase("table8");
+        let (_, t) = exp_predict::table8(&pre);
+        println!("--- Table VIII: prediction under corruption (Chainer) ---\n{}", t.render());
+        let _ = std::fs::write("results/table8.csv", t.to_csv());
+    }
 
-    let (_, t) = exp_propagation::figure6(&pre);
-    println!("--- Figure 6: error propagation (TensorFlow/AlexNet) ---\n{}", t.render());
-    let _ = std::fs::write("results/fig6.csv", t.to_csv());
+    {
+        let _phase = pre.phase("fig6");
+        let (_, t) = exp_propagation::figure6(&pre);
+        println!("--- Figure 6: error propagation (TensorFlow/AlexNet) ---\n{}", t.render());
+        let _ = std::fs::write("results/fig6.csv", t.to_csv());
+    }
 
-    let (cells, baseline, t) = exp_heatmap::figure7(&pre);
-    println!("--- Figure 7: scaling-factor heat map (Chainer/ResNet50) ---");
-    println!("baseline accuracy: {baseline:.3}\n{}", t.render());
-    println!("monotone damage: {}\n", exp_heatmap::monotone_damage(&cells));
-    let _ = std::fs::write("results/fig7.csv", t.to_csv());
+    {
+        let _phase = pre.phase("fig7");
+        let (cells, baseline, t) = exp_heatmap::figure7(&pre);
+        println!("--- Figure 7: scaling-factor heat map (Chainer/ResNet50) ---");
+        println!("baseline accuracy: {baseline:.3}\n{}", t.render());
+        println!("monotone damage: {}\n", exp_heatmap::monotone_damage(&cells));
+        let _ = std::fs::write("results/fig7.csv", t.to_csv());
+    }
 
+    if let Some(summary) = pre.finish_campaign() {
+        println!("--- campaign summary ---\n{summary}");
+    }
     println!("=== campaign complete; CSVs in results/ ===");
 }

@@ -42,8 +42,7 @@ fn main() {
             let cfg = CorrupterConfig::bit_flips_full_range(
                 flips,
                 Precision::Fp64,
-                combo_seed(FrameworkKind::Chainer, ModelKind::AlexNet, "ecc-flip", trial)
-                    ^ flips,
+                combo_seed(FrameworkKind::Chainer, ModelKind::AlexNet, "ecc-flip", trial) ^ flips,
             );
             Corrupter::new(cfg).unwrap().corrupt(&mut ck).unwrap();
             let report = shield.verify_and_repair(&mut ck).unwrap();

@@ -2,13 +2,15 @@
 //! unbreakable" (paper Section VI-1).
 
 use sefi_core::RepairPolicy;
-use sefi_experiments::{budget_from_args, exp_guard, Prebaked};
+use sefi_experiments::{budget_from_args, exp_guard, CampaignConfig, Prebaked};
 
 fn main() {
     let budget = budget_from_args();
     println!("Extension — NevGuard vs Table IV corruption (Chainer/AlexNet)");
     println!("budget: {} ({} trainings/cell, paired arms)\n", budget.name, budget.trials);
-    let pre = Prebaked::new(budget);
+    let pre = Prebaked::with_campaign(budget, CampaignConfig::new("guard"))
+        .expect("results directory is writable");
+    let _phase = pre.phase("guard");
     for repair in [RepairPolicy::Zero, RepairPolicy::ClampTo(10.0)] {
         println!("repair policy: {repair:?}");
         let (cells, table) = exp_guard::guard_table(&pre, repair);
@@ -17,5 +19,10 @@ fn main() {
             "virtually unbreakable (0 guarded collapses): {}\n",
             exp_guard::virtually_unbreakable(&cells)
         );
+    }
+
+    drop(_phase);
+    if let Some(summary) = pre.finish_campaign() {
+        println!("\n--- campaign summary ---\n{summary}");
     }
 }

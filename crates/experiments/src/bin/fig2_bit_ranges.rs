@@ -1,12 +1,17 @@
 //! Regenerates Figure 2 / Section V-B1: which bit ranges collapse training.
 
-use sefi_experiments::{budget_from_args, exp_bitranges, Prebaked};
+use sefi_experiments::{budget_from_args, exp_bitranges, CampaignConfig, Prebaked};
 
 fn main() {
     let budget = budget_from_args();
     println!("Figure 2 — bit ranges that collapse a neural network (Chainer/AlexNet)");
-    println!("budget: {} ({} trainings/range, 1000 flips each)\n", budget.name, budget.fig2_trainings);
-    let pre = Prebaked::new(budget);
+    println!(
+        "budget: {} ({} trainings/range, 1000 flips each)\n",
+        budget.name, budget.fig2_trainings
+    );
+    let pre = Prebaked::with_campaign(budget, CampaignConfig::new("fig2"))
+        .expect("results directory is writable");
+    let _phase = pre.phase("fig2");
     let (rows, table) = exp_bitranges::figure2(&pre);
     println!("{}", table.render());
     println!(
@@ -16,4 +21,9 @@ fn main() {
     let _ = std::fs::create_dir_all("results");
     let _ = std::fs::write("results/fig2.csv", table.to_csv());
     println!("wrote results/fig2.csv");
+
+    drop(_phase);
+    if let Some(summary) = pre.finish_campaign() {
+        println!("\n--- campaign summary ---\n{summary}");
+    }
 }

@@ -1,6 +1,6 @@
 //! Regenerates Figure 4: per-layer injection into AlexNet (Chainer).
 
-use sefi_experiments::{budget_from_args, exp_curves, exp_layers, Prebaked};
+use sefi_experiments::{budget_from_args, exp_curves, exp_layers, CampaignConfig, Prebaked};
 use sefi_frameworks::FrameworkKind;
 use sefi_models::ModelKind;
 
@@ -8,22 +8,27 @@ fn main() {
     let budget = budget_from_args();
     println!("Figure 4 — 1000 bit-flips injected into first/middle/last layer (Chainer/AlexNet)");
     println!("budget: {} (avg of {} trainings/curve)\n", budget.name, budget.curve_trials);
-    let pre = Prebaked::new(budget);
+    let pre = Prebaked::with_campaign(budget, CampaignConfig::new("fig4"))
+        .expect("results directory is writable");
+    let _phase = pre.phase("fig4");
     let (series, logs) = exp_layers::figure4(&pre);
-    let panel = exp_curves::Panel {
-        framework: FrameworkKind::Chainer,
-        model: ModelKind::AlexNet,
-        series,
-    };
+    let panel =
+        exp_curves::Panel { framework: FrameworkKind::Chainer, model: ModelKind::AlexNet, series };
     let t = exp_curves::render_panel(&panel);
     println!("{}", t.render());
     println!("{}", sefi_experiments::chart::render_chart(&panel.series));
     let _ = std::fs::create_dir_all("results");
     let _ = std::fs::write("results/fig4.csv", t.to_csv());
     for (role, log) in &logs {
-        let name = format!("results/fig4_log_{}.json", exp_layers::role_label(*role).replace(' ', "_"));
+        let name =
+            format!("results/fig4_log_{}.json", exp_layers::role_label(*role).replace(' ', "_"));
         let _ = log.save(&name);
         println!("wrote {name} ({} logged injections)", log.len());
     }
     println!("wrote results/fig4.csv");
+
+    drop(_phase);
+    if let Some(summary) = pre.finish_campaign() {
+        println!("\n--- campaign summary ---\n{summary}");
+    }
 }

@@ -1,14 +1,18 @@
 //! Regenerates Figure 5: equivalent injection replayed on PyTorch and
 //! TensorFlow from Chainer logs.
 
-use sefi_experiments::{budget_from_args, exp_curves, exp_equivalent, exp_layers, Prebaked};
+use sefi_experiments::{
+    budget_from_args, exp_curves, exp_equivalent, exp_layers, CampaignConfig, Prebaked,
+};
 use sefi_models::ModelKind;
 
 fn main() {
     let budget = budget_from_args();
     println!("Figure 5 — equivalent injection in PyTorch and TensorFlow (AlexNet)");
     println!("budget: {}\n", budget.name);
-    let pre = Prebaked::new(budget);
+    let pre = Prebaked::with_campaign(budget, CampaignConfig::new("fig5"))
+        .expect("results directory is writable");
+    let _phase = pre.phase("fig5");
     // Generate the Chainer logs (the Figure 4 protocol).
     let (_, logs) = exp_layers::figure4(&pre);
     let _ = std::fs::create_dir_all("results");
@@ -25,5 +29,10 @@ fn main() {
         let name = format!("results/fig5_{}.csv", fw.id());
         let _ = std::fs::write(&name, t.to_csv());
         println!("wrote {name}\n");
+    }
+
+    drop(_phase);
+    if let Some(summary) = pre.finish_campaign() {
+        println!("\n--- campaign summary ---\n{summary}");
     }
 }

@@ -1,13 +1,15 @@
 //! Regenerates Figure 7: accuracy heat map under scaling-factor corruption
 //! (Chainer/ResNet50).
 
-use sefi_experiments::{budget_from_args, exp_heatmap, Prebaked};
+use sefi_experiments::{budget_from_args, exp_heatmap, CampaignConfig, Prebaked};
 
 fn main() {
     let budget = budget_from_args();
     println!("Figure 7 — accuracy under scaling-factor corruption (Chainer/ResNet50)");
     println!("budget: {}\n", budget.name);
-    let pre = Prebaked::new(budget);
+    let pre = Prebaked::with_campaign(budget, CampaignConfig::new("fig7"))
+        .expect("results directory is writable");
+    let _phase = pre.phase("fig7");
     let (cells, baseline, table) = exp_heatmap::figure7(&pre);
     println!("baseline accuracy: {baseline:.3}\n");
     println!("{}", table.render());
@@ -15,4 +17,9 @@ fn main() {
     let _ = std::fs::create_dir_all("results");
     let _ = std::fs::write("results/fig7.csv", table.to_csv());
     println!("wrote results/fig7.csv");
+
+    drop(_phase);
+    if let Some(summary) = pre.finish_campaign() {
+        println!("\n--- campaign summary ---\n{summary}");
+    }
 }

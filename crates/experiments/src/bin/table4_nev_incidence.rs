@@ -1,12 +1,14 @@
 //! Regenerates Table IV: incidence of NaN and extreme values at 64-bit.
 
-use sefi_experiments::{budget_from_args, exp_nev, Prebaked};
+use sefi_experiments::{budget_from_args, exp_nev, CampaignConfig, Prebaked};
 
 fn main() {
     let budget = budget_from_args();
     println!("Table IV — incidence of NaN and extreme values (N-EV), 64-bit");
     println!("budget: {} ({} trainings/cell)\n", budget.name, budget.trials);
-    let pre = Prebaked::new(budget);
+    let pre = Prebaked::with_campaign(budget, CampaignConfig::new("table4"))
+        .expect("results directory is writable");
+    let _phase = pre.phase("table4");
     let (cells, table) = exp_nev::table4(&pre);
     println!("{}", table.render());
     println!(
@@ -16,4 +18,9 @@ fn main() {
     let _ = std::fs::create_dir_all("results");
     let _ = std::fs::write("results/table4.csv", table.to_csv());
     println!("wrote results/table4.csv");
+
+    drop(_phase);
+    if let Some(summary) = pre.finish_campaign() {
+        println!("\n--- campaign summary ---\n{summary}");
+    }
 }

@@ -1,12 +1,14 @@
 //! Regenerates Table VII: N-EV incidence at 16- and 32-bit precision.
 
-use sefi_experiments::{budget_from_args, exp_nev, Prebaked};
+use sefi_experiments::{budget_from_args, exp_nev, CampaignConfig, Prebaked};
 
 fn main() {
     let budget = budget_from_args();
     println!("Table VII — N-EV incidence at 16/32-bit precision (Chainer)");
     println!("budget: {} ({} trainings/cell)\n", budget.name, budget.trials);
-    let pre = Prebaked::new(budget);
+    let pre = Prebaked::with_campaign(budget, CampaignConfig::new("table7"))
+        .expect("results directory is writable");
+    let _phase = pre.phase("table7");
     let (cells, table) = exp_nev::table7(&pre);
     println!("{}", table.render());
     println!(
@@ -16,4 +18,9 @@ fn main() {
     let _ = std::fs::create_dir_all("results");
     let _ = std::fs::write("results/table7.csv", table.to_csv());
     println!("wrote results/table7.csv");
+
+    drop(_phase);
+    if let Some(summary) = pre.finish_campaign() {
+        println!("\n--- campaign summary ---\n{summary}");
+    }
 }

@@ -120,7 +120,7 @@ impl Budget {
             train: self.train_images,
             test: self.test_images,
             image_size: self.image_size,
-            seed: 0xC1FA_10,
+            seed: 0xC1_FA10,
             noise: self.noise,
         }
     }

@@ -5,15 +5,15 @@
 //! "The results show that the training collapses only when the injection
 //! range accounts for the most significant bit of the exponent."
 
-use crate::runner::{combo_seed, Prebaked};
+use crate::runner::Prebaked;
 use crate::stats::percent;
 use crate::table::{pct, TextTable};
-use rayon::prelude::*;
 use sefi_core::{Corrupter, CorrupterConfig, CorruptionMode};
 use sefi_float::{BitRange, Precision};
 use sefi_frameworks::FrameworkKind;
 use sefi_hdf5::Dtype;
 use sefi_models::ModelKind;
+use sefi_telemetry::TrialOutcome;
 
 /// The swept ranges (64-bit layout: mantissa 0–51, exponent 52–62, sign 63).
 pub fn ranges() -> Vec<(&'static str, BitRange)> {
@@ -52,24 +52,25 @@ pub fn figure2(pre: &Prebaked) -> (Vec<RangeRow>, TextTable) {
     let trials = pre.budget().fig2_trainings;
     let pristine = pre.checkpoint(fw, model, Dtype::F64);
     let mut rows = Vec::new();
-    let mut table =
-        TextTable::new(&["Range", "Critical bit", "Trainings", "Collapsed", "%"]);
+    let mut table = TextTable::new(&["Range", "Critical bit", "Trainings", "Collapsed", "%"]);
     for (label, range) in ranges() {
-        let collapsed: usize = (0..trials)
-            .into_par_iter()
-            .map(|trial| {
-                let seed = combo_seed(fw, model, &format!("fig2-{label}"), trial);
+        let outcomes =
+            pre.run_trials("fig2", &format!("fig2-{label}"), fw, model, trials, |_, seed| {
                 let mut ck = pristine.clone();
                 let mut cfg = CorrupterConfig::bit_flips_full_range(1000, Precision::Fp64, seed);
                 cfg.mode = CorruptionMode::BitRange(range);
-                Corrupter::new(cfg)
+                let report = Corrupter::new(cfg)
                     .expect("valid config")
                     .corrupt(&mut ck)
                     .expect("corruption succeeds");
                 let out = pre.resume(fw, model, &ck, pre.budget().resume_epochs);
-                usize::from(out.collapsed())
-            })
-            .sum();
+                TrialOutcome::ok().with_collapsed(out.collapsed()).with_counters(
+                    report.injections,
+                    report.nan_redraws,
+                    report.skipped,
+                )
+            });
+        let collapsed = outcomes.iter().filter(|o| o.collapsed).count();
         let includes_critical_bit = range.contains(Precision::Fp64.exponent_msb());
         table.row(vec![
             label.to_string(),
@@ -102,11 +103,7 @@ mod tests {
     fn range_inventory_flags_critical_bit_correctly() {
         for (label, range) in ranges() {
             let flagged = range.contains(62);
-            assert_eq!(
-                flagged,
-                range.first_bit <= 62 && 62 <= range.last_bit,
-                "{label}"
-            );
+            assert_eq!(flagged, range.first_bit <= 62 && 62 <= range.last_bit, "{label}");
         }
     }
 

@@ -6,14 +6,14 @@
 //! checkpoint with 1/10/100/1000 bit-flips (exponent MSB excluded); the
 //! "green line" is the error-free full training.
 
-use crate::runner::{combo_seed, Prebaked};
+use crate::runner::Prebaked;
 use crate::table::TextTable;
-use rayon::prelude::*;
 use sefi_core::{Corrupter, CorrupterConfig};
 use sefi_float::Precision;
 use sefi_frameworks::FrameworkKind;
 use sefi_hdf5::Dtype;
 use sefi_models::ModelKind;
+use sefi_telemetry::TrialOutcome;
 
 /// One accuracy-vs-epoch series.
 #[derive(Debug, Clone)]
@@ -56,22 +56,24 @@ pub fn corrupted_curve(
     let pristine = pre.checkpoint(fw, model, Dtype::F64);
     let end = budget.curve_end_epoch;
     let epochs = end - budget.restart_epoch;
-    let curves: Vec<Vec<f64>> = (0..budget.curve_trials)
-        .into_par_iter()
-        .map(|trial| {
-            let seed = combo_seed(fw, model, &format!("curve-{label}-{bitflips}"), trial);
-            let mut ck = pristine.clone();
-            if bitflips > 0 {
-                let cfg = CorrupterConfig::bit_flips(bitflips, Precision::Fp64, seed);
-                Corrupter::new(cfg)
-                    .expect("valid preset")
-                    .corrupt(&mut ck)
-                    .expect("corruption succeeds");
-            }
-            let out = pre.resume(fw, model, &ck, epochs);
-            out.history().iter().map(|r| r.test_accuracy).collect()
-        })
-        .collect();
+    let cell = format!("curve-{label}-{bitflips}");
+    let outcomes = pre.run_trials("curves", &cell, fw, model, budget.curve_trials, |_, seed| {
+        let mut ck = pristine.clone();
+        let mut outcome = TrialOutcome::ok();
+        if bitflips > 0 {
+            let cfg = CorrupterConfig::bit_flips(bitflips, Precision::Fp64, seed);
+            let report = Corrupter::new(cfg)
+                .expect("valid preset")
+                .corrupt(&mut ck)
+                .expect("corruption succeeds");
+            outcome = outcome.with_counters(report.injections, report.nan_redraws, report.skipped);
+        }
+        let out = pre.resume(fw, model, &ck, epochs);
+        outcome
+            .with_collapsed(out.collapsed())
+            .with_curve(out.history().iter().map(|r| r.test_accuracy).collect())
+    });
+    let curves: Vec<Vec<f64>> = outcomes.into_iter().map(|o| o.curve).collect();
     let points = (0..epochs)
         .map(|i| {
             let vals: Vec<f64> = curves.iter().filter_map(|c| c.get(i).copied()).collect();
@@ -100,10 +102,7 @@ pub fn panel(pre: &Prebaked, fw: FrameworkKind, model: ModelKind) -> Panel {
 
 /// Figure 3 as three panels.
 pub fn figure3(pre: &Prebaked) -> Vec<Panel> {
-    panels()
-        .iter()
-        .map(|&(fw, model)| panel(pre, fw, model))
-        .collect()
+    panels().iter().map(|&(fw, model)| panel(pre, fw, model)).collect()
 }
 
 /// Render a panel as an epoch × series table (the figure's data).
@@ -112,11 +111,10 @@ pub fn render_panel(p: &Panel) -> TextTable {
     header.extend(p.series.iter().map(|s| s.label.clone()));
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
     let mut table = TextTable::new(&header_refs);
-    let epochs: Vec<usize> = p.series.iter().flat_map(|s| s.points.iter().map(|&(e, _)| e)).collect();
-    let (lo, hi) = (
-        epochs.iter().copied().min().unwrap_or(0),
-        epochs.iter().copied().max().unwrap_or(0),
-    );
+    let epochs: Vec<usize> =
+        p.series.iter().flat_map(|s| s.points.iter().map(|&(e, _)| e)).collect();
+    let (lo, hi) =
+        (epochs.iter().copied().min().unwrap_or(0), epochs.iter().copied().max().unwrap_or(0));
     for e in lo..=hi {
         let mut row = vec![e.to_string()];
         for s in &p.series {

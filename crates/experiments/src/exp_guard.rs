@@ -9,15 +9,15 @@
 //! must be zero at every flip count, and guarded trainings should recover
 //! accuracy like the benign-corruption runs of Figure 3.
 
-use crate::runner::{combo_seed, Prebaked};
+use crate::runner::Prebaked;
 use crate::stats::percent;
 use crate::table::{pct, TextTable};
-use rayon::prelude::*;
 use sefi_core::{Corrupter, CorrupterConfig, NevGuard, RepairPolicy};
 use sefi_float::{NevPolicy, Precision};
 use sefi_frameworks::FrameworkKind;
 use sefi_hdf5::Dtype;
 use sefi_models::ModelKind;
+use sefi_telemetry::TrialOutcome;
 
 /// One guarded-vs-unguarded comparison cell.
 #[derive(Debug, Clone)]
@@ -38,49 +38,41 @@ pub struct GuardCell {
 
 /// Run one cell: `trials` corrupted resumes, each tried with and without
 /// the guard (same corrupted checkpoint, so the comparison is paired).
-pub fn guard_cell(
-    pre: &Prebaked,
-    repair: RepairPolicy,
-    bitflips: u64,
-    trials: usize,
-) -> GuardCell {
+pub fn guard_cell(pre: &Prebaked, repair: RepairPolicy, bitflips: u64, trials: usize) -> GuardCell {
     let fw = FrameworkKind::Chainer;
     let model = ModelKind::AlexNet;
     let pristine = pre.checkpoint(fw, model, Dtype::F64);
-    let results: Vec<(bool, bool, usize, f64)> = (0..trials)
-        .into_par_iter()
-        .map(|trial| {
-            let seed = combo_seed(fw, model, &format!("guard-{bitflips}"), trial);
+    let outcomes =
+        pre.run_trials("guard", &format!("guard-{bitflips}"), fw, model, trials, |_, seed| {
             let mut ck = pristine.clone();
             let cfg = CorrupterConfig::bit_flips_full_range(bitflips, Precision::Fp64, seed);
-            Corrupter::new(cfg)
+            let inj_report = Corrupter::new(cfg)
                 .expect("valid preset")
                 .corrupt(&mut ck)
                 .expect("corruption succeeds");
 
             // Unguarded arm.
-            let unguarded =
-                pre.resume(fw, model, &ck, pre.budget().resume_epochs).collapsed();
+            let unguarded = pre.resume(fw, model, &ck, pre.budget().resume_epochs).collapsed();
 
             // Guarded arm: scrub, then resume.
             let mut scrubbed = ck;
             let guard = NevGuard::new(NevPolicy::default(), repair);
             let report = guard.scrub(&mut scrubbed);
             let out = pre.resume(fw, model, &scrubbed, pre.budget().resume_epochs);
-            (
-                unguarded,
-                out.collapsed(),
-                report.findings.len(),
-                out.final_accuracy().unwrap_or(0.0),
-            )
-        })
-        .collect();
-    let unguarded_nev = results.iter().filter(|r| r.0).count();
-    let guarded_nev = results.iter().filter(|r| r.1).count();
-    let mean_repaired =
-        results.iter().map(|r| r.2 as f64).sum::<f64>() / trials.max(1) as f64;
+            TrialOutcome::ok()
+                .with_collapsed(out.collapsed())
+                .with_accuracy(out.final_accuracy().unwrap_or(0.0))
+                .with_metric("unguarded_collapsed", f64::from(u8::from(unguarded)))
+                .with_metric("repaired", report.findings.len() as f64)
+                .with_counters(inj_report.injections, inj_report.nan_redraws, inj_report.skipped)
+        });
+    let unguarded_nev =
+        outcomes.iter().filter(|o| o.metric("unguarded_collapsed").unwrap_or(0.0) > 0.5).count();
+    let guarded_nev = outcomes.iter().filter(|o| o.collapsed).count();
+    let mean_repaired = outcomes.iter().map(|o| o.metric("repaired").unwrap_or(0.0)).sum::<f64>()
+        / trials.max(1) as f64;
     let guarded_acc: Vec<f64> =
-        results.iter().filter(|r| !r.1).map(|r| r.3).collect();
+        outcomes.iter().filter(|o| !o.collapsed).filter_map(|o| o.final_accuracy).collect();
     GuardCell {
         bitflips,
         trainings: trials,

@@ -7,14 +7,14 @@
 //! scales N random weights by a factor and reports the model's accuracy
 //! right after loading the corrupted checkpoint, averaged over trials.
 
-use crate::runner::{combo_seed, Prebaked};
+use crate::runner::Prebaked;
 use crate::table::TextTable;
-use rayon::prelude::*;
 use sefi_core::{Corrupter, CorrupterConfig, CorruptionMode, InjectionAmount, LocationSelection};
 use sefi_float::Precision;
 use sefi_frameworks::FrameworkKind;
 use sefi_hdf5::Dtype;
 use sefi_models::ModelKind;
+use sefi_telemetry::TrialOutcome;
 
 /// Weights-affected axis of the heat map.
 pub const WEIGHTS_AXIS: [u64; 4] = [1, 10, 100, 1000];
@@ -39,28 +39,33 @@ pub fn heat_cell(pre: &Prebaked, weights: u64, factor: f64) -> HeatCell {
     let model = ModelKind::ResNet50;
     let trials = pre.budget().curve_trials.max(3);
     let pristine = pre.checkpoint(fw, model, Dtype::F64);
-    let accs: Vec<f64> = (0..trials)
-        .into_par_iter()
-        .map(|trial| {
-            let seed = combo_seed(fw, model, &format!("heat-{weights}-{factor}"), trial);
-            let mut ck = pristine.clone();
-            let cfg = CorrupterConfig {
-                injection_probability: 1.0,
-                amount: InjectionAmount::Count(weights),
-                float_precision: Precision::Fp64,
-                mode: CorruptionMode::ScalingFactor(factor),
-                allow_nan_values: true,
-                locations: LocationSelection::AllRandom,
-                seed,
-            };
-            Corrupter::new(cfg)
-                .expect("valid config")
-                .corrupt(&mut ck)
-                .expect("corruption succeeds");
-            let mut session = pre.session_at_restart(fw, model);
-            session.restore(&ck).expect("corrupted checkpoint loads");
-            session.test_accuracy(pre.data())
-        })
+    let cell = format!("heat-{weights}-{factor}");
+    let outcomes = pre.run_trials("fig7", &cell, fw, model, trials, |_, seed| {
+        let mut ck = pristine.clone();
+        let cfg = CorrupterConfig {
+            injection_probability: 1.0,
+            amount: InjectionAmount::Count(weights),
+            float_precision: Precision::Fp64,
+            mode: CorruptionMode::ScalingFactor(factor),
+            allow_nan_values: true,
+            locations: LocationSelection::AllRandom,
+            seed,
+        };
+        let report = Corrupter::new(cfg)
+            .expect("valid config")
+            .corrupt(&mut ck)
+            .expect("corruption succeeds");
+        let mut session = pre.session_at_restart(fw, model);
+        session.restore(&ck).expect("corrupted checkpoint loads");
+        TrialOutcome::ok().with_accuracy(session.test_accuracy(pre.data())).with_counters(
+            report.injections,
+            report.nan_redraws,
+            report.skipped,
+        )
+    });
+    let accs: Vec<f64> = outcomes
+        .iter()
+        .map(|o| o.final_accuracy.expect("heat trials record an accuracy"))
         .collect();
     HeatCell { weights, factor, accuracy: crate::stats::mean(&accs) }
 }
@@ -92,11 +97,7 @@ pub fn figure7(pre: &Prebaked) -> (Vec<HeatCell>, f64, TextTable) {
 /// more than light scaling of few.
 pub fn monotone_damage(cells: &[HeatCell]) -> bool {
     let acc = |w: u64, f: f64| -> f64 {
-        cells
-            .iter()
-            .find(|c| c.weights == w && c.factor == f)
-            .map(|c| c.accuracy)
-            .unwrap_or(0.0)
+        cells.iter().find(|c| c.weights == w && c.factor == f).map(|c| c.accuracy).unwrap_or(0.0)
     };
     acc(1000, 4500.0) <= acc(1, 1.5) + 1e-9
 }

@@ -6,13 +6,13 @@
 //! injections are absorbed (Section V-C2).
 
 use crate::exp_curves::Series;
-use crate::runner::{combo_seed, Prebaked};
-use rayon::prelude::*;
+use crate::runner::Prebaked;
 use sefi_core::{Corrupter, CorrupterConfig, InjectionLog, LocationSelection};
 use sefi_float::Precision;
 use sefi_frameworks::{FrameworkKind, Session, SessionConfig};
 use sefi_hdf5::Dtype;
 use sefi_models::{LayerRole, ModelKind};
+use sefi_telemetry::TrialOutcome;
 
 /// The bit-flip count of the paper's per-layer experiments.
 pub const LAYER_FLIPS: u64 = 1000;
@@ -33,7 +33,12 @@ pub fn role_label(role: LayerRole) -> &'static str {
 
 /// Resolve the injector locations for a role in a framework/model pair
 /// without training (builds the model structure only).
-pub fn locations_for(pre: &Prebaked, fw: FrameworkKind, model: ModelKind, role: LayerRole) -> Vec<String> {
+pub fn locations_for(
+    pre: &Prebaked,
+    fw: FrameworkKind,
+    model: ModelKind,
+    role: LayerRole,
+) -> Vec<String> {
     let mut cfg = SessionConfig::new(fw, model, 0);
     cfg.model_config = pre.budget().model_config();
     Session::new(cfg).layer_locations(role)
@@ -53,30 +58,39 @@ pub fn layer_curve(
     let locations = locations_for(pre, fw, model, role);
     let epochs = budget.curve_end_epoch - budget.restart_epoch;
 
-    let runs: Vec<(Vec<f64>, InjectionLog)> = (0..budget.curve_trials)
-        .into_par_iter()
-        .map(|trial| {
-            let seed = combo_seed(fw, model, &format!("layer-{}", role_label(role)), trial);
-            let mut ck = pristine.clone();
-            let mut cfg = CorrupterConfig::bit_flips(LAYER_FLIPS, Precision::Fp64, seed);
-            cfg.locations = LocationSelection::Listed(locations.clone());
-            let (_, log) = Corrupter::new(cfg)
-                .expect("valid preset")
-                .corrupt_with_log(&mut ck)
-                .expect("layer-targeted corruption succeeds");
-            let out = pre.resume(fw, model, &ck, epochs);
-            (out.history().iter().map(|r| r.test_accuracy).collect(), log)
-        })
-        .collect();
+    let cell = format!("layer-{}", role_label(role));
+    let outcomes = pre.run_trials("fig4", &cell, fw, model, budget.curve_trials, |trial, seed| {
+        let mut ck = pristine.clone();
+        let mut cfg = CorrupterConfig::bit_flips(LAYER_FLIPS, Precision::Fp64, seed);
+        cfg.locations = LocationSelection::Listed(locations.clone());
+        let (report, log) = Corrupter::new(cfg)
+            .expect("valid preset")
+            .corrupt_with_log(&mut ck)
+            .expect("layer-targeted corruption succeeds");
+        let out = pre.resume(fw, model, &ck, epochs);
+        let mut outcome = TrialOutcome::ok()
+            .with_collapsed(out.collapsed())
+            .with_curve(out.history().iter().map(|r| r.test_accuracy).collect())
+            .with_counters(report.injections, report.nan_redraws, report.skipped);
+        if trial == 0 {
+            // Figure 5 replays trial 0's injections on the other
+            // frameworks; the log must survive a resume.
+            outcome = outcome.with_payload(log.to_json());
+        }
+        outcome
+    });
 
     let points = (0..epochs)
         .map(|i| {
-            let vals: Vec<f64> =
-                runs.iter().filter_map(|(c, _)| c.get(i).copied()).collect();
+            let vals: Vec<f64> = outcomes.iter().filter_map(|o| o.curve.get(i).copied()).collect();
             (budget.restart_epoch + i, crate::stats::mean(&vals))
         })
         .collect();
-    let log = runs.into_iter().next().map(|(_, l)| l).unwrap_or_default();
+    let log = outcomes
+        .first()
+        .and_then(|o| o.payload.as_deref())
+        .map(|json| InjectionLog::from_json(json).expect("recorded injection log parses"))
+        .unwrap_or_default();
     (Series { label: format!("{} ({LAYER_FLIPS} flips)", role_label(role)), points }, log)
 }
 
@@ -107,12 +121,8 @@ mod tests {
     #[test]
     fn injections_stay_inside_the_targeted_layer() {
         let pre = Prebaked::new(Budget::smoke());
-        let (_, log) = layer_curve(
-            &pre,
-            FrameworkKind::Chainer,
-            ModelKind::AlexNet,
-            LayerRole::Middle,
-        );
+        let (_, log) =
+            layer_curve(&pre, FrameworkKind::Chainer, ModelKind::AlexNet, LayerRole::Middle);
         assert_eq!(log.len() as u64, LAYER_FLIPS);
         for r in log.records() {
             assert!(

@@ -7,23 +7,18 @@
 //! the average accuracy immediately after loading the corrupted checkpoint
 //! (AvgI-Acc, excluding collapsed trainings) and the number of N-EV events.
 
-use crate::runner::{combo_seed, Prebaked};
+use crate::runner::Prebaked;
 use crate::table::TextTable;
-use rayon::prelude::*;
 use sefi_core::{Corrupter, CorrupterConfig, CorruptionMode, InjectionAmount, LocationSelection};
 use sefi_float::{BitMask, NevPolicy, Precision};
 use sefi_frameworks::FrameworkKind;
 use sefi_hdf5::Dtype;
 use sefi_models::ModelKind;
+use sefi_telemetry::TrialOutcome;
 
 /// The paper's five masks: (active bits, pattern).
-pub const MASKS: [(u32, &str); 5] = [
-    (3, "10001010"),
-    (4, "01101010"),
-    (4, "10110010"),
-    (5, "11110001"),
-    (6, "11101101"),
-];
+pub const MASKS: [(u32, &str); 5] =
+    [(3, "10001010"), (4, "01101010"), (4, "10110010"), (5, "11110001"), (6, "11101101")];
 
 /// Weights hit per training (paper: "each multi-bit mask is applied to 10
 /// weights of the neural network").
@@ -56,9 +51,9 @@ fn initial_accuracy(
     let nev = {
         let sd = session.network_mut().state_dict();
         let policy = NevPolicy::default();
-        sd.entries().iter().any(|e| {
-            e.tensor.data().iter().any(|&v| policy.classify_f64(v as f64).is_some())
-        })
+        sd.entries()
+            .iter()
+            .any(|e| e.tensor.data().iter().any(|&v| policy.classify_f64(v as f64).is_some()))
     };
     (session.test_accuracy(pre.data()), nev)
 }
@@ -68,32 +63,35 @@ pub fn mask_cell(pre: &Prebaked, fw: FrameworkKind, bits: u32, mask: &str) -> Ma
     let model = ModelKind::ResNet50;
     let trials = pre.budget().curve_trials.max(3);
     let pristine = pre.checkpoint(fw, model, Dtype::F64);
-    let results: Vec<(f64, bool)> = (0..trials)
-        .into_par_iter()
-        .map(|trial| {
-            let seed = combo_seed(fw, model, &format!("mask-{mask}"), trial);
+    let outcomes =
+        pre.run_trials("table6", &format!("mask-{mask}"), fw, model, trials, |_, seed| {
             let mut ck = pristine.clone();
             let cfg = CorrupterConfig {
                 injection_probability: 1.0,
                 amount: InjectionAmount::Count(WEIGHTS_PER_TRAINING),
                 float_precision: Precision::Fp64,
-                mode: CorruptionMode::BitMask(
-                    BitMask::parse(mask).expect("paper masks are valid"),
-                ),
+                mode: CorruptionMode::BitMask(BitMask::parse(mask).expect("paper masks are valid")),
                 allow_nan_values: true,
                 locations: LocationSelection::AllRandom,
                 seed,
             };
-            Corrupter::new(cfg)
+            let report = Corrupter::new(cfg)
                 .expect("valid config")
                 .corrupt(&mut ck)
                 .expect("corruption succeeds");
-            initial_accuracy(pre, fw, model, &ck)
-        })
+            let (acc, nev) = initial_accuracy(pre, fw, model, &ck);
+            TrialOutcome::ok().with_collapsed(nev).with_accuracy(acc).with_counters(
+                report.injections,
+                report.nan_redraws,
+                report.skipped,
+            )
+        });
+    let nev = outcomes.iter().filter(|o| o.collapsed).count();
+    let clean: Vec<f64> = outcomes
+        .iter()
+        .filter(|o| !o.collapsed)
+        .filter_map(|o| o.final_accuracy.map(|a| a * 100.0))
         .collect();
-    let nev = results.iter().filter(|(_, n)| *n).count();
-    let clean: Vec<f64> =
-        results.iter().filter(|(_, n)| !*n).map(|(a, _)| *a * 100.0).collect();
     MaskCell {
         framework: fw,
         mask: mask.to_string(),
@@ -162,7 +160,10 @@ mod tests {
     fn mask_cell_reports_sane_numbers() {
         let pre = Prebaked::new(Budget::smoke());
         let cell = mask_cell(&pre, FrameworkKind::Chainer, 3, "10001010");
-        assert!((0.0..=100.0).contains(&cell.avg_initial_acc) || cell.nev == pre.budget().curve_trials.max(3));
+        assert!(
+            (0.0..=100.0).contains(&cell.avg_initial_acc)
+                || cell.nev == pre.budget().curve_trials.max(3)
+        );
         assert!(cell.nev <= pre.budget().curve_trials.max(3));
     }
 }

@@ -7,15 +7,15 @@
 //! combinations at 64-bit; Table VII repeats Chainer's column at 16- and
 //! 32-bit precision.
 
-use crate::runner::{combo_seed, Prebaked};
+use crate::runner::Prebaked;
 use crate::stats::percent;
 use crate::table::{pct, TextTable};
-use rayon::prelude::*;
 use sefi_core::{Corrupter, CorrupterConfig};
 use sefi_float::Precision;
 use sefi_frameworks::FrameworkKind;
 use sefi_hdf5::Dtype;
 use sefi_models::ModelKind;
+use sefi_telemetry::TrialOutcome;
 
 /// One table cell.
 #[derive(Debug, Clone)]
@@ -45,21 +45,22 @@ pub fn nev_cell(
 ) -> NevCell {
     let dtype = Dtype::from_precision(precision);
     let pristine = pre.checkpoint(fw, model, dtype);
-    let collapses: usize = (0..trials)
-        .into_par_iter()
-        .map(|trial| {
-            let seed =
-                combo_seed(fw, model, &format!("nev-{}-{bitflips}", precision.width()), trial);
-            let mut ck = pristine.clone();
-            let cfg = CorrupterConfig::bit_flips_full_range(bitflips, precision, seed);
-            Corrupter::new(cfg)
-                .expect("valid preset")
-                .corrupt(&mut ck)
-                .expect("corruption succeeds on pristine checkpoint");
-            let out = pre.resume(fw, model, &ck, pre.budget().resume_epochs);
-            usize::from(out.collapsed())
-        })
-        .sum();
+    let cell = format!("nev-{}-{bitflips}", precision.width());
+    let outcomes = pre.run_trials("nev", &cell, fw, model, trials, |_, seed| {
+        let mut ck = pristine.clone();
+        let cfg = CorrupterConfig::bit_flips_full_range(bitflips, precision, seed);
+        let report = Corrupter::new(cfg)
+            .expect("valid preset")
+            .corrupt(&mut ck)
+            .expect("corruption succeeds on pristine checkpoint");
+        let out = pre.resume(fw, model, &ck, pre.budget().resume_epochs);
+        TrialOutcome::ok().with_collapsed(out.collapsed()).with_counters(
+            report.injections,
+            report.nan_redraws,
+            report.skipped,
+        )
+    });
+    let collapses = outcomes.iter().filter(|o| o.collapsed).count();
     NevCell {
         framework: fw,
         model,
@@ -74,8 +75,7 @@ pub fn nev_cell(
 pub fn table4(pre: &Prebaked) -> (Vec<NevCell>, TextTable) {
     let budget = *pre.budget();
     let mut cells = Vec::new();
-    let mut table =
-        TextTable::new(&["Bit-flips", "Trainings", "Framework", "Model", "N-EV", "%"]);
+    let mut table = TextTable::new(&["Bit-flips", "Trainings", "Framework", "Model", "N-EV", "%"]);
     for &flips in &budget.bitflip_counts() {
         for fw in FrameworkKind::all() {
             for model in ModelKind::all() {
@@ -99,8 +99,7 @@ pub fn table4(pre: &Prebaked) -> (Vec<NevCell>, TextTable) {
 pub fn table7(pre: &Prebaked) -> (Vec<NevCell>, TextTable) {
     let budget = *pre.budget();
     let mut cells = Vec::new();
-    let mut table =
-        TextTable::new(&["Bit-flips", "DL Train", "Precision", "Model", "N-EV", "%"]);
+    let mut table = TextTable::new(&["Bit-flips", "DL Train", "Precision", "Model", "N-EV", "%"]);
     for &flips in &budget.bitflip_counts() {
         for precision in [Precision::Fp16, Precision::Fp32] {
             for model in ModelKind::all() {
@@ -139,14 +138,8 @@ mod tests {
     #[test]
     fn thousand_flips_collapse_nearly_all() {
         let pre = Prebaked::new(Budget::smoke());
-        let cell = nev_cell(
-            &pre,
-            FrameworkKind::Chainer,
-            ModelKind::AlexNet,
-            Precision::Fp64,
-            1000,
-            4,
-        );
+        let cell =
+            nev_cell(&pre, FrameworkKind::Chainer, ModelKind::AlexNet, Precision::Fp64, 1000, 4);
         assert_eq!(cell.trainings, 4);
         // Paper Table IV: 96-99.6% at 1000 flips.
         assert!(cell.nev >= 3, "only {} of 4 collapsed", cell.nev);
@@ -155,14 +148,8 @@ mod tests {
     #[test]
     fn one_flip_rarely_collapses() {
         let pre = Prebaked::new(Budget::smoke());
-        let cell = nev_cell(
-            &pre,
-            FrameworkKind::Chainer,
-            ModelKind::AlexNet,
-            Precision::Fp64,
-            1,
-            6,
-        );
+        let cell =
+            nev_cell(&pre, FrameworkKind::Chainer, ModelKind::AlexNet, Precision::Fp64, 1, 6);
         // Paper: ≤ 0.4% at one flip.
         assert!(cell.nev <= 1, "{} of 6 collapsed on one flip", cell.nev);
     }

@@ -8,15 +8,15 @@
 //! N-EV. Unlike training, prediction has no chance to recover — degraded
 //! weights directly degrade accuracy, more at lower precision.
 
-use crate::runner::{combo_seed, Prebaked};
+use crate::runner::Prebaked;
 use crate::table::TextTable;
-use rayon::prelude::*;
+use parking_lot::Mutex;
 use sefi_core::{Corrupter, CorrupterConfig};
 use sefi_float::Precision;
 use sefi_frameworks::FrameworkKind;
 use sefi_hdf5::{Dtype, H5File};
 use sefi_models::ModelKind;
-use parking_lot::Mutex;
+use sefi_telemetry::TrialOutcome;
 use std::collections::HashMap;
 
 /// One Table VIII cell.
@@ -76,22 +76,24 @@ pub fn predict_cell(
     let dtype = Dtype::from_precision(precision);
     let pristine = trained.get(model, dtype);
 
-    let results: Vec<(f64, bool)> = (0..budget.predict_trials)
-        .into_par_iter()
-        .map(|trial| {
-            let seed = combo_seed(
-                FrameworkKind::Chainer,
-                model,
-                &format!("predict-{}-{bitflips}", precision.width()),
-                trial,
-            );
+    let cell = format!("predict-{}-{bitflips}", precision.width());
+    let outcomes = pre.run_trials(
+        "table8",
+        &cell,
+        FrameworkKind::Chainer,
+        model,
+        budget.predict_trials,
+        |trial, seed| {
             let mut ck = pristine.clone();
+            let mut outcome = TrialOutcome::ok();
             if bitflips > 0 {
                 let cfg = CorrupterConfig::bit_flips_full_range(bitflips, precision, seed);
-                Corrupter::new(cfg)
+                let report = Corrupter::new(cfg)
                     .expect("valid preset")
                     .corrupt(&mut ck)
                     .expect("corruption succeeds");
+                outcome =
+                    outcome.with_counters(report.injections, report.nan_redraws, report.skipped);
             }
             let mut session = pre.session_at_restart(FrameworkKind::Chainer, model);
             session.restore(&ck).expect("corrupted checkpoint loads");
@@ -99,20 +101,21 @@ pub fn predict_cell(
             // prediction processed 1,000 different images").
             let n = budget.predict_images.min(pre.data().len(sefi_data::Split::Test));
             let start = (trial * n) % pre.data().len(sefi_data::Split::Test).max(1);
-            let indices: Vec<usize> = (0..n)
-                .map(|i| (start + i) % pre.data().len(sefi_data::Split::Test))
-                .collect();
+            let indices: Vec<usize> =
+                (0..n).map(|i| (start + i) % pre.data().len(sefi_data::Split::Test)).collect();
             let (images, labels) = pre.data().gather(sefi_data::Split::Test, &indices);
             let (preds, nev) = session.predict(images);
-            let correct =
-                preds.iter().zip(&labels).filter(|(p, &l)| **p == l as usize).count();
-            (correct as f64 / n.max(1) as f64, nev)
-        })
-        .collect();
+            let correct = preds.iter().zip(&labels).filter(|(p, &l)| **p == l as usize).count();
+            outcome.with_collapsed(nev).with_accuracy(correct as f64 / n.max(1) as f64)
+        },
+    );
 
-    let nev_runs = results.iter().filter(|(_, n)| *n).count();
-    let clean: Vec<f64> =
-        results.iter().filter(|(_, n)| !*n).map(|(a, _)| *a * 100.0).collect();
+    let nev_runs = outcomes.iter().filter(|o| o.collapsed).count();
+    let clean: Vec<f64> = outcomes
+        .iter()
+        .filter(|o| !o.collapsed)
+        .filter_map(|o| o.final_accuracy.map(|a| a * 100.0))
+        .collect();
     PredictCell {
         precision,
         model,

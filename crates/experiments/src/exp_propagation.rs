@@ -9,7 +9,7 @@
 //! are largely absorbed.
 
 use crate::exp_layers::{locations_for, role_label, LAYER_FLIPS};
-use crate::runner::{combo_seed, Prebaked};
+use crate::runner::Prebaked;
 use crate::stats::{five_number_summary, FiveNum};
 use crate::table::TextTable;
 use sefi_core::{Corrupter, CorrupterConfig, LocationSelection};
@@ -17,6 +17,7 @@ use sefi_float::Precision;
 use sefi_frameworks::FrameworkKind;
 use sefi_hdf5::Dtype;
 use sefi_models::{LayerRole, ModelKind};
+use sefi_telemetry::TrialOutcome;
 
 /// Propagation measurement for one injected layer.
 #[derive(Debug, Clone)]
@@ -57,40 +58,61 @@ pub fn propagation_for(pre: &Prebaked, role: LayerRole, reference: &[f32]) -> Pr
     let budget = *pre.budget();
     let fw = FrameworkKind::TensorFlow;
     let model = ModelKind::AlexNet;
-    let mut ck = pre.checkpoint(fw, model, Dtype::F64);
-    let mut cfg = CorrupterConfig::bit_flips(
-        LAYER_FLIPS,
-        Precision::Fp64,
-        combo_seed(fw, model, &format!("prop-{}", role_label(role)), 0),
-    );
-    cfg.locations = LocationSelection::Listed(locations_for(pre, fw, model, role));
-    Corrupter::new(cfg)
-        .expect("valid config")
-        .corrupt(&mut ck)
-        .expect("corruption succeeds");
+    let cell = format!("prop-{}", role_label(role));
+    // A single deterministic trial per role; routing it through the runner
+    // still gets it manifest-cached like every other trial.
+    let outcomes = pre.run_trials("fig6", &cell, fw, model, 1, |_, seed| {
+        let mut ck = pre.checkpoint(fw, model, Dtype::F64);
+        let mut cfg = CorrupterConfig::bit_flips(LAYER_FLIPS, Precision::Fp64, seed);
+        cfg.locations = LocationSelection::Listed(locations_for(pre, fw, model, role));
+        let report = Corrupter::new(cfg)
+            .expect("valid config")
+            .corrupt(&mut ck)
+            .expect("corruption succeeds");
 
-    let mut session = pre.session_at_restart(fw, model);
-    session.restore(&ck).expect("corrupted checkpoint loads");
-    let out = session.train_to(pre.data(), budget.restart_epoch + budget.resume_epochs);
-    assert!(!out.collapsed(), "exponent-MSB-excluded flips cannot collapse training");
-    let corrupted = flat_weights(session.network_mut());
+        let mut session = pre.session_at_restart(fw, model);
+        session.restore(&ck).expect("corrupted checkpoint loads");
+        let out = session.train_to(pre.data(), budget.restart_epoch + budget.resume_epochs);
+        assert!(!out.collapsed(), "exponent-MSB-excluded flips cannot collapse training");
+        let corrupted = flat_weights(session.network_mut());
 
-    assert_eq!(reference.len(), corrupted.len());
-    // "The propagation was calculated based on the difference between the
-    // value of the error-free weights and the same weights of the
-    // checkpoint injected with the bit-flips. Only weights with differences
-    // are used."
-    let diffs: Vec<f64> = reference
-        .iter()
-        .zip(&corrupted)
-        .map(|(&a, &b)| (a as f64 - b as f64).abs())
-        .filter(|&d| d > 0.0)
-        .collect();
+        assert_eq!(reference.len(), corrupted.len());
+        // "The propagation was calculated based on the difference between the
+        // value of the error-free weights and the same weights of the
+        // checkpoint injected with the bit-flips. Only weights with differences
+        // are used."
+        let diffs: Vec<f64> = reference
+            .iter()
+            .zip(&corrupted)
+            .map(|(&a, &b)| (a as f64 - b as f64).abs())
+            .filter(|&d| d > 0.0)
+            .collect();
+        let mut outcome = TrialOutcome::ok()
+            .with_metric("differing_weights", diffs.len() as f64)
+            .with_metric("total_weights", reference.len() as f64)
+            .with_counters(report.injections, report.nan_redraws, report.skipped);
+        if let Some(s) = five_number_summary(&diffs) {
+            outcome = outcome
+                .with_metric("min", s.min)
+                .with_metric("q1", s.q1)
+                .with_metric("median", s.median)
+                .with_metric("q3", s.q3)
+                .with_metric("max", s.max);
+        }
+        outcome
+    });
+    let o = &outcomes[0];
     Propagation {
         role,
-        differing_weights: diffs.len(),
-        total_weights: reference.len(),
-        summary: five_number_summary(&diffs),
+        differing_weights: o.metric("differing_weights").unwrap_or(0.0) as usize,
+        total_weights: o.metric("total_weights").unwrap_or(0.0) as usize,
+        summary: o.metric("median").map(|median| FiveNum {
+            min: o.metric("min").unwrap_or(median),
+            q1: o.metric("q1").unwrap_or(median),
+            median,
+            q3: o.metric("q3").unwrap_or(median),
+            max: o.metric("max").unwrap_or(median),
+        }),
     }
 }
 
@@ -99,7 +121,14 @@ pub fn figure6(pre: &Prebaked) -> (Vec<Propagation>, TextTable) {
     let reference = error_free_weights(pre);
     let mut rows = Vec::new();
     let mut table = TextTable::new(&[
-        "Injected layer", "Diff weights", "Total", "Min", "Q1", "Median", "Q3", "Max",
+        "Injected layer",
+        "Diff weights",
+        "Total",
+        "Min",
+        "Q1",
+        "Median",
+        "Q3",
+        "Max",
     ]);
     for role in crate::exp_layers::roles() {
         let p = propagation_for(pre, role, &reference);

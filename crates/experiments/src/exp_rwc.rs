@@ -7,15 +7,15 @@
 //! collapses), resumes, and compares the final accuracy against the
 //! deterministic baseline. Equality means the flip was fully absorbed.
 
-use crate::runner::{combo_seed, Prebaked};
+use crate::runner::Prebaked;
 use crate::stats::percent;
 use crate::table::{pct, TextTable};
-use rayon::prelude::*;
 use sefi_core::{Corrupter, CorrupterConfig};
 use sefi_float::Precision;
 use sefi_frameworks::FrameworkKind;
 use sefi_hdf5::Dtype;
 use sefi_models::ModelKind;
+use sefi_telemetry::TrialOutcome;
 
 /// One Table V cell.
 #[derive(Debug, Clone)]
@@ -35,42 +35,54 @@ pub struct RwcCell {
 }
 
 /// Measure one cell.
-pub fn rwc_cell(
-    pre: &Prebaked,
-    fw: FrameworkKind,
-    model: ModelKind,
-    trials: usize,
-) -> RwcCell {
+pub fn rwc_cell(pre: &Prebaked, fw: FrameworkKind, model: ModelKind, trials: usize) -> RwcCell {
     let baseline = pre.baseline_final_accuracy(model, Dtype::F64);
     let pristine = pre.checkpoint(fw, model, Dtype::F64);
-    let results: Vec<(bool, f64)> = (0..trials)
-        .into_par_iter()
-        .map(|trial| {
-            let seed = combo_seed(fw, model, "rwc", trial);
-            let mut ck = pristine.clone();
-            let cfg = CorrupterConfig::bit_flips(1, Precision::Fp64, seed);
-            Corrupter::new(cfg)
-                .expect("valid preset")
-                .corrupt(&mut ck)
-                .expect("corruption succeeds");
-            let out = pre.resume(fw, model, &ck, pre.budget().resume_epochs);
-            match out.final_accuracy() {
-                Some(acc) => (acc == baseline, (acc - baseline).abs()),
-                None => (false, f64::INFINITY), // collapsed (cannot happen with MSB excluded)
-            }
+    let outcomes = pre.run_trials("rwc", "rwc", fw, model, trials, |_, seed| {
+        let mut ck = pristine.clone();
+        let cfg = CorrupterConfig::bit_flips(1, Precision::Fp64, seed);
+        let report = Corrupter::new(cfg)
+            .expect("valid preset")
+            .corrupt(&mut ck)
+            .expect("corruption succeeds");
+        let out = pre.resume(fw, model, &ck, pre.budget().resume_epochs);
+        let outcome = TrialOutcome::ok().with_collapsed(out.collapsed()).with_counters(
+            report.injections,
+            report.nan_redraws,
+            report.skipped,
+        );
+        match out.final_accuracy() {
+            Some(acc) => outcome.with_accuracy(acc),
+            None => outcome, // collapsed (cannot happen with MSB excluded)
+        }
+    });
+    // Deviations are derived here, not stored: the deterministic baseline
+    // is recomputable and a collapsed trial's deviation is infinite, which
+    // the manifest cannot hold.
+    let results: Vec<(bool, f64)> = outcomes
+        .iter()
+        .map(|o| match o.final_accuracy {
+            Some(acc) => (acc == baseline, (acc - baseline).abs()),
+            None => (false, f64::INFINITY),
         })
         .collect();
     let rwc = results.iter().filter(|(same, _)| *same).count();
     let max_deviation = results.iter().map(|(_, d)| *d).fold(0.0, f64::max);
-    RwcCell { framework: fw, model, trainings: trials, rwc, pct: percent(rwc, trials), max_deviation }
+    RwcCell {
+        framework: fw,
+        model,
+        trainings: trials,
+        rwc,
+        pct: percent(rwc, trials),
+        max_deviation,
+    }
 }
 
 /// Full Table V.
 pub fn table5(pre: &Prebaked) -> (Vec<RwcCell>, TextTable) {
     let trials = pre.budget().trials;
     let mut cells = Vec::new();
-    let mut table =
-        TextTable::new(&["Model", "Trainings", "Framework", "RWC", "%", "MaxDev"]);
+    let mut table = TextTable::new(&["Model", "Trainings", "Framework", "RWC", "%", "MaxDev"]);
     for model in ModelKind::all() {
         for fw in FrameworkKind::all() {
             let cell = rwc_cell(pre, fw, model, trials);
@@ -100,12 +112,8 @@ mod tests {
         let pre = Prebaked::new(Budget::smoke());
         let baseline = pre.baseline_final_accuracy(ModelKind::AlexNet, Dtype::F64);
         let ck = pre.checkpoint(FrameworkKind::PyTorch, ModelKind::AlexNet, Dtype::F64);
-        let out = pre.resume(
-            FrameworkKind::PyTorch,
-            ModelKind::AlexNet,
-            &ck,
-            pre.budget().resume_epochs,
-        );
+        let out =
+            pre.resume(FrameworkKind::PyTorch, ModelKind::AlexNet, &ck, pre.budget().resume_epochs);
         assert_eq!(out.final_accuracy().unwrap(), baseline);
     }
 

@@ -36,7 +36,8 @@ pub mod stats;
 pub mod table;
 
 pub use budget::Budget;
-pub use runner::{combo_seed, Prebaked};
+pub use runner::{combo_seed, CampaignConfig, PhaseGuard, Prebaked};
+pub use sefi_telemetry::TrialOutcome;
 
 /// Parse `--budget <name>` (or `SEFI_BUDGET`) from a binary's args;
 /// defaults to [`Budget::default_budget`].

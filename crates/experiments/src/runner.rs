@@ -3,13 +3,17 @@
 
 use crate::budget::Budget;
 use parking_lot::Mutex;
+use rayon::prelude::*;
 use sefi_data::SyntheticCifar10;
 use sefi_frameworks::{FrameworkKind, Session, SessionConfig};
 use sefi_hdf5::{Dataset, Dtype, H5File};
 use sefi_models::ModelKind;
 use sefi_nn::{EpochRecord, StateDict};
+use sefi_telemetry::{digest64, Aggregator, Event, JsonlSink, Manifest, TrialOutcome, TrialRecord};
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Master seed of the whole experimental campaign.
 const CAMPAIGN_SEED: u64 = 0x5EF1_2021;
@@ -18,17 +22,85 @@ const CAMPAIGN_SEED: u64 = 0x5EF1_2021;
 /// label, trial index), so any table cell can be recomputed in isolation.
 pub fn combo_seed(fw: FrameworkKind, model: ModelKind, label: &str, trial: usize) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in fw
-        .id()
-        .bytes()
-        .chain(model.id().bytes())
-        .chain(label.bytes())
-        .chain(trial.to_le_bytes())
+    for b in
+        fw.id().bytes().chain(model.id().bytes()).chain(label.bytes()).chain(trial.to_le_bytes())
     {
         h ^= b as u64;
         h = h.wrapping_mul(0x0000_0100_0000_01B3);
     }
     h ^ CAMPAIGN_SEED
+}
+
+/// How a campaign records itself: where results live and what the
+/// campaign is called in its telemetry stream.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Campaign name, stamped on campaign-level telemetry events.
+    pub name: String,
+    /// Directory holding per-experiment manifests and the event stream
+    /// (`<results_dir>/<experiment>/manifest.jsonl`,
+    /// `<results_dir>/telemetry.jsonl`).
+    pub results_dir: PathBuf,
+}
+
+impl CampaignConfig {
+    /// A campaign writing under the conventional `results/` directory.
+    pub fn new(name: &str) -> Self {
+        CampaignConfig { name: name.to_string(), results_dir: PathBuf::from("results") }
+    }
+
+    /// Redirect everything the campaign writes to `dir`.
+    pub fn results_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.results_dir = dir.into();
+        self
+    }
+}
+
+/// Live campaign state: the event sink, the summary aggregator, and one
+/// lazily opened manifest per experiment.
+struct Campaign {
+    name: String,
+    config_digest: String,
+    results_dir: PathBuf,
+    sink: JsonlSink,
+    aggregator: Aggregator,
+    manifests: Mutex<HashMap<String, Arc<Manifest>>>,
+    started: Instant,
+}
+
+impl Campaign {
+    fn manifest_for(&self, experiment: &str) -> Arc<Manifest> {
+        let mut manifests = self.manifests.lock();
+        if let Some(m) = manifests.get(experiment) {
+            return Arc::clone(m);
+        }
+        let path = self.results_dir.join(experiment).join("manifest.jsonl");
+        let m = Arc::new(
+            Manifest::open(&path)
+                .unwrap_or_else(|e| panic!("cannot open manifest {}: {e}", path.display())),
+        );
+        manifests.insert(experiment.to_string(), Arc::clone(&m));
+        m
+    }
+}
+
+/// Emits `PhaseStart` on creation and `PhaseEnd` (with the wall-clock
+/// duration) when dropped. A no-op outside a campaign.
+pub struct PhaseGuard<'a> {
+    campaign: Option<&'a Campaign>,
+    name: String,
+    started: Instant,
+}
+
+impl Drop for PhaseGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(c) = self.campaign {
+            c.sink.emit(&Event::PhaseEnd {
+                phase: self.name.clone(),
+                duration_ns: self.started.elapsed().as_nanos() as u64,
+            });
+        }
+    }
 }
 
 /// Pretrained state at the restart epoch, shared by every experiment.
@@ -38,23 +110,172 @@ pub fn combo_seed(fw: FrameworkKind, model: ModelKind, label: &str, trial: usize
 /// the three frontends share the numeric engine, one pretraining per model
 /// suffices here; checkpoints are then written in any framework's layout.
 /// Pretrained weights are cached on disk under `target/sefi-cache`.
+///
+/// Constructed with [`Prebaked::with_campaign`], it additionally records
+/// telemetry and a per-experiment completed-trial manifest, and serves
+/// already-completed trials from that manifest instead of re-running them.
 pub struct Prebaked {
     budget: Budget,
     data: SyntheticCifar10,
     baselines: Mutex<HashMap<ModelKind, StateDict>>,
     baseline_curves: Mutex<HashMap<(ModelKind, u32, usize), Vec<EpochRecord>>>,
+    campaign: Option<Campaign>,
 }
 
 impl Prebaked {
     /// Generate the dataset; baselines are trained (or loaded from cache)
-    /// on first use.
+    /// on first use. No telemetry, no manifest: every trial executes.
     pub fn new(budget: Budget) -> Self {
         Prebaked {
             data: SyntheticCifar10::generate(budget.data_config()),
             budget,
             baselines: Mutex::new(HashMap::new()),
             baseline_curves: Mutex::new(HashMap::new()),
+            campaign: None,
         }
+    }
+
+    /// Like [`Prebaked::new`], but with campaign recording attached: a
+    /// JSONL event stream at `<results_dir>/telemetry.jsonl`, an
+    /// end-of-campaign summary, and per-experiment manifests that make a
+    /// re-run skip every trial already on record.
+    pub fn with_campaign(budget: Budget, config: CampaignConfig) -> std::io::Result<Self> {
+        let sink = JsonlSink::to_file(config.results_dir.join("telemetry.jsonl"))?;
+        let config_digest = digest64(&format!("{budget:?}"));
+        sink.emit(&Event::CampaignStart {
+            campaign: config.name.clone(),
+            budget: budget.name.to_string(),
+            config_digest: config_digest.clone(),
+        });
+        let mut pre = Prebaked::new(budget);
+        pre.campaign = Some(Campaign {
+            name: config.name,
+            config_digest,
+            results_dir: config.results_dir,
+            sink,
+            aggregator: Aggregator::new(),
+            manifests: Mutex::new(HashMap::new()),
+            started: Instant::now(),
+        });
+        Ok(pre)
+    }
+
+    /// Start a named phase (one table or figure). Keep the guard alive
+    /// for the phase's duration; timing is emitted on drop.
+    pub fn phase(&self, name: &str) -> PhaseGuard<'_> {
+        if let Some(c) = &self.campaign {
+            c.sink.emit(&Event::PhaseStart { phase: name.to_string() });
+        }
+        PhaseGuard {
+            campaign: self.campaign.as_ref(),
+            name: name.to_string(),
+            started: Instant::now(),
+        }
+    }
+
+    /// `(run, cached)` trial totals so far. `None` without a campaign.
+    pub fn campaign_totals(&self) -> Option<(u64, u64)> {
+        self.campaign.as_ref().map(|c| c.aggregator.totals())
+    }
+
+    /// Close the campaign: emit `CampaignEnd` and return the rendered
+    /// trial summary. `None` without a campaign.
+    pub fn finish_campaign(&self) -> Option<String> {
+        let c = self.campaign.as_ref()?;
+        let (trials_run, trials_cached) = c.aggregator.totals();
+        c.sink.emit(&Event::CampaignEnd {
+            campaign: c.name.clone(),
+            trials_run,
+            trials_cached,
+            duration_ns: c.started.elapsed().as_nanos() as u64,
+        });
+        Some(c.aggregator.render())
+    }
+
+    /// Run the `trials` of one experiment cell, in parallel, through the
+    /// campaign machinery.
+    ///
+    /// Each trial's seed is `combo_seed(fw, model, cell, trial)`; the
+    /// closure receives `(trial, seed)` and returns what the trial
+    /// produced. Under a campaign, a trial whose seed is already in the
+    /// experiment's manifest (with a matching config digest) is served
+    /// from the recorded outcome; every executed trial is appended to the
+    /// manifest and flushed before the cell completes, so a killed
+    /// campaign resumes with zero re-execution of completed trials.
+    pub fn run_trials(
+        &self,
+        experiment: &str,
+        cell: &str,
+        fw: FrameworkKind,
+        model: ModelKind,
+        trials: usize,
+        f: impl Fn(usize, u64) -> TrialOutcome + Sync,
+    ) -> Vec<TrialOutcome> {
+        let Some(c) = &self.campaign else {
+            return (0..trials)
+                .into_par_iter()
+                .map(|t| f(t, combo_seed(fw, model, cell, t)))
+                .collect();
+        };
+        let manifest = c.manifest_for(experiment);
+        (0..trials)
+            .into_par_iter()
+            .map(|trial| {
+                let seed = combo_seed(fw, model, cell, trial);
+                if let Some(rec) = manifest.lookup(seed, &c.config_digest) {
+                    c.sink.emit(&Event::TrialEnd {
+                        experiment: experiment.to_string(),
+                        cell: cell.to_string(),
+                        trial: trial as u64,
+                        seed,
+                        status: rec.outcome.status.clone(),
+                        duration_ns: rec.duration_ns,
+                        injections: rec.outcome.injections,
+                        nan_redraws: rec.outcome.nan_redraws,
+                        skipped: rec.outcome.skipped,
+                        cached: true,
+                    });
+                    c.aggregator.record(experiment, &rec.outcome.status, rec.duration_ns, true);
+                    return rec.outcome;
+                }
+                c.sink.emit(&Event::TrialStart {
+                    experiment: experiment.to_string(),
+                    cell: cell.to_string(),
+                    trial: trial as u64,
+                    seed,
+                });
+                let t0 = Instant::now();
+                let outcome = f(trial, seed);
+                let duration_ns = t0.elapsed().as_nanos() as u64;
+                if let Err(e) = manifest.record(TrialRecord {
+                    experiment: experiment.to_string(),
+                    cell: cell.to_string(),
+                    framework: fw.id().to_string(),
+                    model: model.id().to_string(),
+                    trial: trial as u64,
+                    seed,
+                    config_digest: c.config_digest.clone(),
+                    duration_ns,
+                    outcome: outcome.clone(),
+                }) {
+                    eprintln!("telemetry: failed to record trial {seed:x}: {e}");
+                }
+                c.sink.emit(&Event::TrialEnd {
+                    experiment: experiment.to_string(),
+                    cell: cell.to_string(),
+                    trial: trial as u64,
+                    seed,
+                    status: outcome.status.clone(),
+                    duration_ns,
+                    injections: outcome.injections,
+                    nan_redraws: outcome.nan_redraws,
+                    skipped: outcome.skipped,
+                    cached: false,
+                });
+                c.aggregator.record(experiment, &outcome.status, duration_ns, false);
+                outcome
+            })
+            .collect()
     }
 
     /// The budget in force.
@@ -78,9 +299,7 @@ impl Prebaked {
         if let Some(sd) = self.baselines.lock().get(&model) {
             return sd.clone();
         }
-        let sd = self
-            .load_cached_weights(model)
-            .unwrap_or_else(|| self.pretrain(model));
+        let sd = self.load_cached_weights(model).unwrap_or_else(|| self.pretrain(model));
         self.baselines.lock().insert(model, sd.clone());
         sd
     }
@@ -88,10 +307,7 @@ impl Prebaked {
     fn pretrain(&self, model: ModelKind) -> StateDict {
         let mut session = self.fresh_session(FrameworkKind::Chainer, model);
         let out = session.train_to(&self.data, self.budget.restart_epoch);
-        assert!(
-            !out.collapsed(),
-            "error-free pretraining of {model:?} collapsed — harness bug"
-        );
+        assert!(!out.collapsed(), "error-free pretraining of {model:?} collapsed — harness bug");
         let sd = session.network_mut().state_dict();
         self.store_cached_weights(model, &sd);
         sd
@@ -157,10 +373,7 @@ impl Prebaked {
     pub fn checkpoint(&self, fw: FrameworkKind, model: ModelKind, dtype: Dtype) -> H5File {
         let sd = self.baseline_weights(model);
         let mut session = self.fresh_session(fw, model);
-        session
-            .network_mut()
-            .load_state_dict(&sd)
-            .expect("baseline weights fit the architecture");
+        session.network_mut().load_state_dict(&sd).expect("baseline weights fit the architecture");
         sefi_frameworks::save_checkpoint(
             fw,
             session.network_mut(),
@@ -243,6 +456,127 @@ mod tests {
         let o2 = pre.resume(FrameworkKind::Chainer, ModelKind::AlexNet, &ck2, 1);
         assert_eq!(o1.history(), o2.history());
         assert!(!o1.collapsed());
+    }
+
+    /// Unique scratch directory for campaign tests (parallel-safe).
+    fn scratch_dir(tag: &str) -> PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("sefi_runner_{tag}_{}_{n}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        dir
+    }
+
+    #[test]
+    fn campaign_resumes_from_manifest_without_rerunning() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let dir = scratch_dir("resume");
+        let cfg = CampaignConfig::new("unit").results_dir(&dir);
+        let fw = FrameworkKind::Chainer;
+        let model = ModelKind::AlexNet;
+        let executed = AtomicUsize::new(0);
+        let run = |pre: &Prebaked, trials: usize| {
+            pre.run_trials("unit", "cell", fw, model, trials, |trial, seed| {
+                executed.fetch_add(1, Ordering::Relaxed);
+                TrialOutcome::ok()
+                    .with_accuracy((seed % 1000) as f64 / 1000.0)
+                    .with_curve(vec![trial as f64, 0.5])
+                    .with_counters(7, 1, 0)
+            })
+        };
+
+        // First half of the campaign, then the runner is dropped — as if
+        // the process had been killed after three trials.
+        let pre1 = Prebaked::with_campaign(Budget::smoke(), cfg.clone()).unwrap();
+        let first = run(&pre1, 3);
+        assert_eq!(executed.load(Ordering::Relaxed), 3);
+        assert_eq!(pre1.campaign_totals(), Some((3, 0)));
+        drop(pre1);
+
+        // A fresh runner over the same manifest executes only the three
+        // missing trials and returns recorded outcomes for the rest.
+        let pre2 = Prebaked::with_campaign(Budget::smoke(), cfg.clone()).unwrap();
+        let second = run(&pre2, 6);
+        assert_eq!(executed.load(Ordering::Relaxed), 6);
+        assert_eq!(pre2.campaign_totals(), Some((3, 3)));
+        assert_eq!(&second[..3], &first[..]);
+        drop(pre2);
+
+        // A third, fully completed pass executes nothing at all.
+        let pre3 = Prebaked::with_campaign(Budget::smoke(), cfg).unwrap();
+        let third = run(&pre3, 6);
+        assert_eq!(executed.load(Ordering::Relaxed), 6);
+        assert_eq!(pre3.campaign_totals(), Some((0, 6)));
+        assert_eq!(third, second);
+        assert!(dir.join("unit/manifest.jsonl").exists());
+        assert!(dir.join("telemetry.jsonl").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resumed_campaign_reproduces_byte_identical_tables() {
+        let dir = scratch_dir("tables");
+        let cfg = CampaignConfig::new("unit").results_dir(&dir);
+
+        // A real experiment cell: Table IV protocol, two trainings.
+        let pre1 = Prebaked::with_campaign(Budget::smoke(), cfg.clone()).unwrap();
+        let cell1 = crate::exp_nev::nev_cell(
+            &pre1,
+            FrameworkKind::Chainer,
+            ModelKind::AlexNet,
+            sefi_float::Precision::Fp64,
+            1000,
+            2,
+        );
+        assert_eq!(pre1.campaign_totals(), Some((2, 0)));
+        drop(pre1);
+
+        // Rerun against the same manifest: zero trials execute and the
+        // cell is reproduced exactly.
+        let pre2 = Prebaked::with_campaign(Budget::smoke(), cfg).unwrap();
+        let cell2 = crate::exp_nev::nev_cell(
+            &pre2,
+            FrameworkKind::Chainer,
+            ModelKind::AlexNet,
+            sefi_float::Precision::Fp64,
+            1000,
+            2,
+        );
+        assert_eq!(pre2.campaign_totals(), Some((0, 2)));
+        assert_eq!(cell2.nev, cell1.nev);
+        assert_eq!(cell2.pct, cell1.pct);
+        assert_eq!(cell2.trainings, cell1.trainings);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn phase_guard_emits_paired_events() {
+        let dir = scratch_dir("phase");
+        let cfg = CampaignConfig::new("unit").results_dir(&dir);
+        let pre = Prebaked::with_campaign(Budget::smoke(), cfg).unwrap();
+        {
+            let _phase = pre.phase("fig2");
+        }
+        pre.finish_campaign();
+        let stream = std::fs::read_to_string(dir.join("telemetry.jsonl")).unwrap();
+        let kinds: Vec<&str> = stream
+            .lines()
+            .map(|l| {
+                if l.contains("PhaseStart") {
+                    "PhaseStart"
+                } else if l.contains("PhaseEnd") {
+                    "PhaseEnd"
+                } else if l.contains("CampaignStart") {
+                    "CampaignStart"
+                } else {
+                    "CampaignEnd"
+                }
+            })
+            .collect();
+        assert_eq!(kinds, vec!["CampaignStart", "PhaseStart", "PhaseEnd", "CampaignEnd"]);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -48,7 +48,13 @@ pub fn five_number_summary(xs: &[f64]) -> Option<FiveNum> {
         let frac = idx - lo as f64;
         sorted[lo] * (1.0 - frac) + sorted[hi] * frac
     };
-    Some(FiveNum { min: sorted[0], q1: q(0.25), median: q(0.5), q3: q(0.75), max: sorted[sorted.len() - 1] })
+    Some(FiveNum {
+        min: sorted[0],
+        q1: q(0.25),
+        median: q(0.5),
+        q3: q(0.75),
+        max: sorted[sorted.len() - 1],
+    })
 }
 
 /// `count / total` as a percentage.

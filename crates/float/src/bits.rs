@@ -180,10 +180,7 @@ impl BitMask {
 
     /// Render the pattern back to its binary string.
     pub fn to_pattern_string(&self) -> String {
-        (0..self.len)
-            .rev()
-            .map(|i| if (self.pattern >> i) & 1 == 1 { '1' } else { '0' })
-            .collect()
+        (0..self.len).rev().map(|i| if (self.pattern >> i) & 1 == 1 { '1' } else { '0' }).collect()
     }
 }
 
@@ -258,13 +255,9 @@ mod tests {
 
     #[test]
     fn paper_table6_masks_parse() {
-        for (bits, pat) in [
-            (3u32, "10001010"),
-            (4, "01101010"),
-            (4, "10110010"),
-            (5, "11110001"),
-            (6, "11101101"),
-        ] {
+        for (bits, pat) in
+            [(3u32, "10001010"), (4, "01101010"), (4, "10110010"), (5, "11110001"), (6, "11101101")]
+        {
             let m = BitMask::parse(pat).unwrap();
             assert_eq!(m.ones(), bits, "mask {pat}");
             assert_eq!(m.len(), 8);

@@ -13,7 +13,6 @@ use std::fmt;
 #[derive(Clone, Copy, Default)]
 pub struct f16(u16);
 
-
 const MAN_BITS: u32 = 10;
 const EXP_BIAS: i32 = 15;
 const EXP_MASK: u16 = 0x7C00;
@@ -242,7 +241,7 @@ mod tests {
     fn constants_have_expected_bit_patterns() {
         assert_eq!(f16::ONE.to_f32(), 1.0);
         assert_eq!(f16::MAX.to_f32(), 65504.0);
-        assert_eq!(f16::MIN_POSITIVE.to_f32(), 6.103515625e-5);
+        assert_eq!(f16::MIN_POSITIVE.to_f32(), 6.103_515_6e-5);
         assert!(f16::NAN.is_nan());
         assert!(f16::INFINITY.is_infinite());
         assert!(f16::NEG_INFINITY.is_infinite() && f16::NEG_INFINITY.is_sign_negative());
@@ -259,8 +258,8 @@ mod tests {
             (0.5, 0x3800),
             (0.25, 0x3400),
             (65504.0, 0x7BFF),
-            (6.103515625e-5, 0x0400),  // min normal
-            (5.960464477539063e-8, 0x0001), // min subnormal
+            (6.103_515_6e-5, 0x0400), // min normal
+            (5.960_464_5e-8, 0x0001), // min subnormal
         ] {
             assert_eq!(f16::from_f32(v).to_bits(), bits, "from_f32({v})");
             assert_eq!(f16::from_bits(bits).to_f32(), v, "to_f32({bits:#06x})");

@@ -27,7 +27,6 @@ pub mod intbits;
 pub mod nev;
 
 pub use bits::{apply_xor_mask, flip_bit, BitMask, BitRange};
-#[allow(non_camel_case_types)]
 pub use f16_impl::f16;
 pub use fields::{FieldMap, FloatClass, Precision};
 pub use intbits::{corrupt_int, minimal_bit_width};

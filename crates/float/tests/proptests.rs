@@ -7,11 +7,7 @@ use sefi_float::{
 };
 
 fn any_precision() -> impl Strategy<Value = Precision> {
-    prop_oneof![
-        Just(Precision::Fp16),
-        Just(Precision::Fp32),
-        Just(Precision::Fp64),
-    ]
+    prop_oneof![Just(Precision::Fp16), Just(Precision::Fp32), Just(Precision::Fp64),]
 }
 
 proptest! {

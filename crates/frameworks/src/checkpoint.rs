@@ -7,12 +7,7 @@ use sefi_nn::Network;
 
 /// Serialize a network into this framework's checkpoint layout at the given
 /// storage dtype (the paper's 16/32/64-bit precision studies select this).
-pub fn save_checkpoint(
-    fw: FrameworkKind,
-    net: &mut Network,
-    epoch: usize,
-    dtype: Dtype,
-) -> H5File {
+pub fn save_checkpoint(fw: FrameworkKind, net: &mut Network, epoch: usize, dtype: Dtype) -> H5File {
     assert!(dtype.is_float(), "checkpoint weight dtype must be a float type");
     let mut file = H5File::new();
     let sd = net.state_dict();
@@ -37,22 +32,21 @@ pub fn save_checkpoint(
 /// *Structural* problems (missing tensors, wrong shapes, wrong framework)
 /// are errors: the corrupter only alters dataset element bytes, never
 /// structure, so structure damage means operator error.
-pub fn load_checkpoint(fw: FrameworkKind, net: &mut Network, file: &H5File) -> Result<usize, String> {
+pub fn load_checkpoint(
+    fw: FrameworkKind,
+    net: &mut Network,
+    file: &H5File,
+) -> Result<usize, String> {
     if let Some(Attr::Str(stored_fw)) = file.root().attr("framework") {
         if stored_fw != fw.id() {
-            return Err(format!(
-                "checkpoint was written by {stored_fw:?}, not {:?}",
-                fw.id()
-            ));
+            return Err(format!("checkpoint was written by {stored_fw:?}, not {:?}", fw.id()));
         }
     }
     let mut sd = net.state_dict();
     let mut new_sd = sefi_nn::StateDict::new();
     for entry in sd.entries() {
         let path = engine_to_file_path(fw, &entry.path);
-        let ds = file
-            .dataset(&path)
-            .map_err(|e| format!("loading {:?}: {e}", entry.path))?;
+        let ds = file.dataset(&path).map_err(|e| format!("loading {:?}: {e}", entry.path))?;
         if ds.len() != entry.tensor.len() {
             return Err(format!(
                 "tensor {path:?} has {} entries, network expects {}",
@@ -166,9 +160,7 @@ mod tests {
         let paths = ck.dataset_paths();
         let mut pruned = H5File::new();
         for p in paths.iter().filter(|p| !p.ends_with("conv3/W")) {
-            pruned
-                .create_dataset(p, ck.dataset(p).unwrap().clone())
-                .unwrap();
+            pruned.create_dataset(p, ck.dataset(p).unwrap().clone()).unwrap();
         }
         ck = pruned;
         let err = load_checkpoint(FrameworkKind::Chainer, &mut a, &ck).unwrap_err();

@@ -30,5 +30,7 @@ mod session;
 
 pub use checkpoint::{load_checkpoint, save_checkpoint};
 pub use kind::FrameworkKind;
-pub use mapping::{engine_to_file_path, file_layer_location, tensor_to_file_layout, tensor_from_file_layout};
+pub use mapping::{
+    engine_to_file_path, file_layer_location, tensor_from_file_layout, tensor_to_file_layout,
+};
 pub use session::{Session, SessionConfig};

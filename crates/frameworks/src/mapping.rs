@@ -187,10 +187,7 @@ mod tests {
     #[test]
     fn chainer_paths_match_paper_example() {
         // Paper: "chpt_ch_vgg_e_5.h5/predictor/conv1_1".
-        assert_eq!(
-            engine_to_file_path(FrameworkKind::Chainer, "conv1_1/W"),
-            "predictor/conv1_1/W"
-        );
+        assert_eq!(engine_to_file_path(FrameworkKind::Chainer, "conv1_1/W"), "predictor/conv1_1/W");
         assert_eq!(
             engine_to_file_path(FrameworkKind::Chainer, "res2a/bn1/running_mean"),
             "predictor/res2a/bn1/avg_mean"
@@ -228,10 +225,8 @@ mod tests {
 
     #[test]
     fn frameworks_give_distinct_paths_for_same_parameter() {
-        let paths: Vec<String> = FrameworkKind::all()
-            .iter()
-            .map(|&fw| engine_to_file_path(fw, "conv1/W"))
-            .collect();
+        let paths: Vec<String> =
+            FrameworkKind::all().iter().map(|&fw| engine_to_file_path(fw, "conv1/W")).collect();
         assert_ne!(paths[0], paths[1]);
         assert_ne!(paths[1], paths[2]);
         assert_ne!(paths[0], paths[2]);
@@ -255,8 +250,7 @@ mod tests {
         let (shape, data) = tensor_to_file_layout(FrameworkKind::TensorFlow, "conv1/W", &t);
         assert_eq!(shape, vec![2, 2, 3, 2]); // HWIO
         assert_ne!(data, t.data()); // actually permuted
-        let back =
-            tensor_from_file_layout(FrameworkKind::TensorFlow, "conv1/W", t.shape(), &data);
+        let back = tensor_from_file_layout(FrameworkKind::TensorFlow, "conv1/W", t.shape(), &data);
         assert_eq!(back, t);
     }
 

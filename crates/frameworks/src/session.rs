@@ -63,8 +63,7 @@ impl Session {
     /// three frameworks, mirroring the paper's equivalent-injection setup
     /// where one model is trained per framework under identical conditions.
     pub fn new(config: SessionConfig) -> Self {
-        let mut rng =
-            DetRng::new(config.seed).substream(&format!("init-{}", config.model.id()));
+        let mut rng = DetRng::new(config.seed).substream(&format!("init-{}", config.model.id()));
         let (net, meta) = build(config.model, config.model_config, &mut rng);
         let trainer = Trainer::new(config.train.clone());
         Session { config, net, meta, trainer, epoch: 0 }
@@ -150,9 +149,8 @@ impl Session {
             let mut velocities = Vec::new();
             for p in self.net.params_mut() {
                 let path = format!("optimizer_state/momentum/{}", p.name);
-                let ds = file
-                    .dataset(&path)
-                    .map_err(|e| format!("restoring optimizer state: {e}"))?;
+                let ds =
+                    file.dataset(&path).map_err(|e| format!("restoring optimizer state: {e}"))?;
                 if ds.len() != p.value.len() {
                     return Err(format!(
                         "momentum tensor {path:?} has {} entries, parameter has {}",
@@ -160,8 +158,7 @@ impl Session {
                         p.value.len()
                     ));
                 }
-                velocities
-                    .push(Tensor::from_vec(ds.to_f32_vec(), p.value.shape()));
+                velocities.push(Tensor::from_vec(ds.to_f32_vec(), p.value.shape()));
             }
             self.trainer.optimizer_mut().set_velocities(velocities);
         }
@@ -249,10 +246,7 @@ mod tests {
         let ch = tiny_session(FrameworkKind::Chainer, ModelKind::AlexNet);
         let tf = tiny_session(FrameworkKind::TensorFlow, ModelKind::AlexNet);
         assert_eq!(ch.layer_locations(LayerRole::First), vec!["predictor/conv1".to_string()]);
-        assert_eq!(
-            tf.layer_locations(LayerRole::First),
-            vec!["model_weights/conv1".to_string()]
-        );
+        assert_eq!(tf.layer_locations(LayerRole::First), vec!["model_weights/conv1".to_string()]);
     }
 
     #[test]
@@ -296,11 +290,8 @@ mod tests {
         let mut s = tiny_session(FrameworkKind::Chainer, ModelKind::AlexNet);
         s.train_to(&data, 1);
         let mut ck = s.checkpoint_with_optimizer(Dtype::F64);
-        let paths: Vec<String> = ck
-            .dataset_paths()
-            .into_iter()
-            .filter(|p| p.starts_with("optimizer_state/"))
-            .collect();
+        let paths: Vec<String> =
+            ck.dataset_paths().into_iter().filter(|p| p.starts_with("optimizer_state/")).collect();
         assert!(!paths.is_empty());
         ck.dataset_mut(&paths[0]).unwrap().set_f64(0, 42.0).unwrap();
         let mut r = tiny_session(FrameworkKind::Chainer, ModelKind::AlexNet);

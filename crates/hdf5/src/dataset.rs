@@ -113,11 +113,7 @@ fn shape_len(shape: &[usize]) -> usize {
 impl Dataset {
     /// A dataset of zeros.
     pub fn zeros(shape: &[usize], dtype: Dtype) -> Self {
-        Dataset {
-            dtype,
-            shape: shape.to_vec(),
-            data: vec![0u8; shape_len(shape) * dtype.size()],
-        }
+        Dataset { dtype, shape: shape.to_vec(), data: vec![0u8; shape_len(shape) * dtype.size()] }
     }
 
     /// Build a float dataset from `f32` values, narrowing/widening to

@@ -24,9 +24,9 @@
 #![deny(missing_docs)]
 
 pub mod crc;
-pub mod flat;
 mod dataset;
 mod error;
+pub mod flat;
 mod format;
 mod node;
 mod path;

@@ -79,10 +79,8 @@ impl Group {
     pub(crate) fn create_group_path(&mut self, parts: &[&str]) -> Result<&mut Group> {
         let mut cur = self;
         for (i, part) in parts.iter().enumerate() {
-            let entry = cur
-                .children
-                .entry(part.to_string())
-                .or_insert_with(|| Node::Group(Group::new()));
+            let entry =
+                cur.children.entry(part.to_string()).or_insert_with(|| Node::Group(Group::new()));
             match entry {
                 Node::Group(g) => cur = g,
                 Node::Dataset(_) => {

@@ -95,7 +95,7 @@ proptest! {
     ) {
         let mut ds = Dataset::zeros(&[len], dtype);
         let idx = idx_seed % len;
-        let masked = raw & (u64::MAX >> (64 - 8 * dtype.size() as u32)).min(u64::MAX);
+        let masked = raw & (u64::MAX >> (64 - 8 * dtype.size() as u32));
         ds.set_bits(idx, masked).unwrap();
         prop_assert_eq!(ds.get_bits(idx).unwrap(), masked);
         // Neighbours untouched.

@@ -16,7 +16,7 @@ use sefi_rng::DetRng;
 /// (first = `conv1`, middle = `conv4`, last = `fc8` — the layers the paper
 /// injects in Figures 4–6).
 pub fn alexnet(config: ModelConfig, rng: &mut DetRng) -> (Network, ModelMeta) {
-    assert!(config.input_size % 8 == 0, "AlexNet needs input divisible by 8");
+    assert!(config.input_size.is_multiple_of(8), "AlexNet needs input divisible by 8");
     let c1 = config.ch(64);
     let c2 = config.ch(192);
     let c3 = config.ch(384);

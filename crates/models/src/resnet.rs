@@ -16,13 +16,7 @@ use sefi_rng::DetRng;
 const STAGES: [(usize, usize); 4] = [(64, 3), (128, 4), (256, 6), (512, 3)];
 const EXPANSION: usize = 4;
 
-fn bottleneck(
-    name: &str,
-    in_ch: usize,
-    base: usize,
-    stride: usize,
-    rng: &mut DetRng,
-) -> Residual {
+fn bottleneck(name: &str, in_ch: usize, base: usize, stride: usize, rng: &mut DetRng) -> Residual {
     let out_ch = base * EXPANSION;
     let main: Vec<Box<dyn Layer>> = vec![
         Box::new(Conv2d::new("conv1", in_ch, base, 1, 1, 0, rng)),
@@ -48,7 +42,7 @@ fn bottleneck(
 /// Build ResNet50. First = the stem `conv1`, middle = block `res3d`
 /// (the 8th of 16 bottlenecks), last = the classifier `fc`.
 pub fn resnet50(config: ModelConfig, rng: &mut DetRng) -> (Network, ModelMeta) {
-    assert!(config.input_size % 8 == 0, "ResNet50 needs input divisible by 8");
+    assert!(config.input_size.is_multiple_of(8), "ResNet50 needs input divisible by 8");
     let stem = config.ch(64);
     let mut layers: Vec<Box<dyn Layer>> = vec![
         // CIFAR stem: 3×3 stride 1 (the ImageNet 7×7/2 + maxpool would
@@ -110,11 +104,7 @@ mod tests {
         // with projections add their shortcut conv on top.
         let mut rng = DetRng::new(1);
         let (mut net, _) = resnet50(ModelConfig::default(), &mut rng);
-        let conv_and_fc = net
-            .params_mut()
-            .iter()
-            .filter(|p| p.name.ends_with("/W"))
-            .count();
+        let conv_and_fc = net.params_mut().iter().filter(|p| p.name.ends_with("/W")).count();
         // 1 + 48 + 1 = 50 core weight layers, plus 4 projection convs.
         assert_eq!(conv_and_fc, 54);
     }

@@ -88,13 +88,11 @@ impl Layer for BatchNorm2d {
                 var[ci] = (vacc / m as f64) as f32;
             }
             // Update running stats.
-            for ci in 0..c {
-                let rm = &mut self.running_mean.data_mut()[ci];
-                *rm = MOMENTUM * *rm + (1.0 - MOMENTUM) * mean[ci];
+            for (rm, &m) in self.running_mean.data_mut().iter_mut().zip(&mean) {
+                *rm = MOMENTUM * *rm + (1.0 - MOMENTUM) * m;
             }
-            for ci in 0..c {
-                let rv = &mut self.running_var.data_mut()[ci];
-                *rv = MOMENTUM * *rv + (1.0 - MOMENTUM) * var[ci];
+            for (rv, &v) in self.running_var.data_mut().iter_mut().zip(&var) {
+                *rv = MOMENTUM * *rv + (1.0 - MOMENTUM) * v;
             }
             (mean, var)
         } else {
@@ -170,10 +168,8 @@ impl Layer for BatchNorm2d {
                     let k1 = g[ci] * cache.inv_std[ci] / m;
                     for k in 0..plane {
                         let idx = base + k;
-                        o[idx] = k1
-                            * (m * d[idx]
-                                - sum_d[ci] as f32
-                                - xh[idx] * sum_d_xhat[ci] as f32);
+                        o[idx] =
+                            k1 * (m * d[idx] - sum_d[ci] as f32 - xh[idx] * sum_d_xhat[ci] as f32);
                     }
                 }
             }
@@ -243,17 +239,13 @@ mod tests {
     #[test]
     fn gradient_check() {
         let mut bn = BatchNorm2d::new("bn", 2);
-        let x = Tensor::from_vec(
-            (0..16).map(|i| (i as f32 * 0.37).sin()).collect(),
-            &[2, 2, 2, 2],
-        );
+        let x = Tensor::from_vec((0..16).map(|i| (i as f32 * 0.37).sin()).collect(), &[2, 2, 2, 2]);
         let y = bn.forward(x.clone(), true);
         // Weighted-sum loss so the gradient is not trivially zero
         // (a plain sum-loss has zero input-gradient through normalization).
         let wts: Vec<f32> = (0..16).map(|i| ((i * 7 % 5) as f32) - 2.0).collect();
-        let loss = |t: &Tensor| -> f64 {
-            t.data().iter().zip(&wts).map(|(&v, &w)| (v * w) as f64).sum()
-        };
+        let loss =
+            |t: &Tensor| -> f64 { t.data().iter().zip(&wts).map(|(&v, &w)| (v * w) as f64).sum() };
         let _ = loss(&y);
         let dout = Tensor::from_vec(wts.clone(), &[2, 2, 2, 2]);
         let dx = bn.backward(dout);

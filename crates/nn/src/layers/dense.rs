@@ -2,7 +2,7 @@
 
 use super::{Layer, ParamRefMut};
 use sefi_rng::DetRng;
-use sefi_tensor::{matmul, matmul_a_bt, matmul_at_b, he_normal, Tensor};
+use sefi_tensor::{he_normal, matmul, matmul_a_bt, matmul_at_b, Tensor};
 
 /// A dense layer `y = x·Wᵀ + b` with `W: [out, in]`, matching the row-major
 /// weight convention of PyTorch's `nn.Linear` (the frontends translate to

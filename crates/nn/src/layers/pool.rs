@@ -52,7 +52,11 @@ pub struct AvgPool2d {
 impl AvgPool2d {
     /// Window `size`, step `stride`.
     pub fn new(name: &str, size: usize, stride: usize) -> Self {
-        AvgPool2d { name: name.to_string(), spec: PoolSpec { size, stride }, input_shape: Vec::new() }
+        AvgPool2d {
+            name: name.to_string(),
+            spec: PoolSpec { size, stride },
+            input_shape: Vec::new(),
+        }
     }
 }
 

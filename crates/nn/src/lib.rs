@@ -23,8 +23,8 @@ mod statedict;
 mod train;
 
 pub use layers::{
-    AvgPool2d, BatchNorm2d, Conv2d, Dense, Flatten, Layer, MaxPool2d, ParamRefMut, ReLU,
-    Residual, StateRefMut,
+    AvgPool2d, BatchNorm2d, Conv2d, Dense, Flatten, Layer, MaxPool2d, ParamRefMut, ReLU, Residual,
+    StateRefMut,
 };
 pub use loss::softmax_cross_entropy;
 pub use network::Network;

@@ -62,8 +62,7 @@ mod tests {
 
     #[test]
     fn gradient_matches_numeric() {
-        let logits =
-            Tensor::from_vec(vec![0.3, -0.7, 1.1, 0.2, 0.9, -1.0], &[2, 3]);
+        let logits = Tensor::from_vec(vec![0.3, -0.7, 1.1, 0.2, 0.9, -1.0], &[2, 3]);
         let labels = [2u8, 0];
         let (_, grad) = softmax_cross_entropy(&logits, &labels);
         let eps = 1e-3f32;

@@ -17,7 +17,11 @@ impl Network {
     pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
         let mut names = std::collections::HashSet::new();
         for l in &layers {
-            assert!(names.insert(l.layer_name().to_string()), "duplicate layer name {:?}", l.layer_name());
+            assert!(
+                names.insert(l.layer_name().to_string()),
+                "duplicate layer name {:?}",
+                l.layer_name()
+            );
         }
         Network { layers }
     }
@@ -208,11 +212,7 @@ mod tests {
             let full = net.state_dict();
             let mut bad = StateDict::new();
             for e in full.entries() {
-                let t = if e.path == "conv1/b" {
-                    Tensor::zeros(&[5])
-                } else {
-                    e.tensor.clone()
-                };
+                let t = if e.path == "conv1/b" { Tensor::zeros(&[5]) } else { e.tensor.clone() };
                 bad.push(e.path.clone(), t, e.trainable);
             }
             bad
@@ -231,9 +231,6 @@ mod tests {
     #[should_panic(expected = "duplicate layer name")]
     fn duplicate_layer_names_rejected() {
         let mut rng = DetRng::new(1);
-        Network::new(vec![
-            Box::new(ReLU::new("x")),
-            Box::new(Dense::new("x", 2, 2, &mut rng)),
-        ]);
+        Network::new(vec![Box::new(ReLU::new("x")), Box::new(Dense::new("x", 2, 2, &mut rng))]);
     }
 }

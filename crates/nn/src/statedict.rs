@@ -34,10 +34,7 @@ impl StateDict {
 
     /// Append an entry (paths must be unique).
     pub fn push(&mut self, path: String, tensor: Tensor, trainable: bool) {
-        assert!(
-            !self.entries.iter().any(|e| e.path == path),
-            "duplicate state-dict path {path:?}"
-        );
+        assert!(!self.entries.iter().any(|e| e.path == path), "duplicate state-dict path {path:?}");
         self.entries.push(NamedTensor { path, tensor, trainable });
     }
 

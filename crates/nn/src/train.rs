@@ -176,9 +176,9 @@ impl Trainer {
 
     fn weights_have_nev(&self, net: &mut Network) -> bool {
         let sd = net.state_dict();
-        sd.entries()
-            .iter()
-            .any(|e| e.tensor.data().iter().any(|&v| self.config.nev.classify_f64(v as f64).is_some()))
+        sd.entries().iter().any(|e| {
+            e.tensor.data().iter().any(|&v| self.config.nev.classify_f64(v as f64).is_some())
+        })
     }
 }
 

@@ -227,10 +227,7 @@ mod tests {
         }
         let expected = trials as f64 / n as f64;
         for (i, &c) in counts.iter().enumerate() {
-            assert!(
-                (c as f64 - expected).abs() < expected * 0.1,
-                "bucket {i}: {c} vs {expected}"
-            );
+            assert!((c as f64 - expected).abs() < expected * 0.1, "bucket {i}: {c} vs {expected}");
         }
     }
 
@@ -266,7 +263,7 @@ mod tests {
     fn permutation_is_a_permutation() {
         let mut r = DetRng::new(17);
         let p = r.permutation(100);
-        let mut seen = vec![false; 100];
+        let mut seen = [false; 100];
         for &i in &p {
             assert!(!seen[i]);
             seen[i] = true;

@@ -15,7 +15,9 @@ impl SplitMix64 {
         SplitMix64 { state: seed }
     }
 
-    /// Next 64-bit output.
+    /// Next 64-bit output. Named after the reference implementation's
+    /// `next()`; this is a generator step, not an `Iterator`.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.state;

@@ -35,9 +35,7 @@ impl Xoshiro256StarStar {
 
     /// A fingerprint of the current state, used for substream derivation.
     pub fn state_fingerprint(&self) -> u64 {
-        self.s[0]
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(self.s[1].rotate_left(17))
+        self.s[0].wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(self.s[1].rotate_left(17))
             ^ self.s[2].rotate_left(31)
             ^ self.s[3]
     }
@@ -66,8 +64,7 @@ mod tests {
         // xoshiro256** with state {1,2,3,4}: first outputs from the
         // reference C implementation.
         let mut g = Xoshiro256StarStar::from_state([1, 2, 3, 4]);
-        let expected: [u64; 5] =
-            [11520, 0, 1509978240, 1215971899390074240, 1216172134540287360];
+        let expected: [u64; 5] = [11520, 0, 1509978240, 1215971899390074240, 1216172134540287360];
         for &e in &expected {
             assert_eq!(g.next_u64(), e);
         }

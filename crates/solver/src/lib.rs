@@ -101,8 +101,7 @@ impl HeatSolver {
                     continue;
                 }
                 let v = 0.25
-                    * (self.grid[i - 1] + self.grid[i + 1] + self.grid[i - w]
-                        + self.grid[i + w]);
+                    * (self.grid[i - 1] + self.grid[i + 1] + self.grid[i - w] + self.grid[i + w]);
                 residual = residual.max((v - self.grid[i]).abs());
                 next[i] = v;
             }
@@ -131,11 +130,7 @@ impl HeatSolver {
 
     /// Maximum absolute difference from another solver's field.
     pub fn max_diff(&self, other: &HeatSolver) -> f64 {
-        self.grid
-            .iter()
-            .zip(&other.grid)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max)
+        self.grid.iter().zip(&other.grid).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
     }
 
     /// Checkpoint the full solver state into the same container format the
@@ -192,9 +187,7 @@ impl HeatSolver {
             return Err("fixed mask size mismatch".to_string());
         }
         self.grid = grid.to_f64_vec();
-        self.fixed = (0..mask.len())
-            .map(|i| mask.get_i64(i).expect("in bounds") != 0)
-            .collect();
+        self.fixed = (0..mask.len()).map(|i| mask.get_i64(i).expect("in bounds") != 0).collect();
         self.iteration = file
             .dataset("solver/iteration")
             .and_then(|d| d.get_i64(0))
@@ -223,8 +216,7 @@ mod tests {
         for y in 1..15 {
             for x in 1..15 {
                 let i = y * w + x;
-                let avg = 0.25
-                    * (s.grid[i - 1] + s.grid[i + 1] + s.grid[i - w] + s.grid[i + w]);
+                let avg = 0.25 * (s.grid[i - 1] + s.grid[i + 1] + s.grid[i - w] + s.grid[i + w]);
                 assert!((s.grid[i] - avg).abs() < 1e-6);
             }
         }
@@ -300,10 +292,7 @@ mod tests {
         s.run(1e-9, 20_000, &NevPolicy::default());
         let mut ck = s.checkpoint();
         let mut cfg = CorrupterConfig::bit_flips_full_range(50, Precision::Fp64, 3);
-        cfg.mode = sefi_core::CorruptionMode::BitRange(BitRange {
-            first_bit: 62,
-            last_bit: 62,
-        });
+        cfg.mode = sefi_core::CorruptionMode::BitRange(BitRange { first_bit: 62, last_bit: 62 });
         cfg.locations = LocationSelection::Listed(vec!["solver/grid".to_string()]);
         Corrupter::new(cfg).unwrap().corrupt(&mut ck).unwrap();
         let mut victim = HeatSolver::new(16, 16, [1.5, 0.5, 1.0, 0.25]);

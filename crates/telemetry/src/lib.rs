@@ -1,0 +1,620 @@
+//! Campaign observability: a JSONL event sink, an in-memory trial
+//! aggregator, and the crash-safe results manifest that makes campaigns
+//! resumable.
+//!
+//! The experiment runner emits one [`Event`] per campaign/phase/trial
+//! boundary into a [`JsonlSink`] (one JSON object per line, flushed per
+//! event so a crash loses at most the line being written), feeds the same
+//! per-trial facts into an [`Aggregator`] for the end-of-campaign summary,
+//! and appends one [`TrialRecord`] per completed trial to a [`Manifest`].
+//! On a rerun the manifest is loaded first and any trial whose
+//! `combo_seed` (plus config digest) is already present is served from the
+//! recorded [`TrialOutcome`] instead of being re-executed — so a campaign
+//! killed halfway resumes where it stopped and reproduces byte-identical
+//! final tables.
+
+#![deny(missing_docs)]
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use std::io::{self, BufRead, Write};
+use std::path::{Path, PathBuf};
+
+/// A named scalar carried by a trial outcome, for experiment-specific
+/// numbers that have no dedicated field (guard repair counts, propagation
+/// summaries, ...).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Metric {
+    /// Metric name, unique within one outcome.
+    pub name: String,
+    /// The value.
+    pub value: f64,
+}
+
+/// Everything a single trial produced, captured losslessly enough that an
+/// experiment can rebuild its table cell from recorded outcomes alone.
+///
+/// Floats round-trip exactly through the JSONL manifest (shortest-
+/// round-trip formatting), which is what makes resumed campaigns emit
+/// byte-identical tables. Never store non-finite values: JSON has no
+/// representation for them, so derive them at table-build time instead
+/// (e.g. the RWC deviation of a collapsed trial).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrialOutcome {
+    /// Coarse outcome class, e.g. `"ok"` or `"collapsed"`; feeds the
+    /// aggregator's histogram.
+    pub status: String,
+    /// The trial's boolean verdict — training collapse for resume
+    /// experiments, N-EV-in-weights for inference experiments.
+    pub collapsed: bool,
+    /// Final (or sole) accuracy, when the experiment measures one.
+    pub final_accuracy: Option<f64>,
+    /// Per-epoch accuracy curve, when the experiment records one.
+    pub curve: Vec<f64>,
+    /// Experiment-specific named scalars.
+    pub metrics: Vec<Metric>,
+    /// Injections that changed a value (from `InjectionReport`).
+    pub injections: u64,
+    /// Redrawn injection attempts (NaN avoidance / integer overflow).
+    pub nan_redraws: u64,
+    /// Attempts skipped by the probability gate.
+    pub skipped: u64,
+    /// Opaque experiment payload (e.g. an injection log as JSON) carried
+    /// by trials that later experiments replay.
+    pub payload: Option<String>,
+}
+
+impl TrialOutcome {
+    /// A successful trial with no measurements attached yet.
+    pub fn ok() -> Self {
+        TrialOutcome {
+            status: "ok".to_string(),
+            collapsed: false,
+            final_accuracy: None,
+            curve: Vec::new(),
+            metrics: Vec::new(),
+            injections: 0,
+            nan_redraws: 0,
+            skipped: 0,
+            payload: None,
+        }
+    }
+
+    /// Record the trial's boolean verdict; a `true` verdict also flips the
+    /// status to `"collapsed"` so the histogram separates the two classes.
+    pub fn with_collapsed(mut self, collapsed: bool) -> Self {
+        self.collapsed = collapsed;
+        if collapsed {
+            self.status = "collapsed".to_string();
+        }
+        self
+    }
+
+    /// Record a final accuracy. Panics on non-finite values: they cannot
+    /// survive the JSON round-trip, so the caller must derive them later.
+    pub fn with_accuracy(mut self, accuracy: f64) -> Self {
+        assert!(accuracy.is_finite(), "manifest outcomes must stay finite");
+        self.final_accuracy = Some(accuracy);
+        self
+    }
+
+    /// Record a per-epoch curve (finite values only).
+    pub fn with_curve(mut self, curve: Vec<f64>) -> Self {
+        assert!(curve.iter().all(|v| v.is_finite()), "manifest outcomes must stay finite");
+        self.curve = curve;
+        self
+    }
+
+    /// Attach a named scalar.
+    pub fn with_metric(mut self, name: &str, value: f64) -> Self {
+        assert!(value.is_finite(), "manifest outcomes must stay finite");
+        self.metrics.push(Metric { name: name.to_string(), value });
+        self
+    }
+
+    /// Copy the per-trial counters out of an injection report.
+    pub fn with_counters(mut self, injections: u64, nan_redraws: u64, skipped: u64) -> Self {
+        self.injections = injections;
+        self.nan_redraws = nan_redraws;
+        self.skipped = skipped;
+        self
+    }
+
+    /// Attach an opaque payload.
+    pub fn with_payload(mut self, payload: String) -> Self {
+        self.payload = Some(payload);
+        self
+    }
+
+    /// Look up a named scalar.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics.iter().find(|m| m.name == name).map(|m| m.value)
+    }
+}
+
+/// One completed trial — a single line of `results/<experiment>/manifest.jsonl`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrialRecord {
+    /// Experiment the trial belongs to (manifest directory name).
+    pub experiment: String,
+    /// Cell label within the experiment — the `combo_seed` label.
+    pub cell: String,
+    /// Framework id.
+    pub framework: String,
+    /// Model id.
+    pub model: String,
+    /// Trial index within the cell.
+    pub trial: u64,
+    /// The trial's `combo_seed` — the resume key.
+    pub seed: u64,
+    /// Digest of the campaign configuration the trial ran under; records
+    /// from a different configuration are ignored on resume.
+    pub config_digest: String,
+    /// Wall-clock duration of the trial.
+    pub duration_ns: u64,
+    /// What the trial produced.
+    pub outcome: TrialOutcome,
+}
+
+/// A telemetry event — one JSONL line in the campaign's event stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// A campaign began.
+    CampaignStart {
+        /// Campaign name.
+        campaign: String,
+        /// Budget name in force.
+        budget: String,
+        /// Digest of the campaign configuration.
+        config_digest: String,
+    },
+    /// A campaign finished.
+    CampaignEnd {
+        /// Campaign name.
+        campaign: String,
+        /// Trials executed this run.
+        trials_run: u64,
+        /// Trials served from the manifest.
+        trials_cached: u64,
+        /// Campaign wall-clock duration.
+        duration_ns: u64,
+    },
+    /// A named phase (table/figure) began.
+    PhaseStart {
+        /// Phase name.
+        phase: String,
+    },
+    /// A named phase finished.
+    PhaseEnd {
+        /// Phase name.
+        phase: String,
+        /// Phase wall-clock duration.
+        duration_ns: u64,
+    },
+    /// A trial is about to execute (not emitted for manifest hits).
+    TrialStart {
+        /// Experiment name.
+        experiment: String,
+        /// Cell label.
+        cell: String,
+        /// Trial index.
+        trial: u64,
+        /// The trial's `combo_seed`.
+        seed: u64,
+    },
+    /// A trial completed (or was served from the manifest, `cached: true`).
+    TrialEnd {
+        /// Experiment name.
+        experiment: String,
+        /// Cell label.
+        cell: String,
+        /// Trial index.
+        trial: u64,
+        /// The trial's `combo_seed`.
+        seed: u64,
+        /// Outcome status.
+        status: String,
+        /// Trial duration (recorded duration for manifest hits).
+        duration_ns: u64,
+        /// Injections that changed a value.
+        injections: u64,
+        /// Redrawn injection attempts.
+        nan_redraws: u64,
+        /// Probability-gate skips.
+        skipped: u64,
+        /// Whether the result came from the manifest.
+        cached: bool,
+    },
+}
+
+/// A line-buffered JSONL event sink. Each emit writes one line and
+/// flushes, so the stream is complete up to the last event even if the
+/// process dies. All writes go through one mutex; contention is trivial
+/// next to trial cost (see the `telemetry` benchmark).
+pub struct JsonlSink {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl JsonlSink {
+    /// Append to (creating if needed) a JSONL file, creating parent
+    /// directories.
+    pub fn to_file(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(JsonlSink::to_writer(Box::new(io::BufWriter::new(file))))
+    }
+
+    /// Wrap any writer (tests use a shared in-memory buffer).
+    pub fn to_writer(out: Box<dyn Write + Send>) -> Self {
+        JsonlSink { out: Mutex::new(out) }
+    }
+
+    /// Emit one event as one flushed JSONL line. I/O errors are reported
+    /// to stderr rather than propagated: telemetry must never abort a
+    /// campaign mid-trial.
+    pub fn emit(&self, event: &Event) {
+        let line = serde_json::to_string(event).expect("events always serialize");
+        let mut out = self.out.lock();
+        if writeln!(out, "{line}").and_then(|()| out.flush()).is_err() {
+            eprintln!("telemetry: failed to write event; continuing");
+        }
+    }
+}
+
+/// Per-experiment roll-up held by the aggregator.
+#[derive(Debug, Clone, Default)]
+pub struct ExperimentStats {
+    /// Trials executed this run.
+    pub run: u64,
+    /// Trials served from the manifest.
+    pub cached: u64,
+    /// Outcome status histogram.
+    pub outcomes: BTreeMap<String, u64>,
+    latencies_ns: Vec<u64>,
+}
+
+impl ExperimentStats {
+    /// Nearest-rank percentile of executed-trial latency, in nanoseconds.
+    pub fn latency_percentile_ns(&self, p: f64) -> u64 {
+        if self.latencies_ns.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.latencies_ns.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+}
+
+/// In-memory aggregation of trial results, rendered once at campaign end:
+/// per-experiment trial counts, an outcome histogram, and p50/p95 trial
+/// latency.
+#[derive(Default)]
+pub struct Aggregator {
+    stats: Mutex<BTreeMap<String, ExperimentStats>>,
+}
+
+impl Aggregator {
+    /// A fresh, empty aggregator.
+    pub fn new() -> Self {
+        Aggregator::default()
+    }
+
+    /// Fold in one trial.
+    pub fn record(&self, experiment: &str, status: &str, duration_ns: u64, cached: bool) {
+        let mut stats = self.stats.lock();
+        let e = stats.entry(experiment.to_string()).or_default();
+        *e.outcomes.entry(status.to_string()).or_insert(0) += 1;
+        if cached {
+            e.cached += 1;
+        } else {
+            e.run += 1;
+            e.latencies_ns.push(duration_ns);
+        }
+    }
+
+    /// `(run, cached)` totals across all experiments.
+    pub fn totals(&self) -> (u64, u64) {
+        let stats = self.stats.lock();
+        stats.values().fold((0, 0), |(r, c), e| (r + e.run, c + e.cached))
+    }
+
+    /// The end-of-campaign summary table.
+    pub fn render(&self) -> String {
+        let stats = self.stats.lock();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<12} {:>5} {:>7} {:>10} {:>10}  outcomes\n",
+            "experiment", "run", "cached", "p50", "p95"
+        ));
+        for (name, e) in stats.iter() {
+            let outcomes: Vec<String> =
+                e.outcomes.iter().map(|(s, n)| format!("{s}:{n}")).collect();
+            out.push_str(&format!(
+                "{:<12} {:>5} {:>7} {:>10} {:>10}  {}\n",
+                name,
+                e.run,
+                e.cached,
+                fmt_ns(e.latency_percentile_ns(50.0)),
+                fmt_ns(e.latency_percentile_ns(95.0)),
+                outcomes.join(" ")
+            ));
+        }
+        out
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// FNV-1a digest of a configuration string, hex-encoded. Stable across
+/// runs, so manifest records can be checked against the configuration
+/// they were produced under.
+pub fn digest64(text: &str) -> String {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in text.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    format!("{h:016x}")
+}
+
+/// The append-only completed-trial store behind campaign resume.
+///
+/// One JSONL file per experiment (`results/<experiment>/manifest.jsonl`).
+/// Opening loads every parseable line into a seed-keyed map; a torn final
+/// line (the process died mid-write) is skipped, so the file never needs
+/// repair. Each completed trial is appended and flushed immediately.
+pub struct Manifest {
+    completed: Mutex<HashMap<u64, TrialRecord>>,
+    writer: Mutex<io::BufWriter<std::fs::File>>,
+    path: PathBuf,
+}
+
+impl Manifest {
+    /// Open (creating if needed) the manifest at `path`, loading all
+    /// previously completed trials.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut completed = HashMap::new();
+        if let Ok(file) = std::fs::File::open(&path) {
+            for line in io::BufReader::new(file).lines() {
+                let line = line?;
+                match serde_json::from_str::<TrialRecord>(&line) {
+                    Ok(rec) => {
+                        completed.insert(rec.seed, rec);
+                    }
+                    Err(_) => {
+                        // A torn write from a crashed run; that trial
+                        // simply re-executes.
+                    }
+                }
+            }
+        }
+        let file = std::fs::OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(Manifest {
+            completed: Mutex::new(completed),
+            writer: Mutex::new(io::BufWriter::new(file)),
+            path,
+        })
+    }
+
+    /// Where this manifest lives.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Completed trials on record.
+    pub fn completed_count(&self) -> usize {
+        self.completed.lock().len()
+    }
+
+    /// The recorded trial for `seed`, if it completed under the same
+    /// configuration.
+    pub fn lookup(&self, seed: u64, config_digest: &str) -> Option<TrialRecord> {
+        self.completed.lock().get(&seed).filter(|r| r.config_digest == config_digest).cloned()
+    }
+
+    /// Append one completed trial and flush it to disk.
+    pub fn record(&self, rec: TrialRecord) -> io::Result<()> {
+        let line = serde_json::to_string(&rec).expect("records always serialize");
+        {
+            let mut w = self.writer.lock();
+            writeln!(w, "{line}")?;
+            w.flush()?;
+        }
+        self.completed.lock().insert(rec.seed, rec);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+    struct TestDir(PathBuf);
+    impl TestDir {
+        fn new(tag: &str) -> Self {
+            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+            let path =
+                std::env::temp_dir().join(format!("sefi_tel_{tag}_{}_{n}", std::process::id()));
+            std::fs::create_dir_all(&path).expect("create test dir");
+            TestDir(path)
+        }
+        fn file(&self, name: &str) -> PathBuf {
+            self.0.join(name)
+        }
+    }
+    impl Drop for TestDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn outcome(acc: f64) -> TrialOutcome {
+        TrialOutcome::ok()
+            .with_accuracy(acc)
+            .with_curve(vec![0.25, acc])
+            .with_metric("repaired", 3.0)
+            .with_counters(10, 2, 1)
+    }
+
+    fn record(seed: u64, acc: f64) -> TrialRecord {
+        TrialRecord {
+            experiment: "nev".to_string(),
+            cell: "nev-64-10".to_string(),
+            framework: "chainer".to_string(),
+            model: "alexnet".to_string(),
+            trial: seed % 7,
+            seed,
+            config_digest: digest64("budget"),
+            duration_ns: 1234,
+            outcome: outcome(acc),
+        }
+    }
+
+    #[test]
+    fn trial_record_roundtrips_exactly_through_json() {
+        let rec = record(42, 0.671_234_567_890_123_4);
+        let json = serde_json::to_string(&rec).unwrap();
+        let back: TrialRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rec);
+        assert_eq!(back.outcome.final_accuracy, rec.outcome.final_accuracy);
+        assert_eq!(back.outcome.metric("repaired"), Some(3.0));
+    }
+
+    #[test]
+    fn manifest_persists_and_resumes_across_reopen() {
+        let dir = TestDir::new("manifest");
+        let path = dir.file("manifest.jsonl");
+        let digest = digest64("budget");
+        {
+            let m = Manifest::open(&path).unwrap();
+            m.record(record(1, 0.5)).unwrap();
+            m.record(record(2, 0.75)).unwrap();
+        }
+        let m = Manifest::open(&path).unwrap();
+        assert_eq!(m.completed_count(), 2);
+        let hit = m.lookup(1, &digest).unwrap();
+        assert_eq!(hit.outcome.final_accuracy, Some(0.5));
+        assert!(m.lookup(3, &digest).is_none());
+        // A record from a different configuration is not a hit.
+        assert!(m.lookup(1, &digest64("other")).is_none());
+        // Appending after reopen keeps earlier records.
+        m.record(record(3, 0.9)).unwrap();
+        let m2 = Manifest::open(&path).unwrap();
+        assert_eq!(m2.completed_count(), 3);
+    }
+
+    #[test]
+    fn manifest_tolerates_a_torn_final_line() {
+        let dir = TestDir::new("torn");
+        let path = dir.file("manifest.jsonl");
+        {
+            let m = Manifest::open(&path).unwrap();
+            m.record(record(7, 0.5)).unwrap();
+        }
+        // Simulate a crash mid-write of the next record.
+        let mut contents = std::fs::read_to_string(&path).unwrap();
+        contents.push_str("{\"experiment\":\"nev\",\"cell\":\"nev-6");
+        std::fs::write(&path, contents).unwrap();
+        let m = Manifest::open(&path).unwrap();
+        assert_eq!(m.completed_count(), 1);
+        assert!(m.lookup(7, &digest64("budget")).is_some());
+    }
+
+    #[test]
+    fn sink_emits_one_parseable_line_per_event() {
+        #[derive(Clone, Default)]
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.lock().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let buf = SharedBuf::default();
+        let sink = JsonlSink::to_writer(Box::new(buf.clone()));
+        sink.emit(&Event::PhaseStart { phase: "fig2".to_string() });
+        sink.emit(&Event::TrialEnd {
+            experiment: "fig2".to_string(),
+            cell: "fig2-sign only [63,63]".to_string(),
+            trial: 4,
+            seed: 99,
+            status: "ok".to_string(),
+            duration_ns: 5,
+            injections: 1000,
+            nan_redraws: 12,
+            skipped: 0,
+            cached: false,
+        });
+        let text = String::from_utf8(buf.0.lock().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let back: Event = serde_json::from_str(lines[1]).unwrap();
+        match back {
+            Event::TrialEnd { trial, seed, nan_redraws, cached, .. } => {
+                assert_eq!((trial, seed, nan_redraws, cached), (4, 99, 12, false));
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregator_histogram_and_percentiles() {
+        let agg = Aggregator::new();
+        for i in 1..=100u64 {
+            agg.record("nev", "ok", i * 1_000_000, false);
+        }
+        agg.record("nev", "collapsed", 1, true);
+        let (run, cached) = agg.totals();
+        assert_eq!((run, cached), (100, 1));
+        let stats = agg.stats.lock();
+        let e = &stats["nev"];
+        assert_eq!(e.outcomes["ok"], 100);
+        assert_eq!(e.outcomes["collapsed"], 1);
+        assert_eq!(e.latency_percentile_ns(50.0), 50_000_000);
+        assert_eq!(e.latency_percentile_ns(95.0), 95_000_000);
+        drop(stats);
+        let rendered = agg.render();
+        assert!(rendered.contains("nev"));
+        assert!(rendered.contains("ok:100"));
+        assert!(rendered.contains("50.00ms"));
+    }
+
+    #[test]
+    fn digests_are_stable_and_distinct() {
+        assert_eq!(digest64("smoke"), digest64("smoke"));
+        assert_ne!(digest64("smoke"), digest64("paper"));
+        assert_eq!(digest64("smoke").len(), 16);
+    }
+
+    #[test]
+    fn non_finite_outcomes_are_rejected() {
+        let r = std::panic::catch_unwind(|| TrialOutcome::ok().with_accuracy(f64::INFINITY));
+        assert!(r.is_err());
+    }
+}

@@ -61,8 +61,7 @@ pub fn im2col(x: &Tensor, kh: usize, kw: usize, spec: ConvSpec) -> Tensor {
                             if ix < 0 || ix >= w as isize {
                                 continue;
                             }
-                            let src_idx =
-                                ((ni * c + ci) * h + iy as usize) * w + ix as usize;
+                            let src_idx = ((ni * c + ci) * h + iy as usize) * w + ix as usize;
                             let dst_idx = row + (ci * kh + ky) * kw + kx;
                             out[dst_idx] = src[src_idx];
                         }
@@ -106,8 +105,7 @@ pub fn col2im(
                             if ix < 0 || ix >= w as isize {
                                 continue;
                             }
-                            let dst_idx =
-                                ((ni * c + ci) * h + iy as usize) * w + ix as usize;
+                            let dst_idx = ((ni * c + ci) * h + iy as usize) * w + ix as usize;
                             out[dst_idx] += src[row + (ci * kh + ky) * kw + kx];
                         }
                     }
@@ -159,12 +157,7 @@ pub struct Conv2dGrads {
 }
 
 /// Backward convolution given upstream gradient `dout [n,o,oh,ow]`.
-pub fn conv2d_backward(
-    x: &Tensor,
-    weight: &Tensor,
-    dout: &Tensor,
-    spec: ConvSpec,
-) -> Conv2dGrads {
+pub fn conv2d_backward(x: &Tensor, weight: &Tensor, dout: &Tensor, spec: ConvSpec) -> Conv2dGrads {
     let [n, c, h, w] = dims4(x);
     let [o, _c2, kh, kw] = dims4(weight);
     let oh = spec.out_extent(h, kh);
@@ -225,8 +218,7 @@ pub fn maxpool2d(x: &Tensor, spec: PoolSpec) -> (Tensor, Vec<usize>) {
                     let mut best = src[best_idx];
                     for ky in 0..spec.size {
                         for kx in 0..spec.size {
-                            let idx =
-                                base + (oy * spec.stride + ky) * w + (ox * spec.stride + kx);
+                            let idx = base + (oy * spec.stride + ky) * w + (ox * spec.stride + kx);
                             if src[idx] > best {
                                 best = src[idx];
                                 best_idx = idx;
@@ -272,8 +264,8 @@ pub fn avgpool2d(x: &Tensor, spec: PoolSpec) -> Tensor {
                     let mut acc = 0.0f32;
                     for ky in 0..spec.size {
                         for kx in 0..spec.size {
-                            acc += src
-                                [base + (oy * spec.stride + ky) * w + (ox * spec.stride + kx)];
+                            acc +=
+                                src[base + (oy * spec.stride + ky) * w + (ox * spec.stride + kx)];
                         }
                     }
                     out[((ni * c + ci) * oh + oy) * ow + ox] = acc * norm;
@@ -309,12 +301,9 @@ mod tests {
                         for ci in 0..c {
                             for ky in 0..kh {
                                 for kx in 0..kw {
-                                    let iy =
-                                        (oy * spec.stride + ky) as isize - spec.pad as isize;
-                                    let ix =
-                                        (ox * spec.stride + kx) as isize - spec.pad as isize;
-                                    if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize
-                                    {
+                                    let iy = (oy * spec.stride + ky) as isize - spec.pad as isize;
+                                    let ix = (ox * spec.stride + kx) as isize - spec.pad as isize;
+                                    if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
                                         continue;
                                     }
                                     acc += x.at(&[ni, ci, iy as usize, ix as usize])
@@ -332,10 +321,7 @@ mod tests {
 
     fn seq_tensor(shape: &[usize]) -> Tensor {
         let n: usize = shape.iter().product();
-        Tensor::from_vec(
-            (0..n).map(|i| ((i * 37 % 23) as f32 - 11.0) / 7.0).collect(),
-            shape,
-        )
+        Tensor::from_vec((0..n).map(|i| ((i * 37 % 23) as f32 - 11.0) / 7.0).collect(), shape)
     }
 
     fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {

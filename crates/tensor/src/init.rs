@@ -46,8 +46,7 @@ mod tests {
         let fan_in = 128;
         let t = he_normal(&[100_000], fan_in, &mut rng);
         let mean = t.mean();
-        let var = t.data().iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>()
-            / t.len() as f64;
+        let var = t.data().iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / t.len() as f64;
         let want = 2.0 / fan_in as f64;
         assert!(mean.abs() < 0.01);
         assert!((var - want).abs() < want * 0.05, "var {var} want {want}");

@@ -16,7 +16,10 @@ mod init;
 mod linalg;
 mod tensor;
 
-pub use conv::{avgpool2d, col2im, conv2d, conv2d_backward, im2col, maxpool2d, maxpool2d_backward, Conv2dGrads, ConvSpec, PoolSpec};
+pub use conv::{
+    avgpool2d, col2im, conv2d, conv2d_backward, im2col, maxpool2d, maxpool2d_backward, Conv2dGrads,
+    ConvSpec, PoolSpec,
+};
 pub use init::{he_normal, xavier_uniform};
-pub use linalg::{matmul, matmul_at_b, matmul_a_bt, transpose2d};
+pub use linalg::{matmul, matmul_a_bt, matmul_at_b, transpose2d};
 pub use tensor::Tensor;

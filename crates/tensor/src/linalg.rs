@@ -158,7 +158,8 @@ mod tests {
         // Crosses the parallel threshold; re-running must give bit-equal
         // results (fixed accumulation order per element).
         let n = 80;
-        let data: Vec<f32> = (0..n * n).map(|i| ((i * 2654435761usize) % 1000) as f32 / 997.0).collect();
+        let data: Vec<f32> =
+            (0..n * n).map(|i| ((i * 2654435761usize) % 1000) as f32 / 997.0).collect();
         let a = Tensor::from_vec(data.clone(), &[n, n]);
         let b = Tensor::from_vec(data, &[n, n]);
         let c1 = matmul(&a, &b);

@@ -165,8 +165,7 @@ impl Tensor {
 impl fmt::Debug for Tensor {
     /// Keep Debug small: shape plus an element preview, not megabytes of floats.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let preview: Vec<String> =
-            self.data.iter().take(8).map(|v| format!("{v:.4}")).collect();
+        let preview: Vec<String> = self.data.iter().take(8).map(|v| format!("{v:.4}")).collect();
         write!(
             f,
             "Tensor{:?} [{}{}]",

@@ -8,13 +8,11 @@ use sefi_tensor::{
 
 fn tensor(shape: Vec<usize>) -> impl Strategy<Value = Tensor> {
     let n: usize = shape.iter().product();
-    prop::collection::vec(-10.0f32..10.0, n)
-        .prop_map(move |data| Tensor::from_vec(data, &shape))
+    prop::collection::vec(-10.0f32..10.0, n).prop_map(move |data| Tensor::from_vec(data, &shape))
 }
 
 fn close(a: &Tensor, b: &Tensor, tol: f32) -> bool {
-    a.shape() == b.shape()
-        && a.data().iter().zip(b.data()).all(|(&x, &y)| (x - y).abs() <= tol)
+    a.shape() == b.shape() && a.data().iter().zip(b.data()).all(|(&x, &y)| (x - y).abs() <= tol)
 }
 
 proptest! {

@@ -14,7 +14,7 @@ use sefi_float::{classify, flip_bit, FloatClass, FpValue, Precision};
 fn main() {
     let value = 0.25f64;
     println!("anatomy of {value} (binary64):\n");
-    println!("{:>4}  {:<9} {:<24} {}", "bit", "field", "flipped value", "N-EV?");
+    println!("{:>4}  {:<9} {:<24} N-EV?", "bit", "field", "flipped value");
     let map = Precision::Fp64.field_map();
     for bit in (0..64).rev() {
         let flipped = f64::from_bits(flip_bit(value.to_bits(), bit));
@@ -44,12 +44,7 @@ fn main() {
     for p in [Precision::Fp32, Precision::Fp16] {
         let stored = FpValue::from_f64(p, value);
         let flipped = FpValue::from_bits(p, flip_bit(stored.to_bits(), p.exponent_msb()));
-        println!(
-            "  binary{}: bit {} -> {:e}",
-            p.width(),
-            p.exponent_msb(),
-            flipped.to_f64()
-        );
+        println!("  binary{}: bit {} -> {:e}", p.width(), p.exponent_msb(), flipped.to_f64());
     }
 
     println!("\nfield layout per precision (paper Figure 2):");

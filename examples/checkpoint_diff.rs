@@ -45,9 +45,7 @@ fn main() {
     // Branch B: corrupt the first layer, then continue identically.
     let mut corrupted_ck = ancestor.clone();
     let mut cfg = CorrupterConfig::bit_flips(200, Precision::Fp64, 4);
-    cfg.locations = LocationSelection::Listed(
-        session().layer_locations(LayerRole::First),
-    );
+    cfg.locations = LocationSelection::Listed(session().layer_locations(LayerRole::First));
     Corrupter::new(cfg).unwrap().corrupt(&mut corrupted_ck).unwrap();
     let mut dirty = session();
     dirty.restore(&corrupted_ck).unwrap();

@@ -12,7 +12,9 @@
 //!
 //! With no flags it runs a sensible default and prints the report.
 
-use sefi_core::{corrupt_file, CorrupterConfig, CorruptionMode, InjectionAmount, LocationSelection};
+use sefi_core::{
+    corrupt_file, CorrupterConfig, CorruptionMode, InjectionAmount, LocationSelection,
+};
 use sefi_float::{BitMask, BitRange, Precision};
 use sefi_hdf5::{Dataset, Dtype, H5File};
 
@@ -23,8 +25,7 @@ fn demo_checkpoint(path: &std::path::Path) {
         .unwrap();
     f.create_dataset("model/dense1/b", Dataset::from_f32(&[0.01; 16], &[16], Dtype::F64).unwrap())
         .unwrap();
-    f.create_dataset("model/dense2/W", Dataset::from_f32(&w, &[256], Dtype::F64).unwrap())
-        .unwrap();
+    f.create_dataset("model/dense2/W", Dataset::from_f32(&w, &[256], Dtype::F64).unwrap()).unwrap();
     f.create_dataset("meta/epoch", Dataset::scalar_i64(20)).unwrap();
     f.save(path).expect("write demo checkpoint");
 }

@@ -82,7 +82,11 @@ fn main() {
     let out = resumed.train_to(&data, 5);
     println!(
         "resumed from {} to accuracy {:.2}%",
-        if report.uncorrectable() > 0 { "the clean checkpoint (ECC raised the alarm)" } else { "the repaired checkpoint" },
+        if report.uncorrectable() > 0 {
+            "the clean checkpoint (ECC raised the alarm)"
+        } else {
+            "the repaired checkpoint"
+        },
         out.final_accuracy().unwrap_or(0.0) * 100.0
     );
 }

@@ -49,11 +49,7 @@ fn main() {
         .expect("valid config")
         .corrupt_with_log(&mut ck_chainer)
         .expect("corruption succeeds");
-    println!(
-        "logged {} injections; JSON log is {} bytes",
-        report.injections,
-        log.to_json().len()
-    );
+    println!("logged {} injections; JSON log is {} bytes", report.injections, log.to_json().len());
 
     // Replay on the other two frameworks at their equivalent locations.
     for fw in [FrameworkKind::PyTorch, FrameworkKind::TensorFlow] {

@@ -57,11 +57,7 @@ fn main() {
             let mut victim = Session::new(cfg.clone());
             victim.restore(&ck).expect("corrupted checkpoint loads");
             let (preds, nan_logits) = victim.predict(images.clone());
-            let correct = preds
-                .iter()
-                .zip(&labels)
-                .filter(|(p, &l)| **p == l as usize)
-                .count();
+            let correct = preds.iter().zip(&labels).filter(|(p, &l)| **p == l as usize).count();
             println!(
                 "{:<10} {:>10} {:>12} {:>13.1}% {:>12}",
                 format!("{} bit", precision.width()),

@@ -32,7 +32,11 @@ fn main() {
     let mut session = Session::new(cfg.clone());
     session.train_to(&data, 3);
     let checkpoint = session.checkpoint(Dtype::F64);
-    println!("checkpointed at epoch {} ({} datasets)", session.epoch(), checkpoint.dataset_paths().len());
+    println!(
+        "checkpointed at epoch {} ({} datasets)",
+        session.epoch(),
+        checkpoint.dataset_paths().len()
+    );
 
     // 2. Error-free baseline: resume the pristine checkpoint to epoch 6.
     let mut baseline = Session::new(cfg.clone());

@@ -1,0 +1,329 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the API subset its benches use: `criterion_group!` /
+//! `criterion_main!`, `Criterion::{bench_function, benchmark_group}`,
+//! groups with `sample_size` / `throughput` / `bench_with_input` / `finish`,
+//! and benchers with `iter` / `iter_batched`.
+//!
+//! Measurement is deliberately simple: a short warm-up sizes the iteration
+//! batch, then `sample_size` wall-clock samples are collected and the mean /
+//! min / max per-iteration times are printed (plus throughput when
+//! configured). There is no statistical outlier analysis, HTML report, or
+//! baseline comparison. When invoked with `--test` (as `cargo test` does for
+//! bench targets) every benchmark body runs exactly once so the target
+//! doubles as a smoke test; any other non-flag CLI argument filters
+//! benchmark IDs by substring, mirroring `cargo bench <filter>`.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark identifier: `group/function` or `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter rendered after a slash.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{function}/{parameter}") }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Units for reporting a rate alongside per-iteration time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup; the shim treats all variants the
+/// same (setup runs untimed before every routine call).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Fresh input for every single call.
+    PerIteration,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    smoke: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut smoke = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => smoke = true,
+                // Flags cargo/libtest pass through that we can ignore.
+                a if a.starts_with('-') => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion { filter, smoke, sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Run a single free-standing benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into().id;
+        run_one(&id, self.filter.as_deref(), self.smoke, self.sample_size, None, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: None, throughput: None }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of measurement samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Report a throughput rate for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into().id);
+        run_one(
+            &id,
+            self.criterion.filter.as_deref(),
+            self.criterion.smoke,
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.throughput,
+            &mut f,
+        );
+        self
+    }
+
+    /// Run one benchmark that borrows an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Close the group (formatting no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark body to time its routine.
+pub struct Bencher {
+    smoke: bool,
+    sample_size: usize,
+    /// (mean, min, max) nanoseconds per iteration, filled by `iter*`.
+    result: Option<(f64, f64, f64)>,
+}
+
+impl Bencher {
+    /// Time a routine.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.smoke {
+            std::hint::black_box(f());
+            return;
+        }
+        // Warm up and size the batch so one sample is >= ~5ms.
+        let warmup = Instant::now();
+        let mut warm_iters = 0u64;
+        while warmup.elapsed() < Duration::from_millis(20) {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warmup.elapsed().as_nanos() as f64 / warm_iters as f64;
+        let batch = ((5e6 / per_iter).ceil() as u64).max(1);
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        self.record(&samples);
+    }
+
+    /// Time a routine with untimed per-call setup.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        if self.smoke {
+            std::hint::black_box(routine(setup()));
+            return;
+        }
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            samples.push(t.elapsed().as_nanos() as f64);
+        }
+        self.record(&samples);
+    }
+
+    fn record(&mut self, samples: &[f64]) {
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        self.result = Some((mean, min, max));
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: &str,
+    filter: Option<&str>,
+    smoke: bool,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    if let Some(pat) = filter {
+        if !id.contains(pat) {
+            return;
+        }
+    }
+    let mut bencher = Bencher { smoke, sample_size, result: None };
+    f(&mut bencher);
+    if smoke {
+        println!("{id}: ok (smoke)");
+        return;
+    }
+    match bencher.result {
+        Some((mean, min, max)) => {
+            let rate = throughput.map(|t| match t {
+                Throughput::Elements(n) => format!("  {:.0} elem/s", n as f64 / (mean * 1e-9)),
+                Throughput::Bytes(n) => {
+                    format!("  {:.1} MiB/s", n as f64 / (mean * 1e-9) / (1024.0 * 1024.0))
+                }
+            });
+            println!(
+                "{id}: mean {}  [min {}, max {}]{}",
+                fmt_ns(mean),
+                fmt_ns(min),
+                fmt_ns(max),
+                rate.unwrap_or_default()
+            );
+        }
+        None => println!("{id}: no measurement recorded"),
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Bundle benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("encode", 8).id, "encode/8");
+        assert_eq!(BenchmarkId::from_parameter("1e-3").id, "1e-3");
+    }
+
+    #[test]
+    fn smoke_mode_runs_body_once() {
+        let mut c = Criterion { filter: None, smoke: true, sample_size: 10 };
+        let mut runs = 0;
+        c.bench_function("probe", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion { filter: Some("nope".into()), smoke: true, sample_size: 10 };
+        let mut runs = 0;
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("probe", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert_eq!(runs, 0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the API subset it uses: `into_par_iter()` on ranges and vectors,
+//! `par_chunks_mut` on slices, and the `map`/`enumerate`/`for_each`/`sum`/
+//! `collect` combinators. Work is fanned out over
+//! `std::thread::available_parallelism()` scoped threads with static
+//! chunking; ordering of results matches the sequential iteration order,
+//! exactly as rayon's indexed parallel iterators guarantee.
+//!
+//! `map` is eager (it runs the closure in parallel immediately), which is
+//! observationally equivalent for the pipeline shapes used in this repo
+//! (`map` directly followed by a terminal `sum`/`collect`). Nested
+//! parallelism executes sequentially inside a worker instead of spawning
+//! a second tier of threads.
+
+use std::cell::Cell;
+
+thread_local! {
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Run `f` over `items` on a scoped thread pool, preserving input order.
+fn execute<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let threads = threads.min(n.max(1));
+    if threads <= 1 || IN_WORKER.with(Cell::get) {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| {
+                s.spawn(move || {
+                    IN_WORKER.with(|w| w.set(true));
+                    c.into_iter().map(f).collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for h in handles {
+            match h.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
+    })
+}
+
+/// An eager "parallel iterator": a materialized, ordered batch of items.
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+impl<I: Send> ParIter<I> {
+    /// Apply `f` to every item in parallel, preserving order.
+    pub fn map<R: Send, F: Fn(I) -> R + Sync>(self, f: F) -> ParIter<R> {
+        ParIter { items: execute(self.items, f) }
+    }
+
+    /// Pair each item with its index.
+    pub fn enumerate(self) -> ParIter<(usize, I)> {
+        ParIter { items: self.items.into_iter().enumerate().collect() }
+    }
+
+    /// Run `f` on every item in parallel.
+    pub fn for_each<F: Fn(I) + Sync>(self, f: F) {
+        execute(self.items, f);
+    }
+
+    /// Sum the items.
+    pub fn sum<S: std::iter::Sum<I>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    /// Collect the items in order.
+    pub fn collect<C: FromIterator<I>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// Conversion into a [`ParIter`] (rayon's `IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+    /// Materialize the source as a parallel batch.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u64> {
+    type Item = u64;
+    fn into_par_iter(self) -> ParIter<u64> {
+        ParIter { items: self.collect() }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// Parallel mutable-chunk access on slices (rayon's `ParallelSliceMut`).
+pub trait ParallelSliceMut<T: Send> {
+    /// Split into mutable chunks of `chunk_size` (last may be shorter).
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        ParIter { items: self.chunks_mut(chunk_size).collect() }
+    }
+}
+
+/// Parallel shared-chunk access on slices (rayon's `ParallelSlice`).
+pub trait ParallelSlice<T: Sync> {
+    /// Split into shared chunks of `chunk_size` (last may be shorter).
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        ParIter { items: self.chunks(chunk_size).collect() }
+    }
+}
+
+/// The rayon prelude: the traits that put `into_par_iter` and
+/// `par_chunks_mut` in scope.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_sum_matches_sequential() {
+        let par: usize = (0..100usize).into_par_iter().map(|i| i * i).sum();
+        let seq: usize = (0..100usize).map(|i| i * i).sum();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..37usize).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(v, (1..38).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunks_mut_sees_every_element_once() {
+        let mut data = [0u32; 25];
+        data.par_chunks_mut(4).enumerate().for_each(|(i, chunk)| {
+            for v in chunk.iter_mut() {
+                *v += 1 + i as u32;
+            }
+        });
+        assert!(data.iter().all(|&v| v >= 1));
+        assert_eq!(data[0], 1);
+        assert_eq!(data[24], 7);
+    }
+
+    #[test]
+    fn nested_parallelism_does_not_deadlock() {
+        let total: usize = (0..8usize)
+            .into_par_iter()
+            .map(|_| (0..8usize).into_par_iter().map(|j| j).sum::<usize>())
+            .sum();
+        assert_eq!(total, 8 * 28);
+    }
+}

@@ -1,0 +1,398 @@
+//! Offline stand-in for the `serde_derive` crate.
+//!
+//! The build environment has no access to crates.io (so no `syn`/`quote`);
+//! these derives parse the item's raw [`TokenStream`] directly and emit the
+//! impls as formatted source strings. Supported item shapes — the ones this
+//! workspace uses — are named-field structs and enums whose variants are
+//! unit, newtype/tuple, or struct-like. Generics, tuple structs, and
+//! `#[serde(...)]` customization attributes are rejected with a
+//! `compile_error!` rather than silently mis-handled.
+//!
+//! The generated representation matches real serde's defaults so persisted
+//! JSON stays wire-compatible: structs become field-name maps in declaration
+//! order; enums are externally tagged (`"Variant"` for unit variants,
+//! `{"Variant": payload}` otherwise).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (content-tree flavor; see the `serde` shim).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derive `serde::Deserialize` (content-tree flavor; see the `serde` shim).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, generate: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => generate(&item).parse().unwrap_or_else(|e| {
+            compile_error(&format!("serde shim derive produced invalid code: {e}"))
+        }),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Item model + parsing
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    /// Named-field struct: field names in declaration order.
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    /// Tuple variant with this many fields (1 == newtype).
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&tokens, &mut i)?;
+    skip_visibility(&tokens, &mut i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("serde shim derive does not support generic type `{name}`"));
+    }
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => {
+            return Err(format!(
+                "serde shim derive supports only brace-bodied structs and enums (`{name}`)"
+            ))
+        }
+    };
+
+    let kind = match keyword.as_str() {
+        "struct" => Kind::Struct(parse_named_fields(body)?),
+        "enum" => Kind::Enum(parse_variants(body)?),
+        other => return Err(format!("expected `struct` or `enum`, found `{other}`")),
+    };
+    Ok(Item { name, kind })
+}
+
+/// Skip any `#[...]` attributes (doc comments included) starting at `*i`.
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) -> Result<(), String> {
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        match tokens.get(*i + 1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                if g.stream()
+                    .into_iter()
+                    .next()
+                    .is_some_and(|t| matches!(t, TokenTree::Ident(id) if id.to_string() == "serde"))
+                {
+                    return Err(
+                        "serde shim derive does not support #[serde(...)] attributes".to_string()
+                    );
+                }
+                *i += 2;
+            }
+            _ => return Err("malformed attribute".to_string()),
+        }
+    }
+    Ok(())
+}
+
+/// Skip `pub` / `pub(...)` starting at `*i`.
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Parse `name: Type, ...` named fields from a brace-group stream.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i)?;
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Advance past a type, stopping after the top-level `,` that ends the field
+/// (or at end of stream). Tracks `<`/`>` depth so commas inside generic
+/// arguments (e.g. `HashMap<String, f64>`) don't terminate early.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while *i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[*i] {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i)?;
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Struct(parse_named_fields(g.stream())?)
+            }
+            _ => Shape::Unit,
+        };
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            other => return Err(format!("expected `,` after variant `{name}`, found {other:?}")),
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+/// Count the fields of a tuple variant from its parenthesized stream.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_type(&tokens, &mut i); // advances past one type + trailing comma
+        count += 1;
+    }
+    count
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(String::from({f:?}), serde::Serialize::to_content(&self.{f}))"))
+                .collect();
+            format!("serde::Content::Map(vec![{}])", entries.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{vname} => serde::Content::Str(String::from({vname:?}))"
+                        ),
+                        Shape::Tuple(1) => format!(
+                            "{name}::{vname}(f0) => serde::Content::Map(vec![(String::from({vname:?}), serde::Serialize::to_content(f0))])"
+                        ),
+                        Shape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_content({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => serde::Content::Map(vec![(String::from({vname:?}), serde::Content::Seq(vec![{}]))])",
+                                binds.join(", "),
+                                elems.join(", ")
+                            )
+                        }
+                        Shape::Struct(fields) => {
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(String::from({f:?}), serde::Serialize::to_content({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {} }} => serde::Content::Map(vec![(String::from({vname:?}), serde::Content::Map(vec![{}]))])",
+                                fields.join(", "),
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(warnings, clippy::all)]\n\
+         impl serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> serde::Content {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: serde::field(map, {f:?}, {name:?})?"))
+                .collect();
+            format!(
+                "let map = c.as_map().ok_or_else(|| serde::DeError::expected(\"map\", {name:?}))?;\n\
+                 Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .map(|v| format!("{:?} => Ok({name}::{}),", v.name, v.name))
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    let full = format!("{name}::{vname}");
+                    match &v.shape {
+                        Shape::Unit => None,
+                        Shape::Tuple(1) => Some(format!(
+                            "{vname:?} => Ok({full}(serde::Deserialize::from_content(payload)?)),"
+                        )),
+                        Shape::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|k| format!("serde::Deserialize::from_content(&seq[{k}])?"))
+                                .collect();
+                            Some(format!(
+                                "{vname:?} => {{\n\
+                                     let seq = payload.as_seq().ok_or_else(|| serde::DeError::expected(\"sequence\", {full:?}))?;\n\
+                                     if seq.len() != {n} {{ return Err(serde::DeError::expected(\"{n}-element sequence\", {full:?})); }}\n\
+                                     Ok({full}({}))\n\
+                                 }}",
+                                elems.join(", ")
+                            ))
+                        }
+                        Shape::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("{f}: serde::field(m, {f:?}, {full:?})?"))
+                                .collect();
+                            Some(format!(
+                                "{vname:?} => {{\n\
+                                     let m = payload.as_map().ok_or_else(|| serde::DeError::expected(\"map\", {full:?}))?;\n\
+                                     Ok({full} {{ {} }})\n\
+                                 }}",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            let payload_binding = if payload_arms.is_empty() { "_payload" } else { "payload" };
+            format!(
+                "match c {{\n\
+                     serde::Content::Str(s) => match s.as_str() {{\n\
+                         {unit}\n\
+                         other => Err(serde::DeError::msg(format!(\"unknown variant `{{}}` for {name}\", other))),\n\
+                     }},\n\
+                     serde::Content::Map(entries) if entries.len() == 1 => {{\n\
+                         let (tag, {payload_binding}) = &entries[0];\n\
+                         match tag.as_str() {{\n\
+                             {payload}\n\
+                             other => Err(serde::DeError::msg(format!(\"unknown variant `{{}}` for {name}\", other))),\n\
+                         }}\n\
+                     }}\n\
+                     other => Err(serde::DeError::expected(\"externally tagged variant\", other.kind())),\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                payload = payload_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(warnings, clippy::all)]\n\
+         impl serde::Deserialize for {name} {{\n\
+             fn from_content(c: &serde::Content) -> Result<Self, serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}

@@ -133,14 +133,13 @@ fn chainer_flat_npz_style_checkpoints_work_end_to_end() {
     // Round-trip through the flat format (attributes are documented-lossy,
     // so re-stamp the framework attr the loader checks).
     let bytes = flat::to_flat_bytes(&ck);
-    let mut reloaded = sefi_hdf5::H5File::from_bytes(&sefi_hdf5::H5File::from_bytes(&ck.to_bytes()).unwrap().to_bytes()).unwrap();
+    let mut reloaded = sefi_hdf5::H5File::from_bytes(
+        &sefi_hdf5::H5File::from_bytes(&ck.to_bytes()).unwrap().to_bytes(),
+    )
+    .unwrap();
     let mut via_flat = flat::from_flat_bytes(&bytes).unwrap();
-    via_flat
-        .root_mut()
-        .set_attr("framework", sefi_hdf5::Attr::Str("chainer".into()));
-    reloaded
-        .root_mut()
-        .set_attr("framework", sefi_hdf5::Attr::Str("chainer".into()));
+    via_flat.root_mut().set_attr("framework", sefi_hdf5::Attr::Str("chainer".into()));
+    reloaded.root_mut().set_attr("framework", sefi_hdf5::Attr::Str("chainer".into()));
 
     // Same corruption on both representations gives the same weights.
     let cfg = CorrupterConfig::bit_flips(15, Precision::Fp64, 21);

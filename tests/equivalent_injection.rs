@@ -62,10 +62,7 @@ fn equivalent_injection_full_cycle() {
         let mut victim = session(fw);
         victim.train_to(&d, 1);
         let mut vck = victim.checkpoint(Dtype::F64);
-        let replayed = log
-            .remap_locations(&first_layer_map(fw))
-            .replay(&mut vck, 1)
-            .unwrap();
+        let replayed = log.remap_locations(&first_layer_map(fw)).replay(&mut vck, 1).unwrap();
 
         // Equivalent means: same count, same order, same bit positions.
         assert_eq!(replayed.injections, 30, "{fw:?}");

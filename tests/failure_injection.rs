@@ -32,10 +32,7 @@ fn accidental_file_damage_is_detected_not_loaded() {
     for pos in [16usize, 100, bytes.len() / 2, bytes.len() - 1] {
         let mut damaged = bytes.clone();
         damaged[pos] ^= 0x40;
-        assert!(
-            H5File::from_bytes(&damaged).is_err(),
-            "byte {pos} flip was accepted"
-        );
+        assert!(H5File::from_bytes(&damaged).is_err(), "byte {pos} flip was accepted");
     }
 }
 
