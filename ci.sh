@@ -13,4 +13,27 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test --workspace -q
 
+echo "== smoke campaign: fault isolation =="
+# A deliberately failing trial (injected via the test-only SEFI_FAIL_TRIAL
+# hook) must not kill the campaign: every other trial completes, the failure
+# lands in the manifest and telemetry with its panic message, a plain re-run
+# serves it from the manifest, and --retry-failed re-executes it cleanly.
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+SEFI_FAIL_TRIAL='fig2:fig2-sign only [63,63]:0' \
+  cargo run -q --release -p sefi-experiments --bin fig2_bit_ranges -- \
+  --budget smoke --results-dir "$smoke_dir" > "$smoke_dir/run1.log"
+grep -q '"status":"failed"' "$smoke_dir/fig2/manifest.jsonl"
+grep -q 'injected test failure' "$smoke_dir/fig2/manifest.jsonl"
+grep -q 'TrialFailed' "$smoke_dir/telemetry.jsonl"
+grep -q 'failed:1' "$smoke_dir/run1.log"
+# Resume without retrying: nothing re-executes, the failure is served.
+cargo run -q --release -p sefi-experiments --bin fig2_bit_ranges -- \
+  --budget smoke --results-dir "$smoke_dir" > "$smoke_dir/run2.log"
+grep -Eq 'fig2 +0 +32 +1' "$smoke_dir/run2.log"
+# Retry with the fault hook unset: exactly the failed trial re-runs, cleanly.
+cargo run -q --release -p sefi-experiments --bin fig2_bit_ranges -- \
+  --budget smoke --results-dir "$smoke_dir" --retry-failed > "$smoke_dir/run3.log"
+grep -Eq 'fig2 +1 +31 +0' "$smoke_dir/run3.log"
+
 echo "== CI green =="

@@ -13,9 +13,8 @@ use sefi_models::ModelKind;
 fn main() {
     let budget = budget_from_args();
     println!("=== full experimental campaign, budget: {} ===\n", budget.name);
-    let pre = Prebaked::with_campaign(budget, CampaignConfig::new("all-experiments"))
+    let pre = Prebaked::with_campaign(budget, campaign_config_from_args("all-experiments"))
         .expect("results directory is writable");
-    let _ = std::fs::create_dir_all("results");
 
     {
         let _phase = pre.phase("fig2");
@@ -25,7 +24,7 @@ fn main() {
             "collapse only with critical bit: {}\n",
             exp_bitranges::collapse_only_with_critical_bit(&rows)
         );
-        let _ = std::fs::write("results/fig2.csv", t.to_csv());
+        let _ = std::fs::write(pre.results_file("fig2.csv"), t.to_csv());
     }
 
     {
@@ -33,14 +32,14 @@ fn main() {
         let (cells, t) = exp_nev::table4(&pre);
         println!("--- Table IV: N-EV incidence (64-bit) ---\n{}", t.render());
         println!("ascending pattern: {}\n", exp_nev::ascending_pattern_holds(&cells));
-        let _ = std::fs::write("results/table4.csv", t.to_csv());
+        let _ = std::fs::write(pre.results_file("table4.csv"), t.to_csv());
     }
 
     {
         let _phase = pre.phase("table5");
         let (_, t) = exp_rwc::table5(&pre);
         println!("--- Table V: RWC under 1 bit-flip ---\n{}", t.render());
-        let _ = std::fs::write("results/table5.csv", t.to_csv());
+        let _ = std::fs::write(pre.results_file("table5.csv"), t.to_csv());
     }
 
     {
@@ -54,7 +53,11 @@ fn main() {
                 t.render()
             );
             let _ = std::fs::write(
-                format!("results/fig3_{}_{}.csv", panel.framework.id(), panel.model.id()),
+                pre.results_file(&format!(
+                    "fig3_{}_{}.csv",
+                    panel.framework.id(),
+                    panel.model.id()
+                )),
                 t.to_csv(),
             );
         }
@@ -70,7 +73,7 @@ fn main() {
         };
         let t = exp_curves::render_panel(&panel);
         println!("--- Figure 4: per-layer injection (Chainer/AlexNet) ---\n{}", t.render());
-        let _ = std::fs::write("results/fig4.csv", t.to_csv());
+        let _ = std::fs::write(pre.results_file("fig4.csv"), t.to_csv());
         logs
     };
 
@@ -80,7 +83,7 @@ fn main() {
             let panel = exp_curves::Panel { framework: fw, model: ModelKind::AlexNet, series };
             let t = exp_curves::render_panel(&panel);
             println!("--- Figure 5 panel {} ---\n{}", fw.display(), t.render());
-            let _ = std::fs::write(format!("results/fig5_{}.csv", fw.id()), t.to_csv());
+            let _ = std::fs::write(pre.results_file(&format!("fig5_{}.csv", fw.id())), t.to_csv());
         }
     }
 
@@ -88,7 +91,7 @@ fn main() {
         let _phase = pre.phase("table6");
         let (_, t) = exp_masks::table6(&pre);
         println!("--- Table VI: multi-bit masks (ResNet50) ---\n{}", t.render());
-        let _ = std::fs::write("results/table6.csv", t.to_csv());
+        let _ = std::fs::write(pre.results_file("table6.csv"), t.to_csv());
     }
 
     {
@@ -96,21 +99,21 @@ fn main() {
         let (cells, t) = exp_nev::table7(&pre);
         println!("--- Table VII: N-EV at 16/32-bit (Chainer) ---\n{}", t.render());
         println!("ascending pattern: {}\n", exp_nev::ascending_pattern_holds(&cells));
-        let _ = std::fs::write("results/table7.csv", t.to_csv());
+        let _ = std::fs::write(pre.results_file("table7.csv"), t.to_csv());
     }
 
     {
         let _phase = pre.phase("table8");
         let (_, t) = exp_predict::table8(&pre);
         println!("--- Table VIII: prediction under corruption (Chainer) ---\n{}", t.render());
-        let _ = std::fs::write("results/table8.csv", t.to_csv());
+        let _ = std::fs::write(pre.results_file("table8.csv"), t.to_csv());
     }
 
     {
         let _phase = pre.phase("fig6");
         let (_, t) = exp_propagation::figure6(&pre);
         println!("--- Figure 6: error propagation (TensorFlow/AlexNet) ---\n{}", t.render());
-        let _ = std::fs::write("results/fig6.csv", t.to_csv());
+        let _ = std::fs::write(pre.results_file("fig6.csv"), t.to_csv());
     }
 
     {
@@ -119,7 +122,7 @@ fn main() {
         println!("--- Figure 7: scaling-factor heat map (Chainer/ResNet50) ---");
         println!("baseline accuracy: {baseline:.3}\n{}", t.render());
         println!("monotone damage: {}\n", exp_heatmap::monotone_damage(&cells));
-        let _ = std::fs::write("results/fig7.csv", t.to_csv());
+        let _ = std::fs::write(pre.results_file("fig7.csv"), t.to_csv());
     }
 
     if let Some(summary) = pre.finish_campaign() {

@@ -2,13 +2,13 @@
 //! unbreakable" (paper Section VI-1).
 
 use sefi_core::RepairPolicy;
-use sefi_experiments::{budget_from_args, exp_guard, CampaignConfig, Prebaked};
+use sefi_experiments::{budget_from_args, campaign_config_from_args, exp_guard, Prebaked};
 
 fn main() {
     let budget = budget_from_args();
     println!("Extension — NevGuard vs Table IV corruption (Chainer/AlexNet)");
     println!("budget: {} ({} trainings/cell, paired arms)\n", budget.name, budget.trials);
-    let pre = Prebaked::with_campaign(budget, CampaignConfig::new("guard"))
+    let pre = Prebaked::with_campaign(budget, campaign_config_from_args("guard"))
         .expect("results directory is writable");
     let _phase = pre.phase("guard");
     for repair in [RepairPolicy::Zero, RepairPolicy::ClampTo(10.0)] {

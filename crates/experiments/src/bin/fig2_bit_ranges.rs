@@ -1,6 +1,6 @@
 //! Regenerates Figure 2 / Section V-B1: which bit ranges collapse training.
 
-use sefi_experiments::{budget_from_args, exp_bitranges, CampaignConfig, Prebaked};
+use sefi_experiments::{budget_from_args, campaign_config_from_args, exp_bitranges, Prebaked};
 
 fn main() {
     let budget = budget_from_args();
@@ -9,7 +9,7 @@ fn main() {
         "budget: {} ({} trainings/range, 1000 flips each)\n",
         budget.name, budget.fig2_trainings
     );
-    let pre = Prebaked::with_campaign(budget, CampaignConfig::new("fig2"))
+    let pre = Prebaked::with_campaign(budget, campaign_config_from_args("fig2"))
         .expect("results directory is writable");
     let _phase = pre.phase("fig2");
     let (rows, table) = exp_bitranges::figure2(&pre);
@@ -18,9 +18,8 @@ fn main() {
         "collapse occurs only when the range includes exponent MSB (bit 62): {}",
         exp_bitranges::collapse_only_with_critical_bit(&rows)
     );
-    let _ = std::fs::create_dir_all("results");
-    let _ = std::fs::write("results/fig2.csv", table.to_csv());
-    println!("wrote results/fig2.csv");
+    let _ = std::fs::write(pre.results_file("fig2.csv"), table.to_csv());
+    println!("wrote {}", pre.results_file("fig2.csv").display());
 
     drop(_phase);
     if let Some(summary) = pre.finish_campaign() {

@@ -1,6 +1,6 @@
 //! Regenerates Figure 3: accuracy curves under different bit-flip rates.
 
-use sefi_experiments::{budget_from_args, exp_curves, CampaignConfig, Prebaked};
+use sefi_experiments::{budget_from_args, campaign_config_from_args, exp_curves, Prebaked};
 
 fn main() {
     let budget = budget_from_args();
@@ -9,10 +9,9 @@ fn main() {
         "budget: {} (avg of {} trainings/curve, restart at epoch {})\n",
         budget.name, budget.curve_trials, budget.restart_epoch
     );
-    let pre = Prebaked::with_campaign(budget, CampaignConfig::new("fig3"))
+    let pre = Prebaked::with_campaign(budget, campaign_config_from_args("fig3"))
         .expect("results directory is writable");
     let _phase = pre.phase("fig3");
-    let _ = std::fs::create_dir_all("results");
     for panel in exp_curves::figure3(&pre) {
         let t = exp_curves::render_panel(&panel);
         println!(
@@ -23,9 +22,10 @@ fn main() {
         );
         println!("{}", t.render());
         println!("{}", sefi_experiments::chart::render_chart(&panel.series));
-        let name = format!("results/fig3_{}_{}.csv", panel.framework.id(), panel.model.id());
+        let name =
+            pre.results_file(&format!("fig3_{}_{}.csv", panel.framework.id(), panel.model.id()));
         let _ = std::fs::write(&name, t.to_csv());
-        println!("wrote {name}\n");
+        println!("wrote {}\n", name.display());
     }
 
     drop(_phase);

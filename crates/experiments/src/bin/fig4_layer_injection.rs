@@ -1,6 +1,8 @@
 //! Regenerates Figure 4: per-layer injection into AlexNet (Chainer).
 
-use sefi_experiments::{budget_from_args, exp_curves, exp_layers, CampaignConfig, Prebaked};
+use sefi_experiments::{
+    budget_from_args, campaign_config_from_args, exp_curves, exp_layers, Prebaked,
+};
 use sefi_frameworks::FrameworkKind;
 use sefi_models::ModelKind;
 
@@ -8,7 +10,7 @@ fn main() {
     let budget = budget_from_args();
     println!("Figure 4 — 1000 bit-flips injected into first/middle/last layer (Chainer/AlexNet)");
     println!("budget: {} (avg of {} trainings/curve)\n", budget.name, budget.curve_trials);
-    let pre = Prebaked::with_campaign(budget, CampaignConfig::new("fig4"))
+    let pre = Prebaked::with_campaign(budget, campaign_config_from_args("fig4"))
         .expect("results directory is writable");
     let _phase = pre.phase("fig4");
     let (series, logs) = exp_layers::figure4(&pre);
@@ -17,15 +19,16 @@ fn main() {
     let t = exp_curves::render_panel(&panel);
     println!("{}", t.render());
     println!("{}", sefi_experiments::chart::render_chart(&panel.series));
-    let _ = std::fs::create_dir_all("results");
-    let _ = std::fs::write("results/fig4.csv", t.to_csv());
+    let _ = std::fs::write(pre.results_file("fig4.csv"), t.to_csv());
     for (role, log) in &logs {
-        let name =
-            format!("results/fig4_log_{}.json", exp_layers::role_label(*role).replace(' ', "_"));
+        let name = pre.results_file(&format!(
+            "fig4_log_{}.json",
+            exp_layers::role_label(*role).replace(' ', "_")
+        ));
         let _ = log.save(&name);
-        println!("wrote {name} ({} logged injections)", log.len());
+        println!("wrote {} ({} logged injections)", name.display(), log.len());
     }
-    println!("wrote results/fig4.csv");
+    println!("wrote {}", pre.results_file("fig4.csv").display());
 
     drop(_phase);
     if let Some(summary) = pre.finish_campaign() {

@@ -2,7 +2,7 @@
 //! TensorFlow from Chainer logs.
 
 use sefi_experiments::{
-    budget_from_args, exp_curves, exp_equivalent, exp_layers, CampaignConfig, Prebaked,
+    budget_from_args, campaign_config_from_args, exp_curves, exp_equivalent, exp_layers, Prebaked,
 };
 use sefi_models::ModelKind;
 
@@ -10,12 +10,11 @@ fn main() {
     let budget = budget_from_args();
     println!("Figure 5 — equivalent injection in PyTorch and TensorFlow (AlexNet)");
     println!("budget: {}\n", budget.name);
-    let pre = Prebaked::with_campaign(budget, CampaignConfig::new("fig5"))
+    let pre = Prebaked::with_campaign(budget, campaign_config_from_args("fig5"))
         .expect("results directory is writable");
     let _phase = pre.phase("fig5");
     // Generate the Chainer logs (the Figure 4 protocol).
     let (_, logs) = exp_layers::figure4(&pre);
-    let _ = std::fs::create_dir_all("results");
     for (fw, series) in exp_equivalent::figure5(&pre, &logs) {
         let panel = exp_curves::Panel { framework: fw, model: ModelKind::AlexNet, series };
         let t = exp_curves::render_panel(&panel);
@@ -26,9 +25,9 @@ fn main() {
         );
         println!("{}", t.render());
         println!("{}", sefi_experiments::chart::render_chart(&panel.series));
-        let name = format!("results/fig5_{}.csv", fw.id());
+        let name = pre.results_file(&format!("fig5_{}.csv", fw.id()));
         let _ = std::fs::write(&name, t.to_csv());
-        println!("wrote {name}\n");
+        println!("wrote {}\n", name.display());
     }
 
     drop(_phase);

@@ -1,7 +1,7 @@
 //! Regenerates Figure 6: soft-error propagation boxplots
 //! (TensorFlow/AlexNet).
 
-use sefi_experiments::{budget_from_args, exp_propagation, CampaignConfig, Prebaked};
+use sefi_experiments::{budget_from_args, campaign_config_from_args, exp_propagation, Prebaked};
 
 fn main() {
     let budget = budget_from_args();
@@ -12,14 +12,13 @@ fn main() {
         budget.restart_epoch,
         budget.restart_epoch + budget.resume_epochs
     );
-    let pre = Prebaked::with_campaign(budget, CampaignConfig::new("fig6"))
+    let pre = Prebaked::with_campaign(budget, campaign_config_from_args("fig6"))
         .expect("results directory is writable");
     let _phase = pre.phase("fig6");
     let (_, table) = exp_propagation::figure6(&pre);
     println!("{}", table.render());
-    let _ = std::fs::create_dir_all("results");
-    let _ = std::fs::write("results/fig6.csv", table.to_csv());
-    println!("wrote results/fig6.csv");
+    let _ = std::fs::write(pre.results_file("fig6.csv"), table.to_csv());
+    println!("wrote {}", pre.results_file("fig6.csv").display());
 
     drop(_phase);
     if let Some(summary) = pre.finish_campaign() {

@@ -1,22 +1,21 @@
 //! Regenerates Figure 7: accuracy heat map under scaling-factor corruption
 //! (Chainer/ResNet50).
 
-use sefi_experiments::{budget_from_args, exp_heatmap, CampaignConfig, Prebaked};
+use sefi_experiments::{budget_from_args, campaign_config_from_args, exp_heatmap, Prebaked};
 
 fn main() {
     let budget = budget_from_args();
     println!("Figure 7 — accuracy under scaling-factor corruption (Chainer/ResNet50)");
     println!("budget: {}\n", budget.name);
-    let pre = Prebaked::with_campaign(budget, CampaignConfig::new("fig7"))
+    let pre = Prebaked::with_campaign(budget, campaign_config_from_args("fig7"))
         .expect("results directory is writable");
     let _phase = pre.phase("fig7");
     let (cells, baseline, table) = exp_heatmap::figure7(&pre);
     println!("baseline accuracy: {baseline:.3}\n");
     println!("{}", table.render());
     println!("monotone damage (heavy >= light): {}", exp_heatmap::monotone_damage(&cells));
-    let _ = std::fs::create_dir_all("results");
-    let _ = std::fs::write("results/fig7.csv", table.to_csv());
-    println!("wrote results/fig7.csv");
+    let _ = std::fs::write(pre.results_file("fig7.csv"), table.to_csv());
+    println!("wrote {}", pre.results_file("fig7.csv").display());
 
     drop(_phase);
     if let Some(summary) = pre.finish_campaign() {

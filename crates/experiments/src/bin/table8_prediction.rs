@@ -1,7 +1,7 @@
 //! Regenerates Table VIII: prediction accuracy under corruption at
 //! different floating-point precisions.
 
-use sefi_experiments::{budget_from_args, exp_predict, CampaignConfig, Prebaked};
+use sefi_experiments::{budget_from_args, campaign_config_from_args, exp_predict, Prebaked};
 
 fn main() {
     let budget = budget_from_args();
@@ -10,14 +10,13 @@ fn main() {
         "budget: {} ({} predictions x {} images per cell)\n",
         budget.name, budget.predict_trials, budget.predict_images
     );
-    let pre = Prebaked::with_campaign(budget, CampaignConfig::new("table8"))
+    let pre = Prebaked::with_campaign(budget, campaign_config_from_args("table8"))
         .expect("results directory is writable");
     let _phase = pre.phase("table8");
     let (_, table) = exp_predict::table8(&pre);
     println!("{}", table.render());
-    let _ = std::fs::create_dir_all("results");
-    let _ = std::fs::write("results/table8.csv", table.to_csv());
-    println!("wrote results/table8.csv");
+    let _ = std::fs::write(pre.results_file("table8.csv"), table.to_csv());
+    println!("wrote {}", pre.results_file("table8.csv").display());
 
     drop(_phase);
     if let Some(summary) = pre.finish_campaign() {

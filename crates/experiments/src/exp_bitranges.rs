@@ -42,6 +42,8 @@ pub struct RangeRow {
     pub trainings: usize,
     /// Trainings that collapsed.
     pub collapsed: usize,
+    /// Trials that failed to complete (recorded, not counted as collapse).
+    pub failed: usize,
 }
 
 /// Run the sweep (Chainer/AlexNet; 1 000 flips per training, NaN allowed —
@@ -52,25 +54,24 @@ pub fn figure2(pre: &Prebaked) -> (Vec<RangeRow>, TextTable) {
     let trials = pre.budget().fig2_trainings;
     let pristine = pre.checkpoint(fw, model, Dtype::F64);
     let mut rows = Vec::new();
-    let mut table = TextTable::new(&["Range", "Critical bit", "Trainings", "Collapsed", "%"]);
+    let mut table =
+        TextTable::new(&["Range", "Critical bit", "Trainings", "Collapsed", "%", "Failed"]);
     for (label, range) in ranges() {
         let outcomes =
             pre.run_trials("fig2", &format!("fig2-{label}"), fw, model, trials, |_, seed| {
                 let mut ck = pristine.clone();
                 let mut cfg = CorrupterConfig::bit_flips_full_range(1000, Precision::Fp64, seed);
                 cfg.mode = CorruptionMode::BitRange(range);
-                let report = Corrupter::new(cfg)
-                    .expect("valid config")
-                    .corrupt(&mut ck)
-                    .expect("corruption succeeds");
-                let out = pre.resume(fw, model, &ck, pre.budget().resume_epochs);
-                TrialOutcome::ok().with_collapsed(out.collapsed()).with_counters(
+                let report = Corrupter::new(cfg)?.corrupt(&mut ck)?;
+                let out = pre.try_resume(fw, model, &ck, pre.budget().resume_epochs)?;
+                Ok(TrialOutcome::ok().with_collapsed(out.collapsed()).with_counters(
                     report.injections,
                     report.nan_redraws,
                     report.skipped,
-                )
+                ))
             });
         let collapsed = outcomes.iter().filter(|o| o.collapsed).count();
+        let failed = outcomes.iter().filter(|o| o.is_failed()).count();
         let includes_critical_bit = range.contains(Precision::Fp64.exponent_msb());
         table.row(vec![
             label.to_string(),
@@ -78,8 +79,16 @@ pub fn figure2(pre: &Prebaked) -> (Vec<RangeRow>, TextTable) {
             trials.to_string(),
             collapsed.to_string(),
             pct(percent(collapsed, trials)),
+            failed.to_string(),
         ]);
-        rows.push(RangeRow { label, range, includes_critical_bit, trainings: trials, collapsed });
+        rows.push(RangeRow {
+            label,
+            range,
+            includes_critical_bit,
+            trainings: trials,
+            collapsed,
+            failed,
+        });
     }
     (rows, table)
 }

@@ -62,25 +62,29 @@ pub fn corrupted_curve(
         let mut outcome = TrialOutcome::ok();
         if bitflips > 0 {
             let cfg = CorrupterConfig::bit_flips(bitflips, Precision::Fp64, seed);
-            let report = Corrupter::new(cfg)
-                .expect("valid preset")
-                .corrupt(&mut ck)
-                .expect("corruption succeeds");
+            let report = Corrupter::new(cfg)?.corrupt(&mut ck)?;
             outcome = outcome.with_counters(report.injections, report.nan_redraws, report.skipped);
         }
-        let out = pre.resume(fw, model, &ck, epochs);
-        outcome
+        let out = pre.try_resume(fw, model, &ck, epochs)?;
+        Ok(outcome
             .with_collapsed(out.collapsed())
-            .with_curve(out.history().iter().map(|r| r.test_accuracy).collect())
+            .with_curve(out.history().iter().map(|r| r.test_accuracy).collect()))
     });
-    let curves: Vec<Vec<f64>> = outcomes.into_iter().map(|o| o.curve).collect();
+    let failed = outcomes.iter().filter(|o| o.is_failed()).count();
+    let curves: Vec<Vec<f64>> =
+        outcomes.into_iter().filter(|o| !o.is_failed()).map(|o| o.curve).collect();
     let points = (0..epochs)
         .map(|i| {
             let vals: Vec<f64> = curves.iter().filter_map(|c| c.get(i).copied()).collect();
             (budget.restart_epoch + i, crate::stats::mean(&vals))
         })
         .collect();
-    Series { label: format!("{bitflips} bit-flips"), points }
+    let label = if failed > 0 {
+        format!("{bitflips} bit-flips [{failed} failed]")
+    } else {
+        format!("{bitflips} bit-flips")
+    };
+    Series { label, points }
 }
 
 /// Build one panel: the error-free full-training line plus the four

@@ -34,6 +34,8 @@ pub struct GuardCell {
     pub mean_repaired: f64,
     /// Mean final accuracy of the guarded resumes.
     pub guarded_accuracy: f64,
+    /// Trials that failed to complete (excluded from both arms).
+    pub failed: usize,
 }
 
 /// Run one cell: `trials` corrupted resumes, each tried with and without
@@ -46,33 +48,32 @@ pub fn guard_cell(pre: &Prebaked, repair: RepairPolicy, bitflips: u64, trials: u
         pre.run_trials("guard", &format!("guard-{bitflips}"), fw, model, trials, |_, seed| {
             let mut ck = pristine.clone();
             let cfg = CorrupterConfig::bit_flips_full_range(bitflips, Precision::Fp64, seed);
-            let inj_report = Corrupter::new(cfg)
-                .expect("valid preset")
-                .corrupt(&mut ck)
-                .expect("corruption succeeds");
+            let inj_report = Corrupter::new(cfg)?.corrupt(&mut ck)?;
 
             // Unguarded arm.
-            let unguarded = pre.resume(fw, model, &ck, pre.budget().resume_epochs).collapsed();
+            let unguarded = pre.try_resume(fw, model, &ck, pre.budget().resume_epochs)?.collapsed();
 
             // Guarded arm: scrub, then resume.
             let mut scrubbed = ck;
             let guard = NevGuard::new(NevPolicy::default(), repair);
             let report = guard.scrub(&mut scrubbed);
-            let out = pre.resume(fw, model, &scrubbed, pre.budget().resume_epochs);
-            TrialOutcome::ok()
+            let out = pre.try_resume(fw, model, &scrubbed, pre.budget().resume_epochs)?;
+            Ok(TrialOutcome::ok()
                 .with_collapsed(out.collapsed())
                 .with_accuracy(out.final_accuracy().unwrap_or(0.0))
                 .with_metric("unguarded_collapsed", f64::from(u8::from(unguarded)))
                 .with_metric("repaired", report.findings.len() as f64)
-                .with_counters(inj_report.injections, inj_report.nan_redraws, inj_report.skipped)
+                .with_counters(inj_report.injections, inj_report.nan_redraws, inj_report.skipped))
         });
+    let failed = outcomes.iter().filter(|o| o.is_failed()).count();
+    let completed: Vec<_> = outcomes.iter().filter(|o| !o.is_failed()).collect();
     let unguarded_nev =
-        outcomes.iter().filter(|o| o.metric("unguarded_collapsed").unwrap_or(0.0) > 0.5).count();
-    let guarded_nev = outcomes.iter().filter(|o| o.collapsed).count();
-    let mean_repaired = outcomes.iter().map(|o| o.metric("repaired").unwrap_or(0.0)).sum::<f64>()
-        / trials.max(1) as f64;
+        completed.iter().filter(|o| o.metric("unguarded_collapsed").unwrap_or(0.0) > 0.5).count();
+    let guarded_nev = completed.iter().filter(|o| o.collapsed).count();
+    let mean_repaired = completed.iter().map(|o| o.metric("repaired").unwrap_or(0.0)).sum::<f64>()
+        / completed.len().max(1) as f64;
     let guarded_acc: Vec<f64> =
-        outcomes.iter().filter(|o| !o.collapsed).filter_map(|o| o.final_accuracy).collect();
+        completed.iter().filter(|o| !o.collapsed).filter_map(|o| o.final_accuracy).collect();
     GuardCell {
         bitflips,
         trainings: trials,
@@ -80,6 +81,7 @@ pub fn guard_cell(pre: &Prebaked, repair: RepairPolicy, bitflips: u64, trials: u
         guarded_nev,
         mean_repaired,
         guarded_accuracy: crate::stats::mean(&guarded_acc),
+        failed,
     }
 }
 
@@ -94,6 +96,7 @@ pub fn guard_table(pre: &Prebaked, repair: RepairPolicy) -> (Vec<GuardCell>, Tex
         "Guarded N-EV %",
         "Repaired/ckpt",
         "Guarded acc %",
+        "Failed",
     ]);
     for &flips in &pre.budget().bitflip_counts() {
         let cell = guard_cell(pre, repair, flips, trials);
@@ -104,6 +107,7 @@ pub fn guard_table(pre: &Prebaked, repair: RepairPolicy) -> (Vec<GuardCell>, Tex
             pct(percent(cell.guarded_nev, cell.trainings)),
             format!("{:.1}", cell.mean_repaired),
             format!("{:.2}", cell.guarded_accuracy * 100.0),
+            cell.failed.to_string(),
         ]);
         cells.push(cell);
     }

@@ -31,6 +31,8 @@ pub struct HeatCell {
     pub factor: f64,
     /// Mean accuracy (0–1) immediately after loading.
     pub accuracy: f64,
+    /// Trials that failed to complete (excluded from the mean).
+    pub failed: usize,
 }
 
 /// Measure one cell.
@@ -40,34 +42,38 @@ pub fn heat_cell(pre: &Prebaked, weights: u64, factor: f64) -> HeatCell {
     let trials = pre.budget().curve_trials.max(3);
     let pristine = pre.checkpoint(fw, model, Dtype::F64);
     let cell = format!("heat-{weights}-{factor}");
-    let outcomes = pre.run_trials("fig7", &cell, fw, model, trials, |_, seed| {
-        let mut ck = pristine.clone();
-        let cfg = CorrupterConfig {
-            injection_probability: 1.0,
-            amount: InjectionAmount::Count(weights),
-            float_precision: Precision::Fp64,
-            mode: CorruptionMode::ScalingFactor(factor),
-            allow_nan_values: true,
-            locations: LocationSelection::AllRandom,
-            seed,
-        };
-        let report = Corrupter::new(cfg)
-            .expect("valid config")
-            .corrupt(&mut ck)
-            .expect("corruption succeeds");
-        let mut session = pre.session_at_restart(fw, model);
-        session.restore(&ck).expect("corrupted checkpoint loads");
-        TrialOutcome::ok().with_accuracy(session.test_accuracy(pre.data())).with_counters(
-            report.injections,
-            report.nan_redraws,
-            report.skipped,
-        )
-    });
-    let accs: Vec<f64> = outcomes
-        .iter()
-        .map(|o| o.final_accuracy.expect("heat trials record an accuracy"))
-        .collect();
-    HeatCell { weights, factor, accuracy: crate::stats::mean(&accs) }
+    // A manifest record without an accuracy (written by an older schema)
+    // cannot feed the heat-map mean — reject it so the trial re-runs.
+    let outcomes =
+        pre.run_trials_validated(
+            "fig7",
+            &cell,
+            fw,
+            model,
+            trials,
+            |o| o.final_accuracy.is_some(),
+            |_, seed| {
+                let mut ck = pristine.clone();
+                let cfg = CorrupterConfig {
+                    injection_probability: 1.0,
+                    amount: InjectionAmount::Count(weights),
+                    float_precision: Precision::Fp64,
+                    mode: CorruptionMode::ScalingFactor(factor),
+                    allow_nan_values: true,
+                    locations: LocationSelection::AllRandom,
+                    seed,
+                };
+                let report = Corrupter::new(cfg)?.corrupt(&mut ck)?;
+                let mut session = pre.session_at_restart(fw, model);
+                session.restore(&ck).map_err(|e| format!("restore failed: {e}"))?;
+                Ok(TrialOutcome::ok()
+                    .with_accuracy(session.test_accuracy(pre.data()))
+                    .with_counters(report.injections, report.nan_redraws, report.skipped))
+            },
+        );
+    let failed = outcomes.iter().filter(|o| o.is_failed()).count();
+    let accs: Vec<f64> = outcomes.iter().filter_map(|o| o.final_accuracy).collect();
+    HeatCell { weights, factor, accuracy: crate::stats::mean(&accs), failed }
 }
 
 /// Full Figure 7 grid plus the baseline accuracy.
@@ -85,7 +91,11 @@ pub fn figure7(pre: &Prebaked) -> (Vec<HeatCell>, f64, TextTable) {
         let mut row = vec![w.to_string()];
         for &f in &FACTOR_AXIS {
             let cell = heat_cell(pre, w, f);
-            row.push(format!("{:.3}", cell.accuracy));
+            row.push(if cell.failed > 0 {
+                format!("{:.3} [{}F]", cell.accuracy, cell.failed)
+            } else {
+                format!("{:.3}", cell.accuracy)
+            });
             cells.push(cell);
         }
         table.row(row);

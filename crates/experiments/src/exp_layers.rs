@@ -63,11 +63,8 @@ pub fn layer_curve(
         let mut ck = pristine.clone();
         let mut cfg = CorrupterConfig::bit_flips(LAYER_FLIPS, Precision::Fp64, seed);
         cfg.locations = LocationSelection::Listed(locations.clone());
-        let (report, log) = Corrupter::new(cfg)
-            .expect("valid preset")
-            .corrupt_with_log(&mut ck)
-            .expect("layer-targeted corruption succeeds");
-        let out = pre.resume(fw, model, &ck, epochs);
+        let (report, log) = Corrupter::new(cfg)?.corrupt_with_log(&mut ck)?;
+        let out = pre.try_resume(fw, model, &ck, epochs)?;
         let mut outcome = TrialOutcome::ok()
             .with_collapsed(out.collapsed())
             .with_curve(out.history().iter().map(|r| r.test_accuracy).collect())
@@ -77,21 +74,39 @@ pub fn layer_curve(
             // frameworks; the log must survive a resume.
             outcome = outcome.with_payload(log.to_json());
         }
-        outcome
+        Ok(outcome)
     });
 
+    let failed = outcomes.iter().filter(|o| o.is_failed()).count();
     let points = (0..epochs)
         .map(|i| {
-            let vals: Vec<f64> = outcomes.iter().filter_map(|o| o.curve.get(i).copied()).collect();
+            let vals: Vec<f64> = outcomes
+                .iter()
+                .filter(|o| !o.is_failed())
+                .filter_map(|o| o.curve.get(i).copied())
+                .collect();
             (budget.restart_epoch + i, crate::stats::mean(&vals))
         })
         .collect();
+    // An unparseable recorded log (failed trial 0, truncated payload)
+    // degrades Figure 5's replay to an empty log instead of panicking.
     let log = outcomes
         .first()
         .and_then(|o| o.payload.as_deref())
-        .map(|json| InjectionLog::from_json(json).expect("recorded injection log parses"))
+        .and_then(|json| match InjectionLog::from_json(json) {
+            Ok(log) => Some(log),
+            Err(e) => {
+                eprintln!("fig4 {cell}: recorded injection log unparseable: {e}");
+                None
+            }
+        })
         .unwrap_or_default();
-    (Series { label: format!("{} ({LAYER_FLIPS} flips)", role_label(role)), points }, log)
+    let label = if failed > 0 {
+        format!("{} ({LAYER_FLIPS} flips) [{failed} failed]", role_label(role))
+    } else {
+        format!("{} ({LAYER_FLIPS} flips)", role_label(role))
+    };
+    (Series { label, points }, log)
 }
 
 /// Figure 4: Chainer/AlexNet, all three roles plus the error-free line.

@@ -37,6 +37,8 @@ pub struct MaskCell {
     pub avg_initial_acc: f64,
     /// Number of trainings that produced an N-EV.
     pub nev: usize,
+    /// Trials that failed to complete (excluded from the average).
+    pub failed: usize,
 }
 
 /// Accuracy immediately after loading a checkpoint (no retraining).
@@ -45,9 +47,9 @@ fn initial_accuracy(
     fw: FrameworkKind,
     model: ModelKind,
     ck: &sefi_hdf5::H5File,
-) -> (f64, bool) {
+) -> Result<(f64, bool), crate::runner::TrialError> {
     let mut session = pre.session_at_restart(fw, model);
-    session.restore(ck).expect("corrupted checkpoint remains structurally valid");
+    session.restore(ck).map_err(|e| format!("restore failed: {e}"))?;
     let nev = {
         let sd = session.network_mut().state_dict();
         let policy = NevPolicy::default();
@@ -55,7 +57,7 @@ fn initial_accuracy(
             .iter()
             .any(|e| e.tensor.data().iter().any(|&v| policy.classify_f64(v as f64).is_some()))
     };
-    (session.test_accuracy(pre.data()), nev)
+    Ok((session.test_accuracy(pre.data()), nev))
 }
 
 /// One cell: ten trainings with one mask.
@@ -70,26 +72,24 @@ pub fn mask_cell(pre: &Prebaked, fw: FrameworkKind, bits: u32, mask: &str) -> Ma
                 injection_probability: 1.0,
                 amount: InjectionAmount::Count(WEIGHTS_PER_TRAINING),
                 float_precision: Precision::Fp64,
-                mode: CorruptionMode::BitMask(BitMask::parse(mask).expect("paper masks are valid")),
+                mode: CorruptionMode::BitMask(BitMask::parse(mask)?),
                 allow_nan_values: true,
                 locations: LocationSelection::AllRandom,
                 seed,
             };
-            let report = Corrupter::new(cfg)
-                .expect("valid config")
-                .corrupt(&mut ck)
-                .expect("corruption succeeds");
-            let (acc, nev) = initial_accuracy(pre, fw, model, &ck);
-            TrialOutcome::ok().with_collapsed(nev).with_accuracy(acc).with_counters(
+            let report = Corrupter::new(cfg)?.corrupt(&mut ck)?;
+            let (acc, nev) = initial_accuracy(pre, fw, model, &ck)?;
+            Ok(TrialOutcome::ok().with_collapsed(nev).with_accuracy(acc).with_counters(
                 report.injections,
                 report.nan_redraws,
                 report.skipped,
-            )
+            ))
         });
+    let failed = outcomes.iter().filter(|o| o.is_failed()).count();
     let nev = outcomes.iter().filter(|o| o.collapsed).count();
     let clean: Vec<f64> = outcomes
         .iter()
-        .filter(|o| !o.collapsed)
+        .filter(|o| !o.is_failed() && !o.collapsed)
         .filter_map(|o| o.final_accuracy.map(|a| a * 100.0))
         .collect();
     MaskCell {
@@ -98,6 +98,7 @@ pub fn mask_cell(pre: &Prebaked, fw: FrameworkKind, bits: u32, mask: &str) -> Ma
         bits,
         avg_initial_acc: crate::stats::mean(&clean),
         nev,
+        failed,
     }
 }
 
@@ -105,20 +106,24 @@ pub fn mask_cell(pre: &Prebaked, fw: FrameworkKind, bits: u32, mask: &str) -> Ma
 pub fn baseline_cell(pre: &Prebaked, fw: FrameworkKind) -> MaskCell {
     let model = ModelKind::ResNet50;
     let ck = pre.checkpoint(fw, model, Dtype::F64);
-    let (acc, _) = initial_accuracy(pre, fw, model, &ck);
+    // The pristine checkpoint restoring is a harness invariant, not a
+    // corrupted-trial hazard — an error here is a genuine bug.
+    let (acc, _) = initial_accuracy(pre, fw, model, &ck)
+        .unwrap_or_else(|e| panic!("pristine checkpoint failed to load: {e}"));
     MaskCell {
         framework: fw,
         mask: "00000000".to_string(),
         bits: 0,
         avg_initial_acc: acc * 100.0,
         nev: 0,
+        failed: 0,
     }
 }
 
 /// Full Table VI.
 pub fn table6(pre: &Prebaked) -> (Vec<MaskCell>, TextTable) {
     let mut cells = Vec::new();
-    let mut table = TextTable::new(&["Bits", "Mask", "Framework", "AvgI-Acc", "N-EV"]);
+    let mut table = TextTable::new(&["Bits", "Mask", "Framework", "AvgI-Acc", "N-EV", "Failed"]);
     for fw in FrameworkKind::all() {
         let base = baseline_cell(pre, fw);
         table.row(vec![
@@ -127,6 +132,7 @@ pub fn table6(pre: &Prebaked) -> (Vec<MaskCell>, TextTable) {
             fw.display().to_string(),
             format!("{:.2}", base.avg_initial_acc),
             "-".into(),
+            "0".into(),
         ]);
         cells.push(base);
         for &(bits, mask) in &MASKS {
@@ -137,6 +143,7 @@ pub fn table6(pre: &Prebaked) -> (Vec<MaskCell>, TextTable) {
                 fw.display().to_string(),
                 format!("{:.2}", cell.avg_initial_acc),
                 cell.nev.to_string(),
+                cell.failed.to_string(),
             ]);
             cells.push(cell);
         }

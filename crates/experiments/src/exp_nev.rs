@@ -32,6 +32,8 @@ pub struct NevCell {
     pub nev: usize,
     /// Percentage.
     pub pct: f64,
+    /// Trials that failed to complete (excluded from the N-EV count).
+    pub failed: usize,
 }
 
 /// Measure one cell: `trials` independent corrupted resumes.
@@ -49,18 +51,16 @@ pub fn nev_cell(
     let outcomes = pre.run_trials("nev", &cell, fw, model, trials, |_, seed| {
         let mut ck = pristine.clone();
         let cfg = CorrupterConfig::bit_flips_full_range(bitflips, precision, seed);
-        let report = Corrupter::new(cfg)
-            .expect("valid preset")
-            .corrupt(&mut ck)
-            .expect("corruption succeeds on pristine checkpoint");
-        let out = pre.resume(fw, model, &ck, pre.budget().resume_epochs);
-        TrialOutcome::ok().with_collapsed(out.collapsed()).with_counters(
+        let report = Corrupter::new(cfg)?.corrupt(&mut ck)?;
+        let out = pre.try_resume(fw, model, &ck, pre.budget().resume_epochs)?;
+        Ok(TrialOutcome::ok().with_collapsed(out.collapsed()).with_counters(
             report.injections,
             report.nan_redraws,
             report.skipped,
-        )
+        ))
     });
     let collapses = outcomes.iter().filter(|o| o.collapsed).count();
+    let failed = outcomes.iter().filter(|o| o.is_failed()).count();
     NevCell {
         framework: fw,
         model,
@@ -68,6 +68,7 @@ pub fn nev_cell(
         trainings: trials,
         nev: collapses,
         pct: percent(collapses, trials),
+        failed,
     }
 }
 
@@ -75,7 +76,8 @@ pub fn nev_cell(
 pub fn table4(pre: &Prebaked) -> (Vec<NevCell>, TextTable) {
     let budget = *pre.budget();
     let mut cells = Vec::new();
-    let mut table = TextTable::new(&["Bit-flips", "Trainings", "Framework", "Model", "N-EV", "%"]);
+    let mut table =
+        TextTable::new(&["Bit-flips", "Trainings", "Framework", "Model", "N-EV", "%", "Failed"]);
     for &flips in &budget.bitflip_counts() {
         for fw in FrameworkKind::all() {
             for model in ModelKind::all() {
@@ -87,6 +89,7 @@ pub fn table4(pre: &Prebaked) -> (Vec<NevCell>, TextTable) {
                     model.id().to_string(),
                     cell.nev.to_string(),
                     pct(cell.pct),
+                    cell.failed.to_string(),
                 ]);
                 cells.push(cell);
             }
@@ -99,7 +102,8 @@ pub fn table4(pre: &Prebaked) -> (Vec<NevCell>, TextTable) {
 pub fn table7(pre: &Prebaked) -> (Vec<NevCell>, TextTable) {
     let budget = *pre.budget();
     let mut cells = Vec::new();
-    let mut table = TextTable::new(&["Bit-flips", "DL Train", "Precision", "Model", "N-EV", "%"]);
+    let mut table =
+        TextTable::new(&["Bit-flips", "DL Train", "Precision", "Model", "N-EV", "%", "Failed"]);
     for &flips in &budget.bitflip_counts() {
         for precision in [Precision::Fp16, Precision::Fp32] {
             for model in ModelKind::all() {
@@ -112,6 +116,7 @@ pub fn table7(pre: &Prebaked) -> (Vec<NevCell>, TextTable) {
                     model.id().to_string(),
                     cell.nev.to_string(),
                     pct(cell.pct),
+                    cell.failed.to_string(),
                 ]);
                 cells.push(cell);
             }

@@ -33,6 +33,8 @@ pub struct PredictCell {
     pub accuracy: Option<f64>,
     /// Prediction runs that computed an N-EV (paper's parentheses).
     pub nev_runs: usize,
+    /// Trials that failed to complete (excluded from the average).
+    pub failed: usize,
 }
 
 /// Cache of fully trained checkpoints per (model, dtype).
@@ -88,15 +90,12 @@ pub fn predict_cell(
             let mut outcome = TrialOutcome::ok();
             if bitflips > 0 {
                 let cfg = CorrupterConfig::bit_flips_full_range(bitflips, precision, seed);
-                let report = Corrupter::new(cfg)
-                    .expect("valid preset")
-                    .corrupt(&mut ck)
-                    .expect("corruption succeeds");
+                let report = Corrupter::new(cfg)?.corrupt(&mut ck)?;
                 outcome =
                     outcome.with_counters(report.injections, report.nan_redraws, report.skipped);
             }
             let mut session = pre.session_at_restart(FrameworkKind::Chainer, model);
-            session.restore(&ck).expect("corrupted checkpoint loads");
+            session.restore(&ck).map_err(|e| format!("restore failed: {e}"))?;
             // Each run predicts a different slice of the test set ("each
             // prediction processed 1,000 different images").
             let n = budget.predict_images.min(pre.data().len(sefi_data::Split::Test));
@@ -106,14 +105,15 @@ pub fn predict_cell(
             let (images, labels) = pre.data().gather(sefi_data::Split::Test, &indices);
             let (preds, nev) = session.predict(images);
             let correct = preds.iter().zip(&labels).filter(|(p, &l)| **p == l as usize).count();
-            outcome.with_collapsed(nev).with_accuracy(correct as f64 / n.max(1) as f64)
+            Ok(outcome.with_collapsed(nev).with_accuracy(correct as f64 / n.max(1) as f64))
         },
     );
 
+    let failed = outcomes.iter().filter(|o| o.is_failed()).count();
     let nev_runs = outcomes.iter().filter(|o| o.collapsed).count();
     let clean: Vec<f64> = outcomes
         .iter()
-        .filter(|o| !o.collapsed)
+        .filter(|o| !o.is_failed() && !o.collapsed)
         .filter_map(|o| o.final_accuracy.map(|a| a * 100.0))
         .collect();
     PredictCell {
@@ -122,6 +122,7 @@ pub fn predict_cell(
         bitflips,
         accuracy: if clean.is_empty() { None } else { Some(crate::stats::mean(&clean)) },
         nev_runs,
+        failed,
     }
 }
 
@@ -130,7 +131,8 @@ pub fn predict_cell(
 pub fn table8(pre: &Prebaked) -> (Vec<PredictCell>, TextTable) {
     let trained = TrainedCheckpoints::new(pre);
     let mut cells = Vec::new();
-    let mut table = TextTable::new(&["Bit-flips", "Precision", "Model", "Accuracy", "N-EV"]);
+    let mut table =
+        TextTable::new(&["Bit-flips", "Precision", "Model", "Accuracy", "N-EV", "Failed"]);
     let mut counts = vec![0u64];
     counts.extend_from_slice(&pre.budget().bitflip_counts());
     for &flips in &counts {
@@ -143,6 +145,7 @@ pub fn table8(pre: &Prebaked) -> (Vec<PredictCell>, TextTable) {
                     model.id().to_string(),
                     cell.accuracy.map(|a| format!("{a:.2}")).unwrap_or_else(|| "-".into()),
                     format!("({})", cell.nev_runs),
+                    cell.failed.to_string(),
                 ]);
                 cells.push(cell);
             }

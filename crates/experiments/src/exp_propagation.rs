@@ -30,6 +30,10 @@ pub struct Propagation {
     pub total_weights: usize,
     /// Five-number summary of the non-zero absolute differences.
     pub summary: Option<FiveNum>,
+    /// NaN differences dropped from the summary (NEV-corrupted resumes).
+    pub nan_dropped: usize,
+    /// Whether the trial failed to complete (summary absent).
+    pub failed: bool,
 }
 
 /// Weights of the error-free continuation at `restart + resume_epochs`.
@@ -65,18 +69,24 @@ pub fn propagation_for(pre: &Prebaked, role: LayerRole, reference: &[f32]) -> Pr
         let mut ck = pre.checkpoint(fw, model, Dtype::F64);
         let mut cfg = CorrupterConfig::bit_flips(LAYER_FLIPS, Precision::Fp64, seed);
         cfg.locations = LocationSelection::Listed(locations_for(pre, fw, model, role));
-        let report = Corrupter::new(cfg)
-            .expect("valid config")
-            .corrupt(&mut ck)
-            .expect("corruption succeeds");
+        let report = Corrupter::new(cfg)?.corrupt(&mut ck)?;
 
         let mut session = pre.session_at_restart(fw, model);
-        session.restore(&ck).expect("corrupted checkpoint loads");
+        session.restore(&ck).map_err(|e| format!("restore failed: {e}"))?;
         let out = session.train_to(pre.data(), budget.restart_epoch + budget.resume_epochs);
-        assert!(!out.collapsed(), "exponent-MSB-excluded flips cannot collapse training");
+        if out.collapsed() {
+            return Err("exponent-MSB-excluded flips collapsed training".into());
+        }
         let corrupted = flat_weights(session.network_mut());
 
-        assert_eq!(reference.len(), corrupted.len());
+        if reference.len() != corrupted.len() {
+            return Err(format!(
+                "weight count mismatch: reference {} vs corrupted {}",
+                reference.len(),
+                corrupted.len()
+            )
+            .into());
+        }
         // "The propagation was calculated based on the difference between the
         // value of the error-free weights and the same weights of the
         // checkpoint injected with the bit-flips. Only weights with differences
@@ -91,7 +101,9 @@ pub fn propagation_for(pre: &Prebaked, role: LayerRole, reference: &[f32]) -> Pr
             .with_metric("differing_weights", diffs.len() as f64)
             .with_metric("total_weights", reference.len() as f64)
             .with_counters(report.injections, report.nan_redraws, report.skipped);
-        if let Some(s) = five_number_summary(&diffs) {
+        let (summary, nan_dropped) = five_number_summary(&diffs);
+        outcome = outcome.with_metric("nan_dropped", nan_dropped as f64);
+        if let Some(s) = summary {
             outcome = outcome
                 .with_metric("min", s.min)
                 .with_metric("q1", s.q1)
@@ -99,7 +111,7 @@ pub fn propagation_for(pre: &Prebaked, role: LayerRole, reference: &[f32]) -> Pr
                 .with_metric("q3", s.q3)
                 .with_metric("max", s.max);
         }
-        outcome
+        Ok(outcome)
     });
     let o = &outcomes[0];
     Propagation {
@@ -113,6 +125,8 @@ pub fn propagation_for(pre: &Prebaked, role: LayerRole, reference: &[f32]) -> Pr
             q3: o.metric("q3").unwrap_or(median),
             max: o.metric("max").unwrap_or(median),
         }),
+        nan_dropped: o.metric("nan_dropped").unwrap_or(0.0) as usize,
+        failed: o.is_failed(),
     }
 }
 
@@ -129,6 +143,8 @@ pub fn figure6(pre: &Prebaked) -> (Vec<Propagation>, TextTable) {
         "Median",
         "Q3",
         "Max",
+        "NaN dropped",
+        "Failed",
     ]);
     for role in crate::exp_layers::roles() {
         let p = propagation_for(pre, role, &reference);
@@ -142,6 +158,8 @@ pub fn figure6(pre: &Prebaked) -> (Vec<Propagation>, TextTable) {
             format!("{:.3e}", s.median),
             format!("{:.3e}", s.q3),
             format!("{:.3e}", s.max),
+            p.nan_dropped.to_string(),
+            if p.failed { "1" } else { "0" }.to_string(),
         ]);
         rows.push(p);
     }

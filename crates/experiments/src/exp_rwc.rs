@@ -32,6 +32,8 @@ pub struct RwcCell {
     pub pct: f64,
     /// Largest absolute accuracy deviation seen among changed restarts.
     pub max_deviation: f64,
+    /// Trials that failed to complete (excluded from RWC/deviation).
+    pub failed: usize,
 }
 
 /// Measure one cell.
@@ -41,26 +43,27 @@ pub fn rwc_cell(pre: &Prebaked, fw: FrameworkKind, model: ModelKind, trials: usi
     let outcomes = pre.run_trials("rwc", "rwc", fw, model, trials, |_, seed| {
         let mut ck = pristine.clone();
         let cfg = CorrupterConfig::bit_flips(1, Precision::Fp64, seed);
-        let report = Corrupter::new(cfg)
-            .expect("valid preset")
-            .corrupt(&mut ck)
-            .expect("corruption succeeds");
-        let out = pre.resume(fw, model, &ck, pre.budget().resume_epochs);
+        let report = Corrupter::new(cfg)?.corrupt(&mut ck)?;
+        let out = pre.try_resume(fw, model, &ck, pre.budget().resume_epochs)?;
         let outcome = TrialOutcome::ok().with_collapsed(out.collapsed()).with_counters(
             report.injections,
             report.nan_redraws,
             report.skipped,
         );
-        match out.final_accuracy() {
+        Ok(match out.final_accuracy() {
             Some(acc) => outcome.with_accuracy(acc),
             None => outcome, // collapsed (cannot happen with MSB excluded)
-        }
+        })
     });
     // Deviations are derived here, not stored: the deterministic baseline
     // is recomputable and a collapsed trial's deviation is infinite, which
-    // the manifest cannot hold.
+    // the manifest cannot hold. Failed trials carry no accuracy and are
+    // excluded — counting them as infinite deviation would conflate a
+    // harness fault with a model-sensitivity result.
+    let failed = outcomes.iter().filter(|o| o.is_failed()).count();
     let results: Vec<(bool, f64)> = outcomes
         .iter()
+        .filter(|o| !o.is_failed())
         .map(|o| match o.final_accuracy {
             Some(acc) => (acc == baseline, (acc - baseline).abs()),
             None => (false, f64::INFINITY),
@@ -75,6 +78,7 @@ pub fn rwc_cell(pre: &Prebaked, fw: FrameworkKind, model: ModelKind, trials: usi
         rwc,
         pct: percent(rwc, trials),
         max_deviation,
+        failed,
     }
 }
 
@@ -82,7 +86,8 @@ pub fn rwc_cell(pre: &Prebaked, fw: FrameworkKind, model: ModelKind, trials: usi
 pub fn table5(pre: &Prebaked) -> (Vec<RwcCell>, TextTable) {
     let trials = pre.budget().trials;
     let mut cells = Vec::new();
-    let mut table = TextTable::new(&["Model", "Trainings", "Framework", "RWC", "%", "MaxDev"]);
+    let mut table =
+        TextTable::new(&["Model", "Trainings", "Framework", "RWC", "%", "MaxDev", "Failed"]);
     for model in ModelKind::all() {
         for fw in FrameworkKind::all() {
             let cell = rwc_cell(pre, fw, model, trials);
@@ -93,6 +98,7 @@ pub fn table5(pre: &Prebaked) -> (Vec<RwcCell>, TextTable) {
                 cell.rwc.to_string(),
                 pct(cell.pct),
                 format!("{:.4}", cell.max_deviation),
+                cell.failed.to_string(),
             ]);
             cells.push(cell);
         }

@@ -36,7 +36,9 @@ pub mod stats;
 pub mod table;
 
 pub use budget::Budget;
-pub use runner::{combo_seed, CampaignConfig, PhaseGuard, Prebaked};
+pub use runner::{
+    combo_seed, combo_seed_parts, CampaignConfig, PhaseGuard, Prebaked, TrialError, TrialResult,
+};
 pub use sefi_telemetry::TrialOutcome;
 
 /// Parse `--budget <name>` (or `SEFI_BUDGET`) from a binary's args;
@@ -56,4 +58,22 @@ pub fn budget_from_args() -> Budget {
             std::process::exit(2);
         }),
     }
+}
+
+/// Campaign configuration for a binary named `name`, honoring the shared
+/// command-line flags: `--results-dir <path>` redirects everything the
+/// campaign writes (default `results/`), and `--retry-failed` re-executes
+/// trials whose manifest record is a failure instead of serving it.
+pub fn campaign_config_from_args(name: &str) -> CampaignConfig {
+    let args: Vec<String> = std::env::args().collect();
+    let mut cfg = CampaignConfig::new(name);
+    for i in 0..args.len() {
+        if args[i] == "--results-dir" && i + 1 < args.len() {
+            cfg = cfg.results_dir(&args[i + 1]);
+        }
+        if args[i] == "--retry-failed" {
+            cfg = cfg.retry_failed(true);
+        }
+    }
+    cfg
 }

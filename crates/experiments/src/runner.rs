@@ -12,22 +12,188 @@ use sefi_nn::{EpochRecord, StateDict};
 use sefi_telemetry::{digest64, Aggregator, Event, JsonlSink, Manifest, TrialOutcome, TrialRecord};
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
+
+/// Why a trial could not produce an outcome: a propagated error from the
+/// corruption/restore/replay machinery, or (via the runner's panic guard)
+/// the message of a panic that unwound out of the trial closure. Either
+/// way the trial becomes a recorded [`TrialOutcome::failed`] instead of
+/// killing the campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrialError {
+    reason: String,
+}
+
+impl TrialError {
+    /// A failure with an explicit reason.
+    pub fn new(reason: impl Into<String>) -> Self {
+        TrialError { reason: reason.into() }
+    }
+
+    /// The human-readable failure reason recorded in the manifest.
+    pub fn reason(&self) -> &str {
+        &self.reason
+    }
+}
+
+impl std::fmt::Display for TrialError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.reason)
+    }
+}
+
+impl From<String> for TrialError {
+    fn from(reason: String) -> Self {
+        TrialError::new(reason)
+    }
+}
+
+impl From<&str> for TrialError {
+    fn from(reason: &str) -> Self {
+        TrialError::new(reason)
+    }
+}
+
+impl From<sefi_core::CorruptError> for TrialError {
+    fn from(e: sefi_core::CorruptError) -> Self {
+        TrialError::new(e.to_string())
+    }
+}
+
+impl From<sefi_hdf5::Error> for TrialError {
+    fn from(e: sefi_hdf5::Error) -> Self {
+        TrialError::new(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for TrialError {
+    fn from(e: std::io::Error) -> Self {
+        TrialError::new(e.to_string())
+    }
+}
+
+/// What a trial closure returns: a completed outcome, or the reason it
+/// could not complete.
+pub type TrialResult = Result<TrialOutcome, TrialError>;
+
+/// Panic capture for trial isolation: a process-wide hook (installed once,
+/// chaining to the previous hook) that, while the current thread is inside
+/// a guarded trial, records the panic message + location into a
+/// thread-local slot instead of printing a backtrace to stderr.
+mod panic_capture {
+    use std::cell::RefCell;
+    use std::panic::{self, AssertUnwindSafe};
+    use std::sync::Once;
+
+    thread_local! {
+        // None: not capturing (delegate to the previous hook).
+        // Some(None): capturing, no panic seen yet.
+        // Some(Some(msg)): capturing, panic message recorded.
+        static CAPTURE: RefCell<Option<Option<String>>> = const { RefCell::new(None) };
+    }
+
+    fn install_hook() {
+        static INSTALL: Once = Once::new();
+        INSTALL.call_once(|| {
+            let prev = panic::take_hook();
+            panic::set_hook(Box::new(move |info| {
+                let captured = CAPTURE.with(|slot| {
+                    let mut slot = slot.borrow_mut();
+                    match slot.as_mut() {
+                        Some(msg) => {
+                            let payload = info
+                                .payload()
+                                .downcast_ref::<&str>()
+                                .map(|s| s.to_string())
+                                .or_else(|| info.payload().downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "non-string panic payload".to_string());
+                            *msg = Some(match info.location() {
+                                Some(loc) => {
+                                    format!("{payload} at {}:{}", loc.file(), loc.line())
+                                }
+                                None => payload,
+                            });
+                            true
+                        }
+                        None => false,
+                    }
+                });
+                if !captured {
+                    prev(info);
+                }
+            }));
+        });
+    }
+
+    /// Run `f`, converting any panic into `Err(message)`. Panics outside
+    /// `catch` (other threads, nested non-trial code) behave normally.
+    pub fn catch<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+        install_hook();
+        CAPTURE.with(|slot| *slot.borrow_mut() = Some(None));
+        let result = panic::catch_unwind(AssertUnwindSafe(f));
+        let message = CAPTURE.with(|slot| slot.borrow_mut().take()).flatten();
+        match result {
+            Ok(v) => Ok(v),
+            Err(payload) => Err(message.unwrap_or_else(|| {
+                payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string())
+            })),
+        }
+    }
+}
+
+/// Test-only fault hook: when `SEFI_FAIL_TRIAL="experiment:cell:trial"` is
+/// set, the matching trial panics inside the runner's guard. Lets CI prove
+/// a deliberately-failing cell is isolated without patching experiment
+/// code. Parsed once; the cell itself may contain colons.
+fn injected_failure(experiment: &str, cell: &str, trial: usize) -> bool {
+    static TARGET: OnceLock<Option<(String, String, usize)>> = OnceLock::new();
+    let target = TARGET.get_or_init(|| {
+        let spec = std::env::var("SEFI_FAIL_TRIAL").ok()?;
+        let (exp, rest) = spec.split_once(':')?;
+        let (cell, trial) = rest.rsplit_once(':')?;
+        Some((exp.to_string(), cell.to_string(), trial.parse().ok()?))
+    });
+    matches!(target, Some((e, c, t)) if e == experiment && c == cell && *t == trial)
+}
 
 /// Master seed of the whole experimental campaign.
 const CAMPAIGN_SEED: u64 = 0x5EF1_2021;
 
+/// Version of the manifest key-space: bumped whenever `combo_seed` or the
+/// record semantics change, so records minted by an older runner are never
+/// cross-served to a newer one. Mixed into the campaign config digest.
+const MANIFEST_SCHEMA: u32 = 2;
+
 /// Stable per-trial seed: a pure function of (framework, model, experiment
 /// label, trial index), so any table cell can be recomputed in isolation.
 pub fn combo_seed(fw: FrameworkKind, model: ModelKind, label: &str, trial: usize) -> u64 {
+    combo_seed_parts(fw.id(), model.id(), label, trial)
+}
+
+/// The hash behind [`combo_seed`], over the raw id strings. Each string
+/// field is hashed behind a length prefix, so the encoding is prefix-free
+/// and distinct `(fw, model, label)` triples like `("ab","c")`/`("a","bc")`
+/// can no longer concatenate to the same byte stream (which previously let
+/// manifest-cached outcomes cross-serve between cells). Public so property
+/// tests can probe injectivity over the field boundaries.
+pub fn combo_seed_parts(fw: &str, model: &str, label: &str, trial: usize) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in
-        fw.id().bytes().chain(model.id().bytes()).chain(label.bytes()).chain(trial.to_le_bytes())
-    {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    let mut mix = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for field in [fw, model, label] {
+        mix(&(field.len() as u64).to_le_bytes());
+        mix(field.as_bytes());
     }
+    mix(&trial.to_le_bytes());
     h ^ CAMPAIGN_SEED
 }
 
@@ -41,17 +207,30 @@ pub struct CampaignConfig {
     /// (`<results_dir>/<experiment>/manifest.jsonl`,
     /// `<results_dir>/telemetry.jsonl`).
     pub results_dir: PathBuf,
+    /// Re-execute trials whose manifest record is a failure instead of
+    /// serving the recorded failure. Successes are never re-executed.
+    pub retry_failed: bool,
 }
 
 impl CampaignConfig {
     /// A campaign writing under the conventional `results/` directory.
     pub fn new(name: &str) -> Self {
-        CampaignConfig { name: name.to_string(), results_dir: PathBuf::from("results") }
+        CampaignConfig {
+            name: name.to_string(),
+            results_dir: PathBuf::from("results"),
+            retry_failed: false,
+        }
     }
 
     /// Redirect everything the campaign writes to `dir`.
     pub fn results_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.results_dir = dir.into();
+        self
+    }
+
+    /// Re-run manifest-recorded failures (the `--retry-failed` flag).
+    pub fn retry_failed(mut self, retry: bool) -> Self {
+        self.retry_failed = retry;
         self
     }
 }
@@ -62,6 +241,7 @@ struct Campaign {
     name: String,
     config_digest: String,
     results_dir: PathBuf,
+    retry_failed: bool,
     sink: JsonlSink,
     aggregator: Aggregator,
     manifests: Mutex<HashMap<String, Arc<Manifest>>>,
@@ -141,7 +321,10 @@ impl Prebaked {
     /// re-run skip every trial already on record.
     pub fn with_campaign(budget: Budget, config: CampaignConfig) -> std::io::Result<Self> {
         let sink = JsonlSink::to_file(config.results_dir.join("telemetry.jsonl"))?;
-        let config_digest = digest64(&format!("{budget:?}"));
+        // The manifest schema version scopes the digest: bumping it (e.g.
+        // for the combo_seed separator fix) retires every record minted by
+        // an older runner instead of silently misreading it.
+        let config_digest = digest64(&format!("schema=v{MANIFEST_SCHEMA};{budget:?}"));
         sink.emit(&Event::CampaignStart {
             campaign: config.name.clone(),
             budget: budget.name.to_string(),
@@ -152,6 +335,7 @@ impl Prebaked {
             name: config.name,
             config_digest,
             results_dir: config.results_dir,
+            retry_failed: config.retry_failed,
             sink,
             aggregator: Aggregator::new(),
             manifests: Mutex::new(HashMap::new()),
@@ -178,6 +362,11 @@ impl Prebaked {
         self.campaign.as_ref().map(|c| c.aggregator.totals())
     }
 
+    /// Trials recorded as failed so far. `None` without a campaign.
+    pub fn campaign_failed(&self) -> Option<u64> {
+        self.campaign.as_ref().map(|c| c.aggregator.failed_total())
+    }
+
     /// Close the campaign: emit `CampaignEnd` and return the rendered
     /// trial summary. `None` without a campaign.
     pub fn finish_campaign(&self) -> Option<String> {
@@ -187,21 +376,42 @@ impl Prebaked {
             campaign: c.name.clone(),
             trials_run,
             trials_cached,
+            trials_failed: c.aggregator.failed_total(),
             duration_ns: c.started.elapsed().as_nanos() as u64,
         });
         Some(c.aggregator.render())
     }
 
+    /// Path for a campaign artifact (CSV, report) named `name`: under the
+    /// campaign's results directory when one is attached, else under the
+    /// conventional `results/`. Creates the directory.
+    pub fn results_file(&self, name: &str) -> PathBuf {
+        let dir = match &self.campaign {
+            Some(c) => c.results_dir.clone(),
+            None => PathBuf::from("results"),
+        };
+        let _ = std::fs::create_dir_all(&dir);
+        dir.join(name)
+    }
+
     /// Run the `trials` of one experiment cell, in parallel, through the
-    /// campaign machinery.
+    /// campaign machinery, with per-trial fault isolation.
     ///
     /// Each trial's seed is `combo_seed(fw, model, cell, trial)`; the
-    /// closure receives `(trial, seed)` and returns what the trial
-    /// produced. Under a campaign, a trial whose seed is already in the
+    /// closure receives `(trial, seed)` and returns `Ok(outcome)` or an
+    /// error describing why the trial could not complete. Errors — and
+    /// panics that unwind out of the closure — become recorded
+    /// [`TrialOutcome::failed`] outcomes carrying the reason; the other
+    /// trials of the cell (and the rest of the campaign) keep running.
+    ///
+    /// Under a campaign, a trial whose seed is already in the
     /// experiment's manifest (with a matching config digest) is served
     /// from the recorded outcome; every executed trial is appended to the
     /// manifest and flushed before the cell completes, so a killed
     /// campaign resumes with zero re-execution of completed trials.
+    /// Recorded failures are also served (resume skips known-bad trials)
+    /// unless the campaign was opened with
+    /// [`CampaignConfig::retry_failed`].
     pub fn run_trials(
         &self,
         experiment: &str,
@@ -209,12 +419,48 @@ impl Prebaked {
         fw: FrameworkKind,
         model: ModelKind,
         trials: usize,
-        f: impl Fn(usize, u64) -> TrialOutcome + Sync,
+        f: impl Fn(usize, u64) -> TrialResult + Sync,
     ) -> Vec<TrialOutcome> {
+        self.run_trials_validated(experiment, cell, fw, model, trials, |_| true, f)
+    }
+
+    /// [`Prebaked::run_trials`] with a validity check on manifest-cached
+    /// records: a cached non-failed outcome rejected by `valid` (e.g. an
+    /// old-schema record missing a field the caller needs) is re-executed
+    /// instead of served.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_trials_validated(
+        &self,
+        experiment: &str,
+        cell: &str,
+        fw: FrameworkKind,
+        model: ModelKind,
+        trials: usize,
+        valid: impl Fn(&TrialOutcome) -> bool + Sync,
+        f: impl Fn(usize, u64) -> TrialResult + Sync,
+    ) -> Vec<TrialOutcome> {
+        // Run one trial through the panic guard, yielding the outcome to
+        // record: the closure's own, or a failed outcome carrying the
+        // propagated error / captured panic message.
+        let execute = |trial: usize, seed: u64| -> TrialOutcome {
+            let guarded = panic_capture::catch(|| {
+                if injected_failure(experiment, cell, trial) {
+                    panic!("injected test failure (SEFI_FAIL_TRIAL)");
+                }
+                f(trial, seed)
+            });
+            let failure = match guarded {
+                Ok(Ok(outcome)) => return outcome,
+                Ok(Err(e)) => e.reason,
+                Err(msg) => format!("panic: {msg}"),
+            };
+            eprintln!("trial failed: {experiment}/{cell} trial {trial} (seed {seed:x}): {failure}");
+            TrialOutcome::failed(failure)
+        };
         let Some(c) = &self.campaign else {
             return (0..trials)
                 .into_par_iter()
-                .map(|t| f(t, combo_seed(fw, model, cell, t)))
+                .map(|t| execute(t, combo_seed(fw, model, cell, t)))
                 .collect();
         };
         let manifest = c.manifest_for(experiment);
@@ -223,20 +469,24 @@ impl Prebaked {
             .map(|trial| {
                 let seed = combo_seed(fw, model, cell, trial);
                 if let Some(rec) = manifest.lookup(seed, &c.config_digest) {
-                    c.sink.emit(&Event::TrialEnd {
-                        experiment: experiment.to_string(),
-                        cell: cell.to_string(),
-                        trial: trial as u64,
-                        seed,
-                        status: rec.outcome.status.clone(),
-                        duration_ns: rec.duration_ns,
-                        injections: rec.outcome.injections,
-                        nan_redraws: rec.outcome.nan_redraws,
-                        skipped: rec.outcome.skipped,
-                        cached: true,
-                    });
-                    c.aggregator.record(experiment, &rec.outcome.status, rec.duration_ns, true);
-                    return rec.outcome;
+                    let serve =
+                        if rec.outcome.is_failed() { !c.retry_failed } else { valid(&rec.outcome) };
+                    if serve {
+                        c.sink.emit(&Event::TrialEnd {
+                            experiment: experiment.to_string(),
+                            cell: cell.to_string(),
+                            trial: trial as u64,
+                            seed,
+                            status: rec.outcome.status.clone(),
+                            duration_ns: rec.duration_ns,
+                            injections: rec.outcome.injections,
+                            nan_redraws: rec.outcome.nan_redraws,
+                            skipped: rec.outcome.skipped,
+                            cached: true,
+                        });
+                        c.aggregator.record(experiment, &rec.outcome.status, rec.duration_ns, true);
+                        return rec.outcome;
+                    }
                 }
                 c.sink.emit(&Event::TrialStart {
                     experiment: experiment.to_string(),
@@ -245,8 +495,18 @@ impl Prebaked {
                     seed,
                 });
                 let t0 = Instant::now();
-                let outcome = f(trial, seed);
+                let outcome = execute(trial, seed);
                 let duration_ns = t0.elapsed().as_nanos() as u64;
+                if let Some(reason) = &outcome.failure {
+                    c.sink.emit(&Event::TrialFailed {
+                        experiment: experiment.to_string(),
+                        cell: cell.to_string(),
+                        trial: trial as u64,
+                        seed,
+                        reason: reason.clone(),
+                        duration_ns,
+                    });
+                }
                 if let Err(e) = manifest.record(TrialRecord {
                     experiment: experiment.to_string(),
                     cell: cell.to_string(),
@@ -383,7 +643,9 @@ impl Prebaked {
     }
 
     /// Resume a (possibly corrupted) checkpoint and train `epochs` more.
-    /// Returns the outcome; the session is discarded.
+    /// Returns the outcome; the session is discarded. Panics if the
+    /// checkpoint is structurally unloadable — trial closures should use
+    /// [`Prebaked::try_resume`] so that case becomes a recorded failure.
     pub fn resume(
         &self,
         fw: FrameworkKind,
@@ -391,10 +653,24 @@ impl Prebaked {
         file: &H5File,
         epochs: usize,
     ) -> sefi_nn::TrainOutcome {
+        self.try_resume(fw, model, file, epochs)
+            .expect("corrupted checkpoints remain structurally valid")
+    }
+
+    /// Fallible [`Prebaked::resume`]: a checkpoint the framework cannot
+    /// restore (bit flips can corrupt structure, not just values) becomes
+    /// an `Err` instead of a panic.
+    pub fn try_resume(
+        &self,
+        fw: FrameworkKind,
+        model: ModelKind,
+        file: &H5File,
+        epochs: usize,
+    ) -> Result<sefi_nn::TrainOutcome, TrialError> {
         let mut session = self.fresh_session(fw, model);
-        session.restore(file).expect("corrupted checkpoints remain structurally valid");
+        session.restore(file).map_err(|e| TrialError::new(format!("restore failed: {e}")))?;
         let target = session.epoch() + epochs;
-        session.train_to(&self.data, target)
+        Ok(session.train_to(&self.data, target))
     }
 
     /// The deterministic error-free resumed trajectory for (model, dtype):
@@ -446,6 +722,15 @@ mod tests {
     }
 
     #[test]
+    fn combo_seed_separates_field_boundaries() {
+        // Regression: without length prefixes these concatenate to the
+        // same byte stream and cross-served manifest records.
+        assert_ne!(combo_seed_parts("ab", "c", "t", 0), combo_seed_parts("a", "bc", "t", 0));
+        assert_ne!(combo_seed_parts("a", "bc", "t", 0), combo_seed_parts("a", "b", "ct", 0));
+        assert_ne!(combo_seed_parts("", "ab", "t", 0), combo_seed_parts("ab", "", "t", 0));
+    }
+
+    #[test]
     fn prebaked_checkpoint_and_resume_are_deterministic() {
         let pre = Prebaked::new(Budget::smoke());
         let ck1 = pre.checkpoint(FrameworkKind::Chainer, ModelKind::AlexNet, Dtype::F64);
@@ -480,10 +765,10 @@ mod tests {
         let run = |pre: &Prebaked, trials: usize| {
             pre.run_trials("unit", "cell", fw, model, trials, |trial, seed| {
                 executed.fetch_add(1, Ordering::Relaxed);
-                TrialOutcome::ok()
+                Ok(TrialOutcome::ok()
                     .with_accuracy((seed % 1000) as f64 / 1000.0)
                     .with_curve(vec![trial as f64, 0.5])
-                    .with_counters(7, 1, 0)
+                    .with_counters(7, 1, 0))
             })
         };
 
@@ -512,6 +797,149 @@ mod tests {
         assert_eq!(third, second);
         assert!(dir.join("unit/manifest.jsonl").exists());
         assert!(dir.join("telemetry.jsonl").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn panicking_trial_is_isolated_recorded_and_retried_only_on_request() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let dir = scratch_dir("panic");
+        let fw = FrameworkKind::Chainer;
+        let model = ModelKind::AlexNet;
+        let executed = AtomicUsize::new(0);
+        let run = |pre: &Prebaked, panic_on_2: bool| {
+            pre.run_trials("unit", "cell", fw, model, 5, |trial, seed| {
+                executed.fetch_add(1, Ordering::Relaxed);
+                if panic_on_2 && trial == 2 {
+                    panic!("boom at trial {trial}");
+                }
+                Ok(TrialOutcome::ok().with_accuracy((seed % 1000) as f64 / 1000.0))
+            })
+        };
+
+        // A panic on trial 2 does not stop trials 0,1,3,4; the failure is
+        // recorded with the panic message and location.
+        let cfg = CampaignConfig::new("unit").results_dir(&dir);
+        let pre1 = Prebaked::with_campaign(Budget::smoke(), cfg.clone()).unwrap();
+        let first = run(&pre1, true);
+        assert_eq!(executed.load(Ordering::Relaxed), 5);
+        assert_eq!(first.len(), 5);
+        assert!(first[2].is_failed());
+        let reason = first[2].failure.as_deref().unwrap();
+        assert!(reason.contains("boom at trial 2"), "reason: {reason}");
+        assert!(reason.contains("runner.rs"), "reason lacks location: {reason}");
+        assert!(first.iter().enumerate().all(|(i, o)| i == 2 || !o.is_failed()));
+        assert_eq!(pre1.campaign_failed(), Some(1));
+        drop(pre1);
+
+        // The failure is in the manifest and the telemetry stream.
+        let manifest = std::fs::read_to_string(dir.join("unit/manifest.jsonl")).unwrap();
+        assert!(manifest.contains("boom at trial 2"));
+        let stream = std::fs::read_to_string(dir.join("telemetry.jsonl")).unwrap();
+        assert!(stream.contains("TrialFailed"));
+
+        // Resume without --retry-failed: nothing executes; the recorded
+        // failure is served.
+        let pre2 = Prebaked::with_campaign(Budget::smoke(), cfg.clone()).unwrap();
+        let second = run(&pre2, false);
+        assert_eq!(executed.load(Ordering::Relaxed), 5);
+        assert_eq!(pre2.campaign_totals(), Some((0, 5)));
+        assert!(second[2].is_failed());
+        drop(pre2);
+
+        // --retry-failed re-executes exactly the failed trial; with the
+        // panic gone it now succeeds, and a further resume serves it.
+        let pre3 =
+            Prebaked::with_campaign(Budget::smoke(), cfg.clone().retry_failed(true)).unwrap();
+        let third = run(&pre3, false);
+        assert_eq!(executed.load(Ordering::Relaxed), 6);
+        assert_eq!(pre3.campaign_totals(), Some((1, 4)));
+        assert!(!third[2].is_failed());
+        drop(pre3);
+
+        let pre4 = Prebaked::with_campaign(Budget::smoke(), cfg).unwrap();
+        let fourth = run(&pre4, false);
+        assert_eq!(executed.load(Ordering::Relaxed), 6);
+        assert_eq!(pre4.campaign_totals(), Some((0, 5)));
+        assert_eq!(fourth, third);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn err_returning_trial_is_recorded_without_panicking() {
+        let pre = Prebaked::new(Budget::smoke());
+        let out = pre.run_trials(
+            "unit",
+            "cell",
+            FrameworkKind::Chainer,
+            ModelKind::AlexNet,
+            3,
+            |trial, _seed| {
+                if trial == 1 {
+                    Err(TrialError::new("restore failed: truncated file"))
+                } else {
+                    Ok(TrialOutcome::ok())
+                }
+            },
+        );
+        assert!(!out[0].is_failed() && !out[2].is_failed());
+        assert!(out[1].is_failed());
+        assert_eq!(out[1].failure.as_deref(), Some("restore failed: truncated file"));
+    }
+
+    #[test]
+    fn invalid_cached_records_are_reexecuted() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let dir = scratch_dir("valid");
+        let cfg = CampaignConfig::new("unit").results_dir(&dir);
+        let fw = FrameworkKind::Chainer;
+        let model = ModelKind::AlexNet;
+        let executed = AtomicUsize::new(0);
+
+        // First pass records outcomes without an accuracy — standing in
+        // for records written by an older schema.
+        let pre1 = Prebaked::with_campaign(Budget::smoke(), cfg.clone()).unwrap();
+        pre1.run_trials("unit", "cell", fw, model, 2, |_, _| {
+            executed.fetch_add(1, Ordering::Relaxed);
+            Ok(TrialOutcome::ok())
+        });
+        assert_eq!(executed.load(Ordering::Relaxed), 2);
+        drop(pre1);
+
+        // A validated resume rejects them and re-runs; a plain resume of
+        // the repaired records then serves from cache.
+        let pre2 = Prebaked::with_campaign(Budget::smoke(), cfg.clone()).unwrap();
+        let out = pre2.run_trials_validated(
+            "unit",
+            "cell",
+            fw,
+            model,
+            2,
+            |o| o.final_accuracy.is_some(),
+            |_, _| {
+                executed.fetch_add(1, Ordering::Relaxed);
+                Ok(TrialOutcome::ok().with_accuracy(0.5))
+            },
+        );
+        assert_eq!(executed.load(Ordering::Relaxed), 4);
+        assert!(out.iter().all(|o| o.final_accuracy.is_some()));
+        drop(pre2);
+
+        let pre3 = Prebaked::with_campaign(Budget::smoke(), cfg).unwrap();
+        pre3.run_trials_validated(
+            "unit",
+            "cell",
+            fw,
+            model,
+            2,
+            |o| o.final_accuracy.is_some(),
+            |_, _| {
+                executed.fetch_add(1, Ordering::Relaxed);
+                Ok(TrialOutcome::ok().with_accuracy(0.5))
+            },
+        );
+        assert_eq!(executed.load(Ordering::Relaxed), 4);
+        assert_eq!(pre3.campaign_totals(), Some((0, 2)));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

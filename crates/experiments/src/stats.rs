@@ -34,13 +34,18 @@ pub struct FiveNum {
 }
 
 /// Compute the five-number summary (linear-interpolated quantiles).
-/// Returns `None` for an empty slice.
-pub fn five_number_summary(xs: &[f64]) -> Option<FiveNum> {
-    if xs.is_empty() {
-        return None;
+///
+/// NaNs — which NEV-corrupted resumes do feed in via weight diffs — are
+/// dropped before the quantiles; the second element counts how many were
+/// dropped so callers can report it. Returns `(None, dropped)` when no
+/// finite-or-infinite values remain.
+pub fn five_number_summary(xs: &[f64]) -> (Option<FiveNum>, usize) {
+    let mut sorted: Vec<f64> = xs.iter().copied().filter(|x| !x.is_nan()).collect();
+    let dropped = xs.len() - sorted.len();
+    if sorted.is_empty() {
+        return (None, dropped);
     }
-    let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in summaries"));
+    sorted.sort_by(f64::total_cmp);
     let q = |p: f64| -> f64 {
         let idx = p * (sorted.len() - 1) as f64;
         let lo = idx.floor() as usize;
@@ -48,13 +53,14 @@ pub fn five_number_summary(xs: &[f64]) -> Option<FiveNum> {
         let frac = idx - lo as f64;
         sorted[lo] * (1.0 - frac) + sorted[hi] * frac
     };
-    Some(FiveNum {
+    let summary = FiveNum {
         min: sorted[0],
         q1: q(0.25),
         median: q(0.5),
         q3: q(0.75),
         max: sorted[sorted.len() - 1],
-    })
+    };
+    (Some(summary), dropped)
 }
 
 /// `count / total` as a percentage.
@@ -80,17 +86,36 @@ mod tests {
 
     #[test]
     fn five_number_on_known_data() {
-        let s = five_number_summary(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        let (s, dropped) = five_number_summary(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let s = s.unwrap();
+        assert_eq!(dropped, 0);
         assert_eq!(s.min, 1.0);
         assert_eq!(s.q1, 2.0);
         assert_eq!(s.median, 3.0);
         assert_eq!(s.q3, 4.0);
         assert_eq!(s.max, 5.0);
-        assert!(five_number_summary(&[]).is_none());
-        let single = five_number_summary(&[7.0]).unwrap();
+        assert_eq!(five_number_summary(&[]), (None, 0));
+        let (single, _) = five_number_summary(&[7.0]);
+        let single = single.unwrap();
         assert_eq!(single.median, 7.0);
         assert_eq!(single.min, 7.0);
         assert_eq!(single.max, 7.0);
+    }
+
+    #[test]
+    fn five_number_drops_nans_instead_of_panicking() {
+        let (s, dropped) = five_number_summary(&[f64::NAN, 2.0, 1.0, f64::NAN, 3.0]);
+        let s = s.unwrap();
+        assert_eq!(dropped, 2);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.max, 3.0);
+        // Infinities survive the sort (total_cmp orders them).
+        let (inf, dropped) = five_number_summary(&[f64::INFINITY, 0.0]);
+        assert_eq!(dropped, 0);
+        assert_eq!(inf.unwrap().max, f64::INFINITY);
+        // All-NaN input yields no summary but reports the drops.
+        assert_eq!(five_number_summary(&[f64::NAN]), (None, 1));
     }
 
     #[test]

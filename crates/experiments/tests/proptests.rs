@@ -1,0 +1,86 @@
+//! Property-based tests for the campaign seed derivation.
+//!
+//! `combo_seed_parts` is the manifest resume key: two distinct
+//! (framework, model, label, trial) combinations sharing a seed would let
+//! one cell's recorded outcome silently answer for another. The fields are
+//! hashed behind length prefixes precisely so that moving bytes across a
+//! field boundary — ("ab","c") vs ("a","bc") — changes the stream.
+
+use proptest::prelude::*;
+use sefi_experiments::combo_seed_parts;
+
+fn short_id() -> impl Strategy<Value = String> {
+    "[a-z0-9]{0,6}"
+}
+
+proptest! {
+    /// Re-splitting the same concatenated bytes at a different field
+    /// boundary must change the seed (the historical collision class).
+    #[test]
+    fn seed_distinguishes_field_boundaries(
+        fw in short_id(),
+        model in short_id(),
+        label in short_id(),
+        trial in 0usize..32,
+        shift in 1usize..4,
+    ) {
+        // Move `shift` trailing bytes of `fw` onto the front of `model`.
+        prop_assume!(fw.len() >= shift);
+        let moved_fw = &fw[..fw.len() - shift];
+        let moved_model = format!("{}{}", &fw[fw.len() - shift..], model);
+        prop_assert_ne!(
+            combo_seed_parts(&fw, &model, &label, trial),
+            combo_seed_parts(moved_fw, &moved_model, &label, trial),
+            "boundary shift between fw/model must reseed"
+        );
+    }
+
+    /// Same, for the model/label boundary.
+    #[test]
+    fn seed_distinguishes_model_label_boundary(
+        fw in short_id(),
+        model in short_id(),
+        label in short_id(),
+        trial in 0usize..32,
+        shift in 1usize..4,
+    ) {
+        prop_assume!(model.len() >= shift);
+        let moved_model = &model[..model.len() - shift];
+        let moved_label = format!("{}{}", &model[model.len() - shift..], label);
+        prop_assert_ne!(
+            combo_seed_parts(&fw, &model, &label, trial),
+            combo_seed_parts(&fw, moved_model, &moved_label, trial),
+            "boundary shift between model/label must reseed"
+        );
+    }
+
+    /// Injectivity over a brute-forced space of short ids: no two distinct
+    /// (fw, model, label) triples may collide for the same trial.
+    #[test]
+    fn seed_is_injective_over_short_ids(trial in 0usize..8) {
+        use std::collections::HashMap;
+        let parts = ["", "a", "b", "ab", "ba", "aa", "abc"];
+        let mut seen: HashMap<u64, (usize, usize, usize)> = HashMap::new();
+        for (i, fw) in parts.iter().enumerate() {
+            for (j, model) in parts.iter().enumerate() {
+                for (k, label) in parts.iter().enumerate() {
+                    let seed = combo_seed_parts(fw, model, label, trial);
+                    if let Some(prev) = seen.insert(seed, (i, j, k)) {
+                        prop_assert_eq!(prev, (i, j, k), "collision at seed {:#x}", seed);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The trial index must always perturb the seed.
+    #[test]
+    fn seed_depends_on_trial(fw in short_id(), model in short_id(), label in short_id(),
+                             a in 0usize..64, b in 0usize..64) {
+        prop_assume!(a != b);
+        prop_assert_ne!(
+            combo_seed_parts(&fw, &model, &label, a),
+            combo_seed_parts(&fw, &model, &label, b)
+        );
+    }
+}

@@ -42,9 +42,13 @@ pub struct Metric {
 /// (e.g. the RWC deviation of a collapsed trial).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrialOutcome {
-    /// Coarse outcome class, e.g. `"ok"` or `"collapsed"`; feeds the
-    /// aggregator's histogram.
+    /// Coarse outcome class, e.g. `"ok"`, `"collapsed"`, or
+    /// [`FAILED_STATUS`]; feeds the aggregator's histogram.
     pub status: String,
+    /// Why the trial failed (panic message or propagated error), present
+    /// exactly when `status == FAILED_STATUS`. Records written before this
+    /// field existed deserialize as `None`.
+    pub failure: Option<String>,
     /// The trial's boolean verdict — training collapse for resume
     /// experiments, N-EV-in-weights for inference experiments.
     pub collapsed: bool,
@@ -65,11 +69,18 @@ pub struct TrialOutcome {
     pub payload: Option<String>,
 }
 
+/// The status string of a trial that did not produce a result (its body
+/// panicked or returned an error). Failed trials are recorded in the
+/// manifest so a resumed campaign skips them by default; they carry no
+/// measurements, only a `failure` reason.
+pub const FAILED_STATUS: &str = "failed";
+
 impl TrialOutcome {
     /// A successful trial with no measurements attached yet.
     pub fn ok() -> Self {
         TrialOutcome {
             status: "ok".to_string(),
+            failure: None,
             collapsed: false,
             final_accuracy: None,
             curve: Vec::new(),
@@ -79,6 +90,20 @@ impl TrialOutcome {
             skipped: 0,
             payload: None,
         }
+    }
+
+    /// A trial whose body panicked or errored instead of producing a
+    /// result. Carries the reason; every measurement field stays empty.
+    pub fn failed(reason: impl Into<String>) -> Self {
+        let mut o = TrialOutcome::ok();
+        o.status = FAILED_STATUS.to_string();
+        o.failure = Some(reason.into());
+        o
+    }
+
+    /// Whether this outcome records a failed (panicked/errored) trial.
+    pub fn is_failed(&self) -> bool {
+        self.status == FAILED_STATUS
     }
 
     /// Record the trial's boolean verdict; a `true` verdict also flips the
@@ -177,6 +202,8 @@ pub enum Event {
         trials_run: u64,
         /// Trials served from the manifest.
         trials_cached: u64,
+        /// Trials (executed or cached) whose outcome is failed.
+        trials_failed: u64,
         /// Campaign wall-clock duration.
         duration_ns: u64,
     },
@@ -202,6 +229,23 @@ pub enum Event {
         trial: u64,
         /// The trial's `combo_seed`.
         seed: u64,
+    },
+    /// A trial's body panicked or errored; the campaign recorded the
+    /// failure and moved on. Followed by a `TrialEnd` with
+    /// `status == "failed"`, so the start/end pairing stays intact.
+    TrialFailed {
+        /// Experiment name.
+        experiment: String,
+        /// Cell label.
+        cell: String,
+        /// Trial index.
+        trial: u64,
+        /// The trial's `combo_seed`.
+        seed: u64,
+        /// Panic message or propagated error, with injection context.
+        reason: String,
+        /// Wall-clock spent before the trial died.
+        duration_ns: u64,
     },
     /// A trial completed (or was served from the manifest, `cached: true`).
     TrialEnd {
@@ -272,6 +316,8 @@ pub struct ExperimentStats {
     pub run: u64,
     /// Trials served from the manifest.
     pub cached: u64,
+    /// Trials (executed or cached) whose status is [`FAILED_STATUS`].
+    pub failed: u64,
     /// Outcome status histogram.
     pub outcomes: BTreeMap<String, u64>,
     latencies_ns: Vec<u64>,
@@ -309,6 +355,9 @@ impl Aggregator {
         let mut stats = self.stats.lock();
         let e = stats.entry(experiment.to_string()).or_default();
         *e.outcomes.entry(status.to_string()).or_insert(0) += 1;
+        if status == FAILED_STATUS {
+            e.failed += 1;
+        }
         if cached {
             e.cached += 1;
         } else {
@@ -323,22 +372,29 @@ impl Aggregator {
         stats.values().fold((0, 0), |(r, c), e| (r + e.run, c + e.cached))
     }
 
+    /// Failed-trial total across all experiments (executed and cached).
+    pub fn failed_total(&self) -> u64 {
+        let stats = self.stats.lock();
+        stats.values().map(|e| e.failed).sum()
+    }
+
     /// The end-of-campaign summary table.
     pub fn render(&self) -> String {
         let stats = self.stats.lock();
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<12} {:>5} {:>7} {:>10} {:>10}  outcomes\n",
-            "experiment", "run", "cached", "p50", "p95"
+            "{:<12} {:>5} {:>7} {:>6} {:>10} {:>10}  outcomes\n",
+            "experiment", "run", "cached", "failed", "p50", "p95"
         ));
         for (name, e) in stats.iter() {
             let outcomes: Vec<String> =
                 e.outcomes.iter().map(|(s, n)| format!("{s}:{n}")).collect();
             out.push_str(&format!(
-                "{:<12} {:>5} {:>7} {:>10} {:>10}  {}\n",
+                "{:<12} {:>5} {:>7} {:>6} {:>10} {:>10}  {}\n",
                 name,
                 e.run,
                 e.cached,
+                e.failed,
                 fmt_ns(e.latency_percentile_ns(50.0)),
                 fmt_ns(e.latency_percentile_ns(95.0)),
                 outcomes.join(" ")
@@ -610,6 +666,52 @@ mod tests {
         assert_eq!(digest64("smoke"), digest64("smoke"));
         assert_ne!(digest64("smoke"), digest64("paper"));
         assert_eq!(digest64("smoke").len(), 16);
+    }
+
+    #[test]
+    fn failed_outcomes_roundtrip_and_feed_the_aggregator() {
+        let o = TrialOutcome::failed("panic: corruption succeeds");
+        assert!(o.is_failed());
+        assert_eq!(o.status, FAILED_STATUS);
+        let json = serde_json::to_string(&o).unwrap();
+        let back: TrialOutcome = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, o);
+        assert_eq!(back.failure.as_deref(), Some("panic: corruption succeeds"));
+
+        let agg = Aggregator::new();
+        agg.record("nev", "ok", 10, false);
+        agg.record("nev", FAILED_STATUS, 10, false);
+        agg.record("nev", FAILED_STATUS, 10, true);
+        assert_eq!(agg.failed_total(), 2);
+        let rendered = agg.render();
+        assert!(rendered.contains("failed"));
+        assert!(rendered.contains("failed:2"));
+    }
+
+    #[test]
+    fn pre_failure_schema_records_still_parse() {
+        // A manifest line written before `failure` existed: the field is
+        // absent entirely, and must deserialize as None.
+        let old = r#"{"status":"ok","collapsed":false,"final_accuracy":0.5,"curve":[],"metrics":[],"injections":1,"nan_redraws":0,"skipped":0,"payload":null}"#;
+        let o: TrialOutcome = serde_json::from_str(old).unwrap();
+        assert_eq!(o.failure, None);
+        assert!(!o.is_failed());
+        assert_eq!(o.final_accuracy, Some(0.5));
+    }
+
+    #[test]
+    fn trial_failed_event_roundtrips() {
+        let e = Event::TrialFailed {
+            experiment: "fig2".to_string(),
+            cell: "fig2-full value [0,63]".to_string(),
+            trial: 3,
+            seed: 77,
+            reason: "panic: corruption succeeds at exp_bitranges.rs:65".to_string(),
+            duration_ns: 9,
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        let back: Event = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
     }
 
     #[test]

@@ -122,7 +122,12 @@ pub fn field<T: Deserialize>(
 ) -> Result<T, DeError> {
     match map.iter().find(|(k, _)| k == name) {
         Some((_, v)) => T::from_content(v),
-        None => Err(DeError(format!("missing field `{name}` in {context}"))),
+        // Real serde deserializes a missing `Option<T>` field as `None`;
+        // feeding `Null` reproduces that (and schema evolution stays
+        // possible: new optional fields read cleanly from old JSON) while
+        // every non-nullable type still gets the missing-field error.
+        None => T::from_content(&Content::Null)
+            .map_err(|_| DeError(format!("missing field `{name}` in {context}"))),
     }
 }
 
