@@ -13,6 +13,19 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test --workspace -q
 
+echo "== kernel bench smoke =="
+# Quick pass of the kernel benchmark harness against the committed "before"
+# baselines: smoke-length measurements into a throwaway copy, with relaxed
+# speedup floors as a regression tripwire. (The committed BENCH_kernels.json
+# carries the full-length runs, which clear 3x on gemm_256 and 2x on the
+# alexnet epoch; smoke uses single-iteration epochs, hence the slack.)
+bench_dir="$(mktemp -d)"
+cp BENCH_kernels.json "$bench_dir/bench.json"
+cargo run -q --release -p sefi-bench --bin bench_kernels -- \
+  --label after --smoke --out "$bench_dir/bench.json" \
+  --assert-speedup gemm_256:2.0 --assert-speedup train_epoch_alexnet:1.3
+rm -rf "$bench_dir"
+
 echo "== smoke campaign: fault isolation =="
 # A deliberately failing trial (injected via the test-only SEFI_FAIL_TRIAL
 # hook) must not kill the campaign: every other trial completes, the failure

@@ -1,0 +1,48 @@
+//! Campaign results must not depend on the kernel generation: a training
+//! run under the tiled kernels and the same run under the retained naive
+//! reference must produce the *bit-identical* history and checkpoint.
+//! This is what licenses using the fast kernels for every experiment in
+//! the paper reproduction — they are a pure speedup, not a numerical
+//! variation source.
+//!
+//! Own binary: the kernel mode is process-global.
+
+use sefi_data::{DataConfig, SyntheticCifar10};
+use sefi_frameworks::{FrameworkKind, Session, SessionConfig};
+use sefi_hdf5::Dtype;
+use sefi_models::{ModelConfig, ModelKind};
+use sefi_nn::EpochRecord;
+use sefi_tensor::{set_kernel_mode, KernelMode};
+
+fn run(mode: KernelMode) -> (Vec<EpochRecord>, f64, Vec<u8>) {
+    set_kernel_mode(mode);
+    let data = SyntheticCifar10::generate(DataConfig {
+        train: 96,
+        test: 48,
+        image_size: 16,
+        seed: 11,
+        noise: 0.2,
+    });
+    let mut cfg = SessionConfig::new(FrameworkKind::Chainer, ModelKind::AlexNet, 5);
+    cfg.model_config = ModelConfig { scale: 0.05, input_size: 16, num_classes: 10 };
+    cfg.train.batch_size = 24;
+    let mut s = Session::new(cfg);
+    let out = s.train_to(&data, 3);
+    let acc = s.test_accuracy(&data);
+    let bytes = s.checkpoint(Dtype::F64).to_bytes();
+    (out.history().to_vec(), acc, bytes)
+}
+
+#[test]
+fn training_is_bit_identical_across_kernel_generations() {
+    let (tiled_hist, tiled_acc, tiled_ck) = run(KernelMode::Tiled);
+    let (naive_hist, naive_acc, naive_ck) = run(KernelMode::Naive);
+    set_kernel_mode(KernelMode::Tiled);
+    assert_eq!(tiled_hist, naive_hist, "epoch histories diverged");
+    assert_eq!(
+        tiled_acc.to_bits(),
+        naive_acc.to_bits(),
+        "final accuracy diverged: {tiled_acc} vs {naive_acc}"
+    );
+    assert_eq!(tiled_ck, naive_ck, "checkpoint bytes diverged");
+}

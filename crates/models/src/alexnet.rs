@@ -28,7 +28,8 @@ pub fn alexnet(config: ModelConfig, rng: &mut DetRng) -> (Network, ModelMeta) {
     let flat = c5 * spatial * spatial;
 
     let net = Network::new(vec![
-        Box::new(Conv2d::new("conv1", 3, c1, 3, 1, 1, rng)),
+        // First layer: nothing consumes its input gradient, skip it.
+        Box::new(Conv2d::new("conv1", 3, c1, 3, 1, 1, rng).skip_input_grad()),
         Box::new(ReLU::new("relu1")),
         Box::new(MaxPool2d::new("pool1", 2, 2)),
         Box::new(Conv2d::new("conv2", c1, c2, 3, 1, 1, rng)),

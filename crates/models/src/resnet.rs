@@ -47,7 +47,8 @@ pub fn resnet50(config: ModelConfig, rng: &mut DetRng) -> (Network, ModelMeta) {
     let mut layers: Vec<Box<dyn Layer>> = vec![
         // CIFAR stem: 3×3 stride 1 (the ImageNet 7×7/2 + maxpool would
         // collapse 32×32 inputs too aggressively).
-        Box::new(Conv2d::new("conv1", 3, stem, 3, 1, 1, rng)),
+        // First layer: nothing consumes its input gradient, skip it.
+        Box::new(Conv2d::new("conv1", 3, stem, 3, 1, 1, rng).skip_input_grad()),
         Box::new(BatchNorm2d::new("bn1", stem)),
         Box::new(ReLU::new("relu1")),
     ];

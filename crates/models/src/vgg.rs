@@ -30,7 +30,10 @@ pub fn vgg16(config: ModelConfig, rng: &mut DetRng) -> (Network, ModelMeta) {
         let out_ch = config.ch(full);
         for c in 0..convs {
             let name = format!("block{}_conv{}", b + 1, c + 1);
-            layers.push(Box::new(Conv2d::new(&name, in_ch, out_ch, 3, 1, 1, rng)));
+            let conv = Conv2d::new(&name, in_ch, out_ch, 3, 1, 1, rng);
+            // The very first conv's input gradient is never consumed.
+            let conv = if layers.is_empty() { conv.skip_input_grad() } else { conv };
+            layers.push(Box::new(conv));
             layers.push(Box::new(ReLU::new(&format!("block{}_relu{}", b + 1, c + 1))));
             weight_layers.push(name);
             in_ch = out_ch;

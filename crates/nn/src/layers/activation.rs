@@ -22,11 +22,14 @@ impl Layer for ReLU {
     }
 
     fn forward(&mut self, mut x: Tensor, _train: bool) -> Tensor {
+        // resize + zip instead of clear + push: the mask buffer is reused
+        // across steps and the loop has no per-element capacity check, so
+        // it vectorizes.
         self.mask.clear();
-        self.mask.reserve(x.len());
-        for v in x.data_mut() {
+        self.mask.resize(x.len(), false);
+        for (v, m) in x.data_mut().iter_mut().zip(&mut self.mask) {
             let pass = *v > 0.0;
-            self.mask.push(pass);
+            *m = pass;
             if !pass {
                 *v = 0.0;
             }

@@ -2,9 +2,13 @@
 
 use super::{Layer, ParamRefMut};
 use sefi_rng::DetRng;
-use sefi_tensor::{conv2d, conv2d_backward, he_normal, ConvSpec, Tensor};
+use sefi_tensor::{conv2d_backward_ws_ex, conv2d_ws, he_normal, ConvSpec, ConvWorkspace, Tensor};
 
 /// A convolutional layer with weights `[out_ch, in_ch, k, k]` and a bias.
+///
+/// Owns a [`ConvWorkspace`]: the backward pass reuses the im2col columns
+/// the forward pass unfolded, and all conv scratch buffers persist across
+/// steps (zero steady-state kernel allocations).
 pub struct Conv2d {
     name: String,
     weight: Tensor,
@@ -13,6 +17,8 @@ pub struct Conv2d {
     dbias: Tensor,
     spec: ConvSpec,
     cached_input: Option<Tensor>,
+    ws: ConvWorkspace,
+    skip_input_grad: bool,
 }
 
 impl Conv2d {
@@ -36,7 +42,17 @@ impl Conv2d {
             dbias: Tensor::zeros(&[out_ch]),
             spec: ConvSpec { stride, pad },
             cached_input: None,
+            ws: ConvWorkspace::new(),
+            skip_input_grad: false,
         }
+    }
+
+    /// Mark this layer as the first of its network: its input gradient is
+    /// never consumed, so the backward pass skips computing it (identically
+    /// under both kernel generations) and returns zeros instead.
+    pub fn skip_input_grad(mut self) -> Self {
+        self.skip_input_grad = true;
+        self
     }
 
     /// The convolution geometry.
@@ -56,17 +72,28 @@ impl Layer for Conv2d {
     }
 
     fn forward(&mut self, x: Tensor, _train: bool) -> Tensor {
-        let out = conv2d(&x, &self.weight, &self.bias, self.spec);
+        let out = conv2d_ws(&x, &self.weight, &self.bias, self.spec, &mut self.ws);
         self.cached_input = Some(x);
         out
     }
 
     fn backward(&mut self, dout: Tensor) -> Tensor {
         let x = self.cached_input.take().expect("backward before forward");
-        let grads = conv2d_backward(&x, &self.weight, &dout, self.spec);
+        let grads = conv2d_backward_ws_ex(
+            &x,
+            &self.weight,
+            &dout,
+            self.spec,
+            &mut self.ws,
+            !self.skip_input_grad,
+        );
         self.dweight.add_assign(&grads.dw);
         self.dbias.add_assign(&grads.db);
         grads.dx
+    }
+
+    fn workspace_bytes(&self) -> usize {
+        self.ws.retained_bytes()
     }
 
     fn params_mut(&mut self) -> Vec<ParamRefMut<'_>> {

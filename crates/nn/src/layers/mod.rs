@@ -75,4 +75,11 @@ pub trait Layer: Send {
             p.grad.data_mut().fill(0.0);
         }
     }
+
+    /// Bytes of kernel workspace this layer retains across steps (scratch
+    /// buffers reused instead of reallocated — see `sefi_tensor`'s
+    /// `ConvWorkspace`). Composite layers sum their children.
+    fn workspace_bytes(&self) -> usize {
+        0
+    }
 }

@@ -1,7 +1,7 @@
 //! Pooling layers.
 
 use super::Layer;
-use sefi_tensor::{avgpool2d, maxpool2d, maxpool2d_backward, PoolSpec, Tensor};
+use sefi_tensor::{avgpool2d, avgpool2d_backward, maxpool2d, maxpool2d_backward, PoolSpec, Tensor};
 
 /// Max pooling.
 pub struct MaxPool2d {
@@ -72,33 +72,7 @@ impl Layer for AvgPool2d {
 
     fn backward(&mut self, dout: Tensor) -> Tensor {
         assert!(!self.input_shape.is_empty(), "backward before forward");
-        // Spread each output gradient uniformly over its window.
-        let [n, c, h, w] =
-            [self.input_shape[0], self.input_shape[1], self.input_shape[2], self.input_shape[3]];
-        let oh = dout.shape()[2];
-        let ow = dout.shape()[3];
-        let norm = 1.0 / (self.spec.size * self.spec.size) as f32;
-        let mut dx = Tensor::zeros(&self.input_shape);
-        let d = dout.data();
-        let out = dx.data_mut();
-        for ni in 0..n {
-            for ci in 0..c {
-                let base = (ni * c + ci) * h * w;
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let g = d[((ni * c + ci) * oh + oy) * ow + ox] * norm;
-                        for ky in 0..self.spec.size {
-                            for kx in 0..self.spec.size {
-                                out[base
-                                    + (oy * self.spec.stride + ky) * w
-                                    + (ox * self.spec.stride + kx)] += g;
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        dx
+        avgpool2d_backward(&dout, &self.input_shape, self.spec)
     }
 }
 

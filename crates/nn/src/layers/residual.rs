@@ -116,6 +116,10 @@ impl Layer for Residual {
         }
         out
     }
+
+    fn workspace_bytes(&self) -> usize {
+        self.main.iter().chain(self.shortcut.iter()).map(|l| l.workspace_bytes()).sum()
+    }
 }
 
 #[cfg(test)]

@@ -146,6 +146,12 @@ impl Network {
     pub fn has_non_finite(&mut self) -> bool {
         self.state_dict().has_non_finite()
     }
+
+    /// Total bytes of kernel workspace retained across steps by all layers
+    /// (grow-once scratch that replaces per-step allocations).
+    pub fn workspace_bytes(&self) -> usize {
+        self.layers.iter().map(|l| l.workspace_bytes()).sum()
+    }
 }
 
 #[cfg(test)]

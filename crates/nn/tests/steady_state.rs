@@ -1,0 +1,55 @@
+//! Steady-state training must not grow any kernel workspace: after the
+//! first step has sized every buffer (im2col columns, GEMM pack panels,
+//! gradient scratch), subsequent steps reuse them verbatim. This is the
+//! "zero per-step kernel allocations" guarantee of the tiled kernel
+//! generation, enforced via the global growth counter.
+//!
+//! Kept in its own integration-test binary: the counter is process-global,
+//! and unrelated tests running concurrently would make it drift.
+
+use sefi_nn::{softmax_cross_entropy, Conv2d, Dense, Flatten, MaxPool2d, Network, ReLU};
+use sefi_rng::DetRng;
+use sefi_tensor::{set_kernel_mode, workspace_alloc_events, KernelMode, Tensor};
+
+#[test]
+fn training_steps_allocate_no_workspace_after_warmup() {
+    set_kernel_mode(KernelMode::Tiled);
+    let mut rng = DetRng::new(7);
+    let mut net = Network::new(vec![
+        Box::new(Conv2d::new("conv1", 3, 4, 3, 1, 1, &mut rng).skip_input_grad()),
+        Box::new(ReLU::new("relu1")),
+        Box::new(MaxPool2d::new("pool1", 2, 2)),
+        Box::new(Conv2d::new("conv2", 4, 6, 3, 1, 1, &mut rng)),
+        Box::new(ReLU::new("relu2")),
+        Box::new(Flatten::new("flat")),
+        Box::new(Dense::new("fc", 6 * 8 * 8, 10, &mut rng)),
+    ]);
+    let x = Tensor::from_vec(
+        (0..4 * 3 * 16 * 16).map(|i| ((i * 37 % 100) as f32 - 50.0) / 50.0).collect(),
+        &[4, 3, 16, 16],
+    );
+    let labels: Vec<u8> = vec![0, 3, 7, 9];
+
+    let step = |net: &mut Network| {
+        let logits = net.forward(x.clone(), true);
+        let (_, dlogits) = softmax_cross_entropy(&logits, &labels);
+        net.backward(dlogits);
+        net.zero_grad();
+    };
+
+    // Warm-up: first step sizes every buffer for this geometry.
+    step(&mut net);
+    assert!(net.workspace_bytes() > 0, "conv layers should retain workspace");
+    let retained = net.workspace_bytes();
+
+    let settled = workspace_alloc_events();
+    for _ in 0..5 {
+        step(&mut net);
+    }
+    assert_eq!(
+        workspace_alloc_events(),
+        settled,
+        "steady-state steps must not grow any kernel workspace"
+    );
+    assert_eq!(net.workspace_bytes(), retained, "retained bytes must be stable");
+}

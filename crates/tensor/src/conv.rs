@@ -1,11 +1,33 @@
 //! Convolution and pooling, NCHW layout.
 //!
-//! Convolution is im2col + matmul: unfold every receptive field into a row,
+//! Convolution is im2col + GEMM: unfold every receptive field into a row,
 //! multiply by the flattened kernel matrix, fold the result back. Backward
-//! reuses the same machinery (col2im scatters gradient patches). All
-//! parallelism is inherited from [`crate::matmul`], keeping determinism.
+//! reuses the same machinery (col2im scatters gradient patches).
+//!
+//! Two entry styles exist for convolution:
+//!
+//! * [`conv2d`] / [`conv2d_backward`] — self-contained, allocate their own
+//!   scratch (and, in the backward pass, recompute the forward's im2col).
+//! * [`conv2d_ws`] / [`conv2d_backward_ws`] — thread a per-layer
+//!   [`ConvWorkspace`] through both passes, so backward *reuses* the
+//!   columns forward already unfolded and all intermediates live in
+//!   grow-once buffers (zero steady-state kernel allocations).
+//!
+//! Both styles are bitwise identical: every output element is produced by
+//! exactly one task with a fixed accumulation order. The data-parallel
+//! paths (im2col over images, col2im per image, pooling per plane) never
+//! split any element's accumulation chain — im2col/pool forward are pure
+//! writes, and the scatter kernels partition exactly along the boundaries
+//! their indices never cross.
 
+use crate::dispatch::{
+    kernel_mode, par_enabled, KernelMode, PAR_COL2IM_MIN_ELEMS, PAR_IM2COL_MIN_ELEMS,
+    PAR_POOL_MIN_ELEMS,
+};
+use crate::kernel::gemm_tiled;
+use crate::workspace::{ensure, ConvKey, ConvWorkspace};
 use crate::{matmul, matmul_a_bt, matmul_at_b, Tensor};
+use rayon::prelude::*;
 
 /// Stride/padding configuration of a convolution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +59,242 @@ pub struct PoolSpec {
     pub stride: usize,
 }
 
+/// Unfold one image's receptive fields into patch rows. The block is
+/// zeroed once (padding positions stay zero), then each in-bounds kernel
+/// tap `(ci, ky, kx)` writes its column of the patch matrix as one strided
+/// sweep over the output positions it covers — long loops with no
+/// per-position bounds logic, instead of `oh*ow*c*kh` few-float segments.
+/// All writes are pure (no accumulation), so the write order is free.
+fn im2col_image(
+    dst: &mut [f32],
+    src: &[f32],
+    (c, h, w): (usize, usize, usize),
+    kh: usize,
+    kw: usize,
+    spec: ConvSpec,
+) {
+    let oh = spec.out_extent(h, kh);
+    let ow = spec.out_extent(w, kw);
+    let row_len = c * kh * kw;
+    let stride = spec.stride;
+    let pad = spec.pad;
+    dst.fill(0.0);
+    for ci in 0..c {
+        for ky in 0..kh {
+            // Output rows whose input row 0 <= oy*stride + ky - pad < h.
+            let oy_lo = pad.saturating_sub(ky).div_ceil(stride).min(oh);
+            let oy_hi = match (h + pad).checked_sub(ky + 1) {
+                Some(t) => (t / stride + 1).min(oh),
+                None => 0,
+            };
+            for kx in 0..kw {
+                let ox_lo = pad.saturating_sub(kx).div_ceil(stride).min(ow);
+                let ox_hi = match (w + pad).checked_sub(kx + 1) {
+                    Some(t) => (t / stride + 1).min(ow),
+                    None => 0,
+                };
+                if ox_lo >= ox_hi {
+                    continue;
+                }
+                let col = (ci * kh + ky) * kw + kx;
+                for oy in oy_lo..oy_hi {
+                    let mut si = (ci * h + oy * stride + ky - pad) * w + ox_lo * stride + kx - pad;
+                    let mut di = (oy * ow + ox_lo) * row_len + col;
+                    for _ in ox_lo..ox_hi {
+                        dst[di] = src[si];
+                        di += row_len;
+                        si += stride;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One tap lane of the tap-major im2col: `lane` is row `col` of the
+/// `[c*kh*kw, n*oh*ow]` column matrix. For stride 1 both the source run and
+/// the destination run are contiguous, so the whole lane is a handful of
+/// straight copies per output row.
+fn im2col_t_lane(
+    lane: &mut [f32],
+    src: &[f32],
+    col: usize,
+    (n, c, h, w): (usize, usize, usize, usize),
+    kh: usize,
+    kw: usize,
+    spec: ConvSpec,
+) {
+    let oh = spec.out_extent(h, kh);
+    let ow = spec.out_extent(w, kw);
+    let ohw = oh * ow;
+    let stride = spec.stride;
+    let pad = spec.pad;
+    let ci = col / (kh * kw);
+    let ky = (col / kw) % kh;
+    let kx = col % kw;
+    let oy_lo = pad.saturating_sub(ky).div_ceil(stride).min(oh);
+    let oy_hi = match (h + pad).checked_sub(ky + 1) {
+        Some(t) => (t / stride + 1).min(oh),
+        None => 0,
+    };
+    let ox_lo = pad.saturating_sub(kx).div_ceil(stride).min(ow);
+    let ox_hi = match (w + pad).checked_sub(kx + 1) {
+        Some(t) => (t / stride + 1).min(ow),
+        None => 0,
+    };
+    lane.fill(0.0);
+    if ox_lo >= ox_hi {
+        return;
+    }
+    let run = ox_hi - ox_lo;
+    for ni in 0..n {
+        let img = &src[ni * c * h * w..(ni + 1) * c * h * w];
+        for oy in oy_lo..oy_hi {
+            let si = (ci * h + oy * stride + ky - pad) * w + ox_lo * stride + kx - pad;
+            let di = ni * ohw + oy * ow + ox_lo;
+            if stride == 1 {
+                for (d, &s) in lane[di..di + run].iter_mut().zip(&img[si..si + run]) {
+                    *d = s;
+                }
+            } else {
+                let mut si = si;
+                for d in lane[di..di + run].iter_mut() {
+                    *d = img[si];
+                    si += stride;
+                }
+            }
+        }
+    }
+}
+
+/// Tap-major im2col over a batch: `dst` is `[c*kh*kw, n*oh*ow]` row-major
+/// (the transpose of [`im2col`]'s layout). Tap lanes are independent pure
+/// writes, so they parallelize without touching any accumulation order.
+fn im2col_t_into(
+    dst: &mut [f32],
+    src: &[f32],
+    (n, c, h, w): (usize, usize, usize, usize),
+    kh: usize,
+    kw: usize,
+    spec: ConvSpec,
+) {
+    let oh = spec.out_extent(h, kh);
+    let ow = spec.out_extent(w, kw);
+    let rows = n * oh * ow;
+    let row_len = c * kh * kw;
+    debug_assert_eq!(dst.len(), rows * row_len);
+    if par_enabled() && dst.len() >= PAR_IM2COL_MIN_ELEMS && row_len > 1 {
+        dst.par_chunks_mut(rows).enumerate().for_each(|(col, lane)| {
+            im2col_t_lane(lane, src, col, (n, c, h, w), kh, kw, spec);
+        });
+    } else {
+        for (col, lane) in dst.chunks_mut(rows).enumerate() {
+            im2col_t_lane(lane, src, col, (n, c, h, w), kh, kw, spec);
+        }
+    }
+}
+
+/// Tap-inverted col2im for stride-1 convolutions, consuming tap-major
+/// gradient columns `[c*kh*kw, n*oh*ow]`. With stride 1 each input pixel
+/// maps a kernel tap to exactly one patch, monotonically: descending
+/// `(ky, kx)` is ascending `(oy, ox)`. Sweeping taps in descending order
+/// therefore replays every pixel's accumulation chain in exactly the
+/// canonical `(oy, ox)` patch order of [`col2im`] — same sums, same bits —
+/// while every inner loop runs over contiguous memory on both sides.
+fn col2im_t_image(
+    dst: &mut [f32],
+    src_t: &[f32],
+    ni: usize,
+    (n, c, h, w): (usize, usize, usize, usize),
+    kh: usize,
+    kw: usize,
+    spec: ConvSpec,
+) {
+    debug_assert_eq!(spec.stride, 1);
+    let oh = spec.out_extent(h, kh);
+    let ow = spec.out_extent(w, kw);
+    let ohw = oh * ow;
+    let rows = n * ohw;
+    let pad = spec.pad;
+    for ci in 0..c {
+        for ky in (0..kh).rev() {
+            let oy_lo = pad.saturating_sub(ky).min(oh);
+            let oy_hi = match (h + pad).checked_sub(ky + 1) {
+                Some(t) => (t + 1).min(oh),
+                None => 0,
+            };
+            for kx in (0..kw).rev() {
+                let ox_lo = pad.saturating_sub(kx).min(ow);
+                let ox_hi = match (w + pad).checked_sub(kx + 1) {
+                    Some(t) => (t + 1).min(ow),
+                    None => 0,
+                };
+                if ox_lo >= ox_hi {
+                    continue;
+                }
+                let run = ox_hi - ox_lo;
+                let col = (ci * kh + ky) * kw + kx;
+                let lane = &src_t[col * rows..(col + 1) * rows];
+                for oy in oy_lo..oy_hi {
+                    let di = (ci * h + oy + ky - pad) * w + ox_lo + kx - pad;
+                    let si = ni * ohw + oy * ow + ox_lo;
+                    for (d, &s) in dst[di..di + run].iter_mut().zip(&lane[si..si + run]) {
+                        *d += s;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Batch wrapper over [`col2im_t_image`]: images are disjoint scatter
+/// targets, so they parallelize without reordering any pixel's chain.
+fn col2im_t_into(
+    dst: &mut [f32],
+    src_t: &[f32],
+    (n, c, h, w): (usize, usize, usize, usize),
+    kh: usize,
+    kw: usize,
+    spec: ConvSpec,
+) {
+    let plane = c * h * w;
+    if par_enabled() && dst.len() >= PAR_COL2IM_MIN_ELEMS && n > 1 {
+        dst.par_chunks_mut(plane).enumerate().for_each(|(ni, img)| {
+            col2im_t_image(img, src_t, ni, (n, c, h, w), kh, kw, spec);
+        });
+    } else {
+        for (ni, img) in dst.chunks_mut(plane).enumerate() {
+            col2im_t_image(img, src_t, ni, (n, c, h, w), kh, kw, spec);
+        }
+    }
+}
+
+/// Slice-level im2col over a batch: `dst` is `[n*oh*ow, c*kh*kw]` row-major.
+/// Images are independent pure writes, so they parallelize without touching
+/// any accumulation order.
+fn im2col_into(
+    dst: &mut [f32],
+    src: &[f32],
+    (n, c, h, w): (usize, usize, usize, usize),
+    kh: usize,
+    kw: usize,
+    spec: ConvSpec,
+) {
+    let oh = spec.out_extent(h, kh);
+    let ow = spec.out_extent(w, kw);
+    let per_img = oh * ow * c * kh * kw;
+    debug_assert_eq!(dst.len(), n * per_img);
+    if par_enabled() && dst.len() >= PAR_IM2COL_MIN_ELEMS && n > 1 {
+        dst.par_chunks_mut(per_img).enumerate().for_each(|(ni, img)| {
+            im2col_image(img, &src[ni * c * h * w..(ni + 1) * c * h * w], (c, h, w), kh, kw, spec);
+        });
+    } else {
+        for (ni, img) in dst.chunks_mut(per_img).enumerate() {
+            im2col_image(img, &src[ni * c * h * w..(ni + 1) * c * h * w], (c, h, w), kh, kw, spec);
+        }
+    }
+}
+
 /// Unfold `x: [n, c, h, w]` into `[n * oh * ow, c * kh * kw]` patch rows.
 pub fn im2col(x: &Tensor, kh: usize, kw: usize, spec: ConvSpec) -> Tensor {
     let [n, c, h, w] = dims4(x);
@@ -44,33 +302,89 @@ pub fn im2col(x: &Tensor, kh: usize, kw: usize, spec: ConvSpec) -> Tensor {
     let ow = spec.out_extent(w, kw);
     let row_len = c * kh * kw;
     let mut out = vec![0.0f32; n * oh * ow * row_len];
-    let src = x.data();
+    im2col_into(&mut out, x.data(), (n, c, h, w), kh, kw, spec);
+    Tensor::from_vec(out, &[n * oh * ow, row_len])
+}
 
-    for ni in 0..n {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let row = ((ni * oh + oy) * ow + ox) * row_len;
-                for ci in 0..c {
-                    for ky in 0..kh {
-                        let iy = (oy * spec.stride + ky) as isize - spec.pad as isize;
-                        if iy < 0 || iy >= h as isize {
-                            continue; // zero padding: leave zeros
-                        }
-                        for kx in 0..kw {
-                            let ix = (ox * spec.stride + kx) as isize - spec.pad as isize;
-                            if ix < 0 || ix >= w as isize {
-                                continue;
-                            }
-                            let src_idx = ((ni * c + ci) * h + iy as usize) * w + ix as usize;
-                            let dst_idx = row + (ci * kh + ky) * kw + kx;
-                            out[dst_idx] = src[src_idx];
-                        }
+/// Fold one image's patch-row gradients back onto its input plane.
+/// Overlapping patches accumulate in (oy, ox, ci, ky, kx) order — the same
+/// canonical order the original serial kernel used.
+fn col2im_image(
+    dst: &mut [f32],
+    src: &[f32],
+    (c, h, w): (usize, usize, usize),
+    kh: usize,
+    kw: usize,
+    spec: ConvSpec,
+) {
+    let oh = spec.out_extent(h, kh);
+    let ow = spec.out_extent(w, kw);
+    let row_len = c * kh * kw;
+    for oy in 0..oh {
+        let y0 = oy * spec.stride;
+        let ky_lo = spec.pad.saturating_sub(y0).min(kh);
+        let ky_hi = (h + spec.pad).saturating_sub(y0).min(kh).max(ky_lo);
+        for ox in 0..ow {
+            let row = (oy * ow + ox) * row_len;
+            let x0 = ox * spec.stride;
+            let kx_lo = spec.pad.saturating_sub(x0).min(kw);
+            let kx_hi = (w + spec.pad).saturating_sub(x0).min(kw).max(kx_lo);
+            let mut segs = src[row..row + row_len].chunks_exact(kw);
+            for ci in 0..c {
+                for ky in 0..kh {
+                    let s = segs.next().expect("row_len = c*kh segments of kw");
+                    if ky < ky_lo || ky >= ky_hi {
+                        continue;
+                    }
+                    let d0 = (ci * h + y0 + ky - spec.pad) * w + x0 + kx_lo - spec.pad;
+                    let s = &s[kx_lo..kx_hi];
+                    for (o, &v) in dst[d0..d0 + s.len()].iter_mut().zip(s) {
+                        *o += v;
                     }
                 }
             }
         }
     }
-    Tensor::from_vec(out, &[n * oh * ow, row_len])
+}
+
+/// Slice-level col2im: scatter `[n*oh*ow, c*kh*kw]` gradients onto a zeroed
+/// `[n, c, h, w]` buffer. The scatter never crosses an image boundary, so
+/// per-image parallelism preserves each element's serial accumulation order.
+fn col2im_into(
+    dst: &mut [f32],
+    src: &[f32],
+    (n, c, h, w): (usize, usize, usize, usize),
+    kh: usize,
+    kw: usize,
+    spec: ConvSpec,
+) {
+    let oh = spec.out_extent(h, kh);
+    let ow = spec.out_extent(w, kw);
+    let per_img_src = oh * ow * c * kh * kw;
+    debug_assert_eq!(dst.len(), n * c * h * w);
+    if par_enabled() && dst.len() >= PAR_COL2IM_MIN_ELEMS && n > 1 {
+        dst.par_chunks_mut(c * h * w).enumerate().for_each(|(ni, img)| {
+            col2im_image(
+                img,
+                &src[ni * per_img_src..(ni + 1) * per_img_src],
+                (c, h, w),
+                kh,
+                kw,
+                spec,
+            );
+        });
+    } else {
+        for (ni, img) in dst.chunks_mut(c * h * w).enumerate() {
+            col2im_image(
+                img,
+                &src[ni * per_img_src..(ni + 1) * per_img_src],
+                (c, h, w),
+                kh,
+                kw,
+                spec,
+            );
+        }
+    }
 }
 
 /// Fold patch-row gradients back onto the input: inverse scatter of
@@ -87,53 +401,91 @@ pub fn col2im(
     let ow = spec.out_extent(w, kw);
     let row_len = c * kh * kw;
     assert_eq!(cols.shape(), &[n * oh * ow, row_len], "col2im shape mismatch");
-    let src = cols.data();
     let mut out = vec![0.0f32; n * c * h * w];
-
-    for ni in 0..n {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let row = ((ni * oh + oy) * ow + ox) * row_len;
-                for ci in 0..c {
-                    for ky in 0..kh {
-                        let iy = (oy * spec.stride + ky) as isize - spec.pad as isize;
-                        if iy < 0 || iy >= h as isize {
-                            continue;
-                        }
-                        for kx in 0..kw {
-                            let ix = (ox * spec.stride + kx) as isize - spec.pad as isize;
-                            if ix < 0 || ix >= w as isize {
-                                continue;
-                            }
-                            let dst_idx = ((ni * c + ci) * h + iy as usize) * w + ix as usize;
-                            out[dst_idx] += src[row + (ci * kh + ky) * kw + kx];
-                        }
-                    }
-                }
-            }
-        }
-    }
+    col2im_into(&mut out, cols.data(), (n, c, h, w), kh, kw, spec);
     Tensor::from_vec(out, input_shape)
 }
 
 /// Forward convolution: `x [n,c,h,w]`, `weight [o,c,kh,kw]`, `bias [o]`
-/// → `[n,o,oh,ow]`.
+/// → `[n,o,oh,ow]`. Self-contained variant of [`conv2d_ws`] (allocates a
+/// throwaway workspace; the backward pass will recompute im2col).
 pub fn conv2d(x: &Tensor, weight: &Tensor, bias: &Tensor, spec: ConvSpec) -> Tensor {
+    conv2d_ws(x, weight, bias, spec, &mut ConvWorkspace::new())
+}
+
+/// Forward convolution through a per-layer workspace: the im2col columns
+/// and the pre-permute GEMM product live in `ws` and are reused by the next
+/// [`conv2d_backward_ws`] on the same geometry (and by every later step).
+pub fn conv2d_ws(
+    x: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    spec: ConvSpec,
+    ws: &mut ConvWorkspace,
+) -> Tensor {
     let [n, c, h, w] = dims4(x);
     let [o, c2, kh, kw] = dims4(weight);
     assert_eq!(c, c2, "conv2d channel mismatch: input {c}, weight {c2}");
     assert_eq!(bias.shape(), &[o], "bias shape");
     let oh = spec.out_extent(h, kh);
     let ow = spec.out_extent(w, kw);
+    let rows = n * oh * ow;
+    let row_len = c * kh * kw;
 
-    let cols = im2col(x, kh, kw, spec); // [n*oh*ow, c*kh*kw]
-    let w_flat = Tensor::from_vec(weight.data().to_vec(), &[o, c * kh * kw]);
-    let prod = matmul_a_bt(&cols, &w_flat); // [n*oh*ow, o]
+    if kernel_mode() == KernelMode::Naive {
+        // Retained pre-overhaul path: fresh tensors each call, transpose
+        // materialized inside matmul_a_bt's reference kernel.
+        ws.invalidate();
+        let cols = im2col(x, kh, kw, spec);
+        let w_flat = Tensor::from_vec(weight.data().to_vec(), &[o, row_len]);
+        let prod = matmul_a_bt(&cols, &w_flat);
+        return permute_bias(prod.data(), bias.data(), n, o, oh, ow);
+    }
 
-    // Permute [n*oh*ow, o] -> [n, o, oh, ow] and add bias.
+    ensure(&mut ws.cols, rows * row_len);
+    im2col_t_into(&mut ws.cols[..rows * row_len], x.data(), (n, c, h, w), kh, kw, spec);
+    ws.key = Some(ConvKey { x_shape: [n, c, h, w], kh, kw, spec });
+
+    // prodᵀ = w_flat · colsᵀ -> [o, rows], with w_flat read straight out of
+    // the weight tensor (its [o,c,kh,kw] data is already [o, c*kh*kw]
+    // row-major) and the columns built tap-major by im2col, so neither GEMM
+    // operand needs a transpose pass. The output channel count is typically
+    // the *small* dimension, so putting it on m keeps the SIMD lanes running
+    // along the thousands of patch rows — and turns the NCHW permute below
+    // into contiguous per-plane copies. Per element the product is the same
+    // ascending-k chain as `cols · w_flatᵀ`, so the bits match the naive
+    // path.
+    ensure(&mut ws.prod, o * rows);
+    gemm_tiled(
+        &mut ws.prod[..o * rows],
+        o,
+        rows,
+        row_len,
+        weight.data(),
+        false,
+        &ws.cols[..rows * row_len],
+        false,
+    );
+    let p = &ws.prod[..o * rows];
+    let ohw = oh * ow;
+    let mut out = vec![0.0f32; n * o * ohw];
+    for ni in 0..n {
+        for oi in 0..o {
+            let src = &p[oi * rows + ni * ohw..oi * rows + (ni + 1) * ohw];
+            let dst = &mut out[(ni * o + oi) * ohw..(ni * o + oi + 1) * ohw];
+            let bv = bias.data()[oi];
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d = s + bv;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, o, oh, ow])
+}
+
+/// Permute `[n*oh*ow, o]` → `[n, o, oh, ow]` and add the per-channel bias
+/// (naive-path layout).
+fn permute_bias(p: &[f32], b: &[f32], n: usize, o: usize, oh: usize, ow: usize) -> Tensor {
     let mut out = vec![0.0f32; n * o * oh * ow];
-    let p = prod.data();
-    let b = bias.data();
     for ni in 0..n {
         for s in 0..oh * ow {
             let src_row = (ni * oh * ow + s) * o;
@@ -157,14 +509,162 @@ pub struct Conv2dGrads {
 }
 
 /// Backward convolution given upstream gradient `dout [n,o,oh,ow]`.
+/// Self-contained variant of [`conv2d_backward_ws`] (recomputes im2col).
 pub fn conv2d_backward(x: &Tensor, weight: &Tensor, dout: &Tensor, spec: ConvSpec) -> Conv2dGrads {
+    conv2d_backward_ws(x, weight, dout, spec, &mut ConvWorkspace::new())
+}
+
+/// Backward convolution through a per-layer workspace. When `ws` still
+/// holds the columns of a forward pass over the same geometry (the normal
+/// training pattern), the im2col recomputation — one of the two big
+/// per-step costs of the old kernel — is skipped entirely.
+pub fn conv2d_backward_ws(
+    x: &Tensor,
+    weight: &Tensor,
+    dout: &Tensor,
+    spec: ConvSpec,
+    ws: &mut ConvWorkspace,
+) -> Conv2dGrads {
+    conv2d_backward_ws_ex(x, weight, dout, spec, ws, true)
+}
+
+/// Like [`conv2d_backward_ws`], but with `need_dx = false` the input
+/// gradient is not computed and `dx` comes back as zeros. The first layer
+/// of a network produces an input gradient nobody consumes; skipping it
+/// drops the largest GEMM and the whole col2im fold from that layer's
+/// backward pass. Both kernel generations honour the flag identically, so
+/// training histories stay bit-identical across modes either way.
+pub fn conv2d_backward_ws_ex(
+    x: &Tensor,
+    weight: &Tensor,
+    dout: &Tensor,
+    spec: ConvSpec,
+    ws: &mut ConvWorkspace,
+    need_dx: bool,
+) -> Conv2dGrads {
     let [n, c, h, w] = dims4(x);
     let [o, _c2, kh, kw] = dims4(weight);
     let oh = spec.out_extent(h, kh);
     let ow = spec.out_extent(w, kw);
     assert_eq!(dout.shape(), &[n, o, oh, ow], "dout shape");
+    let rows = n * oh * ow;
+    let row_len = c * kh * kw;
 
-    // Permute dout [n,o,oh,ow] -> flat [n*oh*ow, o].
+    if kernel_mode() == KernelMode::Naive {
+        return conv2d_backward_naive(x, weight, dout, spec, (n, c, h, w), (o, kh, kw), need_dx);
+    }
+
+    // Gather dout [n,o,oh,ow] into both flat layouts: dflat [rows, o]
+    // (patch-major, feeds the dWᵀ product) and dflatᵀ [o, rows]
+    // (channel-major — contiguous plane copies — feeds db and the dX
+    // product). Together they are two cheap passes over `rows*o` floats and
+    // let every GEMM below run transpose-free.
+    let ohw = oh * ow;
+    ensure(&mut ws.dflat, rows * o);
+    ensure(&mut ws.dflat_t, o * rows);
+    {
+        let d = dout.data();
+        let dflat = &mut ws.dflat[..rows * o];
+        let dflat_t = &mut ws.dflat_t[..o * rows];
+        for ni in 0..n {
+            for oi in 0..o {
+                let plane = &d[(ni * o + oi) * ohw..(ni * o + oi + 1) * ohw];
+                dflat_t[oi * rows + ni * ohw..oi * rows + (ni + 1) * ohw].copy_from_slice(plane);
+                let mut di = (ni * ohw) * o + oi;
+                for &v in plane {
+                    dflat[di] = v;
+                    di += o;
+                }
+            }
+        }
+    }
+
+    // Reuse forward's columns when they cover this exact geometry.
+    let key = ConvKey { x_shape: [n, c, h, w], kh, kw, spec };
+    if ws.key != Some(key) {
+        ensure(&mut ws.cols, rows * row_len);
+        im2col_t_into(&mut ws.cols[..rows * row_len], x.data(), (n, c, h, w), kh, kw, spec);
+        ws.key = Some(key);
+    }
+    let cols_t = &ws.cols[..rows * row_len];
+    let dflat = &ws.dflat[..rows * o];
+    let dflat_t = &ws.dflat_t[..o * rows];
+
+    // dWᵀ = colsᵀ · dflat -> [c*kh*kw, o], both operands contiguous, then a
+    // tiny [row_len, o] transpose into dW. Each dW element is the same
+    // ascending patch-row chain as the naive `dflatᵀ · cols` (the two
+    // factors per term are merely commuted, which is exact).
+    ensure(&mut ws.prod, row_len * o);
+    gemm_tiled(&mut ws.prod[..row_len * o], row_len, o, rows, cols_t, false, dflat, false);
+    let mut dw = vec![0.0f32; o * row_len];
+    for (kk, dwt_row) in ws.prod[..row_len * o].chunks_exact(o).enumerate() {
+        for (oi, &v) in dwt_row.iter().enumerate() {
+            dw[oi * row_len + kk] = v;
+        }
+    }
+    let dw = Tensor::from_vec(dw, &[o, c, kh, kw]);
+
+    // db = per-channel sums: contiguous row sums of dflatᵀ, each in the
+    // same ascending patch-row order as the naive column sums.
+    let mut db = vec![0.0f32; o];
+    for (acc, row) in db.iter_mut().zip(dflat_t.chunks(rows)) {
+        for &v in row {
+            *acc += v;
+        }
+    }
+    let db = Tensor::from_vec(db, &[o]);
+
+    // dX: for stride 1 compute tap-major gradient columns
+    // (dcolsᵀ = w_flatᵀ · dflatᵀ) and fold them with the tap-inverted
+    // col2im; otherwise patch-major columns and the canonical col2im.
+    let mut dx = vec![0.0f32; n * c * h * w];
+    if !need_dx {
+        return Conv2dGrads { dx: Tensor::from_vec(dx, x.shape()), dw, db };
+    }
+    ensure(&mut ws.dcols, rows * row_len);
+    if spec.stride == 1 {
+        gemm_tiled(
+            &mut ws.dcols[..rows * row_len],
+            row_len,
+            rows,
+            o,
+            weight.data(),
+            true,
+            dflat_t,
+            false,
+        );
+        col2im_t_into(&mut dx, &ws.dcols[..rows * row_len], (n, c, h, w), kh, kw, spec);
+    } else {
+        gemm_tiled(
+            &mut ws.dcols[..rows * row_len],
+            rows,
+            row_len,
+            o,
+            dflat,
+            false,
+            weight.data(),
+            false,
+        );
+        col2im_into(&mut dx, &ws.dcols[..rows * row_len], (n, c, h, w), kh, kw, spec);
+    }
+    let dx = Tensor::from_vec(dx, x.shape());
+
+    Conv2dGrads { dx, dw, db }
+}
+
+/// The retained pre-overhaul backward path (fresh tensors, explicit
+/// transposed copy in `matmul_at_b`, im2col recomputed from scratch).
+fn conv2d_backward_naive(
+    x: &Tensor,
+    weight: &Tensor,
+    dout: &Tensor,
+    spec: ConvSpec,
+    (n, c, h, w): (usize, usize, usize, usize),
+    (o, kh, kw): (usize, usize, usize),
+    need_dx: bool,
+) -> Conv2dGrads {
+    let oh = spec.out_extent(h, kh);
+    let ow = spec.out_extent(w, kw);
     let mut dflat = vec![0.0f32; n * oh * ow * o];
     let d = dout.data();
     for ni in 0..n {
@@ -176,12 +676,9 @@ pub fn conv2d_backward(x: &Tensor, weight: &Tensor, dout: &Tensor, spec: ConvSpe
     }
     let dflat = Tensor::from_vec(dflat, &[n * oh * ow, o]);
 
-    let cols = im2col(x, kh, kw, spec); // [n*oh*ow, c*kh*kw]
-
-    // dW = dflatᵀ · cols -> [o, c*kh*kw]
+    let cols = im2col(x, kh, kw, spec);
     let dw = matmul_at_b(&dflat, &cols).reshape(&[o, c, kh, kw]);
 
-    // db = column sums of dflat.
     let mut db = vec![0.0f32; o];
     for row in dflat.data().chunks(o) {
         for (acc, &v) in db.iter_mut().zip(row) {
@@ -190,12 +687,47 @@ pub fn conv2d_backward(x: &Tensor, weight: &Tensor, dout: &Tensor, spec: ConvSpe
     }
     let db = Tensor::from_vec(db, &[o]);
 
-    // dX = col2im(dflat · w_flat).
-    let w_flat = Tensor::from_vec(weight.data().to_vec(), &[o, c * kh * kw]);
-    let dcols = matmul(&dflat, &w_flat); // [n*oh*ow, c*kh*kw]
-    let dx = col2im(&dcols, x.shape(), kh, kw, spec);
+    let dx = if need_dx {
+        let w_flat = Tensor::from_vec(weight.data().to_vec(), &[o, c * kh * kw]);
+        let dcols = matmul(&dflat, &w_flat);
+        col2im(&dcols, x.shape(), kh, kw, spec)
+    } else {
+        Tensor::zeros(x.shape())
+    };
 
     Conv2dGrads { dx, dw, db }
+}
+
+/// Max pooling over one `[h, w]` plane.
+fn maxpool_plane(
+    out: &mut [f32],
+    arg: &mut [usize],
+    src: &[f32],
+    base: usize,
+    (h, w): (usize, usize),
+    spec: PoolSpec,
+) {
+    let conv = ConvSpec { stride: spec.stride, pad: 0 };
+    let oh = conv.out_extent(h, spec.size);
+    let ow = conv.out_extent(w, spec.size);
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let mut best_idx = (oy * spec.stride) * w + ox * spec.stride;
+            let mut best = src[best_idx];
+            for ky in 0..spec.size {
+                for kx in 0..spec.size {
+                    let idx = (oy * spec.stride + ky) * w + (ox * spec.stride + kx);
+                    if src[idx] > best {
+                        best = src[idx];
+                        best_idx = idx;
+                    }
+                }
+            }
+            out[oy * ow + ox] = best;
+            // The argmax table stores *global* flat indices, as before.
+            arg[oy * ow + ox] = base + best_idx;
+        }
+    }
 }
 
 /// Max pooling forward. Returns the pooled tensor and the flat source index
@@ -209,40 +741,69 @@ pub fn maxpool2d(x: &Tensor, spec: PoolSpec) -> (Tensor, Vec<usize>) {
     let mut out = vec![0.0f32; n * c * oh * ow];
     let mut arg = vec![0usize; n * c * oh * ow];
 
-    for ni in 0..n {
-        for ci in 0..c {
-            let base = (ni * c + ci) * h * w;
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut best_idx = base + (oy * spec.stride) * w + ox * spec.stride;
-                    let mut best = src[best_idx];
-                    for ky in 0..spec.size {
-                        for kx in 0..spec.size {
-                            let idx = base + (oy * spec.stride + ky) * w + (ox * spec.stride + kx);
-                            if src[idx] > best {
-                                best = src[idx];
-                                best_idx = idx;
-                            }
-                        }
-                    }
-                    let o_idx = ((ni * c + ci) * oh + oy) * ow + ox;
-                    out[o_idx] = best;
-                    arg[o_idx] = best_idx;
-                }
-            }
+    if par_enabled() && x.len() >= PAR_POOL_MIN_ELEMS && n * c > 1 {
+        out.par_chunks_mut(oh * ow).zip(arg.par_chunks_mut(oh * ow)).enumerate().for_each(
+            |(pi, (op, ap))| {
+                let base = pi * h * w;
+                maxpool_plane(op, ap, &src[base..base + h * w], base, (h, w), spec);
+            },
+        );
+    } else {
+        for (pi, (op, ap)) in out.chunks_mut(oh * ow).zip(arg.chunks_mut(oh * ow)).enumerate() {
+            let base = pi * h * w;
+            maxpool_plane(op, ap, &src[base..base + h * w], base, (h, w), spec);
         }
     }
     (Tensor::from_vec(out, &[n, c, oh, ow]), arg)
 }
 
 /// Max pooling backward: route each output gradient to its argmax source.
+///
+/// The argmax produced by [`maxpool2d`] never points outside its own
+/// `[h, w]` plane, so the scatter partitions exactly per plane and the
+/// parallel path preserves every element's serial accumulation order.
 pub fn maxpool2d_backward(dout: &Tensor, arg: &[usize], input_shape: &[usize]) -> Tensor {
     assert_eq!(dout.len(), arg.len(), "argmax table length");
+    let [n, c, h, w] = [input_shape[0], input_shape[1], input_shape[2], input_shape[3]];
+    let plane = h * w;
+    let out_plane = dout.len() / (n * c).max(1);
     let mut dx = vec![0.0f32; input_shape.iter().product()];
-    for (&g, &idx) in dout.data().iter().zip(arg) {
-        dx[idx] += g;
+    if par_enabled() && dx.len() >= PAR_POOL_MIN_ELEMS && n * c > 1 {
+        let d = dout.data();
+        dx.par_chunks_mut(plane).enumerate().for_each(|(pi, img)| {
+            let (g, a) = (
+                &d[pi * out_plane..(pi + 1) * out_plane],
+                &arg[pi * out_plane..(pi + 1) * out_plane],
+            );
+            for (&gv, &idx) in g.iter().zip(a) {
+                img[idx - pi * plane] += gv;
+            }
+        });
+    } else {
+        for (&g, &idx) in dout.data().iter().zip(arg) {
+            dx[idx] += g;
+        }
     }
     Tensor::from_vec(dx, input_shape)
+}
+
+/// Average pooling over one `[h, w]` plane.
+fn avgpool_plane(out: &mut [f32], src: &[f32], (h, w): (usize, usize), spec: PoolSpec) {
+    let conv = ConvSpec { stride: spec.stride, pad: 0 };
+    let oh = conv.out_extent(h, spec.size);
+    let ow = conv.out_extent(w, spec.size);
+    let norm = 1.0 / (spec.size * spec.size) as f32;
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let mut acc = 0.0f32;
+            for ky in 0..spec.size {
+                for kx in 0..spec.size {
+                    acc += src[(oy * spec.stride + ky) * w + (ox * spec.stride + kx)];
+                }
+            }
+            out[oy * ow + ox] = acc * norm;
+        }
+    }
 }
 
 /// Average pooling forward (used as global average pooling in ResNet50 by
@@ -253,27 +814,49 @@ pub fn avgpool2d(x: &Tensor, spec: PoolSpec) -> Tensor {
     let oh = conv.out_extent(h, spec.size);
     let ow = conv.out_extent(w, spec.size);
     let src = x.data();
-    let norm = 1.0 / (spec.size * spec.size) as f32;
     let mut out = vec![0.0f32; n * c * oh * ow];
-
-    for ni in 0..n {
-        for ci in 0..c {
-            let base = (ni * c + ci) * h * w;
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut acc = 0.0f32;
-                    for ky in 0..spec.size {
-                        for kx in 0..spec.size {
-                            acc +=
-                                src[base + (oy * spec.stride + ky) * w + (ox * spec.stride + kx)];
-                        }
-                    }
-                    out[((ni * c + ci) * oh + oy) * ow + ox] = acc * norm;
-                }
-            }
+    if par_enabled() && x.len() >= PAR_POOL_MIN_ELEMS && n * c > 1 {
+        out.par_chunks_mut(oh * ow).enumerate().for_each(|(pi, op)| {
+            avgpool_plane(op, &src[pi * h * w..(pi + 1) * h * w], (h, w), spec);
+        });
+    } else {
+        for (pi, op) in out.chunks_mut(oh * ow).enumerate() {
+            avgpool_plane(op, &src[pi * h * w..(pi + 1) * h * w], (h, w), spec);
         }
     }
     Tensor::from_vec(out, &[n, c, oh, ow])
+}
+
+/// Average pooling backward: spread each output gradient uniformly over its
+/// window. Windows may overlap (stride < size); accumulation per plane runs
+/// in the canonical (oy, ox, ky, kx) order regardless of parallelism.
+pub fn avgpool2d_backward(dout: &Tensor, input_shape: &[usize], spec: PoolSpec) -> Tensor {
+    let [n, c, h, w] = [input_shape[0], input_shape[1], input_shape[2], input_shape[3]];
+    let [n2, c2, oh, ow] = dims4(dout);
+    assert_eq!((n, c), (n2, c2), "avgpool2d_backward batch/channel mismatch");
+    let norm = 1.0 / (spec.size * spec.size) as f32;
+    let mut dx = vec![0.0f32; input_shape.iter().product()];
+    let d = dout.data();
+
+    let plane_job = |(pi, img): (usize, &mut [f32])| {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let g = d[(pi * oh + oy) * ow + ox] * norm;
+                for ky in 0..spec.size {
+                    for kx in 0..spec.size {
+                        img[(oy * spec.stride + ky) * w + (ox * spec.stride + kx)] += g;
+                    }
+                }
+            }
+        }
+    };
+
+    if par_enabled() && dx.len() >= PAR_POOL_MIN_ELEMS && n * c > 1 {
+        dx.par_chunks_mut(h * w).enumerate().for_each(plane_job);
+    } else {
+        dx.chunks_mut(h * w).enumerate().for_each(plane_job);
+    }
+    Tensor::from_vec(dx, input_shape)
 }
 
 fn dims4(t: &Tensor) -> [usize; 4] {
@@ -406,6 +989,36 @@ mod tests {
     }
 
     #[test]
+    fn workspace_path_is_bit_identical_and_reuses_columns() {
+        let x = seq_tensor(&[2, 3, 8, 8]);
+        let w = seq_tensor(&[4, 3, 3, 3]);
+        let b = seq_tensor(&[4]);
+        let spec = ConvSpec { stride: 1, pad: 1 };
+        let plain_out = conv2d(&x, &w, &b, spec);
+        let dout = seq_tensor(plain_out.shape());
+        let plain = conv2d_backward(&x, &w, &dout, spec);
+
+        let mut ws = ConvWorkspace::new();
+        let ws_out = conv2d_ws(&x, &w, &b, spec, &mut ws);
+        assert_eq!(plain_out, ws_out);
+        if crate::kernel_mode() == KernelMode::Tiled {
+            assert!(ws.key.is_some(), "forward must record its geometry");
+            // Poison the input: backward must NOT re-read it when the key
+            // matches, proving the columns are reused.
+            let poisoned = Tensor::full(x.shape(), 1234.5);
+            let reused = conv2d_backward_ws(&poisoned, &w, &dout, spec, &mut ws);
+            assert_eq!(plain.dw, reused.dw);
+            assert_eq!(plain.db, reused.db);
+            assert_eq!(plain.dx, reused.dx);
+        }
+        // And on a cold workspace the backward recomputes columns itself.
+        let mut cold = ConvWorkspace::new();
+        let fresh = conv2d_backward_ws(&x, &w, &dout, spec, &mut cold);
+        assert_eq!(plain.dw, fresh.dw);
+        assert_eq!(plain.dx, fresh.dx);
+    }
+
+    #[test]
     fn im2col_col2im_adjointness() {
         // <im2col(x), y> == <x, col2im(y)> — the defining property of the
         // scatter/gather pair used by backward.
@@ -417,6 +1030,20 @@ mod tests {
         let folded = col2im(&y, x.shape(), 3, 3, spec);
         let rhs: f64 = x.data().iter().zip(folded.data()).map(|(&a, &b)| (a * b) as f64).sum();
         assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn im2col_handles_pad_wider_than_kernel_step() {
+        // pad 2 with a 3-wide kernel: whole rows of some patches are
+        // padding; the clipped-copy path must zero them all.
+        let x = seq_tensor(&[1, 1, 4, 4]);
+        let spec = ConvSpec { stride: 3, pad: 2 };
+        let cols = im2col(&x, 3, 3, spec);
+        // First patch row: receptive field starts at (-2, -2); only source
+        // (0, 0) is inside, at patch position (2, 2).
+        let first = &cols.data()[..9];
+        assert_eq!(&first[..8], &[0.0; 8]);
+        assert_eq!(first[8], x.at(&[0, 0, 0, 0]));
     }
 
     #[test]
@@ -442,6 +1069,15 @@ mod tests {
     }
 
     #[test]
+    fn maxpool_argmax_is_global_across_planes() {
+        // Two planes: each argmax must carry its plane's base offset.
+        let x = Tensor::from_vec((0..32).map(|v| v as f32).collect(), &[1, 2, 4, 4]);
+        let (_, arg) = maxpool2d(&x, PoolSpec { size: 2, stride: 2 });
+        assert!(arg[..4].iter().all(|&i| i < 16));
+        assert!(arg[4..].iter().all(|&i| (16..32).contains(&i)));
+    }
+
+    #[test]
     fn avgpool_global() {
         let x = seq_tensor(&[2, 3, 4, 4]);
         let out = avgpool2d(&x, PoolSpec { size: 4, stride: 4 });
@@ -449,6 +1085,21 @@ mod tests {
         // First channel average.
         let manual: f32 = x.data()[..16].iter().sum::<f32>() / 16.0;
         assert!((out.data()[0] - manual).abs() < 1e-5);
+    }
+
+    #[test]
+    fn avgpool_backward_spreads_uniformly() {
+        let spec = PoolSpec { size: 4, stride: 4 };
+        let dout = Tensor::full(&[1, 1, 1, 1], 16.0);
+        let dx = avgpool2d_backward(&dout, &[1, 1, 4, 4], spec);
+        assert!(dx.data().iter().all(|&g| (g - 1.0).abs() < 1e-6));
+        // Overlapping windows accumulate.
+        let spec = PoolSpec { size: 2, stride: 1 };
+        let dout = Tensor::full(&[1, 1, 3, 3], 4.0);
+        let dx = avgpool2d_backward(&dout, &[1, 1, 4, 4], spec);
+        // Center cells are covered by 4 windows, corners by 1.
+        assert_eq!(dx.at(&[0, 0, 0, 0]), 1.0);
+        assert_eq!(dx.at(&[0, 0, 1, 1]), 4.0);
     }
 
     #[test]

@@ -1,0 +1,107 @@
+//! Kernel-generation dispatch and per-op parallelism thresholds.
+//!
+//! Two kernel generations coexist:
+//!
+//! * **Tiled** (default) — the blocked, packed, register-tiled GEMM of
+//!   [`crate::kernel`] plus workspace-reusing convolutions.
+//! * **Naive** — the original scalar reference kernels, retained verbatim.
+//!   They define the canonical per-element accumulation order; the tiled
+//!   kernels are property-tested to be *bit-identical* to them.
+//!
+//! The mode is selected once per process from the `SEFI_KERNELS`
+//! environment variable (`tiled` | `naive`) and can be overridden at run
+//! time with [`set_kernel_mode`] — benches use this to measure both
+//! generations in one binary, and experiment tests use it to assert that
+//! campaign results do not depend on the kernel generation.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Which kernel generation executes tensor ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelMode {
+    /// Blocked/packed/register-tiled kernels with workspace reuse.
+    Tiled,
+    /// The retained scalar reference kernels (the pre-overhaul hot path).
+    Naive,
+}
+
+/// 0 = uninitialized, 1 = tiled, 2 = naive.
+static MODE: AtomicU8 = AtomicU8::new(0);
+
+/// The active kernel generation.
+pub fn kernel_mode() -> KernelMode {
+    match MODE.load(Ordering::Relaxed) {
+        1 => KernelMode::Tiled,
+        2 => KernelMode::Naive,
+        _ => {
+            let mode = match std::env::var("SEFI_KERNELS").as_deref() {
+                Ok("naive") => KernelMode::Naive,
+                _ => KernelMode::Tiled,
+            };
+            set_kernel_mode(mode);
+            mode
+        }
+    }
+}
+
+/// Force a kernel generation for the rest of the process (overrides the
+/// `SEFI_KERNELS` environment variable).
+pub fn set_kernel_mode(mode: KernelMode) {
+    MODE.store(
+        match mode {
+            KernelMode::Tiled => 1,
+            KernelMode::Naive => 2,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// True when parallel dispatch can help at all: more than one rayon worker.
+/// On a single-core host every op stays on the serial path, which also keeps
+/// steady-state training free of the per-dispatch chunk allocations the
+/// thread-pool shim makes.
+pub(crate) fn par_enabled() -> bool {
+    rayon::current_num_threads() > 1
+}
+
+// Per-op parallel-dispatch thresholds. The old code used one global
+// `PAR_MIN_FLOPS = 64³` for every op; these are calibrated per op from
+// `bench_kernels` timings (see DESIGN.md "Kernel architecture"): an op goes
+// parallel when its serial cost clearly exceeds a few thread-dispatch
+// round-trips (~20 µs each on the shim's scoped-thread pool).
+
+/// GEMM flops (`2·m·n·k` halved to `m·n·k` for comparison with the old
+/// constant) above which row-blocks are distributed over the pool.
+pub(crate) const PAR_GEMM_MIN_FLOPS: usize = 48 * 48 * 48;
+
+/// `im2col` output elements above which patch rows are written in parallel.
+pub(crate) const PAR_IM2COL_MIN_ELEMS: usize = 1 << 15;
+
+/// `col2im` *input-gradient* elements above which per-image scatters run in
+/// parallel (the scatter is independent per image, never across images).
+pub(crate) const PAR_COL2IM_MIN_ELEMS: usize = 1 << 15;
+
+/// Pooling elements (input side) above which per-plane kernels run in
+/// parallel.
+pub(crate) const PAR_POOL_MIN_ELEMS: usize = 1 << 15;
+
+/// GEMM flops (`m·n·k`) at or below which the no-pack strip kernel is used:
+/// for problems this small the packed path's extra passes over A and B cost
+/// more than the cache locality they buy. Small conv layers (a handful of
+/// output channels over a few thousand patch rows) live well below this.
+pub(crate) const SMALL_GEMM_MAX_FLOPS: usize = 1 << 19;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_roundtrip() {
+        let initial = kernel_mode();
+        set_kernel_mode(KernelMode::Naive);
+        assert_eq!(kernel_mode(), KernelMode::Naive);
+        set_kernel_mode(KernelMode::Tiled);
+        assert_eq!(kernel_mode(), KernelMode::Tiled);
+        set_kernel_mode(initial);
+    }
+}

@@ -1,0 +1,566 @@
+//! The blocked, packed, register-tiled GEMM driver and its microkernel.
+//!
+//! # Determinism contract
+//!
+//! Every output element is a single running `f32` sum over `k` in canonical
+//! ascending order, built from separate multiply and add (never fused, never
+//! split into partial accumulators). Blocking only changes *which* elements
+//! are in flight together, never the order of any element's own chain:
+//!
+//! * m/n tiling assigns each element to exactly one microkernel tile;
+//! * k blocking (`KC`) pauses a chain by storing the running sum to `C` and
+//!   resumes it by reloading — an exact f32 round-trip;
+//! * parallelism distributes whole row-blocks; no two tasks touch the same
+//!   output element, and no reduction ever crosses a task boundary.
+//!
+//! Consequently the result is bit-identical for any thread count and
+//! bit-identical to the retained naive reference kernels, which is enforced
+//! by property tests (`tests/proptests.rs`).
+//!
+//! Problems at or below [`SMALL_GEMM_MAX_FLOPS`] skip packing entirely and
+//! run a direct strip kernel ([`gemm_small`]) — same per-element chain, so
+//! the same bits — because at that size the packing passes dominate.
+
+use crate::dispatch::{par_enabled, PAR_GEMM_MIN_FLOPS, SMALL_GEMM_MAX_FLOPS};
+use crate::pack::{pack_a, pack_b, packed_a_len, packed_b_len, KC, MC, MR, NC, NR};
+use crate::workspace;
+use rayon::prelude::*;
+
+/// Full-tile microkernel: resume the MR×NR running sums from `c`, add
+/// `kc` k-steps from the packed panels, store the sums back.
+///
+/// # Safety
+/// `a` must hold `kc*MR` floats, `b` `kc*NR` floats, and `c` must address a
+/// full MR×NR tile with row stride `ldc`.
+unsafe fn kern_full(a: *const f32, b: *const f32, kc: usize, c: *mut f32, ldc: usize) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (i, acc_row) in acc.iter_mut().enumerate() {
+        acc_row.copy_from_slice(std::slice::from_raw_parts(c.add(i * ldc), NR));
+    }
+    let mut ap = a;
+    let mut bp = b;
+    // One k-step: acc[i][j] += a[i] * b[j], separate mul and add. The
+    // macro keeps the 4× unroll below as straight-line repetitions of the
+    // same accumulator chain (no partial sums).
+    macro_rules! step {
+        () => {{
+            let bv: &[f32; NR] = &*(bp as *const [f32; NR]);
+            for (i, acc_row) in acc.iter_mut().enumerate() {
+                let av = *ap.add(i);
+                for (acc_v, &b_v) in acc_row.iter_mut().zip(bv) {
+                    *acc_v += av * b_v;
+                }
+            }
+            ap = ap.add(MR);
+            bp = bp.add(NR);
+        }};
+    }
+    let mut rem = kc;
+    while rem >= 4 {
+        step!();
+        step!();
+        step!();
+        step!();
+        rem -= 4;
+    }
+    while rem > 0 {
+        step!();
+        rem -= 1;
+    }
+    for (i, acc_row) in acc.iter().enumerate() {
+        std::slice::from_raw_parts_mut(c.add(i * ldc), NR).copy_from_slice(acc_row);
+    }
+}
+
+/// Edge-tile microkernel: same chain as [`kern_full`] but only the valid
+/// `mr_eff×nr_eff` region of `c` is loaded and stored. Padded panel lanes
+/// contribute exact zeros and are discarded.
+///
+/// # Safety
+/// `a` must hold `kc*MR` floats, `b` `kc*NR` floats, and `c` must address an
+/// `mr_eff×nr_eff` tile with row stride `ldc`.
+unsafe fn kern_edge(
+    a: *const f32,
+    b: *const f32,
+    kc: usize,
+    c: *mut f32,
+    ldc: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (i, acc_row) in acc.iter_mut().enumerate().take(mr_eff) {
+        for (j, acc_v) in acc_row.iter_mut().enumerate().take(nr_eff) {
+            *acc_v = *c.add(i * ldc + j);
+        }
+    }
+    let mut ap = a;
+    let mut bp = b;
+    for _ in 0..kc {
+        let bv: &[f32; NR] = &*(bp as *const [f32; NR]);
+        // Only the valid rows — lanes beyond nr_eff still compute (they
+        // hold exact zeros from packing and are never stored), but rows
+        // beyond mr_eff would be pure waste.
+        for (i, acc_row) in acc.iter_mut().enumerate().take(mr_eff) {
+            let av = *ap.add(i);
+            for (acc_v, &b_v) in acc_row.iter_mut().zip(bv) {
+                *acc_v += av * b_v;
+            }
+        }
+        ap = ap.add(MR);
+        bp = bp.add(NR);
+    }
+    for (i, acc_row) in acc.iter().enumerate().take(mr_eff) {
+        for (j, acc_v) in acc_row.iter().enumerate().take(nr_eff) {
+            *c.add(i * ldc + j) = *acc_v;
+        }
+    }
+}
+
+/// Narrow-tile microkernel for `nr_eff` well below [`NR`] (e.g. the first
+/// conv layer's 2-channel output, or a classifier head): accumulators are
+/// laid out column-major so the SIMD lanes run down the [`MR`] *rows*
+/// instead of across mostly-padding columns. Per element the chain is the
+/// same `acc += a*b` in ascending k as every other kernel.
+///
+/// # Safety
+/// Same contract as [`kern_edge`].
+unsafe fn kern_narrow(
+    a: *const f32,
+    b: *const f32,
+    kc: usize,
+    c: *mut f32,
+    ldc: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+) {
+    let mut acc = [[0.0f32; MR]; NR];
+    for (j, acc_col) in acc.iter_mut().enumerate().take(nr_eff) {
+        for (i, acc_v) in acc_col.iter_mut().enumerate().take(mr_eff) {
+            *acc_v = *c.add(i * ldc + j);
+        }
+    }
+    let mut ap = a;
+    let mut bp = b;
+    for _ in 0..kc {
+        let av: &[f32; MR] = &*(ap as *const [f32; MR]);
+        for (j, acc_col) in acc.iter_mut().enumerate().take(nr_eff) {
+            let bv = *bp.add(j);
+            for (acc_v, &a_v) in acc_col.iter_mut().zip(av) {
+                *acc_v += a_v * bv;
+            }
+        }
+        ap = ap.add(MR);
+        bp = bp.add(NR);
+    }
+    for (j, acc_col) in acc.iter().enumerate().take(nr_eff) {
+        for (i, acc_v) in acc_col.iter().enumerate().take(mr_eff) {
+            *c.add(i * ldc + j) = *acc_v;
+        }
+    }
+}
+
+/// Strip width of the no-pack small-problem kernel.
+const JB: usize = 16;
+
+/// Direct GEMM for problems at or below [`SMALL_GEMM_MAX_FLOPS`]: no
+/// packing, no k blocking — each output strip's running sums live in
+/// registers for the whole (short) k loop. The per-element chain is the
+/// same ascending-k `acc += a*b` as the packed path, so the bits match.
+///
+/// `b` must already be in `[k, n]` row-major layout (see [`gemm_small`]).
+fn gemm_small_rows(out: &mut [f32], m: usize, n: usize, k: usize, a: &[f32], ta: bool, b: &[f32]) {
+    // Tiny-k fast path (e.g. gradient columns over a handful of output
+    // channels): accumulate whole B rows into the output row, one pass per
+    // k. The caller pre-zeroed `out`, and an f32 accumulator in memory
+    // rounds identically to one in a register, so each element still runs
+    // its canonical ascending-k chain.
+    if k <= NARROW_MAX {
+        for i in 0..m {
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for kk in 0..k {
+                let aik = if ta { a[kk * m + i] } else { a[i * k + kk] };
+                let brow = &b[kk * n..(kk + 1) * n];
+                for (o, &b_v) in out_row.iter_mut().zip(brow) {
+                    *o += aik * b_v;
+                }
+            }
+        }
+        return;
+    }
+    for i in 0..m {
+        let out_row = &mut out[i * n..(i + 1) * n];
+        let mut j0 = 0;
+        while j0 < n {
+            let jb = (n - j0).min(JB);
+            let mut acc = [0.0f32; JB];
+            // One k loop body per (full-strip?, transposed-A?) combination so
+            // the A access pattern and the strip width are both loop-invariant.
+            macro_rules! kloop {
+                ($aiter:expr) => {
+                    if jb == JB {
+                        for (aik, brow) in $aiter.zip(b.chunks_exact(n)) {
+                            let bv: &[f32; JB] = brow[j0..j0 + JB].try_into().unwrap();
+                            for (acc_v, &b_v) in acc.iter_mut().zip(bv) {
+                                *acc_v += aik * b_v;
+                            }
+                        }
+                    } else {
+                        for (aik, brow) in $aiter.zip(b.chunks_exact(n)) {
+                            for (acc_v, &b_v) in acc[..jb].iter_mut().zip(&brow[j0..j0 + jb]) {
+                                *acc_v += aik * b_v;
+                            }
+                        }
+                    }
+                };
+            }
+            if ta {
+                kloop!(a[i..].iter().step_by(m).copied());
+            } else {
+                kloop!(a[i * k..(i + 1) * k].iter().copied());
+            }
+            out_row[j0..j0 + jb].copy_from_slice(&acc[..jb]);
+            j0 += JB;
+        }
+    }
+}
+
+/// Widest output the no-pack narrow kernel handles.
+const NARROW_MAX: usize = 8;
+
+/// Row-blocked no-pack kernel for very narrow outputs (`n <= NARROW_MAX`,
+/// e.g. a weight gradient over a handful of output channels): each block of
+/// `IB` A-rows shares the `n`-wide B row loaded per k-step, giving `IB*n`
+/// independent accumulation chains of instruction-level parallelism.
+/// Monomorphized over `N` so the inner loops fully unroll. Per element the
+/// chain is the canonical ascending-k `acc += a*b`.
+fn narrow_rows<const N: usize>(out: &mut [f32], m: usize, k: usize, a: &[f32], b: &[f32]) {
+    const IB: usize = 4;
+    debug_assert_eq!(b.len(), k * N);
+    let mut i0 = 0;
+    while i0 + IB <= m {
+        let mut acc = [[0.0f32; N]; IB];
+        let r0 = a[i0 * k..(i0 + 1) * k].iter();
+        let r1 = a[(i0 + 1) * k..(i0 + 2) * k].iter();
+        let r2 = a[(i0 + 2) * k..(i0 + 3) * k].iter();
+        let r3 = a[(i0 + 3) * k..(i0 + 4) * k].iter();
+        for ((((brow, &a0), &a1), &a2), &a3) in b.chunks_exact(N).zip(r0).zip(r1).zip(r2).zip(r3) {
+            let brow: &[f32; N] = brow.try_into().unwrap();
+            for (j, &b_v) in brow.iter().enumerate() {
+                acc[0][j] += a0 * b_v;
+                acc[1][j] += a1 * b_v;
+                acc[2][j] += a2 * b_v;
+                acc[3][j] += a3 * b_v;
+            }
+        }
+        for (r, acc_row) in acc.iter().enumerate() {
+            out[(i0 + r) * N..(i0 + r + 1) * N].copy_from_slice(acc_row);
+        }
+        i0 += IB;
+    }
+    for i in i0..m {
+        let mut acc = [0.0f32; N];
+        for (brow, &av) in b.chunks_exact(N).zip(a[i * k..(i + 1) * k].iter()) {
+            let brow: &[f32; N] = brow.try_into().unwrap();
+            for (acc_v, &b_v) in acc.iter_mut().zip(brow) {
+                *acc_v += av * b_v;
+            }
+        }
+        out[i * N..(i + 1) * N].copy_from_slice(&acc);
+    }
+}
+
+/// Small-problem entry: a transposed B would make the k loop stride across
+/// rows, so materialize it in `[k, n]` layout into the shared workspace
+/// first — `k*n` is tiny for every problem routed here.
+#[allow(clippy::too_many_arguments)]
+fn gemm_small(
+    out: &mut [f32],
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    ta: bool,
+    b: &[f32],
+    tb: bool,
+) {
+    if n <= NARROW_MAX && !ta {
+        let dispatch = |out: &mut [f32], b: &[f32]| match n {
+            1 => narrow_rows::<1>(out, m, k, a, b),
+            2 => narrow_rows::<2>(out, m, k, a, b),
+            3 => narrow_rows::<3>(out, m, k, a, b),
+            4 => narrow_rows::<4>(out, m, k, a, b),
+            5 => narrow_rows::<5>(out, m, k, a, b),
+            6 => narrow_rows::<6>(out, m, k, a, b),
+            7 => narrow_rows::<7>(out, m, k, a, b),
+            _ => narrow_rows::<8>(out, m, k, a, b),
+        };
+        if tb {
+            workspace::with_gemm_ws(0, k * n, |_, bt| {
+                for (j, bcol) in b.chunks_exact(k).enumerate() {
+                    for (kk, &v) in bcol.iter().enumerate() {
+                        bt[kk * n + j] = v;
+                    }
+                }
+                dispatch(out, bt);
+            });
+        } else {
+            dispatch(out, b);
+        }
+        return;
+    }
+    if tb {
+        workspace::with_gemm_ws(0, k * n, |_, bt| {
+            // Blocked transpose: a TB-row block of B spans few enough cache
+            // lines to stay resident while every k reads through it.
+            const TB: usize = 64;
+            let mut j0 = 0;
+            while j0 < n {
+                let jl = (n - j0).min(TB);
+                for kk in 0..k {
+                    for j in j0..j0 + jl {
+                        bt[kk * n + j] = b[j * k + kk];
+                    }
+                }
+                j0 += TB;
+            }
+            gemm_small_rows(out, m, n, k, a, ta, bt);
+        });
+    } else {
+        gemm_small_rows(out, m, n, k, a, ta, b);
+    }
+}
+
+/// Compute one row-block (`rows = chunk.len() / n` rows starting at global
+/// row `ic0`, which must be MR-aligned) of `C += A·B` from the packed
+/// operands, walking jc→pc→jr→ir so every element's chain advances in
+/// ascending-k order.
+fn row_block(chunk: &mut [f32], ic0: usize, n: usize, k: usize, a_pack: &[f32], b_pack: &[f32]) {
+    debug_assert_eq!(ic0 % MR, 0);
+    let rows = chunk.len() / n;
+    let c_ptr = chunk.as_mut_ptr();
+    let mut jc = 0;
+    while jc < n {
+        let nc = (n - jc).min(NC);
+        let mut pc = 0;
+        while pc < k {
+            let kc = (k - pc).min(KC);
+            let mut jr = jc;
+            while jr < jc + nc {
+                let nr_eff = (n - jr).min(NR);
+                let q = jr / NR;
+                let b_panel = &b_pack[q * k * NR + pc * NR..];
+                let mut ir = 0;
+                while ir < rows {
+                    let mr_eff = (rows - ir).min(MR);
+                    let p = (ic0 + ir) / MR;
+                    let a_panel = &a_pack[p * k * MR + pc * MR..];
+                    // SAFETY: the packed panels hold at least kc full-width
+                    // k-steps past these offsets, and the tile written is
+                    // `mr_eff×nr_eff` starting at local row `ir`, column
+                    // `jr` — inside this task's chunk by construction.
+                    unsafe {
+                        let c = c_ptr.add(ir * n + jr);
+                        if mr_eff == MR && nr_eff == NR {
+                            kern_full(a_panel.as_ptr(), b_panel.as_ptr(), kc, c, n);
+                        } else if nr_eff <= NR / 2 && mr_eff > nr_eff {
+                            kern_narrow(
+                                a_panel.as_ptr(),
+                                b_panel.as_ptr(),
+                                kc,
+                                c,
+                                n,
+                                mr_eff,
+                                nr_eff,
+                            );
+                        } else {
+                            kern_edge(a_panel.as_ptr(), b_panel.as_ptr(), kc, c, n, mr_eff, nr_eff);
+                        }
+                    }
+                    ir += MR;
+                }
+                jr += NR;
+            }
+            pc += KC;
+        }
+        jc += NC;
+    }
+}
+
+/// Tiled GEMM entry point: `out = op(A)·op(B)` with `out: [m, n]`,
+/// `op(A): [m, k]`, `op(B): [k, n]`; `ta`/`tb` mean the buffer stores the
+/// operand transposed (folded into packing — nothing is materialized).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_tiled(
+    out: &mut [f32],
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    ta: bool,
+    b: &[f32],
+    tb: bool,
+) {
+    debug_assert_eq!(out.len(), m * n);
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    out.fill(0.0);
+    if k == 0 {
+        return;
+    }
+    let flops = m * n * k;
+    let go_par = par_enabled() && flops >= PAR_GEMM_MIN_FLOPS && m > MC;
+    // The strip kernel vectorizes across columns, so it needs a full strip;
+    // narrow outputs go to the ILP row-block kernel instead (which reads A
+    // rows directly, so it needs them contiguous — no `ta`). Anything else
+    // small (8 < n < 16, or narrow with `ta`) takes the packed path.
+    if flops <= SMALL_GEMM_MAX_FLOPS && (n >= JB || (n <= NARROW_MAX && !ta)) && !go_par {
+        return gemm_small(out, m, n, k, a, ta, b, tb);
+    }
+    workspace::with_gemm_ws(packed_a_len(m, k), packed_b_len(k, n), |a_pack, b_pack| {
+        pack_a(a_pack, a, m, k, ta);
+        pack_b(b_pack, b, k, n, tb);
+        let a_pack: &[f32] = a_pack;
+        let b_pack: &[f32] = b_pack;
+        if go_par {
+            out.par_chunks_mut(MC * n)
+                .enumerate()
+                .for_each(|(bi, chunk)| row_block(chunk, bi * MC, n, k, a_pack, b_pack));
+        } else {
+            for (bi, chunk) in out.chunks_mut(MC * n).enumerate() {
+                row_block(chunk, bi * MC, n, k, a_pack, b_pack);
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(len: usize, salt: usize) -> Vec<f32> {
+        (0..len).map(|i| (((i * 31 + salt * 17) % 23) as f32 - 11.0) / 7.0).collect()
+    }
+
+    fn reference(a: &[f32], b: &[f32], m: usize, n: usize, k: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for kk in 0..k {
+                let av = a[i * k + kk];
+                for j in 0..n {
+                    out[i * n + j] += av * b[kk * n + j];
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn tiled_is_bit_identical_to_reference_on_awkward_shapes() {
+        // Shapes straddling MR/NR/KC/MC boundaries, including degenerate 1s.
+        for &(m, n, k) in &[
+            (1usize, 1usize, 1usize),
+            (MR, NR, 4),
+            (MR + 1, NR + 1, KC + 1),
+            (MC + 3, NR * 2 + 5, KC - 1),
+            (2 * MC, 2 * NR, 2 * KC),
+            (3, 70, 129),
+            (65, 1, 300),
+            (1, 33, 7),
+        ] {
+            let a = seq(m * k, 1);
+            let b = seq(k * n, 2);
+            let mut out = vec![f32::NAN; m * n]; // must be fully overwritten
+            gemm_tiled(&mut out, m, n, k, &a, false, &b, false);
+            let want = reference(&a, &b, m, n, k);
+            assert_eq!(
+                out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "mismatch at m={m} n={n} k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn transposed_operands_match_materialized_transpose() {
+        let (m, n, k) = (13usize, 21usize, 17usize);
+        let a = seq(m * k, 3);
+        let b = seq(k * n, 4);
+        // Store A as [k, m] and B as [n, k].
+        let mut at = vec![0.0f32; m * k];
+        for i in 0..m {
+            for kk in 0..k {
+                at[kk * m + i] = a[i * k + kk];
+            }
+        }
+        let mut bt = vec![0.0f32; k * n];
+        for kk in 0..k {
+            for j in 0..n {
+                bt[j * k + kk] = b[kk * n + j];
+            }
+        }
+        let mut plain = vec![0.0f32; m * n];
+        gemm_tiled(&mut plain, m, n, k, &a, false, &b, false);
+        let mut via_ta = vec![0.0f32; m * n];
+        gemm_tiled(&mut via_ta, m, n, k, &at, true, &b, false);
+        let mut via_tb = vec![0.0f32; m * n];
+        gemm_tiled(&mut via_tb, m, n, k, &a, false, &bt, true);
+        assert_eq!(plain, via_ta);
+        assert_eq!(plain, via_tb);
+    }
+
+    #[test]
+    fn small_and_packed_paths_agree_bitwise() {
+        // A shape routed to the strip kernel by the dispatcher; drive the
+        // packed machinery directly on the same inputs and compare bits.
+        let (m, n, k) = (67usize, 29usize, 33usize);
+        let a = seq(m * k, 5);
+        let b = seq(k * n, 6);
+        for &(ta, tb) in &[(false, false), (true, false), (false, true)] {
+            let (a_buf, b_buf) = {
+                let mut at = a.clone();
+                let mut bt = b.clone();
+                if ta {
+                    for i in 0..m {
+                        for kk in 0..k {
+                            at[kk * m + i] = a[i * k + kk];
+                        }
+                    }
+                }
+                if tb {
+                    for kk in 0..k {
+                        for j in 0..n {
+                            bt[j * k + kk] = b[kk * n + j];
+                        }
+                    }
+                }
+                (at, bt)
+            };
+            let mut small = vec![0.0f32; m * n];
+            gemm_small(&mut small, m, n, k, &a_buf, ta, &b_buf, tb);
+            let mut packed = vec![0.0f32; m * n];
+            workspace::with_gemm_ws(packed_a_len(m, k), packed_b_len(k, n), |ap, bp| {
+                pack_a(ap, &a_buf, m, k, ta);
+                pack_b(bp, &b_buf, k, n, tb);
+                for (bi, chunk) in packed.chunks_mut(MC * n).enumerate() {
+                    row_block(chunk, bi * MC, n, k, ap, bp);
+                }
+            });
+            assert_eq!(
+                small.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                packed.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "paths diverge at ta={ta} tb={tb}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_k_zeroes_the_output() {
+        let mut out = vec![7.0f32; 6];
+        gemm_tiled(&mut out, 2, 3, 0, &[], false, &[], false);
+        assert_eq!(out, vec![0.0; 6]);
+    }
+}

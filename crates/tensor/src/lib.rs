@@ -12,14 +12,24 @@
 #![deny(missing_docs)]
 
 mod conv;
+mod dispatch;
 mod init;
+mod kernel;
 mod linalg;
+mod pack;
 mod tensor;
+mod workspace;
 
 pub use conv::{
-    avgpool2d, col2im, conv2d, conv2d_backward, im2col, maxpool2d, maxpool2d_backward, Conv2dGrads,
-    ConvSpec, PoolSpec,
+    avgpool2d, avgpool2d_backward, col2im, conv2d, conv2d_backward, conv2d_backward_ws,
+    conv2d_backward_ws_ex, conv2d_ws, im2col, maxpool2d, maxpool2d_backward, Conv2dGrads, ConvSpec,
+    PoolSpec,
 };
+pub use dispatch::{kernel_mode, set_kernel_mode, KernelMode};
 pub use init::{he_normal, xavier_uniform};
-pub use linalg::{matmul, matmul_a_bt, matmul_at_b, transpose2d};
+pub use linalg::{
+    matmul, matmul_a_bt, matmul_a_bt_naive, matmul_at_b, matmul_at_b_naive, matmul_naive,
+    transpose2d,
+};
 pub use tensor::Tensor;
+pub use workspace::{workspace_alloc_events, ConvWorkspace};

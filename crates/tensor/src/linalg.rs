@@ -1,19 +1,81 @@
 //! Matrix products — the computational core of dense and (via im2col)
 //! convolutional layers.
 //!
-//! Parallelism: rows of the output are distributed over the rayon pool.
-//! Each output element is computed by exactly one task with a fixed
-//! accumulation order, so the result is bitwise identical for any thread
-//! count — the determinism contract training depends on.
+//! Two kernel generations live here (selected by [`crate::kernel_mode`]):
+//!
+//! * the **tiled** path routes all three product shapes through
+//!   [`crate::kernel`]'s blocked/packed GEMM, folding operand transposes
+//!   into panel packing so nothing is materialized;
+//! * the **naive** path is the original scalar kernels, retained verbatim
+//!   as the canonical accumulation-order reference (`*_naive`).
+//!
+//! Both generations compute every output element as one running `f32` sum
+//! over `k` in ascending order, by exactly one task — results are bitwise
+//! identical to each other and for any thread count (the determinism
+//! contract training depends on; property-tested in `tests/proptests.rs`).
 
+use crate::dispatch::{kernel_mode, par_enabled, KernelMode};
+use crate::kernel::gemm_tiled;
 use crate::Tensor;
 use rayon::prelude::*;
 
-/// Threshold below which parallel dispatch costs more than it saves.
-const PAR_MIN_FLOPS: usize = 64 * 64 * 64;
+/// Threshold below which parallel dispatch costs more than it saves
+/// (the original single global threshold, kept for the naive kernels).
+const NAIVE_PAR_MIN_FLOPS: usize = 64 * 64 * 64;
 
 /// `C = A · B` for `A: [m, k]`, `B: [k, n]`.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = mat_dims(a, "A");
+    let (k2, n) = mat_dims(b, "B");
+    assert_eq!(k, k2, "matmul inner dims: {k} vs {k2}");
+    match kernel_mode() {
+        KernelMode::Naive => matmul_naive(a, b),
+        KernelMode::Tiled => {
+            let mut out = vec![0.0f32; m * n];
+            gemm_tiled(&mut out, m, n, k, a.data(), false, b.data(), false);
+            Tensor::from_vec(out, &[m, n])
+        }
+    }
+}
+
+/// `C = Aᵀ · B` for `A: [k, m]`, `B: [k, n]` (weight-gradient shape).
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = mat_dims(a, "A");
+    let (k2, n) = mat_dims(b, "B");
+    assert_eq!(k, k2, "matmul_at_b inner dims: {k} vs {k2}");
+    match kernel_mode() {
+        KernelMode::Naive => matmul_at_b_naive(a, b),
+        KernelMode::Tiled => {
+            // The transpose is folded into A-panel packing — no transposed
+            // copy of A is ever materialized (the old kernel allocated one
+            // per call on the dW hot path).
+            let mut out = vec![0.0f32; m * n];
+            gemm_tiled(&mut out, m, n, k, a.data(), true, b.data(), false);
+            Tensor::from_vec(out, &[m, n])
+        }
+    }
+}
+
+/// `C = A · Bᵀ` for `A: [m, k]`, `B: [n, k]` (input-gradient shape).
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = mat_dims(a, "A");
+    let (n, k2) = mat_dims(b, "B");
+    assert_eq!(k, k2, "matmul_a_bt inner dims: {k} vs {k2}");
+    match kernel_mode() {
+        KernelMode::Naive => matmul_a_bt_naive(a, b),
+        KernelMode::Tiled => {
+            let mut out = vec![0.0f32; m * n];
+            gemm_tiled(&mut out, m, n, k, a.data(), false, b.data(), true);
+            Tensor::from_vec(out, &[m, n])
+        }
+    }
+}
+
+/// `C = A · B` with the retained scalar reference kernel (k-outer loop,
+/// running row accumulators). This is the pre-overhaul hot path, kept as
+/// the bit-exactness oracle for the tiled GEMM and as the `--label before`
+/// kernel generation in `bench_kernels`.
+pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = mat_dims(a, "A");
     let (k2, n) = mat_dims(b, "B");
     assert_eq!(k, k2, "matmul inner dims: {k} vs {k2}");
@@ -34,7 +96,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
         }
     };
 
-    if m * n * k >= PAR_MIN_FLOPS {
+    if par_enabled() && m * n * k >= NAIVE_PAR_MIN_FLOPS {
         out.par_chunks_mut(n).enumerate().for_each(row_job);
     } else {
         out.chunks_mut(n).enumerate().for_each(row_job);
@@ -42,22 +104,19 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     Tensor::from_vec(out, &[m, n])
 }
 
-/// `C = Aᵀ · B` for `A: [k, m]`, `B: [k, n]` (weight-gradient shape).
-pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
-    let (k, m) = mat_dims(a, "A");
-    let (k2, n) = mat_dims(b, "B");
+/// `C = Aᵀ · B` with the retained reference kernel: materializes `Aᵀ` and
+/// calls [`matmul_naive`], exactly as the pre-overhaul code did.
+pub fn matmul_at_b_naive(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, _m) = mat_dims(a, "A");
+    let (k2, _n) = mat_dims(b, "B");
     assert_eq!(k, k2, "matmul_at_b inner dims: {k} vs {k2}");
     let a_t = transpose2d(a);
-    // Reuse the cache-friendly kernel on the transposed copy; A is usually
-    // the smaller operand (activations), so the copy is cheap relative to
-    // the product.
-    let _ = m;
-    let _ = n;
-    matmul(&a_t, b)
+    matmul_naive(&a_t, b)
 }
 
-/// `C = A · Bᵀ` for `A: [m, k]`, `B: [n, k]` (input-gradient shape).
-pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
+/// `C = A · Bᵀ` with the retained reference kernel (per-element dot
+/// products over contiguous rows of both operands).
+pub fn matmul_a_bt_naive(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = mat_dims(a, "A");
     let (n, k2) = mat_dims(b, "B");
     assert_eq!(k, k2, "matmul_a_bt inner dims: {k} vs {k2}");
@@ -77,7 +136,7 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
         }
     };
 
-    if m * n * k >= PAR_MIN_FLOPS {
+    if par_enabled() && m * n * k >= NAIVE_PAR_MIN_FLOPS {
         out.par_chunks_mut(n).enumerate().for_each(row_job);
     } else {
         out.chunks_mut(n).enumerate().for_each(row_job);
@@ -98,7 +157,7 @@ pub fn transpose2d(a: &Tensor) -> Tensor {
     Tensor::from_vec(out, &[c, r])
 }
 
-fn mat_dims(t: &Tensor, name: &str) -> (usize, usize) {
+pub(crate) fn mat_dims(t: &Tensor, name: &str) -> (usize, usize) {
     let s = t.shape();
     assert_eq!(s.len(), 2, "{name} must be a matrix, got shape {s:?}");
     (s[0], s[1])
@@ -165,6 +224,32 @@ mod tests {
         let c1 = matmul(&a, &b);
         let c2 = matmul(&a, &b);
         assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn tiled_and_naive_agree_bitwise_on_all_three_products() {
+        let dims = [(17usize, 19usize, 23usize), (64, 64, 64), (1, 5, 9)];
+        for (m, n, k) in dims {
+            let mk: Vec<f32> = (0..m * k).map(|i| ((i % 13) as f32 - 6.0) / 5.0).collect();
+            let kn: Vec<f32> = (0..k * n).map(|i| ((i % 11) as f32 - 5.0) / 3.0).collect();
+            let a = Tensor::from_vec(mk.clone(), &[m, k]);
+            let b = Tensor::from_vec(kn.clone(), &[k, n]);
+            let at = Tensor::from_vec(mk.clone(), &[k, m]);
+            let bt = Tensor::from_vec(kn.clone(), &[n, k]);
+            for (tiled, naive) in [
+                (matmul(&a, &b), matmul_naive(&a, &b)),
+                (matmul_at_b(&at, &b), matmul_at_b_naive(&at, &b)),
+                (matmul_a_bt(&a, &bt), matmul_a_bt_naive(&a, &bt)),
+            ] {
+                // matmul_at_b reinterprets mk as [k, m] — shapes line up as
+                // long as both generations see the same buffers.
+                assert_eq!(
+                    tiled.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    naive.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "m={m} n={n} k={k}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,150 @@
+//! Panel packing for the tiled GEMM.
+//!
+//! Both operands are repacked once per product into contiguous,
+//! microkernel-ordered buffers:
+//!
+//! * `A` (logical `m×k`) becomes row panels of [`MR`] rows laid out
+//!   k-major — panel `p` stores `a[p·MR+i, kk]` at `p·k·MR + kk·MR + i` —
+//!   so the microkernel reads one contiguous `MR`-vector per k-step.
+//! * `B` (logical `k×n`) becomes column panels of [`NR`] columns laid out
+//!   k-major — panel `q` stores `b[kk, q·NR+j]` at `q·k·NR + kk·NR + j`.
+//!
+//! Ragged edges are zero-padded to full panel width, which keeps the
+//! microkernel branch-free; padded lanes contribute exact `0.0` products
+//! and are never stored back, so bit-exactness is unaffected.
+//!
+//! Transposed operands (`AᵀB`, `ABᵀ` — the backward-pass products) are
+//! handled *here*, by reading the source through swapped strides, instead
+//! of materializing a transposed copy the way the old `matmul_at_b` did.
+
+/// Microkernel rows: the A-panel width.
+pub(crate) const MR: usize = 8;
+/// Microkernel columns: the B-panel width.
+pub(crate) const NR: usize = 16;
+/// k-extent accumulated per C-tile visit (L1 blocking: a `KC×NR` B panel
+/// slice is 16 KiB, an `MR×KC` A panel slice 8 KiB).
+pub(crate) const KC: usize = 256;
+/// Rows per parallel task / L2 block; must be a multiple of `MR`.
+pub(crate) const MC: usize = 64;
+/// Columns per outer block (L3 streaming bound); must be a multiple of `NR`.
+pub(crate) const NC: usize = 2048;
+
+const _: () = assert!(MC.is_multiple_of(MR), "MC must be a multiple of MR");
+const _: () = assert!(NC.is_multiple_of(NR), "NC must be a multiple of NR");
+
+/// Packed length of an `m×k` A operand.
+pub(crate) fn packed_a_len(m: usize, k: usize) -> usize {
+    m.div_ceil(MR) * MR * k
+}
+
+/// Packed length of a `k×n` B operand.
+pub(crate) fn packed_b_len(k: usize, n: usize) -> usize {
+    n.div_ceil(NR) * NR * k
+}
+
+/// Pack logical `A: [m, k]` into MR-row panels. `trans` means the source
+/// buffer stores `Aᵀ` (i.e. it is `[k, m]` row-major).
+pub(crate) fn pack_a(dst: &mut [f32], a: &[f32], m: usize, k: usize, trans: bool) {
+    debug_assert!(dst.len() >= packed_a_len(m, k));
+    debug_assert_eq!(a.len(), m * k);
+    for p in 0..m.div_ceil(MR) {
+        let i0 = p * MR;
+        let mr_eff = (m - i0).min(MR);
+        let panel = &mut dst[p * k * MR..(p + 1) * k * MR];
+        if trans {
+            // Source element (i, kk) lives at a[kk*m + i0 + i]: contiguous
+            // reads and contiguous writes per k-step.
+            for kk in 0..k {
+                let src = &a[kk * m + i0..kk * m + i0 + mr_eff];
+                let d = &mut panel[kk * MR..kk * MR + MR];
+                d[..mr_eff].copy_from_slice(src);
+                d[mr_eff..].fill(0.0);
+            }
+        } else {
+            // Source rows are contiguous; write k-major with stride MR.
+            for (i, row) in a[i0 * k..(i0 + mr_eff) * k].chunks_exact(k).enumerate() {
+                for (kk, &v) in row.iter().enumerate() {
+                    panel[kk * MR + i] = v;
+                }
+            }
+            if mr_eff < MR {
+                for kk in 0..k {
+                    panel[kk * MR + mr_eff..(kk + 1) * MR].fill(0.0);
+                }
+            }
+        }
+    }
+}
+
+/// Pack logical `B: [k, n]` into NR-column panels. `trans` means the source
+/// buffer stores `Bᵀ` (i.e. it is `[n, k]` row-major).
+pub(crate) fn pack_b(dst: &mut [f32], b: &[f32], k: usize, n: usize, trans: bool) {
+    debug_assert!(dst.len() >= packed_b_len(k, n));
+    debug_assert_eq!(b.len(), k * n);
+    for q in 0..n.div_ceil(NR) {
+        let j0 = q * NR;
+        let nr_eff = (n - j0).min(NR);
+        let panel = &mut dst[q * k * NR..(q + 1) * k * NR];
+        if trans {
+            // Source element (kk, j) lives at b[(j0+j)*k + kk]: read each
+            // source row (one output column) contiguously, scatter into the
+            // k-major panel.
+            for (j, col) in b[j0 * k..(j0 + nr_eff) * k].chunks_exact(k).enumerate() {
+                for (kk, &v) in col.iter().enumerate() {
+                    panel[kk * NR + j] = v;
+                }
+            }
+            if nr_eff < NR {
+                for kk in 0..k {
+                    panel[kk * NR + nr_eff..(kk + 1) * NR].fill(0.0);
+                }
+            }
+        } else {
+            for kk in 0..k {
+                let src = &b[kk * n + j0..kk * n + j0 + nr_eff];
+                let d = &mut panel[kk * NR..kk * NR + NR];
+                d[..nr_eff].copy_from_slice(src);
+                d[nr_eff..].fill(0.0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_a_matches_both_layouts() {
+        let (m, k) = (5usize, 3usize);
+        // A[i][kk] = 10*i + kk.
+        let a: Vec<f32> = (0..m * k).map(|x| (10 * (x / k) + x % k) as f32).collect();
+        let at: Vec<f32> = (0..k * m).map(|x| (10 * (x % m) + x / m) as f32).collect();
+        let mut p1 = vec![-1.0; packed_a_len(m, k)];
+        let mut p2 = vec![-1.0; packed_a_len(m, k)];
+        pack_a(&mut p1, &a, m, k, false);
+        pack_a(&mut p2, &at, m, k, true);
+        assert_eq!(p1, p2);
+        // Panel 0, k-step 1, lane 2 must hold A[2][1] = 21.
+        assert_eq!(p1[MR + 2], 21.0);
+        // Lanes past the m=5 edge are zero-padded in every k-step.
+        for kk in 0..k {
+            assert_eq!(p1[kk * MR + m..(kk + 1) * MR], [0.0; MR - 5]);
+        }
+    }
+
+    #[test]
+    fn pack_b_matches_both_layouts() {
+        let (k, n) = (3usize, 5usize);
+        let b: Vec<f32> = (0..k * n).map(|x| (10 * (x / n) + x % n) as f32).collect();
+        let bt: Vec<f32> = (0..n * k).map(|x| (10 * (x % k) + x / k) as f32).collect();
+        let mut p1 = vec![-1.0; packed_b_len(k, n)];
+        let mut p2 = vec![-1.0; packed_b_len(k, n)];
+        pack_b(&mut p1, &b, k, n, false);
+        pack_b(&mut p2, &bt, k, n, true);
+        assert_eq!(p1, p2);
+        // k-step 2, column 4 must hold B[2][4] = 24; padding is zero.
+        assert_eq!(p1[2 * NR + 4], 24.0);
+        assert_eq!(p1[2 * NR + n], 0.0);
+    }
+}

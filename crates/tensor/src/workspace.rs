@@ -1,0 +1,150 @@
+//! Reusable kernel workspaces: steady-state training performs zero heap
+//! allocations *inside* the kernels.
+//!
+//! Two kinds of scratch memory exist:
+//!
+//! * **GEMM pack buffers** — thread-local, grown high-water-mark style on
+//!   first use and reused by every subsequent product on that thread.
+//! * **[`ConvWorkspace`]** — owned by each convolution layer and threaded
+//!   through `conv2d_ws`/`conv2d_backward_ws`, so the backward pass reuses
+//!   the forward pass's im2col columns instead of recomputing them, and all
+//!   intermediate buffers (columns, gradient columns, permuted upstream
+//!   gradient, GEMM product) survive across steps.
+//!
+//! Every buffer growth bumps a global counter ([`workspace_alloc_events`]);
+//! tests assert it stays flat once shapes have been seen, which is the
+//! "no per-step kernel allocations" guarantee.
+
+use crate::conv::ConvSpec;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of workspace buffer (re)allocations since process start.
+static ALLOC_EVENTS: AtomicUsize = AtomicUsize::new(0);
+
+/// How many times any kernel workspace buffer had to grow. Constant between
+/// two points in time ⇒ every kernel call in between ran allocation-free
+/// (workspace-wise).
+pub fn workspace_alloc_events() -> usize {
+    ALLOC_EVENTS.load(Ordering::Relaxed)
+}
+
+/// Grow `buf` to at least `need` elements, counting the growth event.
+/// Never shrinks: the high-water mark is the steady state.
+pub(crate) fn ensure(buf: &mut Vec<f32>, need: usize) {
+    if buf.len() < need {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        buf.resize(need, 0.0);
+    }
+}
+
+struct GemmBuffers {
+    a_pack: Vec<f32>,
+    b_pack: Vec<f32>,
+}
+
+thread_local! {
+    static GEMM_WS: RefCell<GemmBuffers> =
+        const { RefCell::new(GemmBuffers { a_pack: Vec::new(), b_pack: Vec::new() }) };
+}
+
+/// Borrow this thread's pack buffers, grown to the requested lengths.
+pub(crate) fn with_gemm_ws<R>(
+    a_need: usize,
+    b_need: usize,
+    f: impl FnOnce(&mut [f32], &mut [f32]) -> R,
+) -> R {
+    GEMM_WS.with(|cell| {
+        let mut ws = cell.borrow_mut();
+        ensure(&mut ws.a_pack, a_need);
+        ensure(&mut ws.b_pack, b_need);
+        let GemmBuffers { a_pack, b_pack } = &mut *ws;
+        f(&mut a_pack[..a_need], &mut b_pack[..b_need])
+    })
+}
+
+/// The geometry a [`ConvWorkspace`]'s column buffer was filled for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ConvKey {
+    pub(crate) x_shape: [usize; 4],
+    pub(crate) kh: usize,
+    pub(crate) kw: usize,
+    pub(crate) spec: ConvSpec,
+}
+
+/// Per-layer convolution scratch memory (see module docs). Create one per
+/// conv layer and pass it to both `conv2d_ws` and `conv2d_backward_ws`.
+#[derive(Debug, Default)]
+pub struct ConvWorkspace {
+    /// im2col columns of the last forward input, stored tap-major
+    /// (`[c*kh*kw, n*oh*ow]`) so no GEMM consuming them needs a transpose.
+    pub(crate) cols: Vec<f32>,
+    /// Gradient columns (backward dX path; tap-major for stride 1,
+    /// patch-major otherwise).
+    pub(crate) dcols: Vec<f32>,
+    /// Upstream gradient flattened patch-major to `[n*oh*ow, o]`.
+    pub(crate) dflat: Vec<f32>,
+    /// Upstream gradient gathered channel-major to `[o, n*oh*ow]`.
+    pub(crate) dflat_t: Vec<f32>,
+    /// Forward GEMM product `[o, n*oh*ow]` before the NCHW permute; the
+    /// backward pass reuses it for the transposed weight gradient.
+    pub(crate) prod: Vec<f32>,
+    /// Geometry `cols` currently holds, if any.
+    pub(crate) key: Option<ConvKey>,
+}
+
+impl ConvWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drop the record of what `cols` holds (e.g. after the input tensor it
+    /// was computed from has been mutated). Buffers stay allocated.
+    pub fn invalidate(&mut self) {
+        self.key = None;
+    }
+
+    /// Bytes currently retained across steps.
+    pub fn retained_bytes(&self) -> usize {
+        (self.cols.capacity()
+            + self.dcols.capacity()
+            + self.dflat.capacity()
+            + self.dflat_t.capacity()
+            + self.prod.capacity())
+            * std::mem::size_of::<f32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_ws_grows_once_per_high_water_mark() {
+        // Use shapes no other test uses to keep the counter readable.
+        let before = workspace_alloc_events();
+        with_gemm_ws(977, 1009, |a, b| {
+            assert_eq!(a.len(), 977);
+            assert_eq!(b.len(), 1009);
+        });
+        let grown = workspace_alloc_events();
+        assert!(grown > before);
+        with_gemm_ws(977, 1009, |_, _| {});
+        with_gemm_ws(100, 200, |a, b| {
+            assert_eq!(a.len(), 100);
+            assert_eq!(b.len(), 200);
+        });
+        assert_eq!(workspace_alloc_events(), grown, "re-use must not reallocate");
+    }
+
+    #[test]
+    fn conv_workspace_reports_retention() {
+        let mut ws = ConvWorkspace::new();
+        assert_eq!(ws.retained_bytes(), 0);
+        ensure(&mut ws.cols, 64);
+        assert!(ws.retained_bytes() >= 64 * 4);
+        ws.invalidate();
+        assert!(ws.key.is_none());
+    }
+}

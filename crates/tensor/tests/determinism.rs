@@ -1,0 +1,170 @@
+//! The determinism contract, tested end to end: the tiled kernel
+//! generation must be **bit-identical** to the retained naive reference
+//! for every shape — ragged or blocking-aligned, through every internal
+//! fast path (packed, strip, narrow, tiny-k) — and its results must not
+//! depend on how many rayon workers execute it.
+//!
+//! These tests flip the process-global kernel mode and the
+//! `RAYON_NUM_THREADS` variable, so everything that does either runs under
+//! one mutex.
+
+use proptest::prelude::*;
+use sefi_tensor::{
+    conv2d, conv2d_backward, matmul, matmul_a_bt, matmul_at_b, set_kernel_mode, ConvSpec,
+    KernelMode, Tensor,
+};
+use std::sync::Mutex;
+
+static GLOBALS: Mutex<()> = Mutex::new(());
+
+/// Run `f` under both kernel generations and hand back both results.
+fn both_modes<R>(mut f: impl FnMut() -> R) -> (R, R) {
+    let _guard = GLOBALS.lock().unwrap_or_else(|e| e.into_inner());
+    set_kernel_mode(KernelMode::Tiled);
+    let tiled = f();
+    set_kernel_mode(KernelMode::Naive);
+    let naive = f();
+    set_kernel_mode(KernelMode::Tiled);
+    (tiled, naive)
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|v| v.to_bits()).collect()
+}
+
+fn filled(shape: &[usize], salt: u32) -> Tensor {
+    // Deterministic, sign-mixed, non-representable-sum values so that any
+    // reassociation of the accumulation chain actually changes the bits.
+    let n: usize = shape.iter().product();
+    let data = (0..n)
+        .map(|i| {
+            let x = (i as u32).wrapping_mul(2654435761).wrapping_add(salt);
+            (x % 2000) as f32 / 300.0 - 3.3
+        })
+        .collect();
+    Tensor::from_vec(data, shape)
+}
+
+/// Shapes that straddle every blocking boundary of the packed path
+/// (MR = 8, NR = 16, MC = 64, KC = 256) and the small-problem fast paths:
+/// narrow (n ≤ 8), tiny-k (k ≤ 8), strip (n ≥ 16), and true packed
+/// (m·n·k above the small-GEMM cutoff).
+const GEMM_SHAPES: &[(usize, usize, usize)] = &[
+    (1, 1, 1),
+    (3, 2, 9),      // narrow
+    (27, 300, 2),   // tiny-k
+    (67, 29, 33),   // strip, ragged
+    (8, 16, 256),   // exactly one block each
+    (9, 17, 257),   // one past each boundary
+    (65, 33, 257),  // packed path (above the small-GEMM flop cutoff)
+    (130, 15, 300), // packed, ragged n, multiple row blocks
+    (7, 77, 1000),  // packed, m smaller than one microtile
+];
+
+#[test]
+fn gemm_bitwise_identical_across_generations_on_boundary_shapes() {
+    for &(m, n, k) in GEMM_SHAPES {
+        let a = filled(&[m, k], 1);
+        let at = filled(&[k, m], 2);
+        let b = filled(&[k, n], 3);
+        let bt = filled(&[n, k], 4);
+        let cases: [(&str, (Tensor, Tensor)); 3] = [
+            ("matmul", both_modes(|| matmul(&a, &b))),
+            ("at_b", both_modes(|| matmul_at_b(&at, &b))),
+            ("a_bt", both_modes(|| matmul_a_bt(&a, &bt))),
+        ];
+        for (name, (tiled, naive)) in cases {
+            assert_eq!(
+                bits(&tiled),
+                bits(&naive),
+                "{name} diverged from the reference on ({m},{n},{k})"
+            );
+        }
+    }
+}
+
+#[test]
+fn results_do_not_depend_on_rayon_thread_count() {
+    let _guard = GLOBALS.lock().unwrap_or_else(|e| e.into_inner());
+    set_kernel_mode(KernelMode::Tiled);
+    // Big enough to cross the parallel-dispatch thresholds for GEMM
+    // (m·n·k ≥ 48³ and m > MC) and for im2col/col2im (≥ 2¹⁵ elements).
+    let a = filled(&[130, 64], 5);
+    let b = filled(&[64, 64], 6);
+    let x = filled(&[4, 3, 32, 32], 7);
+    let w = filled(&[5, 3, 3, 3], 8);
+    let bias = filled(&[5], 9);
+    let spec = ConvSpec { stride: 1, pad: 1 };
+    let dout = filled(&[4, 5, 32, 32], 10);
+
+    type Snapshot = (Vec<u32>, Vec<u32>, Vec<u32>, Vec<u32>, Vec<u32>);
+    let mut reference: Option<Snapshot> = None;
+    for threads in ["1", "2", "3", "5"] {
+        // The vendored rayon shim reads this per dispatch, so varying it
+        // inside one process genuinely changes the fan-out.
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+        let mm = matmul(&a, &b);
+        let y = conv2d(&x, &w, &bias, spec);
+        let g = conv2d_backward(&x, &w, &dout, spec);
+        let got = (bits(&mm), bits(&y), bits(&g.dx), bits(&g.dw), bits(&g.db));
+        match &reference {
+            None => reference = Some(got),
+            Some(want) => {
+                assert_eq!(want, &got, "results changed with RAYON_NUM_THREADS={threads}")
+            }
+        }
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Ragged random shapes sweep the strip/narrow/tiny-k dispatch space.
+    #[test]
+    fn gemm_bitwise_identical_on_ragged_shapes(
+        m in 1usize..40,
+        n in 1usize..40,
+        k in 1usize..40,
+        salt in 0u32..1000,
+    ) {
+        let a = filled(&[m, k], salt);
+        let b = filled(&[k, n], salt.wrapping_add(1));
+        let (tiled, naive) = both_modes(|| matmul(&a, &b));
+        prop_assert_eq!(bits(&tiled), bits(&naive));
+        let at = filled(&[k, m], salt.wrapping_add(2));
+        let (tiled, naive) = both_modes(|| matmul_at_b(&at, &b));
+        prop_assert_eq!(bits(&tiled), bits(&naive));
+        let bt = filled(&[n, k], salt.wrapping_add(3));
+        let (tiled, naive) = both_modes(|| matmul_a_bt(&a, &bt));
+        prop_assert_eq!(bits(&tiled), bits(&naive));
+    }
+
+    /// Convolution forward and backward, including strided geometry (the
+    /// strided backward takes the canonical col2im path, stride 1 the
+    /// tap-inverted one — both must match the reference bit for bit).
+    #[test]
+    fn conv_bitwise_identical_across_generations(
+        n in 1usize..3,
+        c in 1usize..4,
+        o in 1usize..5,
+        hw in 4usize..9,
+        stride in 1usize..3,
+        pad in 0usize..2,
+        salt in 0u32..1000,
+    ) {
+        let spec = ConvSpec { stride, pad };
+        let x = filled(&[n, c, hw, hw], salt);
+        let w = filled(&[o, c, 3, 3], salt.wrapping_add(1));
+        let bias = filled(&[o], salt.wrapping_add(2));
+        let oh = spec.out_extent(hw, 3);
+        let ow = spec.out_extent(hw, 3);
+        let (tiled, naive) = both_modes(|| conv2d(&x, &w, &bias, spec));
+        prop_assert_eq!(bits(&tiled), bits(&naive), "forward diverged");
+        let dout = filled(&[n, o, oh, ow], salt.wrapping_add(3));
+        let (tg, ng) = both_modes(|| conv2d_backward(&x, &w, &dout, spec));
+        prop_assert_eq!(bits(&tg.dx), bits(&ng.dx), "dx diverged");
+        prop_assert_eq!(bits(&tg.dw), bits(&ng.dw), "dw diverged");
+        prop_assert_eq!(bits(&tg.db), bits(&ng.db), "db diverged");
+    }
+}

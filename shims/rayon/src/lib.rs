@@ -2,9 +2,10 @@
 //!
 //! The build environment has no access to crates.io, so the workspace
 //! vendors the API subset it uses: `into_par_iter()` on ranges and vectors,
-//! `par_chunks_mut` on slices, and the `map`/`enumerate`/`for_each`/`sum`/
-//! `collect` combinators. Work is fanned out over
-//! `std::thread::available_parallelism()` scoped threads with static
+//! `par_chunks_mut` on slices, `current_num_threads`, and the
+//! `map`/`enumerate`/`zip`/`for_each`/`sum`/`collect` combinators. Work is
+//! fanned out over `RAYON_NUM_THREADS` (falling back to
+//! `std::thread::available_parallelism()`) scoped threads with static
 //! chunking; ordering of results matches the sequential iteration order,
 //! exactly as rayon's indexed parallel iterators guarantee.
 //!
@@ -20,6 +21,22 @@ thread_local! {
     static IN_WORKER: Cell<bool> = const { Cell::new(false) };
 }
 
+/// Worker count: `RAYON_NUM_THREADS` if set to a positive integer, else the
+/// machine's available parallelism. Real rayon reads the variable once at
+/// global-pool initialization; reading it per dispatch is an intentional
+/// superset that lets determinism tests vary the thread count within one
+/// process (results must be identical either way).
+pub fn current_num_threads() -> usize {
+    if let Ok(s) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+}
+
 /// Run `f` over `items` on a scoped thread pool, preserving input order.
 fn execute<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
@@ -28,8 +45,7 @@ where
     F: Fn(T) -> R + Sync,
 {
     let n = items.len();
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
-    let threads = threads.min(n.max(1));
+    let threads = current_num_threads().min(n.max(1));
     if threads <= 1 || IN_WORKER.with(Cell::get) {
         return items.into_iter().map(f).collect();
     }
@@ -79,6 +95,18 @@ impl<I: Send> ParIter<I> {
     /// Pair each item with its index.
     pub fn enumerate(self) -> ParIter<(usize, I)> {
         ParIter { items: self.items.into_iter().enumerate().collect() }
+    }
+
+    /// Pair items with another equally sized parallel batch (rayon's
+    /// `IndexedParallelIterator::zip`). Used to write two disjoint output
+    /// buffers (e.g. maxpool values and argmax indices) from one dispatch.
+    pub fn zip<J: Send>(self, other: ParIter<J>) -> ParIter<(I, J)> {
+        assert_eq!(
+            self.items.len(),
+            other.items.len(),
+            "zip requires equal-length parallel iterators"
+        );
+        ParIter { items: self.items.into_iter().zip(other.items).collect() }
     }
 
     /// Run `f` on every item in parallel.
@@ -184,6 +212,37 @@ mod tests {
         assert!(data.iter().all(|&v| v >= 1));
         assert_eq!(data[0], 1);
         assert_eq!(data[24], 7);
+    }
+
+    #[test]
+    fn zip_pairs_in_order() {
+        let mut a = [0u32; 10];
+        let mut b = [0u32; 10];
+        a.par_chunks_mut(3).zip(b.par_chunks_mut(3)).enumerate().for_each(|(i, (ca, cb))| {
+            for v in ca.iter_mut() {
+                *v = i as u32;
+            }
+            for v in cb.iter_mut() {
+                *v = 10 + i as u32;
+            }
+        });
+        assert_eq!(a[0], 0);
+        assert_eq!(a[9], 3);
+        assert_eq!(b[0], 10);
+        assert_eq!(b[9], 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn zip_rejects_length_mismatch() {
+        let mut a = [0u32; 10];
+        let mut b = [0u32; 7];
+        a.par_chunks_mut(3).zip(b.par_chunks_mut(3)).for_each(|_| {});
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        assert!(super::current_num_threads() >= 1);
     }
 
     #[test]
