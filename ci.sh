@@ -26,6 +26,36 @@ cargo run -q --release -p sefi-bench --bin bench_kernels -- \
   --assert-speedup gemm_256:2.0 --assert-speedup train_epoch_alexnet:1.3
 rm -rf "$bench_dir"
 
+echo "== checkpoint I/O bench smoke =="
+# v2's indexed open + single-section read must beat a v1 full decode for
+# single-tensor access even at smoke length (the committed BENCH_ckpt_io.json
+# carries the full-length run, which clears ~18x; smoke allows 3x slack).
+io_dir="$(mktemp -d)"
+cargo run -q --release -p sefi-bench --bin bench_ckpt_io -- \
+  --smoke --out "$io_dir/bench.json" --assert-lazy-speedup 3.0
+rm -rf "$io_dir"
+
+echo "== container mutation fuzz =="
+# The shared harness: random byte mutations and truncations against all
+# three container formats (v1, flat, v2) must error cleanly, never panic.
+cargo test -q --release -p sefi-hdf5 --test fuzz_formats
+
+echo "== smoke campaign: storage sweep =="
+# The v2 storage sweep must observe all three outcome classes (masked /
+# detected / silent), its verified loader must detect every single-bit flip,
+# and a re-invocation must serve every trial from the manifest while
+# rebuilding the identical table from recorded metrics.
+storage_dir="$(mktemp -d)"
+cargo run -q --release -p sefi-experiments --bin exp_storage -- \
+  --budget smoke --results-dir "$storage_dir" > "$storage_dir/run1.log"
+grep -q 'verified loader detects every flip: true' "$storage_dir/run1.log"
+grep -q 'all outcome classes observed: true' "$storage_dir/run1.log"
+cargo run -q --release -p sefi-experiments --bin exp_storage -- \
+  --budget smoke --results-dir "$storage_dir" > "$storage_dir/run2.log"
+grep -Eq 'storage +0 +144 +0' "$storage_dir/run2.log"
+cmp <(grep -A5 'Region' "$storage_dir/run1.log") <(grep -A5 'Region' "$storage_dir/run2.log")
+rm -rf "$storage_dir"
+
 echo "== smoke campaign: fault isolation =="
 # A deliberately failing trial (injected via the test-only SEFI_FAIL_TRIAL
 # hook) must not kill the campaign: every other trial completes, the failure

@@ -1,0 +1,194 @@
+//! Checkpoint container I/O benchmark: v1 (monolithic, whole-payload CRC)
+//! vs v2 (sectioned, indexed, per-section CRC), written to
+//! `BENCH_ckpt_io.json` at the repo root.
+//!
+//! The headline measurement is the one the v2 format exists for: loading a
+//! *single* dataset. v1 must decode the entire file to reach any value;
+//! v2's [`sefi_hdf5::IndexedFile`] reads the 24-byte superblock, the index,
+//! and exactly one payload section. Both sides are measured from disk and
+//! in memory, alongside full encode/decode throughput so the per-section
+//! bookkeeping overhead stays visible.
+//!
+//! Usage:
+//!   bench_ckpt_io [--out PATH] [--smoke] [--assert-lazy-speedup FACTOR]
+
+use sefi_bench::layered_checkpoint;
+use sefi_hdf5::{Dtype, H5File};
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// One measured operation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Entry {
+    /// Stable identifier, e.g. `v2_lazy_single_dataset`.
+    name: String,
+    /// Mean wall time per iteration.
+    ns_per_iter: f64,
+    /// Payload throughput where a whole file is processed (0 for the lazy
+    /// rows, which deliberately touch only a sliver of it).
+    mb_per_s: f64,
+}
+
+/// The on-disk result file.
+#[derive(Debug, Serialize, Deserialize)]
+struct BenchFile {
+    /// File format version.
+    schema: u32,
+    /// What produced the numbers.
+    note: String,
+    /// Hardware threads visible during the run.
+    host_threads: usize,
+    /// Datasets in the fixture checkpoint.
+    fixture_datasets: usize,
+    /// Encoded v1 size in bytes.
+    v1_bytes: usize,
+    /// Encoded v2 size in bytes (index overhead included).
+    v2_bytes: usize,
+    /// All measured operations.
+    entries: Vec<Entry>,
+    /// v1 full-decode time / v2 lazy single-dataset time (in memory).
+    lazy_speedup_vs_v1_full_decode: f64,
+    /// v1 disk-load-then-read time / v2 indexed-open-then-read time.
+    lazy_speedup_vs_v1_disk_load: f64,
+}
+
+/// Mean ns/iter of `f` after one warmup call, timed until `min_total`
+/// elapses (at least 3, at most `max_iters` runs).
+fn time_ns(min_total: Duration, max_iters: u64, mut f: impl FnMut()) -> f64 {
+    f();
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while iters < max_iters && (iters < 3 || start.elapsed() < min_total) {
+        f();
+        iters += 1;
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = "BENCH_ckpt_io.json".to_string();
+    let mut smoke = false;
+    let mut assert_lazy: Option<f64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out = args[i].clone();
+            }
+            "--smoke" => smoke = true,
+            "--assert-lazy-speedup" => {
+                i += 1;
+                assert_lazy = Some(args[i].parse().expect("speedup factor"));
+            }
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
+    let per_op = if smoke { Duration::from_millis(40) } else { Duration::from_millis(400) };
+
+    // 32 layers × 4096 f32 weights + biases ≈ 0.5 MiB payload over 64
+    // datasets — big enough that full decode dominates, small enough that
+    // the page cache keeps disk rows measuring format cost, not the drive.
+    let file = layered_checkpoint(32, 4096, Dtype::F32);
+    let v1 = file.to_bytes();
+    let v2 = file.to_bytes_v2();
+    let target = "model/layer17/W";
+    let mb = v1.len() as f64 / 1e6;
+
+    let dir = std::env::temp_dir().join(format!("sefi_bench_ckpt_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create bench temp dir");
+    let v1_path = dir.join("ckpt_v1.h5");
+    let v2_path = dir.join("ckpt_v2.h5");
+    file.save(&v1_path).expect("write v1 fixture");
+    file.save_v2(&v2_path).expect("write v2 fixture");
+
+    println!("bench_ckpt_io: {} datasets, v1 {} B, v2 {} B -> {out}", 64, v1.len(), v2.len());
+    let mut entries = Vec::new();
+    let mut record = |name: &str, ns: f64, whole_file: bool| {
+        let mb_per_s = if whole_file { mb * 1e9 / ns } else { 0.0 };
+        println!("  {name:<24} {ns:>12.1} ns/iter");
+        entries.push(Entry { name: name.into(), ns_per_iter: ns, mb_per_s });
+        ns
+    };
+
+    record(
+        "v1_encode",
+        time_ns(per_op, 100_000, || {
+            std::hint::black_box(std::hint::black_box(&file).to_bytes());
+        }),
+        true,
+    );
+    record(
+        "v2_encode",
+        time_ns(per_op, 100_000, || {
+            std::hint::black_box(std::hint::black_box(&file).to_bytes_v2());
+        }),
+        true,
+    );
+    let v1_decode = record(
+        "v1_decode_full",
+        time_ns(per_op, 100_000, || {
+            std::hint::black_box(H5File::from_bytes(std::hint::black_box(&v1)).unwrap());
+        }),
+        true,
+    );
+    record(
+        "v2_decode_full",
+        time_ns(per_op, 100_000, || {
+            std::hint::black_box(H5File::from_bytes(std::hint::black_box(&v2)).unwrap());
+        }),
+        true,
+    );
+    let v2_lazy = record(
+        "v2_lazy_single_dataset",
+        time_ns(per_op, 100_000, || {
+            let mut indexed = H5File::open_indexed(std::hint::black_box(&v2_path)).unwrap();
+            std::hint::black_box(indexed.dataset(target).unwrap());
+        }),
+        false,
+    );
+    let v1_disk = record(
+        "v1_disk_single_dataset",
+        time_ns(per_op, 100_000, || {
+            let f = H5File::load(std::hint::black_box(&v1_path)).unwrap();
+            std::hint::black_box(f.dataset(target).unwrap().clone());
+        }),
+        false,
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let result = BenchFile {
+        schema: 1,
+        note: "v1 vs v2 checkpoint container I/O; regenerate with \
+               `cargo run --release -p sefi-bench --bin bench_ckpt_io`"
+            .into(),
+        host_threads: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+        fixture_datasets: 64,
+        v1_bytes: v1.len(),
+        v2_bytes: v2.len(),
+        entries,
+        lazy_speedup_vs_v1_full_decode: v1_decode / v2_lazy,
+        lazy_speedup_vs_v1_disk_load: v1_disk / v2_lazy,
+    };
+    let text = serde_json::to_string_pretty(&result).expect("serialize bench file");
+    std::fs::write(&out, text + "\n").unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!(
+        "  lazy single-dataset speedup: {:.2}x vs v1 full decode, {:.2}x vs v1 disk load",
+        result.lazy_speedup_vs_v1_full_decode, result.lazy_speedup_vs_v1_disk_load
+    );
+
+    if let Some(want) = assert_lazy {
+        let got = result.lazy_speedup_vs_v1_full_decode;
+        let ok = got >= want;
+        println!(
+            "  assert lazy speedup {got:.2} >= {want:.2} ... {}",
+            if ok { "ok" } else { "FAIL" }
+        );
+        if !ok {
+            std::process::exit(1);
+        }
+    }
+}

@@ -26,6 +26,28 @@ pub fn synthetic_checkpoint(entries: usize, dtype: Dtype) -> H5File {
     f
 }
 
+/// A deeper checkpoint: `layers` conv-style layers of `per_layer` values
+/// each (plus a bias per layer), mimicking a real model file where lazy
+/// single-dataset access only needs a sliver of the payload.
+pub fn layered_checkpoint(layers: usize, per_layer: usize, dtype: Dtype) -> H5File {
+    let mut f = H5File::new();
+    for l in 0..layers {
+        let values: Vec<f32> =
+            (0..per_layer).map(|k| (((k + l * 13) as f32) * 0.21).cos()).collect();
+        f.create_dataset(
+            &format!("model/layer{l}/W"),
+            Dataset::from_f32(&values, &[per_layer], dtype).unwrap(),
+        )
+        .unwrap();
+        f.create_dataset(
+            &format!("model/layer{l}/b"),
+            Dataset::from_f32(&[0.5; 8], &[8], dtype).unwrap(),
+        )
+        .unwrap();
+    }
+    f
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -35,5 +57,12 @@ mod tests {
         let f = synthetic_checkpoint(1000, Dtype::F64);
         assert_eq!(f.total_entries(), 1000);
         assert_eq!(f.dataset_paths().len(), 4);
+    }
+
+    #[test]
+    fn layered_fixture_shape() {
+        let f = layered_checkpoint(8, 100, Dtype::F32);
+        assert_eq!(f.dataset_paths().len(), 16);
+        assert_eq!(f.total_entries(), 8 * (100 + 8));
     }
 }

@@ -1,6 +1,8 @@
-//! Corrupter configuration — Table I of the paper, as a typed struct.
+//! Corrupter configuration — Table I of the paper, as a typed struct —
+//! plus the raw byte-level injector's config.
 
 use crate::error::CorruptError;
+use crate::report::FileRegion;
 use sefi_float::{BitMask, BitRange, Precision};
 
 /// How many injection attempts to make (Table I: `injection_type` +
@@ -137,9 +139,51 @@ impl CorrupterConfig {
     }
 }
 
+/// Configuration for [`crate::RawCorrupter`] — the storage-layer injector
+/// that flips bits in *file bytes* rather than in decoded values.
+///
+/// Where [`CorrupterConfig`] models the paper's value-level tool (it can
+/// only ever hit numeric entries), the raw injector models the physical
+/// fault: any byte of the file — superblock, index, checksum, or payload —
+/// is fair game.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RawConfig {
+    /// Number of single-bit flips to perform.
+    pub flips: u64,
+    /// Restrict flips to one structural region of the v2 file, or `None`
+    /// to draw uniformly over the whole file.
+    pub region: Option<FileRegion>,
+    /// Seed for the injector's private random stream. Same seed + same
+    /// config + same bytes ⇒ identical flips.
+    pub seed: u64,
+}
+
+impl RawConfig {
+    /// A single uniformly placed flip — the storage experiment's per-trial
+    /// setting.
+    pub fn single_flip(region: Option<FileRegion>, seed: u64) -> Self {
+        RawConfig { flips: 1, region, seed }
+    }
+
+    /// Validate internal consistency.
+    pub fn validate(&self) -> Result<(), CorruptError> {
+        if self.flips == 0 {
+            return Err(CorruptError::InvalidConfig("raw flip count is zero".to_string()));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn raw_config_validates() {
+        RawConfig::single_flip(None, 7).validate().unwrap();
+        RawConfig { flips: 100, region: Some(FileRegion::Payload), seed: 0 }.validate().unwrap();
+        assert!(RawConfig { flips: 0, region: None, seed: 0 }.validate().is_err());
+    }
 
     #[test]
     fn presets_validate() {

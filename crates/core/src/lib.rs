@@ -34,14 +34,18 @@ pub mod diff;
 mod error;
 pub mod guard;
 mod log;
+mod raw;
 mod report;
 #[cfg(test)]
 mod testutil;
 
-pub use config::{CorrupterConfig, CorruptionMode, InjectionAmount, LocationSelection};
+pub use config::{CorrupterConfig, CorruptionMode, InjectionAmount, LocationSelection, RawConfig};
 pub use corrupter::{corrupt_file, Corrupter};
 pub use diff::{diff_checkpoint_values, diff_checkpoints, CheckpointDiff, DatasetDiff};
 pub use error::CorruptError;
 pub use guard::{GuardFinding, GuardReport, NevGuard, RepairPolicy};
 pub use log::{InjectionLog, LogRecord};
-pub use report::{InjectionRecord, InjectionReport, ValueChange};
+pub use raw::RawCorrupter;
+pub use report::{
+    FileRegion, InjectionRecord, InjectionReport, RawFlipRecord, RawReport, RawTarget, ValueChange,
+};

@@ -85,6 +85,84 @@ impl InjectionReport {
     }
 }
 
+// ------------------------------------------------------- raw (file-level)
+
+/// Structural region of a sectioned (v2) checkpoint file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FileRegion {
+    /// The fixed 24-byte header: magic, version, index length, index CRC.
+    Superblock,
+    /// The dataset index table (paths, dtypes, shapes, offsets, lengths,
+    /// per-section CRCs, group attributes).
+    Index,
+    /// Raw dataset bytes.
+    Payload,
+}
+
+impl FileRegion {
+    /// Stable lowercase label for tables and telemetry.
+    pub fn label(self) -> &'static str {
+        match self {
+            FileRegion::Superblock => "superblock",
+            FileRegion::Index => "index",
+            FileRegion::Payload => "payload",
+        }
+    }
+}
+
+/// The (dataset, entry, bit) a payload flip resolves to through the index.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RawTarget {
+    /// Dataset path whose section contains the flipped byte.
+    pub dataset: String,
+    /// Entry index within the dataset (byte offset / element width).
+    pub entry_index: usize,
+    /// Bit position within the entry's little-endian value (0 = LSB).
+    pub bit: u32,
+}
+
+/// One bit flipped directly in file bytes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RawFlipRecord {
+    /// Order of this flip within the run (0-based).
+    pub order: u64,
+    /// Absolute byte offset in the file.
+    pub offset: usize,
+    /// Flipped bit within that byte (0 = LSB).
+    pub bit_in_byte: u8,
+    /// Which structural region the offset landed in.
+    pub region: FileRegion,
+    /// For payload hits, the (dataset, entry, bit) mapping recovered from
+    /// the index; `None` for out-of-band (superblock/index/checksum) hits.
+    pub target: Option<RawTarget>,
+}
+
+/// Summary of a raw byte-level corruption run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RawReport {
+    /// Every flip, in order.
+    pub flips: Vec<RawFlipRecord>,
+}
+
+impl RawReport {
+    /// Number of flips that landed in a region.
+    pub fn region_count(&self, region: FileRegion) -> usize {
+        self.flips.iter().filter(|f| f.region == region).count()
+    }
+
+    /// Distinct dataset paths hit through the payload.
+    pub fn datasets_hit(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = self
+            .flips
+            .iter()
+            .filter_map(|f| f.target.as_ref().map(|t| t.dataset.as_str()))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

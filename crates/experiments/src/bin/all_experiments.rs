@@ -125,6 +125,17 @@ fn main() {
         let _ = std::fs::write(pre.results_file("fig7.csv"), t.to_csv());
     }
 
+    {
+        let _phase = pre.phase("storage");
+        let (rows, t) = exp_storage::storage_table(&pre);
+        println!("--- Storage: file-byte flips vs the v2 container ---\n{}", t.render());
+        println!(
+            "verified loader detects every flip: {}\n",
+            exp_storage::verified_loader_detects_everything(&rows)
+        );
+        let _ = std::fs::write(pre.results_file("storage.csv"), t.to_csv());
+    }
+
     if let Some(summary) = pre.finish_campaign() {
         println!("--- campaign summary ---\n{summary}");
     }

@@ -31,6 +31,7 @@ pub mod exp_nev;
 pub mod exp_predict;
 pub mod exp_propagation;
 pub mod exp_rwc;
+pub mod exp_storage;
 mod runner;
 pub mod stats;
 pub mod table;

@@ -2,7 +2,7 @@
 
 use crate::kind::FrameworkKind;
 use crate::mapping::{engine_to_file_path, tensor_from_file_layout, tensor_to_file_layout};
-use sefi_hdf5::{Attr, Dataset, Dtype, H5File};
+use sefi_hdf5::{Attr, Dataset, Dtype, H5File, LoadPolicy};
 use sefi_nn::Network;
 
 /// Serialize a network into this framework's checkpoint layout at the given
@@ -37,35 +37,93 @@ pub fn load_checkpoint(
     net: &mut Network,
     file: &H5File,
 ) -> Result<usize, String> {
+    load_into(fw, net, file, &[])
+}
+
+/// Outcome of a policy-driven checkpoint load from file bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointLoad {
+    /// The stored epoch.
+    pub epoch: usize,
+    /// Dataset paths whose sections failed their CRC and were quarantined
+    /// (skipped, keeping the network's current in-memory tensor) or
+    /// zero-filled, per the policy. Empty for clean loads and for v1 files.
+    pub quarantined: Vec<String>,
+}
+
+/// Restore a network directly from checkpoint *file bytes* under a
+/// [`LoadPolicy`] — the storage-fault-tolerant entry point.
+///
+/// For v2 files a corrupt dataset section is handled per the policy:
+/// `Strict` fails the load (same contract as [`load_checkpoint`]);
+/// `Quarantine` keeps the network's current in-memory tensor for that
+/// dataset (partial recovery — the tensor is simply not restored);
+/// `ZeroFill` loads zeros of the stored shape. Either way the damage is
+/// itemized in [`CheckpointLoad::quarantined`]. A quarantined *epoch*
+/// dataset is unrecoverable — there is no in-memory fallback for the
+/// restart position — so it fails the load even under `Quarantine`
+/// (under `ZeroFill` it decodes as epoch 0). Superblock or index damage
+/// always fails: without a trustworthy index nothing can be attributed.
+/// v1 files decode all-or-nothing regardless of policy.
+pub fn load_checkpoint_bytes(
+    fw: FrameworkKind,
+    net: &mut Network,
+    bytes: &[u8],
+    policy: LoadPolicy,
+) -> Result<CheckpointLoad, String> {
+    let (file, report) = H5File::from_bytes_with_policy(bytes, policy)
+        .map_err(|e| format!("decoding checkpoint: {e}"))?;
+    let epoch = load_into(fw, net, &file, &report.quarantined)?;
+    Ok(CheckpointLoad { epoch, quarantined: report.quarantined })
+}
+
+fn load_into(
+    fw: FrameworkKind,
+    net: &mut Network,
+    file: &H5File,
+    quarantined: &[String],
+) -> Result<usize, String> {
     if let Some(Attr::Str(stored_fw)) = file.root().attr("framework") {
         if stored_fw != fw.id() {
             return Err(format!("checkpoint was written by {stored_fw:?}, not {:?}", fw.id()));
         }
     }
-    let mut sd = net.state_dict();
+    let sd = net.state_dict();
     let mut new_sd = sefi_nn::StateDict::new();
     for entry in sd.entries() {
         let path = engine_to_file_path(fw, &entry.path);
-        let ds = file.dataset(&path).map_err(|e| format!("loading {:?}: {e}", entry.path))?;
-        if ds.len() != entry.tensor.len() {
-            return Err(format!(
-                "tensor {path:?} has {} entries, network expects {}",
-                ds.len(),
-                entry.tensor.len()
-            ));
+        match file.dataset(&path) {
+            Ok(ds) => {
+                if ds.len() != entry.tensor.len() {
+                    return Err(format!(
+                        "tensor {path:?} has {} entries, network expects {}",
+                        ds.len(),
+                        entry.tensor.len()
+                    ));
+                }
+                let stored = ds.to_f32_vec();
+                let t = tensor_from_file_layout(fw, &entry.path, entry.tensor.shape(), &stored);
+                new_sd.push(entry.path.clone(), t, entry.trainable);
+            }
+            // A quarantined dataset is deliberately absent: keep the
+            // network's current tensor instead of failing the load.
+            Err(_) if quarantined.contains(&path) => {
+                new_sd.push(entry.path.clone(), entry.tensor.clone(), entry.trainable);
+            }
+            Err(e) => return Err(format!("loading {:?}: {e}", entry.path)),
         }
-        let stored = ds.to_f32_vec();
-        let t = tensor_from_file_layout(fw, &entry.path, entry.tensor.shape(), &stored);
-        new_sd.push(entry.path.clone(), t, entry.trainable);
     }
     net.load_state_dict(&new_sd)?;
-    sd = new_sd; // keep the loaded dict alive for clarity; not otherwise used
-    let _ = sd;
-    let epoch = file
-        .dataset(fw.epoch_path())
-        .map_err(|e| format!("reading epoch: {e}"))?
-        .get_i64(0)
-        .map_err(|e| format!("reading epoch: {e}"))?;
+    let epoch_path = fw.epoch_path();
+    let epoch = match file.dataset(epoch_path) {
+        Ok(ds) => ds.get_i64(0).map_err(|e| format!("reading epoch: {e}"))?,
+        Err(_) if quarantined.iter().any(|p| p == epoch_path) => {
+            return Err(format!(
+                "epoch dataset {epoch_path:?} is quarantined — restart position unknown"
+            ));
+        }
+        Err(e) => return Err(format!("reading epoch: {e}")),
+    };
     Ok(epoch as usize)
 }
 
@@ -165,6 +223,102 @@ mod tests {
         ck = pruned;
         let err = load_checkpoint(FrameworkKind::Chainer, &mut a, &ck).unwrap_err();
         assert!(err.contains("conv3"), "{err}");
+    }
+
+    #[test]
+    fn policy_loader_clean_v2_bytes_roundtrip() {
+        let fw = FrameworkKind::Chainer;
+        let mut a = small_net();
+        let bytes = save_checkpoint(fw, &mut a, 20, Dtype::F64).to_bytes_v2();
+        let mut b = small_net();
+        let load = load_checkpoint_bytes(fw, &mut b, &bytes, LoadPolicy::Strict).unwrap();
+        assert_eq!(load, CheckpointLoad { epoch: 20, quarantined: vec![] });
+        assert_eq!(a.state_dict(), b.state_dict());
+    }
+
+    /// Flip one byte inside a named dataset's v2 payload section.
+    fn flip_in_section(bytes: &mut [u8], path: &str) {
+        let idx = sefi_hdf5::FileIndex::parse(bytes).unwrap();
+        let e = idx.entry(path).unwrap();
+        bytes[e.offset] ^= 0x01;
+    }
+
+    fn other_net() -> Network {
+        let cfg = ModelConfig { scale: 0.05, input_size: 16, num_classes: 10 };
+        alexnet(cfg, &mut DetRng::new(99)).0
+    }
+
+    #[test]
+    fn single_payload_flip_strict_errors_quarantine_recovers() {
+        let fw = FrameworkKind::Chainer;
+        let mut a = small_net();
+        let mut bytes = save_checkpoint(fw, &mut a, 20, Dtype::F32).to_bytes_v2();
+        flip_in_section(&mut bytes, "predictor/conv1/W");
+
+        let mut b = other_net();
+        let err = load_checkpoint_bytes(fw, &mut b, &bytes, LoadPolicy::Strict).unwrap_err();
+        assert!(err.contains("checksum"), "{err}");
+
+        // Quarantine: everything except conv1/W restores; conv1/W keeps the
+        // network's own (differently seeded) in-memory tensor.
+        let mut b = other_net();
+        let before = b.state_dict();
+        let load = load_checkpoint_bytes(fw, &mut b, &bytes, LoadPolicy::Quarantine).unwrap();
+        assert_eq!(load.epoch, 20);
+        assert_eq!(load.quarantined, vec!["predictor/conv1/W".to_string()]);
+        let sa = a.state_dict();
+        for ((eb, ea), e0) in
+            b.state_dict().entries().iter().zip(sa.entries()).zip(before.entries())
+        {
+            if engine_to_file_path(fw, &eb.path) == "predictor/conv1/W" {
+                assert_eq!(eb.tensor, e0.tensor, "quarantined tensor kept as-is");
+                assert_ne!(eb.tensor, ea.tensor);
+            } else {
+                assert_eq!(eb.tensor, ea.tensor, "{} restored", eb.path);
+            }
+        }
+
+        // ZeroFill: the damaged tensor loads as zeros instead.
+        let mut b = other_net();
+        let load = load_checkpoint_bytes(fw, &mut b, &bytes, LoadPolicy::ZeroFill).unwrap();
+        assert_eq!(load.quarantined, vec!["predictor/conv1/W".to_string()]);
+        let zeroed = b
+            .state_dict()
+            .entries()
+            .iter()
+            .find(|e| engine_to_file_path(fw, &e.path) == "predictor/conv1/W")
+            .unwrap()
+            .tensor
+            .clone();
+        assert!(zeroed.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn quarantined_epoch_fails_the_load() {
+        let fw = FrameworkKind::Chainer;
+        let mut a = small_net();
+        let mut bytes = save_checkpoint(fw, &mut a, 20, Dtype::F32).to_bytes_v2();
+        flip_in_section(&mut bytes, fw.epoch_path());
+        let mut b = other_net();
+        let err = load_checkpoint_bytes(fw, &mut b, &bytes, LoadPolicy::Quarantine).unwrap_err();
+        assert!(err.contains("quarantined"), "{err}");
+        // ZeroFill substitutes a zeroed scalar: epoch 0, flagged as damage.
+        let mut b = other_net();
+        let load = load_checkpoint_bytes(fw, &mut b, &bytes, LoadPolicy::ZeroFill).unwrap();
+        assert_eq!(load.epoch, 0);
+        assert_eq!(load.quarantined, vec![fw.epoch_path().to_string()]);
+    }
+
+    #[test]
+    fn policy_loader_accepts_v1_bytes() {
+        let fw = FrameworkKind::PyTorch;
+        let mut a = small_net();
+        let bytes = save_checkpoint(fw, &mut a, 7, Dtype::F32).to_bytes();
+        let mut b = other_net();
+        let load = load_checkpoint_bytes(fw, &mut b, &bytes, LoadPolicy::Quarantine).unwrap();
+        assert_eq!(load.epoch, 7);
+        assert!(load.quarantined.is_empty());
+        assert_eq!(a.state_dict(), b.state_dict());
     }
 
     #[test]

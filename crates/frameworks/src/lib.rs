@@ -28,7 +28,7 @@ mod kind;
 mod mapping;
 mod session;
 
-pub use checkpoint::{load_checkpoint, save_checkpoint};
+pub use checkpoint::{load_checkpoint, load_checkpoint_bytes, save_checkpoint, CheckpointLoad};
 pub use kind::FrameworkKind;
 pub use mapping::{
     engine_to_file_path, file_layer_location, tensor_from_file_layout, tensor_to_file_layout,

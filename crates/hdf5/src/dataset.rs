@@ -106,8 +106,19 @@ pub struct Dataset {
 }
 
 /// Number of entries implied by a shape ("the product of their dimensions").
+/// Only valid for shapes already vetted by [`checked_elem_count`]; trusted
+/// in-memory constructors use it after their own size checks.
 fn shape_len(shape: &[usize]) -> usize {
     shape.iter().product()
+}
+
+/// [`shape_len`] without wrap-around: `None` when the dimension product
+/// overflows `usize`. Decoded shapes must go through this — each dimension
+/// is individually capped by the decoders, but the *product* of up to
+/// [`crate::limits::MAX_RANK`] capped dimensions can still wrap in release
+/// builds and slip a short buffer past the byte-length validation.
+pub(crate) fn checked_elem_count(shape: &[usize]) -> Option<usize> {
+    shape.iter().try_fold(1usize, |acc, &d| acc.checked_mul(d))
 }
 
 impl Dataset {
@@ -122,8 +133,11 @@ impl Dataset {
         if !dtype.is_float() {
             return Err(Error::DtypeMismatch(format!("from_f32 into {dtype:?}")));
         }
-        if shape_len(shape) != values.len() {
-            return Err(Error::ShapeMismatch { expected: shape_len(shape), got: values.len() });
+        let expected = checked_elem_count(shape).ok_or_else(|| {
+            Error::Malformed(format!("dataset shape {shape:?} overflows the element count"))
+        })?;
+        if expected != values.len() {
+            return Err(Error::ShapeMismatch { expected, got: values.len() });
         }
         let mut ds = Dataset::zeros(shape, dtype);
         for (i, &v) in values.iter().enumerate() {
@@ -138,8 +152,11 @@ impl Dataset {
         if dtype.is_float() {
             return Err(Error::DtypeMismatch(format!("from_i64 into {dtype:?}")));
         }
-        if shape_len(shape) != values.len() {
-            return Err(Error::ShapeMismatch { expected: shape_len(shape), got: values.len() });
+        let expected = checked_elem_count(shape).ok_or_else(|| {
+            Error::Malformed(format!("dataset shape {shape:?} overflows the element count"))
+        })?;
+        if expected != values.len() {
+            return Err(Error::ShapeMismatch { expected, got: values.len() });
         }
         let mut ds = Dataset::zeros(shape, dtype);
         for (i, &v) in values.iter().enumerate() {
@@ -168,7 +185,10 @@ impl Dataset {
 
     /// Reconstruct from raw parts (used by the decoder).
     pub(crate) fn from_raw(dtype: Dtype, shape: Vec<usize>, data: Vec<u8>) -> Result<Self> {
-        let expected = shape_len(&shape) * dtype.size();
+        let expected =
+            checked_elem_count(&shape).and_then(|n| n.checked_mul(dtype.size())).ok_or_else(
+                || Error::Malformed(format!("dataset shape {shape:?} overflows the element count")),
+            )?;
         if data.len() != expected {
             return Err(Error::Malformed(format!(
                 "dataset byte length {} does not match shape (expected {expected})",
@@ -412,6 +432,25 @@ mod tests {
         assert_eq!(ds.get_i64(1).unwrap(), 300);
         let ds = Dataset::from_i64(&[200, 255], &[2], Dtype::U8).unwrap();
         assert_eq!(ds.get_i64(0).unwrap(), 200);
+    }
+
+    #[test]
+    fn wrapping_shape_product_rejected_not_wrapped() {
+        // 16 dimensions of 2^30 each: every dimension passes the per-dim
+        // cap, but the product is 2^480 ≡ 0 (mod 2^64). An unchecked
+        // `shape.iter().product()` wraps to 0 in release builds, making the
+        // `elem_count * size == data.len()` validation accept an empty
+        // buffer for an astronomically-sized dataset.
+        let shape = vec![1usize << 30; 16];
+        assert_eq!(checked_elem_count(&shape), None);
+        let err = Dataset::from_raw(Dtype::F64, shape.clone(), Vec::new()).unwrap_err();
+        assert!(matches!(err, Error::Malformed(m) if m.contains("overflow")));
+        // A shape that wraps exactly to a plausible small count is the
+        // nastiest variant: 2^32 × 2^32 wraps to 0 == data length 0.
+        let err = Dataset::from_raw(Dtype::U8, vec![1 << 32, 1 << 32], Vec::new()).unwrap_err();
+        assert!(matches!(err, Error::Malformed(_)));
+        // from_f32 goes through the same check.
+        assert!(Dataset::from_f32(&[], &shape, Dtype::F32).is_err());
     }
 
     #[test]

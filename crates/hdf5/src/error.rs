@@ -38,6 +38,14 @@ pub enum Error {
     /// The on-disk bytes are not a valid file (bad magic, truncation,
     /// unknown version/dtype, checksum failure, …).
     Malformed(String),
+    /// A v2 dataset section failed its own CRC while the rest of the file
+    /// is intact. Under [`crate::LoadPolicy::Strict`] this aborts the
+    /// load; the quarantine policies convert it into a
+    /// [`crate::LoadReport`] entry instead.
+    SectionCorrupt {
+        /// Path of the dataset whose payload section failed its CRC.
+        path: String,
+    },
     /// Filesystem-level failure (path, OS message).
     Io(String, String),
 }
@@ -58,6 +66,9 @@ impl fmt::Display for Error {
             }
             Error::DtypeMismatch(msg) => write!(f, "dtype mismatch: {msg}"),
             Error::Malformed(msg) => write!(f, "malformed file: {msg}"),
+            Error::SectionCorrupt { path } => {
+                write!(f, "dataset section at {path:?} failed its checksum")
+            }
             Error::Io(path, msg) => write!(f, "I/O error on {path}: {msg}"),
         }
     }

@@ -20,6 +20,7 @@
 use crate::crc::crc32;
 use crate::dataset::{Dataset, Dtype};
 use crate::error::{Error, Result};
+use crate::limits::{MAX_LEN, MAX_NAME_LEN, MAX_RANK};
 use crate::node::Node;
 use crate::H5File;
 
@@ -91,26 +92,26 @@ pub fn from_flat_bytes(bytes: &[u8]) -> Result<H5File> {
     let mut file = H5File::new();
     for _ in 0..count {
         let name_len = u32_at(&mut pos)? as usize;
-        if name_len > 1 << 16 {
+        if name_len as u64 > MAX_NAME_LEN {
             return Err(Error::Malformed(format!("flat name length {name_len} exceeds limit")));
         }
         let name = String::from_utf8(take(&mut pos, name_len)?.to_vec())
             .map_err(|_| Error::Malformed("non-UTF-8 flat name".to_string()))?;
         let dtype = Dtype::from_tag_public(take(&mut pos, 1)?[0])?;
         let rank = u32_at(&mut pos)?;
-        if rank > 16 {
+        if rank > MAX_RANK {
             return Err(Error::Malformed(format!("flat rank {rank} exceeds limit")));
         }
         let mut shape = Vec::with_capacity(rank as usize);
         for _ in 0..rank {
             let d = u64_at(&mut pos)?;
-            if d > 1 << 30 {
+            if d > MAX_LEN {
                 return Err(Error::Malformed(format!("flat dimension {d} exceeds limit")));
             }
             shape.push(d as usize);
         }
         let byte_len = u64_at(&mut pos)?;
-        if byte_len > 1 << 30 {
+        if byte_len > MAX_LEN {
             return Err(Error::Malformed(format!("flat data length {byte_len} exceeds limit")));
         }
         let data = take(&mut pos, byte_len as usize)?.to_vec();
@@ -200,9 +201,8 @@ mod tests {
 
     #[test]
     fn disk_roundtrip() {
-        let dir = std::env::temp_dir().join("sefi_flat_test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let p = dir.join("ckpt.sefinpz");
+        let dir = crate::testutil::TestDir::new("flat");
+        let p = dir.file("ckpt.sefinpz");
         let f = sample();
         f.save_flat(&p).unwrap();
         let g = H5File::load_flat(&p).unwrap();

@@ -1,4 +1,4 @@
-//! The on-disk binary format.
+//! The on-disk binary format, version 1 (monolithic).
 //!
 //! ```text
 //! superblock:  magic "SEFIH5\x89\n" (8 bytes) | version u32 LE | crc32 u32 LE
@@ -13,19 +13,31 @@
 //! All integers little-endian. Encoding is deterministic (BTreeMap order),
 //! so encode∘decode∘encode is byte-identical — the property that lets tests
 //! compare corrupted checkpoints by file bytes.
+//!
+//! One CRC covers the entire payload: any corruption anywhere makes the
+//! whole file unloadable. The sectioned v2 format (see [`crate::format_v2`])
+//! keeps per-dataset checksums instead, so faults can be localized and
+//! quarantined. The superblock magic is shared; the version field selects
+//! the decoder.
 
 use crate::crc::crc32;
 use crate::dataset::{Dataset, Dtype};
 use crate::error::{Error, Result};
+use crate::limits::{MAX_DEPTH, MAX_LEN, MAX_NAME_LEN, MAX_RANK};
 use crate::node::{Attr, Group, Node};
 use crate::H5File;
 
-const MAGIC: &[u8; 8] = b"SEFIH5\x89\n";
-const VERSION: u32 = 1;
+pub(crate) const MAGIC: &[u8; 8] = b"SEFIH5\x89\n";
+pub(crate) const VERSION_V1: u32 = 1;
 
-/// Hard cap on any single length field (1 GiB) so a corrupted length can't
-/// trigger an enormous allocation before the CRC check would catch it.
-const MAX_LEN: u64 = 1 << 30;
+/// The format version stored at bytes 8..12, if the buffer is long enough
+/// and carries the shared magic. Used to dispatch v1 vs v2 decoding.
+pub(crate) fn sniff_version(bytes: &[u8]) -> Option<u32> {
+    if bytes.len() < 12 || &bytes[..8] != MAGIC {
+        return None;
+    }
+    Some(u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")))
+}
 
 // ---------------------------------------------------------------- encoding
 
@@ -34,18 +46,18 @@ pub(crate) fn encode(file: &H5File) -> Vec<u8> {
     encode_group(file.root(), &mut payload);
     let mut out = Vec::with_capacity(16 + payload.len());
     out.extend_from_slice(MAGIC);
-    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&VERSION_V1.to_le_bytes());
     out.extend_from_slice(&crc32(&payload).to_le_bytes());
     out.extend_from_slice(&payload);
     out
 }
 
-fn put_str(out: &mut Vec<u8>, s: &str) {
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(&(s.len() as u32).to_le_bytes());
     out.extend_from_slice(s.as_bytes());
 }
 
-fn encode_group(g: &Group, out: &mut Vec<u8>) {
+pub(crate) fn encode_attrs(g: &Group, out: &mut Vec<u8>) {
     let attrs: Vec<_> = g.attrs().collect();
     out.extend_from_slice(&(attrs.len() as u32).to_le_bytes());
     for (name, attr) in attrs {
@@ -65,6 +77,10 @@ fn encode_group(g: &Group, out: &mut Vec<u8>) {
             }
         }
     }
+}
+
+fn encode_group(g: &Group, out: &mut Vec<u8>) {
+    encode_attrs(g, out);
     let children: Vec<_> = g.children().collect();
     out.extend_from_slice(&(children.len() as u32).to_le_bytes());
     for (name, node) in children {
@@ -94,13 +110,20 @@ fn encode_dataset(ds: &Dataset, out: &mut Vec<u8>) {
 
 // ---------------------------------------------------------------- decoding
 
-struct Cursor<'a> {
+/// Bounds-checked reader shared by the v1 and v2 decoders. Every length
+/// field is validated against the [`crate::limits`] caps before any
+/// allocation happens.
+pub(crate) struct Cursor<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8]> {
         if self.buf.len() - self.pos < n {
             return Err(Error::Malformed(format!(
                 "truncated: wanted {n} bytes at offset {}, have {}",
@@ -113,19 +136,20 @@ impl<'a> Cursor<'a> {
         Ok(s)
     }
 
-    fn u8(&mut self) -> Result<u8> {
+    pub(crate) fn u8(&mut self) -> Result<u8> {
         Ok(self.take(1)?[0])
     }
 
-    fn u32(&mut self) -> Result<u32> {
+    pub(crate) fn u32(&mut self) -> Result<u32> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
     }
 
-    fn u64(&mut self) -> Result<u64> {
+    pub(crate) fn u64(&mut self) -> Result<u64> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
     }
 
-    fn checked_len(&mut self, what: &str) -> Result<usize> {
+    /// A u64 length field capped at [`MAX_LEN`].
+    pub(crate) fn checked_len(&mut self, what: &str) -> Result<usize> {
         let n = self.u64()?;
         if n > MAX_LEN {
             return Err(Error::Malformed(format!("{what} length {n} exceeds limit")));
@@ -133,18 +157,34 @@ impl<'a> Cursor<'a> {
         Ok(n as usize)
     }
 
-    fn str(&mut self) -> Result<String> {
-        let n = self.u32()? as usize;
-        if n as u64 > MAX_LEN {
-            return Err(Error::Malformed(format!("string length {n} exceeds limit")));
-        }
-        let bytes = self.take(n)?;
-        String::from_utf8(bytes.to_vec())
-            .map_err(|_| Error::Malformed("non-UTF-8 name".to_string()))
+    /// An object/attribute name: u32-prefixed UTF-8, capped at
+    /// [`MAX_NAME_LEN`].
+    pub(crate) fn name(&mut self) -> Result<String> {
+        self.str_capped(MAX_NAME_LEN, "name")
     }
 
-    fn done(&self) -> bool {
+    /// An attribute string *value*: u32-prefixed UTF-8, capped at the
+    /// payload limit [`MAX_LEN`] (values can legitimately be longer than
+    /// names).
+    pub(crate) fn str_value(&mut self) -> Result<String> {
+        self.str_capped(MAX_LEN, "string")
+    }
+
+    fn str_capped(&mut self, cap: u64, what: &str) -> Result<String> {
+        let n = self.u32()? as usize;
+        if n as u64 > cap {
+            return Err(Error::Malformed(format!("{what} length {n} exceeds limit")));
+        }
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| Error::Malformed(format!("non-UTF-8 {what}")))
+    }
+
+    pub(crate) fn done(&self) -> bool {
         self.pos == self.buf.len()
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
     }
 }
 
@@ -155,8 +195,8 @@ pub(crate) fn decode(bytes: &[u8]) -> Result<H5File> {
     if &bytes[..8] != MAGIC {
         return Err(Error::Malformed("bad magic — not a SEFI-H5 file".to_string()));
     }
-    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
-    if version != VERSION {
+    let version = sniff_version(bytes).expect("length and magic checked");
+    if version != VERSION_V1 {
         return Err(Error::Malformed(format!("unsupported format version {version}")));
     }
     let stored_crc = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes"));
@@ -167,12 +207,12 @@ pub(crate) fn decode(bytes: &[u8]) -> Result<H5File> {
             "checksum mismatch: stored {stored_crc:#010x}, computed {actual_crc:#010x}"
         )));
     }
-    let mut cur = Cursor { buf: payload, pos: 0 };
+    let mut cur = Cursor::new(payload);
     let root = decode_group(&mut cur, 0)?;
     if !cur.done() {
         return Err(Error::Malformed(format!(
             "{} trailing bytes after root group",
-            payload.len() - cur.pos
+            cur.remaining()
         )));
     }
     let mut file = H5File::new();
@@ -180,29 +220,30 @@ pub(crate) fn decode(bytes: &[u8]) -> Result<H5File> {
     Ok(file)
 }
 
-/// Depth guard: object trees in checkpoints are shallow; 64 is generous and
-/// prevents stack exhaustion on maliciously nested input.
-const MAX_DEPTH: u32 = 64;
+pub(crate) fn decode_attrs(cur: &mut Cursor<'_>, g: &mut Group) -> Result<()> {
+    let attr_count = cur.u32()?;
+    for _ in 0..attr_count {
+        let name = cur.name()?;
+        let attr = match cur.u8()? {
+            1 => Attr::Int(i64::from_le_bytes(cur.take(8)?.try_into().expect("8 bytes"))),
+            2 => Attr::Float(f64::from_bits(cur.u64()?)),
+            3 => Attr::Str(cur.str_value()?),
+            other => return Err(Error::Malformed(format!("unknown attr tag {other}"))),
+        };
+        g.set_attr(&name, attr);
+    }
+    Ok(())
+}
 
 fn decode_group(cur: &mut Cursor<'_>, depth: u32) -> Result<Group> {
     if depth > MAX_DEPTH {
         return Err(Error::Malformed("group nesting exceeds limit".to_string()));
     }
     let mut g = Group::new();
-    let attr_count = cur.u32()?;
-    for _ in 0..attr_count {
-        let name = cur.str()?;
-        let attr = match cur.u8()? {
-            1 => Attr::Int(i64::from_le_bytes(cur.take(8)?.try_into().expect("8 bytes"))),
-            2 => Attr::Float(f64::from_bits(cur.u64()?)),
-            3 => Attr::Str(cur.str()?),
-            other => return Err(Error::Malformed(format!("unknown attr tag {other}"))),
-        };
-        g.set_attr(&name, attr);
-    }
+    decode_attrs(cur, &mut g)?;
     let child_count = cur.u32()?;
     for _ in 0..child_count {
-        let name = cur.str()?;
+        let name = cur.name()?;
         let node = match cur.u8()? {
             1 => Node::Group(decode_group(cur, depth + 1)?),
             2 => Node::Dataset(decode_dataset(cur)?),
@@ -213,16 +254,23 @@ fn decode_group(cur: &mut Cursor<'_>, depth: u32) -> Result<Group> {
     Ok(g)
 }
 
-fn decode_dataset(cur: &mut Cursor<'_>) -> Result<Dataset> {
+/// Decode a dataset shape header: dtype tag, rank (≤ [`MAX_RANK`]), dims
+/// (each ≤ [`MAX_LEN`]). Shared with the v2 index decoder.
+pub(crate) fn decode_shape(cur: &mut Cursor<'_>) -> Result<(Dtype, Vec<usize>)> {
     let dtype = Dtype::from_tag(cur.u8()?)?;
     let rank = cur.u32()?;
-    if rank > 16 {
+    if rank > MAX_RANK {
         return Err(Error::Malformed(format!("dataset rank {rank} exceeds limit")));
     }
     let mut shape = Vec::with_capacity(rank as usize);
     for _ in 0..rank {
         shape.push(cur.checked_len("dimension")?);
     }
+    Ok((dtype, shape))
+}
+
+fn decode_dataset(cur: &mut Cursor<'_>) -> Result<Dataset> {
+    let (dtype, shape) = decode_shape(cur)?;
     let byte_len = cur.checked_len("dataset")?;
     let data = cur.take(byte_len)?.to_vec();
     Dataset::from_raw(dtype, shape, data)
@@ -298,10 +346,26 @@ mod tests {
         payload.extend_from_slice(&u32::MAX.to_le_bytes()); // absurd name len
         let mut b = Vec::new();
         b.extend_from_slice(MAGIC);
-        b.extend_from_slice(&VERSION.to_le_bytes());
+        b.extend_from_slice(&VERSION_V1.to_le_bytes());
         b.extend_from_slice(&crc32(&payload).to_le_bytes());
         b.extend_from_slice(&payload);
         assert!(decode(&b).is_err());
+    }
+
+    #[test]
+    fn oversized_name_rejected_at_the_name_cap() {
+        // A name longer than MAX_NAME_LEN but shorter than MAX_LEN must be
+        // rejected by the name-specific cap (the two caps drifted apart in
+        // earlier decoders; the shared limits module pins them).
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&1u32.to_le_bytes()); // one attr
+        payload.extend_from_slice(&((MAX_NAME_LEN as u32) + 1).to_le_bytes());
+        let mut b = Vec::new();
+        b.extend_from_slice(MAGIC);
+        b.extend_from_slice(&VERSION_V1.to_le_bytes());
+        b.extend_from_slice(&crc32(&payload).to_le_bytes());
+        b.extend_from_slice(&payload);
+        assert!(matches!(decode(&b), Err(Error::Malformed(m)) if m.contains("name length")));
     }
 
     #[test]

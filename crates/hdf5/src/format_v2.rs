@@ -1,0 +1,721 @@
+//! The on-disk binary format, version 2 (sectioned).
+//!
+//! ```text
+//! superblock:  magic "SEFIH5\x89\n" (8) | version u32 LE | index_len u64 LE
+//!              | index_crc32 u32 LE                       (24 bytes total)
+//! index:       <group>                  (index_crc covers only these bytes)
+//! group:       attr_count u32 | attrs… | child_count u32 | children…
+//! child:       name str | tag u8 (1 group, 2 dataset) | body
+//! dataset:     dtype u8 | rank u32 | dims u64… |
+//!              offset u64 | byte_len u64 | section_crc32 u32
+//! payload:     raw dataset bytes, concatenated in index (tree) order
+//! ```
+//!
+//! All integers little-endian; `str` and attribute encodings are shared
+//! with v1. Dataset `offset` is relative to the start of the payload area
+//! (superblock + index length). Encoding walks the `BTreeMap` tree, so it
+//! is deterministic and encode∘decode∘encode is byte-identical.
+//!
+//! Where v1 keeps one CRC over the whole payload — any flip anywhere makes
+//! the entire file unloadable — v2 checksums the index and each dataset
+//! *section* independently. That buys three things the storage-sensitivity
+//! study needs:
+//!
+//! * **fault localization**: a flipped payload byte is attributable to one
+//!   dataset (and, through the index, to an exact entry and bit);
+//! * **partial recovery**: a corrupt section can be quarantined or
+//!   zero-filled ([`LoadPolicy`]) instead of failing the load, with the
+//!   damage itemized in a [`LoadReport`];
+//! * **lazy access**: [`IndexedFile`] reads the 24-byte superblock plus the
+//!   index and then materializes single datasets on demand, so one-tensor
+//!   access no longer pays a full-tree decode.
+//!
+//! The superblock magic is shared with v1; the version field dispatches the
+//! decoder (see `format::sniff_version`).
+
+use crate::crc::crc32;
+use crate::dataset::{Dataset, Dtype};
+use crate::error::{Error, Result};
+use crate::format::{self, Cursor};
+use crate::limits::{MAX_DEPTH, MAX_LEN};
+use crate::node::{Group, Node};
+use crate::H5File;
+
+use std::io::{Read, Seek, SeekFrom};
+use std::path::Path;
+
+pub(crate) const VERSION_V2: u32 = 2;
+
+/// Byte length of the fixed v2 superblock (magic, version, index length,
+/// index CRC).
+pub const SUPERBLOCK_LEN: usize = 24;
+
+// ----------------------------------------------------------------- policy
+
+/// How the v2 loader treats a dataset section whose CRC fails.
+///
+/// The index itself is always verified under every policy: without a
+/// trustworthy index there is no way to even attribute damage, so index or
+/// superblock corruption is a hard [`Error::Malformed`] regardless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoadPolicy {
+    /// Abort the load on the first bad section with
+    /// [`Error::SectionCorrupt`] (v1-equivalent all-or-nothing behavior).
+    Strict,
+    /// Skip the bad dataset: it is absent from the returned file and its
+    /// path is recorded in [`LoadReport::quarantined`].
+    Quarantine,
+    /// Replace the bad dataset with zeros of the indexed shape/dtype; its
+    /// path is recorded in [`LoadReport::quarantined`].
+    ZeroFill,
+}
+
+/// Per-dataset outcome of a policy-driven v2 load.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Paths whose sections verified and decoded cleanly, in tree order.
+    pub loaded: Vec<String>,
+    /// Paths whose sections failed their CRC and were quarantined or
+    /// zero-filled (empty under [`LoadPolicy::Strict`] — that policy errors
+    /// instead).
+    pub quarantined: Vec<String>,
+}
+
+impl LoadReport {
+    /// True when every section verified.
+    pub fn is_clean(&self) -> bool {
+        self.quarantined.is_empty()
+    }
+}
+
+// --------------------------------------------------------------- encoding
+
+pub(crate) fn encode(file: &H5File) -> Vec<u8> {
+    let mut index = Vec::new();
+    let mut payload = Vec::new();
+    encode_group(file.root(), &mut index, &mut payload);
+    let mut out = Vec::with_capacity(SUPERBLOCK_LEN + index.len() + payload.len());
+    out.extend_from_slice(format::MAGIC);
+    out.extend_from_slice(&VERSION_V2.to_le_bytes());
+    out.extend_from_slice(&(index.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc32(&index).to_le_bytes());
+    out.extend_from_slice(&index);
+    out.extend_from_slice(&payload);
+    out
+}
+
+fn encode_group(g: &Group, index: &mut Vec<u8>, payload: &mut Vec<u8>) {
+    format::encode_attrs(g, index);
+    let children: Vec<_> = g.children().collect();
+    index.extend_from_slice(&(children.len() as u32).to_le_bytes());
+    for (name, node) in children {
+        format::put_str(index, name);
+        match node {
+            Node::Group(sub) => {
+                index.push(1);
+                encode_group(sub, index, payload);
+            }
+            Node::Dataset(ds) => {
+                index.push(2);
+                index.push(ds.dtype().tag_public());
+                index.extend_from_slice(&(ds.shape().len() as u32).to_le_bytes());
+                for &d in ds.shape() {
+                    index.extend_from_slice(&(d as u64).to_le_bytes());
+                }
+                index.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+                index.extend_from_slice(&(ds.bytes().len() as u64).to_le_bytes());
+                index.extend_from_slice(&crc32(ds.bytes()).to_le_bytes());
+                payload.extend_from_slice(ds.bytes());
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------- decoding
+
+/// Validate the fixed superblock; returns (end of index = payload start,
+/// stored index CRC).
+fn parse_superblock(bytes: &[u8]) -> Result<(usize, u32)> {
+    if bytes.len() < SUPERBLOCK_LEN {
+        return Err(Error::Malformed(format!("v2 file too short: {} bytes", bytes.len())));
+    }
+    if &bytes[..8] != format::MAGIC {
+        return Err(Error::Malformed("bad magic — not a SEFI-H5 file".to_string()));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != VERSION_V2 {
+        return Err(Error::Malformed(format!("not a v2 file (version {version})")));
+    }
+    let index_len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+    if index_len > MAX_LEN {
+        return Err(Error::Malformed(format!("index length {index_len} exceeds limit")));
+    }
+    let index_end = SUPERBLOCK_LEN + index_len as usize;
+    let stored_crc = u32::from_le_bytes(bytes[20..24].try_into().expect("4 bytes"));
+    Ok((index_end, stored_crc))
+}
+
+/// Decode v2 bytes under a policy.
+///
+/// `verify == false` models a *trusting* loader that skips the index and
+/// section CRC checks (structure and length validation still apply) — the
+/// storage experiment uses it to measure how many flips a checksum-free
+/// reader would silently accept. With `verify == false` no section is ever
+/// quarantined, so the policy is inert.
+pub(crate) fn decode(
+    bytes: &[u8],
+    policy: LoadPolicy,
+    verify: bool,
+) -> Result<(H5File, LoadReport)> {
+    let (index_end, stored_crc) = parse_superblock(bytes)?;
+    if index_end > bytes.len() {
+        return Err(Error::Malformed("index extends past end of file".to_string()));
+    }
+    let index = &bytes[SUPERBLOCK_LEN..index_end];
+    if verify {
+        let actual = crc32(index);
+        if actual != stored_crc {
+            return Err(Error::Malformed(format!(
+                "index checksum mismatch: stored {stored_crc:#010x}, computed {actual:#010x}"
+            )));
+        }
+    }
+    let payload = &bytes[index_end..];
+    let mut cur = Cursor::new(index);
+    let mut report = LoadReport::default();
+    let mut next = 0usize;
+    let root = decode_group(&mut cur, 0, "", payload, policy, verify, &mut report, &mut next)?;
+    if !cur.done() {
+        return Err(Error::Malformed(format!("{} trailing bytes in index", cur.remaining())));
+    }
+    if next != payload.len() {
+        return Err(Error::Malformed(format!(
+            "{} unindexed trailing payload bytes",
+            payload.len() - next
+        )));
+    }
+    let mut file = H5File::new();
+    *file.root_mut() = root;
+    Ok((file, report))
+}
+
+/// Decode one dataset's index record: (dtype, shape, relative offset, byte
+/// length, stored section CRC). Enforces that sections are contiguous and
+/// in index order — `rel_offset` must equal `next` — so a flipped offset
+/// or length field is structural damage, not a silent remap.
+fn decode_section_meta(
+    cur: &mut Cursor<'_>,
+    next: usize,
+    payload_len: usize,
+    path: &str,
+) -> Result<(Dtype, Vec<usize>, usize, u32)> {
+    let (dtype, shape) = format::decode_shape(cur)?;
+    let rel = cur.u64()?;
+    let byte_len = cur.checked_len("dataset section")?;
+    let stored_crc = cur.u32()?;
+    if rel != next as u64 {
+        return Err(Error::Malformed(format!(
+            "section at {path:?} has offset {rel}, expected contiguous {next}"
+        )));
+    }
+    if next.checked_add(byte_len).is_none_or(|end| end > payload_len) {
+        return Err(Error::Malformed(format!("section at {path:?} extends past payload")));
+    }
+    Ok((dtype, shape, byte_len, stored_crc))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn decode_group(
+    cur: &mut Cursor<'_>,
+    depth: u32,
+    prefix: &str,
+    payload: &[u8],
+    policy: LoadPolicy,
+    verify: bool,
+    report: &mut LoadReport,
+    next: &mut usize,
+) -> Result<Group> {
+    if depth > MAX_DEPTH {
+        return Err(Error::Malformed("group nesting exceeds limit".to_string()));
+    }
+    let mut g = Group::new();
+    format::decode_attrs(cur, &mut g)?;
+    let child_count = cur.u32()?;
+    for _ in 0..child_count {
+        let name = cur.name()?;
+        let path = if prefix.is_empty() { name.clone() } else { format!("{prefix}/{name}") };
+        match cur.u8()? {
+            1 => {
+                let sub =
+                    decode_group(cur, depth + 1, &path, payload, policy, verify, report, next)?;
+                g.insert_node(name, Node::Group(sub))?;
+            }
+            2 => {
+                let (dtype, shape, byte_len, stored_crc) =
+                    decode_section_meta(cur, *next, payload.len(), &path)?;
+                let section = &payload[*next..*next + byte_len];
+                *next += byte_len;
+                if verify && crc32(section) != stored_crc {
+                    match policy {
+                        LoadPolicy::Strict => return Err(Error::SectionCorrupt { path }),
+                        LoadPolicy::Quarantine => report.quarantined.push(path),
+                        LoadPolicy::ZeroFill => {
+                            let ds = Dataset::from_raw(dtype, shape, vec![0u8; byte_len])?;
+                            g.insert_node(name, Node::Dataset(ds))?;
+                            report.quarantined.push(path);
+                        }
+                    }
+                } else {
+                    let ds = Dataset::from_raw(dtype, shape, section.to_vec())?;
+                    g.insert_node(name, Node::Dataset(ds))?;
+                    report.loaded.push(path);
+                }
+            }
+            other => return Err(Error::Malformed(format!("unknown node tag {other}"))),
+        }
+    }
+    Ok(g)
+}
+
+// ------------------------------------------------------------- file index
+
+/// One dataset's entry in a parsed v2 index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexEntry {
+    /// Absolute dataset path (`model_weights/conv1/W`).
+    pub path: String,
+    /// Element type.
+    pub dtype: Dtype,
+    /// Dataset shape (empty for scalars).
+    pub shape: Vec<usize>,
+    /// Absolute byte offset of the section within the file.
+    pub offset: usize,
+    /// Section length in bytes (`elem_count * dtype.size()`).
+    pub byte_len: usize,
+    /// Stored CRC-32 of the section bytes.
+    pub crc: u32,
+}
+
+/// The parsed index of a v2 file: where every dataset's bytes live.
+///
+/// This is the map a raw byte-level injector needs to attribute a flipped
+/// file offset to a (dataset, entry, bit) — or to recognize it as an
+/// out-of-band superblock/index hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileIndex {
+    entries: Vec<IndexEntry>,
+    payload_start: usize,
+    file_len: usize,
+}
+
+impl FileIndex {
+    /// Parse the index out of complete v2 file bytes. The index CRC is
+    /// always verified — an untrustworthy index cannot attribute anything.
+    pub fn parse(bytes: &[u8]) -> Result<Self> {
+        Self::parse_prefix(bytes, bytes.len())
+    }
+
+    /// Parse from a prefix that holds at least the superblock and index
+    /// (what [`IndexedFile`] reads), with the total file length supplied
+    /// separately for payload bounds validation.
+    pub fn parse_prefix(prefix: &[u8], file_len: usize) -> Result<Self> {
+        let (index_end, stored_crc) = parse_superblock(prefix)?;
+        if index_end > prefix.len() || index_end > file_len {
+            return Err(Error::Malformed("index extends past end of file".to_string()));
+        }
+        let index = &prefix[SUPERBLOCK_LEN..index_end];
+        let actual = crc32(index);
+        if actual != stored_crc {
+            return Err(Error::Malformed(format!(
+                "index checksum mismatch: stored {stored_crc:#010x}, computed {actual:#010x}"
+            )));
+        }
+        let payload_len = file_len - index_end;
+        let mut cur = Cursor::new(index);
+        let mut entries = Vec::new();
+        let mut next = 0usize;
+        walk_group(&mut cur, 0, "", payload_len, index_end, &mut entries, &mut next)?;
+        if !cur.done() {
+            return Err(Error::Malformed(format!("{} trailing bytes in index", cur.remaining())));
+        }
+        if next != payload_len {
+            return Err(Error::Malformed(format!(
+                "{} unindexed trailing payload bytes",
+                payload_len - next
+            )));
+        }
+        Ok(FileIndex { entries, payload_start: index_end, file_len })
+    }
+
+    /// Dataset entries in tree (ascending-offset) order.
+    pub fn entries(&self) -> &[IndexEntry] {
+        &self.entries
+    }
+
+    /// Absolute offset where the payload area begins (= superblock + index
+    /// length). Bytes in `[SUPERBLOCK_LEN, payload_start)` are index bytes.
+    pub fn payload_start(&self) -> usize {
+        self.payload_start
+    }
+
+    /// Total file length the index was validated against.
+    pub fn file_len(&self) -> usize {
+        self.file_len
+    }
+
+    /// Entry for a dataset path.
+    pub fn entry(&self, path: &str) -> Option<&IndexEntry> {
+        self.entries.iter().find(|e| e.path == path)
+    }
+
+    /// The dataset section containing an absolute file offset, if any.
+    /// Offsets in the superblock or index — and offsets coinciding with
+    /// zero-length sections — return `None`.
+    pub fn locate(&self, offset: usize) -> Option<&IndexEntry> {
+        // Entries are contiguous and sorted by offset; find the last entry
+        // starting at or before `offset`, skipping empty sections.
+        let i = self.entries.partition_point(|e| e.offset <= offset);
+        self.entries[..i]
+            .iter()
+            .rev()
+            .find(|e| offset >= e.offset && offset < e.offset + e.byte_len)
+    }
+}
+
+fn walk_group(
+    cur: &mut Cursor<'_>,
+    depth: u32,
+    prefix: &str,
+    payload_len: usize,
+    payload_start: usize,
+    entries: &mut Vec<IndexEntry>,
+    next: &mut usize,
+) -> Result<()> {
+    if depth > MAX_DEPTH {
+        return Err(Error::Malformed("group nesting exceeds limit".to_string()));
+    }
+    let mut scratch = Group::new();
+    format::decode_attrs(cur, &mut scratch)?;
+    let child_count = cur.u32()?;
+    for _ in 0..child_count {
+        let name = cur.name()?;
+        let path = if prefix.is_empty() { name.clone() } else { format!("{prefix}/{name}") };
+        match cur.u8()? {
+            1 => walk_group(cur, depth + 1, &path, payload_len, payload_start, entries, next)?,
+            2 => {
+                let (dtype, shape, byte_len, crc) =
+                    decode_section_meta(cur, *next, payload_len, &path)?;
+                entries.push(IndexEntry {
+                    path,
+                    dtype,
+                    shape,
+                    offset: payload_start + *next,
+                    byte_len,
+                    crc,
+                });
+                *next += byte_len;
+            }
+            other => return Err(Error::Malformed(format!("unknown node tag {other}"))),
+        }
+    }
+    Ok(())
+}
+
+// ------------------------------------------------------------- lazy loads
+
+/// A v2 file opened lazily: the superblock and index are read and verified
+/// at open; dataset sections are read, CRC-checked, and decoded on demand.
+///
+/// This is the fast path for per-trial access — touching one tensor costs
+/// one seek and one section read instead of a full-tree decode.
+#[derive(Debug)]
+pub struct IndexedFile {
+    file: std::fs::File,
+    display_path: String,
+    index: FileIndex,
+}
+
+impl IndexedFile {
+    /// Open a v2 file and parse its index without reading any payload.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let display_path = path.as_ref().display().to_string();
+        let io_err = |e: std::io::Error| Error::Io(display_path.clone(), e.to_string());
+        let mut file = std::fs::File::open(path.as_ref()).map_err(io_err)?;
+        let file_len = file.metadata().map_err(io_err)?.len();
+        if file_len < SUPERBLOCK_LEN as u64 {
+            return Err(Error::Malformed(format!("v2 file too short: {file_len} bytes")));
+        }
+        let mut superblock = [0u8; SUPERBLOCK_LEN];
+        file.read_exact(&mut superblock).map_err(io_err)?;
+        let (index_end, _) = parse_superblock(&superblock)?;
+        if index_end as u64 > file_len {
+            return Err(Error::Malformed("index extends past end of file".to_string()));
+        }
+        let mut prefix = superblock.to_vec();
+        prefix.resize(index_end, 0);
+        file.read_exact(&mut prefix[SUPERBLOCK_LEN..]).map_err(io_err)?;
+        let index = FileIndex::parse_prefix(&prefix, file_len as usize)?;
+        Ok(IndexedFile { file, display_path, index })
+    }
+
+    /// The parsed index.
+    pub fn index(&self) -> &FileIndex {
+        &self.index
+    }
+
+    /// Dataset paths in tree order, without touching the payload.
+    pub fn dataset_paths(&self) -> Vec<String> {
+        self.index.entries().iter().map(|e| e.path.clone()).collect()
+    }
+
+    /// Read, verify, and decode a single dataset section.
+    pub fn dataset(&mut self, path: &str) -> Result<Dataset> {
+        let entry =
+            self.index.entry(path).cloned().ok_or_else(|| Error::NotFound(path.to_string()))?;
+        let io_err = |e: std::io::Error| Error::Io(self.display_path.clone(), e.to_string());
+        self.file.seek(SeekFrom::Start(entry.offset as u64)).map_err(io_err)?;
+        let mut buf = vec![0u8; entry.byte_len];
+        self.file.read_exact(&mut buf).map_err(io_err)?;
+        if crc32(&buf) != entry.crc {
+            return Err(Error::SectionCorrupt { path: path.to_string() });
+        }
+        Dataset::from_raw(entry.dtype, entry.shape, buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Attr;
+    use crate::testutil::TestDir;
+
+    fn sample() -> H5File {
+        let mut f = H5File::new();
+        f.root_mut().set_attr("framework", Attr::Str("chainer".into()));
+        f.create_dataset(
+            "model_weights/conv1/W",
+            Dataset::from_f32(&[1.0, -2.0, 3.5, 0.25], &[2, 2], Dtype::F32).unwrap(),
+        )
+        .unwrap();
+        f.create_dataset(
+            "model_weights/conv1/b",
+            Dataset::from_f32(&[0.5, -0.5], &[2], Dtype::F64).unwrap(),
+        )
+        .unwrap();
+        f.create_dataset("meta/epoch", Dataset::scalar_i64(20)).unwrap();
+        f.create_group("empty_group").unwrap().set_attr("note", Attr::Int(7));
+        f
+    }
+
+    /// Absolute offset of the first byte of a dataset's payload section.
+    fn section_offset(bytes: &[u8], path: &str) -> (usize, usize) {
+        let idx = FileIndex::parse(bytes).unwrap();
+        let e = idx.entry(path).unwrap();
+        (e.offset, e.byte_len)
+    }
+
+    #[test]
+    fn v2_roundtrip_is_byte_deterministic() {
+        let f = sample();
+        let bytes = encode(&f);
+        let (g, report) = decode(&bytes, LoadPolicy::Strict, true).unwrap();
+        assert_eq!(f, g, "attrs, empty groups, and datasets all survive");
+        assert_eq!(bytes, encode(&g), "encode∘decode∘encode is byte-identical");
+        assert!(report.is_clean());
+        assert_eq!(report.loaded.len(), 3);
+    }
+
+    #[test]
+    fn v2_dispatches_through_from_bytes() {
+        let f = sample();
+        let v2 = f.to_bytes_v2();
+        assert_eq!(H5File::from_bytes(&v2).unwrap(), f);
+        // v1 files still load unchanged through the same entry point.
+        let v1 = f.to_bytes();
+        assert_ne!(v1, v2);
+        assert_eq!(H5File::from_bytes(&v1).unwrap(), f);
+    }
+
+    #[test]
+    fn empty_file_roundtrips() {
+        let f = H5File::new();
+        let bytes = encode(&f);
+        let (g, report) = decode(&bytes, LoadPolicy::Strict, true).unwrap();
+        assert_eq!(f, g);
+        assert!(report.loaded.is_empty());
+    }
+
+    #[test]
+    fn payload_flip_strict_errors_with_the_dataset_path() {
+        let f = sample();
+        let mut bytes = encode(&f);
+        let (off, _) = section_offset(&bytes, "model_weights/conv1/W");
+        bytes[off] ^= 0x01;
+        let err = decode(&bytes, LoadPolicy::Strict, true).unwrap_err();
+        assert_eq!(err, Error::SectionCorrupt { path: "model_weights/conv1/W".into() });
+    }
+
+    #[test]
+    fn payload_flip_quarantines_exactly_one_dataset() {
+        let f = sample();
+        let mut bytes = encode(&f);
+        let (off, _) = section_offset(&bytes, "model_weights/conv1/W");
+        bytes[off] ^= 0x80;
+        let (g, report) = decode(&bytes, LoadPolicy::Quarantine, true).unwrap();
+        assert_eq!(report.quarantined, vec!["model_weights/conv1/W".to_string()]);
+        assert_eq!(report.loaded.len(), 2, "the other two datasets load");
+        assert!(g.dataset("model_weights/conv1/W").is_err(), "bad dataset absent");
+        assert_eq!(g.dataset("meta/epoch").unwrap(), f.dataset("meta/epoch").unwrap());
+        assert_eq!(
+            g.dataset("model_weights/conv1/b").unwrap(),
+            f.dataset("model_weights/conv1/b").unwrap()
+        );
+    }
+
+    #[test]
+    fn payload_flip_zerofill_substitutes_zeros() {
+        let f = sample();
+        let mut bytes = encode(&f);
+        let (off, len) = section_offset(&bytes, "model_weights/conv1/W");
+        bytes[off + len - 1] ^= 0x40;
+        let (g, report) = decode(&bytes, LoadPolicy::ZeroFill, true).unwrap();
+        assert_eq!(report.quarantined, vec!["model_weights/conv1/W".to_string()]);
+        let ds = g.dataset("model_weights/conv1/W").unwrap();
+        assert_eq!(ds.shape(), &[2, 2]);
+        assert_eq!(ds.dtype(), Dtype::F32);
+        assert!(ds.bytes().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn index_flip_is_malformed_under_every_policy() {
+        let f = sample();
+        let mut bytes = encode(&f);
+        bytes[SUPERBLOCK_LEN] ^= 0x01; // first index byte
+        for policy in [LoadPolicy::Strict, LoadPolicy::Quarantine, LoadPolicy::ZeroFill] {
+            assert!(matches!(
+                decode(&bytes, policy, true),
+                Err(Error::Malformed(m)) if m.contains("index checksum")
+            ));
+        }
+    }
+
+    #[test]
+    fn superblock_damage_is_malformed() {
+        let f = sample();
+        let good = encode(&f);
+        for (byte, what) in [(0usize, "magic"), (8, "version"), (12, "index length")] {
+            let mut b = good.clone();
+            b[byte] ^= 0xFF;
+            assert!(decode(&b, LoadPolicy::Quarantine, true).is_err(), "flip in {what}");
+        }
+    }
+
+    #[test]
+    fn truncation_always_detected() {
+        let b = encode(&sample());
+        for cut in [0, 8, 23, 24, SUPERBLOCK_LEN + 3, b.len() / 2, b.len() - 1] {
+            assert!(decode(&b[..cut], LoadPolicy::Quarantine, true).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_payload_bytes_rejected() {
+        let mut b = encode(&sample());
+        b.push(0xAB);
+        assert!(matches!(
+            decode(&b, LoadPolicy::Strict, true),
+            Err(Error::Malformed(m)) if m.contains("trailing payload")
+        ));
+    }
+
+    #[test]
+    fn unverified_decode_accepts_payload_flips() {
+        let f = sample();
+        let mut bytes = encode(&f);
+        let (off, _) = section_offset(&bytes, "model_weights/conv1/W");
+        bytes[off] ^= 0x01;
+        // The trusting loader returns a silently different file.
+        let (g, _) = decode(&bytes, LoadPolicy::Strict, false).unwrap();
+        assert_ne!(f, g);
+        // But structural damage still fails even without CRC checks.
+        let mut trunc = encode(&f);
+        trunc.truncate(trunc.len() - 1);
+        assert!(decode(&trunc, LoadPolicy::Strict, false).is_err());
+    }
+
+    #[test]
+    fn index_entries_are_contiguous_and_locatable() {
+        let f = sample();
+        let bytes = encode(&f);
+        let idx = FileIndex::parse(&bytes).unwrap();
+        assert_eq!(idx.file_len(), bytes.len());
+        let mut expected = idx.payload_start();
+        for e in idx.entries() {
+            assert_eq!(e.offset, expected, "{}", e.path);
+            expected += e.byte_len;
+        }
+        assert_eq!(expected, bytes.len(), "payload fully covered");
+        // Every payload byte maps back to its dataset; header bytes to none.
+        for e in idx.entries() {
+            assert_eq!(idx.locate(e.offset).unwrap().path, e.path);
+            assert_eq!(idx.locate(e.offset + e.byte_len - 1).unwrap().path, e.path);
+        }
+        assert!(idx.locate(0).is_none(), "superblock is out-of-band");
+        assert!(idx.locate(SUPERBLOCK_LEN).is_none(), "index is out-of-band");
+    }
+
+    #[test]
+    fn indexed_open_reads_single_datasets_lazily() {
+        let dir = TestDir::new("hdf5_v2_lazy");
+        let f = sample();
+        let p = dir.file("ckpt.sefi5");
+        f.save_v2(&p).unwrap();
+        let mut ix = H5File::open_indexed(&p).unwrap();
+        assert_eq!(
+            ix.dataset_paths(),
+            vec!["meta/epoch", "model_weights/conv1/W", "model_weights/conv1/b"]
+        );
+        let w = ix.dataset("model_weights/conv1/W").unwrap();
+        assert_eq!(&w, f.dataset("model_weights/conv1/W").unwrap());
+        assert!(matches!(ix.dataset("nope"), Err(Error::NotFound(_))));
+    }
+
+    #[test]
+    fn indexed_open_detects_section_corruption_on_access() {
+        let dir = TestDir::new("hdf5_v2_lazy_bad");
+        let f = sample();
+        let mut bytes = encode(&f);
+        let (off, _) = section_offset(&bytes, "meta/epoch");
+        bytes[off] ^= 0x10;
+        let p = dir.file("bad.sefi5");
+        std::fs::write(&p, &bytes).unwrap();
+        let mut ix = H5File::open_indexed(&p).unwrap();
+        // The intact dataset still reads fine; the damaged one is caught.
+        assert!(ix.dataset("model_weights/conv1/W").is_ok());
+        assert_eq!(
+            ix.dataset("meta/epoch").unwrap_err(),
+            Error::SectionCorrupt { path: "meta/epoch".into() }
+        );
+    }
+
+    #[test]
+    fn indexed_open_rejects_v1_files() {
+        let dir = TestDir::new("hdf5_v2_lazy_v1");
+        let p = dir.file("v1.sefi5");
+        sample().save(&p).unwrap();
+        assert!(matches!(
+            H5File::open_indexed(&p),
+            Err(Error::Malformed(m)) if m.contains("version")
+        ));
+    }
+
+    #[test]
+    fn from_bytes_with_policy_covers_v1_files_too() {
+        let f = sample();
+        let (g, report) =
+            H5File::from_bytes_with_policy(&f.to_bytes(), LoadPolicy::Quarantine).unwrap();
+        assert_eq!(f, g);
+        assert_eq!(report.loaded.len(), 3);
+        assert!(report.is_clean());
+    }
+}

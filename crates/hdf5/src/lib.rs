@@ -28,11 +28,16 @@ mod dataset;
 mod error;
 pub mod flat;
 mod format;
+mod format_v2;
+pub mod limits;
 mod node;
 mod path;
+#[cfg(test)]
+mod testutil;
 
 pub use dataset::{Dataset, Dtype};
 pub use error::{Error, Result};
+pub use format_v2::{FileIndex, IndexEntry, IndexedFile, LoadPolicy, LoadReport, SUPERBLOCK_LEN};
 pub use node::{Attr, Group, Node};
 pub use path::{join_path, split_path, validate_path};
 
@@ -152,27 +157,83 @@ impl H5File {
             .sum()
     }
 
-    /// Serialize to the on-disk binary format.
+    /// Serialize to the on-disk binary format, version 1 (monolithic: one
+    /// CRC over the whole payload).
     pub fn to_bytes(&self) -> Vec<u8> {
         format::encode(self)
     }
 
-    /// Deserialize from the on-disk binary format.
-    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
-        format::decode(bytes)
+    /// Serialize to the sectioned v2 format (superblock + dataset index +
+    /// per-section CRCs; see `format_v2` module docs).
+    pub fn to_bytes_v2(&self) -> Vec<u8> {
+        format_v2::encode(self)
     }
 
-    /// Write to a file.
+    /// Deserialize from the on-disk binary format. The version field in the
+    /// superblock selects the decoder, so v1 and v2 files both load here.
+    /// v2 files are decoded strictly (any section CRC failure is an error);
+    /// use [`H5File::from_bytes_with_policy`] for partial recovery.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        match format::sniff_version(bytes) {
+            Some(format_v2::VERSION_V2) => {
+                format_v2::decode(bytes, LoadPolicy::Strict, true).map(|(f, _)| f)
+            }
+            _ => format::decode(bytes),
+        }
+    }
+
+    /// Deserialize with an explicit [`LoadPolicy`] for corrupt dataset
+    /// sections, reporting per-dataset outcomes. v1 files have a single
+    /// whole-payload CRC, so for them every policy behaves like
+    /// [`LoadPolicy::Strict`] and a successful load reports all datasets as
+    /// loaded.
+    pub fn from_bytes_with_policy(bytes: &[u8], policy: LoadPolicy) -> Result<(Self, LoadReport)> {
+        match format::sniff_version(bytes) {
+            Some(format_v2::VERSION_V2) => format_v2::decode(bytes, policy, true),
+            _ => format::decode(bytes).map(|f| {
+                let loaded = f.dataset_paths();
+                (f, LoadReport { loaded, quarantined: Vec::new() })
+            }),
+        }
+    }
+
+    /// Deserialize a v2 file *without* verifying the index or section CRCs
+    /// — the trusting loader a checksum-free format would have. Structural
+    /// validation (lengths, bounds, shapes) still applies. The storage
+    /// experiment uses this to measure how much corruption such a reader
+    /// silently accepts; v1 files fall back to the normal checked decoder.
+    pub fn from_bytes_unverified(bytes: &[u8]) -> Result<Self> {
+        match format::sniff_version(bytes) {
+            Some(format_v2::VERSION_V2) => {
+                format_v2::decode(bytes, LoadPolicy::Strict, false).map(|(f, _)| f)
+            }
+            _ => format::decode(bytes),
+        }
+    }
+
+    /// Write to a file (v1 format).
     pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
         fs::write(path.as_ref(), self.to_bytes())
             .map_err(|e| Error::Io(path.as_ref().display().to_string(), e.to_string()))
     }
 
-    /// Read from a file.
+    /// Write to a file in the sectioned v2 format.
+    pub fn save_v2(&self, path: impl AsRef<Path>) -> Result<()> {
+        fs::write(path.as_ref(), self.to_bytes_v2())
+            .map_err(|e| Error::Io(path.as_ref().display().to_string(), e.to_string()))
+    }
+
+    /// Read from a file (v1 or v2, dispatched by the version field).
     pub fn load(path: impl AsRef<Path>) -> Result<Self> {
         let bytes = fs::read(path.as_ref())
             .map_err(|e| Error::Io(path.as_ref().display().to_string(), e.to_string()))?;
         Self::from_bytes(&bytes)
+    }
+
+    /// Open a v2 file lazily: parse the index now, read dataset sections on
+    /// demand through the returned [`IndexedFile`].
+    pub fn open_indexed(path: impl AsRef<Path>) -> Result<IndexedFile> {
+        IndexedFile::open(path)
     }
 }
 
@@ -262,11 +323,20 @@ mod tests {
 
     #[test]
     fn save_and_load_file() {
-        let dir = std::env::temp_dir().join("sefi_hdf5_test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let p = dir.join("ckpt.sefi5");
+        let dir = crate::testutil::TestDir::new("hdf5");
+        let p = dir.file("ckpt.sefi5");
         let f = sample_file();
         f.save(&p).unwrap();
+        let g = H5File::load(&p).unwrap();
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn save_v2_and_load_dispatches_by_version() {
+        let dir = crate::testutil::TestDir::new("hdf5_v2");
+        let p = dir.file("ckpt_v2.sefi5");
+        let f = sample_file();
+        f.save_v2(&p).unwrap();
         let g = H5File::load(&p).unwrap();
         assert_eq!(f, g);
     }

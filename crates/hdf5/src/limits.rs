@@ -1,0 +1,27 @@
+//! Decoder hardening limits shared by every on-disk format.
+//!
+//! The v1 hierarchical decoder and the flat (NPZ-style) decoder grew their
+//! length caps independently and drifted: names were capped at 64 KiB in one
+//! and 1 GiB in the other. Any cap that exists in one decoder but not
+//! another is a corruption amplifier — a flipped length byte that one format
+//! rejects instantly makes the other allocate a gigabyte. Hoisting the caps
+//! here means the v2 sectioned decoder (and any future format) cannot
+//! reintroduce the drift.
+
+/// Hard cap on any single payload-carrying length field (dataset bytes,
+/// dimension, attribute string): 1 GiB. A corrupted length can therefore
+/// never trigger an allocation larger than this before a checksum or
+/// truncation check catches it.
+pub const MAX_LEN: u64 = 1 << 30;
+
+/// Hard cap on object and attribute name lengths: 64 KiB. Checkpoint paths
+/// are tens of bytes; anything near this limit is corruption.
+pub const MAX_NAME_LEN: u64 = 1 << 16;
+
+/// Maximum dataset rank. Real checkpoints top out at 4-D kernels.
+pub const MAX_RANK: u32 = 16;
+
+/// Maximum group-nesting depth: object trees in checkpoints are shallow;
+/// 64 is generous and prevents stack exhaustion on maliciously nested
+/// input.
+pub const MAX_DEPTH: u32 = 64;

@@ -1,0 +1,43 @@
+//! Test-only filesystem helpers (mirrors `sefi-core`'s `TestDir`).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely named scratch directory, removed on drop.
+///
+/// Tests in this crate run in parallel within one process, and the same
+/// test binaries may run concurrently across processes; a fixed path under
+/// `temp_dir()` races both ways. Uniqueness comes from pid + a process-wide
+/// counter.
+pub(crate) struct TestDir {
+    path: PathBuf,
+}
+
+impl TestDir {
+    /// Create a fresh directory tagged with `tag` for debuggability.
+    pub fn new(tag: &str) -> Self {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!("sefi_{tag}_{}_{n}", std::process::id()));
+        std::fs::create_dir_all(&path).expect("create test dir");
+        TestDir { path }
+    }
+
+    /// The directory path.
+    #[allow(dead_code)]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// A file path inside the directory.
+    pub fn file(&self, name: &str) -> PathBuf {
+        self.path.join(name)
+    }
+}
+
+impl Drop for TestDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
