@@ -35,6 +35,30 @@ cargo run -q --release -p sefi-bench --bin bench_ckpt_io -- \
   --smoke --out "$io_dir/bench.json" --assert-lazy-speedup 3.0
 rm -rf "$io_dir"
 
+echo "== campaign scheduler bench smoke =="
+# The work-stealing pool must beat the per-cell-barrier baseline even at
+# smoke length, and every rendered table must be byte-identical across
+# modes and worker counts (the bench exits non-zero on either failure).
+# The committed BENCH_campaign.json carries the full-length run (~3.8x);
+# smoke allows slack.
+camp_dir="$(mktemp -d)"
+cargo run -q --release -p sefi-bench --bin bench_campaign -- \
+  --smoke --out "$camp_dir/bench.json" --assert-speedup 1.5
+rm -rf "$camp_dir"
+
+echo "== scheduler determinism across worker counts =="
+# The same smoke campaign at 2 and 8 workers must emit byte-identical
+# rendered tables: trial seeds depend only on (framework, model, cell,
+# trial), and outcomes are scattered back in trial-index order.
+sched_a="$(mktemp -d)"
+sched_b="$(mktemp -d)"
+RAYON_NUM_THREADS=2 cargo run -q --release -p sefi-experiments --bin fig2_bit_ranges -- \
+  --budget smoke --results-dir "$sched_a" > /dev/null
+RAYON_NUM_THREADS=8 cargo run -q --release -p sefi-experiments --bin fig2_bit_ranges -- \
+  --budget smoke --results-dir "$sched_b" > /dev/null
+cmp "$sched_a/fig2.csv" "$sched_b/fig2.csv"
+rm -rf "$sched_a" "$sched_b"
+
 echo "== container mutation fuzz =="
 # The shared harness: random byte mutations and truncations against all
 # three container formats (v1, flat, v2) must error cleanly, never panic.

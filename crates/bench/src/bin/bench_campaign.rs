@@ -1,0 +1,205 @@
+//! Campaign scheduler benchmark: per-cell barrier fan-out vs the
+//! campaign-wide work-stealing pool, written to `BENCH_campaign.json` at
+//! the repo root.
+//!
+//! The workload models a real campaign phase: many cells with
+//! *heterogeneous* trial counts and per-trial latencies (deterministic
+//! sleeps derived from each trial's seed, so every mode and thread count
+//! runs the exact same work). The "barrier" baseline dispatches one cell
+//! at a time and joins between cells — the shape every table builder had
+//! before the plan API. The "pool" run submits all cells as one
+//! [`sefi_experiments::CellPlan`] slice, so workers that finish a short
+//! cell immediately steal trials from a long one.
+//!
+//! Sleeps (not spins) carry the latency so the measured speedup is pure
+//! scheduling overlap — it holds even on a single-core host, where idle
+//! threads cost nothing. Alongside the wall clocks, the benchmark renders
+//! the phase's outcome table once per configuration and asserts all
+//! renderings are byte-identical: determinism is part of the contract
+//! being benchmarked.
+//!
+//! Usage:
+//!   bench_campaign [--out PATH] [--smoke] [--assert-speedup FACTOR]
+
+use sefi_experiments::{Budget, CellPlan, Prebaked, TrialOutcome};
+use sefi_frameworks::FrameworkKind;
+use sefi_models::ModelKind;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// One pool measurement at a fixed worker count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct PoolEntry {
+    /// Worker threads (`RAYON_NUM_THREADS`).
+    threads: usize,
+    /// Wall-clock for the whole phase as one pool.
+    wall_ms: f64,
+    /// Barrier wall / this wall.
+    speedup_vs_barrier: f64,
+}
+
+/// The on-disk result file.
+#[derive(Debug, Serialize, Deserialize)]
+struct BenchFile {
+    /// File format version.
+    schema: u32,
+    /// What produced the numbers.
+    note: String,
+    /// Hardware threads visible during the run.
+    host_threads: usize,
+    /// Cells in the synthetic phase.
+    cells: usize,
+    /// Total `(cell, trial)` pairs dispatched.
+    total_trials: usize,
+    /// Per-cell-barrier wall-clock at the max worker count.
+    barrier_wall_ms: f64,
+    /// Pool wall-clock at 1/2/4/8 workers.
+    pool: Vec<PoolEntry>,
+    /// Barrier wall / pool wall at the max worker count.
+    speedup: f64,
+    /// Whether every rendered table matched the single-threaded rendering.
+    tables_identical: bool,
+}
+
+/// The synthetic phase: `cells` cells with 1–4 trials each. Every trial
+/// sleeps `sleep_floor_ms + seed % sleep_spread_ms` milliseconds — seeds
+/// come from [`sefi_experiments::combo_seed`], so the latency profile is
+/// identical across modes and thread counts.
+struct Workload {
+    cells: usize,
+    sleep_floor_ms: u64,
+    sleep_spread_ms: u64,
+}
+
+impl Workload {
+    fn plans<'p>(&self, _pre: &'p Prebaked) -> Vec<CellPlan<'p>> {
+        let (floor, spread) = (self.sleep_floor_ms, self.sleep_spread_ms);
+        (0..self.cells)
+            .map(|i| {
+                let fw = FrameworkKind::all()[i % 3];
+                let model = ModelKind::all()[i % 3];
+                let trials = 1 + i % 4;
+                CellPlan::new("bench", format!("cell-{i:02}"), fw, model, trials, move |_, seed| {
+                    std::thread::sleep(Duration::from_millis(floor + seed % spread));
+                    Ok(TrialOutcome::ok().with_accuracy((seed % 1000) as f64 / 1000.0))
+                })
+            })
+            .collect()
+    }
+}
+
+/// Render the phase's outcome table — the byte-identity artifact.
+fn render(plans: &[CellPlan<'_>], pooled: &[Vec<TrialOutcome>]) -> String {
+    let mut table = sefi_experiments::table::TextTable::new(&["Cell", "Trials", "Mean acc"]);
+    for (plan, outcomes) in plans.iter().zip(pooled) {
+        let mean = outcomes.iter().filter_map(|o| o.final_accuracy).sum::<f64>()
+            / outcomes.len().max(1) as f64;
+        table.row(vec![plan.cell().to_string(), plan.trials().to_string(), format!("{mean:.6}")]);
+    }
+    table.render()
+}
+
+fn set_threads(n: usize) {
+    std::env::set_var("RAYON_NUM_THREADS", n.to_string());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = "BENCH_campaign.json".to_string();
+    let mut smoke = false;
+    let mut assert_speedup: Option<f64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out = args[i].clone();
+            }
+            "--smoke" => smoke = true,
+            "--assert-speedup" => {
+                i += 1;
+                assert_speedup = Some(args[i].parse().expect("speedup factor"));
+            }
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
+    let workload = if smoke {
+        Workload { cells: 16, sleep_floor_ms: 1, sleep_spread_ms: 5 }
+    } else {
+        Workload { cells: 24, sleep_floor_ms: 2, sleep_spread_ms: 11 }
+    };
+    let thread_counts = [1usize, 2, 4, 8];
+    let max_threads = *thread_counts.last().unwrap();
+
+    // No campaign: a manifest would serve the second run from cache and
+    // benchmark the JSON reader instead of the scheduler.
+    let pre = Prebaked::new(Budget::smoke());
+    let plans = workload.plans(&pre);
+    let total_trials: usize = plans.iter().map(|p| p.trials()).sum();
+    println!("bench_campaign: {} cells, {} trials -> {out}", plans.len(), total_trials);
+
+    // Warmup: first dispatch pays thread spawn + lazy init for both modes.
+    set_threads(max_threads);
+    let _ = pre.run_plan(&plans[..1]);
+
+    // Baseline: one pool per cell, join between cells — the pre-plan-API
+    // shape (parallel within a cell, barrier after it).
+    let start = Instant::now();
+    let barrier_pooled: Vec<Vec<TrialOutcome>> =
+        plans.iter().flat_map(|p| pre.run_plan(std::slice::from_ref(p))).collect();
+    let barrier_wall = start.elapsed().as_secs_f64() * 1e3;
+    let reference_table = render(&plans, &barrier_pooled);
+    println!("  barrier ({max_threads} threads)      {barrier_wall:>9.1} ms");
+
+    let mut pool = Vec::new();
+    let mut tables_identical = true;
+    for &n in &thread_counts {
+        set_threads(n);
+        let start = Instant::now();
+        let pooled = pre.run_plan(&plans);
+        let wall = start.elapsed().as_secs_f64() * 1e3;
+        let identical = render(&plans, &pooled) == reference_table;
+        tables_identical &= identical;
+        println!(
+            "  pool @ {n} thread{}       {wall:>9.1} ms  ({:.2}x{})",
+            if n == 1 { " " } else { "s" },
+            barrier_wall / wall,
+            if identical { "" } else { ", TABLE MISMATCH" },
+        );
+        pool.push(PoolEntry { threads: n, wall_ms: wall, speedup_vs_barrier: barrier_wall / wall });
+    }
+    let speedup = pool.last().map(|p| p.speedup_vs_barrier).unwrap_or(0.0);
+
+    let result = BenchFile {
+        schema: 1,
+        note: "per-cell-barrier fan-out vs campaign-wide work-stealing pool; \
+               regenerate with `cargo run --release -p sefi-bench --bin bench_campaign`"
+            .into(),
+        host_threads: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+        cells: plans.len(),
+        total_trials,
+        barrier_wall_ms: barrier_wall,
+        pool,
+        speedup,
+        tables_identical,
+    };
+    let text = serde_json::to_string_pretty(&result).expect("serialize bench file");
+    std::fs::write(&out, text + "\n").unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("  pool speedup at {max_threads} threads: {speedup:.2}x; tables identical: {tables_identical}");
+
+    if !tables_identical {
+        eprintln!("  FAIL: rendered tables differ across modes/thread counts");
+        std::process::exit(1);
+    }
+    if let Some(want) = assert_speedup {
+        let ok = speedup >= want;
+        println!(
+            "  assert speedup {speedup:.2} >= {want:.2} ... {}",
+            if ok { "ok" } else { "FAIL" }
+        );
+        if !ok {
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,5 +1,15 @@
 //! Runs every table and figure in sequence (the full campaign).
 //!
+//! Each phase below submits *all* of its cells as one plan to the
+//! work-stealing trial scheduler ([`Prebaked::run_plan`]): the table
+//! builders declare every `(cell, trial)` pair up front, the pool claims
+//! trials grain-1 off a shared cursor, and outcomes are scattered back
+//! per cell in trial-index order. There is no barrier between the cells
+//! of a phase — a long AlexNet cell no longer idles the cores that
+//! finished their LeNet cells. Trial seeds derive from
+//! `(framework, model, cell, trial)` alone, so tables are byte-identical
+//! at any `RAYON_NUM_THREADS`.
+//!
 //! The campaign records telemetry under `results/telemetry.jsonl` and a
 //! per-experiment completed-trial manifest under
 //! `results/<experiment>/manifest.jsonl`. Kill it at any point and re-run:

@@ -5,7 +5,7 @@
 //! "The results show that the training collapses only when the injection
 //! range accounts for the most significant bit of the exponent."
 
-use crate::runner::Prebaked;
+use crate::runner::{CellPlan, Prebaked};
 use crate::stats::percent;
 use crate::table::{pct, TextTable};
 use sefi_core::{Corrupter, CorrupterConfig, CorruptionMode};
@@ -47,19 +47,19 @@ pub struct RangeRow {
 }
 
 /// Run the sweep (Chainer/AlexNet; 1 000 flips per training, NaN allowed —
-/// the point is to observe collapse).
+/// the point is to observe collapse). All eight ranges are declared up
+/// front and share one scheduler pool.
 pub fn figure2(pre: &Prebaked) -> (Vec<RangeRow>, TextTable) {
     let fw = FrameworkKind::Chainer;
     let model = ModelKind::AlexNet;
     let trials = pre.budget().fig2_trainings;
-    let pristine = pre.checkpoint(fw, model, Dtype::F64);
-    let mut rows = Vec::new();
-    let mut table =
-        TextTable::new(&["Range", "Critical bit", "Trainings", "Collapsed", "%", "Failed"]);
-    for (label, range) in ranges() {
-        let outcomes =
-            pre.run_trials("fig2", &format!("fig2-{label}"), fw, model, trials, |_, seed| {
-                let mut ck = pristine.clone();
+    let pristine = pre.checkpoint_shared(fw, model, Dtype::F64);
+    let plans: Vec<CellPlan<'_>> = ranges()
+        .into_iter()
+        .map(|(label, range)| {
+            let pristine = std::sync::Arc::clone(&pristine);
+            CellPlan::new("fig2", format!("fig2-{label}"), fw, model, trials, move |_, seed| {
+                let mut ck = (*pristine).clone();
                 let mut cfg = CorrupterConfig::bit_flips_full_range(1000, Precision::Fp64, seed);
                 cfg.mode = CorruptionMode::BitRange(range);
                 let report = Corrupter::new(cfg)?.corrupt(&mut ck)?;
@@ -69,7 +69,15 @@ pub fn figure2(pre: &Prebaked) -> (Vec<RangeRow>, TextTable) {
                     report.nan_redraws,
                     report.skipped,
                 ))
-            });
+            })
+        })
+        .collect();
+    let pooled = pre.run_plan(&plans);
+
+    let mut rows = Vec::new();
+    let mut table =
+        TextTable::new(&["Range", "Critical bit", "Trainings", "Collapsed", "%", "Failed"]);
+    for ((label, range), outcomes) in ranges().into_iter().zip(&pooled) {
         let collapsed = outcomes.iter().filter(|o| o.collapsed).count();
         let failed = outcomes.iter().filter(|o| o.is_failed()).count();
         let includes_critical_bit = range.contains(Precision::Fp64.exponent_msb());

@@ -6,7 +6,7 @@
 //! checkpoint with 1/10/100/1000 bit-flips (exponent MSB excluded); the
 //! "green line" is the error-free full training.
 
-use crate::runner::Prebaked;
+use crate::runner::{CellPlan, Prebaked};
 use crate::table::TextTable;
 use sefi_core::{Corrupter, CorrupterConfig};
 use sefi_float::Precision;
@@ -44,21 +44,20 @@ pub fn panels() -> [(FrameworkKind, ModelKind); 3] {
     ]
 }
 
-/// Mean resumed-accuracy curve for a corrupted restart.
-pub fn corrupted_curve(
-    pre: &Prebaked,
+/// Declare one corrupted-restart curve cell for the scheduler.
+pub fn curve_plan<'p>(
+    pre: &'p Prebaked,
     fw: FrameworkKind,
     model: ModelKind,
     bitflips: u64,
     label: &str,
-) -> Series {
+) -> CellPlan<'p> {
     let budget = *pre.budget();
-    let pristine = pre.checkpoint(fw, model, Dtype::F64);
-    let end = budget.curve_end_epoch;
-    let epochs = end - budget.restart_epoch;
+    let pristine = pre.checkpoint_shared(fw, model, Dtype::F64);
+    let epochs = budget.curve_end_epoch - budget.restart_epoch;
     let cell = format!("curve-{label}-{bitflips}");
-    let outcomes = pre.run_trials("curves", &cell, fw, model, budget.curve_trials, |_, seed| {
-        let mut ck = pristine.clone();
+    CellPlan::new("curves", cell, fw, model, budget.curve_trials, move |_, seed| {
+        let mut ck = (*pristine).clone();
         let mut outcome = TrialOutcome::ok();
         if bitflips > 0 {
             let cfg = CorrupterConfig::bit_flips(bitflips, Precision::Fp64, seed);
@@ -69,7 +68,13 @@ pub fn corrupted_curve(
         Ok(outcome
             .with_collapsed(out.collapsed())
             .with_curve(out.history().iter().map(|r| r.test_accuracy).collect()))
-    });
+    })
+}
+
+/// Fold one curve cell's outcomes into the mean-accuracy series.
+fn curve_assemble(pre: &Prebaked, bitflips: u64, outcomes: Vec<TrialOutcome>) -> Series {
+    let budget = *pre.budget();
+    let epochs = budget.curve_end_epoch - budget.restart_epoch;
     let failed = outcomes.iter().filter(|o| o.is_failed()).count();
     let curves: Vec<Vec<f64>> =
         outcomes.into_iter().filter(|o| !o.is_failed()).map(|o| o.curve).collect();
@@ -87,26 +92,69 @@ pub fn corrupted_curve(
     Series { label, points }
 }
 
-/// Build one panel: the error-free full-training line plus the four
-/// corrupted-restart lines.
-pub fn panel(pre: &Prebaked, fw: FrameworkKind, model: ModelKind) -> Panel {
-    let budget = *pre.budget();
-    let mut series = Vec::new();
-    // Error-free line: the deterministic resumed baseline to the end epoch.
-    let baseline = pre.baseline_curve(model, Dtype::F64, budget.curve_end_epoch);
-    series.push(Series {
+/// Mean resumed-accuracy curve for a corrupted restart.
+pub fn corrupted_curve(
+    pre: &Prebaked,
+    fw: FrameworkKind,
+    model: ModelKind,
+    bitflips: u64,
+    label: &str,
+) -> Series {
+    let plan = curve_plan(pre, fw, model, bitflips, label);
+    let outcomes = pre.run_plan(std::slice::from_ref(&plan)).pop().expect("one cell");
+    curve_assemble(pre, bitflips, outcomes)
+}
+
+/// The deterministic error-free series of a panel.
+fn baseline_series(pre: &Prebaked, model: ModelKind) -> Series {
+    let baseline = pre.baseline_curve(model, Dtype::F64, pre.budget().curve_end_epoch);
+    Series {
         label: "error-free".to_string(),
         points: baseline.iter().map(|r| (r.epoch, r.test_accuracy)).collect(),
-    });
-    for &flips in &budget.bitflip_counts() {
-        series.push(corrupted_curve(pre, fw, model, flips, "fig3"));
+    }
+}
+
+/// Build one panel: the error-free full-training line plus the four
+/// corrupted-restart lines (one scheduler pool).
+pub fn panel(pre: &Prebaked, fw: FrameworkKind, model: ModelKind) -> Panel {
+    let flips = pre.budget().bitflip_counts();
+    let mut series = vec![baseline_series(pre, model)];
+    let plans: Vec<CellPlan<'_>> =
+        flips.iter().map(|&f| curve_plan(pre, fw, model, f, "fig3")).collect();
+    let pooled = pre.run_plan(&plans);
+    for (&f, outcomes) in flips.iter().zip(pooled) {
+        series.push(curve_assemble(pre, f, outcomes));
     }
     Panel { framework: fw, model, series }
 }
 
-/// Figure 3 as three panels.
+/// Figure 3 as three panels. All twelve corrupted-curve cells (three
+/// panels × four flip counts) share one scheduler pool; the deterministic
+/// error-free baselines are computed up front, before dispatch.
 pub fn figure3(pre: &Prebaked) -> Vec<Panel> {
-    panels().iter().map(|&(fw, model)| panel(pre, fw, model)).collect()
+    let flips = pre.budget().bitflip_counts();
+    let baselines: Vec<Series> =
+        panels().iter().map(|&(_, model)| baseline_series(pre, model)).collect();
+    let plans: Vec<CellPlan<'_>> = panels()
+        .iter()
+        .flat_map(|&(fw, model)| flips.iter().map(move |&f| (fw, model, f)).collect::<Vec<_>>())
+        .map(|(fw, model, f)| curve_plan(pre, fw, model, f, "fig3"))
+        .collect();
+    let pooled = pre.run_plan(&plans);
+
+    let mut pooled = pooled.into_iter();
+    panels()
+        .iter()
+        .zip(baselines)
+        .map(|(&(fw, model), baseline)| {
+            let mut series = vec![baseline];
+            for &f in &flips {
+                let outcomes = pooled.next().expect("one outcome vector per declared cell");
+                series.push(curve_assemble(pre, f, outcomes));
+            }
+            Panel { framework: fw, model, series }
+        })
+        .collect()
 }
 
 /// Render a panel as an epoch × series table (the figure's data).

@@ -9,7 +9,7 @@
 //! must be zero at every flip count, and guarded trainings should recover
 //! accuracy like the benign-corruption runs of Figure 3.
 
-use crate::runner::Prebaked;
+use crate::runner::{CellPlan, Prebaked};
 use crate::stats::percent;
 use crate::table::{pct, TextTable};
 use sefi_core::{Corrupter, CorrupterConfig, NevGuard, RepairPolicy};
@@ -38,33 +38,42 @@ pub struct GuardCell {
     pub failed: usize,
 }
 
-/// Run one cell: `trials` corrupted resumes, each tried with and without
-/// the guard (same corrupted checkpoint, so the comparison is paired).
-pub fn guard_cell(pre: &Prebaked, repair: RepairPolicy, bitflips: u64, trials: usize) -> GuardCell {
+/// Declare one guarded-vs-unguarded cell for the scheduler: `trials`
+/// corrupted resumes, each tried with and without the guard (same
+/// corrupted checkpoint, so the comparison is paired).
+pub fn guard_plan<'p>(
+    pre: &'p Prebaked,
+    repair: RepairPolicy,
+    bitflips: u64,
+    trials: usize,
+) -> CellPlan<'p> {
     let fw = FrameworkKind::Chainer;
     let model = ModelKind::AlexNet;
-    let pristine = pre.checkpoint(fw, model, Dtype::F64);
-    let outcomes =
-        pre.run_trials("guard", &format!("guard-{bitflips}"), fw, model, trials, |_, seed| {
-            let mut ck = pristine.clone();
-            let cfg = CorrupterConfig::bit_flips_full_range(bitflips, Precision::Fp64, seed);
-            let inj_report = Corrupter::new(cfg)?.corrupt(&mut ck)?;
+    let pristine = pre.checkpoint_shared(fw, model, Dtype::F64);
+    CellPlan::new("guard", format!("guard-{bitflips}"), fw, model, trials, move |_, seed| {
+        let mut ck = (*pristine).clone();
+        let cfg = CorrupterConfig::bit_flips_full_range(bitflips, Precision::Fp64, seed);
+        let inj_report = Corrupter::new(cfg)?.corrupt(&mut ck)?;
 
-            // Unguarded arm.
-            let unguarded = pre.try_resume(fw, model, &ck, pre.budget().resume_epochs)?.collapsed();
+        // Unguarded arm.
+        let unguarded = pre.try_resume(fw, model, &ck, pre.budget().resume_epochs)?.collapsed();
 
-            // Guarded arm: scrub, then resume.
-            let mut scrubbed = ck;
-            let guard = NevGuard::new(NevPolicy::default(), repair);
-            let report = guard.scrub(&mut scrubbed);
-            let out = pre.try_resume(fw, model, &scrubbed, pre.budget().resume_epochs)?;
-            Ok(TrialOutcome::ok()
-                .with_collapsed(out.collapsed())
-                .with_accuracy(out.final_accuracy().unwrap_or(0.0))
-                .with_metric("unguarded_collapsed", f64::from(u8::from(unguarded)))
-                .with_metric("repaired", report.findings.len() as f64)
-                .with_counters(inj_report.injections, inj_report.nan_redraws, inj_report.skipped))
-        });
+        // Guarded arm: scrub, then resume.
+        let mut scrubbed = ck;
+        let guard = NevGuard::new(NevPolicy::default(), repair);
+        let report = guard.scrub(&mut scrubbed);
+        let out = pre.try_resume(fw, model, &scrubbed, pre.budget().resume_epochs)?;
+        Ok(TrialOutcome::ok()
+            .with_collapsed(out.collapsed())
+            .with_accuracy(out.final_accuracy().unwrap_or(0.0))
+            .with_metric("unguarded_collapsed", f64::from(u8::from(unguarded)))
+            .with_metric("repaired", report.findings.len() as f64)
+            .with_counters(inj_report.injections, inj_report.nan_redraws, inj_report.skipped))
+    })
+}
+
+/// Fold one guard cell's outcomes into the comparison row.
+fn guard_assemble(bitflips: u64, trials: usize, outcomes: &[TrialOutcome]) -> GuardCell {
     let failed = outcomes.iter().filter(|o| o.is_failed()).count();
     let completed: Vec<_> = outcomes.iter().filter(|o| !o.is_failed()).collect();
     let unguarded_nev =
@@ -85,9 +94,22 @@ pub fn guard_cell(pre: &Prebaked, repair: RepairPolicy, bitflips: u64, trials: u
     }
 }
 
-/// The full comparison across the paper's flip counts.
+/// Measure one cell.
+pub fn guard_cell(pre: &Prebaked, repair: RepairPolicy, bitflips: u64, trials: usize) -> GuardCell {
+    let plan = guard_plan(pre, repair, bitflips, trials);
+    let outcomes = pre.run_plan(std::slice::from_ref(&plan)).pop().expect("one cell");
+    guard_assemble(bitflips, trials, &outcomes)
+}
+
+/// The full comparison across the paper's flip counts — every flip count's
+/// cell through one scheduler pool.
 pub fn guard_table(pre: &Prebaked, repair: RepairPolicy) -> (Vec<GuardCell>, TextTable) {
     let trials = pre.budget().trials;
+    let counts = pre.budget().bitflip_counts();
+    let plans: Vec<CellPlan<'_>> =
+        counts.iter().map(|&flips| guard_plan(pre, repair, flips, trials)).collect();
+    let pooled = pre.run_plan(&plans);
+
     let mut cells = Vec::new();
     let mut table = TextTable::new(&[
         "Bit-flips",
@@ -98,8 +120,8 @@ pub fn guard_table(pre: &Prebaked, repair: RepairPolicy) -> (Vec<GuardCell>, Tex
         "Guarded acc %",
         "Failed",
     ]);
-    for &flips in &pre.budget().bitflip_counts() {
-        let cell = guard_cell(pre, repair, flips, trials);
+    for (&flips, outcomes) in counts.iter().zip(&pooled) {
+        let cell = guard_assemble(flips, trials, outcomes);
         table.row(vec![
             flips.to_string(),
             cell.trainings.to_string(),

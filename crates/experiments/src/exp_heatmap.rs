@@ -7,7 +7,7 @@
 //! scales N random weights by a factor and reports the model's accuracy
 //! right after loading the corrupted checkpoint, averaged over trials.
 
-use crate::runner::Prebaked;
+use crate::runner::{CellPlan, Prebaked};
 use crate::table::TextTable;
 use sefi_core::{Corrupter, CorrupterConfig, CorruptionMode, InjectionAmount, LocationSelection};
 use sefi_float::Precision;
@@ -35,62 +35,79 @@ pub struct HeatCell {
     pub failed: usize,
 }
 
-/// Measure one cell.
-pub fn heat_cell(pre: &Prebaked, weights: u64, factor: f64) -> HeatCell {
+/// Declare one heat-map cell for the scheduler. A manifest record without
+/// an accuracy (written by an older schema) cannot feed the heat-map mean,
+/// so the plan rejects such cached records and re-runs them.
+pub fn heat_plan<'p>(pre: &'p Prebaked, weights: u64, factor: f64) -> CellPlan<'p> {
     let fw = FrameworkKind::Chainer;
     let model = ModelKind::ResNet50;
     let trials = pre.budget().curve_trials.max(3);
-    let pristine = pre.checkpoint(fw, model, Dtype::F64);
+    let pristine = pre.checkpoint_shared(fw, model, Dtype::F64);
     let cell = format!("heat-{weights}-{factor}");
-    // A manifest record without an accuracy (written by an older schema)
-    // cannot feed the heat-map mean — reject it so the trial re-runs.
-    let outcomes =
-        pre.run_trials_validated(
-            "fig7",
-            &cell,
-            fw,
-            model,
-            trials,
-            |o| o.final_accuracy.is_some(),
-            |_, seed| {
-                let mut ck = pristine.clone();
-                let cfg = CorrupterConfig {
-                    injection_probability: 1.0,
-                    amount: InjectionAmount::Count(weights),
-                    float_precision: Precision::Fp64,
-                    mode: CorruptionMode::ScalingFactor(factor),
-                    allow_nan_values: true,
-                    locations: LocationSelection::AllRandom,
-                    seed,
-                };
-                let report = Corrupter::new(cfg)?.corrupt(&mut ck)?;
-                let mut session = pre.session_at_restart(fw, model);
-                session.restore(&ck).map_err(|e| format!("restore failed: {e}"))?;
-                Ok(TrialOutcome::ok()
-                    .with_accuracy(session.test_accuracy(pre.data()))
-                    .with_counters(report.injections, report.nan_redraws, report.skipped))
-            },
-        );
+    CellPlan::new("fig7", cell, fw, model, trials, move |_, seed| {
+        let mut ck = (*pristine).clone();
+        let cfg = CorrupterConfig {
+            injection_probability: 1.0,
+            amount: InjectionAmount::Count(weights),
+            float_precision: Precision::Fp64,
+            mode: CorruptionMode::ScalingFactor(factor),
+            allow_nan_values: true,
+            locations: LocationSelection::AllRandom,
+            seed,
+        };
+        let report = Corrupter::new(cfg)?.corrupt(&mut ck)?;
+        let mut session = pre.session_at_restart(fw, model);
+        session.restore(&ck).map_err(|e| format!("restore failed: {e}"))?;
+        Ok(TrialOutcome::ok().with_accuracy(session.test_accuracy(pre.data())).with_counters(
+            report.injections,
+            report.nan_redraws,
+            report.skipped,
+        ))
+    })
+    .validated(|o| o.final_accuracy.is_some())
+}
+
+/// Fold one heat-map cell's outcomes into the grid cell.
+fn heat_assemble(weights: u64, factor: f64, outcomes: &[TrialOutcome]) -> HeatCell {
     let failed = outcomes.iter().filter(|o| o.is_failed()).count();
     let accs: Vec<f64> = outcomes.iter().filter_map(|o| o.final_accuracy).collect();
     HeatCell { weights, factor, accuracy: crate::stats::mean(&accs), failed }
 }
 
-/// Full Figure 7 grid plus the baseline accuracy.
+/// Measure one cell.
+pub fn heat_cell(pre: &Prebaked, weights: u64, factor: f64) -> HeatCell {
+    let plan = heat_plan(pre, weights, factor);
+    let outcomes = pre.run_plan(std::slice::from_ref(&plan)).pop().expect("one cell");
+    heat_assemble(weights, factor, &outcomes)
+}
+
+/// Full Figure 7 grid plus the baseline accuracy — all twenty grid cells
+/// through one scheduler pool.
 pub fn figure7(pre: &Prebaked) -> (Vec<HeatCell>, f64, TextTable) {
     let baseline = {
         let mut s = pre.session_at_restart(FrameworkKind::Chainer, ModelKind::ResNet50);
         s.test_accuracy(pre.data())
     };
+    let mut specs = Vec::new();
+    for &w in &WEIGHTS_AXIS {
+        for &f in &FACTOR_AXIS {
+            specs.push((w, f));
+        }
+    }
+    let plans: Vec<CellPlan<'_>> = specs.iter().map(|&(w, f)| heat_plan(pre, w, f)).collect();
+    let pooled = pre.run_plan(&plans);
+
     let mut cells = Vec::new();
     let mut header = vec!["weights\\factor".to_string()];
     header.extend(FACTOR_AXIS.iter().map(|f| format!("{f}")));
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
     let mut table = TextTable::new(&header_refs);
+    let mut pooled = pooled.iter();
     for &w in &WEIGHTS_AXIS {
         let mut row = vec![w.to_string()];
         for &f in &FACTOR_AXIS {
-            let cell = heat_cell(pre, w, f);
+            let outcomes = pooled.next().expect("one outcome vector per declared cell");
+            let cell = heat_assemble(w, f, outcomes);
             row.push(if cell.failed > 0 {
                 format!("{:.3} [{}F]", cell.accuracy, cell.failed)
             } else {

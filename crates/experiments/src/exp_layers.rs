@@ -6,7 +6,7 @@
 //! injections are absorbed (Section V-C2).
 
 use crate::exp_curves::Series;
-use crate::runner::Prebaked;
+use crate::runner::{CellPlan, Prebaked};
 use sefi_core::{Corrupter, CorrupterConfig, InjectionLog, LocationSelection};
 use sefi_float::Precision;
 use sefi_frameworks::{FrameworkKind, Session, SessionConfig};
@@ -44,23 +44,20 @@ pub fn locations_for(
     Session::new(cfg).layer_locations(role)
 }
 
-/// Corrupt `LAYER_FLIPS` flips into one layer and resume; returns the mean
-/// accuracy curve and the injection log of trial 0 (for Figure 5's
-/// equivalent-injection replay).
-pub fn layer_curve(
-    pre: &Prebaked,
+/// Declare one per-layer injection cell for the scheduler.
+pub fn layer_plan<'p>(
+    pre: &'p Prebaked,
     fw: FrameworkKind,
     model: ModelKind,
     role: LayerRole,
-) -> (Series, InjectionLog) {
+) -> CellPlan<'p> {
     let budget = *pre.budget();
-    let pristine = pre.checkpoint(fw, model, Dtype::F64);
+    let pristine = pre.checkpoint_shared(fw, model, Dtype::F64);
     let locations = locations_for(pre, fw, model, role);
     let epochs = budget.curve_end_epoch - budget.restart_epoch;
-
     let cell = format!("layer-{}", role_label(role));
-    let outcomes = pre.run_trials("fig4", &cell, fw, model, budget.curve_trials, |trial, seed| {
-        let mut ck = pristine.clone();
+    CellPlan::new("fig4", cell, fw, model, budget.curve_trials, move |trial, seed| {
+        let mut ck = (*pristine).clone();
         let mut cfg = CorrupterConfig::bit_flips(LAYER_FLIPS, Precision::Fp64, seed);
         cfg.locations = LocationSelection::Listed(locations.clone());
         let (report, log) = Corrupter::new(cfg)?.corrupt_with_log(&mut ck)?;
@@ -75,8 +72,19 @@ pub fn layer_curve(
             outcome = outcome.with_payload(log.to_json());
         }
         Ok(outcome)
-    });
+    })
+}
 
+/// Fold one layer cell's outcomes into the mean-accuracy series plus the
+/// recorded trial-0 injection log.
+fn layer_assemble(
+    pre: &Prebaked,
+    role: LayerRole,
+    outcomes: &[TrialOutcome],
+) -> (Series, InjectionLog) {
+    let budget = *pre.budget();
+    let epochs = budget.curve_end_epoch - budget.restart_epoch;
+    let cell = format!("layer-{}", role_label(role));
     let failed = outcomes.iter().filter(|o| o.is_failed()).count();
     let points = (0..epochs)
         .map(|i| {
@@ -109,19 +117,38 @@ pub fn layer_curve(
     (Series { label, points }, log)
 }
 
-/// Figure 4: Chainer/AlexNet, all three roles plus the error-free line.
-/// Also returns the per-role logs used by Figure 5.
+/// Corrupt `LAYER_FLIPS` flips into one layer and resume; returns the mean
+/// accuracy curve and the injection log of trial 0 (for Figure 5's
+/// equivalent-injection replay).
+pub fn layer_curve(
+    pre: &Prebaked,
+    fw: FrameworkKind,
+    model: ModelKind,
+    role: LayerRole,
+) -> (Series, InjectionLog) {
+    let plan = layer_plan(pre, fw, model, role);
+    let outcomes = pre.run_plan(std::slice::from_ref(&plan)).pop().expect("one cell");
+    layer_assemble(pre, role, &outcomes)
+}
+
+/// Figure 4: Chainer/AlexNet, all three roles plus the error-free line,
+/// the three role cells sharing one scheduler pool. Also returns the
+/// per-role logs used by Figure 5.
 pub fn figure4(pre: &Prebaked) -> (Vec<Series>, Vec<(LayerRole, InjectionLog)>) {
     let budget = *pre.budget();
-    let mut series = Vec::new();
     let baseline = pre.baseline_curve(ModelKind::AlexNet, Dtype::F64, budget.curve_end_epoch);
-    series.push(Series {
+    let mut series = vec![Series {
         label: "error-free".to_string(),
         points: baseline.iter().map(|r| (r.epoch, r.test_accuracy)).collect(),
-    });
+    }];
+    let plans: Vec<CellPlan<'_>> = roles()
+        .into_iter()
+        .map(|role| layer_plan(pre, FrameworkKind::Chainer, ModelKind::AlexNet, role))
+        .collect();
+    let pooled = pre.run_plan(&plans);
     let mut logs = Vec::new();
-    for role in roles() {
-        let (s, log) = layer_curve(pre, FrameworkKind::Chainer, ModelKind::AlexNet, role);
+    for (role, outcomes) in roles().into_iter().zip(&pooled) {
+        let (s, log) = layer_assemble(pre, role, outcomes);
         series.push(s);
         logs.push((role, log));
     }

@@ -7,7 +7,7 @@
 //! the average accuracy immediately after loading the corrupted checkpoint
 //! (AvgI-Acc, excluding collapsed trainings) and the number of N-EV events.
 
-use crate::runner::Prebaked;
+use crate::runner::{CellPlan, Prebaked};
 use crate::table::TextTable;
 use sefi_core::{Corrupter, CorrupterConfig, CorruptionMode, InjectionAmount, LocationSelection};
 use sefi_float::{BitMask, NevPolicy, Precision};
@@ -60,31 +60,35 @@ fn initial_accuracy(
     Ok((session.test_accuracy(pre.data()), nev))
 }
 
-/// One cell: ten trainings with one mask.
-pub fn mask_cell(pre: &Prebaked, fw: FrameworkKind, bits: u32, mask: &str) -> MaskCell {
+/// Declare one mask cell's trainings for the scheduler.
+pub fn mask_plan<'p>(pre: &'p Prebaked, fw: FrameworkKind, mask: &str) -> CellPlan<'p> {
     let model = ModelKind::ResNet50;
     let trials = pre.budget().curve_trials.max(3);
-    let pristine = pre.checkpoint(fw, model, Dtype::F64);
-    let outcomes =
-        pre.run_trials("table6", &format!("mask-{mask}"), fw, model, trials, |_, seed| {
-            let mut ck = pristine.clone();
-            let cfg = CorrupterConfig {
-                injection_probability: 1.0,
-                amount: InjectionAmount::Count(WEIGHTS_PER_TRAINING),
-                float_precision: Precision::Fp64,
-                mode: CorruptionMode::BitMask(BitMask::parse(mask)?),
-                allow_nan_values: true,
-                locations: LocationSelection::AllRandom,
-                seed,
-            };
-            let report = Corrupter::new(cfg)?.corrupt(&mut ck)?;
-            let (acc, nev) = initial_accuracy(pre, fw, model, &ck)?;
-            Ok(TrialOutcome::ok().with_collapsed(nev).with_accuracy(acc).with_counters(
-                report.injections,
-                report.nan_redraws,
-                report.skipped,
-            ))
-        });
+    let pristine = pre.checkpoint_shared(fw, model, Dtype::F64);
+    let mask = mask.to_string();
+    CellPlan::new("table6", format!("mask-{mask}"), fw, model, trials, move |_, seed| {
+        let mut ck = (*pristine).clone();
+        let cfg = CorrupterConfig {
+            injection_probability: 1.0,
+            amount: InjectionAmount::Count(WEIGHTS_PER_TRAINING),
+            float_precision: Precision::Fp64,
+            mode: CorruptionMode::BitMask(BitMask::parse(&mask)?),
+            allow_nan_values: true,
+            locations: LocationSelection::AllRandom,
+            seed,
+        };
+        let report = Corrupter::new(cfg)?.corrupt(&mut ck)?;
+        let (acc, nev) = initial_accuracy(pre, fw, model, &ck)?;
+        Ok(TrialOutcome::ok().with_collapsed(nev).with_accuracy(acc).with_counters(
+            report.injections,
+            report.nan_redraws,
+            report.skipped,
+        ))
+    })
+}
+
+/// Fold one mask cell's outcomes into the table cell.
+fn mask_assemble(fw: FrameworkKind, bits: u32, mask: &str, outcomes: &[TrialOutcome]) -> MaskCell {
     let failed = outcomes.iter().filter(|o| o.is_failed()).count();
     let nev = outcomes.iter().filter(|o| o.collapsed).count();
     let clean: Vec<f64> = outcomes
@@ -100,6 +104,13 @@ pub fn mask_cell(pre: &Prebaked, fw: FrameworkKind, bits: u32, mask: &str) -> Ma
         nev,
         failed,
     }
+}
+
+/// One cell: ten trainings with one mask.
+pub fn mask_cell(pre: &Prebaked, fw: FrameworkKind, bits: u32, mask: &str) -> MaskCell {
+    let plan = mask_plan(pre, fw, mask);
+    let outcomes = pre.run_plan(std::slice::from_ref(&plan)).pop().expect("one cell");
+    mask_assemble(fw, bits, mask, &outcomes)
 }
 
 /// Error-free row (0 bits): the restart checkpoint's own accuracy.
@@ -120,12 +131,26 @@ pub fn baseline_cell(pre: &Prebaked, fw: FrameworkKind) -> MaskCell {
     }
 }
 
-/// Full Table VI.
+/// Full Table VI: all fifteen mask cells (three frameworks × five masks)
+/// share one scheduler pool; the trial-free baseline rows are computed
+/// up front.
 pub fn table6(pre: &Prebaked) -> (Vec<MaskCell>, TextTable) {
+    let baselines: Vec<MaskCell> =
+        FrameworkKind::all().into_iter().map(|fw| baseline_cell(pre, fw)).collect();
+    let mut specs = Vec::new();
+    for fw in FrameworkKind::all() {
+        for &(bits, mask) in &MASKS {
+            specs.push((fw, bits, mask));
+        }
+    }
+    let plans: Vec<CellPlan<'_>> =
+        specs.iter().map(|&(fw, _, mask)| mask_plan(pre, fw, mask)).collect();
+    let pooled = pre.run_plan(&plans);
+
     let mut cells = Vec::new();
     let mut table = TextTable::new(&["Bits", "Mask", "Framework", "AvgI-Acc", "N-EV", "Failed"]);
-    for fw in FrameworkKind::all() {
-        let base = baseline_cell(pre, fw);
+    let mut pooled = pooled.iter();
+    for (fw, base) in FrameworkKind::all().into_iter().zip(baselines) {
         table.row(vec![
             "0".into(),
             base.mask.clone(),
@@ -136,7 +161,8 @@ pub fn table6(pre: &Prebaked) -> (Vec<MaskCell>, TextTable) {
         ]);
         cells.push(base);
         for &(bits, mask) in &MASKS {
-            let cell = mask_cell(pre, fw, bits, mask);
+            let outcomes = pooled.next().expect("one outcome vector per declared cell");
+            let cell = mask_assemble(fw, bits, mask, outcomes);
             table.row(vec![
                 bits.to_string(),
                 mask.to_string(),

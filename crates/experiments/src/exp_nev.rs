@@ -7,7 +7,7 @@
 //! combinations at 64-bit; Table VII repeats Chainer's column at 16- and
 //! 32-bit precision.
 
-use crate::runner::Prebaked;
+use crate::runner::{CellPlan, Prebaked};
 use crate::stats::percent;
 use crate::table::{pct, TextTable};
 use sefi_core::{Corrupter, CorrupterConfig};
@@ -36,6 +36,52 @@ pub struct NevCell {
     pub failed: usize,
 }
 
+/// Declare one cell's trials for the scheduler: `trials` independent
+/// corrupted resumes keyed `nev-{width}-{bitflips}`.
+pub fn nev_plan<'p>(
+    pre: &'p Prebaked,
+    fw: FrameworkKind,
+    model: ModelKind,
+    precision: Precision,
+    bitflips: u64,
+    trials: usize,
+) -> CellPlan<'p> {
+    let dtype = Dtype::from_precision(precision);
+    let pristine = pre.checkpoint_shared(fw, model, dtype);
+    let cell = format!("nev-{}-{bitflips}", precision.width());
+    CellPlan::new("nev", cell, fw, model, trials, move |_, seed| {
+        let mut ck = (*pristine).clone();
+        let cfg = CorrupterConfig::bit_flips_full_range(bitflips, precision, seed);
+        let report = Corrupter::new(cfg)?.corrupt(&mut ck)?;
+        let out = pre.try_resume(fw, model, &ck, pre.budget().resume_epochs)?;
+        Ok(TrialOutcome::ok().with_collapsed(out.collapsed()).with_counters(
+            report.injections,
+            report.nan_redraws,
+            report.skipped,
+        ))
+    })
+}
+
+/// Fold one cell's scheduler outcomes into the table cell.
+fn nev_assemble(
+    fw: FrameworkKind,
+    model: ModelKind,
+    bitflips: u64,
+    outcomes: &[TrialOutcome],
+) -> NevCell {
+    let collapses = outcomes.iter().filter(|o| o.collapsed).count();
+    let failed = outcomes.iter().filter(|o| o.is_failed()).count();
+    NevCell {
+        framework: fw,
+        model,
+        bitflips,
+        trainings: outcomes.len(),
+        nev: collapses,
+        pct: percent(collapses, outcomes.len()),
+        failed,
+    }
+}
+
 /// Measure one cell: `trials` independent corrupted resumes.
 pub fn nev_cell(
     pre: &Prebaked,
@@ -45,82 +91,82 @@ pub fn nev_cell(
     bitflips: u64,
     trials: usize,
 ) -> NevCell {
-    let dtype = Dtype::from_precision(precision);
-    let pristine = pre.checkpoint(fw, model, dtype);
-    let cell = format!("nev-{}-{bitflips}", precision.width());
-    let outcomes = pre.run_trials("nev", &cell, fw, model, trials, |_, seed| {
-        let mut ck = pristine.clone();
-        let cfg = CorrupterConfig::bit_flips_full_range(bitflips, precision, seed);
-        let report = Corrupter::new(cfg)?.corrupt(&mut ck)?;
-        let out = pre.try_resume(fw, model, &ck, pre.budget().resume_epochs)?;
-        Ok(TrialOutcome::ok().with_collapsed(out.collapsed()).with_counters(
-            report.injections,
-            report.nan_redraws,
-            report.skipped,
-        ))
-    });
-    let collapses = outcomes.iter().filter(|o| o.collapsed).count();
-    let failed = outcomes.iter().filter(|o| o.is_failed()).count();
-    NevCell {
-        framework: fw,
-        model,
-        bitflips,
-        trainings: trials,
-        nev: collapses,
-        pct: percent(collapses, trials),
-        failed,
-    }
+    let plan = nev_plan(pre, fw, model, precision, bitflips, trials);
+    let outcomes = pre.run_plan(std::slice::from_ref(&plan)).pop().expect("one cell");
+    nev_assemble(fw, model, bitflips, &outcomes)
 }
 
-/// Table IV: 64-bit, all nine combinations.
+/// Table IV: 64-bit, all nine combinations. All 36 cells are declared up
+/// front and run through one no-barrier scheduler pool.
 pub fn table4(pre: &Prebaked) -> (Vec<NevCell>, TextTable) {
     let budget = *pre.budget();
-    let mut cells = Vec::new();
-    let mut table =
-        TextTable::new(&["Bit-flips", "Trainings", "Framework", "Model", "N-EV", "%", "Failed"]);
+    let mut specs = Vec::new();
     for &flips in &budget.bitflip_counts() {
         for fw in FrameworkKind::all() {
             for model in ModelKind::all() {
-                let cell = nev_cell(pre, fw, model, Precision::Fp64, flips, budget.trials);
-                table.row(vec![
-                    flips.to_string(),
-                    cell.trainings.to_string(),
-                    fw.display().to_string(),
-                    model.id().to_string(),
-                    cell.nev.to_string(),
-                    pct(cell.pct),
-                    cell.failed.to_string(),
-                ]);
-                cells.push(cell);
+                specs.push((flips, fw, model));
             }
         }
+    }
+    let plans: Vec<CellPlan<'_>> = specs
+        .iter()
+        .map(|&(flips, fw, model)| nev_plan(pre, fw, model, Precision::Fp64, flips, budget.trials))
+        .collect();
+    let pooled = pre.run_plan(&plans);
+
+    let mut cells = Vec::new();
+    let mut table =
+        TextTable::new(&["Bit-flips", "Trainings", "Framework", "Model", "N-EV", "%", "Failed"]);
+    for (&(flips, fw, model), outcomes) in specs.iter().zip(&pooled) {
+        let cell = nev_assemble(fw, model, flips, outcomes);
+        table.row(vec![
+            flips.to_string(),
+            cell.trainings.to_string(),
+            fw.display().to_string(),
+            model.id().to_string(),
+            cell.nev.to_string(),
+            pct(cell.pct),
+            cell.failed.to_string(),
+        ]);
+        cells.push(cell);
     }
     (cells, table)
 }
 
-/// Table VII: Chainer at 16- and 32-bit precision.
+/// Table VII: Chainer at 16- and 32-bit precision, one pool for all cells.
 pub fn table7(pre: &Prebaked) -> (Vec<NevCell>, TextTable) {
     let budget = *pre.budget();
-    let mut cells = Vec::new();
-    let mut table =
-        TextTable::new(&["Bit-flips", "DL Train", "Precision", "Model", "N-EV", "%", "Failed"]);
+    let mut specs = Vec::new();
     for &flips in &budget.bitflip_counts() {
         for precision in [Precision::Fp16, Precision::Fp32] {
             for model in ModelKind::all() {
-                let cell =
-                    nev_cell(pre, FrameworkKind::Chainer, model, precision, flips, budget.trials);
-                table.row(vec![
-                    flips.to_string(),
-                    cell.trainings.to_string(),
-                    format!("{} bits", precision.width()),
-                    model.id().to_string(),
-                    cell.nev.to_string(),
-                    pct(cell.pct),
-                    cell.failed.to_string(),
-                ]);
-                cells.push(cell);
+                specs.push((flips, precision, model));
             }
         }
+    }
+    let plans: Vec<CellPlan<'_>> = specs
+        .iter()
+        .map(|&(flips, precision, model)| {
+            nev_plan(pre, FrameworkKind::Chainer, model, precision, flips, budget.trials)
+        })
+        .collect();
+    let pooled = pre.run_plan(&plans);
+
+    let mut cells = Vec::new();
+    let mut table =
+        TextTable::new(&["Bit-flips", "DL Train", "Precision", "Model", "N-EV", "%", "Failed"]);
+    for (&(flips, precision, model), outcomes) in specs.iter().zip(&pooled) {
+        let cell = nev_assemble(FrameworkKind::Chainer, model, flips, outcomes);
+        table.row(vec![
+            flips.to_string(),
+            cell.trainings.to_string(),
+            format!("{} bits", precision.width()),
+            model.id().to_string(),
+            cell.nev.to_string(),
+            pct(cell.pct),
+            cell.failed.to_string(),
+        ]);
+        cells.push(cell);
     }
     (cells, table)
 }

@@ -8,7 +8,7 @@
 //! N-EV. Unlike training, prediction has no chance to recover — degraded
 //! weights directly degrade accuracy, more at lower precision.
 
-use crate::runner::Prebaked;
+use crate::runner::{CellPlan, Prebaked};
 use crate::table::TextTable;
 use parking_lot::Mutex;
 use sefi_core::{Corrupter, CorrupterConfig};
@@ -66,27 +66,29 @@ impl<'a> TrainedCheckpoints<'a> {
     }
 }
 
-/// Measure one cell.
-pub fn predict_cell(
-    trained: &TrainedCheckpoints<'_>,
+/// Declare one prediction cell for the scheduler. The fully trained
+/// checkpoint is minted (or served from the cache) here, sequentially,
+/// before the pool dispatches.
+pub fn predict_plan<'p>(
+    trained: &TrainedCheckpoints<'p>,
     model: ModelKind,
     precision: Precision,
     bitflips: u64,
-) -> PredictCell {
+) -> CellPlan<'p> {
     let pre = trained.pre;
     let budget = *pre.budget();
     let dtype = Dtype::from_precision(precision);
-    let pristine = trained.get(model, dtype);
+    let pristine = std::sync::Arc::new(trained.get(model, dtype));
 
     let cell = format!("predict-{}-{bitflips}", precision.width());
-    let outcomes = pre.run_trials(
+    CellPlan::new(
         "table8",
-        &cell,
+        cell,
         FrameworkKind::Chainer,
         model,
         budget.predict_trials,
-        |trial, seed| {
-            let mut ck = pristine.clone();
+        move |trial, seed| {
+            let mut ck = (*pristine).clone();
             let mut outcome = TrialOutcome::ok();
             if bitflips > 0 {
                 let cfg = CorrupterConfig::bit_flips_full_range(bitflips, precision, seed);
@@ -107,8 +109,16 @@ pub fn predict_cell(
             let correct = preds.iter().zip(&labels).filter(|(p, &l)| **p == l as usize).count();
             Ok(outcome.with_collapsed(nev).with_accuracy(correct as f64 / n.max(1) as f64))
         },
-    );
+    )
+}
 
+/// Fold one prediction cell's outcomes into the table cell.
+fn predict_assemble(
+    model: ModelKind,
+    precision: Precision,
+    bitflips: u64,
+    outcomes: &[TrialOutcome],
+) -> PredictCell {
     let failed = outcomes.iter().filter(|o| o.is_failed()).count();
     let nev_runs = outcomes.iter().filter(|o| o.collapsed).count();
     let clean: Vec<f64> = outcomes
@@ -126,30 +136,54 @@ pub fn predict_cell(
     }
 }
 
+/// Measure one cell.
+pub fn predict_cell(
+    trained: &TrainedCheckpoints<'_>,
+    model: ModelKind,
+    precision: Precision,
+    bitflips: u64,
+) -> PredictCell {
+    let plan = predict_plan(trained, model, precision, bitflips);
+    let outcomes = trained.pre.run_plan(std::slice::from_ref(&plan)).pop().expect("one cell");
+    predict_assemble(model, precision, bitflips, &outcomes)
+}
+
 /// Full Table VIII: {0,1,10,100,1000} flips × three precisions × three
-/// models, Chainer.
+/// models, Chainer — all 45 cells through one scheduler pool. The fully
+/// trained checkpoints (one per model × precision) are minted while the
+/// plans are built, before any trial dispatches.
 pub fn table8(pre: &Prebaked) -> (Vec<PredictCell>, TextTable) {
     let trained = TrainedCheckpoints::new(pre);
-    let mut cells = Vec::new();
-    let mut table =
-        TextTable::new(&["Bit-flips", "Precision", "Model", "Accuracy", "N-EV", "Failed"]);
     let mut counts = vec![0u64];
     counts.extend_from_slice(&pre.budget().bitflip_counts());
+    let mut specs = Vec::new();
     for &flips in &counts {
         for precision in [Precision::Fp16, Precision::Fp32, Precision::Fp64] {
             for model in ModelKind::all() {
-                let cell = predict_cell(&trained, model, precision, flips);
-                table.row(vec![
-                    flips.to_string(),
-                    format!("{} bits", precision.width()),
-                    model.id().to_string(),
-                    cell.accuracy.map(|a| format!("{a:.2}")).unwrap_or_else(|| "-".into()),
-                    format!("({})", cell.nev_runs),
-                    cell.failed.to_string(),
-                ]);
-                cells.push(cell);
+                specs.push((flips, precision, model));
             }
         }
+    }
+    let plans: Vec<CellPlan<'_>> = specs
+        .iter()
+        .map(|&(flips, precision, model)| predict_plan(&trained, model, precision, flips))
+        .collect();
+    let pooled = pre.run_plan(&plans);
+
+    let mut cells = Vec::new();
+    let mut table =
+        TextTable::new(&["Bit-flips", "Precision", "Model", "Accuracy", "N-EV", "Failed"]);
+    for (&(flips, precision, model), outcomes) in specs.iter().zip(&pooled) {
+        let cell = predict_assemble(model, precision, flips, outcomes);
+        table.row(vec![
+            flips.to_string(),
+            format!("{} bits", precision.width()),
+            model.id().to_string(),
+            cell.accuracy.map(|a| format!("{a:.2}")).unwrap_or_else(|| "-".into()),
+            format!("({})", cell.nev_runs),
+            cell.failed.to_string(),
+        ]);
+        cells.push(cell);
     }
     (cells, table)
 }

@@ -9,7 +9,7 @@
 //! are largely absorbed.
 
 use crate::exp_layers::{locations_for, role_label, LAYER_FLIPS};
-use crate::runner::Prebaked;
+use crate::runner::{CellPlan, Prebaked};
 use crate::stats::{five_number_summary, FiveNum};
 use crate::table::TextTable;
 use sefi_core::{Corrupter, CorrupterConfig, LocationSelection};
@@ -57,15 +57,19 @@ fn flat_weights(net: &mut sefi_nn::Network) -> Vec<f32> {
     out
 }
 
-/// Measure propagation for one injected layer role.
-pub fn propagation_for(pre: &Prebaked, role: LayerRole, reference: &[f32]) -> Propagation {
+/// Declare one propagation cell (a single deterministic trial; routing it
+/// through the scheduler still gets it manifest-cached like every other
+/// trial).
+pub fn propagation_plan<'p>(
+    pre: &'p Prebaked,
+    role: LayerRole,
+    reference: &'p [f32],
+) -> CellPlan<'p> {
     let budget = *pre.budget();
     let fw = FrameworkKind::TensorFlow;
     let model = ModelKind::AlexNet;
     let cell = format!("prop-{}", role_label(role));
-    // A single deterministic trial per role; routing it through the runner
-    // still gets it manifest-cached like every other trial.
-    let outcomes = pre.run_trials("fig6", &cell, fw, model, 1, |_, seed| {
+    CellPlan::new("fig6", cell, fw, model, 1, move |_, seed| {
         let mut ck = pre.checkpoint(fw, model, Dtype::F64);
         let mut cfg = CorrupterConfig::bit_flips(LAYER_FLIPS, Precision::Fp64, seed);
         cfg.locations = LocationSelection::Listed(locations_for(pre, fw, model, role));
@@ -112,7 +116,11 @@ pub fn propagation_for(pre: &Prebaked, role: LayerRole, reference: &[f32]) -> Pr
                 .with_metric("max", s.max);
         }
         Ok(outcome)
-    });
+    })
+}
+
+/// Fold one propagation cell's outcome into the boxplot row.
+fn propagation_assemble(role: LayerRole, outcomes: &[TrialOutcome]) -> Propagation {
     let o = &outcomes[0];
     Propagation {
         role,
@@ -130,9 +138,23 @@ pub fn propagation_for(pre: &Prebaked, role: LayerRole, reference: &[f32]) -> Pr
     }
 }
 
-/// Figure 6: all three roles.
+/// Measure propagation for one injected layer role.
+pub fn propagation_for(pre: &Prebaked, role: LayerRole, reference: &[f32]) -> Propagation {
+    let plan = propagation_plan(pre, role, reference);
+    let outcomes = pre.run_plan(std::slice::from_ref(&plan)).pop().expect("one cell");
+    propagation_assemble(role, &outcomes)
+}
+
+/// Figure 6: all three roles through one scheduler pool. The error-free
+/// reference weights are computed once, before the plans dispatch.
 pub fn figure6(pre: &Prebaked) -> (Vec<Propagation>, TextTable) {
     let reference = error_free_weights(pre);
+    let plans: Vec<CellPlan<'_>> = crate::exp_layers::roles()
+        .into_iter()
+        .map(|role| propagation_plan(pre, role, &reference))
+        .collect();
+    let pooled = pre.run_plan(&plans);
+
     let mut rows = Vec::new();
     let mut table = TextTable::new(&[
         "Injected layer",
@@ -146,8 +168,8 @@ pub fn figure6(pre: &Prebaked) -> (Vec<Propagation>, TextTable) {
         "NaN dropped",
         "Failed",
     ]);
-    for role in crate::exp_layers::roles() {
-        let p = propagation_for(pre, role, &reference);
+    for (role, outcomes) in crate::exp_layers::roles().into_iter().zip(&pooled) {
+        let p = propagation_assemble(role, outcomes);
         let s = p.summary.unwrap_or(FiveNum { min: 0.0, q1: 0.0, median: 0.0, q3: 0.0, max: 0.0 });
         table.row(vec![
             role_label(p.role).to_string(),

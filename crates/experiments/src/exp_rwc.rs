@@ -7,7 +7,7 @@
 //! collapses), resumes, and compares the final accuracy against the
 //! deterministic baseline. Equality means the flip was fully absorbed.
 
-use crate::runner::Prebaked;
+use crate::runner::{CellPlan, Prebaked};
 use crate::stats::percent;
 use crate::table::{pct, TextTable};
 use sefi_core::{Corrupter, CorrupterConfig};
@@ -36,12 +36,19 @@ pub struct RwcCell {
     pub failed: usize,
 }
 
-/// Measure one cell.
-pub fn rwc_cell(pre: &Prebaked, fw: FrameworkKind, model: ModelKind, trials: usize) -> RwcCell {
-    let baseline = pre.baseline_final_accuracy(model, Dtype::F64);
-    let pristine = pre.checkpoint(fw, model, Dtype::F64);
-    let outcomes = pre.run_trials("rwc", "rwc", fw, model, trials, |_, seed| {
-        let mut ck = pristine.clone();
+/// Declare one cell's trials for the scheduler. The deterministic
+/// baseline accuracy is precomputed here (sequentially, before the pool
+/// dispatches) so trial closures never train a baseline mid-pool.
+pub fn rwc_plan<'p>(
+    pre: &'p Prebaked,
+    fw: FrameworkKind,
+    model: ModelKind,
+    trials: usize,
+) -> CellPlan<'p> {
+    pre.baseline_final_accuracy(model, Dtype::F64);
+    let pristine = pre.checkpoint_shared(fw, model, Dtype::F64);
+    CellPlan::new("rwc", "rwc", fw, model, trials, move |_, seed| {
+        let mut ck = (*pristine).clone();
         let cfg = CorrupterConfig::bit_flips(1, Precision::Fp64, seed);
         let report = Corrupter::new(cfg)?.corrupt(&mut ck)?;
         let out = pre.try_resume(fw, model, &ck, pre.budget().resume_epochs)?;
@@ -54,7 +61,18 @@ pub fn rwc_cell(pre: &Prebaked, fw: FrameworkKind, model: ModelKind, trials: usi
             Some(acc) => outcome.with_accuracy(acc),
             None => outcome, // collapsed (cannot happen with MSB excluded)
         })
-    });
+    })
+}
+
+/// Fold one cell's scheduler outcomes into the table cell.
+fn rwc_assemble(
+    pre: &Prebaked,
+    fw: FrameworkKind,
+    model: ModelKind,
+    outcomes: &[TrialOutcome],
+) -> RwcCell {
+    let baseline = pre.baseline_final_accuracy(model, Dtype::F64);
+    let trials = outcomes.len();
     // Deviations are derived here, not stored: the deterministic baseline
     // is recomputable and a collapsed trial's deviation is infinite, which
     // the manifest cannot hold. Failed trials carry no accuracy and are
@@ -82,26 +100,41 @@ pub fn rwc_cell(pre: &Prebaked, fw: FrameworkKind, model: ModelKind, trials: usi
     }
 }
 
-/// Full Table V.
+/// Measure one cell.
+pub fn rwc_cell(pre: &Prebaked, fw: FrameworkKind, model: ModelKind, trials: usize) -> RwcCell {
+    let plan = rwc_plan(pre, fw, model, trials);
+    let outcomes = pre.run_plan(std::slice::from_ref(&plan)).pop().expect("one cell");
+    rwc_assemble(pre, fw, model, &outcomes)
+}
+
+/// Full Table V: all nine cells through one scheduler pool.
 pub fn table5(pre: &Prebaked) -> (Vec<RwcCell>, TextTable) {
     let trials = pre.budget().trials;
+    let mut specs = Vec::new();
+    for model in ModelKind::all() {
+        for fw in FrameworkKind::all() {
+            specs.push((model, fw));
+        }
+    }
+    let plans: Vec<CellPlan<'_>> =
+        specs.iter().map(|&(model, fw)| rwc_plan(pre, fw, model, trials)).collect();
+    let pooled = pre.run_plan(&plans);
+
     let mut cells = Vec::new();
     let mut table =
         TextTable::new(&["Model", "Trainings", "Framework", "RWC", "%", "MaxDev", "Failed"]);
-    for model in ModelKind::all() {
-        for fw in FrameworkKind::all() {
-            let cell = rwc_cell(pre, fw, model, trials);
-            table.row(vec![
-                model.id().to_string(),
-                trials.to_string(),
-                fw.display().to_string(),
-                cell.rwc.to_string(),
-                pct(cell.pct),
-                format!("{:.4}", cell.max_deviation),
-                cell.failed.to_string(),
-            ]);
-            cells.push(cell);
-        }
+    for (&(model, fw), outcomes) in specs.iter().zip(&pooled) {
+        let cell = rwc_assemble(pre, fw, model, outcomes);
+        table.row(vec![
+            model.id().to_string(),
+            trials.to_string(),
+            fw.display().to_string(),
+            cell.rwc.to_string(),
+            pct(cell.pct),
+            format!("{:.4}", cell.max_deviation),
+            cell.failed.to_string(),
+        ]);
+        cells.push(cell);
     }
     (cells, table)
 }

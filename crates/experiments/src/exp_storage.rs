@@ -19,7 +19,7 @@
 //! quarantines — a DUE), **silent** (the load succeeds but the file
 //! differs — an SDC).
 
-use crate::runner::Prebaked;
+use crate::runner::{CellPlan, Prebaked};
 use crate::table::{pct, TextTable};
 use sefi_core::{FileRegion, RawConfig, RawCorrupter};
 use sefi_frameworks::FrameworkKind;
@@ -117,16 +117,45 @@ pub fn flips_per_region(pre: &Prebaked) -> usize {
     (pre.budget().trials * 8).max(48)
 }
 
+/// The three swept regions, in table order.
+fn regions() -> [FileRegion; 3] {
+    [FileRegion::Superblock, FileRegion::Index, FileRegion::Payload]
+}
+
 /// Run the sweep (Chainer/AlexNet checkpoint, one single-bit flip per
-/// trial, each region swept independently).
+/// trial, each region swept independently). The three region cells share
+/// one scheduler pool and one encoded pristine byte image.
 pub fn storage_table(pre: &Prebaked) -> (Vec<RegionRow>, TextTable) {
+    use std::sync::Arc;
     let fw = FrameworkKind::Chainer;
     let model = ModelKind::AlexNet;
     let trials = flips_per_region(pre);
-    let bytes = pre.checkpoint(fw, model, Dtype::F32).to_bytes_v2();
+    let bytes = Arc::new(pre.checkpoint(fw, model, Dtype::F32).to_bytes_v2());
     // Compare against the decode of the pristine bytes (not the in-memory
     // original) so the classification measures the flip, not the encoder.
-    let pristine = H5File::from_bytes(&bytes).expect("pristine v2 bytes decode");
+    let pristine = Arc::new(H5File::from_bytes(&bytes).expect("pristine v2 bytes decode"));
+
+    let plans: Vec<CellPlan<'_>> = regions()
+        .into_iter()
+        .map(|region| {
+            let bytes = Arc::clone(&bytes);
+            let pristine = Arc::clone(&pristine);
+            let cell = format!("storage-{}", region.label());
+            CellPlan::new("storage", cell, fw, model, trials, move |_, seed| {
+                let mut corrupted = (*bytes).clone();
+                let report = RawCorrupter::new(RawConfig::single_flip(Some(region), seed))?
+                    .corrupt_bytes(&mut corrupted)?;
+                let flip = &report.flips[0];
+                let verified = classify(&pristine, &corrupted, Some(LoadPolicy::Quarantine));
+                let trusting = classify(&pristine, &corrupted, None);
+                Ok(TrialOutcome::ok()
+                    .with_metric("verified", verified.code())
+                    .with_metric("trusting", trusting.code())
+                    .with_metric("offset", flip.offset as f64))
+            })
+        })
+        .collect();
+    let pooled = pre.run_plan(&plans);
 
     let mut rows = Vec::new();
     let mut table = TextTable::new(&[
@@ -140,21 +169,7 @@ pub fn storage_table(pre: &Prebaked) -> (Vec<RegionRow>, TextTable) {
         "Silent(t)",
         "Failed",
     ]);
-    for region in [FileRegion::Superblock, FileRegion::Index, FileRegion::Payload] {
-        let cell = format!("storage-{}", region.label());
-        let outcomes = pre.run_trials("storage", &cell, fw, model, trials, |_, seed| {
-            let mut corrupted = bytes.clone();
-            let report = RawCorrupter::new(RawConfig::single_flip(Some(region), seed))?
-                .corrupt_bytes(&mut corrupted)?;
-            let flip = &report.flips[0];
-            let verified = classify(&pristine, &corrupted, Some(LoadPolicy::Quarantine));
-            let trusting = classify(&pristine, &corrupted, None);
-            Ok(TrialOutcome::ok()
-                .with_metric("verified", verified.code())
-                .with_metric("trusting", trusting.code())
-                .with_metric("offset", flip.offset as f64))
-        });
-
+    for (region, outcomes) in regions().into_iter().zip(&pooled) {
         let mut row = RegionRow {
             region,
             trials: 0,
@@ -162,7 +177,7 @@ pub fn storage_table(pre: &Prebaked) -> (Vec<RegionRow>, TextTable) {
             trusting: Counts::default(),
             failed: 0,
         };
-        for o in &outcomes {
+        for o in outcomes {
             let classes = o
                 .metric("verified")
                 .and_then(Outcome::from_code)

@@ -38,7 +38,8 @@ pub mod table;
 
 pub use budget::Budget;
 pub use runner::{
-    combo_seed, combo_seed_parts, CampaignConfig, PhaseGuard, Prebaked, TrialError, TrialResult,
+    combo_seed, combo_seed_parts, CampaignConfig, CellPlan, PhaseGuard, Prebaked, TrialError,
+    TrialResult,
 };
 pub use sefi_telemetry::TrialOutcome;
 

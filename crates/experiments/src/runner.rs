@@ -1,5 +1,25 @@
 //! Shared experiment plumbing: pretrained baselines, checkpoint minting,
-//! and deterministic per-trial seeding.
+//! deterministic per-trial seeding, and the campaign-wide trial scheduler.
+//!
+//! # The trial scheduler
+//!
+//! Experiments declare their cells up front as [`CellPlan`]s and submit
+//! them in one [`Prebaked::run_plan`] call. The runner flattens every
+//! `(cell, trial)` pair of the submitted phase into a single work pool and
+//! dispatches it through the work-stealing parallel iterator — there is
+//! **no barrier between cells**, so a cell whose trials finish early
+//! (collapsed trainings return in a fraction of a clean resume's time)
+//! releases its workers straight into the next cell's trials instead of
+//! idling on the cell's stragglers.
+//!
+//! Determinism is preserved by construction, not by scheduling: each
+//! trial's seed is the pure function [`combo_seed`]`(fw, model, cell,
+//! trial)`, and outcomes are scattered back into per-cell vectors by trial
+//! index. Tables assembled from those vectors are byte-identical at any
+//! `RAYON_NUM_THREADS` and across mid-campaign kill/resume. Only the
+//! telemetry *event stream* reflects execution order — per-trial events
+//! from different cells may interleave — and nothing downstream consumes
+//! the stream's order.
 
 use crate::budget::Budget;
 use parking_lot::Mutex;
@@ -11,6 +31,7 @@ use sefi_models::ModelKind;
 use sefi_nn::{EpochRecord, StateDict};
 use sefi_telemetry::{digest64, Aggregator, Event, JsonlSink, Manifest, TrialOutcome, TrialRecord};
 use std::collections::HashMap;
+use std::io::Write as _;
 use std::path::PathBuf;
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
@@ -283,13 +304,92 @@ impl Drop for PhaseGuard<'_> {
     }
 }
 
+/// One declared cell of an experiment phase: the coordinates that key its
+/// seeds and manifest records, the trial count, and the trial closure.
+///
+/// Experiments build a `Vec<CellPlan>` covering a whole table or figure
+/// and submit it in one [`Prebaked::run_plan`] call; the runner flattens
+/// every `(cell, trial)` pair into a single work-stealing pool with no
+/// barrier between cells. The closure receives `(trial, seed)` where
+/// `seed = combo_seed(fw, model, cell, trial)`, so a cell's outcomes are
+/// independent of which other cells share the pool.
+pub struct CellPlan<'p> {
+    experiment: String,
+    cell: String,
+    fw: FrameworkKind,
+    model: ModelKind,
+    trials: usize,
+    valid: Box<dyn Fn(&TrialOutcome) -> bool + Send + Sync + 'p>,
+    run: Box<dyn Fn(usize, u64) -> TrialResult + Send + Sync + 'p>,
+}
+
+impl<'p> CellPlan<'p> {
+    /// Declare a cell: `trials` executions of `run` under the experiment's
+    /// manifest, keyed by `(fw, model, cell)`.
+    pub fn new(
+        experiment: impl Into<String>,
+        cell: impl Into<String>,
+        fw: FrameworkKind,
+        model: ModelKind,
+        trials: usize,
+        run: impl Fn(usize, u64) -> TrialResult + Send + Sync + 'p,
+    ) -> Self {
+        CellPlan {
+            experiment: experiment.into(),
+            cell: cell.into(),
+            fw,
+            model,
+            trials,
+            valid: Box::new(|_| true),
+            run: Box::new(run),
+        }
+    }
+
+    /// Attach a validity check on manifest-cached records: a cached
+    /// non-failed outcome rejected by `valid` (e.g. an old-schema record
+    /// missing a field the caller needs) is re-executed instead of served.
+    pub fn validated(mut self, valid: impl Fn(&TrialOutcome) -> bool + Send + Sync + 'p) -> Self {
+        self.valid = Box::new(valid);
+        self
+    }
+
+    /// The cell label (also the seed/manifest key component).
+    pub fn cell(&self) -> &str {
+        &self.cell
+    }
+
+    /// Number of trials this cell contributes to the pool.
+    pub fn trials(&self) -> usize {
+        self.trials
+    }
+}
+
+/// A keyed once-cache: per-key init slots behind one short-lived map lock.
+type KeyedOnce<K, V> = Mutex<HashMap<K, Arc<OnceLock<V>>>>;
+
+/// Fetch (or create) the per-key init slot of a keyed once-cache. The map
+/// lock is held only for the lookup; the caller runs the expensive init
+/// inside `OnceLock::get_or_init`, so one thread computes while every
+/// other thread needing the same key blocks on that key alone — distinct
+/// keys initialize concurrently, and nobody computes a key twice.
+fn entry_slot<K: Eq + std::hash::Hash + Clone, V>(
+    map: &KeyedOnce<K, V>,
+    key: &K,
+) -> Arc<OnceLock<V>> {
+    Arc::clone(map.lock().entry(key.clone()).or_default())
+}
+
 /// Pretrained state at the restart epoch, shared by every experiment.
 ///
 /// The paper trains each (framework, model) combination once to epoch 20
 /// and then mints arbitrarily many corrupted checkpoint copies. Because
 /// the three frontends share the numeric engine, one pretraining per model
 /// suffices here; checkpoints are then written in any framework's layout.
-/// Pretrained weights are cached on disk under `target/sefi-cache`.
+/// Pretrained weights are cached on disk under `target/sefi-cache`, and
+/// minted pristine checkpoints are memoized per `(framework, model,
+/// dtype)` behind an `Arc` — trials clone the shared file, and the
+/// dataset layer's copy-on-write payloads make that clone pay only for
+/// the datasets the trial actually corrupts.
 ///
 /// Constructed with [`Prebaked::with_campaign`], it additionally records
 /// telemetry and a per-experiment completed-trial manifest, and serves
@@ -297,8 +397,9 @@ impl Drop for PhaseGuard<'_> {
 pub struct Prebaked {
     budget: Budget,
     data: SyntheticCifar10,
-    baselines: Mutex<HashMap<ModelKind, StateDict>>,
-    baseline_curves: Mutex<HashMap<(ModelKind, u32, usize), Vec<EpochRecord>>>,
+    baselines: KeyedOnce<ModelKind, StateDict>,
+    baseline_curves: KeyedOnce<(ModelKind, u32, usize), Vec<EpochRecord>>,
+    checkpoints: KeyedOnce<(FrameworkKind, ModelKind, Dtype), Arc<H5File>>,
     campaign: Option<Campaign>,
 }
 
@@ -311,6 +412,7 @@ impl Prebaked {
             budget,
             baselines: Mutex::new(HashMap::new()),
             baseline_curves: Mutex::new(HashMap::new()),
+            checkpoints: Mutex::new(HashMap::new()),
             campaign: None,
         }
     }
@@ -394,8 +496,156 @@ impl Prebaked {
         dir.join(name)
     }
 
-    /// Run the `trials` of one experiment cell, in parallel, through the
-    /// campaign machinery, with per-trial fault isolation.
+    /// Run a declared phase: flatten every `(cell, trial)` pair of `plans`
+    /// into one dynamically load-balanced work pool and return the
+    /// outcomes scattered back into per-cell vectors, `result[i][t]`
+    /// holding plan `i`'s trial `t`.
+    ///
+    /// There is no barrier between cells: workers that finish one cell's
+    /// cheap trials immediately steal the next cell's, so heterogeneous
+    /// trial durations never leave cores idle. Every trial is keyed by
+    /// [`combo_seed`] and collected positionally, so the result — and any
+    /// table rendered from it — is byte-identical at any
+    /// `RAYON_NUM_THREADS` and across kill/resume.
+    ///
+    /// Under a campaign, each plan's manifest is opened before dispatch;
+    /// trials already on record (matching config digest) are served
+    /// without executing, and executed trials are appended and flushed
+    /// before the pool completes. Recorded failures are served too
+    /// (resume skips known-bad trials) unless the campaign was opened
+    /// with [`CampaignConfig::retry_failed`].
+    pub fn run_plan(&self, plans: &[CellPlan<'_>]) -> Vec<Vec<TrialOutcome>> {
+        // Open every experiment's manifest up front so workers never
+        // contend on manifest creation mid-pool.
+        let manifests: Vec<Option<Arc<Manifest>>> = plans
+            .iter()
+            .map(|p| self.campaign.as_ref().map(|c| c.manifest_for(&p.experiment)))
+            .collect();
+        let units: Vec<(usize, usize)> = plans
+            .iter()
+            .enumerate()
+            .flat_map(|(ci, p)| (0..p.trials).map(move |t| (ci, t)))
+            .collect();
+        let flat: Vec<TrialOutcome> = units
+            .into_par_iter()
+            .map(|(ci, trial)| self.run_one(&plans[ci], manifests[ci].as_deref(), trial))
+            .collect();
+        // The flat pool was built cell-major, and the dispatch preserves
+        // positional order, so scattering back is sequential chunking.
+        let mut flat = flat.into_iter();
+        plans.iter().map(|p| flat.by_ref().take(p.trials).collect()).collect()
+    }
+
+    /// One trial of one plan through the guard + manifest + telemetry
+    /// path. Called concurrently from pool workers; everything it touches
+    /// (sink, aggregator, manifest) is internally locked, and failure
+    /// lines go through the locked stderr handle so concurrent trials
+    /// never interleave mid-line.
+    fn run_one(
+        &self,
+        plan: &CellPlan<'_>,
+        manifest: Option<&Manifest>,
+        trial: usize,
+    ) -> TrialOutcome {
+        let seed = combo_seed(plan.fw, plan.model, &plan.cell, trial);
+        // Run the trial through the panic guard, yielding the outcome to
+        // record: the closure's own, or a failed outcome carrying the
+        // propagated error / captured panic message.
+        let execute = || -> TrialOutcome {
+            let guarded = panic_capture::catch(|| {
+                if injected_failure(&plan.experiment, &plan.cell, trial) {
+                    panic!("injected test failure (SEFI_FAIL_TRIAL)");
+                }
+                (plan.run)(trial, seed)
+            });
+            let failure = match guarded {
+                Ok(Ok(outcome)) => return outcome,
+                Ok(Err(e)) => e.reason,
+                Err(msg) => format!("panic: {msg}"),
+            };
+            let line = format!(
+                "trial failed: {}/{} trial {trial} (seed {seed:x}): {failure}\n",
+                plan.experiment, plan.cell
+            );
+            let _ = std::io::stderr().lock().write_all(line.as_bytes());
+            TrialOutcome::failed(failure)
+        };
+        let Some(c) = &self.campaign else {
+            return execute();
+        };
+        let manifest = manifest.expect("campaign dispatch prefetches every manifest");
+        if let Some(rec) = manifest.lookup(seed, &c.config_digest) {
+            let serve =
+                if rec.outcome.is_failed() { !c.retry_failed } else { (plan.valid)(&rec.outcome) };
+            if serve {
+                c.sink.emit(&Event::TrialEnd {
+                    experiment: plan.experiment.clone(),
+                    cell: plan.cell.clone(),
+                    trial: trial as u64,
+                    seed,
+                    status: rec.outcome.status.clone(),
+                    duration_ns: rec.duration_ns,
+                    injections: rec.outcome.injections,
+                    nan_redraws: rec.outcome.nan_redraws,
+                    skipped: rec.outcome.skipped,
+                    cached: true,
+                });
+                c.aggregator.record(&plan.experiment, &rec.outcome.status, rec.duration_ns, true);
+                return rec.outcome;
+            }
+        }
+        c.sink.emit(&Event::TrialStart {
+            experiment: plan.experiment.clone(),
+            cell: plan.cell.clone(),
+            trial: trial as u64,
+            seed,
+        });
+        let t0 = Instant::now();
+        let outcome = execute();
+        let duration_ns = t0.elapsed().as_nanos() as u64;
+        if let Some(reason) = &outcome.failure {
+            c.sink.emit(&Event::TrialFailed {
+                experiment: plan.experiment.clone(),
+                cell: plan.cell.clone(),
+                trial: trial as u64,
+                seed,
+                reason: reason.clone(),
+                duration_ns,
+            });
+        }
+        if let Err(e) = manifest.record(TrialRecord {
+            experiment: plan.experiment.clone(),
+            cell: plan.cell.clone(),
+            framework: plan.fw.id().to_string(),
+            model: plan.model.id().to_string(),
+            trial: trial as u64,
+            seed,
+            config_digest: c.config_digest.clone(),
+            duration_ns,
+            outcome: outcome.clone(),
+        }) {
+            let line = format!("telemetry: failed to record trial {seed:x}: {e}\n");
+            let _ = std::io::stderr().lock().write_all(line.as_bytes());
+        }
+        c.sink.emit(&Event::TrialEnd {
+            experiment: plan.experiment.clone(),
+            cell: plan.cell.clone(),
+            trial: trial as u64,
+            seed,
+            status: outcome.status.clone(),
+            duration_ns,
+            injections: outcome.injections,
+            nan_redraws: outcome.nan_redraws,
+            skipped: outcome.skipped,
+            cached: false,
+        });
+        c.aggregator.record(&plan.experiment, &outcome.status, duration_ns, false);
+        outcome
+    }
+
+    /// Run the `trials` of one experiment cell through the scheduler
+    /// (a single-plan [`Prebaked::run_plan`]), with per-trial fault
+    /// isolation.
     ///
     /// Each trial's seed is `combo_seed(fw, model, cell, trial)`; the
     /// closure receives `(trial, seed)` and returns `Ok(outcome)` or an
@@ -403,15 +653,6 @@ impl Prebaked {
     /// panics that unwind out of the closure — become recorded
     /// [`TrialOutcome::failed`] outcomes carrying the reason; the other
     /// trials of the cell (and the rest of the campaign) keep running.
-    ///
-    /// Under a campaign, a trial whose seed is already in the
-    /// experiment's manifest (with a matching config digest) is served
-    /// from the recorded outcome; every executed trial is appended to the
-    /// manifest and flushed before the cell completes, so a killed
-    /// campaign resumes with zero re-execution of completed trials.
-    /// Recorded failures are also served (resume skips known-bad trials)
-    /// unless the campaign was opened with
-    /// [`CampaignConfig::retry_failed`].
     pub fn run_trials(
         &self,
         experiment: &str,
@@ -419,9 +660,10 @@ impl Prebaked {
         fw: FrameworkKind,
         model: ModelKind,
         trials: usize,
-        f: impl Fn(usize, u64) -> TrialResult + Sync,
+        f: impl Fn(usize, u64) -> TrialResult + Send + Sync,
     ) -> Vec<TrialOutcome> {
-        self.run_trials_validated(experiment, cell, fw, model, trials, |_| true, f)
+        let plan = CellPlan::new(experiment, cell, fw, model, trials, f);
+        self.run_plan(std::slice::from_ref(&plan)).pop().expect("one plan yields one cell")
     }
 
     /// [`Prebaked::run_trials`] with a validity check on manifest-cached
@@ -436,106 +678,11 @@ impl Prebaked {
         fw: FrameworkKind,
         model: ModelKind,
         trials: usize,
-        valid: impl Fn(&TrialOutcome) -> bool + Sync,
-        f: impl Fn(usize, u64) -> TrialResult + Sync,
+        valid: impl Fn(&TrialOutcome) -> bool + Send + Sync,
+        f: impl Fn(usize, u64) -> TrialResult + Send + Sync,
     ) -> Vec<TrialOutcome> {
-        // Run one trial through the panic guard, yielding the outcome to
-        // record: the closure's own, or a failed outcome carrying the
-        // propagated error / captured panic message.
-        let execute = |trial: usize, seed: u64| -> TrialOutcome {
-            let guarded = panic_capture::catch(|| {
-                if injected_failure(experiment, cell, trial) {
-                    panic!("injected test failure (SEFI_FAIL_TRIAL)");
-                }
-                f(trial, seed)
-            });
-            let failure = match guarded {
-                Ok(Ok(outcome)) => return outcome,
-                Ok(Err(e)) => e.reason,
-                Err(msg) => format!("panic: {msg}"),
-            };
-            eprintln!("trial failed: {experiment}/{cell} trial {trial} (seed {seed:x}): {failure}");
-            TrialOutcome::failed(failure)
-        };
-        let Some(c) = &self.campaign else {
-            return (0..trials)
-                .into_par_iter()
-                .map(|t| execute(t, combo_seed(fw, model, cell, t)))
-                .collect();
-        };
-        let manifest = c.manifest_for(experiment);
-        (0..trials)
-            .into_par_iter()
-            .map(|trial| {
-                let seed = combo_seed(fw, model, cell, trial);
-                if let Some(rec) = manifest.lookup(seed, &c.config_digest) {
-                    let serve =
-                        if rec.outcome.is_failed() { !c.retry_failed } else { valid(&rec.outcome) };
-                    if serve {
-                        c.sink.emit(&Event::TrialEnd {
-                            experiment: experiment.to_string(),
-                            cell: cell.to_string(),
-                            trial: trial as u64,
-                            seed,
-                            status: rec.outcome.status.clone(),
-                            duration_ns: rec.duration_ns,
-                            injections: rec.outcome.injections,
-                            nan_redraws: rec.outcome.nan_redraws,
-                            skipped: rec.outcome.skipped,
-                            cached: true,
-                        });
-                        c.aggregator.record(experiment, &rec.outcome.status, rec.duration_ns, true);
-                        return rec.outcome;
-                    }
-                }
-                c.sink.emit(&Event::TrialStart {
-                    experiment: experiment.to_string(),
-                    cell: cell.to_string(),
-                    trial: trial as u64,
-                    seed,
-                });
-                let t0 = Instant::now();
-                let outcome = execute(trial, seed);
-                let duration_ns = t0.elapsed().as_nanos() as u64;
-                if let Some(reason) = &outcome.failure {
-                    c.sink.emit(&Event::TrialFailed {
-                        experiment: experiment.to_string(),
-                        cell: cell.to_string(),
-                        trial: trial as u64,
-                        seed,
-                        reason: reason.clone(),
-                        duration_ns,
-                    });
-                }
-                if let Err(e) = manifest.record(TrialRecord {
-                    experiment: experiment.to_string(),
-                    cell: cell.to_string(),
-                    framework: fw.id().to_string(),
-                    model: model.id().to_string(),
-                    trial: trial as u64,
-                    seed,
-                    config_digest: c.config_digest.clone(),
-                    duration_ns,
-                    outcome: outcome.clone(),
-                }) {
-                    eprintln!("telemetry: failed to record trial {seed:x}: {e}");
-                }
-                c.sink.emit(&Event::TrialEnd {
-                    experiment: experiment.to_string(),
-                    cell: cell.to_string(),
-                    trial: trial as u64,
-                    seed,
-                    status: outcome.status.clone(),
-                    duration_ns,
-                    injections: outcome.injections,
-                    nan_redraws: outcome.nan_redraws,
-                    skipped: outcome.skipped,
-                    cached: false,
-                });
-                c.aggregator.record(experiment, &outcome.status, duration_ns, false);
-                outcome
-            })
-            .collect()
+        let plan = CellPlan::new(experiment, cell, fw, model, trials, f).validated(valid);
+        self.run_plan(std::slice::from_ref(&plan)).pop().expect("one plan yields one cell")
     }
 
     /// The budget in force.
@@ -555,13 +702,15 @@ impl Prebaked {
     }
 
     /// The engine weights of `model` at the restart epoch.
+    ///
+    /// Per-key once-initialized: the first caller trains (or loads the
+    /// disk cache) while concurrent callers needing the same model block
+    /// on that key's slot instead of pretraining a duplicate; callers
+    /// needing a different model proceed unimpeded.
     fn baseline_weights(&self, model: ModelKind) -> StateDict {
-        if let Some(sd) = self.baselines.lock().get(&model) {
-            return sd.clone();
-        }
-        let sd = self.load_cached_weights(model).unwrap_or_else(|| self.pretrain(model));
-        self.baselines.lock().insert(model, sd.clone());
-        sd
+        let slot = entry_slot(&self.baselines, &model);
+        slot.get_or_init(|| self.load_cached_weights(model).unwrap_or_else(|| self.pretrain(model)))
+            .clone()
     }
 
     fn pretrain(&self, model: ModelKind) -> StateDict {
@@ -623,23 +772,44 @@ impl Prebaked {
     /// weights — as if it had just trained there.
     pub fn session_at_restart(&self, fw: FrameworkKind, model: ModelKind) -> Session {
         let mut session = self.fresh_session(fw, model);
-        let ck = self.checkpoint(fw, model, Dtype::F64);
+        let ck = self.checkpoint_shared(fw, model, Dtype::F64);
         session.restore(&ck).expect("pristine checkpoint restores");
         session
     }
 
-    /// Mint a pristine checkpoint of `model` at the restart epoch in `fw`'s
-    /// layout at the requested precision. Corrupt a clone of this.
+    /// The memoized pristine checkpoint of `model` at the restart epoch in
+    /// `fw`'s layout at the requested precision, shared behind an `Arc`.
+    /// Minted once per `(framework, model, dtype)` for the whole campaign;
+    /// trials clone the shared file (cheap: dataset payloads are
+    /// copy-on-write) and corrupt the clone.
+    pub fn checkpoint_shared(
+        &self,
+        fw: FrameworkKind,
+        model: ModelKind,
+        dtype: Dtype,
+    ) -> Arc<H5File> {
+        let slot = entry_slot(&self.checkpoints, &(fw, model, dtype));
+        Arc::clone(slot.get_or_init(|| {
+            let sd = self.baseline_weights(model);
+            let mut session = self.fresh_session(fw, model);
+            session
+                .network_mut()
+                .load_state_dict(&sd)
+                .expect("baseline weights fit the architecture");
+            Arc::new(sefi_frameworks::save_checkpoint(
+                fw,
+                session.network_mut(),
+                self.budget.restart_epoch,
+                dtype,
+            ))
+        }))
+    }
+
+    /// An owned clone of [`Prebaked::checkpoint_shared`]. The clone is
+    /// cheap — datasets share their payload bytes until written — so
+    /// "corrupt a clone of this" costs only the flipped datasets.
     pub fn checkpoint(&self, fw: FrameworkKind, model: ModelKind, dtype: Dtype) -> H5File {
-        let sd = self.baseline_weights(model);
-        let mut session = self.fresh_session(fw, model);
-        session.network_mut().load_state_dict(&sd).expect("baseline weights fit the architecture");
-        sefi_frameworks::save_checkpoint(
-            fw,
-            session.network_mut(),
-            self.budget.restart_epoch,
-            dtype,
-        )
+        (*self.checkpoint_shared(fw, model, dtype)).clone()
     }
 
     /// Resume a (possibly corrupted) checkpoint and train `epochs` more.
@@ -683,17 +853,16 @@ impl Prebaked {
         end_epoch: usize,
     ) -> Vec<EpochRecord> {
         let key = (model, dtype.size() as u32, end_epoch);
-        if let Some(c) = self.baseline_curves.lock().get(&key) {
-            return c.clone();
-        }
-        let ck = self.checkpoint(FrameworkKind::Chainer, model, dtype);
-        let mut session = self.fresh_session(FrameworkKind::Chainer, model);
-        session.restore(&ck).expect("pristine checkpoint restores");
-        let out = session.train_to(&self.data, end_epoch);
-        assert!(!out.collapsed(), "error-free baseline collapsed — harness bug");
-        let hist = out.history().to_vec();
-        self.baseline_curves.lock().insert(key, hist.clone());
-        hist
+        let slot = entry_slot(&self.baseline_curves, &key);
+        slot.get_or_init(|| {
+            let ck = self.checkpoint_shared(FrameworkKind::Chainer, model, dtype);
+            let mut session = self.fresh_session(FrameworkKind::Chainer, model);
+            session.restore(&ck).expect("pristine checkpoint restores");
+            let out = session.train_to(&self.data, end_epoch);
+            assert!(!out.collapsed(), "error-free baseline collapsed — harness bug");
+            out.history().to_vec()
+        })
+        .clone()
     }
 
     /// Baseline final accuracy after the standard resume window.
@@ -1005,6 +1174,89 @@ mod tests {
             .collect();
         assert_eq!(kinds, vec!["CampaignStart", "PhaseStart", "PhaseEnd", "CampaignEnd"]);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_plan_scatters_outcomes_back_to_cells_in_trial_order() {
+        let pre = Prebaked::new(Budget::smoke());
+        let fw = FrameworkKind::Chainer;
+        let model = ModelKind::AlexNet;
+        // Three cells with heterogeneous trial counts; each trial encodes
+        // its (cell, trial) coordinates into the outcome so the scatter
+        // can be checked exactly.
+        let plans: Vec<CellPlan<'_>> = (0..3usize)
+            .map(|ci| {
+                CellPlan::new("unit", format!("cell-{ci}"), fw, model, ci + 1, move |trial, _| {
+                    Ok(TrialOutcome::ok().with_accuracy((ci * 10 + trial) as f64))
+                })
+            })
+            .collect();
+        let out = pre.run_plan(&plans);
+        assert_eq!(out.len(), 3);
+        for (ci, cell) in out.iter().enumerate() {
+            assert_eq!(cell.len(), ci + 1, "cell {ci} trial count");
+            for (trial, o) in cell.iter().enumerate() {
+                assert_eq!(o.final_accuracy, Some((ci * 10 + trial) as f64));
+            }
+        }
+    }
+
+    #[test]
+    fn run_plan_outcomes_match_per_cell_runs() {
+        // The pooled dispatch must agree with running each cell alone:
+        // seeds depend only on (fw, model, cell, trial), never on pool
+        // composition.
+        let pre = Prebaked::new(Budget::smoke());
+        let fw = FrameworkKind::Chainer;
+        let model = ModelKind::AlexNet;
+        let trial_fn = |_trial: usize, seed: u64| Ok(TrialOutcome::ok().with_accuracy(seed as f64));
+        let plans = vec![
+            CellPlan::new("unit", "a", fw, model, 3, trial_fn),
+            CellPlan::new("unit", "b", fw, model, 2, trial_fn),
+        ];
+        let pooled = pre.run_plan(&plans);
+        let solo_a = pre.run_trials("unit", "a", fw, model, 3, trial_fn);
+        let solo_b = pre.run_trials("unit", "b", fw, model, 2, trial_fn);
+        assert_eq!(pooled[0], solo_a);
+        assert_eq!(pooled[1], solo_b);
+    }
+
+    #[test]
+    fn entry_slot_computes_each_key_once_under_contention() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let map: Mutex<HashMap<u32, Arc<OnceLock<u32>>>> = Mutex::new(HashMap::new());
+        let computed = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    let slot = entry_slot(&map, &42);
+                    let v = *slot.get_or_init(|| {
+                        computed.fetch_add(1, Ordering::Relaxed);
+                        // Widen the race window: everyone else should be
+                        // blocked on this slot, not computing their own.
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                        7
+                    });
+                    assert_eq!(v, 7);
+                });
+            }
+        });
+        assert_eq!(computed.load(Ordering::Relaxed), 1, "key computed more than once");
+    }
+
+    #[test]
+    fn pristine_checkpoints_are_memoized_and_clones_are_isolated() {
+        let pre = Prebaked::new(Budget::smoke());
+        let a = pre.checkpoint_shared(FrameworkKind::Chainer, ModelKind::AlexNet, Dtype::F64);
+        let b = pre.checkpoint_shared(FrameworkKind::Chainer, ModelKind::AlexNet, Dtype::F64);
+        assert!(Arc::ptr_eq(&a, &b), "same (fw, model, dtype) must share one minted file");
+        // A corrupted clone never leaks back into the shared pristine copy.
+        let mut clone = pre.checkpoint(FrameworkKind::Chainer, ModelKind::AlexNet, Dtype::F64);
+        let path = clone.dataset_paths()[0].clone();
+        let before = a.dataset(&path).unwrap().bytes().to_vec();
+        clone.dataset_mut(&path).unwrap().set_bits(0, 0xFF).unwrap();
+        assert_eq!(a.dataset(&path).unwrap().bytes(), &before[..]);
+        assert_ne!(clone.dataset(&path).unwrap().bytes(), &before[..]);
     }
 
     #[test]

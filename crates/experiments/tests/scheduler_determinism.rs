@@ -1,0 +1,140 @@
+//! Scheduler determinism at campaign scale: a mini-campaign (two
+//! experiments, heterogeneous trial counts *and* trial durations) must
+//! render byte-identical tables at every worker count, and a campaign
+//! killed between the cells of a phase must resume from its manifests
+//! without re-executing a single completed trial.
+//!
+//! These tests set `RAYON_NUM_THREADS` (process-global), so they live in
+//! their own integration-test binary and serialize on [`ENV_LOCK`].
+
+use sefi_experiments::{Budget, CampaignConfig, CellPlan, Prebaked, TrialOutcome};
+use sefi_frameworks::FrameworkKind;
+use sefi_models::ModelKind;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+/// Run `f` with `RAYON_NUM_THREADS=n`, restoring the environment after.
+fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    std::env::set_var("RAYON_NUM_THREADS", n.to_string());
+    let out = f();
+    std::env::remove_var("RAYON_NUM_THREADS");
+    out
+}
+
+/// The mini-campaign phase: two experiments sharing one pool, five cells
+/// with trial counts 1–4 and per-trial sleeps derived from the seed, so a
+/// multi-worker pool finishes cells far out of submission order.
+fn mini_plans<'p>(executed: &'p AtomicUsize) -> Vec<CellPlan<'p>> {
+    let mut plans = Vec::new();
+    for (experiment, cells, sleep_spread) in [("alpha", 3usize, 7u64), ("beta", 2, 11)] {
+        for i in 0..cells {
+            let fw = FrameworkKind::all()[i % 3];
+            let model = ModelKind::all()[(i + 1) % 3];
+            let trials = 1 + (i + cells) % 4;
+            plans.push(CellPlan::new(
+                experiment,
+                format!("{experiment}-{i}"),
+                fw,
+                model,
+                trials,
+                move |trial, seed| {
+                    executed.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(Duration::from_millis(1 + seed % sleep_spread));
+                    Ok(TrialOutcome::ok()
+                        .with_accuracy((seed % 1000) as f64 / 1000.0)
+                        .with_curve(vec![trial as f64, (seed % 97) as f64]))
+                },
+            ));
+        }
+    }
+    plans
+}
+
+/// Render the phase's outcome table — the byte-identity artifact every
+/// configuration is diffed against.
+fn render(plans: &[CellPlan<'_>], pooled: &[Vec<TrialOutcome>]) -> String {
+    let mut table =
+        sefi_experiments::table::TextTable::new(&["Cell", "Trials", "Mean acc", "Curve sum"]);
+    for (plan, outcomes) in plans.iter().zip(pooled) {
+        let mean = outcomes.iter().filter_map(|o| o.final_accuracy).sum::<f64>()
+            / outcomes.len().max(1) as f64;
+        let curve: f64 = outcomes.iter().flat_map(|o| &o.curve).sum();
+        table.row(vec![
+            plan.cell().to_string(),
+            plan.trials().to_string(),
+            format!("{mean:.6}"),
+            format!("{curve:.1}"),
+        ]);
+    }
+    table.render()
+}
+
+/// Unique scratch directory for campaign tests (parallel-safe).
+fn scratch_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("sefi_sched_{tag}_{}_{n}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+#[test]
+fn tables_are_byte_identical_across_worker_counts() {
+    let pre = Prebaked::new(Budget::smoke());
+    let executed = AtomicUsize::new(0);
+    let plans = mini_plans(&executed);
+    let total: usize = plans.iter().map(|p| p.trials()).sum();
+
+    let reference = with_threads(1, || render(&plans, &pre.run_plan(&plans)));
+    assert_eq!(executed.load(Ordering::Relaxed), total);
+    for threads in [2, 8] {
+        let table = with_threads(threads, || render(&plans, &pre.run_plan(&plans)));
+        assert_eq!(
+            table, reference,
+            "table rendered at {threads} workers diverged from the single-threaded rendering"
+        );
+    }
+    assert_eq!(executed.load(Ordering::Relaxed), 3 * total, "no caching without a campaign");
+}
+
+#[test]
+fn campaign_killed_between_cells_resumes_without_rerunning() {
+    let dir = scratch_dir("kill");
+    let cfg = CampaignConfig::new("mini").results_dir(&dir);
+    let executed = AtomicUsize::new(0);
+    let plans = mini_plans(&executed);
+    let total: usize = plans.iter().map(|p| p.trials()).sum();
+    let first_two: usize = plans[..2].iter().map(|p| p.trials()).sum();
+
+    // The uninterrupted single-threaded rendering is the ground truth.
+    let reference = {
+        let pre = Prebaked::new(Budget::smoke());
+        with_threads(1, || render(&plans, &pre.run_plan(&plans)))
+    };
+    executed.store(0, Ordering::Relaxed);
+
+    // Phase killed after its first two cells: only those trials reach the
+    // manifests, then the runner is dropped mid-phase.
+    let pre1 = Prebaked::with_campaign(Budget::smoke(), cfg.clone()).unwrap();
+    with_threads(2, || pre1.run_plan(&plans[..2]));
+    assert_eq!(executed.load(Ordering::Relaxed), first_two);
+    assert_eq!(pre1.campaign_totals(), Some((first_two as u64, 0)));
+    drop(pre1);
+
+    // A fresh runner over the same manifests, at a different worker
+    // count, serves the completed cells from disk and executes only the
+    // missing ones — and the rendered table still matches byte for byte.
+    let pre2 = Prebaked::with_campaign(Budget::smoke(), cfg).unwrap();
+    let table = with_threads(8, || render(&plans, &pre2.run_plan(&plans)));
+    assert_eq!(executed.load(Ordering::Relaxed), total, "cached trials must not re-execute");
+    assert_eq!(pre2.campaign_totals(), Some(((total - first_two) as u64, first_two as u64)));
+    assert_eq!(table, reference, "resumed table diverged from the uninterrupted rendering");
+    assert!(dir.join("alpha/manifest.jsonl").exists());
+    assert!(dir.join("beta/manifest.jsonl").exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}

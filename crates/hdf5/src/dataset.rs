@@ -7,6 +7,7 @@
 
 use crate::error::{Error, Result};
 use sefi_float::{f16, FpValue, Precision};
+use std::sync::Arc;
 
 /// Element type of a dataset.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -97,12 +98,20 @@ impl Dtype {
 }
 
 /// A typed n-dimensional array. Scalars are rank-0 (empty shape, one entry).
+///
+/// The byte payload is behind an [`Arc`] with copy-on-write semantics:
+/// cloning a dataset (and therefore a whole checkpoint tree) shares the
+/// payload, and the first mutation through any setter copies only the
+/// buffer being written. A fault-injection trial that clones a pristine
+/// checkpoint and corrupts a handful of datasets pays for exactly those
+/// datasets' bytes, not the full model. Equality still compares contents
+/// (`Arc`'s `PartialEq` delegates to the inner `Vec<u8>`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     dtype: Dtype,
     shape: Vec<usize>,
     /// Little-endian packed elements, `len() * dtype.size()` bytes.
-    data: Vec<u8>,
+    data: Arc<Vec<u8>>,
 }
 
 /// Number of entries implied by a shape ("the product of their dimensions").
@@ -124,7 +133,11 @@ pub(crate) fn checked_elem_count(shape: &[usize]) -> Option<usize> {
 impl Dataset {
     /// A dataset of zeros.
     pub fn zeros(shape: &[usize], dtype: Dtype) -> Self {
-        Dataset { dtype, shape: shape.to_vec(), data: vec![0u8; shape_len(shape) * dtype.size()] }
+        Dataset {
+            dtype,
+            shape: shape.to_vec(),
+            data: Arc::new(vec![0u8; shape_len(shape) * dtype.size()]),
+        }
     }
 
     /// Build a float dataset from `f32` values, narrowing/widening to
@@ -195,7 +208,7 @@ impl Dataset {
                 data.len()
             )));
         }
-        Ok(Dataset { dtype, shape, data })
+        Ok(Dataset { dtype, shape, data: Arc::new(data) })
     }
 
     /// Element type.
@@ -223,6 +236,14 @@ impl Dataset {
         &self.data
     }
 
+    /// Copy-on-write access to the payload: unshares the buffer if this
+    /// dataset still shares it with clones. Every setter funnels through
+    /// here, so reads never pay for the copy.
+    fn bytes_mut(&mut self) -> &mut [u8] {
+        let buf: &mut Vec<u8> = Arc::make_mut(&mut self.data);
+        buf
+    }
+
     fn check_index(&self, index: usize) -> Result<()> {
         if index >= self.len() {
             return Err(Error::IndexOutOfBounds { index, len: self.len() });
@@ -245,7 +266,7 @@ impl Dataset {
         self.check_index(index)?;
         let w = self.dtype.size();
         let off = index * w;
-        self.data[off..off + w].copy_from_slice(&bits.to_le_bytes()[..w]);
+        self.bytes_mut()[off..off + w].copy_from_slice(&bits.to_le_bytes()[..w]);
         Ok(())
     }
 
@@ -303,7 +324,7 @@ impl Dataset {
         };
         let w = self.dtype.size();
         let off = index * w;
-        self.data[off..off + w].copy_from_slice(&bits.to_le_bytes()[..w]);
+        self.bytes_mut()[off..off + w].copy_from_slice(&bits.to_le_bytes()[..w]);
     }
 
     /// Read an integer entry.
@@ -329,7 +350,7 @@ impl Dataset {
     fn write_i64_unchecked(&mut self, index: usize, v: i64) {
         let w = self.dtype.size();
         let off = index * w;
-        self.data[off..off + w].copy_from_slice(&(v as u64).to_le_bytes()[..w]);
+        self.bytes_mut()[off..off + w].copy_from_slice(&(v as u64).to_le_bytes()[..w]);
     }
 
     /// All entries widened to `f32` (the frameworks' working precision).
@@ -459,6 +480,24 @@ mod tests {
         assert!(ds.is_empty());
         assert_eq!(ds.len(), 0);
         assert!(ds.get_f64(0).is_err());
+    }
+
+    #[test]
+    fn clones_share_bytes_until_written() {
+        let a = Dataset::from_f32(&[1.0, 2.0, 3.0], &[3], Dtype::F32).unwrap();
+        let mut b = a.clone();
+        // The clone is a pointer copy of the payload…
+        assert_eq!(a.bytes().as_ptr(), b.bytes().as_ptr());
+        // …until the first write, which unshares exactly this buffer.
+        b.set_f64(1, 9.0).unwrap();
+        assert_ne!(a.bytes().as_ptr(), b.bytes().as_ptr());
+        assert_eq!(a.get_f64(1).unwrap(), 2.0);
+        assert_eq!(b.get_f64(1).unwrap(), 9.0);
+        assert_ne!(a, b);
+        // A uniquely-owned dataset mutates in place (no copy per write).
+        let before = b.bytes().as_ptr();
+        b.set_f64(0, 4.0).unwrap();
+        assert_eq!(b.bytes().as_ptr(), before);
     }
 
     #[test]

@@ -5,17 +5,37 @@
 //! `par_chunks_mut` on slices, `current_num_threads`, and the
 //! `map`/`enumerate`/`zip`/`for_each`/`sum`/`collect` combinators. Work is
 //! fanned out over `RAYON_NUM_THREADS` (falling back to
-//! `std::thread::available_parallelism()`) scoped threads with static
-//! chunking; ordering of results matches the sequential iteration order,
-//! exactly as rayon's indexed parallel iterators guarantee.
+//! `std::thread::available_parallelism()`) scoped threads; ordering of
+//! results matches the sequential iteration order, exactly as rayon's
+//! indexed parallel iterators guarantee.
+//!
+//! # Dynamic chunking (work stealing)
+//!
+//! Items are *not* pre-partitioned into one static chunk per worker.
+//! Instead every worker claims the next unclaimed index from a shared
+//! atomic cursor (grain size 1) and writes its result into that index's
+//! dedicated output slot. A worker that finishes a cheap item immediately
+//! claims the next one, so heterogeneous workloads — one item taking 10×
+//! the median is the norm for fault-injection trials, where a collapsed
+//! training returns in a fraction of a clean resume's time — keep every
+//! thread busy until the input is exhausted, instead of stalling the
+//! dispatch on the worker that happened to receive the expensive chunk.
+//! Because each claimed index owns exactly one input and one output slot,
+//! results are assembled in input order no matter which worker computed
+//! them or in what order workers finished: **order preservation is
+//! positional, not temporal**, so callers observe byte-identical output at
+//! any thread count (see `tests/stealing.rs`).
 //!
 //! `map` is eager (it runs the closure in parallel immediately), which is
 //! observationally equivalent for the pipeline shapes used in this repo
 //! (`map` directly followed by a terminal `sum`/`collect`). Nested
 //! parallelism executes sequentially inside a worker instead of spawning
-//! a second tier of threads.
+//! a second tier of threads. If a worker's closure panics, the remaining
+//! items still drain (matching rayon, which does not cancel siblings
+//! mid-flight) and the first panic payload is re-raised on the caller.
 
 use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 thread_local! {
     static IN_WORKER: Cell<bool> = const { Cell::new(false) };
@@ -37,7 +57,26 @@ pub fn current_num_threads() -> usize {
     std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
 }
 
-/// Run `f` over `items` on a scoped thread pool, preserving input order.
+/// Raw slot pointer smuggled into worker threads. Safety rests on the
+/// claim protocol in [`execute`]: the atomic cursor hands each index to
+/// exactly one worker, so no two threads ever touch the same slot.
+struct SlotPtr<V>(*mut Option<V>);
+
+impl<V> Clone for SlotPtr<V> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<V> Copy for SlotPtr<V> {}
+// SAFETY: the pointees are only accessed at indices claimed via the
+// cursor's fetch_add, which yields each index to exactly one worker; the
+// scope guarantees the backing vectors outlive every worker.
+unsafe impl<V: Send> Send for SlotPtr<V> {}
+unsafe impl<V: Send> Sync for SlotPtr<V> {}
+
+/// Run `f` over `items` on a scoped thread pool with dynamic (grain-1)
+/// chunking, preserving input order positionally: result `i` always lands
+/// in output slot `i`, regardless of which worker computed it.
 fn execute<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
@@ -49,36 +88,51 @@ where
     if threads <= 1 || IN_WORKER.with(Cell::get) {
         return items.into_iter().map(f).collect();
     }
-    let chunk = n.div_ceil(threads);
-    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
-    let mut it = items.into_iter();
-    loop {
-        let c: Vec<T> = it.by_ref().take(chunk).collect();
-        if c.is_empty() {
-            break;
-        }
-        chunks.push(c);
-    }
+    let mut input: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    let mut output: Vec<Option<R>> = Vec::with_capacity(n);
+    output.resize_with(n, || None);
+    let cursor = &AtomicUsize::new(0);
+    let in_ptr = SlotPtr(input.as_mut_ptr());
+    let out_ptr = SlotPtr(output.as_mut_ptr());
     let f = &f;
     std::thread::scope(|s| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|c| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
                 s.spawn(move || {
+                    // Rebind the wrappers whole: edition-2021 disjoint
+                    // capture would otherwise capture only the raw-pointer
+                    // fields, which are not Send on their own.
+                    let (in_ptr, out_ptr) = (in_ptr, out_ptr);
                     IN_WORKER.with(|w| w.set(true));
-                    c.into_iter().map(f).collect::<Vec<R>>()
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        // SAFETY: this worker is the unique claimant of
+                        // index i (fetch_add returns each value once), so
+                        // it has exclusive access to both slots.
+                        let item = unsafe { (*in_ptr.0.add(i)).take() }
+                            .expect("claimed input slot is populated");
+                        let result = f(item);
+                        unsafe { *out_ptr.0.add(i) = Some(result) };
+                    }
                 })
             })
             .collect();
-        let mut out = Vec::with_capacity(n);
+        // Join everything before re-raising so no worker outlives the
+        // borrow of input/output, even when one panicked early.
+        let mut first_panic = None;
         for h in handles {
-            match h.join() {
-                Ok(part) => out.extend(part),
-                Err(payload) => std::panic::resume_unwind(payload),
+            if let Err(payload) = h.join() {
+                first_panic.get_or_insert(payload);
             }
         }
-        out
-    })
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
+    });
+    output.into_iter().map(|slot| slot.expect("every index was claimed and computed")).collect()
 }
 
 /// An eager "parallel iterator": a materialized, ordered batch of items.

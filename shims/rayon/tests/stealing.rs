@@ -1,0 +1,97 @@
+//! Order preservation under work stealing.
+//!
+//! The shim claims items dynamically (grain 1) from a shared cursor, so
+//! which worker computes which item — and in what order workers finish —
+//! depends on timing. These tests force workers to finish out of input
+//! order (early items sleep, late items return instantly) and assert the
+//! assembled results still match sequential order exactly.
+//!
+//! This file is an integration test so it owns its process: it sets
+//! `RAYON_NUM_THREADS` (the shim reads it per dispatch) without racing the
+//! in-crate unit tests, and a forced thread count is required at all —
+//! on a single-core host the dispatcher would otherwise take the
+//! sequential path and never steal.
+
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    std::env::set_var("RAYON_NUM_THREADS", n.to_string());
+    let r = f();
+    std::env::remove_var("RAYON_NUM_THREADS");
+    r
+}
+
+#[test]
+fn results_stay_in_input_order_when_workers_finish_out_of_order() {
+    // Item 0 is by far the slowest: with static chunking the first worker
+    // would hold a whole prefix hostage; with stealing, workers race past
+    // it and finish items in a scrambled temporal order. The output must
+    // be positionally ordered regardless.
+    let completion: Vec<usize> = Vec::new();
+    let completion = std::sync::Mutex::new(completion);
+    let out: Vec<usize> = with_threads(4, || {
+        (0..32usize)
+            .into_par_iter()
+            .map(|i| {
+                if i < 4 {
+                    std::thread::sleep(Duration::from_millis(30 - 5 * i as u64));
+                }
+                completion.lock().unwrap().push(i);
+                i * 10
+            })
+            .collect()
+    });
+    assert_eq!(out, (0..32).map(|i| i * 10).collect::<Vec<_>>());
+    let completed = completion.into_inner().unwrap();
+    assert_eq!(completed.len(), 32);
+    // Sanity that stealing actually happened: at 4 threads with item 0
+    // sleeping 30ms, some later item must have completed before it.
+    assert_ne!(completed, (0..32).collect::<Vec<_>>(), "no out-of-order completion observed");
+}
+
+#[test]
+fn every_item_is_claimed_exactly_once() {
+    let claims = AtomicUsize::new(0);
+    let out: Vec<usize> = with_threads(8, || {
+        (0..1000usize)
+            .into_par_iter()
+            .map(|i| {
+                claims.fetch_add(1, Ordering::Relaxed);
+                i + 1
+            })
+            .collect()
+    });
+    assert_eq!(claims.load(Ordering::Relaxed), 1000);
+    assert_eq!(out, (1..=1000).collect::<Vec<_>>());
+}
+
+#[test]
+fn output_is_identical_across_thread_counts() {
+    let run = || -> Vec<u64> {
+        (0..257u64).into_par_iter().map(|i| i.wrapping_mul(0x9E37_79B9).rotate_left(7)).collect()
+    };
+    let reference = with_threads(1, run);
+    for threads in [2, 3, 8] {
+        assert_eq!(with_threads(threads, run), reference, "threads={threads}");
+    }
+}
+
+#[test]
+fn panicking_item_propagates_after_drain() {
+    let result = with_threads(4, || {
+        std::panic::catch_unwind(|| {
+            (0..64usize)
+                .into_par_iter()
+                .map(|i| {
+                    if i == 5 {
+                        panic!("boom");
+                    }
+                    i
+                })
+                .collect::<Vec<_>>()
+        })
+    });
+    assert!(result.is_err());
+}
