@@ -80,6 +80,67 @@ grep -Eq 'storage +0 +144 +0' "$storage_dir/run2.log"
 cmp <(grep -A5 'Region' "$storage_dir/run1.log") <(grep -A5 'Region' "$storage_dir/run2.log")
 rm -rf "$storage_dir"
 
+echo "== forensics CLI smoke =="
+# The sefi-ckpt loop end to end: mint a fixture, protect it, flip one bit,
+# assert scan flags the damage (exit 1), salvage repairs it via ECC, the
+# repaired file scans clean (exit 0) and is bit-identical to the pristine
+# checkpoint.
+fx_dir="$(mktemp -d)"
+cargo build -q --release -p sefi-experiments --bin sefi-ckpt
+ckpt_bin=target/release/sefi-ckpt
+"$ckpt_bin" mint "$fx_dir/ckpt.sefi5" --epoch 7 > /dev/null
+"$ckpt_bin" protect "$fx_dir/ckpt.sefi5" > /dev/null
+"$ckpt_bin" scan "$fx_dir/ckpt.sefi5" > /dev/null
+cp "$fx_dir/ckpt.sefi5" "$fx_dir/pristine.sefi5"
+fx_size=$(stat -c %s "$fx_dir/ckpt.sefi5")
+fx_last=$(tail -c1 "$fx_dir/ckpt.sefi5" | od -An -tu1 | tr -d ' ')
+printf "\\$(printf '%03o' $(( fx_last ^ 1 )))" \
+  | dd of="$fx_dir/ckpt.sefi5" bs=1 seek=$((fx_size - 1)) conv=notrunc 2> /dev/null
+fx_code=0; "$ckpt_bin" scan "$fx_dir/ckpt.sefi5" > "$fx_dir/scan.log" || fx_code=$?
+test "$fx_code" -eq 1
+grep -q 'DAMAGED' "$fx_dir/scan.log"
+"$ckpt_bin" locate "$fx_dir/ckpt.sefi5" $((fx_size - 1)) | grep -q 'dataset'
+fx_code=0
+"$ckpt_bin" salvage "$fx_dir/ckpt.sefi5" --out "$fx_dir/repaired.sefi5" \
+  > "$fx_dir/salvage.log" || fx_code=$?
+test "$fx_code" -eq 1
+grep -q 'ecc-corrected' "$fx_dir/salvage.log"
+"$ckpt_bin" scan "$fx_dir/repaired.sefi5" > /dev/null
+"$ckpt_bin" diff "$fx_dir/repaired.sefi5" "$fx_dir/pristine.sefi5" | grep -q 'identical'
+RAYON_NUM_THREADS=4 "$ckpt_bin" scan --fleet "$fx_dir" > "$fx_dir/fleet.log" || true
+grep -q 'repaired.sefi5: clean' "$fx_dir/fleet.log"
+rm -rf "$fx_dir"
+
+echo "== forensics bench smoke =="
+# Quick pass of the forensics benchmark: its built-in checks (salvage
+# restores pristine bytes; fleet verdicts identical at 1/2/4/8 workers)
+# fail the run on violation.
+forens_bench="$(mktemp -d)"
+cargo run -q --release -p sefi-bench --bin bench_forensics -- \
+  --smoke --out "$forens_bench/bench.json" > /dev/null
+rm -rf "$forens_bench"
+
+echo "== smoke campaign: forensics sweep =="
+# The four-class sweep must show the headline results — the correcting
+# loader repairs every single-bit payload flip, all four outcome classes
+# (masked / detected / corrected / silent) appear — with byte-identical
+# tables across worker counts, and a re-invocation must serve every trial
+# from the manifest while rebuilding the identical table.
+forens_dir="$(mktemp -d)"
+RAYON_NUM_THREADS=2 cargo run -q --release -p sefi-experiments --bin exp_forensics -- \
+  --budget smoke --results-dir "$forens_dir" > "$forens_dir/run1.log"
+grep -q 'ecc loader corrects every payload flip: true' "$forens_dir/run1.log"
+grep -q 'all outcome classes observed: true' "$forens_dir/run1.log"
+forens_b="$(mktemp -d)"
+RAYON_NUM_THREADS=8 cargo run -q --release -p sefi-experiments --bin exp_forensics -- \
+  --budget smoke --results-dir "$forens_b" > /dev/null
+cmp "$forens_dir/forensics.csv" "$forens_b/forensics.csv"
+RAYON_NUM_THREADS=8 cargo run -q --release -p sefi-experiments --bin exp_forensics -- \
+  --budget smoke --results-dir "$forens_dir" > "$forens_dir/run2.log"
+grep -Eq 'forensics +0 +192 +0' "$forens_dir/run2.log"
+cmp <(grep -A6 'Cell' "$forens_dir/run1.log") <(grep -A6 'Cell' "$forens_dir/run2.log")
+rm -rf "$forens_dir" "$forens_b"
+
 echo "== smoke campaign: fault isolation =="
 # A deliberately failing trial (injected via the test-only SEFI_FAIL_TRIAL
 # hook) must not kill the campaign: every other trial completes, the failure

@@ -14,7 +14,8 @@
 use crate::config::RawConfig;
 use crate::error::CorruptError;
 use crate::report::{FileRegion, RawFlipRecord, RawReport, RawTarget};
-use sefi_hdf5::{FileIndex, SUPERBLOCK_LEN};
+use sefi_hdf5::sidecar::ParityLocation;
+use sefi_hdf5::{EccSidecar, FileIndex, SUPERBLOCK_LEN};
 use sefi_rng::DetRng;
 
 /// Flips bits directly in v2 file bytes, deterministically per seed.
@@ -44,6 +45,11 @@ impl RawCorrupter {
             Some(FileRegion::Superblock) => (0, SUPERBLOCK_LEN),
             Some(FileRegion::Index) => (SUPERBLOCK_LEN, index.payload_start()),
             Some(FileRegion::Payload) => (index.payload_start(), bytes.len()),
+            Some(FileRegion::Parity) => {
+                return Err(CorruptError::InvalidConfig(
+                    "the parity region needs a sidecar — use corrupt_with_sidecar".to_string(),
+                ))
+            }
         };
         if start >= end {
             return Err(CorruptError::NothingToCorrupt);
@@ -56,6 +62,65 @@ impl RawCorrupter {
             bytes[offset] ^= 1 << bit_in_byte;
             let (region, target) = attribute(&index, offset, bit_in_byte);
             report.flips.push(RawFlipRecord { order, offset, bit_in_byte, region, target });
+        }
+        Ok(report)
+    }
+
+    /// Flip bits across a checkpoint *and its ECC parity sidecar*, modeling
+    /// a fault domain (disk, DMA buffer) that holds both files.
+    ///
+    /// Region semantics extend [`RawCorrupter::corrupt_bytes`]:
+    /// `None` draws offsets over the concatenated
+    /// `checkpoint ++ sidecar` span, [`FileRegion::Parity`] confines flips
+    /// to the sidecar, and the checkpoint-only regions behave as before.
+    /// Sidecar hits are recorded with the offset *within the sidecar
+    /// file*, region [`FileRegion::Parity`], and — for parity bytes proper
+    /// — a [`RawTarget`] naming the protected dataset and code-word index;
+    /// structural sidecar bytes (header, word counts) attribute to `None`
+    /// like superblock hits do.
+    pub fn corrupt_with_sidecar(
+        &self,
+        bytes: &mut [u8],
+        sidecar_bytes: &mut [u8],
+    ) -> Result<RawReport, CorruptError> {
+        let index = FileIndex::parse(bytes)?;
+        let sidecar = EccSidecar::from_bytes(sidecar_bytes)?;
+        let ckpt_len = bytes.len();
+        let (start, end) = match self.config.region {
+            None => (0, ckpt_len + sidecar_bytes.len()),
+            Some(FileRegion::Superblock) => (0, SUPERBLOCK_LEN),
+            Some(FileRegion::Index) => (SUPERBLOCK_LEN, index.payload_start()),
+            Some(FileRegion::Payload) => (index.payload_start(), ckpt_len),
+            Some(FileRegion::Parity) => (ckpt_len, ckpt_len + sidecar_bytes.len()),
+        };
+        if start >= end {
+            return Err(CorruptError::NothingToCorrupt);
+        }
+        let mut rng = DetRng::new(self.config.seed).substream("raw");
+        let mut report = RawReport::default();
+        for order in 0..self.config.flips {
+            let span_offset = start + rng.below((end - start) as u64) as usize;
+            let bit_in_byte = rng.below(8) as u8;
+            let record = if span_offset < ckpt_len {
+                bytes[span_offset] ^= 1 << bit_in_byte;
+                let (region, target) = attribute(&index, span_offset, bit_in_byte);
+                RawFlipRecord { order, offset: span_offset, bit_in_byte, region, target }
+            } else {
+                let offset = span_offset - ckpt_len;
+                sidecar_bytes[offset] ^= 1 << bit_in_byte;
+                let target = match sidecar.locate(offset) {
+                    Some(ParityLocation::Word { section, word }) => {
+                        index.entries().get(section).map(|e| RawTarget {
+                            dataset: e.path.clone(),
+                            entry_index: word,
+                            bit: bit_in_byte as u32,
+                        })
+                    }
+                    _ => None,
+                };
+                RawFlipRecord { order, offset, bit_in_byte, region: FileRegion::Parity, target }
+            };
+            report.flips.push(record);
         }
         Ok(report)
     }
@@ -165,6 +230,68 @@ mod tests {
             ds.set_bits(t.entry_index, bits ^ (1u64 << t.bit)).unwrap();
         }
         assert_eq!(replay, H5File::from_bytes_unverified(&bytes).unwrap());
+    }
+
+    #[test]
+    fn parity_region_flips_land_only_in_the_sidecar() {
+        let (_, pristine) = sample_v2();
+        let pristine_sc = EccSidecar::protect(&pristine).unwrap().to_bytes();
+        let c =
+            RawCorrupter::new(RawConfig { flips: 48, region: Some(FileRegion::Parity), seed: 11 })
+                .unwrap();
+        let mut bytes = pristine.clone();
+        let mut sc = pristine_sc.clone();
+        let report = c.corrupt_with_sidecar(&mut bytes, &mut sc).unwrap();
+        assert_eq!(bytes, pristine, "the checkpoint itself is untouched");
+        assert_ne!(sc, pristine_sc);
+        assert_eq!(report.region_count(FileRegion::Parity), 48);
+        // Parity-byte hits attribute to (dataset, code word); structural
+        // sidecar bytes to None.
+        let sidecar = EccSidecar::from_bytes(&pristine_sc).unwrap();
+        for f in &report.flips {
+            match sidecar.locate(f.offset).unwrap() {
+                ParityLocation::Word { section, word } => {
+                    let t = f.target.as_ref().expect("parity byte attributes");
+                    let index = FileIndex::parse(&pristine).unwrap();
+                    assert_eq!(t.dataset, index.entries()[section].path);
+                    assert_eq!(t.entry_index, word);
+                }
+                ParityLocation::Header => assert!(f.target.is_none()),
+            }
+        }
+    }
+
+    #[test]
+    fn whole_domain_flips_cover_both_files_deterministically() {
+        let (_, pristine) = sample_v2();
+        let pristine_sc = EccSidecar::protect(&pristine).unwrap().to_bytes();
+        let c = RawCorrupter::new(RawConfig { flips: 64, region: None, seed: 5 }).unwrap();
+        let (mut a, mut a_sc) = (pristine.clone(), pristine_sc.clone());
+        let (mut b, mut b_sc) = (pristine.clone(), pristine_sc.clone());
+        let ra = c.corrupt_with_sidecar(&mut a, &mut a_sc).unwrap();
+        let rb = c.corrupt_with_sidecar(&mut b, &mut b_sc).unwrap();
+        assert_eq!((&a, &a_sc, &ra), (&b, &b_sc, &rb));
+        assert!(ra.region_count(FileRegion::Parity) > 0, "some flips reach the sidecar");
+        assert!(
+            ra.flips.len() > ra.region_count(FileRegion::Parity),
+            "some flips stay in the checkpoint"
+        );
+        // Checkpoint-region flips keep the exact corrupt_bytes attribution.
+        for f in &ra.flips {
+            if f.region != FileRegion::Parity {
+                assert!(f.offset < pristine.len());
+            } else {
+                assert!(f.offset < pristine_sc.len());
+            }
+        }
+    }
+
+    #[test]
+    fn parity_region_without_sidecar_is_invalid() {
+        let (_, pristine) = sample_v2();
+        let mut bytes = pristine.clone();
+        let c = RawCorrupter::new(RawConfig::single_flip(Some(FileRegion::Parity), 0)).unwrap();
+        assert!(matches!(c.corrupt_bytes(&mut bytes), Err(CorruptError::InvalidConfig(_))));
     }
 
     #[test]

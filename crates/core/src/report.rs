@@ -97,6 +97,9 @@ pub enum FileRegion {
     Index,
     /// Raw dataset bytes.
     Payload,
+    /// The ECC parity sidecar file accompanying the checkpoint (only
+    /// reachable through [`crate::RawCorrupter::corrupt_with_sidecar`]).
+    Parity,
 }
 
 impl FileRegion {
@@ -106,11 +109,15 @@ impl FileRegion {
             FileRegion::Superblock => "superblock",
             FileRegion::Index => "index",
             FileRegion::Payload => "payload",
+            FileRegion::Parity => "parity",
         }
     }
 }
 
 /// The (dataset, entry, bit) a payload flip resolves to through the index.
+/// For [`FileRegion::Parity`] hits the mapping goes through the sidecar
+/// instead: `dataset` is the protected section's path, `entry_index` the
+/// 64-bit *code-word* index, and `bit` the flipped bit of the parity byte.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RawTarget {
     /// Dataset path whose section contains the flipped byte.

@@ -16,8 +16,11 @@
 
 #![deny(missing_docs)]
 
-mod hamming;
 mod shield;
 
-pub use hamming::{decode, encode, DecodeResult};
+// The Hamming(72,64) primitive lives in `sefi_hdf5::hamming` so the v2
+// container can consult parity sidecars during loads without a dependency
+// cycle (this crate depends on sefi-hdf5). Re-exported here so existing
+// callers keep their import paths.
+pub use sefi_hdf5::hamming::{decode, encode, DecodeResult};
 pub use shield::{EccReport, EccShield, WordEvent};

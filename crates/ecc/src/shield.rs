@@ -1,6 +1,6 @@
 //! Whole-checkpoint protection: per-dataset parity sidecars.
 
-use crate::hamming::{decode, encode, DecodeResult};
+use sefi_hdf5::hamming::{decode, encode, DecodeResult};
 use sefi_hdf5::{Dataset, Dtype, H5File};
 use std::collections::BTreeMap;
 

@@ -1,0 +1,600 @@
+//! `sefi-ckpt` — checkpoint forensics & repair for the sectioned (v2)
+//! format.
+//!
+//! ```text
+//! sefi-ckpt scan <ckpt> [--sidecar <path>] [--json]
+//! sefi-ckpt scan --fleet <dir> [--json]
+//! sefi-ckpt locate <ckpt> <offset> [--json]
+//! sefi-ckpt salvage <ckpt> --out <path> [--sidecar <path>] [--epoch <n>] [--json]
+//! sefi-ckpt diff <a> <b> [--json]
+//! sefi-ckpt protect <ckpt> [--out <path>] [--json]
+//! sefi-ckpt mint <path> [--epoch <n>]
+//! ```
+//!
+//! Exit codes: `0` clean / identical, `1` damage found (or repaired),
+//! `2` unreadable input or usage error. Every subcommand looks for a
+//! `<ckpt>.ecc` sidecar next to the checkpoint unless `--sidecar` names
+//! one explicitly; a sidecar that does not bind is reported, not fatal.
+
+use rayon::prelude::*;
+use sefi_hdf5::forensics::{
+    diff, locate_byte, salvage, scan_bytes, ByteLocation, DiffState, ScanReport, ScanStructure,
+    SectionState,
+};
+use sefi_hdf5::{EccSidecar, FileIndex, H5File};
+use std::path::{Path, PathBuf};
+use std::process::exit;
+
+const USAGE: &str = "sefi-ckpt — checkpoint forensics & repair (sectioned v2 format)
+
+USAGE:
+  sefi-ckpt scan <ckpt> [--sidecar <path>] [--json]
+  sefi-ckpt scan --fleet <dir> [--json]
+  sefi-ckpt locate <ckpt> <offset> [--json]
+  sefi-ckpt salvage <ckpt> --out <path> [--sidecar <path>] [--epoch <n>] [--json]
+  sefi-ckpt diff <a> <b> [--json]
+  sefi-ckpt protect <ckpt> [--out <path>] [--json]
+  sefi-ckpt mint <path> [--epoch <n>]
+
+EXIT CODES: 0 clean/identical, 1 damage found, 2 unreadable input / usage";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("sefi-ckpt: {msg}");
+    exit(2);
+}
+
+fn usage() -> ! {
+    eprintln!("{USAGE}");
+    exit(2);
+}
+
+/// Minimal JSON string escaping for hand-rolled output.
+fn jstr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Shared flag parser: strips known flags out of `args`, returns the
+/// remaining positionals.
+struct Flags {
+    json: bool,
+    fleet: Option<PathBuf>,
+    sidecar: Option<PathBuf>,
+    out: Option<PathBuf>,
+    epoch: i64,
+}
+
+fn parse_flags(args: &[String]) -> (Flags, Vec<String>) {
+    let mut flags = Flags { json: false, fleet: None, sidecar: None, out: None, epoch: 0 };
+    let mut positionals = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let take_value = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .unwrap_or_else(|| fail(&format!("{} needs a value", args[*i - 1])))
+        };
+        match args[i].as_str() {
+            "--json" => flags.json = true,
+            "--fleet" => flags.fleet = Some(PathBuf::from(take_value(&mut i))),
+            "--sidecar" => flags.sidecar = Some(PathBuf::from(take_value(&mut i))),
+            "--out" | "-o" => flags.out = Some(PathBuf::from(take_value(&mut i))),
+            "--epoch" => {
+                flags.epoch =
+                    take_value(&mut i).parse().unwrap_or_else(|_| fail("--epoch needs an integer"))
+            }
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => fail(&format!("unknown flag {other}")),
+            other => positionals.push(other.to_string()),
+        }
+        i += 1;
+    }
+    (flags, positionals)
+}
+
+fn read_file(path: &Path) -> Vec<u8> {
+    std::fs::read(path).unwrap_or_else(|e| fail(&format!("{}: {e}", path.display())))
+}
+
+/// Resolve the sidecar for a checkpoint: an explicit `--sidecar` must
+/// load; the conventional `<ckpt>.ecc` is best-effort. Returns the
+/// sidecar (if any) plus a note when a present sidecar was unusable.
+fn resolve_sidecar(
+    ckpt: &Path,
+    explicit: Option<&PathBuf>,
+) -> (Option<EccSidecar>, Option<String>) {
+    match explicit {
+        Some(p) => match EccSidecar::load(p) {
+            Ok(sc) => (Some(sc), None),
+            Err(e) => fail(&format!("sidecar {}: {e}", p.display())),
+        },
+        None => {
+            let conventional = EccSidecar::sidecar_path(ckpt);
+            if !conventional.exists() {
+                return (None, None);
+            }
+            match EccSidecar::load(&conventional) {
+                Ok(sc) => (Some(sc), None),
+                Err(e) => (None, Some(format!("{}: {e}", conventional.display()))),
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------------- scan
+
+fn section_state_label(state: &SectionState) -> String {
+    match state {
+        SectionState::Intact => "intact".to_string(),
+        SectionState::CrcMismatch => "crc-mismatch".to_string(),
+        SectionState::Truncated { available } => format!("truncated({available})"),
+    }
+}
+
+fn scan_exit_code(report: &ScanReport) -> i32 {
+    match &report.structure {
+        ScanStructure::Unreadable { .. } => 2,
+        _ if report.is_clean() => 0,
+        _ => 1,
+    }
+}
+
+fn scan_summary(path: &Path, report: &ScanReport) -> String {
+    match &report.structure {
+        ScanStructure::Unreadable { error } => {
+            format!("{}: UNREADABLE ({error})", path.display())
+        }
+        ScanStructure::Readable { expected_len, actual_len } => {
+            if report.is_clean() {
+                format!(
+                    "{}: clean ({} sections, {expected_len} bytes)",
+                    path.display(),
+                    report.sections.len()
+                )
+            } else {
+                let missing = expected_len.saturating_sub(*actual_len);
+                let trailing = actual_len.saturating_sub(*expected_len);
+                let mut notes = vec![format!(
+                    "{}/{} sections damaged",
+                    report.damaged_sections(),
+                    report.sections.len()
+                )];
+                if missing > 0 {
+                    notes.push(format!("{missing} bytes missing"));
+                }
+                if trailing > 0 {
+                    notes.push(format!("{trailing} trailing bytes"));
+                }
+                if let Some(e) = &report.sidecar_error {
+                    notes.push(format!("sidecar ignored: {e}"));
+                }
+                let ecc_events: usize = report
+                    .sections
+                    .iter()
+                    .filter_map(|s| s.ecc)
+                    .map(|e| e.corrected_words + e.uncorrectable_words + e.parity_faults)
+                    .sum();
+                if ecc_events > 0 {
+                    notes.push(format!("{ecc_events} ecc word events"));
+                }
+                format!("{}: DAMAGED ({})", path.display(), notes.join(", "))
+            }
+        }
+    }
+}
+
+fn scan_json(path: &Path, report: &ScanReport) -> String {
+    let mut out = String::from("{");
+    out.push_str(&format!("\"file\":{},", jstr(&path.display().to_string())));
+    match &report.structure {
+        ScanStructure::Unreadable { error } => {
+            out.push_str(&format!("\"structure\":\"unreadable\",\"error\":{}", jstr(error)));
+        }
+        ScanStructure::Readable { expected_len, actual_len } => {
+            out.push_str(&format!(
+                "\"structure\":\"readable\",\"expected_len\":{expected_len},\"actual_len\":{actual_len},\"clean\":{},",
+                report.is_clean()
+            ));
+            if let Some(e) = &report.sidecar_error {
+                out.push_str(&format!("\"sidecar_error\":{},", jstr(e)));
+            }
+            out.push_str("\"sections\":[");
+            for (i, s) in report.sections.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"path\":{},\"offset\":{},\"byte_len\":{},\"state\":{}",
+                    jstr(&s.path),
+                    s.offset,
+                    s.byte_len,
+                    jstr(&section_state_label(&s.state))
+                ));
+                if let Some(e) = s.ecc {
+                    out.push_str(&format!(
+                        ",\"ecc\":{{\"corrected_words\":{},\"uncorrectable_words\":{},\"parity_faults\":{}}}",
+                        e.corrected_words, e.uncorrectable_words, e.parity_faults
+                    ));
+                }
+                out.push('}');
+            }
+            out.push(']');
+        }
+    }
+    out.push('}');
+    out
+}
+
+fn cmd_scan_one(path: &Path, flags: &Flags) -> i32 {
+    let bytes = read_file(path);
+    let (sidecar, mut sidecar_note) = resolve_sidecar(path, flags.sidecar.as_ref());
+    let mut report = scan_bytes(&bytes, sidecar.as_ref());
+    if report.sidecar_error.is_none() {
+        report.sidecar_error = sidecar_note.take();
+    }
+    if flags.json {
+        println!("{}", scan_json(path, &report));
+    } else {
+        println!("{}", scan_summary(path, &report));
+        if let ScanStructure::Readable { .. } = report.structure {
+            for s in &report.sections {
+                let ecc = match s.ecc {
+                    Some(e) if e.corrected_words + e.uncorrectable_words + e.parity_faults > 0 => {
+                        format!(
+                            "  [ecc: {} corrected, {} uncorrectable, {} parity faults]",
+                            e.corrected_words, e.uncorrectable_words, e.parity_faults
+                        )
+                    }
+                    _ => String::new(),
+                };
+                println!(
+                    "  {:<40} @{:<10} {:>10} B  {}{}",
+                    s.path,
+                    s.offset,
+                    s.byte_len,
+                    section_state_label(&s.state),
+                    ecc
+                );
+            }
+        }
+    }
+    scan_exit_code(&report)
+}
+
+/// Fleet mode: scan every non-sidecar file under `dir` (recursively)
+/// through the rayon work-stealing pool; output is path-sorted and
+/// therefore deterministic for any worker count.
+fn cmd_scan_fleet(dir: &Path, flags: &Flags) -> i32 {
+    let mut files = Vec::new();
+    collect_files(dir, &mut files);
+    files.retain(|p| p.extension().map(|e| e != "ecc").unwrap_or(true));
+    files.sort();
+    if files.is_empty() {
+        fail(&format!("{}: no checkpoint files found", dir.display()));
+    }
+    let results: Vec<(PathBuf, ScanReport)> = files
+        .into_par_iter()
+        .map(|path| {
+            let bytes = match std::fs::read(&path) {
+                Ok(b) => b,
+                Err(e) => {
+                    return (
+                        path,
+                        ScanReport {
+                            structure: ScanStructure::Unreadable { error: e.to_string() },
+                            sections: Vec::new(),
+                            sidecar_error: None,
+                        },
+                    )
+                }
+            };
+            let conventional = EccSidecar::sidecar_path(&path);
+            let sidecar =
+                if conventional.exists() { EccSidecar::load(&conventional).ok() } else { None };
+            let report = scan_bytes(&bytes, sidecar.as_ref());
+            (path, report)
+        })
+        .collect();
+    let mut code = 0;
+    if flags.json {
+        let body: Vec<String> = results.iter().map(|(p, r)| scan_json(p, r)).collect();
+        println!("[{}]", body.join(","));
+    }
+    for (path, report) in &results {
+        if !flags.json {
+            println!("{}", scan_summary(path, report));
+        }
+        code = code.max(scan_exit_code(report));
+    }
+    code
+}
+
+fn collect_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let entries =
+        std::fs::read_dir(dir).unwrap_or_else(|e| fail(&format!("{}: {e}", dir.display())));
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_files(&path, out);
+        } else {
+            out.push(path);
+        }
+    }
+}
+
+// ------------------------------------------------------------------- locate
+
+fn cmd_locate(path: &Path, offset: usize, json: bool) -> i32 {
+    let bytes = read_file(path);
+    let index = FileIndex::parse_lenient(&bytes)
+        .unwrap_or_else(|e| fail(&format!("{}: {e}", path.display())));
+    let loc = locate_byte(&index, offset);
+    if json {
+        let body = match &loc {
+            ByteLocation::Superblock => "\"region\":\"superblock\"".to_string(),
+            ByteLocation::Index => "\"region\":\"index\"".to_string(),
+            ByteLocation::PastEnd => "\"region\":\"past-end\"".to_string(),
+            ByteLocation::Dataset { path, element, byte_in_element } => format!(
+                "\"region\":\"payload\",\"dataset\":{},\"element\":{element},\"byte_in_element\":{byte_in_element},\"bits\":[{},{}]",
+                jstr(path),
+                8 * byte_in_element,
+                8 * byte_in_element + 7
+            ),
+        };
+        println!("{{\"offset\":{offset},{body}}}");
+    } else {
+        match &loc {
+            ByteLocation::Superblock => println!("byte {offset}: superblock (fixed header)"),
+            ByteLocation::Index => println!("byte {offset}: index (paths, shapes, CRCs)"),
+            ByteLocation::PastEnd => println!("byte {offset}: past the indexed end of file"),
+            ByteLocation::Dataset { path, element, byte_in_element } => println!(
+                "byte {offset}: dataset {path}, element {element}, byte {byte_in_element} (value bits {}..={})",
+                8 * byte_in_element,
+                8 * byte_in_element + 7
+            ),
+        }
+    }
+    0
+}
+
+// ------------------------------------------------------------------ salvage
+
+fn cmd_salvage(path: &Path, flags: &Flags) -> i32 {
+    let out_path = flags.out.clone().unwrap_or_else(|| fail("salvage needs --out <path>"));
+    let bytes = read_file(path);
+    let (sidecar, _) = resolve_sidecar(path, flags.sidecar.as_ref());
+    let (file, report) = salvage(&bytes, sidecar.as_ref(), flags.epoch)
+        .unwrap_or_else(|e| fail(&format!("{}: unsalvageable: {e}", path.display())));
+    file.save_v2(&out_path).unwrap_or_else(|e| fail(&format!("{}: {e}", out_path.display())));
+    if flags.json {
+        let list = |v: &[String]| v.iter().map(|s| jstr(s)).collect::<Vec<_>>().join(",");
+        println!(
+            "{{\"file\":{},\"out\":{},\"clean\":{},\"intact\":[{}],\"corrected\":[{}],\"zero_filled\":[{}],\"epoch_defaults\":[{}],\"missing_bytes\":{}}}",
+            jstr(&path.display().to_string()),
+            jstr(&out_path.display().to_string()),
+            report.is_clean(),
+            list(&report.intact),
+            list(&report.corrected),
+            list(&report.zero_filled),
+            list(&report.epoch_defaults),
+            report.missing_bytes
+        );
+    } else {
+        println!(
+            "salvaged {} -> {}: {} intact, {} ecc-corrected, {} zero-filled ({} epoch defaults), {} bytes padded",
+            path.display(),
+            out_path.display(),
+            report.intact.len(),
+            report.corrected.len(),
+            report.zero_filled.len(),
+            report.epoch_defaults.len(),
+            report.missing_bytes
+        );
+        for p in &report.corrected {
+            println!("  corrected   {p}");
+        }
+        for p in &report.zero_filled {
+            println!("  zero-filled {p}");
+        }
+    }
+    if report.is_clean() {
+        0
+    } else {
+        1
+    }
+}
+
+// --------------------------------------------------------------------- diff
+
+fn cmd_diff(a_path: &Path, b_path: &Path, json: bool) -> i32 {
+    let load = |p: &Path| {
+        H5File::from_bytes(&read_file(p)).unwrap_or_else(|e| fail(&format!("{}: {e}", p.display())))
+    };
+    let report = diff(&load(a_path), &load(b_path));
+    if json {
+        let body: Vec<String> = report
+            .changed
+            .iter()
+            .map(|e| {
+                let state = match &e.state {
+                    DiffState::OnlyInA => "\"state\":\"only-in-a\"".to_string(),
+                    DiffState::OnlyInB => "\"state\":\"only-in-b\"".to_string(),
+                    DiffState::LayoutChanged => "\"state\":\"layout-changed\"".to_string(),
+                    DiffState::Changed { bytes, elements } => {
+                        format!("\"state\":\"changed\",\"bytes\":{bytes},\"elements\":{elements}")
+                    }
+                };
+                format!("{{\"path\":{},{state}}}", jstr(&e.path))
+            })
+            .collect();
+        println!(
+            "{{\"identical\":{},\"changed\":[{}],\"total_byte_delta\":{}}}",
+            report.identical,
+            body.join(","),
+            report.total_byte_delta()
+        );
+    } else if report.is_identical() {
+        println!("identical ({} datasets)", report.identical);
+    } else {
+        println!(
+            "{} datasets differ ({} identical, {} bytes total):",
+            report.changed.len(),
+            report.identical,
+            report.total_byte_delta()
+        );
+        for e in &report.changed {
+            let state = match &e.state {
+                DiffState::OnlyInA => format!("only in {}", a_path.display()),
+                DiffState::OnlyInB => format!("only in {}", b_path.display()),
+                DiffState::LayoutChanged => "layout changed".to_string(),
+                DiffState::Changed { bytes, elements } => {
+                    format!("{bytes} bytes across {elements} elements")
+                }
+            };
+            println!("  {:<40} {state}", e.path);
+        }
+    }
+    if report.is_identical() {
+        0
+    } else {
+        1
+    }
+}
+
+// ------------------------------------------------------------------ protect
+
+fn cmd_protect(path: &Path, flags: &Flags) -> i32 {
+    let bytes = read_file(path);
+    let sidecar = EccSidecar::protect(&bytes)
+        .unwrap_or_else(|e| fail(&format!("{}: cannot protect: {e}", path.display())));
+    let out_path = flags.out.clone().unwrap_or_else(|| EccSidecar::sidecar_path(path));
+    sidecar.save(&out_path).unwrap_or_else(|e| fail(&format!("{}: {e}", out_path.display())));
+    if flags.json {
+        println!(
+            "{{\"file\":{},\"sidecar\":{},\"sections\":{},\"parity_bytes\":{}}}",
+            jstr(&path.display().to_string()),
+            jstr(&out_path.display().to_string()),
+            sidecar.section_count(),
+            sidecar.parity_bytes()
+        );
+    } else {
+        println!(
+            "protected {} -> {} ({} sections, {} parity bytes)",
+            path.display(),
+            out_path.display(),
+            sidecar.section_count(),
+            sidecar.parity_bytes()
+        );
+    }
+    0
+}
+
+// --------------------------------------------------------------------- mint
+
+/// Write a small deterministic demo checkpoint — a Chainer-shaped layer
+/// group plus `meta/epoch` — for smoke tests and for trying the tool
+/// without a training run.
+fn cmd_mint(path: &Path, epoch: i64) -> i32 {
+    use sefi_hdf5::{Dataset, Dtype};
+    let mut file = H5File::new();
+    let mut state = 0x9E3779B97F4A7C15u64;
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+    };
+    for (name, shape) in
+        [("conv1/W", vec![8usize, 3, 3, 3]), ("conv1/b", vec![8]), ("fc/W", vec![10, 72])]
+    {
+        let n: usize = shape.iter().product();
+        let data: Vec<f32> = (0..n).map(|_| next()).collect();
+        let ds = Dataset::from_f32(&data, &shape, Dtype::F32)
+            .expect("demo shapes are element-consistent");
+        file.create_dataset(&format!("predictor/{name}"), ds).expect("demo paths are unique");
+    }
+    file.create_dataset("meta/epoch", Dataset::scalar_i64(epoch)).expect("fresh path");
+    file.save_v2(path).unwrap_or_else(|e| fail(&format!("{}: {e}", path.display())));
+    println!("minted demo checkpoint {} (epoch {epoch})", path.display());
+    0
+}
+
+// --------------------------------------------------------------------- main
+
+/// Restore the default SIGPIPE disposition so `sefi-ckpt scan | head`
+/// exits quietly instead of panicking on a closed stdout.
+#[cfg(unix)]
+fn reset_sigpipe() {
+    unsafe extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGPIPE: i32 = 13;
+    const SIG_DFL: usize = 0;
+    unsafe {
+        signal(SIGPIPE, SIG_DFL);
+    }
+}
+
+#[cfg(not(unix))]
+fn reset_sigpipe() {}
+
+fn main() {
+    reset_sigpipe();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().cloned() else { usage() };
+    let (flags, positionals) = parse_flags(&args[1..]);
+    let code = match cmd.as_str() {
+        "scan" => match (&flags.fleet, positionals.as_slice()) {
+            (Some(dir), []) => cmd_scan_fleet(dir, &flags),
+            (None, [ckpt]) => cmd_scan_one(Path::new(ckpt), &flags),
+            _ => usage(),
+        },
+        "locate" => match positionals.as_slice() {
+            [ckpt, offset] => {
+                let offset =
+                    parse_offset(offset).unwrap_or_else(|| fail(&format!("bad offset {offset:?}")));
+                cmd_locate(Path::new(ckpt), offset, flags.json)
+            }
+            _ => usage(),
+        },
+        "salvage" => match positionals.as_slice() {
+            [ckpt] => cmd_salvage(Path::new(ckpt), &flags),
+            _ => usage(),
+        },
+        "diff" => match positionals.as_slice() {
+            [a, b] => cmd_diff(Path::new(a), Path::new(b), flags.json),
+            _ => usage(),
+        },
+        "protect" => match positionals.as_slice() {
+            [ckpt] => cmd_protect(Path::new(ckpt), &flags),
+            _ => usage(),
+        },
+        "mint" => match positionals.as_slice() {
+            [path] => cmd_mint(Path::new(path), flags.epoch),
+            _ => usage(),
+        },
+        _ => usage(),
+    };
+    exit(code);
+}
+
+/// Parse a byte offset, accepting decimal or `0x`-prefixed hex.
+fn parse_offset(s: &str) -> Option<usize> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        usize::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}

@@ -23,6 +23,7 @@ pub mod chart;
 pub mod exp_bitranges;
 pub mod exp_curves;
 pub mod exp_equivalent;
+pub mod exp_forensics;
 pub mod exp_guard;
 pub mod exp_heatmap;
 pub mod exp_layers;

@@ -2,7 +2,7 @@
 
 use crate::kind::FrameworkKind;
 use crate::mapping::{engine_to_file_path, tensor_from_file_layout, tensor_to_file_layout};
-use sefi_hdf5::{Attr, Dataset, Dtype, H5File, LoadPolicy};
+use sefi_hdf5::{Attr, Dataset, Dtype, EccSidecar, H5File, LoadPolicy};
 use sefi_nn::Network;
 
 /// Serialize a network into this framework's checkpoint layout at the given
@@ -49,6 +49,10 @@ pub struct CheckpointLoad {
     /// (skipped, keeping the network's current in-memory tensor) or
     /// zero-filled, per the policy. Empty for clean loads and for v1 files.
     pub quarantined: Vec<String>,
+    /// Dataset paths whose sections failed their CRC but were repaired to
+    /// their original bytes by ECC (only under [`LoadPolicy::Correct`] via
+    /// [`load_checkpoint_bytes_ecc`]). The restored tensors are exact.
+    pub corrected: Vec<String>,
 }
 
 /// Restore a network directly from checkpoint *file bytes* under a
@@ -74,7 +78,28 @@ pub fn load_checkpoint_bytes(
     let (file, report) = H5File::from_bytes_with_policy(bytes, policy)
         .map_err(|e| format!("decoding checkpoint: {e}"))?;
     let epoch = load_into(fw, net, &file, &report.quarantined)?;
-    Ok(CheckpointLoad { epoch, quarantined: report.quarantined })
+    Ok(CheckpointLoad { epoch, quarantined: report.quarantined, corrected: report.corrected })
+}
+
+/// Restore a network from v2 checkpoint bytes with an ECC parity sidecar
+/// available for repair — [`load_checkpoint_bytes`] plus SEC-DED.
+///
+/// Under [`LoadPolicy::Correct`] a section whose CRC fails is repaired
+/// through the sidecar and re-verified; repaired tensors restore their
+/// exact original values and are listed in [`CheckpointLoad::corrected`].
+/// Damage beyond single-bit-per-word falls back to quarantine semantics,
+/// including the fatal quarantined-epoch case.
+pub fn load_checkpoint_bytes_ecc(
+    fw: FrameworkKind,
+    net: &mut Network,
+    bytes: &[u8],
+    policy: LoadPolicy,
+    sidecar: &EccSidecar,
+) -> Result<CheckpointLoad, String> {
+    let (file, report) = H5File::from_bytes_with_ecc(bytes, policy, sidecar)
+        .map_err(|e| format!("decoding checkpoint: {e}"))?;
+    let epoch = load_into(fw, net, &file, &report.quarantined)?;
+    Ok(CheckpointLoad { epoch, quarantined: report.quarantined, corrected: report.corrected })
 }
 
 fn load_into(
@@ -232,7 +257,7 @@ mod tests {
         let bytes = save_checkpoint(fw, &mut a, 20, Dtype::F64).to_bytes_v2();
         let mut b = small_net();
         let load = load_checkpoint_bytes(fw, &mut b, &bytes, LoadPolicy::Strict).unwrap();
-        assert_eq!(load, CheckpointLoad { epoch: 20, quarantined: vec![] });
+        assert_eq!(load, CheckpointLoad { epoch: 20, quarantined: vec![], corrected: vec![] });
         assert_eq!(a.state_dict(), b.state_dict());
     }
 
@@ -307,6 +332,32 @@ mod tests {
         let load = load_checkpoint_bytes(fw, &mut b, &bytes, LoadPolicy::ZeroFill).unwrap();
         assert_eq!(load.epoch, 0);
         assert_eq!(load.quarantined, vec![fw.epoch_path().to_string()]);
+    }
+
+    #[test]
+    fn ecc_loader_repairs_flipped_weights_and_epoch_exactly() {
+        let fw = FrameworkKind::Chainer;
+        let mut a = small_net();
+        let bytes = save_checkpoint(fw, &mut a, 20, Dtype::F32).to_bytes_v2();
+        let sidecar = EccSidecar::protect(&bytes).unwrap();
+        let mut bad = bytes.clone();
+        flip_in_section(&mut bad, "predictor/conv1/W");
+        flip_in_section(&mut bad, fw.epoch_path());
+
+        // Without the sidecar the epoch flip is fatal under Quarantine…
+        let mut b = other_net();
+        assert!(load_checkpoint_bytes(fw, &mut b, &bad, LoadPolicy::Quarantine).is_err());
+        // …with it, both sections repair and the load is bit-exact.
+        let mut b = other_net();
+        let load =
+            load_checkpoint_bytes_ecc(fw, &mut b, &bad, LoadPolicy::Correct, &sidecar).unwrap();
+        assert_eq!(load.epoch, 20);
+        assert!(load.quarantined.is_empty());
+        assert_eq!(
+            load.corrected,
+            vec!["predictor/conv1/W".to_string(), fw.epoch_path().to_string()]
+        );
+        assert_eq!(a.state_dict(), b.state_dict());
     }
 
     #[test]

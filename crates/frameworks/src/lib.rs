@@ -28,7 +28,10 @@ mod kind;
 mod mapping;
 mod session;
 
-pub use checkpoint::{load_checkpoint, load_checkpoint_bytes, save_checkpoint, CheckpointLoad};
+pub use checkpoint::{
+    load_checkpoint, load_checkpoint_bytes, load_checkpoint_bytes_ecc, save_checkpoint,
+    CheckpointLoad,
+};
 pub use kind::FrameworkKind;
 pub use mapping::{
     engine_to_file_path, file_layer_location, tensor_from_file_layout, tensor_to_file_layout,

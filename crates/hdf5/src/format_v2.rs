@@ -39,6 +39,7 @@ use crate::error::{Error, Result};
 use crate::format::{self, Cursor};
 use crate::limits::{MAX_DEPTH, MAX_LEN};
 use crate::node::{Group, Node};
+use crate::sidecar::EccSidecar;
 use crate::H5File;
 
 use std::io::{Read, Seek, SeekFrom};
@@ -68,6 +69,13 @@ pub enum LoadPolicy {
     /// Replace the bad dataset with zeros of the indexed shape/dtype; its
     /// path is recorded in [`LoadReport::quarantined`].
     ZeroFill,
+    /// Attempt SEC-DED repair through an attached [`EccSidecar`] before
+    /// condemning the section: if Hamming(72,64) correction restores the
+    /// stored CRC, the dataset loads from the repaired bytes and its path
+    /// is recorded in [`LoadReport::corrected`]; otherwise (multi-bit
+    /// damage, miscorrection, or no sidecar attached) the section is
+    /// quarantined exactly as under [`LoadPolicy::Quarantine`].
+    Correct,
 }
 
 /// Per-dataset outcome of a policy-driven v2 load.
@@ -79,12 +87,18 @@ pub struct LoadReport {
     /// zero-filled (empty under [`LoadPolicy::Strict`] — that policy errors
     /// instead).
     pub quarantined: Vec<String>,
+    /// Paths whose sections failed their CRC but were repaired to a
+    /// CRC-verified state by ECC under [`LoadPolicy::Correct`]. These
+    /// datasets carry their original data, but the stored bytes are
+    /// damaged — the file should be rewritten.
+    pub corrected: Vec<String>,
 }
 
 impl LoadReport {
-    /// True when every section verified.
+    /// True when every section verified as stored — nothing quarantined
+    /// and nothing that needed ECC repair.
     pub fn is_clean(&self) -> bool {
-        self.quarantined.is_empty()
+        self.quarantined.is_empty() && self.corrected.is_empty()
     }
 }
 
@@ -133,8 +147,32 @@ fn encode_group(g: &Group, index: &mut Vec<u8>, payload: &mut Vec<u8>) {
 
 // --------------------------------------------------------------- decoding
 
+/// Read a little-endian `u32` at `at`, as a clean error (never a panic)
+/// when the slice is short.
+pub(crate) fn read_u32_le(bytes: &[u8], at: usize) -> Result<u32> {
+    let raw = at
+        .checked_add(4)
+        .and_then(|end| bytes.get(at..end))
+        .ok_or_else(|| Error::Malformed(format!("file too short: {} bytes", bytes.len())))?;
+    let mut buf = [0u8; 4];
+    buf.copy_from_slice(raw);
+    Ok(u32::from_le_bytes(buf))
+}
+
+/// Read a little-endian `u64` at `at`; clean error on a short slice.
+pub(crate) fn read_u64_le(bytes: &[u8], at: usize) -> Result<u64> {
+    let raw = at
+        .checked_add(8)
+        .and_then(|end| bytes.get(at..end))
+        .ok_or_else(|| Error::Malformed(format!("file too short: {} bytes", bytes.len())))?;
+    let mut buf = [0u8; 8];
+    buf.copy_from_slice(raw);
+    Ok(u64::from_le_bytes(buf))
+}
+
 /// Validate the fixed superblock; returns (end of index = payload start,
-/// stored index CRC).
+/// stored index CRC). All arithmetic is checked: a truncated (< 24 B)
+/// header or an absurd `index_len` is a clean [`Error::Malformed`].
 fn parse_superblock(bytes: &[u8]) -> Result<(usize, u32)> {
     if bytes.len() < SUPERBLOCK_LEN {
         return Err(Error::Malformed(format!("v2 file too short: {} bytes", bytes.len())));
@@ -142,17 +180,33 @@ fn parse_superblock(bytes: &[u8]) -> Result<(usize, u32)> {
     if &bytes[..8] != format::MAGIC {
         return Err(Error::Malformed("bad magic — not a SEFI-H5 file".to_string()));
     }
-    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    let version = read_u32_le(bytes, 8)?;
     if version != VERSION_V2 {
         return Err(Error::Malformed(format!("not a v2 file (version {version})")));
     }
-    let index_len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+    let index_len = read_u64_le(bytes, 12)?;
     if index_len > MAX_LEN {
         return Err(Error::Malformed(format!("index length {index_len} exceeds limit")));
     }
-    let index_end = SUPERBLOCK_LEN + index_len as usize;
-    let stored_crc = u32::from_le_bytes(bytes[20..24].try_into().expect("4 bytes"));
+    let index_end =
+        usize::try_from(index_len).ok().and_then(|n| SUPERBLOCK_LEN.checked_add(n)).ok_or_else(
+            || Error::Malformed(format!("index length {index_len} overflows addressing")),
+        )?;
+    let stored_crc = read_u32_le(bytes, 20)?;
     Ok((index_end, stored_crc))
+}
+
+/// Shared state threaded through the recursive v2 decode: the payload
+/// slice, the active policy, the optional ECC sidecar, and the running
+/// section cursor (`next` byte offset, `section` ordinal in tree order).
+struct DecodeCtx<'a> {
+    payload: &'a [u8],
+    policy: LoadPolicy,
+    verify: bool,
+    sidecar: Option<&'a EccSidecar>,
+    report: LoadReport,
+    next: usize,
+    section: usize,
 }
 
 /// Decode v2 bytes under a policy.
@@ -162,10 +216,15 @@ fn parse_superblock(bytes: &[u8]) -> Result<(usize, u32)> {
 /// storage experiment uses it to measure how many flips a checksum-free
 /// reader would silently accept. With `verify == false` no section is ever
 /// quarantined, so the policy is inert.
+///
+/// `sidecar`, when supplied, must bind to this checkpoint (its stored
+/// index CRC must equal the superblock's) and is only consulted under
+/// [`LoadPolicy::Correct`].
 pub(crate) fn decode(
     bytes: &[u8],
     policy: LoadPolicy,
     verify: bool,
+    sidecar: Option<&EccSidecar>,
 ) -> Result<(H5File, LoadReport)> {
     let (index_end, stored_crc) = parse_superblock(bytes)?;
     if index_end > bytes.len() {
@@ -180,23 +239,37 @@ pub(crate) fn decode(
             )));
         }
     }
-    let payload = &bytes[index_end..];
+    if let Some(sc) = sidecar {
+        if sc.index_crc() != stored_crc {
+            return Err(Error::Malformed(format!(
+                "ECC sidecar binds to index CRC {:#010x}, checkpoint has {stored_crc:#010x}",
+                sc.index_crc()
+            )));
+        }
+    }
+    let mut ctx = DecodeCtx {
+        payload: &bytes[index_end..],
+        policy,
+        verify,
+        sidecar,
+        report: LoadReport::default(),
+        next: 0,
+        section: 0,
+    };
     let mut cur = Cursor::new(index);
-    let mut report = LoadReport::default();
-    let mut next = 0usize;
-    let root = decode_group(&mut cur, 0, "", payload, policy, verify, &mut report, &mut next)?;
+    let root = decode_group(&mut cur, 0, "", &mut ctx)?;
     if !cur.done() {
         return Err(Error::Malformed(format!("{} trailing bytes in index", cur.remaining())));
     }
-    if next != payload.len() {
+    if ctx.next != ctx.payload.len() {
         return Err(Error::Malformed(format!(
             "{} unindexed trailing payload bytes",
-            payload.len() - next
+            ctx.payload.len() - ctx.next
         )));
     }
     let mut file = H5File::new();
     *file.root_mut() = root;
-    Ok((file, report))
+    Ok((file, ctx.report))
 }
 
 /// Decode one dataset's index record: (dtype, shape, relative offset, byte
@@ -224,16 +297,11 @@ fn decode_section_meta(
     Ok((dtype, shape, byte_len, stored_crc))
 }
 
-#[allow(clippy::too_many_arguments)]
 fn decode_group(
     cur: &mut Cursor<'_>,
     depth: u32,
     prefix: &str,
-    payload: &[u8],
-    policy: LoadPolicy,
-    verify: bool,
-    report: &mut LoadReport,
-    next: &mut usize,
+    ctx: &mut DecodeCtx<'_>,
 ) -> Result<Group> {
     if depth > MAX_DEPTH {
         return Err(Error::Malformed("group nesting exceeds limit".to_string()));
@@ -246,29 +314,48 @@ fn decode_group(
         let path = if prefix.is_empty() { name.clone() } else { format!("{prefix}/{name}") };
         match cur.u8()? {
             1 => {
-                let sub =
-                    decode_group(cur, depth + 1, &path, payload, policy, verify, report, next)?;
+                let sub = decode_group(cur, depth + 1, &path, ctx)?;
                 g.insert_node(name, Node::Group(sub))?;
             }
             2 => {
                 let (dtype, shape, byte_len, stored_crc) =
-                    decode_section_meta(cur, *next, payload.len(), &path)?;
-                let section = &payload[*next..*next + byte_len];
-                *next += byte_len;
-                if verify && crc32(section) != stored_crc {
-                    match policy {
-                        LoadPolicy::Strict => return Err(Error::SectionCorrupt { path }),
-                        LoadPolicy::Quarantine => report.quarantined.push(path),
-                        LoadPolicy::ZeroFill => {
-                            let ds = Dataset::from_raw(dtype, shape, vec![0u8; byte_len])?;
-                            g.insert_node(name, Node::Dataset(ds))?;
-                            report.quarantined.push(path);
+                    decode_section_meta(cur, ctx.next, ctx.payload.len(), &path)?;
+                let section = &ctx.payload[ctx.next..ctx.next + byte_len];
+                let ordinal = ctx.section;
+                ctx.next += byte_len;
+                ctx.section += 1;
+                if ctx.verify && crc32(section) != stored_crc {
+                    // Under `Correct` with a bound sidecar, attempt SEC-DED
+                    // repair and accept only if the repaired bytes pass the
+                    // stored CRC (guards against miscorrected multi-bit
+                    // damage).
+                    let repaired = match (ctx.policy, ctx.sidecar) {
+                        (LoadPolicy::Correct, Some(sc)) => sc
+                            .repaired_section(ordinal, section)
+                            .filter(|buf| crc32(buf) == stored_crc),
+                        _ => None,
+                    };
+                    if let Some(buf) = repaired {
+                        let ds = Dataset::from_raw(dtype, shape, buf)?;
+                        g.insert_node(name, Node::Dataset(ds))?;
+                        ctx.report.corrected.push(path);
+                    } else {
+                        match ctx.policy {
+                            LoadPolicy::Strict => return Err(Error::SectionCorrupt { path }),
+                            LoadPolicy::Quarantine | LoadPolicy::Correct => {
+                                ctx.report.quarantined.push(path)
+                            }
+                            LoadPolicy::ZeroFill => {
+                                let ds = Dataset::from_raw(dtype, shape, vec![0u8; byte_len])?;
+                                g.insert_node(name, Node::Dataset(ds))?;
+                                ctx.report.quarantined.push(path);
+                            }
                         }
                     }
                 } else {
                     let ds = Dataset::from_raw(dtype, shape, section.to_vec())?;
                     g.insert_node(name, Node::Dataset(ds))?;
-                    report.loaded.push(path);
+                    ctx.report.loaded.push(path);
                 }
             }
             other => return Err(Error::Malformed(format!("unknown node tag {other}"))),
@@ -306,6 +393,7 @@ pub struct FileIndex {
     entries: Vec<IndexEntry>,
     payload_start: usize,
     file_len: usize,
+    index_crc: u32,
 }
 
 impl FileIndex {
@@ -319,6 +407,20 @@ impl FileIndex {
     /// (what [`IndexedFile`] reads), with the total file length supplied
     /// separately for payload bounds validation.
     pub fn parse_prefix(prefix: &[u8], file_len: usize) -> Result<Self> {
+        Self::parse_inner(prefix, file_len, false)
+    }
+
+    /// Forensic parse of possibly-truncated file bytes: the superblock and
+    /// index must still be intact and CRC-verified (without a trustworthy
+    /// index nothing can be attributed or salvaged), but the payload may be
+    /// cut short — entries are allowed to extend past the available bytes.
+    /// Compare [`FileIndex::expected_len`] against [`FileIndex::file_len`]
+    /// to see how much payload is missing.
+    pub fn parse_lenient(bytes: &[u8]) -> Result<Self> {
+        Self::parse_inner(bytes, bytes.len(), true)
+    }
+
+    fn parse_inner(prefix: &[u8], file_len: usize, lenient: bool) -> Result<Self> {
         let (index_end, stored_crc) = parse_superblock(prefix)?;
         if index_end > prefix.len() || index_end > file_len {
             return Err(Error::Malformed("index extends past end of file".to_string()));
@@ -331,20 +433,23 @@ impl FileIndex {
             )));
         }
         let payload_len = file_len - index_end;
+        // A lenient walk bounds sections only by the format-wide section
+        // limit, not the bytes actually present.
+        let walk_len = if lenient { usize::MAX } else { payload_len };
         let mut cur = Cursor::new(index);
         let mut entries = Vec::new();
         let mut next = 0usize;
-        walk_group(&mut cur, 0, "", payload_len, index_end, &mut entries, &mut next)?;
+        walk_group(&mut cur, 0, "", walk_len, index_end, &mut entries, &mut next)?;
         if !cur.done() {
             return Err(Error::Malformed(format!("{} trailing bytes in index", cur.remaining())));
         }
-        if next != payload_len {
+        if !lenient && next != payload_len {
             return Err(Error::Malformed(format!(
                 "{} unindexed trailing payload bytes",
                 payload_len - next
             )));
         }
-        Ok(FileIndex { entries, payload_start: index_end, file_len })
+        Ok(FileIndex { entries, payload_start: index_end, file_len, index_crc: stored_crc })
     }
 
     /// Dataset entries in tree (ascending-offset) order.
@@ -358,9 +463,24 @@ impl FileIndex {
         self.payload_start
     }
 
-    /// Total file length the index was validated against.
+    /// Total file length the index was validated against. Under
+    /// [`FileIndex::parse_lenient`] this is the *available* length, which
+    /// may be less than [`FileIndex::expected_len`].
     pub fn file_len(&self) -> usize {
         self.file_len
+    }
+
+    /// The file length the index promises: payload start plus the sum of
+    /// all section lengths (sections are contiguous, so this is the end of
+    /// the last entry). Equals [`FileIndex::file_len`] for a strict parse.
+    pub fn expected_len(&self) -> usize {
+        self.entries.last().map_or(self.payload_start, |e| e.offset + e.byte_len)
+    }
+
+    /// Stored CRC-32 of the index bytes — the identity an [`EccSidecar`]
+    /// binds to.
+    pub fn index_crc(&self) -> u32 {
+        self.index_crc
     }
 
     /// Entry for a dataset path.
@@ -371,14 +491,13 @@ impl FileIndex {
     /// The dataset section containing an absolute file offset, if any.
     /// Offsets in the superblock or index — and offsets coinciding with
     /// zero-length sections — return `None`.
+    ///
+    /// Binary search: sections are contiguous and sorted by offset, so
+    /// their end offsets are monotone — the first entry ending after
+    /// `offset` is the only candidate that can contain it.
     pub fn locate(&self, offset: usize) -> Option<&IndexEntry> {
-        // Entries are contiguous and sorted by offset; find the last entry
-        // starting at or before `offset`, skipping empty sections.
-        let i = self.entries.partition_point(|e| e.offset <= offset);
-        self.entries[..i]
-            .iter()
-            .rev()
-            .find(|e| offset >= e.offset && offset < e.offset + e.byte_len)
+        let i = self.entries.partition_point(|e| e.offset + e.byte_len <= offset);
+        self.entries.get(i).filter(|e| e.offset <= offset && offset < e.offset + e.byte_len)
     }
 }
 
@@ -433,6 +552,20 @@ pub struct IndexedFile {
     file: std::fs::File,
     display_path: String,
     index: FileIndex,
+    sidecar: Option<EccSidecar>,
+}
+
+/// How a lazily-read dataset section came back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SectionStatus {
+    /// The stored bytes matched their CRC.
+    Clean,
+    /// The CRC failed but the attached ECC sidecar repaired the section to
+    /// a CRC-verified state.
+    Corrected {
+        /// Number of 64-bit code words the sidecar repaired.
+        words: usize,
+    },
 }
 
 impl IndexedFile {
@@ -455,7 +588,30 @@ impl IndexedFile {
         prefix.resize(index_end, 0);
         file.read_exact(&mut prefix[SUPERBLOCK_LEN..]).map_err(io_err)?;
         let index = FileIndex::parse_prefix(&prefix, file_len as usize)?;
-        Ok(IndexedFile { file, display_path, index })
+        Ok(IndexedFile { file, display_path, index, sidecar: None })
+    }
+
+    /// Attach an ECC parity sidecar so lazy reads run in `Correct` mode:
+    /// a section whose CRC fails is SEC-DED-repaired before being given
+    /// up on. The sidecar must bind to this checkpoint (same index CRC)
+    /// and describe the same sections.
+    pub fn attach_sidecar(&mut self, sidecar: EccSidecar) -> Result<()> {
+        if sidecar.index_crc() != self.index.index_crc() {
+            return Err(Error::Malformed(format!(
+                "ECC sidecar binds to index CRC {:#010x}, checkpoint has {:#010x}",
+                sidecar.index_crc(),
+                self.index.index_crc()
+            )));
+        }
+        if sidecar.section_count() != self.index.entries().len() {
+            return Err(Error::Malformed(format!(
+                "ECC sidecar covers {} sections, checkpoint has {}",
+                sidecar.section_count(),
+                self.index.entries().len()
+            )));
+        }
+        self.sidecar = Some(sidecar);
+        Ok(())
     }
 
     /// The parsed index.
@@ -470,16 +626,37 @@ impl IndexedFile {
 
     /// Read, verify, and decode a single dataset section.
     pub fn dataset(&mut self, path: &str) -> Result<Dataset> {
-        let entry =
-            self.index.entry(path).cloned().ok_or_else(|| Error::NotFound(path.to_string()))?;
+        self.dataset_with_status(path).map(|(ds, _)| ds)
+    }
+
+    /// Like [`IndexedFile::dataset`], also reporting whether the section
+    /// was clean as stored or needed ECC repair through an attached
+    /// sidecar. Without a sidecar, a failed CRC is
+    /// [`Error::SectionCorrupt`] as before.
+    pub fn dataset_with_status(&mut self, path: &str) -> Result<(Dataset, SectionStatus)> {
+        let ordinal = self
+            .index
+            .entries()
+            .iter()
+            .position(|e| e.path == path)
+            .ok_or_else(|| Error::NotFound(path.to_string()))?;
+        let entry = self.index.entries()[ordinal].clone();
         let io_err = |e: std::io::Error| Error::Io(self.display_path.clone(), e.to_string());
         self.file.seek(SeekFrom::Start(entry.offset as u64)).map_err(io_err)?;
         let mut buf = vec![0u8; entry.byte_len];
         self.file.read_exact(&mut buf).map_err(io_err)?;
-        if crc32(&buf) != entry.crc {
-            return Err(Error::SectionCorrupt { path: path.to_string() });
+        if crc32(&buf) == entry.crc {
+            return Ok((Dataset::from_raw(entry.dtype, entry.shape, buf)?, SectionStatus::Clean));
         }
-        Dataset::from_raw(entry.dtype, entry.shape, buf)
+        if let Some(sc) = &self.sidecar {
+            if let Some((fixed, repair)) = sc.repaired_section_with_report(ordinal, &buf) {
+                if crc32(&fixed) == entry.crc {
+                    let ds = Dataset::from_raw(entry.dtype, entry.shape, fixed)?;
+                    return Ok((ds, SectionStatus::Corrected { words: repair.corrected_words }));
+                }
+            }
+        }
+        Err(Error::SectionCorrupt { path: path.to_string() })
     }
 }
 
@@ -518,7 +695,7 @@ mod tests {
     fn v2_roundtrip_is_byte_deterministic() {
         let f = sample();
         let bytes = encode(&f);
-        let (g, report) = decode(&bytes, LoadPolicy::Strict, true).unwrap();
+        let (g, report) = decode(&bytes, LoadPolicy::Strict, true, None).unwrap();
         assert_eq!(f, g, "attrs, empty groups, and datasets all survive");
         assert_eq!(bytes, encode(&g), "encode∘decode∘encode is byte-identical");
         assert!(report.is_clean());
@@ -540,7 +717,7 @@ mod tests {
     fn empty_file_roundtrips() {
         let f = H5File::new();
         let bytes = encode(&f);
-        let (g, report) = decode(&bytes, LoadPolicy::Strict, true).unwrap();
+        let (g, report) = decode(&bytes, LoadPolicy::Strict, true, None).unwrap();
         assert_eq!(f, g);
         assert!(report.loaded.is_empty());
     }
@@ -551,7 +728,7 @@ mod tests {
         let mut bytes = encode(&f);
         let (off, _) = section_offset(&bytes, "model_weights/conv1/W");
         bytes[off] ^= 0x01;
-        let err = decode(&bytes, LoadPolicy::Strict, true).unwrap_err();
+        let err = decode(&bytes, LoadPolicy::Strict, true, None).unwrap_err();
         assert_eq!(err, Error::SectionCorrupt { path: "model_weights/conv1/W".into() });
     }
 
@@ -561,7 +738,7 @@ mod tests {
         let mut bytes = encode(&f);
         let (off, _) = section_offset(&bytes, "model_weights/conv1/W");
         bytes[off] ^= 0x80;
-        let (g, report) = decode(&bytes, LoadPolicy::Quarantine, true).unwrap();
+        let (g, report) = decode(&bytes, LoadPolicy::Quarantine, true, None).unwrap();
         assert_eq!(report.quarantined, vec!["model_weights/conv1/W".to_string()]);
         assert_eq!(report.loaded.len(), 2, "the other two datasets load");
         assert!(g.dataset("model_weights/conv1/W").is_err(), "bad dataset absent");
@@ -578,7 +755,7 @@ mod tests {
         let mut bytes = encode(&f);
         let (off, len) = section_offset(&bytes, "model_weights/conv1/W");
         bytes[off + len - 1] ^= 0x40;
-        let (g, report) = decode(&bytes, LoadPolicy::ZeroFill, true).unwrap();
+        let (g, report) = decode(&bytes, LoadPolicy::ZeroFill, true, None).unwrap();
         assert_eq!(report.quarantined, vec!["model_weights/conv1/W".to_string()]);
         let ds = g.dataset("model_weights/conv1/W").unwrap();
         assert_eq!(ds.shape(), &[2, 2]);
@@ -593,7 +770,7 @@ mod tests {
         bytes[SUPERBLOCK_LEN] ^= 0x01; // first index byte
         for policy in [LoadPolicy::Strict, LoadPolicy::Quarantine, LoadPolicy::ZeroFill] {
             assert!(matches!(
-                decode(&bytes, policy, true),
+                decode(&bytes, policy, true, None),
                 Err(Error::Malformed(m)) if m.contains("index checksum")
             ));
         }
@@ -606,7 +783,7 @@ mod tests {
         for (byte, what) in [(0usize, "magic"), (8, "version"), (12, "index length")] {
             let mut b = good.clone();
             b[byte] ^= 0xFF;
-            assert!(decode(&b, LoadPolicy::Quarantine, true).is_err(), "flip in {what}");
+            assert!(decode(&b, LoadPolicy::Quarantine, true, None).is_err(), "flip in {what}");
         }
     }
 
@@ -614,7 +791,7 @@ mod tests {
     fn truncation_always_detected() {
         let b = encode(&sample());
         for cut in [0, 8, 23, 24, SUPERBLOCK_LEN + 3, b.len() / 2, b.len() - 1] {
-            assert!(decode(&b[..cut], LoadPolicy::Quarantine, true).is_err(), "cut at {cut}");
+            assert!(decode(&b[..cut], LoadPolicy::Quarantine, true, None).is_err(), "cut at {cut}");
         }
     }
 
@@ -623,7 +800,7 @@ mod tests {
         let mut b = encode(&sample());
         b.push(0xAB);
         assert!(matches!(
-            decode(&b, LoadPolicy::Strict, true),
+            decode(&b, LoadPolicy::Strict, true, None),
             Err(Error::Malformed(m)) if m.contains("trailing payload")
         ));
     }
@@ -635,12 +812,12 @@ mod tests {
         let (off, _) = section_offset(&bytes, "model_weights/conv1/W");
         bytes[off] ^= 0x01;
         // The trusting loader returns a silently different file.
-        let (g, _) = decode(&bytes, LoadPolicy::Strict, false).unwrap();
+        let (g, _) = decode(&bytes, LoadPolicy::Strict, false, None).unwrap();
         assert_ne!(f, g);
         // But structural damage still fails even without CRC checks.
         let mut trunc = encode(&f);
         trunc.truncate(trunc.len() - 1);
-        assert!(decode(&trunc, LoadPolicy::Strict, false).is_err());
+        assert!(decode(&trunc, LoadPolicy::Strict, false, None).is_err());
     }
 
     #[test]

@@ -27,19 +27,25 @@ pub mod crc;
 mod dataset;
 mod error;
 pub mod flat;
+pub mod forensics;
 mod format;
 mod format_v2;
+pub mod hamming;
 pub mod limits;
 mod node;
 mod path;
+pub mod sidecar;
 #[cfg(test)]
 mod testutil;
 
 pub use dataset::{Dataset, Dtype};
 pub use error::{Error, Result};
-pub use format_v2::{FileIndex, IndexEntry, IndexedFile, LoadPolicy, LoadReport, SUPERBLOCK_LEN};
+pub use format_v2::{
+    FileIndex, IndexEntry, IndexedFile, LoadPolicy, LoadReport, SectionStatus, SUPERBLOCK_LEN,
+};
 pub use node::{Attr, Group, Node};
 pub use path::{join_path, split_path, validate_path};
+pub use sidecar::EccSidecar;
 
 use std::fs;
 use std::path::Path;
@@ -176,7 +182,7 @@ impl H5File {
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
         match format::sniff_version(bytes) {
             Some(format_v2::VERSION_V2) => {
-                format_v2::decode(bytes, LoadPolicy::Strict, true).map(|(f, _)| f)
+                format_v2::decode(bytes, LoadPolicy::Strict, true, None).map(|(f, _)| f)
             }
             _ => format::decode(bytes),
         }
@@ -186,14 +192,35 @@ impl H5File {
     /// sections, reporting per-dataset outcomes. v1 files have a single
     /// whole-payload CRC, so for them every policy behaves like
     /// [`LoadPolicy::Strict`] and a successful load reports all datasets as
-    /// loaded.
+    /// loaded. Without a sidecar, [`LoadPolicy::Correct`] degrades to
+    /// [`LoadPolicy::Quarantine`]; use [`H5File::from_bytes_with_ecc`] to
+    /// supply one.
     pub fn from_bytes_with_policy(bytes: &[u8], policy: LoadPolicy) -> Result<(Self, LoadReport)> {
         match format::sniff_version(bytes) {
-            Some(format_v2::VERSION_V2) => format_v2::decode(bytes, policy, true),
+            Some(format_v2::VERSION_V2) => format_v2::decode(bytes, policy, true, None),
             _ => format::decode(bytes).map(|f| {
                 let loaded = f.dataset_paths();
-                (f, LoadReport { loaded, quarantined: Vec::new() })
+                (f, LoadReport { loaded, quarantined: Vec::new(), corrected: Vec::new() })
             }),
+        }
+    }
+
+    /// Deserialize a v2 file with an ECC parity sidecar available for
+    /// repair. The sidecar must bind to this checkpoint (matching index
+    /// CRC) and is consulted only under [`LoadPolicy::Correct`]: sections
+    /// whose CRC fails are SEC-DED-repaired and accepted when the repaired
+    /// bytes re-verify, reported in [`LoadReport::corrected`]. v1 files are
+    /// rejected — there is no sectioned layout to bind parities to.
+    pub fn from_bytes_with_ecc(
+        bytes: &[u8],
+        policy: LoadPolicy,
+        sidecar: &EccSidecar,
+    ) -> Result<(Self, LoadReport)> {
+        match format::sniff_version(bytes) {
+            Some(format_v2::VERSION_V2) => format_v2::decode(bytes, policy, true, Some(sidecar)),
+            _ => Err(Error::Malformed(
+                "ECC sidecars protect the sectioned v2 format only".to_string(),
+            )),
         }
     }
 
@@ -205,7 +232,7 @@ impl H5File {
     pub fn from_bytes_unverified(bytes: &[u8]) -> Result<Self> {
         match format::sniff_version(bytes) {
             Some(format_v2::VERSION_V2) => {
-                format_v2::decode(bytes, LoadPolicy::Strict, false).map(|(f, _)| f)
+                format_v2::decode(bytes, LoadPolicy::Strict, false, None).map(|(f, _)| f)
             }
             _ => format::decode(bytes),
         }

@@ -8,7 +8,8 @@
 //! so a future fourth format joins the harness by adding one table row.
 
 use proptest::prelude::*;
-use sefi_hdf5::{flat, Dataset, Dtype, H5File, Result};
+use sefi_hdf5::forensics::salvage;
+use sefi_hdf5::{flat, Dataset, Dtype, EccSidecar, FileIndex, H5File, LoadPolicy, Result};
 
 /// One container format under test.
 struct Format {
@@ -111,5 +112,86 @@ proptest! {
             let cut = cut_seed % bytes.len();
             prop_assert!((fmt.decode)(&bytes[..cut]).is_err(), "{} accepted a truncation", fmt.name);
         }
+    }
+
+    /// A mutated ECC sidecar can never change what a *clean* checkpoint
+    /// loads as: deserialization rejects it, binding rejects it, or the
+    /// load ignores it (every section CRC passes, so no repair runs) and
+    /// the result is bit-exact. Never a panic, never altered data.
+    #[test]
+    fn sidecar_mutation_never_changes_a_clean_load(
+        f in any_file(),
+        positions in prop::collection::vec(any::<usize>(), 1..5),
+        xors in prop::collection::vec(1u8..=255, 1..5),
+    ) {
+        let bytes = f.to_bytes_v2();
+        let mut ser = EccSidecar::protect(&bytes).unwrap().to_bytes();
+        for (pos, xor) in positions.iter().zip(&xors) {
+            let i = pos % ser.len();
+            ser[i] ^= xor;
+        }
+        if let Ok(sc) = EccSidecar::from_bytes(&ser) {
+            if let Ok((loaded, report)) = H5File::from_bytes_with_ecc(&bytes, LoadPolicy::Correct, &sc) {
+                prop_assert_eq!(&loaded, &f, "a damaged sidecar altered a clean load");
+                prop_assert!(report.is_clean(), "clean CRCs never trigger repair");
+            }
+        }
+    }
+
+    /// The salvage invariant: *any* input salvage accepts — mutated,
+    /// truncated, with or without a (possibly mutated) sidecar —
+    /// re-encodes to bytes that load under the Strict policy.
+    #[test]
+    fn salvage_output_always_loads_strict(
+        f in any_file(),
+        positions in prop::collection::vec(any::<usize>(), 0..5),
+        xors in prop::collection::vec(1u8..=255, 0..5),
+        cut_seed in any::<usize>(),
+        truncate in any::<bool>(),
+        with_sidecar in any::<bool>(),
+        default_epoch in -3i64..1000,
+    ) {
+        let pristine = f.to_bytes_v2();
+        let sidecar = if with_sidecar {
+            Some(EccSidecar::protect(&pristine).unwrap())
+        } else {
+            None
+        };
+        let mut bytes = pristine;
+        for (pos, xor) in positions.iter().zip(&xors) {
+            let i = pos % bytes.len();
+            bytes[i] ^= xor;
+        }
+        if truncate {
+            bytes.truncate(cut_seed % (bytes.len() + 1));
+        }
+        if let Ok((salvaged, _)) = salvage(&bytes, sidecar.as_ref(), default_epoch) {
+            let reencoded = salvaged.to_bytes_v2();
+            let strict = H5File::from_bytes(&reencoded);
+            prop_assert!(strict.is_ok(), "salvage output failed a Strict load: {:?}", strict.err());
+        }
+    }
+
+    /// SEC-DED coverage: one flipped payload bit is always fully repaired
+    /// by a Correct-policy load — the result equals the original file and
+    /// the repaired dataset is named in the report.
+    #[test]
+    fn single_payload_bit_flip_is_always_corrected(
+        f in any_file(),
+        pos_seed in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        let bytes = f.to_bytes_v2();
+        let index = FileIndex::parse(&bytes).unwrap();
+        let payload_len = bytes.len() - index.payload_start();
+        prop_assume!(payload_len > 0);
+        let sc = EccSidecar::protect(&bytes).unwrap();
+        let mut bad = bytes.clone();
+        let at = index.payload_start() + pos_seed % payload_len;
+        bad[at] ^= 1 << bit;
+        let (loaded, report) = H5File::from_bytes_with_ecc(&bad, LoadPolicy::Correct, &sc).unwrap();
+        prop_assert_eq!(&loaded, &f, "repair must restore the original data");
+        prop_assert_eq!(report.corrected.len(), 1);
+        prop_assert!(report.quarantined.is_empty());
     }
 }
