@@ -40,11 +40,49 @@ echo "== campaign scheduler bench smoke =="
 # smoke length, and every rendered table must be byte-identical across
 # modes and worker counts (the bench exits non-zero on either failure).
 # The committed BENCH_campaign.json carries the full-length run (~3.8x);
-# smoke allows slack.
+# smoke allows slack. The adaptive section must save >= 30% of the fixed
+# Figure 2 trials without flipping a collapse verdict, and the sharded
+# section (1/2/4 worker processes) must produce byte-identical CSVs.
 camp_dir="$(mktemp -d)"
+cargo build -q --release -p sefi-experiments --bin sefi-campaign-worker
 cargo run -q --release -p sefi-bench --bin bench_campaign -- \
-  --smoke --out "$camp_dir/bench.json" --assert-speedup 1.5
+  --smoke --out "$camp_dir/bench.json" --assert-speedup 1.5 \
+  --assert-trial-savings 0.30 --worker-bin target/release/sefi-campaign-worker
 rm -rf "$camp_dir"
+
+echo "== sharded adaptive campaign: kill -9 + resume =="
+# A worker is SIGKILLed mid-run, leaving partial manifest shards (and
+# possibly a held lease) in the shared results directory. Two relaunched
+# concurrent workers must break anything stale, split the remaining waves
+# between them via leases, and produce a CSV byte-identical to an
+# unsharded single-process run.
+worker_bin=target/release/sefi-campaign-worker
+shard_solo="$(mktemp -d)"
+shard_duo="$(mktemp -d)"
+"$worker_bin" --experiment fig2 --budget smoke --results-dir "$shard_solo" \
+  --worker-id solo --wave 2 --ci-width 0.7 > /dev/null
+# Stage 1: the doomed worker.
+"$worker_bin" --experiment fig2 --budget smoke --results-dir "$shard_duo" \
+  --worker-id w1 --wave 2 --ci-width 0.7 --lease-ttl-ms 2000 --poll-ms 50 \
+  > /dev/null &
+shard_w1=$!
+sleep 0.15
+kill -9 "$shard_w1" 2> /dev/null || true
+wait "$shard_w1" 2> /dev/null || true
+# Stage 2: two fresh concurrent workers resume over the carcass; they must
+# break any stale lease, split the remaining waves, and both converge.
+"$worker_bin" --experiment fig2 --budget smoke --results-dir "$shard_duo" \
+  --worker-id w2 --wave 2 --ci-width 0.7 --lease-ttl-ms 2000 --poll-ms 50 \
+  > /dev/null &
+shard_w2=$!
+"$worker_bin" --experiment fig2 --budget smoke --results-dir "$shard_duo" \
+  --worker-id w3 --wave 2 --ci-width 0.7 --lease-ttl-ms 2000 --poll-ms 50 \
+  > /dev/null &
+shard_w3=$!
+wait "$shard_w2"
+wait "$shard_w3"
+cmp "$shard_solo/fig2_adaptive.csv" "$shard_duo/fig2_adaptive.csv"
+rm -rf "$shard_solo" "$shard_duo"
 
 echo "== scheduler determinism across worker counts =="
 # The same smoke campaign at 2 and 8 workers must emit byte-identical

@@ -18,13 +18,25 @@
 //! renderings are byte-identical: determinism is part of the contract
 //! being benchmarked.
 //!
+//! Two adaptive-campaign sections ride along:
+//!
+//! - **adaptive vs fixed**: the real (smoke-budget) Figure 2 sweep run
+//!   fixed-budget and under the sequential stopping rule, comparing trial
+//!   counts and checking the per-range collapse verdicts agree
+//!   (`--assert-trial-savings FRACTION` gates the saving in CI);
+//! - **sharded scaling**: 1/2/4 `sefi-campaign-worker` processes over one
+//!   results directory each regenerate the adaptive sweep; the resulting
+//!   CSVs must be byte-identical at every process count.
+//!
 //! Usage:
 //!   bench_campaign [--out PATH] [--smoke] [--assert-speedup FACTOR]
+//!                  [--assert-trial-savings FRACTION] [--worker-bin PATH]
 
-use sefi_experiments::{Budget, CellPlan, Prebaked, TrialOutcome};
+use sefi_experiments::{exp_bitranges, Budget, CellPlan, Prebaked, StoppingRule, TrialOutcome};
 use sefi_frameworks::FrameworkKind;
 use sefi_models::ModelKind;
 use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// One pool measurement at a fixed worker count.
@@ -59,6 +71,39 @@ struct BenchFile {
     speedup: f64,
     /// Whether every rendered table matched the single-threaded rendering.
     tables_identical: bool,
+    /// Adaptive-vs-fixed comparison on the smoke Figure 2 sweep.
+    adaptive: AdaptiveEntry,
+    /// Sharded worker-process scaling (empty when the worker binary was
+    /// not found next to this benchmark).
+    sharded: Vec<ShardedEntry>,
+    /// Whether every sharded CSV matched the 1-process CSV byte for byte.
+    sharded_identical: bool,
+}
+
+/// Adaptive sequential stopping vs the fixed budget on the same sweep.
+#[derive(Debug, Serialize, Deserialize)]
+struct AdaptiveEntry {
+    /// Trials the fixed-budget sweep dispatched.
+    fixed_trials: usize,
+    /// Trials the adaptive sweep consumed.
+    adaptive_trials: usize,
+    /// `1 - adaptive/fixed`.
+    savings: f64,
+    /// Per-range collapse verdicts agree between the two sweeps.
+    verdicts_match: bool,
+    /// Fixed sweep wall-clock.
+    fixed_wall_ms: f64,
+    /// Adaptive sweep wall-clock.
+    adaptive_wall_ms: f64,
+}
+
+/// One sharded run: N worker processes over one results directory.
+#[derive(Debug, Serialize, Deserialize)]
+struct ShardedEntry {
+    /// Concurrent worker processes.
+    processes: usize,
+    /// Wall-clock until every worker exited.
+    wall_ms: f64,
 }
 
 /// The synthetic phase: `cells` cells with 1–4 trials each. Every trial
@@ -108,6 +153,8 @@ fn main() {
     let mut out = "BENCH_campaign.json".to_string();
     let mut smoke = false;
     let mut assert_speedup: Option<f64> = None;
+    let mut assert_trial_savings: Option<f64> = None;
+    let mut worker_bin: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -119,6 +166,14 @@ fn main() {
             "--assert-speedup" => {
                 i += 1;
                 assert_speedup = Some(args[i].parse().expect("speedup factor"));
+            }
+            "--assert-trial-savings" => {
+                i += 1;
+                assert_trial_savings = Some(args[i].parse().expect("savings fraction"));
+            }
+            "--worker-bin" => {
+                i += 1;
+                worker_bin = Some(PathBuf::from(&args[i]));
             }
             other => panic!("unknown argument {other}"),
         }
@@ -171,8 +226,104 @@ fn main() {
     }
     let speedup = pool.last().map(|p| p.speedup_vs_barrier).unwrap_or(0.0);
 
+    // --- adaptive vs fixed on the real (smoke-budget) Figure 2 sweep ---
+    set_threads(max_threads);
+    let adaptive = {
+        let pre = Prebaked::new(Budget::smoke());
+        let rule = StoppingRule::halving(pre.budget().fig2_trainings, 0.7);
+        let start = Instant::now();
+        let (fixed_rows, _) = exp_bitranges::figure2(&pre);
+        let fixed_wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let start = Instant::now();
+        let (adaptive_rows, _) = exp_bitranges::figure2_adaptive(&pre, rule);
+        let adaptive_wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let fixed_trials: usize = fixed_rows.iter().map(|r| r.trainings).sum();
+        let adaptive_trials: usize = adaptive_rows.iter().map(|r| r.trainings).sum();
+        let verdicts_match = fixed_rows
+            .iter()
+            .zip(&adaptive_rows)
+            .all(|(f, a)| (f.collapsed > 0) == (a.collapsed > 0))
+            && exp_bitranges::collapse_only_with_critical_bit(&fixed_rows)
+                == exp_bitranges::collapse_only_with_critical_bit(&adaptive_rows);
+        let savings = 1.0 - adaptive_trials as f64 / fixed_trials.max(1) as f64;
+        println!(
+            "  adaptive fig2: {adaptive_trials} of {fixed_trials} fixed trials \
+             ({:.0}% saved), verdicts match: {verdicts_match}",
+            savings * 100.0
+        );
+        AdaptiveEntry {
+            fixed_trials,
+            adaptive_trials,
+            savings,
+            verdicts_match,
+            fixed_wall_ms,
+            adaptive_wall_ms,
+        }
+    };
+
+    // --- sharded scaling: 1/2/4 worker processes over one results dir ---
+    let worker = worker_bin.or_else(|| {
+        let candidate = std::env::current_exe().ok()?.with_file_name("sefi-campaign-worker");
+        candidate.exists().then_some(candidate)
+    });
+    let mut sharded = Vec::new();
+    let mut sharded_identical = true;
+    match worker {
+        None => println!(
+            "  sharded scaling skipped: sefi-campaign-worker not found \
+             (build it or pass --worker-bin)"
+        ),
+        Some(worker) => {
+            let scratch =
+                std::env::temp_dir().join(format!("sefi_bench_sharded_{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&scratch);
+            let mut reference_csv: Option<String> = None;
+            for processes in [1usize, 2, 4] {
+                let dir = scratch.join(format!("{processes}proc"));
+                std::fs::create_dir_all(&dir).expect("scratch dir");
+                let start = Instant::now();
+                let children: Vec<std::process::Child> = (0..processes)
+                    .map(|w| {
+                        std::process::Command::new(&worker)
+                            .args(["--experiment", "fig2", "--budget", "smoke"])
+                            .args(["--results-dir", &dir.display().to_string()])
+                            .args(["--worker-id", &format!("w{w}")])
+                            .args(["--wave", "2", "--ci-width", "0.7"])
+                            .args(["--lease-ttl-ms", "4000", "--poll-ms", "25"])
+                            .stdout(std::process::Stdio::null())
+                            .stderr(std::process::Stdio::null())
+                            .spawn()
+                            .expect("spawn sefi-campaign-worker")
+                    })
+                    .collect();
+                for mut child in children {
+                    let status = child.wait().expect("worker exits");
+                    assert!(status.success(), "worker process failed: {status}");
+                }
+                let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+                let csv = std::fs::read_to_string(dir.join("fig2_adaptive.csv"))
+                    .expect("workers wrote the adaptive CSV");
+                let identical = match &reference_csv {
+                    None => {
+                        reference_csv = Some(csv);
+                        true
+                    }
+                    Some(reference) => *reference == csv,
+                };
+                sharded_identical &= identical;
+                println!(
+                    "  sharded @ {processes} proc{}    {wall_ms:>9.1} ms{}",
+                    if processes == 1 { " " } else { "s" },
+                    if identical { "" } else { "  CSV MISMATCH" },
+                );
+                sharded.push(ShardedEntry { processes, wall_ms });
+            }
+            let _ = std::fs::remove_dir_all(&scratch);
+        }
+    }
+
     let result = BenchFile {
-        schema: 1,
+        schema: 2,
         note: "per-cell-barrier fan-out vs campaign-wide work-stealing pool; \
                regenerate with `cargo run --release -p sefi-bench --bin bench_campaign`"
             .into(),
@@ -183,6 +334,9 @@ fn main() {
         pool,
         speedup,
         tables_identical,
+        adaptive,
+        sharded,
+        sharded_identical,
     };
     let text = serde_json::to_string_pretty(&result).expect("serialize bench file");
     std::fs::write(&out, text + "\n").unwrap_or_else(|e| panic!("write {out}: {e}"));
@@ -192,10 +346,29 @@ fn main() {
         eprintln!("  FAIL: rendered tables differ across modes/thread counts");
         std::process::exit(1);
     }
+    if !result.sharded_identical {
+        eprintln!("  FAIL: sharded CSVs differ across process counts");
+        std::process::exit(1);
+    }
+    if !result.adaptive.verdicts_match {
+        eprintln!("  FAIL: adaptive sweep flipped a fixed-budget collapse verdict");
+        std::process::exit(1);
+    }
     if let Some(want) = assert_speedup {
         let ok = speedup >= want;
         println!(
             "  assert speedup {speedup:.2} >= {want:.2} ... {}",
+            if ok { "ok" } else { "FAIL" }
+        );
+        if !ok {
+            std::process::exit(1);
+        }
+    }
+    if let Some(want) = assert_trial_savings {
+        let got = result.adaptive.savings;
+        let ok = got >= want;
+        println!(
+            "  assert trial savings {got:.2} >= {want:.2} ... {}",
             if ok { "ok" } else { "FAIL" }
         );
         if !ok {

@@ -135,16 +135,19 @@ impl Budget {
         [1, 10, 100, 1000]
     }
 
-    /// Stable fingerprint for the pretraining cache.
+    /// Stable fingerprint for the pretraining cache. The float fields are
+    /// encoded via `f64::to_bits`, not decimal truncation: the old
+    /// `(noise * 100.0) as u64` grain collided budgets like noise 0.450
+    /// vs 0.4549, silently serving one's pretrained weights to the other.
     pub fn cache_key(&self) -> String {
         format!(
-            "s{}_i{}_tr{}_te{}_re{}_n{}",
-            (self.model_scale * 1000.0) as u64,
+            "s{:016x}_i{}_tr{}_te{}_re{}_n{:016x}",
+            self.model_scale.to_bits(),
             self.image_size,
             self.train_images,
             self.test_images,
             self.restart_epoch,
-            (self.noise * 100.0) as u64
+            self.noise.to_bits()
         )
     }
 }
@@ -175,5 +178,27 @@ mod tests {
     #[test]
     fn cache_keys_distinguish_budgets() {
         assert_ne!(Budget::smoke().cache_key(), Budget::default_budget().cache_key());
+    }
+
+    #[test]
+    fn cache_keys_distinguish_sub_grain_float_differences() {
+        // Regression: decimal truncation collapsed noise 0.450 and 0.4549
+        // (both `(x * 100.0) as u64 == 45`) onto one key, so the second
+        // budget silently reused the first's pretraining cache.
+        let mut a = Budget::default_budget();
+        let mut b = Budget::default_budget();
+        a.noise = 0.450;
+        b.noise = 0.4549;
+        assert_ne!(a.cache_key(), b.cache_key());
+
+        // Same class of collision on model_scale below the 1/1000 grain.
+        let mut c = Budget::default_budget();
+        let mut d = Budget::default_budget();
+        c.model_scale = 0.0601;
+        d.model_scale = 0.06049;
+        assert_ne!(c.cache_key(), d.cache_key());
+
+        // Identical budgets still share a key (the cache must still hit).
+        assert_eq!(Budget::smoke().cache_key(), Budget::smoke().cache_key());
     }
 }

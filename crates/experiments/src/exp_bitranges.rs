@@ -5,6 +5,7 @@
 //! "The results show that the training collapses only when the injection
 //! range accounts for the most significant bit of the exponent."
 
+use crate::adaptive::{classify_collapsed, AdaptiveCell, ShardWorkerConfig, StoppingRule};
 use crate::runner::{CellPlan, Prebaked};
 use crate::stats::percent;
 use crate::table::{pct, TextTable};
@@ -46,59 +47,116 @@ pub struct RangeRow {
     pub failed: usize,
 }
 
-/// Run the sweep (Chainer/AlexNet; 1 000 flips per training, NaN allowed —
-/// the point is to observe collapse). All eight ranges are declared up
-/// front and share one scheduler pool.
-pub fn figure2(pre: &Prebaked) -> (Vec<RangeRow>, TextTable) {
+/// Declare one range's trials for the scheduler, keyed `fig2-{label}`.
+fn range_plan<'p>(
+    pre: &'p Prebaked,
+    label: &'static str,
+    range: BitRange,
+    trials: usize,
+) -> CellPlan<'p> {
     let fw = FrameworkKind::Chainer;
     let model = ModelKind::AlexNet;
-    let trials = pre.budget().fig2_trainings;
     let pristine = pre.checkpoint_shared(fw, model, Dtype::F64);
-    let plans: Vec<CellPlan<'_>> = ranges()
-        .into_iter()
-        .map(|(label, range)| {
-            let pristine = std::sync::Arc::clone(&pristine);
-            CellPlan::new("fig2", format!("fig2-{label}"), fw, model, trials, move |_, seed| {
-                let mut ck = (*pristine).clone();
-                let mut cfg = CorrupterConfig::bit_flips_full_range(1000, Precision::Fp64, seed);
-                cfg.mode = CorruptionMode::BitRange(range);
-                let report = Corrupter::new(cfg)?.corrupt(&mut ck)?;
-                let out = pre.try_resume(fw, model, &ck, pre.budget().resume_epochs)?;
-                Ok(TrialOutcome::ok().with_collapsed(out.collapsed()).with_counters(
-                    report.injections,
-                    report.nan_redraws,
-                    report.skipped,
-                ))
-            })
-        })
-        .collect();
-    let pooled = pre.run_plan(&plans);
+    CellPlan::new("fig2", format!("fig2-{label}"), fw, model, trials, move |_, seed| {
+        let mut ck = (*pristine).clone();
+        let mut cfg = CorrupterConfig::bit_flips_full_range(1000, Precision::Fp64, seed);
+        cfg.mode = CorruptionMode::BitRange(range);
+        let report = Corrupter::new(cfg)?.corrupt(&mut ck)?;
+        let out = pre.try_resume(fw, model, &ck, pre.budget().resume_epochs)?;
+        Ok(TrialOutcome::ok().with_collapsed(out.collapsed()).with_counters(
+            report.injections,
+            report.nan_redraws,
+            report.skipped,
+        ))
+    })
+}
 
+/// Fold the per-range outcome vectors into rows + the rendered table.
+/// Shared by the fixed-budget and adaptive drivers, so both produce the
+/// same table bytes from the same consumed outcomes.
+fn assemble(pooled: &[Vec<TrialOutcome>]) -> (Vec<RangeRow>, TextTable) {
     let mut rows = Vec::new();
     let mut table =
         TextTable::new(&["Range", "Critical bit", "Trainings", "Collapsed", "%", "Failed"]);
-    for ((label, range), outcomes) in ranges().into_iter().zip(&pooled) {
+    for ((label, range), outcomes) in ranges().into_iter().zip(pooled) {
+        let trainings = outcomes.len();
         let collapsed = outcomes.iter().filter(|o| o.collapsed).count();
         let failed = outcomes.iter().filter(|o| o.is_failed()).count();
         let includes_critical_bit = range.contains(Precision::Fp64.exponent_msb());
         table.row(vec![
             label.to_string(),
             if includes_critical_bit { "yes" } else { "no" }.to_string(),
-            trials.to_string(),
+            trainings.to_string(),
             collapsed.to_string(),
-            pct(percent(collapsed, trials)),
+            pct(percent(collapsed, trainings)),
             failed.to_string(),
         ]);
-        rows.push(RangeRow {
-            label,
-            range,
-            includes_critical_bit,
-            trainings: trials,
-            collapsed,
-            failed,
-        });
+        rows.push(RangeRow { label, range, includes_critical_bit, trainings, collapsed, failed });
     }
     (rows, table)
+}
+
+/// Run the sweep (Chainer/AlexNet; 1 000 flips per training, NaN allowed —
+/// the point is to observe collapse). All eight ranges are declared up
+/// front and share one scheduler pool.
+pub fn figure2(pre: &Prebaked) -> (Vec<RangeRow>, TextTable) {
+    let trials = pre.budget().fig2_trainings;
+    let plans: Vec<CellPlan<'_>> =
+        ranges().into_iter().map(|(label, range)| range_plan(pre, label, range, trials)).collect();
+    let pooled = pre.run_plan(&plans);
+    assemble(&pooled)
+}
+
+/// The sweep's adaptive cells, one stratum per bit range. `rule_for`
+/// receives each stratum's `(label, includes_critical_bit)` so callers can
+/// stratify the stopping rule — e.g. tighter intervals on the contested
+/// ranges and first-wave stops on the ones the paper shows are decisively
+/// safe or fatal.
+pub fn figure2_cells<'p>(
+    pre: &'p Prebaked,
+    rule_for: impl Fn(&'static str, bool) -> StoppingRule,
+) -> Vec<AdaptiveCell<'p>> {
+    let critical = Precision::Fp64.exponent_msb();
+    ranges()
+        .into_iter()
+        .map(|(label, range)| {
+            let rule = rule_for(label, range.contains(critical));
+            AdaptiveCell::new(
+                range_plan(pre, label, range, rule.max_trials),
+                rule,
+                classify_collapsed,
+            )
+        })
+        .collect()
+}
+
+/// The sweep under sequential stopping: identical protocol, seeds, and
+/// table layout as [`figure2`], but each range samples only until its
+/// collapse-rate interval is narrow enough (or the rule's cap — usually
+/// `fig2_trainings` — is reached). The consumed outcomes are a prefix of
+/// the fixed-budget trial sequence, so verdicts like
+/// [`collapse_only_with_critical_bit`] agree with the fixed sweep whenever
+/// the rule stops on a decisive rate.
+pub fn figure2_adaptive(pre: &Prebaked, rule: StoppingRule) -> (Vec<RangeRow>, TextTable) {
+    let cells = figure2_cells(pre, |_, _| rule);
+    let results = pre.run_adaptive(&cells);
+    let pooled: Vec<Vec<TrialOutcome>> = results.into_iter().map(|r| r.outcomes).collect();
+    assemble(&pooled)
+}
+
+/// One sharded worker's share of the adaptive sweep. Every worker of the
+/// campaign calls this with the same `rule`; all return the identical
+/// rows/table (assembled from the merged manifest), so any of them may
+/// write the CSV.
+pub fn figure2_adaptive_sharded(
+    pre: &Prebaked,
+    rule: StoppingRule,
+    cfg: &ShardWorkerConfig,
+) -> std::io::Result<(Vec<RangeRow>, TextTable)> {
+    let cells = figure2_cells(pre, |_, _| rule);
+    let results = pre.run_adaptive_sharded(&cells, cfg)?;
+    let pooled: Vec<Vec<TrialOutcome>> = results.into_iter().map(|r| r.outcomes).collect();
+    Ok(assemble(&pooled))
 }
 
 /// The paper's claim: collapse ⇔ the range includes bit 62.
@@ -135,5 +193,30 @@ mod tests {
         assert_eq!(safe.collapsed, 0);
         let critical = rows.iter().find(|r| r.label.contains("exp MSB only")).unwrap();
         assert!(critical.collapsed >= critical.trainings.saturating_sub(1));
+    }
+
+    #[test]
+    fn adaptive_sweep_matches_fixed_verdicts_with_fewer_trials() {
+        let pre = Prebaked::new(crate::budget::Budget::smoke());
+        let (fixed, _) = figure2(&pre);
+        let rule = StoppingRule::halving(pre.budget().fig2_trainings, 0.7);
+        let (adaptive, _) = figure2_adaptive(&pre, rule);
+        // Adaptive trials are a prefix of the fixed sequence, so the
+        // qualitative verdict must match range by range on decisive cells.
+        assert_eq!(
+            collapse_only_with_critical_bit(&fixed),
+            collapse_only_with_critical_bit(&adaptive)
+        );
+        for (f, a) in fixed.iter().zip(&adaptive) {
+            assert_eq!(f.collapsed > 0, a.collapsed > 0, "verdict flipped on {}", f.label);
+            assert!(a.trainings <= f.trainings, "{} overspent its cap", a.label);
+        }
+        // The whole point: extreme-rate ranges stop early.
+        let fixed_total: usize = fixed.iter().map(|r| r.trainings).sum();
+        let adaptive_total: usize = adaptive.iter().map(|r| r.trainings).sum();
+        assert!(
+            adaptive_total < fixed_total,
+            "adaptive spent {adaptive_total} of {fixed_total} fixed trials"
+        );
     }
 }

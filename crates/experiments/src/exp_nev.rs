@@ -7,6 +7,7 @@
 //! combinations at 64-bit; Table VII repeats Chainer's column at 16- and
 //! 32-bit precision.
 
+use crate::adaptive::{classify_collapsed, AdaptiveCell, StoppingRule};
 use crate::runner::{CellPlan, Prebaked};
 use crate::stats::percent;
 use crate::table::{pct, TextTable};
@@ -131,6 +132,47 @@ pub fn table4(pre: &Prebaked) -> (Vec<NevCell>, TextTable) {
         cells.push(cell);
     }
     (cells, table)
+}
+
+/// Table IV under sequential stopping: same 36 cells, same seeds, but each
+/// cell samples only until its N-EV-rate interval reaches the rule's
+/// target width (or the cap). One wave round-trip covers every live cell,
+/// so the pool stays full while decisive cells drain out early.
+pub fn table4_adaptive(pre: &Prebaked, rule: StoppingRule) -> (Vec<NevCell>, TextTable) {
+    let mut specs = Vec::new();
+    for &flips in &pre.budget().bitflip_counts() {
+        for fw in FrameworkKind::all() {
+            for model in ModelKind::all() {
+                specs.push((flips, fw, model));
+            }
+        }
+    }
+    let cells: Vec<AdaptiveCell<'_>> = specs
+        .iter()
+        .map(|&(flips, fw, model)| {
+            let plan = nev_plan(pre, fw, model, Precision::Fp64, flips, rule.max_trials);
+            AdaptiveCell::new(plan, rule, classify_collapsed)
+        })
+        .collect();
+    let results = pre.run_adaptive(&cells);
+
+    let mut out = Vec::new();
+    let mut table =
+        TextTable::new(&["Bit-flips", "Trainings", "Framework", "Model", "N-EV", "%", "Failed"]);
+    for (&(flips, fw, model), result) in specs.iter().zip(&results) {
+        let cell = nev_assemble(fw, model, flips, &result.outcomes);
+        table.row(vec![
+            flips.to_string(),
+            cell.trainings.to_string(),
+            fw.display().to_string(),
+            model.id().to_string(),
+            cell.nev.to_string(),
+            pct(cell.pct),
+            cell.failed.to_string(),
+        ]);
+        out.push(cell);
+    }
+    (out, table)
 }
 
 /// Table VII: Chainer at 16- and 32-bit precision, one pool for all cells.

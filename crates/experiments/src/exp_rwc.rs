@@ -7,6 +7,7 @@
 //! collapses), resumes, and compares the final accuracy against the
 //! deterministic baseline. Equality means the flip was fully absorbed.
 
+use crate::adaptive::{AdaptiveCell, StoppingRule};
 use crate::runner::{CellPlan, Prebaked};
 use crate::stats::percent;
 use crate::table::{pct, TextTable};
@@ -137,6 +138,53 @@ pub fn table5(pre: &Prebaked) -> (Vec<RwcCell>, TextTable) {
         cells.push(cell);
     }
     (cells, table)
+}
+
+/// Table V under sequential stopping: each cell samples until its RWC-rate
+/// interval reaches the rule's target width. The classifier counts a
+/// non-failed trial as a success iff its final accuracy exactly equals the
+/// deterministic baseline (a collapsed resume — no accuracy at all — is a
+/// non-RWC observation, not an exclusion).
+pub fn table5_adaptive(pre: &Prebaked, rule: StoppingRule) -> (Vec<RwcCell>, TextTable) {
+    let mut specs = Vec::new();
+    for model in ModelKind::all() {
+        for fw in FrameworkKind::all() {
+            specs.push((model, fw));
+        }
+    }
+    let cells: Vec<AdaptiveCell<'_>> = specs
+        .iter()
+        .map(|&(model, fw)| {
+            let baseline = pre.baseline_final_accuracy(model, Dtype::F64);
+            let plan = rwc_plan(pre, fw, model, rule.max_trials);
+            AdaptiveCell::new(plan, rule, move |o: &TrialOutcome| {
+                if o.is_failed() {
+                    None
+                } else {
+                    Some(o.final_accuracy == Some(baseline))
+                }
+            })
+        })
+        .collect();
+    let results = pre.run_adaptive(&cells);
+
+    let mut out = Vec::new();
+    let mut table =
+        TextTable::new(&["Model", "Trainings", "Framework", "RWC", "%", "MaxDev", "Failed"]);
+    for (&(model, fw), result) in specs.iter().zip(&results) {
+        let cell = rwc_assemble(pre, fw, model, &result.outcomes);
+        table.row(vec![
+            model.id().to_string(),
+            cell.trainings.to_string(),
+            fw.display().to_string(),
+            cell.rwc.to_string(),
+            pct(cell.pct),
+            format!("{:.4}", cell.max_deviation),
+            cell.failed.to_string(),
+        ]);
+        out.push(cell);
+    }
+    (out, table)
 }
 
 #[cfg(test)]

@@ -18,6 +18,7 @@
 
 #![deny(missing_docs)]
 
+pub mod adaptive;
 mod budget;
 pub mod chart;
 pub mod exp_bitranges;
@@ -37,6 +38,10 @@ mod runner;
 pub mod stats;
 pub mod table;
 
+pub use adaptive::{
+    classify_collapsed, replay, wilson_interval, AdaptiveCell, AdaptiveCellResult, CellTrace,
+    ShardWorkerConfig, StoppingRule, WaveStat,
+};
 pub use budget::Budget;
 pub use runner::{
     combo_seed, combo_seed_parts, CampaignConfig, CellPlan, PhaseGuard, Prebaked, TrialError,

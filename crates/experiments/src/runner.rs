@@ -231,6 +231,12 @@ pub struct CampaignConfig {
     /// Re-execute trials whose manifest record is a failure instead of
     /// serving the recorded failure. Successes are never re-executed.
     pub retry_failed: bool,
+    /// Shard tag of this worker process in a multi-process campaign.
+    /// When set, manifests open in sharded mode: records from every
+    /// worker's shard file are read, but this process appends only to
+    /// `manifest-<shard>.jsonl`, so concurrent workers never interleave
+    /// writes within one file.
+    pub shard: Option<String>,
 }
 
 impl CampaignConfig {
@@ -240,6 +246,7 @@ impl CampaignConfig {
             name: name.to_string(),
             results_dir: PathBuf::from("results"),
             retry_failed: false,
+            shard: None,
         }
     }
 
@@ -254,6 +261,13 @@ impl CampaignConfig {
         self.retry_failed = retry;
         self
     }
+
+    /// Mark this process as worker `shard` of a multi-process campaign
+    /// (the `--worker-id` flag). The tag must be filename-safe.
+    pub fn shard_id(mut self, shard: impl Into<String>) -> Self {
+        self.shard = Some(shard.into());
+        self
+    }
 }
 
 /// Live campaign state: the event sink, the summary aggregator, and one
@@ -263,6 +277,7 @@ struct Campaign {
     config_digest: String,
     results_dir: PathBuf,
     retry_failed: bool,
+    shard: Option<String>,
     sink: JsonlSink,
     aggregator: Aggregator,
     manifests: Mutex<HashMap<String, Arc<Manifest>>>,
@@ -276,9 +291,12 @@ impl Campaign {
             return Arc::clone(m);
         }
         let path = self.results_dir.join(experiment).join("manifest.jsonl");
+        let open = match &self.shard {
+            Some(tag) => Manifest::open_sharded(&path, tag),
+            None => Manifest::open(&path),
+        };
         let m = Arc::new(
-            Manifest::open(&path)
-                .unwrap_or_else(|e| panic!("cannot open manifest {}: {e}", path.display())),
+            open.unwrap_or_else(|e| panic!("cannot open manifest {}: {e}", path.display())),
         );
         manifests.insert(experiment.to_string(), Arc::clone(&m));
         m
@@ -362,6 +380,16 @@ impl<'p> CellPlan<'p> {
     pub fn trials(&self) -> usize {
         self.trials
     }
+
+    /// The experiment this cell records under.
+    pub fn experiment(&self) -> &str {
+        &self.experiment
+    }
+
+    /// The `combo_seed` of this cell's `trial` — the manifest resume key.
+    pub fn seed(&self, trial: usize) -> u64 {
+        combo_seed(self.fw, self.model, &self.cell, trial)
+    }
 }
 
 /// A keyed once-cache: per-key init slots behind one short-lived map lock.
@@ -438,6 +466,7 @@ impl Prebaked {
             config_digest,
             results_dir: config.results_dir,
             retry_failed: config.retry_failed,
+            shard: config.shard,
             sink,
             aggregator: Aggregator::new(),
             manifests: Mutex::new(HashMap::new()),
@@ -515,25 +544,64 @@ impl Prebaked {
     /// (resume skips known-bad trials) unless the campaign was opened
     /// with [`CampaignConfig::retry_failed`].
     pub fn run_plan(&self, plans: &[CellPlan<'_>]) -> Vec<Vec<TrialOutcome>> {
+        let units: Vec<(usize, usize)> = plans
+            .iter()
+            .enumerate()
+            .flat_map(|(ci, p)| (0..p.trials).map(move |t| (ci, t)))
+            .collect();
+        let refs: Vec<&CellPlan<'_>> = plans.iter().collect();
+        let flat = self.run_units(&refs, units);
+        // The flat pool was built cell-major, and the dispatch preserves
+        // positional order, so scattering back is sequential chunking.
+        let mut flat = flat.into_iter();
+        plans.iter().map(|p| flat.by_ref().take(p.trials).collect()).collect()
+    }
+
+    /// The scheduler core under [`Prebaked::run_plan`] and the adaptive
+    /// wave dispatcher: run an explicit list of `(plan index, trial)`
+    /// units through one work-stealing pool, returning outcomes in unit
+    /// order (positional, so results are thread-count invariant). Units
+    /// need not cover whole cells — adaptive campaigns dispatch one wave's
+    /// trial range at a time.
+    pub(crate) fn run_units(
+        &self,
+        plans: &[&CellPlan<'_>],
+        units: Vec<(usize, usize)>,
+    ) -> Vec<TrialOutcome> {
         // Open every experiment's manifest up front so workers never
         // contend on manifest creation mid-pool.
         let manifests: Vec<Option<Arc<Manifest>>> = plans
             .iter()
             .map(|p| self.campaign.as_ref().map(|c| c.manifest_for(&p.experiment)))
             .collect();
-        let units: Vec<(usize, usize)> = plans
-            .iter()
-            .enumerate()
-            .flat_map(|(ci, p)| (0..p.trials).map(move |t| (ci, t)))
-            .collect();
-        let flat: Vec<TrialOutcome> = units
+        units
             .into_par_iter()
-            .map(|(ci, trial)| self.run_one(&plans[ci], manifests[ci].as_deref(), trial))
-            .collect();
-        // The flat pool was built cell-major, and the dispatch preserves
-        // positional order, so scattering back is sequential chunking.
-        let mut flat = flat.into_iter();
-        plans.iter().map(|p| flat.by_ref().take(p.trials).collect()).collect()
+            .map(|(ci, trial)| self.run_one(plans[ci], manifests[ci].as_deref(), trial))
+            .collect()
+    }
+
+    /// Emit a campaign telemetry event; a no-op without a campaign.
+    pub(crate) fn emit_event(&self, event: &Event) {
+        if let Some(c) = &self.campaign {
+            c.sink.emit(event);
+        }
+    }
+
+    /// The campaign's config digest (scopes manifest records). `None`
+    /// without a campaign.
+    pub(crate) fn campaign_digest(&self) -> Option<String> {
+        self.campaign.as_ref().map(|c| c.config_digest.clone())
+    }
+
+    /// The campaign's results directory, when one is attached.
+    pub(crate) fn campaign_results_dir(&self) -> Option<PathBuf> {
+        self.campaign.as_ref().map(|c| c.results_dir.clone())
+    }
+
+    /// The (possibly sharded) manifest of `experiment`. `None` without a
+    /// campaign.
+    pub(crate) fn campaign_manifest(&self, experiment: &str) -> Option<Arc<Manifest>> {
+        self.campaign.as_ref().map(|c| c.manifest_for(experiment))
     }
 
     /// One trial of one plan through the guard + manifest + telemetry

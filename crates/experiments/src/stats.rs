@@ -51,6 +51,13 @@ pub fn five_number_summary(xs: &[f64]) -> (Option<FiveNum>, usize) {
         let lo = idx.floor() as usize;
         let hi = idx.ceil() as usize;
         let frac = idx - lo as f64;
+        if frac == 0.0 {
+            // Exact-index quantile: return the element instead of blending.
+            // The blend is wrong on ±infinite data (NEV weight diffs feed
+            // those in): with lo == hi == inf it computes
+            // `inf * 1.0 + inf * 0.0 = inf + NaN = NaN`.
+            return sorted[lo];
+        }
         sorted[lo] * (1.0 - frac) + sorted[hi] * frac
     };
     let summary = FiveNum {
@@ -116,6 +123,45 @@ mod tests {
         assert_eq!(inf.unwrap().max, f64::INFINITY);
         // All-NaN input yields no summary but reports the drops.
         assert_eq!(five_number_summary(&[f64::NAN]), (None, 1));
+    }
+
+    #[test]
+    fn exact_index_quantiles_on_infinite_data_are_not_nan() {
+        // Regression: five values put every quartile at an integral index,
+        // where the old blend computed `inf * 1.0 + inf * 0.0 = NaN`.
+        // All-infinite input — exactly what an NEV-collapsed resume's
+        // weight diffs look like — must summarize as infinities.
+        let (s, dropped) = five_number_summary(&[f64::INFINITY; 5]);
+        let s = s.unwrap();
+        assert_eq!(dropped, 0);
+        for v in [s.min, s.q1, s.median, s.q3, s.max] {
+            assert_eq!(v, f64::INFINITY, "summary leaked a NaN: {s:?}");
+        }
+
+        // Same for the negative side.
+        let (s, _) = five_number_summary(&[f64::NEG_INFINITY; 9]);
+        let s = s.unwrap();
+        assert_eq!(s.median, f64::NEG_INFINITY);
+        assert_eq!(s.q3, f64::NEG_INFINITY);
+
+        // Mixed ±inf with exact-index quartiles: each quantile lands on a
+        // real element, ordered by total_cmp.
+        let (s, _) = five_number_summary(&[
+            f64::NEG_INFINITY,
+            f64::NEG_INFINITY,
+            0.0,
+            f64::INFINITY,
+            f64::INFINITY,
+        ]);
+        let s = s.unwrap();
+        assert_eq!(s.q1, f64::NEG_INFINITY);
+        assert_eq!(s.median, 0.0);
+        assert_eq!(s.q3, f64::INFINITY);
+
+        // Fractional-index quantiles between two infinities of the same
+        // sign still blend to that infinity (inf*0.75 + inf*0.25 = inf).
+        let (s, _) = five_number_summary(&[f64::INFINITY, f64::INFINITY]);
+        assert_eq!(s.unwrap().median, f64::INFINITY);
     }
 
     #[test]

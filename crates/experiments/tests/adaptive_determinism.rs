@@ -1,0 +1,281 @@
+//! Adaptive-campaign determinism: the stopping trace and the assembled
+//! table must be identical at any thread count, across a mid-wave
+//! kill/resume, and between a single process and N sharded workers — with
+//! stale lease files from dead workers lying around.
+//!
+//! These tests set `RAYON_NUM_THREADS` (process-global), so they live in
+//! their own integration-test binary and serialize on [`ENV_LOCK`].
+
+use sefi_experiments::{
+    AdaptiveCell, AdaptiveCellResult, Budget, CampaignConfig, CellPlan, CellTrace, Prebaked,
+    ShardWorkerConfig, StoppingRule, TrialOutcome,
+};
+use sefi_frameworks::FrameworkKind;
+use sefi_models::ModelKind;
+use sefi_telemetry::digest64;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+/// Run `f` with `RAYON_NUM_THREADS=n`, restoring the environment after.
+fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    std::env::set_var("RAYON_NUM_THREADS", n.to_string());
+    let out = f();
+    std::env::remove_var("RAYON_NUM_THREADS");
+    out
+}
+
+/// The cells' stopping rule: waves of 2, stop at width ≤ 0.66 (which a
+/// 0/2 or 2/2 first wave satisfies at ≈ 0.658, but an even split never
+/// does before the cap), cap 6.
+fn rule() -> StoppingRule {
+    StoppingRule::new(2, 0.66, 6)
+}
+
+/// Four synthetic strata exercising every stopping path: a cell that
+/// always collapses (stops after wave 0), one that never does (ditto),
+/// one genuinely mixed (runs to the cap), and one whose every third trial
+/// fails (exclusions shrink the classified count but not determinism).
+/// Trial bodies sleep seed-derived jitter so multi-worker pools finish
+/// far out of submission order.
+type TrialFn = fn(usize, u64) -> TrialOutcome;
+
+fn adaptive_cells(executed: &AtomicUsize) -> Vec<AdaptiveCell<'_>> {
+    let specs: [(&'static str, TrialFn); 4] = [
+        ("always", |_, _| TrialOutcome::ok().with_collapsed(true)),
+        ("never", |_, _| TrialOutcome::ok().with_collapsed(false)),
+        ("mixed", |t, _| TrialOutcome::ok().with_collapsed(t % 2 == 0)),
+        ("flaky", |t, seed| {
+            if t % 3 == 2 {
+                TrialOutcome::failed("synthetic harness fault")
+            } else {
+                TrialOutcome::ok().with_collapsed(seed % 4 < 2)
+            }
+        }),
+    ];
+    specs
+        .into_iter()
+        .enumerate()
+        .map(|(i, (label, make))| {
+            let fw = FrameworkKind::all()[i % 3];
+            let model = ModelKind::all()[(i + 1) % 3];
+            let plan =
+                CellPlan::new("adapt", label, fw, model, rule().max_trials, move |trial, seed| {
+                    executed.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(Duration::from_millis(1 + seed % 5));
+                    Ok(make(trial, seed))
+                });
+            AdaptiveCell::new(
+                plan,
+                rule(),
+                |o: &TrialOutcome| {
+                    if o.is_failed() {
+                        None
+                    } else {
+                        Some(o.collapsed)
+                    }
+                },
+            )
+        })
+        .collect()
+}
+
+/// Render the adaptive results — the byte-identity artifact every
+/// configuration is diffed against (trials used, collapse counts, and the
+/// full stopping trace).
+fn render(results: &[AdaptiveCellResult]) -> String {
+    let mut table = sefi_experiments::table::TextTable::new(&[
+        "Cell",
+        "Used",
+        "Collapsed",
+        "Failed",
+        "Waves",
+        "Capped",
+        "FinalWidth",
+    ]);
+    for (i, r) in results.iter().enumerate() {
+        let collapsed = r.outcomes.iter().filter(|o| o.collapsed).count();
+        let failed = r.outcomes.iter().filter(|o| o.is_failed()).count();
+        table.row(vec![
+            i.to_string(),
+            r.trace.trials_used.to_string(),
+            collapsed.to_string(),
+            failed.to_string(),
+            r.trace.waves.len().to_string(),
+            r.trace.capped.to_string(),
+            format!("{:.12}", r.trace.waves.last().map_or(f64::NAN, |w| w.width)),
+        ]);
+    }
+    table.render()
+}
+
+fn traces(results: &[AdaptiveCellResult]) -> Vec<CellTrace> {
+    results.iter().map(|r| r.trace.clone()).collect()
+}
+
+/// Unique scratch directory for campaign tests (parallel-safe).
+fn scratch_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("sefi_adapt_{tag}_{}_{n}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+#[test]
+fn stopping_traces_are_identical_across_thread_counts() {
+    let pre = Prebaked::new(Budget::smoke());
+    let executed = AtomicUsize::new(0);
+    let cells = adaptive_cells(&executed);
+    let cap_total = cells.len() * rule().max_trials;
+
+    let reference = with_threads(1, || pre.run_adaptive(&cells));
+    let used: usize = reference.iter().map(|r| r.trace.trials_used).sum();
+    assert!(used < cap_total, "extreme cells must stop before the cap ({used} of {cap_total})");
+    // Decisive strata stop after one wave; the mixed stratum runs out.
+    assert_eq!(reference[0].trace.trials_used, 2, "always-collapses stops at wave 0");
+    assert_eq!(reference[1].trace.trials_used, 2, "never-collapses stops at wave 0");
+    assert_eq!(reference[2].trace.trials_used, 6, "mixed runs to the cap");
+
+    let (ref_render, ref_traces) = (render(&reference), traces(&reference));
+    for threads in [2, 8] {
+        let results = with_threads(threads, || pre.run_adaptive(&cells));
+        assert_eq!(traces(&results), ref_traces, "stopping trace diverged at {threads} threads");
+        assert_eq!(render(&results), ref_render, "table diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn resume_after_mid_wave_kill_replays_the_same_trace() {
+    let dir_ref = scratch_dir("ref");
+    let dir_kill = scratch_dir("kill");
+    let executed = AtomicUsize::new(0);
+
+    // Ground truth: an uninterrupted adaptive campaign.
+    let (ref_render, ref_traces) = {
+        let pre = Prebaked::with_campaign(
+            Budget::smoke(),
+            CampaignConfig::new("adapt").results_dir(&dir_ref),
+        )
+        .unwrap();
+        let cells = adaptive_cells(&executed);
+        let results = with_threads(4, || pre.run_adaptive(&cells));
+        (render(&results), traces(&results))
+    };
+    let full_executions = executed.swap(0, Ordering::Relaxed);
+    let telemetry = std::fs::read_to_string(dir_ref.join("telemetry.jsonl")).unwrap();
+    assert!(telemetry.contains("\"WaveEnd\""), "adaptive campaigns must emit WaveEnd events");
+
+    // The same campaign, killed mid-wave: run it fully, then truncate the
+    // manifest to a prefix that ends inside a wave (records land in pool
+    // completion order, so a prefix cut is exactly what `kill -9` leaves).
+    {
+        let pre = Prebaked::with_campaign(
+            Budget::smoke(),
+            CampaignConfig::new("adapt").results_dir(&dir_kill),
+        )
+        .unwrap();
+        let cells = adaptive_cells(&executed);
+        with_threads(4, || pre.run_adaptive(&cells));
+    }
+    let manifest_path = dir_kill.join("adapt/manifest.jsonl");
+    let recorded: Vec<String> =
+        std::fs::read_to_string(&manifest_path).unwrap().lines().map(String::from).collect();
+    let keep = recorded.len() / 2;
+    std::fs::write(&manifest_path, format!("{}\n", recorded[..keep].join("\n"))).unwrap();
+    executed.store(0, Ordering::Relaxed);
+
+    // Resume: a fresh runner over the truncated manifest must re-execute
+    // only the lost trials and converge on the identical trace and table.
+    let pre = Prebaked::with_campaign(
+        Budget::smoke(),
+        CampaignConfig::new("adapt").results_dir(&dir_kill),
+    )
+    .unwrap();
+    let cells = adaptive_cells(&executed);
+    let results = with_threads(8, || pre.run_adaptive(&cells));
+    let resumed_executions = executed.load(Ordering::Relaxed);
+    assert!(
+        resumed_executions < full_executions,
+        "resume re-executed everything ({resumed_executions} of {full_executions})"
+    );
+    assert_eq!(traces(&results), ref_traces, "resumed stopping trace diverged");
+    assert_eq!(render(&results), ref_render, "resumed table diverged");
+
+    let _ = std::fs::remove_dir_all(&dir_ref);
+    let _ = std::fs::remove_dir_all(&dir_kill);
+}
+
+#[test]
+fn sharded_workers_match_the_single_process_table() {
+    let dir_solo = scratch_dir("solo");
+    let dir_duo = scratch_dir("duo");
+    let executed_solo = AtomicUsize::new(0);
+
+    // Single-process reference.
+    let (ref_render, ref_traces) = {
+        let pre = Prebaked::with_campaign(
+            Budget::smoke(),
+            CampaignConfig::new("adapt").results_dir(&dir_solo),
+        )
+        .unwrap();
+        let cells = adaptive_cells(&executed_solo);
+        let results = with_threads(4, || pre.run_adaptive(&cells));
+        (render(&results), traces(&results))
+    };
+
+    // A dead worker's stale lease on the first cell's first wave: it must
+    // be broken (mtime far past the TTL), not deadlock the campaign.
+    let leases = dir_duo.join("leases");
+    std::fs::create_dir_all(&leases).unwrap();
+    let stale_key = format!("{}-w0", digest64("adapt/always"));
+    let stale = leases.join(format!("{stale_key}.lease"));
+    std::fs::write(&stale, "dead-worker\n").unwrap();
+    let long_ago = std::time::SystemTime::now() - Duration::from_secs(3600);
+    std::fs::File::options().write(true).open(&stale).unwrap().set_modified(long_ago).unwrap();
+
+    // Two sharded workers racing over one results directory, each with its
+    // own runner instance and manifest shard.
+    let executed_duo = AtomicUsize::new(0);
+    let worker = |tag: &str| {
+        let pre = Prebaked::with_campaign(
+            Budget::smoke(),
+            CampaignConfig::new("adapt").results_dir(&dir_duo).shard_id(tag),
+        )
+        .unwrap();
+        let cells = adaptive_cells(&executed_duo);
+        let cfg = ShardWorkerConfig {
+            lease_ttl: Duration::from_secs(5),
+            poll: Duration::from_millis(10),
+        };
+        pre.run_adaptive_sharded(&cells, &cfg).expect("sharded run completes")
+    };
+    let (res1, res2) = std::thread::scope(|s| {
+        let w1 = s.spawn(|| worker("w1"));
+        let w2 = s.spawn(|| worker("w2"));
+        (w1.join().expect("worker 1"), w2.join().expect("worker 2"))
+    });
+
+    // Every worker assembles the same result, and it is byte-identical to
+    // the single-process run.
+    assert_eq!(traces(&res1), ref_traces, "worker 1 trace diverged");
+    assert_eq!(traces(&res2), ref_traces, "worker 2 trace diverged");
+    assert_eq!(render(&res1), ref_render, "worker 1 table diverged");
+    assert_eq!(render(&res2), ref_render, "worker 2 table diverged");
+    // Leases kept the workers off each other's waves: the duo executed
+    // exactly what the solo run executed, not double.
+    assert_eq!(
+        executed_duo.load(Ordering::Relaxed),
+        executed_solo.load(Ordering::Relaxed),
+        "sharded workers duplicated trial executions"
+    );
+    // The dead worker's lease was broken and cleaned up.
+    assert!(!stale.exists(), "stale lease survived the campaign");
+
+    let _ = std::fs::remove_dir_all(&dir_solo);
+    let _ = std::fs::remove_dir_all(&dir_duo);
+}

@@ -1,11 +1,56 @@
 //! Integration tests of the experiment harness itself at smoke scale:
 //! the structural guarantees every table/figure build on.
 
-use sefi_experiments::{exp_bitranges, exp_curves, exp_nev, exp_rwc, Budget, Prebaked};
+use sefi_experiments::{
+    exp_bitranges, exp_curves, exp_nev, exp_rwc, Budget, CampaignConfig, CellPlan, Prebaked,
+    TrialOutcome,
+};
 use sefi_float::Precision;
 use sefi_frameworks::FrameworkKind;
 use sefi_hdf5::Dtype;
 use sefi_models::ModelKind;
+
+#[test]
+fn non_finite_measurements_become_recorded_failures_not_panics() {
+    // A trial that measures a NaN accuracy (NEV-corrupted evaluation paths
+    // can produce one) must not poison the manifest or kill the campaign:
+    // the outcome is recorded as failed and every other trial proceeds.
+    let dir = std::env::temp_dir().join(format!("sefi_nan_outcome_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = CampaignConfig::new("nan-probe").results_dir(&dir);
+    let plan = || {
+        CellPlan::new(
+            "nanexp",
+            "poisoned",
+            FrameworkKind::PyTorch,
+            ModelKind::AlexNet,
+            3,
+            |trial, _| {
+                Ok(if trial == 1 {
+                    TrialOutcome::ok().with_accuracy(f64::NAN)
+                } else {
+                    TrialOutcome::ok().with_accuracy(0.5)
+                })
+            },
+        )
+    };
+    let pre = Prebaked::with_campaign(Budget::smoke(), cfg.clone()).unwrap();
+    let outcomes = pre.run_plan(&[plan()]).pop().unwrap();
+    assert!(outcomes[1].is_failed(), "NaN accuracy must be recorded as a failure");
+    assert!(outcomes[1].failure.as_deref().unwrap_or("").contains("non-finite"));
+    assert_eq!(outcomes[1].final_accuracy, None, "the NaN must not reach the manifest");
+    assert!(!outcomes[0].is_failed() && !outcomes[2].is_failed(), "other trials proceed");
+    assert_eq!(pre.campaign_failed(), Some(1));
+    drop(pre);
+
+    // The manifest the failure went through stays parseable: a resumed
+    // campaign serves all three records without re-executing anything.
+    let pre2 = Prebaked::with_campaign(Budget::smoke(), cfg).unwrap();
+    let outcomes2 = pre2.run_plan(&[plan()]).pop().unwrap();
+    assert_eq!(pre2.campaign_totals(), Some((0, 3)), "all three records must be served");
+    assert!(outcomes2[1].is_failed());
+    let _ = std::fs::remove_dir_all(&dir);
+}
 
 #[test]
 fn cells_are_reproducible_functions_of_their_inputs() {

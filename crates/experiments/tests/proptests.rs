@@ -1,13 +1,19 @@
-//! Property-based tests for the campaign seed derivation.
+//! Property-based tests for the campaign seed derivation and the adaptive
+//! stopping layer.
 //!
 //! `combo_seed_parts` is the manifest resume key: two distinct
 //! (framework, model, label, trial) combinations sharing a seed would let
 //! one cell's recorded outcome silently answer for another. The fields are
 //! hashed behind length prefixes precisely so that moving bytes across a
 //! field boundary — ("ab","c") vs ("a","bc") — changes the stream.
+//!
+//! `replay` is the adaptive campaign's stopping decision: a pure function
+//! of the classified outcome sequence. Its purity and prefix stability are
+//! exactly what makes adaptive results reproducible across thread counts,
+//! worker counts, and kill/resume, so they are pinned as properties here.
 
 use proptest::prelude::*;
-use sefi_experiments::combo_seed_parts;
+use sefi_experiments::{combo_seed_parts, replay, wilson_interval, StoppingRule};
 
 fn short_id() -> impl Strategy<Value = String> {
     "[a-z0-9]{0,6}"
@@ -82,5 +88,64 @@ proptest! {
             combo_seed_parts(&fw, &model, &label, a),
             combo_seed_parts(&fw, &model, &label, b)
         );
+    }
+
+    /// Wilson bounds are a valid interval containing the point estimate.
+    #[test]
+    fn wilson_interval_brackets_the_estimate(s in 0u64..=200, n in 0u64..=200,
+                                             z in 0.5f64..4.0) {
+        prop_assume!(s <= n);
+        let (lo, hi) = wilson_interval(s, n, z);
+        prop_assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+        prop_assert!(lo <= hi);
+        if n > 0 {
+            let p = s as f64 / n as f64;
+            prop_assert!(lo <= p && p <= hi, "p̂ = {p} outside [{lo}, {hi}]");
+        }
+    }
+
+    /// More evidence at the same rate never widens the interval.
+    #[test]
+    fn wilson_width_shrinks_with_n(s in 0u64..=20, n in 1u64..=20, k in 2u64..=8) {
+        prop_assume!(s <= n);
+        let (lo1, hi1) = wilson_interval(s, n, 1.96);
+        let (lo2, hi2) = wilson_interval(s * k, n * k, 1.96);
+        prop_assert!(hi2 - lo2 <= hi1 - lo1 + 1e-12);
+    }
+
+    /// Replay is deterministic and prefix-stable: extending the outcome
+    /// sequence never rewrites already-taken wave decisions, and a stopped
+    /// trace is final. This is the stopping-trace determinism argument in
+    /// miniature (DESIGN.md §10).
+    #[test]
+    fn replay_is_pure_and_prefix_stable(
+        raw in prop::collection::vec(0u8..3, 0..40),
+        wave in 1usize..6,
+        cap in 1usize..40,
+        width in 0.05f64..1.0,
+    ) {
+        // 0 → excluded (failed trial), 1 → Some(false), 2 → Some(true).
+        let classes: Vec<Option<bool>> =
+            raw.iter().map(|&v| match v { 0 => None, 1 => Some(false), _ => Some(true) }).collect();
+        let rule = StoppingRule::new(wave, width, cap.max(wave));
+        let full = replay(&rule, &classes);
+        // Purity: identical inputs give identical traces, bit for bit.
+        prop_assert_eq!(&full, &replay(&rule, &classes));
+        // The cap is honored.
+        prop_assert!(full.trials_used <= rule.max_trials);
+        // Prefix stability: every shorter prefix's trace is a prefix of
+        // the full trace (until the full trace stops).
+        for cut in 0..classes.len() {
+            let partial = replay(&rule, &classes[..cut]);
+            let shared = partial.waves.len().min(full.waves.len());
+            prop_assert_eq!(&partial.waves[..shared], &full.waves[..shared],
+                            "wave decisions rewritten at cut {}", cut);
+        }
+        // A stopped trace ignores further evidence entirely.
+        if full.stopped() {
+            let mut extended = classes.clone();
+            extended.extend([Some(true), Some(false), None]);
+            prop_assert_eq!(&full, &replay(&rule, &extended));
+        }
     }
 }

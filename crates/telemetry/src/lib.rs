@@ -15,6 +15,8 @@
 
 #![deny(missing_docs)]
 
+pub mod lease;
+
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
@@ -37,9 +39,13 @@ pub struct Metric {
 ///
 /// Floats round-trip exactly through the JSONL manifest (shortest-
 /// round-trip formatting), which is what makes resumed campaigns emit
-/// byte-identical tables. Never store non-finite values: JSON has no
+/// byte-identical tables. Non-finite values cannot be stored: JSON has no
 /// representation for them, so derive them at table-build time instead
-/// (e.g. the RWC deviation of a collapsed trial).
+/// (e.g. the RWC deviation of a collapsed trial). A builder handed a
+/// non-finite measurement — a corrupted resume really does produce NaN
+/// accuracies — converts the outcome into a recorded failure instead of
+/// panicking, so at campaign scale one poisoned trial costs one `failed`
+/// row, not a dead worker.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrialOutcome {
     /// Coarse outcome class, e.g. `"ok"`, `"collapsed"`, or
@@ -106,9 +112,24 @@ impl TrialOutcome {
         self.status == FAILED_STATUS
     }
 
+    /// Turn this outcome into a recorded failure because a builder was
+    /// handed the non-finite measurement named `what`. The value is
+    /// dropped (JSON cannot hold it); the status and reason make the trial
+    /// a `failed` row a resumed campaign serves (or `--retry-failed`
+    /// re-executes) instead of a panic that kills the worker process.
+    fn reject_non_finite(mut self, what: &str) -> Self {
+        self.status = FAILED_STATUS.to_string();
+        self.failure = Some(format!("non-finite {what} cannot be recorded in the manifest"));
+        self
+    }
+
     /// Record the trial's boolean verdict; a `true` verdict also flips the
     /// status to `"collapsed"` so the histogram separates the two classes.
+    /// A no-op on an already-failed outcome: a failure never reclassifies.
     pub fn with_collapsed(mut self, collapsed: bool) -> Self {
+        if self.is_failed() {
+            return self;
+        }
         self.collapsed = collapsed;
         if collapsed {
             self.status = "collapsed".to_string();
@@ -116,24 +137,32 @@ impl TrialOutcome {
         self
     }
 
-    /// Record a final accuracy. Panics on non-finite values: they cannot
-    /// survive the JSON round-trip, so the caller must derive them later.
+    /// Record a final accuracy. A non-finite value converts the outcome
+    /// into a recorded failure (it cannot survive the JSON round-trip).
     pub fn with_accuracy(mut self, accuracy: f64) -> Self {
-        assert!(accuracy.is_finite(), "manifest outcomes must stay finite");
+        if !accuracy.is_finite() {
+            return self.reject_non_finite("final_accuracy");
+        }
         self.final_accuracy = Some(accuracy);
         self
     }
 
-    /// Record a per-epoch curve (finite values only).
+    /// Record a per-epoch curve. Any non-finite point converts the outcome
+    /// into a recorded failure.
     pub fn with_curve(mut self, curve: Vec<f64>) -> Self {
-        assert!(curve.iter().all(|v| v.is_finite()), "manifest outcomes must stay finite");
+        if !curve.iter().all(|v| v.is_finite()) {
+            return self.reject_non_finite("curve point");
+        }
         self.curve = curve;
         self
     }
 
-    /// Attach a named scalar.
+    /// Attach a named scalar. A non-finite value converts the outcome into
+    /// a recorded failure.
     pub fn with_metric(mut self, name: &str, value: f64) -> Self {
-        assert!(value.is_finite(), "manifest outcomes must stay finite");
+        if !value.is_finite() {
+            return self.reject_non_finite(&format!("metric {name:?}"));
+        }
         self.metrics.push(Metric { name: name.to_string(), value });
         self
     }
@@ -246,6 +275,33 @@ pub enum Event {
         reason: String,
         /// Wall-clock spent before the trial died.
         duration_ns: u64,
+    },
+    /// An adaptive campaign finished one wave of a cell and evaluated its
+    /// stopping rule. The decision is a pure function of the recorded
+    /// trial outcomes, so a resumed or sharded campaign replays the exact
+    /// same sequence of `WaveEnd` decisions.
+    WaveEnd {
+        /// Experiment name.
+        experiment: String,
+        /// Cell label (the stratum).
+        cell: String,
+        /// Wave index, 0-based.
+        wave: u64,
+        /// Trials dispatched so far (all waves up to and including this).
+        trials: u64,
+        /// Trials whose outcome the classifier counted (failed trials are
+        /// excluded from the rate).
+        classified: u64,
+        /// Classified trials counted as successes.
+        successes: u64,
+        /// Wilson-score interval lower bound on the success rate.
+        ci_lo: f64,
+        /// Wilson-score interval upper bound.
+        ci_hi: f64,
+        /// Interval width (`ci_hi - ci_lo`).
+        width: f64,
+        /// Whether the rule stopped the cell after this wave.
+        stopped: bool,
     },
     /// A trial completed (or was served from the manifest, `cached: true`).
     TrialEnd {
@@ -416,6 +472,13 @@ fn fmt_ns(ns: u64) -> String {
     }
 }
 
+/// `manifest.jsonl` + tag `w1` → `manifest-w1.jsonl`, next to the canonical file.
+fn shard_sibling(path: &Path, tag: &str) -> PathBuf {
+    let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("manifest");
+    let ext = path.extension().and_then(|s| s.to_str()).unwrap_or("jsonl");
+    path.with_file_name(format!("{stem}-{tag}.{ext}"))
+}
+
 /// FNV-1a digest of a configuration string, hex-encoded. Stable across
 /// runs, so manifest records can be checked against the configuration
 /// they were produced under.
@@ -434,22 +497,106 @@ pub fn digest64(text: &str) -> String {
 /// Opening loads every parseable line into a seed-keyed map; a torn final
 /// line (the process died mid-write) is skipped, so the file never needs
 /// repair. Each completed trial is appended and flushed immediately.
+///
+/// # Multi-process sharding
+///
+/// N worker processes sharing a results directory each open the manifest
+/// with [`Manifest::open_sharded`], passing a worker-unique shard tag.
+/// Every worker *reads* the union of the canonical file and all shard
+/// files (`manifest-<tag>.jsonl` siblings), but *appends* only to its own
+/// shard file — so concurrent workers never interleave writes within one
+/// file, and a `kill -9` can tear at most the final line of the dead
+/// worker's shard. [`Manifest::reload`] rescans the union, which is how a
+/// worker observes waves completed by its peers. Records are keyed by
+/// `combo_seed`; because a trial's outcome is a deterministic function of
+/// its seed, the same seed recorded by two racing workers carries the
+/// same outcome and the merge order cannot change results.
 pub struct Manifest {
     completed: Mutex<HashMap<u64, TrialRecord>>,
     writer: Mutex<io::BufWriter<std::fs::File>>,
     path: PathBuf,
+    write_path: PathBuf,
 }
 
 impl Manifest {
     /// Open (creating if needed) the manifest at `path`, loading all
-    /// previously completed trials.
+    /// previously completed trials — including any recorded in shard
+    /// files left by sharded workers. Appends go to `path` itself.
     pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
-        let path = path.as_ref().to_path_buf();
+        Self::open_inner(path.as_ref(), None)
+    }
+
+    /// Open the manifest for one worker of a sharded campaign: reads the
+    /// union of `path` and every sibling shard, appends to this worker's
+    /// own `manifest-<shard>.jsonl`. The tag must be filename-safe
+    /// (letters, digits, `-`, `_`, `.`).
+    pub fn open_sharded(path: impl AsRef<Path>, shard: &str) -> io::Result<Self> {
+        assert!(
+            !shard.is_empty()
+                && shard.chars().all(|c| c.is_ascii_alphanumeric() || "-_.".contains(c)),
+            "shard tag {shard:?} is not filename-safe"
+        );
+        Self::open_inner(path.as_ref(), Some(shard))
+    }
+
+    fn open_inner(path: &Path, shard: Option<&str>) -> io::Result<Self> {
+        let path = path.to_path_buf();
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
         }
+        let write_path = match shard {
+            Some(tag) => shard_sibling(&path, tag),
+            None => path.clone(),
+        };
+        let file = std::fs::OpenOptions::new().create(true).append(true).open(&write_path)?;
+        let manifest = Manifest {
+            completed: Mutex::new(HashMap::new()),
+            writer: Mutex::new(io::BufWriter::new(file)),
+            path,
+            write_path,
+        };
+        manifest.reload()?;
+        Ok(manifest)
+    }
+
+    /// Every file contributing records: the canonical manifest plus all
+    /// `manifest-<tag>.jsonl` shard siblings, canonical first and shards
+    /// in name order (so the merge order is stable across processes).
+    fn source_files(&self) -> Vec<PathBuf> {
+        let mut sources = vec![self.path.clone()];
+        let (Some(dir), Some(stem), Some(ext)) = (
+            self.path.parent(),
+            self.path.file_stem().and_then(|s| s.to_str()),
+            self.path.extension().and_then(|s| s.to_str()),
+        ) else {
+            return sources;
+        };
+        let mut shards: Vec<PathBuf> = match std::fs::read_dir(dir) {
+            Ok(entries) => entries
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| {
+                    p.file_name().and_then(|n| n.to_str()).is_some_and(|n| {
+                        n.starts_with(&format!("{stem}-")) && n.ends_with(&format!(".{ext}"))
+                    })
+                })
+                .collect(),
+            Err(_) => Vec::new(),
+        };
+        shards.sort();
+        sources.extend(shards);
+        sources
+    }
+
+    /// Rescan the canonical file and every shard sibling, replacing the
+    /// in-memory record map with the merged union. Returns the number of
+    /// records on file. Workers of a sharded campaign call this to pick up
+    /// trials their peers completed; everything this instance recorded is
+    /// already flushed, so a rescan never loses local records.
+    pub fn reload(&self) -> io::Result<usize> {
         let mut completed = HashMap::new();
-        if let Ok(file) = std::fs::File::open(&path) {
+        for source in self.source_files() {
+            let Ok(file) = std::fs::File::open(&source) else { continue };
             for line in io::BufReader::new(file).lines() {
                 let line = line?;
                 match serde_json::from_str::<TrialRecord>(&line) {
@@ -463,17 +610,20 @@ impl Manifest {
                 }
             }
         }
-        let file = std::fs::OpenOptions::new().create(true).append(true).open(&path)?;
-        Ok(Manifest {
-            completed: Mutex::new(completed),
-            writer: Mutex::new(io::BufWriter::new(file)),
-            path,
-        })
+        let count = completed.len();
+        *self.completed.lock() = completed;
+        Ok(count)
     }
 
-    /// Where this manifest lives.
+    /// Where this manifest lives (the canonical path; sharded instances
+    /// append to a sibling — see [`Manifest::write_path`]).
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// The file this instance appends records to.
+    pub fn write_path(&self) -> &Path {
+        &self.write_path
     }
 
     /// Completed trials on record.
@@ -715,8 +865,102 @@ mod tests {
     }
 
     #[test]
-    fn non_finite_outcomes_are_rejected() {
-        let r = std::panic::catch_unwind(|| TrialOutcome::ok().with_accuracy(f64::INFINITY));
-        assert!(r.is_err());
+    fn non_finite_outcomes_become_recorded_failures_not_panics() {
+        // Regression: these builders used to assert!-panic, which at
+        // campaign scale killed the worker process instead of recording
+        // one failed trial.
+        let o = TrialOutcome::ok().with_accuracy(f64::NAN);
+        assert!(o.is_failed());
+        assert_eq!(o.final_accuracy, None);
+        assert!(o.failure.as_deref().unwrap().contains("final_accuracy"));
+        // The failed outcome still round-trips through JSON (nothing
+        // non-finite was stored).
+        let back: TrialOutcome = serde_json::from_str(&serde_json::to_string(&o).unwrap()).unwrap();
+        assert_eq!(back, o);
+
+        let o = TrialOutcome::ok().with_curve(vec![0.5, f64::INFINITY]);
+        assert!(o.is_failed() && o.curve.is_empty());
+        let o = TrialOutcome::ok().with_metric("dev", f64::NEG_INFINITY);
+        assert!(o.is_failed() && o.metrics.is_empty());
+        assert!(o.failure.as_deref().unwrap().contains("dev"));
+
+        // A later verdict never resurrects a failed outcome's status.
+        let o = TrialOutcome::ok().with_accuracy(f64::NAN).with_collapsed(true);
+        assert!(o.is_failed());
+        assert_eq!(o.status, FAILED_STATUS);
+
+        // Finite values still record normally.
+        let o = TrialOutcome::ok().with_accuracy(0.5).with_metric("dev", 1.0);
+        assert!(!o.is_failed());
+        assert_eq!(o.final_accuracy, Some(0.5));
+    }
+
+    #[test]
+    fn sharded_manifests_merge_reload_and_stay_write_isolated() {
+        let dir = TestDir::new("shard");
+        let path = dir.file("manifest.jsonl");
+        let digest = digest64("budget");
+
+        let a = Manifest::open_sharded(&path, "w1").unwrap();
+        let b = Manifest::open_sharded(&path, "w2").unwrap();
+        a.record(record(1, 0.25)).unwrap();
+        b.record(record(2, 0.5)).unwrap();
+
+        // Each worker wrote only to its own shard file.
+        assert!(a.write_path().ends_with("manifest-w1.jsonl"));
+        assert!(b.write_path().ends_with("manifest-w2.jsonl"));
+        assert!(!path.exists() || std::fs::read_to_string(&path).unwrap().is_empty());
+
+        // Before reload, a worker sees only what it loaded at open plus
+        // its own records; after reload it sees the union.
+        assert!(a.lookup(2, &digest).is_none());
+        assert_eq!(a.reload().unwrap(), 2);
+        assert!(a.lookup(2, &digest).is_some());
+        assert!(a.lookup(1, &digest).is_some(), "reload keeps own flushed records");
+
+        // A plain (unsharded) open merges the shards too — a 1-process
+        // resume after a sharded campaign serves every recorded trial.
+        let plain = Manifest::open(&path).unwrap();
+        assert_eq!(plain.completed_count(), 2);
+        // And a third sharded worker joining late sees everything.
+        let c = Manifest::open_sharded(&path, "w3").unwrap();
+        assert_eq!(c.completed_count(), 2);
+    }
+
+    #[test]
+    fn sharded_manifest_tolerates_a_torn_shard_line() {
+        let dir = TestDir::new("shardtorn");
+        let path = dir.file("manifest.jsonl");
+        {
+            let m = Manifest::open_sharded(&path, "dead").unwrap();
+            m.record(record(7, 0.5)).unwrap();
+        }
+        // The dead worker's shard ends mid-record (kill -9 mid-write).
+        let shard = dir.file("manifest-dead.jsonl");
+        let mut contents = std::fs::read_to_string(&shard).unwrap();
+        contents.push_str("{\"experiment\":\"nev\",\"cell\":\"nev-6");
+        std::fs::write(&shard, contents).unwrap();
+        let m = Manifest::open_sharded(&path, "alive").unwrap();
+        assert_eq!(m.completed_count(), 1);
+        assert!(m.lookup(7, &digest64("budget")).is_some());
+    }
+
+    #[test]
+    fn wave_end_event_roundtrips() {
+        let e = Event::WaveEnd {
+            experiment: "fig2".to_string(),
+            cell: "fig2-sign only [63,63]".to_string(),
+            wave: 2,
+            trials: 6,
+            classified: 5,
+            successes: 1,
+            ci_lo: 0.035_746,
+            ci_hi: 0.624_108,
+            width: 0.588_362,
+            stopped: true,
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        let back: Event = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
     }
 }
