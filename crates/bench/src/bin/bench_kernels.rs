@@ -7,8 +7,11 @@
 //! `--label after` on the current ones — merging both measurements into
 //! `BENCH_kernels.json` so the perf trajectory of the hot path survives
 //! across PRs. The kernel generation under test is selected by the
-//! `SEFI_KERNELS` environment variable (`tiled` default, `naive` forces the
-//! retained reference kernels; builds that predate the switch ignore it).
+//! `SEFI_KERNELS` environment variable (`simd` default, `tiled` forces the
+//! scalar blocked driver, `naive` the retained reference kernels). The
+//! resolved mode, the microkernel ISA it dispatched to, and the detected
+//! CPU features are recorded into the file so every number stays
+//! attributable to the hardware and generation that produced it.
 //!
 //! Usage:
 //!   bench_kernels --label before|after [--out PATH] [--smoke]
@@ -17,7 +20,10 @@
 use sefi_data::{DataConfig, SyntheticCifar10};
 use sefi_frameworks::{FrameworkKind, Session, SessionConfig};
 use sefi_models::{ModelConfig, ModelKind};
-use sefi_tensor::{conv2d, conv2d_backward, matmul, matmul_a_bt, matmul_at_b, ConvSpec, Tensor};
+use sefi_tensor::{
+    active_isa_name, conv2d, conv2d_backward, cpu_features, kernel_mode, matmul, matmul_a_bt,
+    matmul_at_b, ConvSpec, KernelMode, Tensor,
+};
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
@@ -45,10 +51,17 @@ struct Entry {
 /// The on-disk trajectory file.
 #[derive(Debug, Serialize, Deserialize)]
 struct BenchFile {
-    /// File format version.
+    /// File format version (2 added the kernel-generation/CPU metadata).
     schema: u32,
     /// What produced the numbers.
     note: String,
+    /// Kernel generation (`simd`/`tiled`/`naive`) of the last run.
+    kernel_mode: String,
+    /// Microkernel ISA the last run dispatched to (`avx512`/`avx2`/
+    /// `scalar` under `simd`; always `scalar` under `tiled`/`naive`).
+    isa: String,
+    /// Kernel-relevant CPU features detected on the last host.
+    cpu_features: String,
     /// Hardware threads visible when the last label was written.
     host_threads: usize,
     /// All measured operations.
@@ -62,10 +75,13 @@ impl BenchFile {
                 panic!("unparseable bench file {path}: {e}");
             }),
             Err(_) => BenchFile {
-                schema: 1,
+                schema: 2,
                 note: "kernel throughput trajectory; regenerate with \
                        `cargo run --release -p sefi-bench --bin bench_kernels`"
                     .into(),
+                kernel_mode: String::new(),
+                isa: String::new(),
+                cpu_features: String::new(),
                 host_threads: 0,
                 entries: Vec::new(),
             },
@@ -307,9 +323,21 @@ fn main() {
         }
     };
 
-    let mode = std::env::var("SEFI_KERNELS").unwrap_or_else(|_| "default".into());
-    println!("bench_kernels: label={label:?} kernels={mode} smoke={smoke} -> {out}");
+    let mode = match kernel_mode() {
+        KernelMode::Simd => "simd",
+        KernelMode::Tiled => "tiled",
+        KernelMode::Naive => "naive",
+    };
+    let isa = if kernel_mode() == KernelMode::Simd { active_isa_name() } else { "scalar" };
+    println!(
+        "bench_kernels: label={label:?} kernels={mode} isa={isa} cpu={} smoke={smoke} -> {out}",
+        cpu_features()
+    );
     let mut file = BenchFile::load_or_new(&out);
+    file.schema = 2;
+    file.kernel_mode = mode.to_string();
+    file.isa = isa.to_string();
+    file.cpu_features = cpu_features().to_string();
     file.host_threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
     run_benches(&mut file, label, &budget);
     file.save(&out);

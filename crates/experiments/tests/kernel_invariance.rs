@@ -1,9 +1,11 @@
 //! Campaign results must not depend on the kernel generation: a training
-//! run under the tiled kernels and the same run under the retained naive
-//! reference must produce the *bit-identical* history and checkpoint.
-//! This is what licenses using the fast kernels for every experiment in
-//! the paper reproduction — they are a pure speedup, not a numerical
-//! variation source.
+//! run under the vectorized simd kernels, the same run under the scalar
+//! tiled driver, and the same run under the retained naive reference must
+//! all produce the *bit-identical* history and checkpoint bytes. This is
+//! what licenses using the fast kernels for every experiment in the paper
+//! reproduction — they are a pure speedup, not a numerical variation
+//! source — and it is the end-to-end face of the lane-stable determinism
+//! contract (DESIGN.md §6).
 //!
 //! Own binary: the kernel mode is process-global.
 
@@ -35,14 +37,16 @@ fn run(mode: KernelMode) -> (Vec<EpochRecord>, f64, Vec<u8>) {
 
 #[test]
 fn training_is_bit_identical_across_kernel_generations() {
-    let (tiled_hist, tiled_acc, tiled_ck) = run(KernelMode::Tiled);
-    let (naive_hist, naive_acc, naive_ck) = run(KernelMode::Naive);
-    set_kernel_mode(KernelMode::Tiled);
-    assert_eq!(tiled_hist, naive_hist, "epoch histories diverged");
-    assert_eq!(
-        tiled_acc.to_bits(),
-        naive_acc.to_bits(),
-        "final accuracy diverged: {tiled_acc} vs {naive_acc}"
-    );
-    assert_eq!(tiled_ck, naive_ck, "checkpoint bytes diverged");
+    let (simd_hist, simd_acc, simd_ck) = run(KernelMode::Simd);
+    for (mode, name) in [(KernelMode::Tiled, "tiled"), (KernelMode::Naive, "naive")] {
+        let (hist, acc, ck) = run(mode);
+        assert_eq!(simd_hist, hist, "epoch histories diverged (simd vs {name})");
+        assert_eq!(
+            simd_acc.to_bits(),
+            acc.to_bits(),
+            "final accuracy diverged (simd vs {name}): {simd_acc} vs {acc}"
+        );
+        assert_eq!(simd_ck, ck, "checkpoint bytes diverged (simd vs {name})");
+    }
+    set_kernel_mode(KernelMode::Simd);
 }

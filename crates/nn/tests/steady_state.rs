@@ -1,8 +1,8 @@
 //! Steady-state training must not grow any kernel workspace: after the
 //! first step has sized every buffer (im2col columns, GEMM pack panels,
 //! gradient scratch), subsequent steps reuse them verbatim. This is the
-//! "zero per-step kernel allocations" guarantee of the tiled kernel
-//! generation, enforced via the global growth counter.
+//! "zero per-step kernel allocations" guarantee of the blocked kernel
+//! generations (simd and tiled), enforced via the global growth counter.
 //!
 //! Kept in its own integration-test binary: the counter is process-global,
 //! and unrelated tests running concurrently would make it drift.
@@ -13,7 +13,7 @@ use sefi_tensor::{set_kernel_mode, workspace_alloc_events, KernelMode, Tensor};
 
 #[test]
 fn training_steps_allocate_no_workspace_after_warmup() {
-    set_kernel_mode(KernelMode::Tiled);
+    set_kernel_mode(KernelMode::Simd);
     let mut rng = DetRng::new(7);
     let mut net = Network::new(vec![
         Box::new(Conv2d::new("conv1", 3, 4, 3, 1, 1, &mut rng).skip_input_grad()),

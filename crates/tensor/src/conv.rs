@@ -21,13 +21,16 @@
 //! their indices never cross.
 
 use crate::dispatch::{
-    kernel_mode, par_enabled, KernelMode, PAR_COL2IM_MIN_ELEMS, PAR_IM2COL_MIN_ELEMS,
+    kernel_mode, mode_isa, par_enabled, KernelMode, PAR_COL2IM_MIN_ELEMS, PAR_IM2COL_MIN_ELEMS,
     PAR_POOL_MIN_ELEMS,
 };
+use crate::divmod::FastDivmod;
 use crate::kernel::gemm_tiled;
+use crate::simd;
 use crate::workspace::{ensure, ConvKey, ConvWorkspace};
 use crate::{matmul, matmul_a_bt, matmul_at_b, Tensor};
 use rayon::prelude::*;
+use std::cell::RefCell;
 
 /// Stride/padding configuration of a convolution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -120,8 +123,8 @@ fn im2col_t_lane(
     src: &[f32],
     col: usize,
     (n, c, h, w): (usize, usize, usize, usize),
-    kh: usize,
-    kw: usize,
+    (kh, kw): (usize, usize),
+    (dm_khkw, dm_kw): (FastDivmod, FastDivmod),
     spec: ConvSpec,
 ) {
     let oh = spec.out_extent(h, kh);
@@ -129,9 +132,14 @@ fn im2col_t_lane(
     let ohw = oh * ow;
     let stride = spec.stride;
     let pad = spec.pad;
-    let ci = col / (kh * kw);
-    let ky = (col / kw) % kh;
-    let kx = col % kw;
+    // Magic-number division (the per-lane decomposition runs once per lane
+    // here, but the same FastDivmod values serve thousands of lanes, and
+    // hardware `div` is ~20x a multiply).
+    debug_assert_eq!(dm_khkw.divisor() as usize, kh * kw);
+    debug_assert_eq!(dm_kw.divisor() as usize, kw);
+    let (ci, rem) = dm_khkw.div_rem(col as u32);
+    let (ky, kx) = dm_kw.div_rem(rem);
+    let (ci, ky, kx) = (ci as usize, ky as usize, kx as usize);
     let oy_lo = pad.saturating_sub(ky).div_ceil(stride).min(oh);
     let oy_hi = match (h + pad).checked_sub(ky + 1) {
         Some(t) => (t / stride + 1).min(oh),
@@ -153,9 +161,7 @@ fn im2col_t_lane(
             let si = (ci * h + oy * stride + ky - pad) * w + ox_lo * stride + kx - pad;
             let di = ni * ohw + oy * ow + ox_lo;
             if stride == 1 {
-                for (d, &s) in lane[di..di + run].iter_mut().zip(&img[si..si + run]) {
-                    *d = s;
-                }
+                lane[di..di + run].copy_from_slice(&img[si..si + run]);
             } else {
                 let mut si = si;
                 for d in lane[di..di + run].iter_mut() {
@@ -183,13 +189,14 @@ fn im2col_t_into(
     let rows = n * oh * ow;
     let row_len = c * kh * kw;
     debug_assert_eq!(dst.len(), rows * row_len);
+    let dm = (FastDivmod::new((kh * kw) as u32), FastDivmod::new(kw as u32));
     if par_enabled() && dst.len() >= PAR_IM2COL_MIN_ELEMS && row_len > 1 {
         dst.par_chunks_mut(rows).enumerate().for_each(|(col, lane)| {
-            im2col_t_lane(lane, src, col, (n, c, h, w), kh, kw, spec);
+            im2col_t_lane(lane, src, col, (n, c, h, w), (kh, kw), dm, spec);
         });
     } else {
         for (col, lane) in dst.chunks_mut(rows).enumerate() {
-            im2col_t_lane(lane, src, col, (n, c, h, w), kh, kw, spec);
+            im2col_t_lane(lane, src, col, (n, c, h, w), (kh, kw), dm, spec);
         }
     }
 }
@@ -238,9 +245,9 @@ fn col2im_t_image(
                 for oy in oy_lo..oy_hi {
                     let di = (ci * h + oy + ky - pad) * w + ox_lo + kx - pad;
                     let si = ni * ohw + oy * ow + ox_lo;
-                    for (d, &s) in dst[di..di + run].iter_mut().zip(&lane[si..si + run]) {
-                        *d += s;
-                    }
+                    // Elementwise adds vectorize without touching any
+                    // element's chain order (lane-stable: one tap per add).
+                    simd::add_assign(&mut dst[di..di + run], &lane[si..si + run]);
                 }
             }
         }
@@ -338,9 +345,7 @@ fn col2im_image(
                     }
                     let d0 = (ci * h + y0 + ky - spec.pad) * w + x0 + kx_lo - spec.pad;
                     let s = &s[kx_lo..kx_hi];
-                    for (o, &v) in dst[d0..d0 + s.len()].iter_mut().zip(s) {
-                        *o += v;
-                    }
+                    simd::add_assign(&mut dst[d0..d0 + s.len()], s);
                 }
             }
         }
@@ -406,11 +411,35 @@ pub fn col2im(
     Tensor::from_vec(out, input_shape)
 }
 
+// Per-thread scratch workspace backing the self-contained [`conv2d`] /
+// [`conv2d_backward`] entries: the grow-once buffers are reused across
+// calls instead of reallocated, but the geometry key is *invalidated on
+// every borrow* so no call ever reuses another call's columns — the
+// self-contained entries keep their recompute-everything semantics (and
+// their bits) exactly.
+thread_local! {
+    static SCRATCH_WS: RefCell<ConvWorkspace> = RefCell::new(ConvWorkspace::new());
+}
+
+/// Run `f` with the thread's scratch conv workspace, key-invalidated.
+/// Falls back to a fresh workspace if the scratch one is already borrowed
+/// (re-entrant use through a panic handler or nested call).
+fn with_scratch_ws<R>(f: impl FnOnce(&mut ConvWorkspace) -> R) -> R {
+    SCRATCH_WS.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut ws) => {
+            ws.invalidate();
+            f(&mut ws)
+        }
+        Err(_) => f(&mut ConvWorkspace::new()),
+    })
+}
+
 /// Forward convolution: `x [n,c,h,w]`, `weight [o,c,kh,kw]`, `bias [o]`
-/// → `[n,o,oh,ow]`. Self-contained variant of [`conv2d_ws`] (allocates a
-/// throwaway workspace; the backward pass will recompute im2col).
+/// → `[n,o,oh,ow]`. Self-contained variant of [`conv2d_ws`] (borrows a
+/// per-thread scratch workspace whose geometry key is always cleared, so
+/// the backward pass will recompute im2col; only the allocations persist).
 pub fn conv2d(x: &Tensor, weight: &Tensor, bias: &Tensor, spec: ConvSpec) -> Tensor {
-    conv2d_ws(x, weight, bias, spec, &mut ConvWorkspace::new())
+    with_scratch_ws(|ws| conv2d_ws(x, weight, bias, spec, ws))
 }
 
 /// Forward convolution through a per-layer workspace: the im2col columns
@@ -432,7 +461,8 @@ pub fn conv2d_ws(
     let rows = n * oh * ow;
     let row_len = c * kh * kw;
 
-    if kernel_mode() == KernelMode::Naive {
+    let mode = kernel_mode();
+    if mode == KernelMode::Naive {
         // Retained pre-overhaul path: fresh tensors each call, transpose
         // materialized inside matmul_a_bt's reference kernel.
         ws.invalidate();
@@ -465,6 +495,7 @@ pub fn conv2d_ws(
         false,
         &ws.cols[..rows * row_len],
         false,
+        mode_isa(mode),
     );
     let p = &ws.prod[..o * rows];
     let ohw = oh * ow;
@@ -509,9 +540,11 @@ pub struct Conv2dGrads {
 }
 
 /// Backward convolution given upstream gradient `dout [n,o,oh,ow]`.
-/// Self-contained variant of [`conv2d_backward_ws`] (recomputes im2col).
+/// Self-contained variant of [`conv2d_backward_ws`] (recomputes im2col in
+/// the per-thread scratch workspace — reused allocations, never reused
+/// columns).
 pub fn conv2d_backward(x: &Tensor, weight: &Tensor, dout: &Tensor, spec: ConvSpec) -> Conv2dGrads {
-    conv2d_backward_ws(x, weight, dout, spec, &mut ConvWorkspace::new())
+    with_scratch_ws(|ws| conv2d_backward_ws(x, weight, dout, spec, ws))
 }
 
 /// Backward convolution through a per-layer workspace. When `ws` still
@@ -550,9 +583,11 @@ pub fn conv2d_backward_ws_ex(
     let rows = n * oh * ow;
     let row_len = c * kh * kw;
 
-    if kernel_mode() == KernelMode::Naive {
+    let mode = kernel_mode();
+    if mode == KernelMode::Naive {
         return conv2d_backward_naive(x, weight, dout, spec, (n, c, h, w), (o, kh, kw), need_dx);
     }
+    let isa = mode_isa(mode);
 
     // Gather dout [n,o,oh,ow] into both flat layouts: dflat [rows, o]
     // (patch-major, feeds the dWᵀ product) and dflatᵀ [o, rows]
@@ -595,7 +630,7 @@ pub fn conv2d_backward_ws_ex(
     // ascending patch-row chain as the naive `dflatᵀ · cols` (the two
     // factors per term are merely commuted, which is exact).
     ensure(&mut ws.prod, row_len * o);
-    gemm_tiled(&mut ws.prod[..row_len * o], row_len, o, rows, cols_t, false, dflat, false);
+    gemm_tiled(&mut ws.prod[..row_len * o], row_len, o, rows, cols_t, false, dflat, false, isa);
     let mut dw = vec![0.0f32; o * row_len];
     for (kk, dwt_row) in ws.prod[..row_len * o].chunks_exact(o).enumerate() {
         for (oi, &v) in dwt_row.iter().enumerate() {
@@ -604,13 +639,14 @@ pub fn conv2d_backward_ws_ex(
     }
     let dw = Tensor::from_vec(dw, &[o, c, kh, kw]);
 
-    // db = per-channel sums: contiguous row sums of dflatᵀ, each in the
-    // same ascending patch-row order as the naive column sums.
+    // db = per-channel sums: contiguous row sums of dflatᵀ. This is the
+    // one genuine reduction in the conv stack, so it runs through the
+    // frozen eight-lane tree of [`simd::sum_lanes8`] — the naive backward
+    // replays the *same* tree over the same ascending patch-row sequence
+    // (via `sum_lanes8_ref`), keeping the generations bit-identical.
     let mut db = vec![0.0f32; o];
     for (acc, row) in db.iter_mut().zip(dflat_t.chunks(rows)) {
-        for &v in row {
-            *acc += v;
-        }
+        *acc = simd::sum_lanes8(row);
     }
     let db = Tensor::from_vec(db, &[o]);
 
@@ -632,6 +668,7 @@ pub fn conv2d_backward_ws_ex(
             true,
             dflat_t,
             false,
+            isa,
         );
         col2im_t_into(&mut dx, &ws.dcols[..rows * row_len], (n, c, h, w), kh, kw, spec);
     } else {
@@ -644,6 +681,7 @@ pub fn conv2d_backward_ws_ex(
             false,
             weight.data(),
             false,
+            isa,
         );
         col2im_into(&mut dx, &ws.dcols[..rows * row_len], (n, c, h, w), kh, kw, spec);
     }
@@ -679,11 +717,14 @@ fn conv2d_backward_naive(
     let cols = im2col(x, kh, kw, spec);
     let dw = matmul_at_b(&dflat, &cols).reshape(&[o, c, kh, kw]);
 
+    // Same per-channel sequence as the workspace path's contiguous dflatᵀ
+    // rows (ascending patch row), fed through the same frozen eight-lane
+    // tree — strided gather here, vector loads there, identical bits.
+    let dflat_data = dflat.data();
+    let rows = n * oh * ow;
     let mut db = vec![0.0f32; o];
-    for row in dflat.data().chunks(o) {
-        for (acc, &v) in db.iter_mut().zip(row) {
-            *acc += v;
-        }
+    for (oi, acc) in db.iter_mut().enumerate() {
+        *acc = simd::sum_lanes8_ref((0..rows).map(|r| dflat_data[r * o + oi]));
     }
     let db = Tensor::from_vec(db, &[o]);
 
@@ -1001,7 +1042,7 @@ mod tests {
         let mut ws = ConvWorkspace::new();
         let ws_out = conv2d_ws(&x, &w, &b, spec, &mut ws);
         assert_eq!(plain_out, ws_out);
-        if crate::kernel_mode() == KernelMode::Tiled {
+        if crate::kernel_mode() != KernelMode::Naive {
             assert!(ws.key.is_some(), "forward must record its geometry");
             // Poison the input: backward must NOT re-read it when the key
             // matches, proving the columns are reused.

@@ -1,42 +1,57 @@
 //! Kernel-generation dispatch and per-op parallelism thresholds.
 //!
-//! Two kernel generations coexist:
+//! Three kernel generations coexist:
 //!
-//! * **Tiled** (default) — the blocked, packed, register-tiled GEMM of
-//!   [`crate::kernel`] plus workspace-reusing convolutions.
-//! * **Naive** — the original scalar reference kernels, retained verbatim.
-//!   They define the canonical per-element accumulation order; the tiled
-//!   kernels are property-tested to be *bit-identical* to them.
+//! * **Simd** (default) — the blocked, packed, register-tiled GEMM of
+//!   [`crate::kernel`] driving the runtime-dispatched AVX-512/AVX2
+//!   broadcast-FMA microkernels of [`crate::simd`], plus
+//!   workspace-reusing convolutions. On hosts without AVX2 the same
+//!   driver runs the scalar lane-emulating microkernels, which produce
+//!   identical bits (see DESIGN.md §6).
+//! * **Tiled** — the same blocked/packed driver forced onto the scalar
+//!   lane-emulating microkernels regardless of host features. This is
+//!   the portable reference implementation of the lane-stable contract.
+//! * **Naive** — simple triple-loop kernels restating each element's
+//!   chain with no blocking at all. All three modes are property-tested
+//!   to be *bit-identical*.
 //!
 //! The mode is selected once per process from the `SEFI_KERNELS`
-//! environment variable (`tiled` | `naive`) and can be overridden at run
-//! time with [`set_kernel_mode`] — benches use this to measure both
-//! generations in one binary, and experiment tests use it to assert that
-//! campaign results do not depend on the kernel generation.
+//! environment variable (`simd` | `tiled` | `naive`) and can be
+//! overridden at run time with [`set_kernel_mode`] — benches use this to
+//! measure the generations in one binary, and experiment tests use it to
+//! assert that campaign results do not depend on the kernel generation.
 
+use crate::simd::{active_isa, Isa};
 use std::sync::atomic::{AtomicU8, Ordering};
 
 /// Which kernel generation executes tensor ops.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum KernelMode {
-    /// Blocked/packed/register-tiled kernels with workspace reuse.
+    /// Blocked/packed kernels on the widest ISA the host supports
+    /// (AVX-512 → AVX2+FMA → scalar lane emulation), workspace reuse.
+    Simd,
+    /// The same blocked/packed driver pinned to the scalar
+    /// lane-emulating microkernels (portable reference).
     Tiled,
-    /// The retained scalar reference kernels (the pre-overhaul hot path).
+    /// Unblocked triple-loop kernels restating the same per-element
+    /// accumulation chains (the auditability baseline).
     Naive,
 }
 
-/// 0 = uninitialized, 1 = tiled, 2 = naive.
+/// 0 = uninitialized, 1 = simd, 2 = tiled, 3 = naive.
 static MODE: AtomicU8 = AtomicU8::new(0);
 
 /// The active kernel generation.
 pub fn kernel_mode() -> KernelMode {
     match MODE.load(Ordering::Relaxed) {
-        1 => KernelMode::Tiled,
-        2 => KernelMode::Naive,
+        1 => KernelMode::Simd,
+        2 => KernelMode::Tiled,
+        3 => KernelMode::Naive,
         _ => {
             let mode = match std::env::var("SEFI_KERNELS").as_deref() {
                 Ok("naive") => KernelMode::Naive,
-                _ => KernelMode::Tiled,
+                Ok("tiled") => KernelMode::Tiled,
+                _ => KernelMode::Simd,
             };
             set_kernel_mode(mode);
             mode
@@ -49,11 +64,22 @@ pub fn kernel_mode() -> KernelMode {
 pub fn set_kernel_mode(mode: KernelMode) {
     MODE.store(
         match mode {
-            KernelMode::Tiled => 1,
-            KernelMode::Naive => 2,
+            KernelMode::Simd => 1,
+            KernelMode::Tiled => 2,
+            KernelMode::Naive => 3,
         },
         Ordering::Relaxed,
     );
+}
+
+/// The microkernel ISA a blocked-path mode runs on: `Simd` takes the
+/// widest ISA the host offers, `Tiled` pins the scalar lane emulation.
+/// (`Naive` never reaches the blocked driver.)
+pub(crate) fn mode_isa(mode: KernelMode) -> Isa {
+    match mode {
+        KernelMode::Simd => active_isa(),
+        KernelMode::Tiled | KernelMode::Naive => Isa::Scalar,
+    }
 }
 
 /// True when parallel dispatch can help at all: more than one rayon worker.
@@ -64,31 +90,39 @@ pub(crate) fn par_enabled() -> bool {
     rayon::current_num_threads() > 1
 }
 
-// Per-op parallel-dispatch thresholds. The old code used one global
-// `PAR_MIN_FLOPS = 64³` for every op; these are calibrated per op from
+// Per-op parallel-dispatch thresholds, calibrated per op from
 // `bench_kernels` timings (see DESIGN.md "Kernel architecture"): an op goes
 // parallel when its serial cost clearly exceeds a few thread-dispatch
-// round-trips (~20 µs each on the shim's scoped-thread pool).
+// round-trips (~20 µs each on the shim's scoped-thread pool). The SIMD
+// microkernels retired ~3x more flops per cycle than the scalar tiled
+// generation they replaced, so the GEMM/im2col/col2im crossovers moved up
+// by about that factor (PR 8) — a problem that amortized the dispatch cost
+// at 38 GFLOPS no longer does at 110.
 
 /// GEMM flops (`2·m·n·k` halved to `m·n·k` for comparison with the old
 /// constant) above which row-blocks are distributed over the pool.
-pub(crate) const PAR_GEMM_MIN_FLOPS: usize = 48 * 48 * 48;
+/// Was `48³` for the scalar tiled kernels.
+pub(crate) const PAR_GEMM_MIN_FLOPS: usize = 72 * 72 * 72;
 
-/// `im2col` output elements above which patch rows are written in parallel.
-pub(crate) const PAR_IM2COL_MIN_ELEMS: usize = 1 << 15;
+/// `im2col` output elements above which patch rows are written in parallel
+/// (stride-1 lanes are now `memcpy`s, so serial fills got cheaper).
+pub(crate) const PAR_IM2COL_MIN_ELEMS: usize = 1 << 16;
 
 /// `col2im` *input-gradient* elements above which per-image scatters run in
 /// parallel (the scatter is independent per image, never across images).
-pub(crate) const PAR_COL2IM_MIN_ELEMS: usize = 1 << 15;
+/// The contiguous tap adds are vectorized, halving the serial cost.
+pub(crate) const PAR_COL2IM_MIN_ELEMS: usize = 1 << 16;
 
 /// Pooling elements (input side) above which per-plane kernels run in
 /// parallel.
 pub(crate) const PAR_POOL_MIN_ELEMS: usize = 1 << 15;
 
-/// GEMM flops (`m·n·k`) at or below which the no-pack strip kernel is used:
+/// GEMM flops (`m·n·k`) at or below which the no-pack block kernel is used:
 /// for problems this small the packed path's extra passes over A and B cost
 /// more than the cache locality they buy. Small conv layers (a handful of
 /// output channels over a few thousand patch rows) live well below this.
+/// The no-pack kernel vectorized along with the packed one, so the
+/// crossover stayed put.
 pub(crate) const SMALL_GEMM_MAX_FLOPS: usize = 1 << 19;
 
 #[cfg(test)]
@@ -102,6 +136,14 @@ mod tests {
         assert_eq!(kernel_mode(), KernelMode::Naive);
         set_kernel_mode(KernelMode::Tiled);
         assert_eq!(kernel_mode(), KernelMode::Tiled);
+        set_kernel_mode(KernelMode::Simd);
+        assert_eq!(kernel_mode(), KernelMode::Simd);
         set_kernel_mode(initial);
+    }
+
+    #[test]
+    fn tiled_mode_pins_scalar_isa() {
+        assert_eq!(mode_isa(KernelMode::Tiled), Isa::Scalar);
+        assert_eq!(mode_isa(KernelMode::Naive), Isa::Scalar);
     }
 }

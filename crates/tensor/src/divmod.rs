@@ -1,0 +1,127 @@
+//! Branch-free integer division by a runtime constant (Lemire's fastdiv).
+//!
+//! Convolution lowering decomposes a flat tap index `col` into
+//! `(channel, ky, kx)` coordinates with two divisions and two remainders
+//! per lane. The divisors (`kw`, `kh*kw`) are loop constants, so the
+//! division can be replaced by a precomputed magic multiply:
+//! with `m = floor(2^64 / d) + 1`, the quotient of any 32-bit `n` is the
+//! high 64 bits of `m * n` (Lemire, Kaser & Kurz, 2019). This is exact
+//! for every `n < 2^32` and every divisor `d > 1`; `d == 1` would
+//! overflow the magic constant and is special-cased.
+
+/// Precomputed magic-multiply divisor for exact `u32` division/remainder.
+///
+/// Construction costs one 64-bit division; each subsequent [`div`] is a
+/// single widening multiply and shift, and [`div_rem`] adds one multiply
+/// and subtract — no data-dependent branches, no hardware divide.
+///
+/// [`div`]: FastDivmod::div
+/// [`div_rem`]: FastDivmod::div_rem
+#[derive(Clone, Copy, Debug)]
+pub struct FastDivmod {
+    d: u32,
+    /// `floor(2^64 / d) + 1`; `0` is the sentinel for `d == 1`.
+    m: u64,
+}
+
+impl FastDivmod {
+    /// Precomputes the magic constant for divisor `d`.
+    ///
+    /// # Panics
+    /// Panics if `d == 0`.
+    pub fn new(d: u32) -> Self {
+        assert!(d > 0, "FastDivmod divisor must be non-zero");
+        let m = if d == 1 { 0 } else { (u64::MAX / u64::from(d)) + 1 };
+        FastDivmod { d, m }
+    }
+
+    /// Returns `n / d` exactly.
+    #[inline(always)]
+    pub fn div(self, n: u32) -> u32 {
+        if self.d == 1 {
+            n
+        } else {
+            ((u128::from(self.m) * u128::from(n)) >> 64) as u32
+        }
+    }
+
+    /// Returns `(n / d, n % d)` exactly.
+    #[inline(always)]
+    pub fn div_rem(self, n: u32) -> (u32, u32) {
+        let q = self.div(n);
+        (q, n - q * self.d)
+    }
+
+    /// The divisor this instance was built for.
+    #[inline(always)]
+    pub fn divisor(self) -> u32 {
+        self.d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_hardware_division_on_edge_cases() {
+        let divisors = [1u32, 2, 3, 7, 9, 16, 25, 144, 1000, 65_535, 65_536, 1 << 30, u32::MAX];
+        let numerators = [
+            0u32,
+            1,
+            2,
+            3,
+            99,
+            144,
+            145,
+            65_535,
+            1 << 20,
+            (1 << 31) - 1,
+            1 << 31,
+            u32::MAX - 1,
+            u32::MAX,
+        ];
+        for &d in &divisors {
+            let fd = FastDivmod::new(d);
+            for &n in &numerators {
+                let (q, r) = fd.div_rem(n);
+                assert_eq!(q, n / d, "q mismatch for {n} / {d}");
+                assert_eq!(r, n % d, "r mismatch for {n} % {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_small_grid() {
+        for d in 1u32..=64 {
+            let fd = FastDivmod::new(d);
+            for n in 0u32..=4096 {
+                assert_eq!(fd.div(n), n / d);
+                assert_eq!(fd.div_rem(n).1, n % d);
+            }
+        }
+    }
+
+    #[test]
+    fn pseudo_random_sweep() {
+        // xorshift over (n, d) pairs; exactness must hold everywhere.
+        let mut s = 0x9e37_79b9_7f4a_7c15u64;
+        for _ in 0..20_000 {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let n = (s >> 32) as u32;
+            let d = ((s as u32) | 1).max(1);
+            let fd = FastDivmod::new(d);
+            let (q, r) = fd.div_rem(n);
+            assert_eq!(q, n / d);
+            assert_eq!(r, n % d);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_divisor_panics() {
+        let _ = FastDivmod::new(0);
+    }
+}

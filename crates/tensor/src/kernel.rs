@@ -1,11 +1,17 @@
-//! The blocked, packed, register-tiled GEMM driver and its microkernel.
+//! The blocked, packed, register-tiled GEMM driver and its microkernels.
 //!
-//! # Determinism contract
+//! # Determinism contract (lane-stable vectorized order)
 //!
-//! Every output element is a single running `f32` sum over `k` in canonical
-//! ascending order, built from separate multiply and add (never fused, never
-//! split into partial accumulators). Blocking only changes *which* elements
-//! are in flight together, never the order of any element's own chain:
+//! Every output element is a single fused-multiply-add chain over `k` in
+//! canonical ascending order: `c ← fma(a_k, b_k, c)`, never split into
+//! partial accumulators. The SIMD microkernels ([`crate::simd`]) are
+//! *broadcast-style* — a scalar of A against a vector of B columns — so
+//! each output element owns one SIMD lane for its whole chain and the
+//! chain never crosses lanes; lane-wise `vfmadd` is IEEE-754-identical to
+//! scalar `f32::mul_add`, which is what the scalar kernels in this file
+//! use. Hence AVX-512, AVX2, and scalar lane emulation produce the same
+//! bits by construction. Blocking only changes *which* elements are in
+//! flight together, never the order of any element's own chain:
 //!
 //! * m/n tiling assigns each element to exactly one microkernel tile;
 //! * k blocking (`KC`) pauses a chain by storing the running sum to `C` and
@@ -13,21 +19,24 @@
 //! * parallelism distributes whole row-blocks; no two tasks touch the same
 //!   output element, and no reduction ever crosses a task boundary.
 //!
-//! Consequently the result is bit-identical for any thread count and
-//! bit-identical to the retained naive reference kernels, which is enforced
-//! by property tests (`tests/proptests.rs`).
+//! Consequently the result is bit-identical for any thread count, any host
+//! ISA, and across the `simd`/`tiled`/`naive` kernel modes — enforced by
+//! property tests (`tests/determinism.rs`, `tests/proptests.rs`).
 //!
 //! Problems at or below [`SMALL_GEMM_MAX_FLOPS`] skip packing entirely and
-//! run a direct strip kernel ([`gemm_small`]) — same per-element chain, so
+//! run a direct block kernel ([`gemm_small`]) — same per-element chain, so
 //! the same bits — because at that size the packing passes dominate.
 
 use crate::dispatch::{par_enabled, PAR_GEMM_MIN_FLOPS, SMALL_GEMM_MAX_FLOPS};
 use crate::pack::{pack_a, pack_b, packed_a_len, packed_b_len, KC, MC, MR, NC, NR};
+use crate::simd::{self, Isa};
 use crate::workspace;
 use rayon::prelude::*;
 
-/// Full-tile microkernel: resume the MR×NR running sums from `c`, add
-/// `kc` k-steps from the packed panels, store the sums back.
+/// Full-tile scalar microkernel: resume the MR×NR running sums from `c`,
+/// add `kc` fma chain links from the packed panels, store the sums back.
+/// This is the lane-emulating reference for the vector tiles in
+/// [`crate::simd`] — same loads, same per-element `mul_add` order.
 ///
 /// # Safety
 /// `a` must hold `kc*MR` floats, `b` `kc*NR` floats, and `c` must address a
@@ -39,16 +48,16 @@ unsafe fn kern_full(a: *const f32, b: *const f32, kc: usize, c: *mut f32, ldc: u
     }
     let mut ap = a;
     let mut bp = b;
-    // One k-step: acc[i][j] += a[i] * b[j], separate mul and add. The
-    // macro keeps the 4× unroll below as straight-line repetitions of the
-    // same accumulator chain (no partial sums).
+    // One k-step: acc[i][j] = fma(a[i], b[j], acc[i][j]). The macro keeps
+    // the 4× unroll below as straight-line repetitions of the same
+    // accumulator chain (no partial sums).
     macro_rules! step {
         () => {{
             let bv: &[f32; NR] = &*(bp as *const [f32; NR]);
             for (i, acc_row) in acc.iter_mut().enumerate() {
                 let av = *ap.add(i);
                 for (acc_v, &b_v) in acc_row.iter_mut().zip(bv) {
-                    *acc_v += av * b_v;
+                    *acc_v = av.mul_add(b_v, *acc_v);
                 }
             }
             ap = ap.add(MR);
@@ -72,9 +81,9 @@ unsafe fn kern_full(a: *const f32, b: *const f32, kc: usize, c: *mut f32, ldc: u
     }
 }
 
-/// Edge-tile microkernel: same chain as [`kern_full`] but only the valid
-/// `mr_eff×nr_eff` region of `c` is loaded and stored. Padded panel lanes
-/// contribute exact zeros and are discarded.
+/// Edge-tile scalar microkernel: same chain as [`kern_full`] but only the
+/// valid `mr_eff×nr_eff` region of `c` is loaded and stored. Padded panel
+/// lanes contribute exact zeros and are discarded.
 ///
 /// # Safety
 /// `a` must hold `kc*MR` floats, `b` `kc*NR` floats, and `c` must address an
@@ -104,7 +113,7 @@ unsafe fn kern_edge(
         for (i, acc_row) in acc.iter_mut().enumerate().take(mr_eff) {
             let av = *ap.add(i);
             for (acc_v, &b_v) in acc_row.iter_mut().zip(bv) {
-                *acc_v += av * b_v;
+                *acc_v = av.mul_add(b_v, *acc_v);
             }
         }
         ap = ap.add(MR);
@@ -117,11 +126,12 @@ unsafe fn kern_edge(
     }
 }
 
-/// Narrow-tile microkernel for `nr_eff` well below [`NR`] (e.g. the first
-/// conv layer's 2-channel output, or a classifier head): accumulators are
-/// laid out column-major so the SIMD lanes run down the [`MR`] *rows*
-/// instead of across mostly-padding columns. Per element the chain is the
-/// same `acc += a*b` in ascending k as every other kernel.
+/// Narrow-tile scalar microkernel for `nr_eff` well below [`NR`] (e.g. the
+/// first conv layer's 2-channel output, or a classifier head): accumulators
+/// are laid out column-major so auto-vectorized lanes run down the [`MR`]
+/// *rows* instead of across mostly-padding columns. Per element the chain
+/// is the same ascending-k `fma` as every other kernel — the lane-stable
+/// contract doesn't care which loop carries it.
 ///
 /// # Safety
 /// Same contract as [`kern_edge`].
@@ -147,7 +157,7 @@ unsafe fn kern_narrow(
         for (j, acc_col) in acc.iter_mut().enumerate().take(nr_eff) {
             let bv = *bp.add(j);
             for (acc_v, &a_v) in acc_col.iter_mut().zip(av) {
-                *acc_v += a_v * bv;
+                *acc_v = a_v.mul_add(bv, *acc_v);
             }
         }
         ap = ap.add(MR);
@@ -160,13 +170,13 @@ unsafe fn kern_narrow(
     }
 }
 
-/// Strip width of the no-pack small-problem kernel.
+/// Strip width of the scalar no-pack small-problem kernel.
 const JB: usize = 16;
 
-/// Direct GEMM for problems at or below [`SMALL_GEMM_MAX_FLOPS`]: no
-/// packing, no k blocking — each output strip's running sums live in
-/// registers for the whole (short) k loop. The per-element chain is the
-/// same ascending-k `acc += a*b` as the packed path, so the bits match.
+/// Scalar direct GEMM for small problems: no packing, no k blocking — each
+/// output strip's running sums live in registers for the whole (short) k
+/// loop. The per-element chain is the same ascending-k `fma` as the packed
+/// path, so the bits match.
 ///
 /// `b` must already be in `[k, n]` row-major layout (see [`gemm_small`]).
 fn gemm_small_rows(out: &mut [f32], m: usize, n: usize, k: usize, a: &[f32], ta: bool, b: &[f32]) {
@@ -180,10 +190,7 @@ fn gemm_small_rows(out: &mut [f32], m: usize, n: usize, k: usize, a: &[f32], ta:
             let out_row = &mut out[i * n..(i + 1) * n];
             for kk in 0..k {
                 let aik = if ta { a[kk * m + i] } else { a[i * k + kk] };
-                let brow = &b[kk * n..(kk + 1) * n];
-                for (o, &b_v) in out_row.iter_mut().zip(brow) {
-                    *o += aik * b_v;
-                }
+                simd::axpy(Isa::Scalar, out_row, aik, &b[kk * n..(kk + 1) * n]);
             }
         }
         return;
@@ -202,13 +209,13 @@ fn gemm_small_rows(out: &mut [f32], m: usize, n: usize, k: usize, a: &[f32], ta:
                         for (aik, brow) in $aiter.zip(b.chunks_exact(n)) {
                             let bv: &[f32; JB] = brow[j0..j0 + JB].try_into().unwrap();
                             for (acc_v, &b_v) in acc.iter_mut().zip(bv) {
-                                *acc_v += aik * b_v;
+                                *acc_v = aik.mul_add(b_v, *acc_v);
                             }
                         }
                     } else {
                         for (aik, brow) in $aiter.zip(b.chunks_exact(n)) {
                             for (acc_v, &b_v) in acc[..jb].iter_mut().zip(&brow[j0..j0 + jb]) {
-                                *acc_v += aik * b_v;
+                                *acc_v = aik.mul_add(b_v, *acc_v);
                             }
                         }
                     }
@@ -225,15 +232,84 @@ fn gemm_small_rows(out: &mut [f32], m: usize, n: usize, k: usize, a: &[f32], ta:
     }
 }
 
-/// Widest output the no-pack narrow kernel handles.
+/// Vectorized direct GEMM for small problems: up-to-4-row × vector-width
+/// column blocks over the unpacked operands (transposed A is handled with
+/// strides, so only a transposed B ever gets materialized). Each element's
+/// chain is the same ascending-k fma as everywhere else.
+#[allow(clippy::too_many_arguments)]
+fn gemm_small_vec(
+    isa: Isa,
+    out: &mut [f32],
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    ta: bool,
+    b: &[f32],
+) {
+    debug_assert!(isa != Isa::Scalar);
+    let cw = match isa {
+        Isa::Avx512 => 32,
+        _ => 16,
+    };
+    let (a_rs, a_cs) = if ta { (1, m) } else { (k, 1) };
+    let mut i0 = 0;
+    while i0 < m {
+        let rows = (m - i0).min(4);
+        let a_blk = if ta { &a[i0..] } else { &a[i0 * k..] };
+        let mut j0 = 0;
+        while j0 < n {
+            let ncols = (n - j0).min(cw);
+            // SAFETY: the block spans rows i0..i0+rows (≤ m) and columns
+            // j0..j0+ncols (≤ n) of `out`; A strides address `a_blk[r*a_rs
+            // + kk*a_cs]` for r < rows, kk < k, in-bounds for both layouts;
+            // `isa` came from runtime feature detection.
+            unsafe {
+                let o = out.as_mut_ptr().add(i0 * n + j0);
+                let bp = b.as_ptr().add(j0);
+                match isa {
+                    Isa::Avx512 => simd::small_block_avx512(
+                        o,
+                        n,
+                        a_blk.as_ptr(),
+                        a_rs,
+                        a_cs,
+                        bp,
+                        n,
+                        rows,
+                        ncols,
+                        k,
+                    ),
+                    _ => simd::small_block_avx2(
+                        o,
+                        n,
+                        a_blk.as_ptr(),
+                        a_rs,
+                        a_cs,
+                        bp,
+                        n,
+                        rows,
+                        ncols,
+                        k,
+                    ),
+                }
+            }
+            j0 += cw;
+        }
+        i0 += 4;
+    }
+}
+
+/// Widest output the scalar no-pack narrow kernel handles.
 const NARROW_MAX: usize = 8;
 
-/// Row-blocked no-pack kernel for very narrow outputs (`n <= NARROW_MAX`,
-/// e.g. a weight gradient over a handful of output channels): each block of
-/// `IB` A-rows shares the `n`-wide B row loaded per k-step, giving `IB*n`
-/// independent accumulation chains of instruction-level parallelism.
-/// Monomorphized over `N` so the inner loops fully unroll. Per element the
-/// chain is the canonical ascending-k `acc += a*b`.
+/// Row-blocked scalar no-pack kernel for very narrow outputs
+/// (`n <= NARROW_MAX`, e.g. a weight gradient over a handful of output
+/// channels): each block of `IB` A-rows shares the `n`-wide B row loaded
+/// per k-step, giving `IB*n` independent accumulation chains of
+/// instruction-level parallelism. Monomorphized over `N` so the inner
+/// loops fully unroll. Per element the chain is the canonical ascending-k
+/// `fma`.
 fn narrow_rows<const N: usize>(out: &mut [f32], m: usize, k: usize, a: &[f32], b: &[f32]) {
     const IB: usize = 4;
     debug_assert_eq!(b.len(), k * N);
@@ -247,10 +323,10 @@ fn narrow_rows<const N: usize>(out: &mut [f32], m: usize, k: usize, a: &[f32], b
         for ((((brow, &a0), &a1), &a2), &a3) in b.chunks_exact(N).zip(r0).zip(r1).zip(r2).zip(r3) {
             let brow: &[f32; N] = brow.try_into().unwrap();
             for (j, &b_v) in brow.iter().enumerate() {
-                acc[0][j] += a0 * b_v;
-                acc[1][j] += a1 * b_v;
-                acc[2][j] += a2 * b_v;
-                acc[3][j] += a3 * b_v;
+                acc[0][j] = a0.mul_add(b_v, acc[0][j]);
+                acc[1][j] = a1.mul_add(b_v, acc[1][j]);
+                acc[2][j] = a2.mul_add(b_v, acc[2][j]);
+                acc[3][j] = a3.mul_add(b_v, acc[3][j]);
             }
         }
         for (r, acc_row) in acc.iter().enumerate() {
@@ -263,7 +339,7 @@ fn narrow_rows<const N: usize>(out: &mut [f32], m: usize, k: usize, a: &[f32], b
         for (brow, &av) in b.chunks_exact(N).zip(a[i * k..(i + 1) * k].iter()) {
             let brow: &[f32; N] = brow.try_into().unwrap();
             for (acc_v, &b_v) in acc.iter_mut().zip(brow) {
-                *acc_v += av * b_v;
+                *acc_v = av.mul_add(b_v, *acc_v);
             }
         }
         out[i * N..(i + 1) * N].copy_from_slice(&acc);
@@ -275,6 +351,7 @@ fn narrow_rows<const N: usize>(out: &mut [f32], m: usize, k: usize, a: &[f32], b
 /// first — `k*n` is tiny for every problem routed here.
 #[allow(clippy::too_many_arguments)]
 fn gemm_small(
+    isa: Isa,
     out: &mut [f32],
     m: usize,
     n: usize,
@@ -284,6 +361,29 @@ fn gemm_small(
     b: &[f32],
     tb: bool,
 ) {
+    if isa != Isa::Scalar {
+        if tb {
+            workspace::with_gemm_ws(0, k * n, |_, bt| {
+                // Blocked transpose: a TB-row block of B spans few enough
+                // cache lines to stay resident while every k reads it.
+                const TB: usize = 64;
+                let mut j0 = 0;
+                while j0 < n {
+                    let jl = (n - j0).min(TB);
+                    for kk in 0..k {
+                        for j in j0..j0 + jl {
+                            bt[kk * n + j] = b[j * k + kk];
+                        }
+                    }
+                    j0 += TB;
+                }
+                gemm_small_vec(isa, out, m, n, k, a, ta, bt);
+            });
+        } else {
+            gemm_small_vec(isa, out, m, n, k, a, ta, b);
+        }
+        return;
+    }
     if n <= NARROW_MAX && !ta {
         let dispatch = |out: &mut [f32], b: &[f32]| match n {
             1 => narrow_rows::<1>(out, m, k, a, b),
@@ -334,8 +434,17 @@ fn gemm_small(
 /// Compute one row-block (`rows = chunk.len() / n` rows starting at global
 /// row `ic0`, which must be MR-aligned) of `C += A·B` from the packed
 /// operands, walking jc→pc→jr→ir so every element's chain advances in
-/// ascending-k order.
-fn row_block(chunk: &mut [f32], ic0: usize, n: usize, k: usize, a_pack: &[f32], b_pack: &[f32]) {
+/// ascending-k order. `isa` picks the microkernel family; all families
+/// walk the same panels and extend the same chains.
+fn row_block(
+    chunk: &mut [f32],
+    ic0: usize,
+    n: usize,
+    k: usize,
+    a_pack: &[f32],
+    b_pack: &[f32],
+    isa: Isa,
+) {
     debug_assert_eq!(ic0 % MR, 0);
     let rows = chunk.len() / n;
     let c_ptr = chunk.as_mut_ptr();
@@ -358,23 +467,40 @@ fn row_block(chunk: &mut [f32], ic0: usize, n: usize, k: usize, a_pack: &[f32], 
                     // SAFETY: the packed panels hold at least kc full-width
                     // k-steps past these offsets, and the tile written is
                     // `mr_eff×nr_eff` starting at local row `ir`, column
-                    // `jr` — inside this task's chunk by construction.
+                    // `jr` — inside this task's chunk by construction. The
+                    // vector kernels additionally require the runtime
+                    // features `isa` attests (checked in `active_isa`) and
+                    // 64-byte-aligned B panels (packs live in `AVec`s; the
+                    // panel offset is a multiple of NR floats = 128 bytes).
                     unsafe {
                         let c = c_ptr.add(ir * n + jr);
-                        if mr_eff == MR && nr_eff == NR {
-                            kern_full(a_panel.as_ptr(), b_panel.as_ptr(), kc, c, n);
-                        } else if nr_eff <= NR / 2 && mr_eff > nr_eff {
-                            kern_narrow(
-                                a_panel.as_ptr(),
-                                b_panel.as_ptr(),
-                                kc,
-                                c,
-                                n,
-                                mr_eff,
-                                nr_eff,
-                            );
-                        } else {
-                            kern_edge(a_panel.as_ptr(), b_panel.as_ptr(), kc, c, n, mr_eff, nr_eff);
+                        let ap = a_panel.as_ptr();
+                        let bp = b_panel.as_ptr();
+                        let full = mr_eff == MR && nr_eff == NR;
+                        match isa {
+                            Isa::Avx512 => {
+                                if full {
+                                    simd::tile_avx512(ap, bp, kc, c, n);
+                                } else {
+                                    simd::tile_avx512_edge(ap, bp, kc, c, n, mr_eff, nr_eff);
+                                }
+                            }
+                            Isa::Avx2 => {
+                                if full {
+                                    simd::tile_avx2(ap, bp, kc, c, n);
+                                } else {
+                                    simd::tile_avx2_edge(ap, bp, kc, c, n, mr_eff, nr_eff);
+                                }
+                            }
+                            Isa::Scalar => {
+                                if full {
+                                    kern_full(ap, bp, kc, c, n);
+                                } else if nr_eff <= NR / 2 && mr_eff > nr_eff {
+                                    kern_narrow(ap, bp, kc, c, n, mr_eff, nr_eff);
+                                } else {
+                                    kern_edge(ap, bp, kc, c, n, mr_eff, nr_eff);
+                                }
+                            }
                         }
                     }
                     ir += MR;
@@ -390,6 +516,8 @@ fn row_block(chunk: &mut [f32], ic0: usize, n: usize, k: usize, a_pack: &[f32], 
 /// Tiled GEMM entry point: `out = op(A)·op(B)` with `out: [m, n]`,
 /// `op(A): [m, k]`, `op(B): [k, n]`; `ta`/`tb` mean the buffer stores the
 /// operand transposed (folded into packing — nothing is materialized).
+/// `isa` selects the microkernel family (see `dispatch::mode_isa`); every
+/// family produces identical bits.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn gemm_tiled(
     out: &mut [f32],
@@ -400,6 +528,7 @@ pub(crate) fn gemm_tiled(
     ta: bool,
     b: &[f32],
     tb: bool,
+    isa: Isa,
 ) {
     debug_assert_eq!(out.len(), m * n);
     debug_assert_eq!(a.len(), m * k);
@@ -413,12 +542,14 @@ pub(crate) fn gemm_tiled(
     }
     let flops = m * n * k;
     let go_par = par_enabled() && flops >= PAR_GEMM_MIN_FLOPS && m > MC;
-    // The strip kernel vectorizes across columns, so it needs a full strip;
-    // narrow outputs go to the ILP row-block kernel instead (which reads A
-    // rows directly, so it needs them contiguous — no `ta`). Anything else
-    // small (8 < n < 16, or narrow with `ta`) takes the packed path.
+    // The scalar strip kernel vectorizes across columns, so it needs a full
+    // strip; narrow outputs go to the ILP row-block kernel instead (which
+    // reads A rows directly, so it needs them contiguous — no `ta`). The
+    // vector small kernels handle every layout via strides, but the route
+    // predicate is shared so mode choice can never change which problems
+    // are "small" (bits match either way; this keeps perf behavior legible).
     if flops <= SMALL_GEMM_MAX_FLOPS && (n >= JB || (n <= NARROW_MAX && !ta)) && !go_par {
-        return gemm_small(out, m, n, k, a, ta, b, tb);
+        return gemm_small(isa, out, m, n, k, a, ta, b, tb);
     }
     workspace::with_gemm_ws(packed_a_len(m, k), packed_b_len(k, n), |a_pack, b_pack| {
         pack_a(a_pack, a, m, k, ta);
@@ -428,10 +559,10 @@ pub(crate) fn gemm_tiled(
         if go_par {
             out.par_chunks_mut(MC * n)
                 .enumerate()
-                .for_each(|(bi, chunk)| row_block(chunk, bi * MC, n, k, a_pack, b_pack));
+                .for_each(|(bi, chunk)| row_block(chunk, bi * MC, n, k, a_pack, b_pack, isa));
         } else {
             for (bi, chunk) in out.chunks_mut(MC * n).enumerate() {
-                row_block(chunk, bi * MC, n, k, a_pack, b_pack);
+                row_block(chunk, bi * MC, n, k, a_pack, b_pack, isa);
             }
         }
     });
@@ -440,46 +571,76 @@ pub(crate) fn gemm_tiled(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::simd::active_isa;
 
     fn seq(len: usize, salt: usize) -> Vec<f32> {
         (0..len).map(|i| (((i * 31 + salt * 17) % 23) as f32 - 11.0) / 7.0).collect()
     }
 
+    /// The contract restated as the simplest possible loop: one ascending-k
+    /// `mul_add` chain per element.
     fn reference(a: &[f32], b: &[f32], m: usize, n: usize, k: usize) -> Vec<f32> {
         let mut out = vec![0.0f32; m * n];
         for i in 0..m {
             for kk in 0..k {
                 let av = a[i * k + kk];
                 for j in 0..n {
-                    out[i * n + j] += av * b[kk * n + j];
+                    out[i * n + j] = av.mul_add(b[kk * n + j], out[i * n + j]);
                 }
             }
         }
         out
     }
 
+    const AWKWARD: &[(usize, usize, usize)] = &[
+        (1usize, 1usize, 1usize),
+        (MR, NR, 4),
+        (MR + 1, NR + 1, KC + 1),
+        (MC + 3, NR * 2 + 5, KC - 1),
+        (2 * MC, 2 * NR, 2 * KC),
+        (3, 70, 129),
+        (65, 1, 300),
+        (1, 33, 7),
+        (17, 19, 23),
+    ];
+
     #[test]
     fn tiled_is_bit_identical_to_reference_on_awkward_shapes() {
-        // Shapes straddling MR/NR/KC/MC boundaries, including degenerate 1s.
-        for &(m, n, k) in &[
-            (1usize, 1usize, 1usize),
-            (MR, NR, 4),
-            (MR + 1, NR + 1, KC + 1),
-            (MC + 3, NR * 2 + 5, KC - 1),
-            (2 * MC, 2 * NR, 2 * KC),
-            (3, 70, 129),
-            (65, 1, 300),
-            (1, 33, 7),
-        ] {
-            let a = seq(m * k, 1);
-            let b = seq(k * n, 2);
-            let mut out = vec![f32::NAN; m * n]; // must be fully overwritten
-            gemm_tiled(&mut out, m, n, k, &a, false, &b, false);
-            let want = reference(&a, &b, m, n, k);
+        // Shapes straddling MR/NR/KC/MC boundaries, including degenerate 1s,
+        // under every ISA the host can run.
+        for &isa in &[active_isa(), Isa::Scalar] {
+            for &(m, n, k) in AWKWARD {
+                let a = seq(m * k, 1);
+                let b = seq(k * n, 2);
+                let mut out = vec![f32::NAN; m * n]; // must be fully overwritten
+                gemm_tiled(&mut out, m, n, k, &a, false, &b, false, isa);
+                let want = reference(&a, &b, m, n, k);
+                assert_eq!(
+                    out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "mismatch at m={m} n={n} k={k} isa={isa:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vector_and_scalar_isas_are_bit_identical() {
+        // The heart of the lane-stable contract: the hand-vectorized tiles
+        // and the scalar lane emulation must agree on every bit, for both
+        // the packed and the no-pack routes.
+        let isa = active_isa();
+        for &(m, n, k) in AWKWARD {
+            let a = seq(m * k, 7);
+            let b = seq(k * n, 8);
+            let mut vec_out = vec![0.0f32; m * n];
+            gemm_tiled(&mut vec_out, m, n, k, &a, false, &b, false, isa);
+            let mut sc_out = vec![0.0f32; m * n];
+            gemm_tiled(&mut sc_out, m, n, k, &a, false, &b, false, Isa::Scalar);
             assert_eq!(
-                out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
-                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
-                "mismatch at m={m} n={n} k={k}"
+                vec_out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                sc_out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "ISA divergence at m={m} n={n} k={k} (host isa {isa:?})"
             );
         }
     }
@@ -502,65 +663,70 @@ mod tests {
                 bt[j * k + kk] = b[kk * n + j];
             }
         }
-        let mut plain = vec![0.0f32; m * n];
-        gemm_tiled(&mut plain, m, n, k, &a, false, &b, false);
-        let mut via_ta = vec![0.0f32; m * n];
-        gemm_tiled(&mut via_ta, m, n, k, &at, true, &b, false);
-        let mut via_tb = vec![0.0f32; m * n];
-        gemm_tiled(&mut via_tb, m, n, k, &a, false, &bt, true);
-        assert_eq!(plain, via_ta);
-        assert_eq!(plain, via_tb);
+        for &isa in &[active_isa(), Isa::Scalar] {
+            let mut plain = vec![0.0f32; m * n];
+            gemm_tiled(&mut plain, m, n, k, &a, false, &b, false, isa);
+            let mut via_ta = vec![0.0f32; m * n];
+            gemm_tiled(&mut via_ta, m, n, k, &at, true, &b, false, isa);
+            let mut via_tb = vec![0.0f32; m * n];
+            gemm_tiled(&mut via_tb, m, n, k, &a, false, &bt, true, isa);
+            assert_eq!(plain, via_ta, "ta mismatch under {isa:?}");
+            assert_eq!(plain, via_tb, "tb mismatch under {isa:?}");
+        }
     }
 
     #[test]
     fn small_and_packed_paths_agree_bitwise() {
-        // A shape routed to the strip kernel by the dispatcher; drive the
-        // packed machinery directly on the same inputs and compare bits.
+        // A shape routed to the no-pack kernel by the dispatcher; drive the
+        // packed machinery directly on the same inputs and compare bits,
+        // for each ISA and each operand layout.
         let (m, n, k) = (67usize, 29usize, 33usize);
         let a = seq(m * k, 5);
         let b = seq(k * n, 6);
-        for &(ta, tb) in &[(false, false), (true, false), (false, true)] {
-            let (a_buf, b_buf) = {
-                let mut at = a.clone();
-                let mut bt = b.clone();
-                if ta {
-                    for i in 0..m {
+        for &isa in &[active_isa(), Isa::Scalar] {
+            for &(ta, tb) in &[(false, false), (true, false), (false, true)] {
+                let (a_buf, b_buf) = {
+                    let mut at = a.clone();
+                    let mut bt = b.clone();
+                    if ta {
+                        for i in 0..m {
+                            for kk in 0..k {
+                                at[kk * m + i] = a[i * k + kk];
+                            }
+                        }
+                    }
+                    if tb {
                         for kk in 0..k {
-                            at[kk * m + i] = a[i * k + kk];
+                            for j in 0..n {
+                                bt[j * k + kk] = b[kk * n + j];
+                            }
                         }
                     }
-                }
-                if tb {
-                    for kk in 0..k {
-                        for j in 0..n {
-                            bt[j * k + kk] = b[kk * n + j];
-                        }
+                    (at, bt)
+                };
+                let mut small = vec![0.0f32; m * n];
+                gemm_small(isa, &mut small, m, n, k, &a_buf, ta, &b_buf, tb);
+                let mut packed = vec![0.0f32; m * n];
+                workspace::with_gemm_ws(packed_a_len(m, k), packed_b_len(k, n), |ap, bp| {
+                    pack_a(ap, &a_buf, m, k, ta);
+                    pack_b(bp, &b_buf, k, n, tb);
+                    for (bi, chunk) in packed.chunks_mut(MC * n).enumerate() {
+                        row_block(chunk, bi * MC, n, k, ap, bp, isa);
                     }
-                }
-                (at, bt)
-            };
-            let mut small = vec![0.0f32; m * n];
-            gemm_small(&mut small, m, n, k, &a_buf, ta, &b_buf, tb);
-            let mut packed = vec![0.0f32; m * n];
-            workspace::with_gemm_ws(packed_a_len(m, k), packed_b_len(k, n), |ap, bp| {
-                pack_a(ap, &a_buf, m, k, ta);
-                pack_b(bp, &b_buf, k, n, tb);
-                for (bi, chunk) in packed.chunks_mut(MC * n).enumerate() {
-                    row_block(chunk, bi * MC, n, k, ap, bp);
-                }
-            });
-            assert_eq!(
-                small.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
-                packed.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
-                "paths diverge at ta={ta} tb={tb}"
-            );
+                });
+                assert_eq!(
+                    small.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    packed.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "paths diverge at ta={ta} tb={tb} isa={isa:?}"
+                );
+            }
         }
     }
 
     #[test]
     fn zero_k_zeroes_the_output() {
         let mut out = vec![7.0f32; 6];
-        gemm_tiled(&mut out, 2, 3, 0, &[], false, &[], false);
+        gemm_tiled(&mut out, 2, 3, 0, &[], false, &[], false, Isa::Scalar);
         assert_eq!(out, vec![0.0; 6]);
     }
 }

@@ -2,21 +2,24 @@
 //!
 //! Row-major `f32` tensors with exactly the operations the three framework
 //! frontends need: elementwise arithmetic, matrix multiplication, im2col
-//! convolution, and pooling. Matrix multiplication and convolution
-//! parallelize over independent output rows with rayon — each output element
-//! is produced by exactly one task with a fixed left-to-right accumulation
-//! order, so results are bitwise-deterministic regardless of thread count or
-//! schedule (the paper's Section V-A3 determinism requirement; see also the
-//! atomics guide's advice to keep accumulation out of shared state).
+//! convolution, and pooling. Matrix multiplication and convolution run on
+//! runtime-dispatched SIMD microkernels (AVX-512 → AVX2+FMA → scalar lane
+//! emulation) under a *lane-stable* determinism contract: each output
+//! element is one fused-multiply-add chain in ascending-k order, pinned to
+//! a single lane/task, so results are bitwise-deterministic regardless of
+//! host ISA, thread count, schedule, or kernel mode (the paper's Section
+//! V-A3 determinism requirement; see DESIGN.md §6).
 
 #![deny(missing_docs)]
 
 mod conv;
 mod dispatch;
+mod divmod;
 mod init;
 mod kernel;
 mod linalg;
 mod pack;
+mod simd;
 mod tensor;
 mod workspace;
 
@@ -31,5 +34,6 @@ pub use linalg::{
     matmul, matmul_a_bt, matmul_a_bt_naive, matmul_at_b, matmul_at_b_naive, matmul_naive,
     transpose2d,
 };
+pub use simd::{active_isa_name, cpu_features};
 pub use tensor::Tensor;
 pub use workspace::{workspace_alloc_events, ConvWorkspace};

@@ -1,20 +1,24 @@
 //! Matrix products — the computational core of dense and (via im2col)
 //! convolutional layers.
 //!
-//! Two kernel generations live here (selected by [`crate::kernel_mode`]):
+//! Three kernel generations live here (selected by [`crate::kernel_mode`]):
 //!
-//! * the **tiled** path routes all three product shapes through
-//!   [`crate::kernel`]'s blocked/packed GEMM, folding operand transposes
-//!   into panel packing so nothing is materialized;
-//! * the **naive** path is the original scalar kernels, retained verbatim
-//!   as the canonical accumulation-order reference (`*_naive`).
+//! * the **simd** path routes all three product shapes through
+//!   [`crate::kernel`]'s blocked/packed GEMM on the widest host ISA,
+//!   folding operand transposes into panel packing so nothing is
+//!   materialized;
+//! * the **tiled** path is the same driver pinned to the scalar
+//!   lane-emulating microkernels (the portable reference);
+//! * the **naive** path is simple triple-loop kernels restating the same
+//!   per-element fma chains with no blocking (`*_naive`).
 //!
-//! Both generations compute every output element as one running `f32` sum
-//! over `k` in ascending order, by exactly one task — results are bitwise
-//! identical to each other and for any thread count (the determinism
-//! contract training depends on; property-tested in `tests/proptests.rs`).
+//! All generations compute every output element as one fused multiply-add
+//! chain over `k` in ascending order, by exactly one task — results are
+//! bitwise identical to each other and for any thread count (the
+//! determinism contract training depends on; property-tested in
+//! `tests/proptests.rs` and `tests/determinism.rs`).
 
-use crate::dispatch::{kernel_mode, par_enabled, KernelMode};
+use crate::dispatch::{kernel_mode, mode_isa, par_enabled, KernelMode};
 use crate::kernel::gemm_tiled;
 use crate::Tensor;
 use rayon::prelude::*;
@@ -30,9 +34,9 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(k, k2, "matmul inner dims: {k} vs {k2}");
     match kernel_mode() {
         KernelMode::Naive => matmul_naive(a, b),
-        KernelMode::Tiled => {
+        mode => {
             let mut out = vec![0.0f32; m * n];
-            gemm_tiled(&mut out, m, n, k, a.data(), false, b.data(), false);
+            gemm_tiled(&mut out, m, n, k, a.data(), false, b.data(), false, mode_isa(mode));
             Tensor::from_vec(out, &[m, n])
         }
     }
@@ -45,12 +49,12 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(k, k2, "matmul_at_b inner dims: {k} vs {k2}");
     match kernel_mode() {
         KernelMode::Naive => matmul_at_b_naive(a, b),
-        KernelMode::Tiled => {
+        mode => {
             // The transpose is folded into A-panel packing — no transposed
             // copy of A is ever materialized (the old kernel allocated one
             // per call on the dW hot path).
             let mut out = vec![0.0f32; m * n];
-            gemm_tiled(&mut out, m, n, k, a.data(), true, b.data(), false);
+            gemm_tiled(&mut out, m, n, k, a.data(), true, b.data(), false, mode_isa(mode));
             Tensor::from_vec(out, &[m, n])
         }
     }
@@ -63,18 +67,18 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(k, k2, "matmul_a_bt inner dims: {k} vs {k2}");
     match kernel_mode() {
         KernelMode::Naive => matmul_a_bt_naive(a, b),
-        KernelMode::Tiled => {
+        mode => {
             let mut out = vec![0.0f32; m * n];
-            gemm_tiled(&mut out, m, n, k, a.data(), false, b.data(), true);
+            gemm_tiled(&mut out, m, n, k, a.data(), false, b.data(), true, mode_isa(mode));
             Tensor::from_vec(out, &[m, n])
         }
     }
 }
 
-/// `C = A · B` with the retained scalar reference kernel (k-outer loop,
-/// running row accumulators). This is the pre-overhaul hot path, kept as
-/// the bit-exactness oracle for the tiled GEMM and as the `--label before`
-/// kernel generation in `bench_kernels`.
+/// `C = A · B` with the unblocked scalar reference kernel (k-outer loop,
+/// running row accumulators, one `mul_add` per chain link). Kept as the
+/// simplest restatement of the lane-stable accumulation order — the
+/// bit-exactness oracle for the blocked/vectorized GEMM.
 pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = mat_dims(a, "A");
     let (k2, n) = mat_dims(b, "B");
@@ -91,7 +95,7 @@ pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Tensor {
         for (kk, &a_v) in a_row.iter().enumerate() {
             let b_row = &b_data[kk * n..(kk + 1) * n];
             for (o, &b_v) in out_row.iter_mut().zip(b_row) {
-                *o += a_v * b_v;
+                *o = a_v.mul_add(b_v, *o);
             }
         }
     };
@@ -130,7 +134,7 @@ pub fn matmul_a_bt_naive(a: &Tensor, b: &Tensor) -> Tensor {
             let b_row = &b_data[c * k..(c + 1) * k];
             let mut acc = 0.0f32;
             for (&x, &y) in a_row.iter().zip(b_row) {
-                acc += x * y;
+                acc = x.mul_add(y, acc);
             }
             *o = acc;
         }

@@ -19,10 +19,11 @@
 
 /// Microkernel rows: the A-panel width.
 pub(crate) const MR: usize = 8;
-/// Microkernel columns: the B-panel width.
-pub(crate) const NR: usize = 16;
+/// Microkernel columns: the B-panel width. Two AVX-512 vectors (one
+/// 128-byte panel row), four AVX2 vectors.
+pub(crate) const NR: usize = 32;
 /// k-extent accumulated per C-tile visit (L1 blocking: a `KC×NR` B panel
-/// slice is 16 KiB, an `MR×KC` A panel slice 8 KiB).
+/// slice is 32 KiB, an `MR×KC` A panel slice 8 KiB).
 pub(crate) const KC: usize = 256;
 /// Rows per parallel task / L2 block; must be a multiple of `MR`.
 pub(crate) const MC: usize = 64;
@@ -31,6 +32,10 @@ pub(crate) const NC: usize = 2048;
 
 const _: () = assert!(MC.is_multiple_of(MR), "MC must be a multiple of MR");
 const _: () = assert!(NC.is_multiple_of(NR), "NC must be a multiple of NR");
+// Pack buffers are 64-byte aligned (workspace::AVec); a B panel row is
+// NR*4 bytes, so every k-step row stays vector-aligned only if that is a
+// whole number of 64-byte vectors.
+const _: () = assert!((NR * 4).is_multiple_of(64), "B panel rows must preserve 64-byte alignment");
 
 /// Packed length of an `m×k` A operand.
 pub(crate) fn packed_a_len(m: usize, k: usize) -> usize {

@@ -1,0 +1,780 @@
+//! Runtime-dispatched SIMD microkernels behind the lane-stable contract.
+//!
+//! Every kernel here computes each output element as one ascending-k
+//! fused multiply-add chain: `c = fma(a_k, b_k, c)` for k = 0, 1, 2, ….
+//! Vectorization is *broadcast-style* — a scalar of A is broadcast
+//! against a vector of B columns — so each output element is pinned to
+//! one SIMD lane for its entire chain and the chain never crosses
+//! lanes. IEEE-754 `fmaddps` is lane-wise identical to scalar
+//! `f32::mul_add`, which makes the AVX-512, AVX2, and scalar
+//! lane-emulating paths bit-identical by construction (see DESIGN.md
+//! §6). Genuine cross-element reductions go through [`sum_lanes8`],
+//! which fixes an 8-lane k-split and a frozen lane-combination tree.
+//!
+//! All `unsafe` kernels are gated behind [`Isa`] values returned by
+//! [`active_isa`], which only reports instruction sets the host
+//! actually supports (`is_x86_feature_detected!`).
+
+use crate::pack::{MR, NR};
+use std::sync::OnceLock;
+
+/// Instruction set selected for the packed GEMM microkernels.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Isa {
+    /// 512-bit broadcast-FMA kernels (requires `avx512f`).
+    Avx512,
+    /// 256-bit broadcast-FMA kernels (requires `avx2` + `fma`).
+    Avx2,
+    /// Scalar lane-emulating kernels (`f32::mul_add` chains).
+    Scalar,
+}
+
+/// Detects the widest ISA the host supports, once.
+pub(crate) fn active_isa() -> Isa {
+    static ISA: OnceLock<Isa> = OnceLock::new();
+    *ISA.get_or_init(detect)
+}
+
+#[cfg(target_arch = "x86_64")]
+fn detect() -> Isa {
+    if std::arch::is_x86_feature_detected!("avx512f") {
+        Isa::Avx512
+    } else if std::arch::is_x86_feature_detected!("avx2")
+        && std::arch::is_x86_feature_detected!("fma")
+    {
+        Isa::Avx2
+    } else {
+        Isa::Scalar
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn detect() -> Isa {
+    Isa::Scalar
+}
+
+/// Human-readable list of the detected CPU features relevant to the
+/// kernels (recorded into bench metadata so numbers are attributable).
+pub fn cpu_features() -> &'static str {
+    static S: OnceLock<String> = OnceLock::new();
+    S.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            let mut feats: Vec<&str> = Vec::new();
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                feats.push("avx512f");
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                feats.push("avx2");
+            }
+            if std::arch::is_x86_feature_detected!("fma") {
+                feats.push("fma");
+            }
+            if feats.is_empty() {
+                "x86-64-baseline".to_string()
+            } else {
+                feats.join("+")
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            "non-x86".to_string()
+        }
+    })
+    .as_str()
+}
+
+/// Name of the microkernel family the `Simd` mode dispatches to on this
+/// host: `"avx512"`, `"avx2"`, or `"scalar"` (recorded into bench
+/// metadata alongside [`cpu_features`]).
+pub fn active_isa_name() -> &'static str {
+    match active_isa() {
+        Isa::Avx512 => "avx512",
+        Isa::Avx2 => "avx2",
+        Isa::Scalar => "scalar",
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Packed-panel microkernels (x86_64).
+//
+// A panels are MR-major (`MR` consecutive row scalars per k step), B
+// panels are NR-major (`NR` consecutive column scalars per k step,
+// 64-byte aligned, zero-padded at edges). C tiles accumulate in place:
+// the kernel loads C, extends each element's fma chain by `kc` links,
+// and stores back — the f32 memory round-trip between KC blocks is
+// exact, so blocking never perturbs a chain.
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{MR, NR};
+    use core::arch::x86_64::*;
+
+    #[inline(always)]
+    fn mask16(w: usize) -> __mmask16 {
+        debug_assert!(w <= 16);
+        ((1u32 << w) - 1) as __mmask16
+    }
+
+    #[inline(always)]
+    fn assert_panel_aligned(b: *const f32) {
+        debug_assert_eq!(b as usize % 64, 0, "packed B panel lost its 64-byte alignment");
+    }
+
+    /// Full MR×NR tile, AVX-512: 16 zmm accumulators, two aligned B
+    /// loads + MR broadcasts + 16 FMAs per k step, unrolled by 2.
+    ///
+    /// # Safety
+    /// `a` must point to `MR*kc` packed floats, `b` to `NR*kc` packed
+    /// floats (64-byte aligned), and `c` to an MR×NR tile with row
+    /// stride `ldc` (at least NR floats per row). Caller must have
+    /// verified `avx512f` support.
+    #[target_feature(enable = "avx512f")]
+    pub(crate) unsafe fn tile_avx512(
+        a: *const f32,
+        b: *const f32,
+        kc: usize,
+        c: *mut f32,
+        ldc: usize,
+    ) {
+        assert_panel_aligned(b);
+        let mut acc0 = [_mm512_setzero_ps(); MR];
+        let mut acc1 = [_mm512_setzero_ps(); MR];
+        for (i, (a0, a1)) in acc0.iter_mut().zip(acc1.iter_mut()).enumerate() {
+            let row = c.add(i * ldc);
+            *a0 = _mm512_loadu_ps(row);
+            *a1 = _mm512_loadu_ps(row.add(16));
+        }
+        let mut ap = a;
+        let mut bp = b;
+        let mut p = 0;
+        while p + 2 <= kc {
+            let b0 = _mm512_load_ps(bp);
+            let b1 = _mm512_load_ps(bp.add(16));
+            for i in 0..MR {
+                let av = _mm512_set1_ps(*ap.add(i));
+                acc0[i] = _mm512_fmadd_ps(av, b0, acc0[i]);
+                acc1[i] = _mm512_fmadd_ps(av, b1, acc1[i]);
+            }
+            let b2 = _mm512_load_ps(bp.add(NR));
+            let b3 = _mm512_load_ps(bp.add(NR + 16));
+            for i in 0..MR {
+                let av = _mm512_set1_ps(*ap.add(MR + i));
+                acc0[i] = _mm512_fmadd_ps(av, b2, acc0[i]);
+                acc1[i] = _mm512_fmadd_ps(av, b3, acc1[i]);
+            }
+            ap = ap.add(2 * MR);
+            bp = bp.add(2 * NR);
+            p += 2;
+        }
+        if p < kc {
+            let b0 = _mm512_load_ps(bp);
+            let b1 = _mm512_load_ps(bp.add(16));
+            for i in 0..MR {
+                let av = _mm512_set1_ps(*ap.add(i));
+                acc0[i] = _mm512_fmadd_ps(av, b0, acc0[i]);
+                acc1[i] = _mm512_fmadd_ps(av, b1, acc1[i]);
+            }
+        }
+        for (i, (a0, a1)) in acc0.iter().zip(acc1.iter()).enumerate() {
+            let row = c.add(i * ldc);
+            _mm512_storeu_ps(row, *a0);
+            _mm512_storeu_ps(row.add(16), *a1);
+        }
+    }
+
+    /// Edge tile (`mr_eff`×`nr_eff`), AVX-512 with masked C accesses.
+    /// B edge columns are zero-padded in the panel, so masked-off lanes
+    /// accumulate exact zeros and never touch memory.
+    ///
+    /// # Safety
+    /// As [`tile_avx512`], with `mr_eff <= MR`, `1 <= nr_eff <= NR`,
+    /// and `c` pointing to an `mr_eff`×`nr_eff` region of stride `ldc`.
+    #[target_feature(enable = "avx512f")]
+    pub(crate) unsafe fn tile_avx512_edge(
+        a: *const f32,
+        b: *const f32,
+        kc: usize,
+        c: *mut f32,
+        ldc: usize,
+        mr_eff: usize,
+        nr_eff: usize,
+    ) {
+        assert_panel_aligned(b);
+        debug_assert!(mr_eff <= MR && (1..=NR).contains(&nr_eff));
+        let m0 = mask16(nr_eff.min(16));
+        let m1 = mask16(nr_eff.saturating_sub(16));
+        let mut acc0 = [_mm512_setzero_ps(); MR];
+        let mut acc1 = [_mm512_setzero_ps(); MR];
+        for i in 0..mr_eff {
+            let row = c.add(i * ldc);
+            acc0[i] = _mm512_maskz_loadu_ps(m0, row);
+            acc1[i] = _mm512_maskz_loadu_ps(m1, row.wrapping_add(16));
+        }
+        let mut ap = a;
+        let mut bp = b;
+        for _ in 0..kc {
+            let b0 = _mm512_load_ps(bp);
+            let b1 = _mm512_load_ps(bp.add(16));
+            for i in 0..mr_eff {
+                let av = _mm512_set1_ps(*ap.add(i));
+                acc0[i] = _mm512_fmadd_ps(av, b0, acc0[i]);
+                acc1[i] = _mm512_fmadd_ps(av, b1, acc1[i]);
+            }
+            ap = ap.add(MR);
+            bp = bp.add(NR);
+        }
+        for i in 0..mr_eff {
+            let row = c.add(i * ldc);
+            _mm512_mask_storeu_ps(row, m0, acc0[i]);
+            _mm512_mask_storeu_ps(row.wrapping_add(16), m1, acc1[i]);
+        }
+    }
+
+    /// Full MR×NR tile, AVX2+FMA: four 4-row × 16-column register
+    /// sub-tiles, each sweeping the whole panel depth (the B panel is
+    /// L1-resident, so the re-reads are cheap).
+    ///
+    /// # Safety
+    /// As [`tile_avx512`]; caller must have verified `avx2` and `fma`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(crate) unsafe fn tile_avx2(
+        a: *const f32,
+        b: *const f32,
+        kc: usize,
+        c: *mut f32,
+        ldc: usize,
+    ) {
+        assert_panel_aligned(b);
+        for rh in (0..MR).step_by(4) {
+            for cb in (0..NR).step_by(16) {
+                let mut acc = [[_mm256_setzero_ps(); 2]; 4];
+                for (r, pair) in acc.iter_mut().enumerate() {
+                    let row = c.add((rh + r) * ldc + cb);
+                    pair[0] = _mm256_loadu_ps(row);
+                    pair[1] = _mm256_loadu_ps(row.add(8));
+                }
+                let mut ap = a;
+                let mut bp = b.add(cb);
+                for _ in 0..kc {
+                    let b0 = _mm256_load_ps(bp);
+                    let b1 = _mm256_load_ps(bp.add(8));
+                    for (r, pair) in acc.iter_mut().enumerate() {
+                        let av = _mm256_set1_ps(*ap.add(rh + r));
+                        pair[0] = _mm256_fmadd_ps(av, b0, pair[0]);
+                        pair[1] = _mm256_fmadd_ps(av, b1, pair[1]);
+                    }
+                    ap = ap.add(MR);
+                    bp = bp.add(NR);
+                }
+                for (r, pair) in acc.iter().enumerate() {
+                    let row = c.add((rh + r) * ldc + cb);
+                    _mm256_storeu_ps(row, pair[0]);
+                    _mm256_storeu_ps(row.add(8), pair[1]);
+                }
+            }
+        }
+    }
+
+    #[inline(always)]
+    unsafe fn lane_mask8(w: usize) -> __m256i {
+        debug_assert!(w <= 8);
+        let idx = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+        _mm256_cmpgt_epi32(_mm256_set1_epi32(w as i32), idx)
+    }
+
+    /// Edge tile, AVX2+FMA: one row at a time, four ymm column slots
+    /// with masked C accesses; zero-padded B keeps dead lanes at zero.
+    ///
+    /// # Safety
+    /// As [`tile_avx512_edge`]; caller must have verified `avx2`+`fma`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(crate) unsafe fn tile_avx2_edge(
+        a: *const f32,
+        b: *const f32,
+        kc: usize,
+        c: *mut f32,
+        ldc: usize,
+        mr_eff: usize,
+        nr_eff: usize,
+    ) {
+        assert_panel_aligned(b);
+        debug_assert!(mr_eff <= MR && (1..=NR).contains(&nr_eff));
+        let masks = [
+            lane_mask8(nr_eff.min(8)),
+            lane_mask8(nr_eff.saturating_sub(8).min(8)),
+            lane_mask8(nr_eff.saturating_sub(16).min(8)),
+            lane_mask8(nr_eff.saturating_sub(24).min(8)),
+        ];
+        for i in 0..mr_eff {
+            let row = c.add(i * ldc);
+            let mut acc = [_mm256_setzero_ps(); 4];
+            for (v, a_v) in acc.iter_mut().enumerate() {
+                *a_v = _mm256_maskload_ps(row.wrapping_add(8 * v), masks[v]);
+            }
+            let mut ap = a.add(i);
+            let mut bp = b;
+            for _ in 0..kc {
+                let av = _mm256_set1_ps(*ap);
+                for (v, a_v) in acc.iter_mut().enumerate() {
+                    let bv = _mm256_load_ps(bp.add(8 * v));
+                    *a_v = _mm256_fmadd_ps(av, bv, *a_v);
+                }
+                ap = ap.add(MR);
+                bp = bp.add(NR);
+            }
+            for (v, a_v) in acc.iter().enumerate() {
+                _mm256_maskstore_ps(row.wrapping_add(8 * v), masks[v], *a_v);
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // No-pack small-problem block kernels (B walked in place, row-major).
+    // `a_rs`/`a_cs` are A's row/k strides so transposed A needs no copy.
+    // -----------------------------------------------------------------------
+
+    /// Up-to-4-rows × up-to-32-columns block over unpacked B, AVX-512.
+    ///
+    /// # Safety
+    /// `out` points to the block origin in a row-major matrix of row
+    /// stride `ldo`; `b` to B's `(0, j0)` with row stride `ldb`; `a` to
+    /// the block's first row with element `(r, kk)` at
+    /// `a + r*a_rs + kk*a_cs`. `rows <= 4`, `1 <= ncols <= 32`. Caller
+    /// must have verified `avx512f`.
+    #[target_feature(enable = "avx512f")]
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) unsafe fn small_block_avx512(
+        out: *mut f32,
+        ldo: usize,
+        a: *const f32,
+        a_rs: usize,
+        a_cs: usize,
+        b: *const f32,
+        ldb: usize,
+        rows: usize,
+        ncols: usize,
+        k: usize,
+    ) {
+        debug_assert!((1..=4).contains(&rows) && (1..=32).contains(&ncols));
+        let m0 = mask16(ncols.min(16));
+        let m1 = mask16(ncols.saturating_sub(16));
+        let mut acc0 = [_mm512_setzero_ps(); 4];
+        let mut acc1 = [_mm512_setzero_ps(); 4];
+        for r in 0..rows {
+            let row = out.add(r * ldo);
+            acc0[r] = _mm512_maskz_loadu_ps(m0, row);
+            acc1[r] = _mm512_maskz_loadu_ps(m1, row.wrapping_add(16));
+        }
+        for kk in 0..k {
+            let bp = b.add(kk * ldb);
+            let b0 = _mm512_maskz_loadu_ps(m0, bp);
+            let b1 = _mm512_maskz_loadu_ps(m1, bp.wrapping_add(16));
+            for r in 0..rows {
+                let av = _mm512_set1_ps(*a.add(r * a_rs + kk * a_cs));
+                acc0[r] = _mm512_fmadd_ps(av, b0, acc0[r]);
+                acc1[r] = _mm512_fmadd_ps(av, b1, acc1[r]);
+            }
+        }
+        for r in 0..rows {
+            let row = out.add(r * ldo);
+            _mm512_mask_storeu_ps(row, m0, acc0[r]);
+            _mm512_mask_storeu_ps(row.wrapping_add(16), m1, acc1[r]);
+        }
+    }
+
+    /// Up-to-4-rows × up-to-16-columns block over unpacked B, AVX2+FMA.
+    ///
+    /// # Safety
+    /// As [`small_block_avx512`] with `ncols <= 16`; caller must have
+    /// verified `avx2`+`fma`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) unsafe fn small_block_avx2(
+        out: *mut f32,
+        ldo: usize,
+        a: *const f32,
+        a_rs: usize,
+        a_cs: usize,
+        b: *const f32,
+        ldb: usize,
+        rows: usize,
+        ncols: usize,
+        k: usize,
+    ) {
+        debug_assert!((1..=4).contains(&rows) && (1..=16).contains(&ncols));
+        let m0 = lane_mask8(ncols.min(8));
+        let m1 = lane_mask8(ncols.saturating_sub(8));
+        let mut acc0 = [_mm256_setzero_ps(); 4];
+        let mut acc1 = [_mm256_setzero_ps(); 4];
+        for r in 0..rows {
+            let row = out.add(r * ldo);
+            acc0[r] = _mm256_maskload_ps(row, m0);
+            acc1[r] = _mm256_maskload_ps(row.wrapping_add(8), m1);
+        }
+        for kk in 0..k {
+            let bp = b.add(kk * ldb);
+            let b0 = _mm256_maskload_ps(bp, m0);
+            let b1 = _mm256_maskload_ps(bp.wrapping_add(8), m1);
+            for r in 0..rows {
+                let av = _mm256_set1_ps(*a.add(r * a_rs + kk * a_cs));
+                acc0[r] = _mm256_fmadd_ps(av, b0, acc0[r]);
+                acc1[r] = _mm256_fmadd_ps(av, b1, acc1[r]);
+            }
+        }
+        for r in 0..rows {
+            let row = out.add(r * ldo);
+            _mm256_maskstore_ps(row, m0, acc0[r]);
+            _mm256_maskstore_ps(row.wrapping_add(8), m1, acc1[r]);
+        }
+    }
+
+    /// `dst[j] = fma(s, src[j], dst[j])`, AVX-512.
+    ///
+    /// # Safety
+    /// Caller must have verified `avx512f`; `dst`/`src` same length.
+    #[target_feature(enable = "avx512f")]
+    pub(crate) unsafe fn axpy_avx512(dst: &mut [f32], s: f32, src: &[f32]) {
+        debug_assert_eq!(dst.len(), src.len());
+        let n = dst.len();
+        let sv = _mm512_set1_ps(s);
+        let d = dst.as_mut_ptr();
+        let x = src.as_ptr();
+        let mut j = 0;
+        while j + 16 <= n {
+            let v = _mm512_fmadd_ps(sv, _mm512_loadu_ps(x.add(j)), _mm512_loadu_ps(d.add(j)));
+            _mm512_storeu_ps(d.add(j), v);
+            j += 16;
+        }
+        if j < n {
+            let m = mask16(n - j);
+            let v = _mm512_fmadd_ps(
+                sv,
+                _mm512_maskz_loadu_ps(m, x.add(j)),
+                _mm512_maskz_loadu_ps(m, d.add(j)),
+            );
+            _mm512_mask_storeu_ps(d.add(j), m, v);
+        }
+    }
+
+    /// `dst[j] = fma(s, src[j], dst[j])`, AVX2+FMA (scalar tail).
+    ///
+    /// # Safety
+    /// Caller must have verified `avx2`+`fma`; `dst`/`src` same length.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(crate) unsafe fn axpy_avx2(dst: &mut [f32], s: f32, src: &[f32]) {
+        debug_assert_eq!(dst.len(), src.len());
+        let n = dst.len();
+        let sv = _mm256_set1_ps(s);
+        let d = dst.as_mut_ptr();
+        let x = src.as_ptr();
+        let mut j = 0;
+        while j + 8 <= n {
+            let v = _mm256_fmadd_ps(sv, _mm256_loadu_ps(x.add(j)), _mm256_loadu_ps(d.add(j)));
+            _mm256_storeu_ps(d.add(j), v);
+            j += 8;
+        }
+        while j < n {
+            *d.add(j) = s.mul_add(*x.add(j), *d.add(j));
+            j += 1;
+        }
+    }
+
+    /// `dst[j] += src[j]`, AVX2 (plain lane-wise add; bit-equal to the
+    /// scalar loop by IEEE-754, so every kernel mode may share it).
+    ///
+    /// # Safety
+    /// Caller must have verified `avx2`; `dst`/`src` same length.
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn add_assign_avx2(dst: &mut [f32], src: &[f32]) {
+        debug_assert_eq!(dst.len(), src.len());
+        let n = dst.len();
+        let d = dst.as_mut_ptr();
+        let x = src.as_ptr();
+        let mut j = 0;
+        while j + 8 <= n {
+            let v = _mm256_add_ps(_mm256_loadu_ps(d.add(j)), _mm256_loadu_ps(x.add(j)));
+            _mm256_storeu_ps(d.add(j), v);
+            j += 8;
+        }
+        while j < n {
+            *d.add(j) += *x.add(j);
+            j += 1;
+        }
+    }
+
+    /// 8-lane k-split sum with the frozen combination tree, AVX2.
+    /// Lane adds are plain `vaddps`, bit-identical to the scalar
+    /// emulation in [`super::sum_lanes8_ref`].
+    ///
+    /// # Safety
+    /// Caller must have verified `avx2`.
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn sum_lanes8_avx2(xs: &[f32]) -> f32 {
+        let mut acc = _mm256_setzero_ps();
+        let chunks = xs.len() / 8;
+        let p = xs.as_ptr();
+        for t in 0..chunks {
+            acc = _mm256_add_ps(acc, _mm256_loadu_ps(p.add(8 * t)));
+        }
+        // Frozen tree: ((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7)).
+        let lo = _mm256_castps256_ps128(acc);
+        let hi = _mm256_extractf128_ps(acc, 1);
+        let pairs = _mm_hadd_ps(lo, hi); // [l0+l1, l2+l3, l4+l5, l6+l7]
+        let quads = _mm_hadd_ps(pairs, pairs); // [(01)+(23), (45)+(67), ..]
+        let tree = _mm_cvtss_f32(_mm_hadd_ps(quads, quads));
+        xs[8 * chunks..].iter().fold(tree, |s, &x| s + x)
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+mod x86 {
+    //! Stubs so the dispatch `match` compiles everywhere; `active_isa`
+    //! never returns a vector ISA off x86_64, so these are unreachable.
+    #![allow(clippy::too_many_arguments)]
+
+    pub(crate) unsafe fn tile_avx512(
+        _a: *const f32,
+        _b: *const f32,
+        _kc: usize,
+        _c: *mut f32,
+        _ldc: usize,
+    ) {
+        unreachable!("AVX-512 kernel on non-x86_64 host")
+    }
+
+    pub(crate) unsafe fn tile_avx512_edge(
+        _a: *const f32,
+        _b: *const f32,
+        _kc: usize,
+        _c: *mut f32,
+        _ldc: usize,
+        _mr_eff: usize,
+        _nr_eff: usize,
+    ) {
+        unreachable!("AVX-512 kernel on non-x86_64 host")
+    }
+
+    pub(crate) unsafe fn tile_avx2(
+        _a: *const f32,
+        _b: *const f32,
+        _kc: usize,
+        _c: *mut f32,
+        _ldc: usize,
+    ) {
+        unreachable!("AVX2 kernel on non-x86_64 host")
+    }
+
+    pub(crate) unsafe fn tile_avx2_edge(
+        _a: *const f32,
+        _b: *const f32,
+        _kc: usize,
+        _c: *mut f32,
+        _ldc: usize,
+        _mr_eff: usize,
+        _nr_eff: usize,
+    ) {
+        unreachable!("AVX2 kernel on non-x86_64 host")
+    }
+
+    pub(crate) unsafe fn small_block_avx512(
+        _out: *mut f32,
+        _ldo: usize,
+        _a: *const f32,
+        _a_rs: usize,
+        _a_cs: usize,
+        _b: *const f32,
+        _ldb: usize,
+        _rows: usize,
+        _ncols: usize,
+        _k: usize,
+    ) {
+        unreachable!("AVX-512 kernel on non-x86_64 host")
+    }
+
+    pub(crate) unsafe fn small_block_avx2(
+        _out: *mut f32,
+        _ldo: usize,
+        _a: *const f32,
+        _a_rs: usize,
+        _a_cs: usize,
+        _b: *const f32,
+        _ldb: usize,
+        _rows: usize,
+        _ncols: usize,
+        _k: usize,
+    ) {
+        unreachable!("AVX2 kernel on non-x86_64 host")
+    }
+
+    pub(crate) unsafe fn axpy_avx512(_dst: &mut [f32], _s: f32, _src: &[f32]) {
+        unreachable!("AVX-512 kernel on non-x86_64 host")
+    }
+
+    pub(crate) unsafe fn axpy_avx2(_dst: &mut [f32], _s: f32, _src: &[f32]) {
+        unreachable!("AVX2 kernel on non-x86_64 host")
+    }
+
+    pub(crate) unsafe fn add_assign_avx2(_dst: &mut [f32], _src: &[f32]) {
+        unreachable!("AVX2 kernel on non-x86_64 host")
+    }
+
+    pub(crate) unsafe fn sum_lanes8_avx2(_xs: &[f32]) -> f32 {
+        unreachable!("AVX2 kernel on non-x86_64 host")
+    }
+}
+
+pub(crate) use x86::{
+    small_block_avx2, small_block_avx512, tile_avx2, tile_avx2_edge, tile_avx512, tile_avx512_edge,
+};
+
+// ---------------------------------------------------------------------------
+// Safe dispatching helpers shared by the tiled drivers and conv lowering.
+// These are elementwise or tree-frozen, so every kernel mode may use them
+// without perturbing bits.
+// ---------------------------------------------------------------------------
+
+/// `dst[j] = fma(s, src[j], dst[j])` — one chain link per element, any
+/// vector width, bit-identical to `f32::mul_add` lane-by-lane.
+#[inline]
+pub(crate) fn axpy(isa: Isa, dst: &mut [f32], s: f32, src: &[f32]) {
+    match isa {
+        Isa::Avx512 => unsafe { x86::axpy_avx512(dst, s, src) },
+        Isa::Avx2 => unsafe { x86::axpy_avx2(dst, s, src) },
+        Isa::Scalar => {
+            for (d, &x) in dst.iter_mut().zip(src) {
+                *d = s.mul_add(x, *d);
+            }
+        }
+    }
+}
+
+/// `dst[j] += src[j]` with the widest available ISA (elementwise, so
+/// bit-equal to the scalar loop; safe for every kernel mode).
+#[inline]
+pub(crate) fn add_assign(dst: &mut [f32], src: &[f32]) {
+    match active_isa() {
+        Isa::Avx512 | Isa::Avx2 => unsafe { x86::add_assign_avx2(dst, src) },
+        Isa::Scalar => {
+            for (d, &x) in dst.iter_mut().zip(src) {
+                *d += x;
+            }
+        }
+    }
+}
+
+/// Sums `xs` with the lane-stable reduction tree: the index stream is
+/// split across 8 lanes (`lane l` accumulates `xs[8t + l]` in order),
+/// lanes combine as `((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))`, and any
+/// tail folds in sequentially. Vector and scalar paths are
+/// bit-identical by construction.
+#[inline]
+pub(crate) fn sum_lanes8(xs: &[f32]) -> f32 {
+    match active_isa() {
+        Isa::Avx512 | Isa::Avx2 => unsafe { x86::sum_lanes8_avx2(xs) },
+        Isa::Scalar => sum_lanes8_ref(xs.iter().copied()),
+    }
+}
+
+/// Scalar emulation of [`sum_lanes8`] over any element stream — the
+/// reference the vector path must match bit-for-bit, and the form the
+/// naive kernel mode uses (including strided streams).
+pub(crate) fn sum_lanes8_ref(xs: impl Iterator<Item = f32>) -> f32 {
+    let mut lanes = [0.0f32; 8];
+    // Stream length is unknown, so buffer one 8-element group at a time;
+    // a partial final group becomes the sequential tail.
+    let mut group = [0.0f32; 8];
+    let mut li = 0usize;
+    for x in xs {
+        group[li] = x;
+        li += 1;
+        if li == 8 {
+            for (l, &g) in lanes.iter_mut().zip(group.iter()) {
+                *l += g;
+            }
+            li = 0;
+        }
+    }
+    let tree = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+        + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+    group[..li].iter().fold(tree, |s, &x| s + x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(n: usize, salt: u32) -> Vec<f32> {
+        // Deterministic awkward values: mixed magnitudes and signs so
+        // reassociation would visibly change bits.
+        (0..n)
+            .map(|i| {
+                let h = (i as u32).wrapping_mul(2_654_435_761).wrapping_add(salt);
+                let m = (h >> 8) as f32 / (1 << 24) as f32;
+                let e = ((h >> 2) % 9) as i32 - 4;
+                let s = if h & 1 == 0 { 1.0 } else { -1.0 };
+                s * m * (2.0f32).powi(e)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sum_lanes8_vector_matches_scalar_reference() {
+        for n in [0usize, 1, 7, 8, 9, 15, 16, 17, 63, 64, 65, 1000] {
+            let xs = seq(n, 0xbeef);
+            let v = sum_lanes8(&xs);
+            let s = sum_lanes8_ref(xs.iter().copied());
+            assert_eq!(v.to_bits(), s.to_bits(), "tree sum diverged at n={n}: {v} vs {s}");
+        }
+    }
+
+    #[test]
+    fn sum_lanes8_ref_strided_stream_matches_contiguous() {
+        let xs = seq(40, 7);
+        let direct = sum_lanes8_ref(xs.iter().copied());
+        // Interleave into a stride-3 buffer and stream it back out.
+        let mut buf = vec![0.0f32; xs.len() * 3];
+        for (i, &x) in xs.iter().enumerate() {
+            buf[i * 3] = x;
+        }
+        let strided = sum_lanes8_ref((0..xs.len()).map(|i| buf[i * 3]));
+        assert_eq!(direct.to_bits(), strided.to_bits());
+    }
+
+    #[test]
+    fn axpy_vector_matches_scalar_bitwise() {
+        let isa = active_isa();
+        for n in [1usize, 5, 8, 13, 16, 31, 32, 100] {
+            let src = seq(n, 3);
+            let mut d_vec = seq(n, 9);
+            let mut d_ref = d_vec.clone();
+            axpy(isa, &mut d_vec, 1.7, &src);
+            axpy(Isa::Scalar, &mut d_ref, 1.7, &src);
+            for (a, b) in d_vec.iter().zip(d_ref.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "axpy diverged at n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn add_assign_matches_scalar_bitwise() {
+        for n in [1usize, 7, 8, 9, 24, 100] {
+            let src = seq(n, 11);
+            let mut d_vec = seq(n, 13);
+            let mut d_ref = d_vec.clone();
+            add_assign(&mut d_vec, &src);
+            for (d, &x) in d_ref.iter_mut().zip(src.iter()) {
+                *d += x;
+            }
+            for (a, b) in d_vec.iter().zip(d_ref.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "add_assign diverged at n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn cpu_features_is_nonempty() {
+        assert!(!cpu_features().is_empty());
+    }
+}

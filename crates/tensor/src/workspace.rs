@@ -11,12 +11,18 @@
 //!   intermediate buffers (columns, gradient columns, permuted upstream
 //!   gradient, GEMM product) survive across steps.
 //!
+//! All workspace buffers are [`AVec`]s: 64-byte-aligned so the SIMD
+//! microkernels can use aligned vector loads on packed panels. The kernels
+//! debug-assert that alignment at entry, so a regression to unaligned
+//! buffers fails loudly instead of silently degrading.
+//!
 //! Every buffer growth bumps a global counter ([`workspace_alloc_events`]);
 //! tests assert it stays flat once shapes have been seen, which is the
 //! "no per-step kernel allocations" guarantee.
 
 use crate::conv::ConvSpec;
 use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Number of workspace buffer (re)allocations since process start.
@@ -29,26 +35,87 @@ pub fn workspace_alloc_events() -> usize {
     ALLOC_EVENTS.load(Ordering::Relaxed)
 }
 
-/// Grow `buf` to at least `need` elements, counting the growth event.
-/// Never shrinks: the high-water mark is the steady state.
-pub(crate) fn ensure(buf: &mut Vec<f32>, need: usize) {
-    if buf.len() < need {
+/// Alignment (bytes) of every workspace buffer: one AVX-512 vector.
+pub(crate) const WS_ALIGN: usize = 64;
+
+/// A grow-once `f32` buffer whose data pointer is 64-byte aligned.
+///
+/// Built on a plain `Vec<f32>` over-allocated by one vector's worth of
+/// elements; the aligned window starts at a computed offset. Growth
+/// preserves the existing prefix (like `Vec::resize`) and counts one
+/// [`workspace_alloc_events`] event. Dereferences to `[f32]` of the
+/// high-water-mark length.
+#[derive(Debug, Default)]
+pub(crate) struct AVec {
+    raw: Vec<f32>,
+    off: usize,
+    len: usize,
+}
+
+impl AVec {
+    /// An empty buffer (const so thread-locals can use const-init).
+    pub(crate) const fn new() -> Self {
+        AVec { raw: Vec::new(), off: 0, len: 0 }
+    }
+
+    /// Grow to at least `need` elements (zero-filling new space,
+    /// preserving existing contents), counting the growth event.
+    /// Never shrinks: the high-water mark is the steady state.
+    pub(crate) fn ensure(&mut self, need: usize) {
+        if self.len >= need {
+            return;
+        }
         ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
-        buf.resize(need, 0.0);
+        let pad = WS_ALIGN / std::mem::size_of::<f32>();
+        let mut raw = vec![0.0f32; need + pad];
+        // `Vec<f32>` is 4-byte aligned, so the byte distance to the next
+        // 64-byte boundary is always a whole number of elements.
+        let addr = raw.as_ptr() as usize;
+        let off = (WS_ALIGN - addr % WS_ALIGN) % WS_ALIGN / std::mem::size_of::<f32>();
+        raw[off..off + self.len].copy_from_slice(&self.raw[self.off..self.off + self.len]);
+        self.raw = raw;
+        self.off = off;
+        self.len = need;
+        debug_assert_eq!(self.as_ptr() as usize % WS_ALIGN, 0);
+    }
+
+    /// Heap bytes currently retained.
+    pub(crate) fn retained_bytes(&self) -> usize {
+        self.raw.capacity() * std::mem::size_of::<f32>()
     }
 }
 
+impl Deref for AVec {
+    type Target = [f32];
+
+    fn deref(&self) -> &[f32] {
+        &self.raw[self.off..self.off + self.len]
+    }
+}
+
+impl DerefMut for AVec {
+    fn deref_mut(&mut self) -> &mut [f32] {
+        &mut self.raw[self.off..self.off + self.len]
+    }
+}
+
+/// Grow `buf` to at least `need` elements, counting the growth event.
+pub(crate) fn ensure(buf: &mut AVec, need: usize) {
+    buf.ensure(need);
+}
+
 struct GemmBuffers {
-    a_pack: Vec<f32>,
-    b_pack: Vec<f32>,
+    a_pack: AVec,
+    b_pack: AVec,
 }
 
 thread_local! {
     static GEMM_WS: RefCell<GemmBuffers> =
-        const { RefCell::new(GemmBuffers { a_pack: Vec::new(), b_pack: Vec::new() }) };
+        const { RefCell::new(GemmBuffers { a_pack: AVec::new(), b_pack: AVec::new() }) };
 }
 
 /// Borrow this thread's pack buffers, grown to the requested lengths.
+/// Both slices start 64-byte aligned.
 pub(crate) fn with_gemm_ws<R>(
     a_need: usize,
     b_need: usize,
@@ -56,8 +123,8 @@ pub(crate) fn with_gemm_ws<R>(
 ) -> R {
     GEMM_WS.with(|cell| {
         let mut ws = cell.borrow_mut();
-        ensure(&mut ws.a_pack, a_need);
-        ensure(&mut ws.b_pack, b_need);
+        ws.a_pack.ensure(a_need);
+        ws.b_pack.ensure(b_need);
         let GemmBuffers { a_pack, b_pack } = &mut *ws;
         f(&mut a_pack[..a_need], &mut b_pack[..b_need])
     })
@@ -74,21 +141,22 @@ pub(crate) struct ConvKey {
 
 /// Per-layer convolution scratch memory (see module docs). Create one per
 /// conv layer and pass it to both `conv2d_ws` and `conv2d_backward_ws`.
+/// All buffers are 64-byte aligned.
 #[derive(Debug, Default)]
 pub struct ConvWorkspace {
     /// im2col columns of the last forward input, stored tap-major
     /// (`[c*kh*kw, n*oh*ow]`) so no GEMM consuming them needs a transpose.
-    pub(crate) cols: Vec<f32>,
+    pub(crate) cols: AVec,
     /// Gradient columns (backward dX path; tap-major for stride 1,
     /// patch-major otherwise).
-    pub(crate) dcols: Vec<f32>,
+    pub(crate) dcols: AVec,
     /// Upstream gradient flattened patch-major to `[n*oh*ow, o]`.
-    pub(crate) dflat: Vec<f32>,
+    pub(crate) dflat: AVec,
     /// Upstream gradient gathered channel-major to `[o, n*oh*ow]`.
-    pub(crate) dflat_t: Vec<f32>,
+    pub(crate) dflat_t: AVec,
     /// Forward GEMM product `[o, n*oh*ow]` before the NCHW permute; the
     /// backward pass reuses it for the transposed weight gradient.
-    pub(crate) prod: Vec<f32>,
+    pub(crate) prod: AVec,
     /// Geometry `cols` currently holds, if any.
     pub(crate) key: Option<ConvKey>,
 }
@@ -107,12 +175,11 @@ impl ConvWorkspace {
 
     /// Bytes currently retained across steps.
     pub fn retained_bytes(&self) -> usize {
-        (self.cols.capacity()
-            + self.dcols.capacity()
-            + self.dflat.capacity()
-            + self.dflat_t.capacity()
-            + self.prod.capacity())
-            * std::mem::size_of::<f32>()
+        self.cols.retained_bytes()
+            + self.dcols.retained_bytes()
+            + self.dflat.retained_bytes()
+            + self.dflat_t.retained_bytes()
+            + self.prod.retained_bytes()
     }
 }
 
@@ -139,11 +206,36 @@ mod tests {
     }
 
     #[test]
+    fn gemm_ws_buffers_are_64_byte_aligned() {
+        with_gemm_ws(33, 77, |a, b| {
+            assert_eq!(a.as_ptr() as usize % WS_ALIGN, 0);
+            assert_eq!(b.as_ptr() as usize % WS_ALIGN, 0);
+        });
+    }
+
+    #[test]
+    fn avec_growth_preserves_prefix_and_alignment() {
+        let mut v = AVec::new();
+        v.ensure(10);
+        for (i, x) in v.iter_mut().enumerate() {
+            *x = i as f32;
+        }
+        v.ensure(100);
+        assert_eq!(v.len(), 100);
+        assert_eq!(v.as_ptr() as usize % WS_ALIGN, 0);
+        for (i, &x) in v.iter().enumerate().take(10) {
+            assert_eq!(x, i as f32, "growth must preserve existing contents");
+        }
+        assert_eq!(v[10], 0.0);
+    }
+
+    #[test]
     fn conv_workspace_reports_retention() {
         let mut ws = ConvWorkspace::new();
         assert_eq!(ws.retained_bytes(), 0);
         ensure(&mut ws.cols, 64);
         assert!(ws.retained_bytes() >= 64 * 4);
+        assert_eq!(ws.cols.as_ptr() as usize % WS_ALIGN, 0);
         ws.invalidate();
         assert!(ws.key.is_none());
     }

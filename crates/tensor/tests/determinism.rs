@@ -1,8 +1,11 @@
-//! The determinism contract, tested end to end: the tiled kernel
-//! generation must be **bit-identical** to the retained naive reference
-//! for every shape — ragged or blocking-aligned, through every internal
-//! fast path (packed, strip, narrow, tiny-k) — and its results must not
-//! depend on how many rayon workers execute it.
+//! The determinism contract, tested end to end: all three kernel
+//! generations — **simd** (runtime-dispatched AVX-512/AVX2 broadcast-FMA
+//! microkernels), **tiled** (the same blocked driver on the scalar
+//! lane-emulating microkernels), and **naive** (unblocked triple loops)
+//! — must be **bit-identical** for every shape — ragged or
+//! blocking-aligned, through every internal fast path (packed, strip,
+//! narrow, tiny-k, no-pack vector) — and their results must not depend on
+//! how many rayon workers execute them.
 //!
 //! These tests flip the process-global kernel mode and the
 //! `RAYON_NUM_THREADS` variable, so everything that does either runs under
@@ -17,15 +20,27 @@ use std::sync::Mutex;
 
 static GLOBALS: Mutex<()> = Mutex::new(());
 
-/// Run `f` under both kernel generations and hand back both results.
-fn both_modes<R>(mut f: impl FnMut() -> R) -> (R, R) {
+const MODES: [(KernelMode, &str); 3] =
+    [(KernelMode::Simd, "simd"), (KernelMode::Tiled, "tiled"), (KernelMode::Naive, "naive")];
+
+/// Run `f` under all three kernel generations and hand back the results
+/// in [`MODES`] order (simd, tiled, naive).
+fn all_modes<R>(mut f: impl FnMut() -> R) -> [R; 3] {
     let _guard = GLOBALS.lock().unwrap_or_else(|e| e.into_inner());
-    set_kernel_mode(KernelMode::Tiled);
-    let tiled = f();
-    set_kernel_mode(KernelMode::Naive);
-    let naive = f();
-    set_kernel_mode(KernelMode::Tiled);
-    (tiled, naive)
+    let out = MODES.map(|(mode, _)| {
+        set_kernel_mode(mode);
+        f()
+    });
+    set_kernel_mode(KernelMode::Simd);
+    out
+}
+
+/// Assert the three per-mode results of `all_modes` agree bit for bit.
+fn assert_all_modes_eq(results: &[Tensor; 3], what: &str) {
+    let simd = bits(&results[0]);
+    for (i, (_, name)) in MODES.iter().enumerate().skip(1) {
+        assert_eq!(simd, bits(&results[i]), "{what}: simd vs {name} diverged");
+    }
 }
 
 fn bits(t: &Tensor) -> Vec<u32> {
@@ -46,18 +61,19 @@ fn filled(shape: &[usize], salt: u32) -> Tensor {
 }
 
 /// Shapes that straddle every blocking boundary of the packed path
-/// (MR = 8, NR = 16, MC = 64, KC = 256) and the small-problem fast paths:
-/// narrow (n ≤ 8), tiny-k (k ≤ 8), strip (n ≥ 16), and true packed
-/// (m·n·k above the small-GEMM cutoff).
+/// (MR = 8, NR = 32, MC = 64, KC = 256) and the small-problem fast paths:
+/// narrow (n ≤ 8), tiny-k (k ≤ 8), strip/no-pack (below the small-GEMM
+/// flop cutoff), and true packed (m·n·k above it). Ragged n exercises the
+/// masked vector edge kernels; ragged m the partial microtiles.
 const GEMM_SHAPES: &[(usize, usize, usize)] = &[
     (1, 1, 1),
     (3, 2, 9),      // narrow
     (27, 300, 2),   // tiny-k
-    (67, 29, 33),   // strip, ragged
-    (8, 16, 256),   // exactly one block each
-    (9, 17, 257),   // one past each boundary
+    (67, 29, 33),   // strip, ragged both ways
+    (8, 32, 256),   // exactly one block each
+    (9, 33, 257),   // one past each boundary (one masked column)
     (65, 33, 257),  // packed path (above the small-GEMM flop cutoff)
-    (130, 15, 300), // packed, ragged n, multiple row blocks
+    (130, 15, 300), // packed, n narrower than one vector, multiple row blocks
     (7, 77, 1000),  // packed, m smaller than one microtile
 ];
 
@@ -68,17 +84,13 @@ fn gemm_bitwise_identical_across_generations_on_boundary_shapes() {
         let at = filled(&[k, m], 2);
         let b = filled(&[k, n], 3);
         let bt = filled(&[n, k], 4);
-        let cases: [(&str, (Tensor, Tensor)); 3] = [
-            ("matmul", both_modes(|| matmul(&a, &b))),
-            ("at_b", both_modes(|| matmul_at_b(&at, &b))),
-            ("a_bt", both_modes(|| matmul_a_bt(&a, &bt))),
+        let cases: [(&str, [Tensor; 3]); 3] = [
+            ("matmul", all_modes(|| matmul(&a, &b))),
+            ("at_b", all_modes(|| matmul_at_b(&at, &b))),
+            ("a_bt", all_modes(|| matmul_a_bt(&a, &bt))),
         ];
-        for (name, (tiled, naive)) in cases {
-            assert_eq!(
-                bits(&tiled),
-                bits(&naive),
-                "{name} diverged from the reference on ({m},{n},{k})"
-            );
+        for (name, results) in &cases {
+            assert_all_modes_eq(results, &format!("{name} on ({m},{n},{k})"));
         }
     }
 }
@@ -86,9 +98,12 @@ fn gemm_bitwise_identical_across_generations_on_boundary_shapes() {
 #[test]
 fn results_do_not_depend_on_rayon_thread_count() {
     let _guard = GLOBALS.lock().unwrap_or_else(|e| e.into_inner());
-    set_kernel_mode(KernelMode::Tiled);
+    // The vectorized generation is the one whose parallel row-blocks could
+    // plausibly race or resplit chains, so pin it here (tiled shares the
+    // same driver; naive has its own test history).
+    set_kernel_mode(KernelMode::Simd);
     // Big enough to cross the parallel-dispatch thresholds for GEMM
-    // (m·n·k ≥ 48³ and m > MC) and for im2col/col2im (≥ 2¹⁵ elements).
+    // (m·n·k ≥ 72³ and m > MC) and for im2col (≥ 2¹⁶ elements).
     let a = filled(&[130, 64], 5);
     let b = filled(&[64, 64], 6);
     let x = filled(&[4, 3, 32, 32], 7);
@@ -115,6 +130,7 @@ fn results_do_not_depend_on_rayon_thread_count() {
         }
     }
     std::env::remove_var("RAYON_NUM_THREADS");
+    set_kernel_mode(KernelMode::Simd);
 }
 
 proptest! {
@@ -130,19 +146,22 @@ proptest! {
     ) {
         let a = filled(&[m, k], salt);
         let b = filled(&[k, n], salt.wrapping_add(1));
-        let (tiled, naive) = both_modes(|| matmul(&a, &b));
-        prop_assert_eq!(bits(&tiled), bits(&naive));
+        let r = all_modes(|| matmul(&a, &b));
+        prop_assert_eq!(bits(&r[0]), bits(&r[1]));
+        prop_assert_eq!(bits(&r[0]), bits(&r[2]));
         let at = filled(&[k, m], salt.wrapping_add(2));
-        let (tiled, naive) = both_modes(|| matmul_at_b(&at, &b));
-        prop_assert_eq!(bits(&tiled), bits(&naive));
+        let r = all_modes(|| matmul_at_b(&at, &b));
+        prop_assert_eq!(bits(&r[0]), bits(&r[1]));
+        prop_assert_eq!(bits(&r[0]), bits(&r[2]));
         let bt = filled(&[n, k], salt.wrapping_add(3));
-        let (tiled, naive) = both_modes(|| matmul_a_bt(&a, &bt));
-        prop_assert_eq!(bits(&tiled), bits(&naive));
+        let r = all_modes(|| matmul_a_bt(&a, &bt));
+        prop_assert_eq!(bits(&r[0]), bits(&r[1]));
+        prop_assert_eq!(bits(&r[0]), bits(&r[2]));
     }
 
     /// Convolution forward and backward, including strided geometry (the
     /// strided backward takes the canonical col2im path, stride 1 the
-    /// tap-inverted one — both must match the reference bit for bit).
+    /// tap-inverted one — every generation must match bit for bit).
     #[test]
     fn conv_bitwise_identical_across_generations(
         n in 1usize..3,
@@ -159,12 +178,15 @@ proptest! {
         let bias = filled(&[o], salt.wrapping_add(2));
         let oh = spec.out_extent(hw, 3);
         let ow = spec.out_extent(hw, 3);
-        let (tiled, naive) = both_modes(|| conv2d(&x, &w, &bias, spec));
-        prop_assert_eq!(bits(&tiled), bits(&naive), "forward diverged");
+        let fwd = all_modes(|| conv2d(&x, &w, &bias, spec));
+        prop_assert_eq!(bits(&fwd[0]), bits(&fwd[1]), "forward: simd vs tiled");
+        prop_assert_eq!(bits(&fwd[0]), bits(&fwd[2]), "forward: simd vs naive");
         let dout = filled(&[n, o, oh, ow], salt.wrapping_add(3));
-        let (tg, ng) = both_modes(|| conv2d_backward(&x, &w, &dout, spec));
-        prop_assert_eq!(bits(&tg.dx), bits(&ng.dx), "dx diverged");
-        prop_assert_eq!(bits(&tg.dw), bits(&ng.dw), "dw diverged");
-        prop_assert_eq!(bits(&tg.db), bits(&ng.db), "db diverged");
+        let grads = all_modes(|| conv2d_backward(&x, &w, &dout, spec));
+        for (g, name) in grads.iter().zip(["simd", "tiled", "naive"]).skip(1) {
+            prop_assert_eq!(bits(&grads[0].dx), bits(&g.dx), "dx: simd vs {}", name);
+            prop_assert_eq!(bits(&grads[0].dw), bits(&g.dw), "dw: simd vs {}", name);
+            prop_assert_eq!(bits(&grads[0].db), bits(&g.db), "db: simd vs {}", name);
+        }
     }
 }
