@@ -205,6 +205,39 @@ grep -Eq 'forensics +0 +192 +0' "$forens_dir/run2.log"
 cmp <(grep -A6 'Cell' "$forens_dir/run1.log") <(grep -A6 'Cell' "$forens_dir/run2.log")
 rm -rf "$forens_dir" "$forens_b"
 
+echo "== smoke campaign: cross-dtype equivalent injection =="
+# The precision sweep (f16/bf16/f32/f64 × 6 strata) must show the headline
+# exponent-width divergence (bf16's exp-msb N-EV rate strictly above
+# f16's), with byte-identical tables across worker counts, and a
+# re-invocation must serve all 144 trials from the manifest while
+# rebuilding a byte-identical precision.csv.
+prec_dir="$(mktemp -d)"
+RAYON_NUM_THREADS=2 cargo run -q --release -p sefi-experiments --bin exp_precision -- \
+  --budget smoke --results-dir "$prec_dir" > "$prec_dir/run1.log"
+grep -q 'exponent-width divergence (bf16 exp-msb N-EV > f16): true' "$prec_dir/run1.log"
+cp "$prec_dir/precision.csv" "$prec_dir/run1.csv"
+prec_b="$(mktemp -d)"
+RAYON_NUM_THREADS=8 cargo run -q --release -p sefi-experiments --bin exp_precision -- \
+  --budget smoke --results-dir "$prec_b" > /dev/null
+cmp "$prec_dir/precision.csv" "$prec_b/precision.csv"
+rm -rf "$prec_b"
+cargo run -q --release -p sefi-experiments --bin exp_precision -- \
+  --budget smoke --results-dir "$prec_dir" > "$prec_dir/run2.log"
+grep -Eq 'precision +0 +144 +0' "$prec_dir/run2.log"
+cmp "$prec_dir/run1.csv" "$prec_dir/precision.csv"
+cmp <(grep -A25 'Format' "$prec_dir/run1.log") <(grep -A25 'Format' "$prec_dir/run2.log")
+rm -rf "$prec_dir"
+
+echo "== precision bench smoke =="
+# The per-dtype checkpoint footprint curve, with its size-floor tripwire:
+# every format must cost at least elements × element_bytes on disk and the
+# curve must be non-decreasing in element width (i8q <= f16 = bf16 <= f32
+# <= f64).
+prec_bench="$(mktemp -d)"
+cargo run -q --release -p sefi-bench --bin bench_precision -- \
+  --smoke --out "$prec_bench/bench.json" --assert-size-order > /dev/null
+rm -rf "$prec_bench"
+
 echo "== smoke campaign: fault isolation =="
 # A deliberately failing trial (injected via the test-only SEFI_FAIL_TRIAL
 # hook) must not kill the campaign: every other trial completes, the failure

@@ -1,0 +1,187 @@
+//! Mixed-precision checkpoint footprint benchmark: the v2 container's
+//! byte size and load time per storage dtype (f16 / bf16 / f32 / f64 /
+//! i8q), written to `BENCH_precision.json` at the repo root.
+//!
+//! This is the cost side of the equivalent-injection experiment: the
+//! `exp_precision` bin measures what each format does to fault outcomes;
+//! this bin measures what each format costs on disk and at restore time.
+//! The same 64-dataset fixture is encoded once per dtype, so the size
+//! column is the format curve (i8q < f16 = bf16 < f32 < f64 plus fixed
+//! container overhead) and the decode/load rows track how the element
+//! width scales through the full v2 parse and the indexed single-dataset
+//! path.
+//!
+//! Usage:
+//!   bench_precision [--out PATH] [--smoke] [--assert-size-order]
+
+use sefi_bench::layered_checkpoint;
+use sefi_hdf5::{Dtype, H5File};
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// One storage format's measurements.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct FormatEntry {
+    /// Format label (`f16`, `bf16`, `f32`, `f64`, `i8q`).
+    format: String,
+    /// Bytes per element in the payload sections.
+    element_bytes: usize,
+    /// Encoded v2 container size in bytes (index overhead included).
+    v2_bytes: usize,
+    /// Mean full-decode time from bytes in memory.
+    decode_ns_per_iter: f64,
+    /// Mean disk-load-plus-full-decode time.
+    disk_load_ns_per_iter: f64,
+    /// Mean indexed-open-plus-single-dataset time from disk.
+    lazy_single_dataset_ns_per_iter: f64,
+}
+
+/// The on-disk result file.
+#[derive(Debug, Serialize, Deserialize)]
+struct BenchFile {
+    /// File format version.
+    schema: u32,
+    /// What produced the numbers.
+    note: String,
+    /// Hardware threads visible during the run.
+    host_threads: usize,
+    /// Datasets in the fixture checkpoint.
+    fixture_datasets: usize,
+    /// Elements in the fixture checkpoint.
+    fixture_elements: usize,
+    /// Per-format size/time curve, narrowest format first.
+    formats: Vec<FormatEntry>,
+}
+
+/// Mean ns/iter of `f` after one warmup call, timed until `min_total`
+/// elapses (at least 3, at most `max_iters` runs).
+fn time_ns(min_total: Duration, max_iters: u64, mut f: impl FnMut()) -> f64 {
+    f();
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while iters < max_iters && (iters < 3 || start.elapsed() < min_total) {
+        f();
+        iters += 1;
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = "BENCH_precision.json".to_string();
+    let mut smoke = false;
+    let mut assert_order = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out = args[i].clone();
+            }
+            "--smoke" => smoke = true,
+            "--assert-size-order" => assert_order = true,
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
+    let per_op = if smoke { Duration::from_millis(40) } else { Duration::from_millis(400) };
+
+    const LAYERS: usize = 32;
+    const PER_LAYER: usize = 4096;
+    let fixture_datasets = LAYERS * 2;
+    let fixture_elements = LAYERS * (PER_LAYER + 8);
+    let sweep: [(Dtype, &str); 5] = [
+        (Dtype::I8Q, "i8q"),
+        (Dtype::F16, "f16"),
+        (Dtype::BF16, "bf16"),
+        (Dtype::F32, "f32"),
+        (Dtype::F64, "f64"),
+    ];
+
+    let dir = std::env::temp_dir().join(format!("sefi_bench_prec_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create bench temp dir");
+
+    println!("bench_precision: {fixture_datasets} datasets x {} dtypes -> {out}", sweep.len());
+    let mut formats = Vec::new();
+    for (dtype, label) in sweep {
+        let file = layered_checkpoint(LAYERS, PER_LAYER, dtype);
+        let v2 = file.to_bytes_v2();
+        let path = dir.join(format!("ckpt_{label}.h5"));
+        file.save_v2(&path).expect("write fixture");
+        let target = "model/layer17/W";
+
+        let decode = time_ns(per_op, 100_000, || {
+            std::hint::black_box(H5File::from_bytes(std::hint::black_box(&v2)).unwrap());
+        });
+        let disk = time_ns(per_op, 100_000, || {
+            std::hint::black_box(H5File::load(std::hint::black_box(&path)).unwrap());
+        });
+        let lazy = time_ns(per_op, 100_000, || {
+            let mut indexed = H5File::open_indexed(std::hint::black_box(&path)).unwrap();
+            std::hint::black_box(indexed.dataset(target).unwrap());
+        });
+        println!(
+            "  {label:<5} {:>9} B  decode {decode:>11.1} ns  disk {disk:>11.1} ns  \
+             lazy {lazy:>9.1} ns",
+            v2.len()
+        );
+        formats.push(FormatEntry {
+            format: label.into(),
+            element_bytes: dtype.size(),
+            v2_bytes: v2.len(),
+            decode_ns_per_iter: decode,
+            disk_load_ns_per_iter: disk,
+            lazy_single_dataset_ns_per_iter: lazy,
+        });
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let result = BenchFile {
+        schema: 1,
+        note: "v2 checkpoint size/load-time per storage dtype; regenerate with \
+               `cargo run --release -p sefi-bench --bin bench_precision`"
+            .into(),
+        host_threads: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+        fixture_datasets,
+        fixture_elements,
+        formats,
+    };
+    let text = serde_json::to_string_pretty(&result).expect("serialize bench file");
+    std::fs::write(&out, text + "\n").unwrap_or_else(|e| panic!("write {out}: {e}"));
+
+    if assert_order {
+        // The size floor: each format must cost at least element_bytes per
+        // element (no silent payload truncation), and the curve must be
+        // non-decreasing in element width — a regression in either
+        // direction means the encoder dropped sections or stopped packing
+        // at the native width.
+        let mut ok = true;
+        for e in &result.formats {
+            let floor = fixture_elements * e.element_bytes;
+            let within = e.v2_bytes >= floor;
+            println!(
+                "  size floor {:>5}: {} >= {floor} ... {}",
+                e.format,
+                e.v2_bytes,
+                if within { "ok" } else { "FAIL" }
+            );
+            ok &= within;
+        }
+        for pair in result.formats.windows(2) {
+            let ordered = pair[0].element_bytes < pair[1].element_bytes
+                || pair[0].v2_bytes == pair[1].v2_bytes;
+            let monotone = pair[0].v2_bytes <= pair[1].v2_bytes && ordered;
+            println!(
+                "  size order {} <= {} ... {}",
+                pair[0].format,
+                pair[1].format,
+                if monotone { "ok" } else { "FAIL" }
+            );
+            ok &= monotone;
+        }
+        if !ok {
+            std::process::exit(1);
+        }
+    }
+}

@@ -137,6 +137,31 @@ impl CorrupterConfig {
         }
         Ok(())
     }
+
+    /// Check one eligible dataset's stored precision against the configured
+    /// `float_precision`. `stored` is `None` for integer (and quantized)
+    /// datasets, which are exempt — they use Python-`bin()` semantics
+    /// regardless of the configured float width.
+    ///
+    /// The injector calls this for *every* eligible location before the
+    /// first injection fires: a mismatch (e.g. `Fp32` configured against an
+    /// f16, bf16 or f64 dataset) is a loud upfront error, never a silent
+    /// bit-position truncation, and never a partially corrupted file
+    /// abandoned behind a mid-run error.
+    pub fn check_precision(
+        &self,
+        location: &str,
+        stored: Option<Precision>,
+    ) -> Result<(), CorruptError> {
+        match stored {
+            Some(p) if p != self.float_precision => Err(CorruptError::PrecisionMismatch {
+                location: location.to_string(),
+                stored: p,
+                configured: self.float_precision,
+            }),
+            _ => Ok(()),
+        }
+    }
 }
 
 /// Configuration for [`crate::RawCorrupter`] — the storage-layer injector

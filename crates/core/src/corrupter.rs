@@ -47,6 +47,12 @@ impl Corrupter {
         file: &mut H5File,
     ) -> Result<(InjectionReport, InjectionLog), CorruptError> {
         let locations = self.resolve_locations(file)?;
+        // Upfront, file-aware precision validation over every eligible
+        // location (only those selected by `locations`): a mismatched
+        // dataset fails before the first injection mutates anything.
+        for location in &locations {
+            self.config.check_precision(location, file.dataset(location)?.dtype().precision())?;
+        }
         let attempts = self.num_attempts(file, &locations);
         let mut rng = DetRng::new(self.config.seed).substream("injector");
         let mut report = InjectionReport::default();
@@ -87,11 +93,13 @@ impl Corrupter {
             let entry_index = rng.index(ds.len());
 
             let candidate = if let Some(precision) = ds.dtype().precision() {
+                // Defense in depth: every eligible location was already
+                // checked upfront in `corrupt_with_log`.
                 if precision != self.config.float_precision {
                     return Err(CorruptError::PrecisionMismatch {
                         location,
-                        stored_bits: precision.width(),
-                        configured_bits: self.config.float_precision.width(),
+                        stored: precision,
+                        configured: self.config.float_precision,
                     });
                 }
                 let old = FpValue::from_bits(precision, ds.get_bits(entry_index)?);
@@ -432,8 +440,72 @@ mod tests {
     }
 
     #[test]
+    fn precision_mismatch_fails_before_any_injection() {
+        // Fp32 configured against every other real width: the error must
+        // fire upfront, leaving the file byte-identical — not after some
+        // attempts already landed.
+        for dtype in [Dtype::F16, Dtype::BF16, Dtype::F64] {
+            let mut f = test_file(dtype);
+            let before = f.to_bytes();
+            let cfg = CorrupterConfig::bit_flips(100, Precision::Fp32, 10);
+            let err = Corrupter::new(cfg).unwrap().corrupt(&mut f).unwrap_err();
+            let CorruptError::PrecisionMismatch { stored, configured, .. } = err else {
+                panic!("expected PrecisionMismatch for {dtype:?}, got {err:?}");
+            };
+            assert_eq!(stored, dtype.precision().unwrap());
+            assert_eq!(configured, Precision::Fp32);
+            assert_eq!(f.to_bytes(), before, "{dtype:?}: no partial corruption escapes");
+        }
+        // The two 16-bit precisions are distinct, not width-aliased.
+        let mut f = test_file(Dtype::BF16);
+        let cfg = CorrupterConfig::bit_flips(1, Precision::Fp16, 10);
+        let err = Corrupter::new(cfg).unwrap().corrupt(&mut f).unwrap_err();
+        assert!(err.to_string().contains("Bf16"), "{err}");
+    }
+
+    #[test]
+    fn precision_check_honors_location_eligibility() {
+        // An out-of-scope f64 dataset must not trip the upfront check when
+        // the listed locations only cover matching-width data.
+        let mut f = test_file(Dtype::F32);
+        f.create_dataset("aux/stats", Dataset::from_f32(&[1.0; 4], &[4], Dtype::F64).unwrap())
+            .unwrap();
+        let mut cfg = CorrupterConfig::bit_flips(10, Precision::Fp32, 11);
+        cfg.locations = LocationSelection::Listed(vec!["model".to_string()]);
+        let report = Corrupter::new(cfg).unwrap().corrupt(&mut f).unwrap();
+        assert_eq!(report.injections, 10);
+        // Widening the selection to include it is the loud path.
+        let mut cfg = CorrupterConfig::bit_flips(10, Precision::Fp32, 11);
+        cfg.locations = LocationSelection::Listed(vec!["aux".to_string()]);
+        let err = Corrupter::new(cfg).unwrap().corrupt(&mut f).unwrap_err();
+        assert!(matches!(err, CorruptError::PrecisionMismatch { .. }));
+    }
+
+    #[test]
+    fn quantized_datasets_use_integer_semantics() {
+        // I8Q has no float precision: it is exempt from the precision check
+        // and corrupts through the integer bin() path on the raw quantized
+        // elements, whatever float width the config names.
+        let mut f = H5File::new();
+        f.create_dataset("q", Dataset::from_f32(&[0.5, -1.0, 0.25], &[3], Dtype::I8Q).unwrap())
+            .unwrap();
+        let before = f.dataset("q").unwrap().clone();
+        let cfg = CorrupterConfig::bit_flips(20, Precision::Fp64, 12);
+        let report = Corrupter::new(cfg).unwrap().corrupt(&mut f).unwrap();
+        assert_eq!(report.injections, 20);
+        let after = f.dataset("q").unwrap();
+        assert_eq!(after.scale(), before.scale(), "scale is metadata, not a target");
+        let changed = (0..3).filter(|&i| after.get_i64(i) != before.get_i64(i)).count();
+        assert!(changed > 0, "quantized elements corrupt");
+    }
+
+    #[test]
     fn f16_and_f32_checkpoints_corrupt_at_their_width() {
-        for (dtype, precision) in [(Dtype::F16, Precision::Fp16), (Dtype::F32, Precision::Fp32)] {
+        for (dtype, precision) in [
+            (Dtype::F16, Precision::Fp16),
+            (Dtype::BF16, Precision::Bf16),
+            (Dtype::F32, Precision::Fp32),
+        ] {
             let mut f = test_file(dtype);
             let cfg = CorrupterConfig::bit_flips_full_range(50, precision, 11);
             let report = Corrupter::new(cfg).unwrap().corrupt(&mut f).unwrap();

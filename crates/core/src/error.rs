@@ -1,5 +1,6 @@
 //! Corrupter error type.
 
+use sefi_float::Precision;
 use std::fmt;
 
 /// Configuration or injection failures.
@@ -13,14 +14,16 @@ pub enum CorruptError {
     /// The resolved location list contains no corruptible entries.
     NothingToCorrupt,
     /// A float dataset's stored precision does not match the configured
-    /// `float_precision`.
+    /// `float_precision`. Carries the precisions themselves (not widths):
+    /// binary16 and bfloat16 are both 16 bits wide but have different
+    /// exponent/mantissa splits, so a width alone cannot name the mismatch.
     PrecisionMismatch {
         /// Dataset path.
         location: String,
-        /// The dataset's stored width in bits.
-        stored_bits: u32,
-        /// The configured width in bits.
-        configured_bits: u32,
+        /// The dataset's stored precision.
+        stored: Precision,
+        /// The configured precision.
+        configured: Precision,
     },
     /// `allow_NaN_values = false` but the corruption mode kept producing
     /// NaN/Inf after the retry budget.
@@ -44,9 +47,11 @@ impl fmt::Display for CorruptError {
             CorruptError::InvalidConfig(m) => write!(f, "invalid corrupter config: {m}"),
             CorruptError::LocationNotFound(l) => write!(f, "location {l:?} not found in file"),
             CorruptError::NothingToCorrupt => write!(f, "no corruptible entries in the selected locations"),
-            CorruptError::PrecisionMismatch { location, stored_bits, configured_bits } => write!(
+            CorruptError::PrecisionMismatch { location, stored, configured } => write!(
                 f,
-                "dataset {location:?} stores {stored_bits}-bit floats but the corrupter is configured for {configured_bits}-bit"
+                "dataset {location:?} stores {stored:?} ({}-bit) floats but the corrupter is configured for {configured:?} ({}-bit)",
+                stored.width(),
+                configured.width()
             ),
             CorruptError::NanRetryExhausted { location, index } => write!(
                 f,
@@ -75,10 +80,23 @@ mod tests {
     fn display_mentions_the_details() {
         let e = CorruptError::PrecisionMismatch {
             location: "predictor/conv1/W".into(),
-            stored_bits: 32,
-            configured_bits: 64,
+            stored: Precision::Fp32,
+            configured: Precision::Fp64,
         };
         let s = e.to_string();
         assert!(s.contains("predictor/conv1/W") && s.contains("32") && s.contains("64"));
+    }
+
+    #[test]
+    fn display_distinguishes_the_16_bit_precisions() {
+        // binary16 vs bfloat16 share a width; the message must still name
+        // which one is which.
+        let e = CorruptError::PrecisionMismatch {
+            location: "w".into(),
+            stored: Precision::Bf16,
+            configured: Precision::Fp16,
+        };
+        let s = e.to_string();
+        assert!(s.contains("Bf16") && s.contains("Fp16"), "{s}");
     }
 }

@@ -434,6 +434,9 @@ fn cmd_diff(a_path: &Path, b_path: &Path, json: bool) -> i32 {
                     DiffState::OnlyInA => "\"state\":\"only-in-a\"".to_string(),
                     DiffState::OnlyInB => "\"state\":\"only-in-b\"".to_string(),
                     DiffState::LayoutChanged => "\"state\":\"layout-changed\"".to_string(),
+                    DiffState::DtypeChanged { from, to, elements } => format!(
+                        "\"state\":\"dtype-changed\",\"from\":\"{from:?}\",\"to\":\"{to:?}\",\"elements\":{elements}"
+                    ),
                     DiffState::Changed { bytes, elements } => {
                         format!("\"state\":\"changed\",\"bytes\":{bytes},\"elements\":{elements}")
                     }
@@ -461,6 +464,9 @@ fn cmd_diff(a_path: &Path, b_path: &Path, json: bool) -> i32 {
                 DiffState::OnlyInA => format!("only in {}", a_path.display()),
                 DiffState::OnlyInB => format!("only in {}", b_path.display()),
                 DiffState::LayoutChanged => "layout changed".to_string(),
+                DiffState::DtypeChanged { from, to, elements } => {
+                    format!("dtype {from:?} -> {to:?}, {elements} logically differing elements")
+                }
                 DiffState::Changed { bytes, elements } => {
                     format!("{bytes} bytes across {elements} elements")
                 }

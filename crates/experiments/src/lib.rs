@@ -30,6 +30,7 @@ pub mod exp_heatmap;
 pub mod exp_layers;
 pub mod exp_masks;
 pub mod exp_nev;
+pub mod exp_precision;
 pub mod exp_predict;
 pub mod exp_propagation;
 pub mod exp_rwc;

@@ -426,7 +426,7 @@ pub struct Prebaked {
     budget: Budget,
     data: SyntheticCifar10,
     baselines: KeyedOnce<ModelKind, StateDict>,
-    baseline_curves: KeyedOnce<(ModelKind, u32, usize), Vec<EpochRecord>>,
+    baseline_curves: KeyedOnce<(ModelKind, Dtype, usize), Vec<EpochRecord>>,
     checkpoints: KeyedOnce<(FrameworkKind, ModelKind, Dtype), Arc<H5File>>,
     campaign: Option<Campaign>,
 }
@@ -920,7 +920,10 @@ impl Prebaked {
         dtype: Dtype,
         end_epoch: usize,
     ) -> Vec<EpochRecord> {
-        let key = (model, dtype.size() as u32, end_epoch);
+        // Keyed on the dtype itself, not its byte width: f16 and bf16 share
+        // a width but narrow the pristine weights differently, so their
+        // baseline trajectories are distinct.
+        let key = (model, dtype, end_epoch);
         let slot = entry_slot(&self.baseline_curves, &key);
         slot.get_or_init(|| {
             let ck = self.checkpoint_shared(FrameworkKind::Chainer, model, dtype);

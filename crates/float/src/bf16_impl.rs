@@ -1,0 +1,285 @@
+//! Google "brain float" bfloat16 implemented from scratch.
+//!
+//! Layout: 1 sign bit, 8 exponent bits (bias 127, same as binary32), 7
+//! mantissa bits. A bfloat16 is exactly the top half of a binary32, so
+//! widening is a 16-bit left shift and narrowing is round-to-nearest-even
+//! on the 16 dropped bits — matching the hardware `f32 -> bf16`
+//! conversion semantics of ML accelerators.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A bfloat16 value, stored as its raw bit pattern.
+#[allow(non_camel_case_types)]
+#[derive(Clone, Copy, Default)]
+pub struct bf16(u16);
+
+const MAN_BITS: u32 = 7;
+const EXP_BIAS: i32 = 127;
+const EXP_MASK: u16 = 0x7F80;
+const MAN_MASK: u16 = 0x007F;
+const SIGN_MASK: u16 = 0x8000;
+
+impl bf16 {
+    /// Positive zero.
+    pub const ZERO: bf16 = bf16(0);
+    /// One.
+    pub const ONE: bf16 = bf16(0x3F80);
+    /// Positive infinity.
+    pub const INFINITY: bf16 = bf16(0x7F80);
+    /// Negative infinity.
+    pub const NEG_INFINITY: bf16 = bf16(0xFF80);
+    /// A quiet NaN.
+    pub const NAN: bf16 = bf16(0x7FC0);
+    /// Largest finite value (≈ 3.39e38).
+    pub const MAX: bf16 = bf16(0x7F7F);
+    /// Smallest positive normal value (2^-126).
+    pub const MIN_POSITIVE: bf16 = bf16(0x0080);
+
+    /// Construct from a raw bit pattern.
+    #[inline]
+    pub const fn from_bits(bits: u16) -> Self {
+        bf16(bits)
+    }
+
+    /// The raw bit pattern.
+    #[inline]
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Convert from `f32` with round-to-nearest-even on the 16 dropped
+    /// bits. The exponent field is shared with binary32, so there is no
+    /// range change: overflow to infinity happens only through rounding
+    /// carry at the very top of the range.
+    pub fn from_f32(value: f32) -> Self {
+        let bits = value.to_bits();
+        let truncated = (bits >> 16) as u16;
+        if value.is_nan() {
+            // Preserve NaN-ness even when truncation would zero the
+            // mantissa (payload entirely in the dropped bits).
+            let payload = truncated & MAN_MASK;
+            let quiet = if payload == 0 { 0x0040 } else { payload };
+            return bf16((truncated & (SIGN_MASK | EXP_MASK)) | quiet);
+        }
+        let rem = bits & 0xFFFF;
+        let mut out = truncated;
+        if rem > 0x8000 || (rem == 0x8000 && (out & 1) == 1) {
+            out = out.wrapping_add(1); // carry into the exponent is correct RNE
+        }
+        bf16(out)
+    }
+
+    /// Convert to `f32` (exact; a bfloat16 is the top half of a binary32).
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits((self.0 as u32) << 16)
+    }
+
+    /// Convert from `f64` with a single direct round-to-nearest-even
+    /// (avoids the double rounding of going through `f32` first).
+    pub fn from_f64(value: f64) -> Self {
+        let bits = value.to_bits();
+        let sign = ((bits >> 48) & 0x8000) as u16;
+        let exp = ((bits >> 52) & 0x7FF) as i32;
+        let man = bits & 0x000F_FFFF_FFFF_FFFF;
+
+        if exp == 0x7FF {
+            let nan_payload = if man != 0 { 0x0040 } else { 0 };
+            return bf16(sign | EXP_MASK | nan_payload | ((man >> 45) as u16 & MAN_MASK));
+        }
+        let unbiased = exp - 1023;
+        let bf_exp = unbiased + EXP_BIAS;
+        if bf_exp >= 0xFF {
+            return bf16(sign | EXP_MASK);
+        }
+        if bf_exp <= 0 {
+            // Subnormal or zero in bfloat16 (f64 subnormals are far below
+            // the bfloat16 subnormal range and flush here too).
+            if bf_exp < -(MAN_BITS as i32) {
+                return bf16(sign);
+            }
+            let man_with_hidden = man | 0x0010_0000_0000_0000;
+            let shift = (46 - bf_exp) as u32;
+            let halfway = 1u64 << (shift - 1);
+            let mut sub_man = man_with_hidden >> shift;
+            let rem = man_with_hidden & ((1u64 << shift) - 1);
+            if rem > halfway || (rem == halfway && (sub_man & 1) == 1) {
+                sub_man += 1; // may carry into the exponent; correct RNE
+            }
+            return bf16(sign | sub_man as u16);
+        }
+        let mut out = (sign as u64) | ((bf_exp as u64) << MAN_BITS) | (man >> 45);
+        let rem = man & ((1u64 << 45) - 1);
+        let halfway = 1u64 << 44;
+        if rem > halfway || (rem == halfway && (out & 1) == 1) {
+            out += 1;
+        }
+        bf16(out as u16)
+    }
+
+    /// Convert to `f64` (exact).
+    pub fn to_f64(self) -> f64 {
+        self.to_f32() as f64
+    }
+
+    /// True if this is a NaN.
+    pub fn is_nan(self) -> bool {
+        (self.0 & EXP_MASK) == EXP_MASK && (self.0 & MAN_MASK) != 0
+    }
+
+    /// True if this is ±∞.
+    pub fn is_infinite(self) -> bool {
+        (self.0 & EXP_MASK) == EXP_MASK && (self.0 & MAN_MASK) == 0
+    }
+
+    /// True if neither NaN nor infinite.
+    pub fn is_finite(self) -> bool {
+        (self.0 & EXP_MASK) != EXP_MASK
+    }
+
+    /// True for subnormals and zeros.
+    pub fn is_subnormal_or_zero(self) -> bool {
+        (self.0 & EXP_MASK) == 0
+    }
+
+    /// True if the sign bit is set.
+    pub fn is_sign_negative(self) -> bool {
+        (self.0 & SIGN_MASK) != 0
+    }
+}
+
+impl From<f32> for bf16 {
+    fn from(v: f32) -> Self {
+        bf16::from_f32(v)
+    }
+}
+
+impl From<bf16> for f32 {
+    fn from(v: bf16) -> Self {
+        v.to_f32()
+    }
+}
+
+impl PartialEq for bf16 {
+    fn eq(&self, other: &Self) -> bool {
+        // IEEE semantics: NaN != NaN, +0 == -0.
+        self.to_f32() == other.to_f32()
+    }
+}
+
+impl PartialOrd for bf16 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        self.to_f32().partial_cmp(&other.to_f32())
+    }
+}
+
+impl fmt::Debug for bf16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bf16({})", self.to_f32())
+    }
+}
+
+impl fmt::Display for bf16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_have_expected_bit_patterns() {
+        assert_eq!(bf16::ONE.to_f32(), 1.0);
+        assert_eq!(bf16::MAX.to_f32(), 3.389_531_4e38);
+        assert_eq!(bf16::MIN_POSITIVE.to_f32(), f32::MIN_POSITIVE);
+        assert!(bf16::NAN.is_nan());
+        assert!(bf16::INFINITY.is_infinite());
+        assert!(bf16::NEG_INFINITY.is_infinite() && bf16::NEG_INFINITY.is_sign_negative());
+    }
+
+    #[test]
+    fn golden_conversions() {
+        // Values with exact bfloat16 representations.
+        for &(v, bits) in &[
+            (0.0f32, 0x0000u16),
+            (-0.0, 0x8000),
+            (1.0, 0x3F80),
+            (-2.0, 0xC000),
+            (0.5, 0x3F00),
+            (0.25, 0x3E80),
+            (3.389_531_4e38, 0x7F7F),          // max finite
+            (f32::MIN_POSITIVE, 0x0080),       // min normal, 2^-126
+            (1.175_494_2e-38 / 128.0, 0x0001), // min subnormal, 2^-133
+        ] {
+            assert_eq!(bf16::from_f32(v).to_bits(), bits, "from_f32({v})");
+            assert_eq!(bf16::from_bits(bits).to_f32(), v, "to_f32({bits:#06x})");
+        }
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 1 + 2^-8 is exactly halfway between 1.0 and the next bfloat16;
+        // RNE picks the even mantissa (1.0).
+        let halfway = 1.0f32 + 2.0f32.powi(-8);
+        assert_eq!(bf16::from_f32(halfway).to_bits(), bf16::ONE.to_bits());
+        // 1 + 3*2^-8 is halfway between two bfloat16s with odd lower
+        // mantissa; rounds up to 1 + 2^-6.
+        let halfway_up = 1.0f32 + 3.0 * 2.0f32.powi(-8);
+        assert_eq!(bf16::from_f32(halfway_up).to_f32(), 1.0 + 2.0f32.powi(-6));
+    }
+
+    #[test]
+    fn overflow_and_underflow() {
+        // f32::MAX is above the last-bfloat16/infinity midpoint: rounds up.
+        assert!(bf16::from_f32(f32::MAX).is_infinite());
+        assert!(bf16::from_f64(1e40).is_infinite());
+        assert!(bf16::from_f64(-1e40).is_infinite());
+        assert_eq!(bf16::from_f64(1e-45).to_bits(), 0); // flush to +0
+        assert_eq!(bf16::from_f64(-1e-45).to_bits(), 0x8000); // -0
+    }
+
+    #[test]
+    fn subnormal_roundtrip() {
+        for bits in 1u16..0x0080 {
+            let v = bf16::from_bits(bits);
+            assert_eq!(bf16::from_f32(v.to_f32()).to_bits(), bits, "subnormal {bits:#06x}");
+        }
+    }
+
+    #[test]
+    fn all_finite_bit_patterns_roundtrip_through_f32() {
+        for bits in 0u16..=u16::MAX {
+            let v = bf16::from_bits(bits);
+            if v.is_nan() {
+                assert!(bf16::from_f32(v.to_f32()).is_nan());
+            } else {
+                assert_eq!(bf16::from_f32(v.to_f32()).to_bits(), bits, "{bits:#06x}");
+            }
+        }
+    }
+
+    #[test]
+    fn f64_direct_path_matches_f32_path_on_exact_values() {
+        for bits in 0u16..=u16::MAX {
+            let v = bf16::from_bits(bits);
+            if v.is_nan() {
+                continue;
+            }
+            assert_eq!(bf16::from_f64(v.to_f64()).to_bits(), bits, "{bits:#06x}");
+        }
+    }
+
+    #[test]
+    fn nan_propagates_payload_flag() {
+        let n = bf16::from_f32(f32::NAN);
+        assert!(n.is_nan());
+        let n = bf16::from_f64(f64::NAN);
+        assert!(n.is_nan());
+        // A NaN whose payload lives entirely in the dropped low bits must
+        // not truncate into an infinity.
+        let sneaky = f32::from_bits(0x7F80_0001);
+        assert!(bf16::from_f32(sneaky).is_nan());
+    }
+}

@@ -12,6 +12,8 @@ use serde::{Deserialize, Serialize};
 pub enum Precision {
     /// IEEE-754 binary16: 1 sign, 5 exponent, 10 mantissa.
     Fp16,
+    /// bfloat16: 1 sign, 8 exponent (binary32's range), 7 mantissa.
+    Bf16,
     /// IEEE-754 binary32: 1 sign, 8 exponent, 23 mantissa.
     Fp32,
     /// IEEE-754 binary64: 1 sign, 11 exponent, 52 mantissa.
@@ -22,7 +24,7 @@ impl Precision {
     /// Total width in bits (16, 32 or 64).
     pub const fn width(self) -> u32 {
         match self {
-            Precision::Fp16 => 16,
+            Precision::Fp16 | Precision::Bf16 => 16,
             Precision::Fp32 => 32,
             Precision::Fp64 => 64,
         }
@@ -32,17 +34,22 @@ impl Precision {
     pub const fn exponent_bits(self) -> u32 {
         match self {
             Precision::Fp16 => 5,
-            Precision::Fp32 => 8,
+            Precision::Bf16 | Precision::Fp32 => 8,
             Precision::Fp64 => 11,
         }
     }
 
-    /// Number of mantissa bits (10, 23 or 52).
+    /// Number of mantissa bits (10, 7, 23 or 52).
     pub const fn mantissa_bits(self) -> u32 {
         self.width() - self.exponent_bits() - 1
     }
 
     /// Construct from a bit width as the injector configuration names it.
+    ///
+    /// Width 16 is ambiguous since bfloat16 was added: this returns
+    /// [`Precision::Fp16`] (the historical meaning) — callers that can
+    /// store bfloat16 must name the precision explicitly rather than by
+    /// width.
     pub fn from_width(width: u32) -> Option<Self> {
         match width {
             16 => Some(Precision::Fp16),
@@ -80,7 +87,7 @@ impl Precision {
     /// Mask of the valid bit pattern for this width, as a u64.
     pub const fn bit_mask(self) -> u64 {
         match self {
-            Precision::Fp16 => 0xFFFF,
+            Precision::Fp16 | Precision::Bf16 => 0xFFFF,
             Precision::Fp32 => 0xFFFF_FFFF,
             Precision::Fp64 => u64::MAX,
         }
@@ -153,6 +160,9 @@ mod tests {
         assert_eq!((m.mantissa_hi, m.exponent_hi, m.sign_bit), (22, 30, 31));
         let m = Precision::Fp16.field_map();
         assert_eq!((m.mantissa_hi, m.exponent_hi, m.sign_bit), (9, 14, 15));
+        let m = Precision::Bf16.field_map();
+        assert_eq!((m.mantissa_hi, m.exponent_hi, m.sign_bit), (6, 14, 15));
+        assert_eq!(Precision::Bf16.exponent_msb(), 14);
     }
 
     #[test]
@@ -176,7 +186,7 @@ mod tests {
 
     #[test]
     fn widths_sum() {
-        for p in [Precision::Fp16, Precision::Fp32, Precision::Fp64] {
+        for p in [Precision::Fp16, Precision::Bf16, Precision::Fp32, Precision::Fp64] {
             assert_eq!(1 + p.exponent_bits() + p.mantissa_bits(), p.width());
         }
     }

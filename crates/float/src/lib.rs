@@ -20,12 +20,14 @@
 
 #![deny(missing_docs)]
 
+mod bf16_impl;
 pub mod bits;
 mod f16_impl;
 pub mod fields;
 pub mod intbits;
 pub mod nev;
 
+pub use bf16_impl::bf16;
 pub use bits::{apply_xor_mask, flip_bit, BitMask, BitRange};
 pub use f16_impl::f16;
 pub use fields::{FieldMap, FloatClass, Precision};
@@ -42,6 +44,8 @@ pub use nev::{classify, Nev, NevPolicy};
 pub enum FpValue {
     /// IEEE-754 binary16.
     F16(f16),
+    /// bfloat16.
+    BF16(bf16),
     /// IEEE-754 binary32.
     F32(f32),
     /// IEEE-754 binary64.
@@ -53,6 +57,7 @@ impl FpValue {
     pub fn precision(self) -> Precision {
         match self {
             FpValue::F16(_) => Precision::Fp16,
+            FpValue::BF16(_) => Precision::Bf16,
             FpValue::F32(_) => Precision::Fp32,
             FpValue::F64(_) => Precision::Fp64,
         }
@@ -62,6 +67,7 @@ impl FpValue {
     pub fn to_bits(self) -> u64 {
         match self {
             FpValue::F16(v) => v.to_bits() as u64,
+            FpValue::BF16(v) => v.to_bits() as u64,
             FpValue::F32(v) => v.to_bits() as u64,
             FpValue::F64(v) => v.to_bits(),
         }
@@ -71,6 +77,7 @@ impl FpValue {
     pub fn from_bits(p: Precision, bits: u64) -> Self {
         match p {
             Precision::Fp16 => FpValue::F16(f16::from_bits(bits as u16)),
+            Precision::Bf16 => FpValue::BF16(bf16::from_bits(bits as u16)),
             Precision::Fp32 => FpValue::F32(f32::from_bits(bits as u32)),
             Precision::Fp64 => FpValue::F64(f64::from_bits(bits)),
         }
@@ -80,6 +87,7 @@ impl FpValue {
     pub fn to_f64(self) -> f64 {
         match self {
             FpValue::F16(v) => v.to_f64(),
+            FpValue::BF16(v) => v.to_f64(),
             FpValue::F32(v) => v as f64,
             FpValue::F64(v) => v,
         }
@@ -89,6 +97,7 @@ impl FpValue {
     pub fn from_f64(p: Precision, v: f64) -> Self {
         match p {
             Precision::Fp16 => FpValue::F16(f16::from_f64(v)),
+            Precision::Bf16 => FpValue::BF16(bf16::from_f64(v)),
             Precision::Fp32 => FpValue::F32(v as f32),
             Precision::Fp64 => FpValue::F64(v),
         }
@@ -98,6 +107,7 @@ impl FpValue {
     pub fn is_nan(self) -> bool {
         match self {
             FpValue::F16(v) => v.is_nan(),
+            FpValue::BF16(v) => v.is_nan(),
             FpValue::F32(v) => v.is_nan(),
             FpValue::F64(v) => v.is_nan(),
         }
@@ -107,6 +117,7 @@ impl FpValue {
     pub fn is_infinite(self) -> bool {
         match self {
             FpValue::F16(v) => v.is_infinite(),
+            FpValue::BF16(v) => v.is_infinite(),
             FpValue::F32(v) => v.is_infinite(),
             FpValue::F64(v) => v.is_infinite(),
         }
@@ -121,7 +132,7 @@ mod tests {
     fn fpvalue_roundtrips_through_bits() {
         let cases = [0.0, -0.0, 0.25, 1.0, -3.5, 1e-3];
         for &c in &cases {
-            for p in [Precision::Fp16, Precision::Fp32, Precision::Fp64] {
+            for p in [Precision::Fp16, Precision::Bf16, Precision::Fp32, Precision::Fp64] {
                 let v = FpValue::from_f64(p, c);
                 let b = v.to_bits();
                 let v2 = FpValue::from_bits(p, b);
@@ -142,6 +153,7 @@ mod tests {
     #[test]
     fn precision_reported() {
         assert_eq!(FpValue::from_f64(Precision::Fp16, 1.0).precision(), Precision::Fp16);
+        assert_eq!(FpValue::from_f64(Precision::Bf16, 1.0).precision(), Precision::Bf16);
         assert_eq!(FpValue::from_f64(Precision::Fp32, 1.0).precision(), Precision::Fp32);
         assert_eq!(FpValue::from_f64(Precision::Fp64, 1.0).precision(), Precision::Fp64);
     }
@@ -150,6 +162,10 @@ mod tests {
     fn nan_and_inf_detection_per_precision() {
         let nan16 = FpValue::F16(f16::NAN);
         assert!(nan16.is_nan() && !nan16.is_infinite());
+        let nanb = FpValue::BF16(bf16::NAN);
+        assert!(nanb.is_nan() && !nanb.is_infinite());
+        let infb = FpValue::BF16(bf16::INFINITY);
+        assert!(infb.is_infinite() && !infb.is_nan());
         let inf32 = FpValue::F32(f32::INFINITY);
         assert!(inf32.is_infinite() && !inf32.is_nan());
     }

@@ -8,7 +8,7 @@ use sefi_nn::Network;
 /// Serialize a network into this framework's checkpoint layout at the given
 /// storage dtype (the paper's 16/32/64-bit precision studies select this).
 pub fn save_checkpoint(fw: FrameworkKind, net: &mut Network, epoch: usize, dtype: Dtype) -> H5File {
-    assert!(dtype.is_float(), "checkpoint weight dtype must be a float type");
+    assert!(dtype.is_real(), "checkpoint weight dtype must store real values");
     let mut file = H5File::new();
     let sd = net.state_dict();
     for entry in sd.entries() {
@@ -208,6 +208,76 @@ mod tests {
                 assert!((x - y).abs() <= 1e-3 * (1.0 + x.abs()), "{}: {x} vs {y}", ea.path);
             }
         }
+    }
+
+    #[test]
+    fn bf16_checkpoint_quantizes() {
+        let mut a = small_net();
+        let ck = save_checkpoint(FrameworkKind::Chainer, &mut a, 1, Dtype::BF16);
+        let mut b = small_net();
+        load_checkpoint(FrameworkKind::Chainer, &mut b, &ck).unwrap();
+        let sa = a.state_dict();
+        let sb = b.state_dict();
+        assert_ne!(sa, sb);
+        // bf16 keeps 8 mantissa bits (implicit one included): relative
+        // error bounded by 2^-8 after round-to-nearest-even.
+        for (ea, eb) in sa.entries().iter().zip(sb.entries()) {
+            for (&x, &y) in ea.tensor.data().iter().zip(eb.tensor.data()) {
+                assert!(
+                    (x - y).abs() <= (1.0 / 256.0) * (1.0 + x.abs()),
+                    "{}: {x} vs {y}",
+                    ea.path
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn i8q_checkpoint_quantizes_per_tensor() {
+        let mut a = small_net();
+        let ck = save_checkpoint(FrameworkKind::Chainer, &mut a, 3, Dtype::I8Q);
+        for p in ck.dataset_paths() {
+            let ds = ck.dataset(&p).unwrap();
+            if ds.dtype() == Dtype::I8Q {
+                assert!(ds.scale() > 0.0);
+            }
+        }
+        let mut b = small_net();
+        let epoch = load_checkpoint(FrameworkKind::Chainer, &mut b, &ck).unwrap();
+        assert_eq!(epoch, 3);
+        // Each tensor dequantizes to within half a quantization step of
+        // its own scale (max_abs / 127).
+        for (ea, eb) in a.state_dict().entries().iter().zip(b.state_dict().entries()) {
+            let max_abs = ea.tensor.data().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+            let step = if max_abs > 0.0 { max_abs / 127.0 } else { 1.0 };
+            for (&x, &y) in ea.tensor.data().iter().zip(eb.tensor.data()) {
+                assert!((x - y).abs() <= 0.5 * step + 1e-6, "{}: {x} vs {y}", ea.path);
+            }
+        }
+    }
+
+    #[test]
+    fn bf16_v2_bytes_roundtrip_under_every_policy_and_ecc() {
+        let fw = FrameworkKind::Chainer;
+        let mut a = small_net();
+        let bytes = save_checkpoint(fw, &mut a, 9, Dtype::BF16).to_bytes_v2();
+        for policy in [LoadPolicy::Strict, LoadPolicy::Quarantine, LoadPolicy::ZeroFill] {
+            let mut b = other_net();
+            let load = load_checkpoint_bytes(fw, &mut b, &bytes, policy).unwrap();
+            assert_eq!(load.epoch, 9);
+            assert!(load.quarantined.is_empty());
+        }
+        // ECC repairs a flipped bf16 payload bit exactly.
+        let sidecar = EccSidecar::protect(&bytes).unwrap();
+        let mut bad = bytes.clone();
+        flip_in_section(&mut bad, "predictor/conv1/W");
+        let mut b = other_net();
+        let load =
+            load_checkpoint_bytes_ecc(fw, &mut b, &bad, LoadPolicy::Correct, &sidecar).unwrap();
+        assert_eq!(load.corrected, vec!["predictor/conv1/W".to_string()]);
+        let mut c = other_net();
+        load_checkpoint_bytes(fw, &mut c, &bytes, LoadPolicy::Strict).unwrap();
+        assert_eq!(b.state_dict(), c.state_dict(), "repair restores the exact bf16 tensors");
     }
 
     #[test]

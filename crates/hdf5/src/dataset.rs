@@ -6,7 +6,7 @@
 //! the training frameworks read/write the numeric views.
 
 use crate::error::{Error, Result};
-use sefi_float::{f16, FpValue, Precision};
+use sefi_float::{bf16, f16, FpValue, Precision};
 use std::sync::Arc;
 
 /// Element type of a dataset.
@@ -14,6 +14,8 @@ use std::sync::Arc;
 pub enum Dtype {
     /// IEEE-754 binary16.
     F16,
+    /// bfloat16 (binary32's exponent range, 7 mantissa bits).
+    BF16,
     /// IEEE-754 binary32.
     F32,
     /// IEEE-754 binary64.
@@ -24,28 +26,39 @@ pub enum Dtype {
     I64,
     /// Unsigned byte.
     U8,
+    /// Int8 symmetric quantization with a per-tensor scale: stored element
+    /// `q ∈ [-127, 127]` represents the value `q * scale`. Not a float
+    /// dtype — the injector corrupts it with integer `bin()` semantics.
+    I8Q,
 }
 
 impl Dtype {
     /// Element width in bytes.
     pub const fn size(self) -> usize {
         match self {
-            Dtype::F16 => 2,
+            Dtype::F16 | Dtype::BF16 => 2,
             Dtype::F32 | Dtype::I32 => 4,
             Dtype::F64 | Dtype::I64 => 8,
-            Dtype::U8 => 1,
+            Dtype::U8 | Dtype::I8Q => 1,
         }
     }
 
-    /// True for floating-point dtypes.
+    /// True for floating-point dtypes (I8Q is integer storage).
     pub const fn is_float(self) -> bool {
-        matches!(self, Dtype::F16 | Dtype::F32 | Dtype::F64)
+        matches!(self, Dtype::F16 | Dtype::BF16 | Dtype::F32 | Dtype::F64)
+    }
+
+    /// True for dtypes that carry logical real values — floats plus the
+    /// quantized-int representation.
+    pub const fn is_real(self) -> bool {
+        self.is_float() || matches!(self, Dtype::I8Q)
     }
 
     /// The IEEE-754 precision of a float dtype.
     pub fn precision(self) -> Option<Precision> {
         match self {
             Dtype::F16 => Some(Precision::Fp16),
+            Dtype::BF16 => Some(Precision::Bf16),
             Dtype::F32 => Some(Precision::Fp32),
             Dtype::F64 => Some(Precision::Fp64),
             _ => None,
@@ -56,6 +69,7 @@ impl Dtype {
     pub fn from_precision(p: Precision) -> Self {
         match p {
             Precision::Fp16 => Dtype::F16,
+            Precision::Bf16 => Dtype::BF16,
             Precision::Fp32 => Dtype::F32,
             Precision::Fp64 => Dtype::F64,
         }
@@ -70,6 +84,8 @@ impl Dtype {
             Dtype::I32 => 4,
             Dtype::I64 => 5,
             Dtype::U8 => 6,
+            Dtype::BF16 => 7,
+            Dtype::I8Q => 8,
         }
     }
 
@@ -92,6 +108,8 @@ impl Dtype {
             4 => Dtype::I32,
             5 => Dtype::I64,
             6 => Dtype::U8,
+            7 => Dtype::BF16,
+            8 => Dtype::I8Q,
             other => return Err(Error::Malformed(format!("unknown dtype tag {other}"))),
         })
     }
@@ -112,6 +130,10 @@ pub struct Dataset {
     shape: Vec<usize>,
     /// Little-endian packed elements, `len() * dtype.size()` bytes.
     data: Arc<Vec<u8>>,
+    /// Per-tensor dequantization scale. Meaningful only for [`Dtype::I8Q`]
+    /// (stored value = element * scale); always `1.0` for every other
+    /// dtype so derived equality is unaffected.
+    scale: f32,
 }
 
 /// Number of entries implied by a shape ("the product of their dimensions").
@@ -137,13 +159,24 @@ impl Dataset {
             dtype,
             shape: shape.to_vec(),
             data: Arc::new(vec![0u8; shape_len(shape) * dtype.size()]),
+            scale: 1.0,
         }
     }
 
-    /// Build a float dataset from `f32` values, narrowing/widening to
-    /// `dtype` (which must be a float type).
+    /// Build a real-valued dataset from `f32` values, narrowing/widening to
+    /// `dtype` (a float type or [`Dtype::I8Q`]).
+    ///
+    /// Rounding contract: `F64` widens losslessly (`f32 -> f64 -> f32`
+    /// round-trips exactly), `F32` is the identity, and the 16-bit formats
+    /// narrow with IEEE round-to-nearest-even — `F16` rounds the 13
+    /// dropped mantissa bits (overflowing > 65504 to ±∞, flushing below
+    /// the subnormal range to ±0), `BF16` rounds the 16 dropped bits (same
+    /// exponent range as `f32`, so only rounding carry at the very top
+    /// overflows). `I8Q` quantizes symmetrically: scale = max|v|/127
+    /// (1.0 for an all-zero tensor), elements = round(v/scale) clamped to
+    /// [-127, 127].
     pub fn from_f32(values: &[f32], shape: &[usize], dtype: Dtype) -> Result<Self> {
-        if !dtype.is_float() {
+        if !dtype.is_real() {
             return Err(Error::DtypeMismatch(format!("from_f32 into {dtype:?}")));
         }
         let expected = checked_elem_count(shape).ok_or_else(|| {
@@ -153,6 +186,10 @@ impl Dataset {
             return Err(Error::ShapeMismatch { expected, got: values.len() });
         }
         let mut ds = Dataset::zeros(shape, dtype);
+        if dtype == Dtype::I8Q {
+            let max_abs = values.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+            ds.scale = if max_abs > 0.0 && max_abs.is_finite() { max_abs / 127.0 } else { 1.0 };
+        }
         for (i, &v) in values.iter().enumerate() {
             ds.write_f64_unchecked(i, v as f64);
         }
@@ -208,12 +245,24 @@ impl Dataset {
                 data.len()
             )));
         }
-        Ok(Dataset { dtype, shape, data: Arc::new(data) })
+        Ok(Dataset { dtype, shape, data: Arc::new(data), scale: 1.0 })
     }
 
     /// Element type.
     pub fn dtype(&self) -> Dtype {
         self.dtype
+    }
+
+    /// The per-tensor dequantization scale (`1.0` for non-I8Q dtypes).
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Replace the dequantization scale (decoders restoring an I8Q
+    /// dataset; a non-finite or non-positive scale is coerced to `1.0`).
+    pub fn with_scale(mut self, scale: f32) -> Self {
+        self.scale = if scale.is_finite() && scale > 0.0 { scale } else { 1.0 };
+        self
     }
 
     /// Shape (empty for scalars).
@@ -295,13 +344,15 @@ impl Dataset {
         self.set_bits(index, v.to_bits())
     }
 
-    /// Read any entry widened to `f64` (integers convert exactly for I32/U8).
+    /// Read any entry widened to `f64` (integers convert exactly for
+    /// I32/U8; I8Q dequantizes through the per-tensor scale).
     pub fn get_f64(&self, index: usize) -> Result<f64> {
         match self.dtype {
-            Dtype::F16 | Dtype::F32 | Dtype::F64 => Ok(self.get_fp(index)?.to_f64()),
+            Dtype::F16 | Dtype::BF16 | Dtype::F32 | Dtype::F64 => Ok(self.get_fp(index)?.to_f64()),
             Dtype::I32 => Ok(self.get_bits(index)? as u32 as i32 as f64),
             Dtype::I64 => Ok(self.get_bits(index)? as i64 as f64),
             Dtype::U8 => Ok(self.get_bits(index)? as u8 as f64),
+            Dtype::I8Q => Ok(self.get_bits(index)? as u8 as i8 as f64 * self.scale as f64),
         }
     }
 
@@ -316,23 +367,30 @@ impl Dataset {
     fn write_f64_unchecked(&mut self, index: usize, v: f64) {
         let bits = match self.dtype {
             Dtype::F16 => f16::from_f64(v).to_bits() as u64,
+            Dtype::BF16 => bf16::from_f64(v).to_bits() as u64,
             Dtype::F32 => (v as f32).to_bits() as u64,
             Dtype::F64 => v.to_bits(),
             Dtype::I32 => (v as i32) as u32 as u64,
             Dtype::I64 => (v as i64) as u64,
             Dtype::U8 => (v as u8) as u64,
+            Dtype::I8Q => {
+                let q = (v / self.scale as f64).round().clamp(-127.0, 127.0);
+                (q as i8) as u8 as u64
+            }
         };
         let w = self.dtype.size();
         let off = index * w;
         self.bytes_mut()[off..off + w].copy_from_slice(&bits.to_le_bytes()[..w]);
     }
 
-    /// Read an integer entry.
+    /// Read an integer entry (I8Q yields the raw quantized element, not
+    /// the dequantized value).
     pub fn get_i64(&self, index: usize) -> Result<i64> {
         match self.dtype {
             Dtype::I32 => Ok(self.get_bits(index)? as u32 as i32 as i64),
             Dtype::I64 => Ok(self.get_bits(index)? as i64),
             Dtype::U8 => Ok(self.get_bits(index)? as u8 as i64),
+            Dtype::I8Q => Ok(self.get_bits(index)? as u8 as i8 as i64),
             _ => Err(Error::DtypeMismatch(format!("get_i64 on {:?}", self.dtype))),
         }
     }
@@ -370,13 +428,26 @@ mod tests {
 
     #[test]
     fn dtype_sizes_and_tags_roundtrip() {
-        for d in [Dtype::F16, Dtype::F32, Dtype::F64, Dtype::I32, Dtype::I64, Dtype::U8] {
+        for d in [
+            Dtype::F16,
+            Dtype::BF16,
+            Dtype::F32,
+            Dtype::F64,
+            Dtype::I32,
+            Dtype::I64,
+            Dtype::U8,
+            Dtype::I8Q,
+        ] {
             assert_eq!(Dtype::from_tag(d.tag()).unwrap(), d);
         }
         assert!(Dtype::from_tag(0).is_err());
         assert!(Dtype::from_tag(99).is_err());
         assert_eq!(Dtype::F16.size(), 2);
+        assert_eq!(Dtype::BF16.size(), 2);
         assert_eq!(Dtype::U8.size(), 1);
+        assert_eq!(Dtype::I8Q.size(), 1);
+        assert!(Dtype::BF16.is_float());
+        assert!(!Dtype::I8Q.is_float() && Dtype::I8Q.is_real());
     }
 
     #[test]
@@ -394,6 +465,96 @@ mod tests {
         assert_eq!(ds.get_f64(1).unwrap(), 65504.0);
         assert_eq!(ds.get_f64(2).unwrap(), 0.0); // underflow to zero
         assert_eq!(ds.bytes().len(), 6);
+
+        // RNE tie cases: halfway between two f16s with even lower mantissa
+        // rounds down; odd lower mantissa rounds up.
+        let tie_even = 1.0f32 + 2.0f32.powi(-11);
+        let tie_odd = 1.0f32 + 3.0 * 2.0f32.powi(-11);
+        let ds = Dataset::from_f32(&[tie_even, tie_odd], &[2], Dtype::F16).unwrap();
+        assert_eq!(ds.get_f64(0).unwrap(), 1.0);
+        assert_eq!(ds.get_f64(1).unwrap(), (1.0f32 + 2.0f32.powi(-9)) as f64);
+
+        // Subnormals: min f16 subnormal survives; overflow saturates to ∞;
+        // infinities pass through with sign.
+        let min_sub = 5.960_464_5e-8f32; // 2^-24
+        let ds = Dataset::from_f32(
+            &[min_sub, -min_sub, 1e6, -1e6, f32::INFINITY, f32::NEG_INFINITY],
+            &[6],
+            Dtype::F16,
+        )
+        .unwrap();
+        assert_eq!(ds.get_f64(0).unwrap(), min_sub as f64);
+        assert_eq!(ds.get_f64(1).unwrap(), -min_sub as f64);
+        assert_eq!(ds.get_f64(2).unwrap(), f64::INFINITY);
+        assert_eq!(ds.get_f64(3).unwrap(), f64::NEG_INFINITY);
+        assert_eq!(ds.get_f64(4).unwrap(), f64::INFINITY);
+        assert_eq!(ds.get_f64(5).unwrap(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn bf16_dataset_narrows_with_rne() {
+        // RNE ties at bfloat16's 7-bit mantissa.
+        let tie_even = 1.0f32 + 2.0f32.powi(-8);
+        let tie_odd = 1.0f32 + 3.0 * 2.0f32.powi(-8);
+        let ds = Dataset::from_f32(&[tie_even, tie_odd], &[2], Dtype::BF16).unwrap();
+        assert_eq!(ds.get_f64(0).unwrap(), 1.0);
+        assert_eq!(ds.get_f64(1).unwrap(), (1.0f32 + 2.0f32.powi(-6)) as f64);
+
+        // bfloat16 shares f32's exponent range: 1e-38 survives as a normal
+        // value where f16 flushed it; f32::MAX rounds up to ∞; f32's min
+        // subnormal is below bf16's subnormal range and flushes to zero.
+        let ds = Dataset::from_f32(
+            &[1e-38, f32::MAX, f32::INFINITY, f32::NEG_INFINITY, f32::from_bits(1)],
+            &[5],
+            Dtype::BF16,
+        )
+        .unwrap();
+        assert!(ds.get_f64(0).unwrap() > 0.9e-38 && ds.get_f64(0).unwrap() < 1.1e-38);
+        assert_eq!(ds.get_f64(1).unwrap(), f64::INFINITY);
+        assert_eq!(ds.get_f64(2).unwrap(), f64::INFINITY);
+        assert_eq!(ds.get_f64(3).unwrap(), f64::NEG_INFINITY);
+        assert_eq!(ds.get_f64(4).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn f64_widen_then_narrow_is_lossless() {
+        // f32 -> f64 -> f32 must round-trip exactly for every value,
+        // including subnormals and infinities.
+        let vals = [0.1f32, -3.5e-42, f32::MIN_POSITIVE, f32::MAX, f32::INFINITY, 1e-45];
+        let ds = Dataset::from_f32(&vals, &[vals.len()], Dtype::F64).unwrap();
+        for (i, &v) in vals.iter().enumerate() {
+            assert_eq!(ds.get_f64(i).unwrap() as f32, v, "index {i}");
+            assert_eq!(ds.get_f64(i).unwrap(), v as f64, "widening exact at {i}");
+        }
+    }
+
+    #[test]
+    fn i8q_quantizes_with_per_tensor_scale() {
+        let vals = [0.5f32, -1.0, 0.0, 0.25];
+        let ds = Dataset::from_f32(&vals, &[4], Dtype::I8Q).unwrap();
+        assert_eq!(ds.scale(), 1.0 / 127.0);
+        // Raw elements are the quantized integers…
+        assert_eq!(ds.get_i64(0).unwrap(), 64); // round(0.5 * 127) = 64
+        assert_eq!(ds.get_i64(1).unwrap(), -127);
+        assert_eq!(ds.get_i64(2).unwrap(), 0);
+        // …and get_f64 dequantizes within half a step.
+        for (i, &v) in vals.iter().enumerate() {
+            let err = (ds.get_f64(i).unwrap() - v as f64).abs();
+            assert!(err <= 0.5 / 127.0 + 1e-9, "index {i} err {err}");
+        }
+        // The max-magnitude element reconstructs to within f32 scale rounding
+        // (scale = max_abs/127 is itself rounded to f32, so -127 * scale is
+        // close to but not bit-exactly -1.0).
+        assert!((ds.get_f64(1).unwrap() - (-1.0)).abs() < 1e-7);
+        // An all-zero tensor quantizes with scale 1.0.
+        let z = Dataset::from_f32(&[0.0, 0.0], &[2], Dtype::I8Q).unwrap();
+        assert_eq!(z.scale(), 1.0);
+        assert_eq!(z.get_f64(0).unwrap(), 0.0);
+        // Scale survives a with_scale round-trip; bad scales are coerced.
+        let rs = Dataset::zeros(&[2], Dtype::I8Q).with_scale(0.5);
+        assert_eq!(rs.scale(), 0.5);
+        assert_eq!(Dataset::zeros(&[1], Dtype::I8Q).with_scale(0.0).scale(), 1.0);
+        assert_eq!(Dataset::zeros(&[1], Dtype::I8Q).with_scale(f32::NAN).scale(), 1.0);
     }
 
     #[test]

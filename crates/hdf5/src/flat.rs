@@ -42,6 +42,9 @@ pub fn to_flat_bytes(file: &H5File) -> Vec<u8> {
         for &d in ds.shape() {
             payload.extend_from_slice(&(d as u64).to_le_bytes());
         }
+        if ds.dtype() == Dtype::I8Q {
+            payload.extend_from_slice(&ds.scale().to_bits().to_le_bytes());
+        }
         payload.extend_from_slice(&(ds.bytes().len() as u64).to_le_bytes());
         payload.extend_from_slice(ds.bytes());
     }
@@ -110,12 +113,21 @@ pub fn from_flat_bytes(bytes: &[u8]) -> Result<H5File> {
             }
             shape.push(d as usize);
         }
+        let scale = if dtype == Dtype::I8Q {
+            let s = f32::from_bits(u32_at(&mut pos)?);
+            if !s.is_finite() || s <= 0.0 {
+                return Err(Error::Malformed(format!("invalid I8Q quantization scale {s}")));
+            }
+            s
+        } else {
+            1.0
+        };
         let byte_len = u64_at(&mut pos)?;
         if byte_len > MAX_LEN {
             return Err(Error::Malformed(format!("flat data length {byte_len} exceeds limit")));
         }
         let data = take(&mut pos, byte_len as usize)?.to_vec();
-        let ds = Dataset::from_raw_public(dtype, shape, data)?;
+        let ds = Dataset::from_raw_public(dtype, shape, data)?.with_scale(scale);
         file.create_dataset(&name, ds)?;
     }
     if pos != payload.len() {

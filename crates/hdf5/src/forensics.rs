@@ -274,7 +274,9 @@ pub fn salvage(
             ds.set_i64(0, default_epoch)?;
             ds
         } else {
-            Dataset::zeros(&entry.shape, entry.dtype)
+            // Preserve the indexed quantization scale so a zero-filled
+            // I8Q tensor re-encodes with its original metadata.
+            Dataset::zeros(&entry.shape, entry.dtype).with_scale(f32::from_bits(entry.scale_bits))
         };
         file.create_dataset(&path, ds)?;
         report.zero_filled.push(path);
@@ -291,8 +293,20 @@ pub enum DiffState {
     OnlyInA,
     /// Present in the second file only.
     OnlyInB,
-    /// Dtype or shape disagree; byte deltas are meaningless.
+    /// Shapes disagree; neither byte nor element deltas are meaningful.
     LayoutChanged,
+    /// Same shape, different storage dtype. Raw byte offsets are
+    /// meaningless across element widths (a flip at byte 6 of an f64
+    /// array is element 0, but element 3 of an f16 array), so the files
+    /// are compared element-by-element at their *logical* values instead.
+    DtypeChanged {
+        /// Storage dtype in the first file.
+        from: crate::dataset::Dtype,
+        /// Storage dtype in the second file.
+        to: crate::dataset::Dtype,
+        /// Elements whose logical (widened) values differ.
+        elements: usize,
+    },
     /// Same layout, different content.
     Changed {
         /// Bytes that differ.
@@ -352,8 +366,36 @@ pub fn diff(a: &H5File, b: &H5File) -> DiffReport {
     for path in paths {
         let state = match (a.dataset(&path), b.dataset(&path)) {
             (Ok(da), Ok(db)) => {
-                if da.dtype() != db.dtype() || da.shape() != db.shape() {
+                if da.shape() != db.shape() {
                     Some(DiffState::LayoutChanged)
+                } else if da.dtype() != db.dtype() {
+                    // Same tensor stored at two precisions (a checkpoint
+                    // saved f32 next to its bf16 twin): compare each
+                    // element's logical value, not raw bytes. Integer
+                    // pairs compare exactly; anything involving a real
+                    // dtype widens to f64 first.
+                    let both_int = !da.dtype().is_real() && !db.dtype().is_real();
+                    let differing = (0..da.len())
+                        .filter(|&i| {
+                            if both_int {
+                                da.get_i64(i).ok() != db.get_i64(i).ok()
+                            } else {
+                                let (x, y) = (da.get_f64(i).ok(), db.get_f64(i).ok());
+                                match (x, y) {
+                                    (Some(x), Some(y)) => x != y && !(x.is_nan() && y.is_nan()),
+                                    _ => x.is_some() != y.is_some(),
+                                }
+                            }
+                        })
+                        .count();
+                    // Flagged even at zero differing elements: storage
+                    // precision changed, which matters to a forensics
+                    // reader even when every value survived widening.
+                    Some(DiffState::DtypeChanged {
+                        from: da.dtype(),
+                        to: db.dtype(),
+                        elements: differing,
+                    })
                 } else if da.bytes() == db.bytes() {
                     report.identical += 1;
                     None
@@ -560,5 +602,66 @@ mod tests {
         assert_eq!(by_path["model_weights/fc/W"], &DiffState::Changed { bytes: 2, elements: 1 });
         assert_eq!(report.total_byte_delta(), 2);
         assert!(diff(&a, &a).is_identical());
+    }
+
+    #[test]
+    fn diff_compares_dtype_mismatches_logically() {
+        // The same logical tensor stored at two precisions: every value
+        // here is exactly representable in f32, f64 and bf16, so a byte
+        // comparison would be garbage but the logical diff is empty.
+        let vals = [1.0f32, -2.5, 0.0, 0.25];
+        let mut a = H5File::new();
+        a.create_dataset("w", Dataset::from_f32(&vals, &[4], Dtype::F32).unwrap()).unwrap();
+        let mut b = H5File::new();
+        b.create_dataset("w", Dataset::from_f32(&vals, &[4], Dtype::F64).unwrap()).unwrap();
+        let report = diff(&a, &b);
+        assert_eq!(report.changed.len(), 1);
+        assert_eq!(
+            report.changed[0].state,
+            DiffState::DtypeChanged { from: Dtype::F32, to: Dtype::F64, elements: 0 }
+        );
+        assert_eq!(report.total_byte_delta(), 0, "no garbage byte offsets");
+
+        // A value that bf16 narrows (0.1 is inexact at 8 mantissa bits)
+        // shows up as exactly one logically differing element.
+        let mut c = H5File::new();
+        c.create_dataset(
+            "w",
+            Dataset::from_f32(&[1.0, -2.5, 0.1, 0.25], &[4], Dtype::BF16).unwrap(),
+        )
+        .unwrap();
+        let report = diff(&a, &c);
+        assert_eq!(
+            report.changed[0].state,
+            DiffState::DtypeChanged { from: Dtype::F32, to: Dtype::BF16, elements: 1 }
+        );
+
+        // Shape disagreement is still a layout change, not a dtype diff.
+        let mut d = H5File::new();
+        d.create_dataset("w", Dataset::from_f32(&vals, &[2, 2], Dtype::F32).unwrap()).unwrap();
+        let report = diff(&a, &d);
+        assert_eq!(report.changed[0].state, DiffState::LayoutChanged);
+    }
+
+    #[test]
+    fn salvage_preserves_i8q_scale_on_zero_fill() {
+        let mut f = H5File::new();
+        f.create_dataset(
+            "q",
+            Dataset::from_f32(&[0.5, -1.0, 0.25, 0.75], &[4], Dtype::I8Q).unwrap(),
+        )
+        .unwrap();
+        let scale = f.dataset("q").unwrap().scale();
+        let bytes = f.to_bytes_v2();
+        let index = FileIndex::parse(&bytes).unwrap();
+        let e = index.entry("q").unwrap().clone();
+        let mut bad = bytes.clone();
+        bad[e.offset] ^= 0x03; // beyond single-bit repair
+        let (rescued, report) = salvage(&bad, None, 0).unwrap();
+        assert_eq!(report.zero_filled, vec!["q".to_string()]);
+        let ds = rescued.dataset("q").unwrap();
+        assert_eq!(ds.scale(), scale, "indexed scale survives zero-fill");
+        // The salvage invariant holds for quantized tensors too.
+        H5File::from_bytes(&rescued.to_bytes_v2()).unwrap();
     }
 }

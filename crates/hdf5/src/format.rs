@@ -6,9 +6,14 @@
 //! group:       attr_count u32 | attrs… | child_count u32 | children…
 //! attr:        name str | tag u8 (1 int, 2 float, 3 str) | value
 //! child:       name str | tag u8 (1 group, 2 dataset) | body
-//! dataset:     dtype u8 | rank u32 | dims u64… | byte_len u64 | bytes
+//! dataset:     dtype u8 | rank u32 | dims u64… | [scale f32, I8Q only] |
+//!              byte_len u64 | bytes
 //! str:         len u32 | utf-8 bytes
 //! ```
+//!
+//! The quantization `scale` field exists only when the dtype tag is I8Q
+//! (tag 8), which older decoders reject outright — so its presence never
+//! changes the layout of a file an old reader could parse.
 //!
 //! All integers little-endian. Encoding is deterministic (BTreeMap order),
 //! so encode∘decode∘encode is byte-identical — the property that lets tests
@@ -98,12 +103,22 @@ fn encode_group(g: &Group, out: &mut Vec<u8>) {
     }
 }
 
-fn encode_dataset(ds: &Dataset, out: &mut Vec<u8>) {
+/// Encode a dataset's shape header: dtype tag, rank, dims, and (for I8Q
+/// only) the per-tensor quantization scale. Shared by the v1 dataset
+/// encoder and the v2 index encoder; [`decode_shape`] is its inverse.
+pub(crate) fn encode_shape(ds: &Dataset, out: &mut Vec<u8>) {
     out.push(ds.dtype().tag());
     out.extend_from_slice(&(ds.shape().len() as u32).to_le_bytes());
     for &d in ds.shape() {
         out.extend_from_slice(&(d as u64).to_le_bytes());
     }
+    if ds.dtype() == Dtype::I8Q {
+        out.extend_from_slice(&ds.scale().to_bits().to_le_bytes());
+    }
+}
+
+fn encode_dataset(ds: &Dataset, out: &mut Vec<u8>) {
+    encode_shape(ds, out);
     out.extend_from_slice(&(ds.bytes().len() as u64).to_le_bytes());
     out.extend_from_slice(ds.bytes());
 }
@@ -255,8 +270,11 @@ fn decode_group(cur: &mut Cursor<'_>, depth: u32) -> Result<Group> {
 }
 
 /// Decode a dataset shape header: dtype tag, rank (≤ [`MAX_RANK`]), dims
-/// (each ≤ [`MAX_LEN`]). Shared with the v2 index decoder.
-pub(crate) fn decode_shape(cur: &mut Cursor<'_>) -> Result<(Dtype, Vec<usize>)> {
+/// (each ≤ [`MAX_LEN`]), and — for I8Q only — the quantization scale
+/// (`1.0` for every other dtype). Shared with the v2 index decoder;
+/// inverse of [`encode_shape`]. A corrupted scale field (non-finite or
+/// non-positive) is structural damage, not a silent 1.0.
+pub(crate) fn decode_shape(cur: &mut Cursor<'_>) -> Result<(Dtype, Vec<usize>, f32)> {
     let dtype = Dtype::from_tag(cur.u8()?)?;
     let rank = cur.u32()?;
     if rank > MAX_RANK {
@@ -266,14 +284,23 @@ pub(crate) fn decode_shape(cur: &mut Cursor<'_>) -> Result<(Dtype, Vec<usize>)> 
     for _ in 0..rank {
         shape.push(cur.checked_len("dimension")?);
     }
-    Ok((dtype, shape))
+    let scale = if dtype == Dtype::I8Q {
+        let s = f32::from_bits(cur.u32()?);
+        if !s.is_finite() || s <= 0.0 {
+            return Err(Error::Malformed(format!("invalid I8Q quantization scale {s}")));
+        }
+        s
+    } else {
+        1.0
+    };
+    Ok((dtype, shape, scale))
 }
 
 fn decode_dataset(cur: &mut Cursor<'_>) -> Result<Dataset> {
-    let (dtype, shape) = decode_shape(cur)?;
+    let (dtype, shape, scale) = decode_shape(cur)?;
     let byte_len = cur.checked_len("dataset")?;
     let data = cur.take(byte_len)?.to_vec();
-    Dataset::from_raw(dtype, shape, data)
+    Ok(Dataset::from_raw(dtype, shape, data)?.with_scale(scale))
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@
 //! index:       <group>                  (index_crc covers only these bytes)
 //! group:       attr_count u32 | attrs… | child_count u32 | children…
 //! child:       name str | tag u8 (1 group, 2 dataset) | body
-//! dataset:     dtype u8 | rank u32 | dims u64… |
+//! dataset:     dtype u8 | rank u32 | dims u64… | [scale f32, I8Q only] |
 //!              offset u64 | byte_len u64 | section_crc32 u32
 //! payload:     raw dataset bytes, concatenated in index (tree) order
 //! ```
@@ -131,11 +131,7 @@ fn encode_group(g: &Group, index: &mut Vec<u8>, payload: &mut Vec<u8>) {
             }
             Node::Dataset(ds) => {
                 index.push(2);
-                index.push(ds.dtype().tag_public());
-                index.extend_from_slice(&(ds.shape().len() as u32).to_le_bytes());
-                for &d in ds.shape() {
-                    index.extend_from_slice(&(d as u64).to_le_bytes());
-                }
+                format::encode_shape(ds, index);
                 index.extend_from_slice(&(payload.len() as u64).to_le_bytes());
                 index.extend_from_slice(&(ds.bytes().len() as u64).to_le_bytes());
                 index.extend_from_slice(&crc32(ds.bytes()).to_le_bytes());
@@ -281,8 +277,8 @@ fn decode_section_meta(
     next: usize,
     payload_len: usize,
     path: &str,
-) -> Result<(Dtype, Vec<usize>, usize, u32)> {
-    let (dtype, shape) = format::decode_shape(cur)?;
+) -> Result<(Dtype, Vec<usize>, f32, usize, u32)> {
+    let (dtype, shape, scale) = format::decode_shape(cur)?;
     let rel = cur.u64()?;
     let byte_len = cur.checked_len("dataset section")?;
     let stored_crc = cur.u32()?;
@@ -294,7 +290,7 @@ fn decode_section_meta(
     if next.checked_add(byte_len).is_none_or(|end| end > payload_len) {
         return Err(Error::Malformed(format!("section at {path:?} extends past payload")));
     }
-    Ok((dtype, shape, byte_len, stored_crc))
+    Ok((dtype, shape, scale, byte_len, stored_crc))
 }
 
 fn decode_group(
@@ -318,7 +314,7 @@ fn decode_group(
                 g.insert_node(name, Node::Group(sub))?;
             }
             2 => {
-                let (dtype, shape, byte_len, stored_crc) =
+                let (dtype, shape, scale, byte_len, stored_crc) =
                     decode_section_meta(cur, ctx.next, ctx.payload.len(), &path)?;
                 let section = &ctx.payload[ctx.next..ctx.next + byte_len];
                 let ordinal = ctx.section;
@@ -336,7 +332,7 @@ fn decode_group(
                         _ => None,
                     };
                     if let Some(buf) = repaired {
-                        let ds = Dataset::from_raw(dtype, shape, buf)?;
+                        let ds = Dataset::from_raw(dtype, shape, buf)?.with_scale(scale);
                         g.insert_node(name, Node::Dataset(ds))?;
                         ctx.report.corrected.push(path);
                     } else {
@@ -346,14 +342,15 @@ fn decode_group(
                                 ctx.report.quarantined.push(path)
                             }
                             LoadPolicy::ZeroFill => {
-                                let ds = Dataset::from_raw(dtype, shape, vec![0u8; byte_len])?;
+                                let ds = Dataset::from_raw(dtype, shape, vec![0u8; byte_len])?
+                                    .with_scale(scale);
                                 g.insert_node(name, Node::Dataset(ds))?;
                                 ctx.report.quarantined.push(path);
                             }
                         }
                     }
                 } else {
-                    let ds = Dataset::from_raw(dtype, shape, section.to_vec())?;
+                    let ds = Dataset::from_raw(dtype, shape, section.to_vec())?.with_scale(scale);
                     g.insert_node(name, Node::Dataset(ds))?;
                     ctx.report.loaded.push(path);
                 }
@@ -375,6 +372,10 @@ pub struct IndexEntry {
     pub dtype: Dtype,
     /// Dataset shape (empty for scalars).
     pub shape: Vec<usize>,
+    /// Per-tensor dequantization scale (`1.0` unless the dtype is I8Q).
+    /// `f32` is not `Eq`; the stored bit pattern keeps the entry hashable
+    /// and comparable — recover the value with `f32::from_bits`.
+    pub scale_bits: u32,
     /// Absolute byte offset of the section within the file.
     pub offset: usize,
     /// Section length in bytes (`elem_count * dtype.size()`).
@@ -522,12 +523,13 @@ fn walk_group(
         match cur.u8()? {
             1 => walk_group(cur, depth + 1, &path, payload_len, payload_start, entries, next)?,
             2 => {
-                let (dtype, shape, byte_len, crc) =
+                let (dtype, shape, scale, byte_len, crc) =
                     decode_section_meta(cur, *next, payload_len, &path)?;
                 entries.push(IndexEntry {
                     path,
                     dtype,
                     shape,
+                    scale_bits: scale.to_bits(),
                     offset: payload_start + *next,
                     byte_len,
                     crc,
@@ -645,13 +647,15 @@ impl IndexedFile {
         self.file.seek(SeekFrom::Start(entry.offset as u64)).map_err(io_err)?;
         let mut buf = vec![0u8; entry.byte_len];
         self.file.read_exact(&mut buf).map_err(io_err)?;
+        let scale = f32::from_bits(entry.scale_bits);
         if crc32(&buf) == entry.crc {
-            return Ok((Dataset::from_raw(entry.dtype, entry.shape, buf)?, SectionStatus::Clean));
+            let ds = Dataset::from_raw(entry.dtype, entry.shape, buf)?.with_scale(scale);
+            return Ok((ds, SectionStatus::Clean));
         }
         if let Some(sc) = &self.sidecar {
             if let Some((fixed, repair)) = sc.repaired_section_with_report(ordinal, &buf) {
                 if crc32(&fixed) == entry.crc {
-                    let ds = Dataset::from_raw(entry.dtype, entry.shape, fixed)?;
+                    let ds = Dataset::from_raw(entry.dtype, entry.shape, fixed)?.with_scale(scale);
                     return Ok((ds, SectionStatus::Corrected { words: repair.corrected_words }));
                 }
             }
