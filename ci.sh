@@ -238,6 +238,72 @@ cargo run -q --release -p sefi-bench --bin bench_precision -- \
   --smoke --out "$prec_bench/bench.json" --assert-size-order > /dev/null
 rm -rf "$prec_bench"
 
+echo "== serving bench smoke =="
+# Serving-path tripwires at smoke length: dynamic batching must clear 2x
+# over batch=1 at 4 workers (the committed BENCH_serving.json full run
+# clears ~8x) and the activation guards must cost < 5% per batch.
+serve_bench="$(mktemp -d)"
+cargo run -q --release -p sefi-bench --bin bench_serving -- \
+  --smoke --out "$serve_bench/bench.json" \
+  --assert-speedup 2.0 --assert-guard-overhead 5.0 > /dev/null
+rm -rf "$serve_bench"
+
+echo "== serving failover drill =="
+# End to end over TCP: a clean server and a server whose replica-1 file
+# carries an exponent-MSB flip serve the same deterministic load; the
+# corrupted run must trip the guard, quarantine-reload via ECC, and still
+# produce a byte-identical answers file. Telemetry must carry the trip,
+# the reload, and the shutdown roll-up.
+drill_dir="$(mktemp -d)"
+cargo build -q --release -p sefi-serve --bin sefi-serve --bin sefi-loadgen
+serve_bin=target/release/sefi-serve
+loadgen_bin=target/release/sefi-loadgen
+for variant in clean corrupt; do
+  corrupt_args=""
+  [ "$variant" = corrupt ] && corrupt_args="--corrupt-replica 1"
+  "$serve_bin" --dir "$drill_dir/$variant" --requests 200 --port 0 \
+    --port-file "$drill_dir/$variant.port" \
+    --telemetry "$drill_dir/$variant.jsonl" $corrupt_args \
+    > "$drill_dir/$variant.serve.log" 2>&1 &
+  drill_pid=$!
+  for _ in $(seq 1 300); do [ -s "$drill_dir/$variant.port" ] && break; sleep 0.1; done
+  "$loadgen_bin" --port-file "$drill_dir/$variant.port" --requests 200 \
+    --answers "$drill_dir/$variant.answers" > "$drill_dir/$variant.loadgen.log"
+  wait "$drill_pid"
+done
+grep -q 'guard_trips=0' "$drill_dir/clean.serve.log"
+grep -Eq 'guard_trips=[1-9]' "$drill_dir/corrupt.serve.log"
+grep -Eq 'reloads=[1-9]' "$drill_dir/corrupt.serve.log"
+grep -q 'GuardTrip' "$drill_dir/corrupt.jsonl"
+grep -q 'ReplicaReload' "$drill_dir/corrupt.jsonl"
+grep -q 'ServeEnd' "$drill_dir/corrupt.jsonl"
+grep -q 'ServeEnd' "$drill_dir/clean.jsonl"
+# The failover answered every request exactly as the clean pool did.
+cmp "$drill_dir/clean.answers" "$drill_dir/corrupt.answers"
+rm -rf "$drill_dir"
+
+echo "== smoke campaign: serving sweep =="
+# The served-accuracy sweep must show its headlines (rate-0 pool fully
+# masked, guards firing at 16 flips/replica, no request lost), emit
+# byte-identical CSVs across worker counts, and serve all 24 trials from
+# the manifest on re-invocation while rebuilding the identical table.
+srv_dir="$(mktemp -d)"
+RAYON_NUM_THREADS=2 cargo run -q --release -p sefi-experiments --bin exp_serving -- \
+  --budget smoke --results-dir "$srv_dir" > "$srv_dir/run1.log"
+grep -q 'rate-0 pool all masked: true' "$srv_dir/run1.log"
+grep -q 'guards fire at max rate: true' "$srv_dir/run1.log"
+grep -q 'no request lost: true' "$srv_dir/run1.log"
+srv_b="$(mktemp -d)"
+RAYON_NUM_THREADS=8 cargo run -q --release -p sefi-experiments --bin exp_serving -- \
+  --budget smoke --results-dir "$srv_b" > /dev/null
+cmp "$srv_dir/serving.csv" "$srv_b/serving.csv"
+RAYON_NUM_THREADS=8 cargo run -q --release -p sefi-experiments --bin exp_serving -- \
+  --budget smoke --results-dir "$srv_dir" > "$srv_dir/run2.log"
+grep -Eq 'serving +0 +24 +0' "$srv_dir/run2.log"
+cmp <(grep -A6 'Flips/replica' "$srv_dir/run1.log") \
+    <(grep -A6 'Flips/replica' "$srv_dir/run2.log")
+rm -rf "$srv_dir" "$srv_b"
+
 echo "== smoke campaign: fault isolation =="
 # A deliberately failing trial (injected via the test-only SEFI_FAIL_TRIAL
 # hook) must not kill the campaign: every other trial completes, the failure

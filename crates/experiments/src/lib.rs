@@ -34,6 +34,7 @@ pub mod exp_precision;
 pub mod exp_predict;
 pub mod exp_propagation;
 pub mod exp_rwc;
+pub mod exp_serving;
 pub mod exp_storage;
 mod runner;
 pub mod stats;

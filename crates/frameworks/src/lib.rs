@@ -26,6 +26,7 @@
 mod checkpoint;
 mod kind;
 mod mapping;
+mod replica;
 mod session;
 
 pub use checkpoint::{
@@ -36,4 +37,5 @@ pub use kind::FrameworkKind;
 pub use mapping::{
     engine_to_file_path, file_layer_location, tensor_from_file_layout, tensor_to_file_layout,
 };
+pub use replica::{ReloadReport, Replica};
 pub use session::{Session, SessionConfig};

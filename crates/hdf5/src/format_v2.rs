@@ -570,6 +570,24 @@ pub enum SectionStatus {
     },
 }
 
+/// How [`IndexedFile::dataset_correct_or_zero`] recovered a section — the
+/// never-fails-on-payload-damage read used by hot quarantine-reload: ECC
+/// repair first, zero substitution as the last resort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SectionRecovery {
+    /// The stored bytes matched their CRC.
+    Clean,
+    /// ECC repaired the section to a CRC-verified state.
+    Corrected {
+        /// Number of 64-bit code words the sidecar repaired.
+        words: usize,
+    },
+    /// Damage beyond repair: the dataset was substituted with zeros of the
+    /// indexed dtype and shape (the index itself is CRC-verified at open,
+    /// so the substitute's geometry is trustworthy).
+    ZeroFilled,
+}
+
 impl IndexedFile {
     /// Open a v2 file and parse its index without reading any payload.
     pub fn open(path: impl AsRef<Path>) -> Result<Self> {
@@ -661,6 +679,33 @@ impl IndexedFile {
             }
         }
         Err(Error::SectionCorrupt { path: path.to_string() })
+    }
+
+    /// Read a dataset section for hot reload: a clean or ECC-repairable
+    /// section decodes exactly ([`IndexedFile::dataset_with_status`]);
+    /// damage beyond repair substitutes zeros of the indexed dtype and
+    /// shape instead of failing. Only lookup and I/O problems remain
+    /// errors — a serving failover path must always get *a* tensor back.
+    pub fn dataset_correct_or_zero(&mut self, path: &str) -> Result<(Dataset, SectionRecovery)> {
+        match self.dataset_with_status(path) {
+            Ok((ds, SectionStatus::Clean)) => Ok((ds, SectionRecovery::Clean)),
+            Ok((ds, SectionStatus::Corrected { words })) => {
+                Ok((ds, SectionRecovery::Corrected { words }))
+            }
+            Err(Error::SectionCorrupt { .. }) => {
+                let entry = self
+                    .index
+                    .entries()
+                    .iter()
+                    .find(|e| e.path == path)
+                    .expect("SectionCorrupt implies the entry exists")
+                    .clone();
+                let ds = Dataset::from_raw(entry.dtype, entry.shape, vec![0u8; entry.byte_len])?
+                    .with_scale(f32::from_bits(entry.scale_bits));
+                Ok((ds, SectionRecovery::ZeroFilled))
+            }
+            Err(e) => Err(e),
+        }
     }
 }
 
@@ -877,6 +922,50 @@ mod tests {
             ix.dataset("meta/epoch").unwrap_err(),
             Error::SectionCorrupt { path: "meta/epoch".into() }
         );
+    }
+
+    #[test]
+    fn correct_or_zero_escalates_clean_corrected_zerofilled() {
+        let dir = TestDir::new("hdf5_v2_lazy_cz");
+        let f = sample();
+        let bytes = encode(&f);
+        let sidecar = crate::EccSidecar::protect(&bytes).unwrap();
+
+        // Single flipped bit: ECC repairs the section exactly.
+        let mut one = bytes.clone();
+        let (off, _) = section_offset(&one, "model_weights/conv1/W");
+        one[off] ^= 0x10;
+        let p1 = dir.file("one.sefi5");
+        std::fs::write(&p1, &one).unwrap();
+        let mut ix = H5File::open_indexed(&p1).unwrap();
+        ix.attach_sidecar(sidecar.clone()).unwrap();
+        let (w, rec) = ix.dataset_correct_or_zero("model_weights/conv1/W").unwrap();
+        assert_eq!(rec, SectionRecovery::Corrected { words: 1 });
+        assert_eq!(&w, f.dataset("model_weights/conv1/W").unwrap());
+        let (b, rec) = ix.dataset_correct_or_zero("model_weights/conv1/b").unwrap();
+        assert_eq!(rec, SectionRecovery::Clean);
+        assert_eq!(&b, f.dataset("model_weights/conv1/b").unwrap());
+
+        // Two flips in one 64-bit word defeat SEC-DED: zeros of the
+        // indexed shape come back instead of an error.
+        let mut two = bytes.clone();
+        two[off] ^= 0x03;
+        let p2 = dir.file("two.sefi5");
+        std::fs::write(&p2, &two).unwrap();
+        let mut ix = H5File::open_indexed(&p2).unwrap();
+        ix.attach_sidecar(sidecar).unwrap();
+        let (z, rec) = ix.dataset_correct_or_zero("model_weights/conv1/W").unwrap();
+        assert_eq!(rec, SectionRecovery::ZeroFilled);
+        assert_eq!(z.shape(), f.dataset("model_weights/conv1/W").unwrap().shape());
+        assert!(z.to_f32_vec().iter().all(|&v| v == 0.0));
+
+        // Lookup problems still error.
+        assert!(matches!(ix.dataset_correct_or_zero("nope"), Err(Error::NotFound(_))));
+
+        // Without a sidecar, any damage goes straight to zeros.
+        let mut ix = H5File::open_indexed(&p1).unwrap();
+        let (_, rec) = ix.dataset_correct_or_zero("model_weights/conv1/W").unwrap();
+        assert_eq!(rec, SectionRecovery::ZeroFilled);
     }
 
     #[test]

@@ -41,7 +41,8 @@ mod testutil;
 pub use dataset::{Dataset, Dtype};
 pub use error::{Error, Result};
 pub use format_v2::{
-    FileIndex, IndexEntry, IndexedFile, LoadPolicy, LoadReport, SectionStatus, SUPERBLOCK_LEN,
+    FileIndex, IndexEntry, IndexedFile, LoadPolicy, LoadReport, SectionRecovery, SectionStatus,
+    SUPERBLOCK_LEN,
 };
 pub use node::{Attr, Group, Node};
 pub use path::{join_path, split_path, validate_path};

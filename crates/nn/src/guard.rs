@@ -1,0 +1,351 @@
+//! Runtime SDC guards: per-layer activation range envelopes.
+//!
+//! A corrupted weight (the paper's checkpoint bit flips, Section IV) tends
+//! to push some layer's activations far outside the range the clean model
+//! ever produces — most dramatically for exponent-field flips, which the
+//! paper identifies as the dominant source of silent data corruption. An
+//! [`EnvelopeSet`] captures the clean model's per-layer activation extremes
+//! at load time and [`Network::forward_guarded`] checks each parameterized
+//! layer's output against them with one SIMD min/max reduction, turning
+//! would-be silent corruptions into detected trips the serving layer can
+//! fail over from. Parameter-free layers (ReLU, pooling, flatten) are
+//! calibrated for observability but not re-reduced on the hot path: they
+//! only select or clamp values their producer already exposed to a check.
+//!
+//! Envelopes are keyed on *(model, dtype)*: narrowed-precision weights
+//! (bf16/f16 round-trips) shift clean activation ranges, so an f32-derived
+//! envelope checked against a bf16 replica would false-trip. The binding is
+//! recorded at calibration time and asserted on every guarded forward, the
+//! same keying discipline as the experiment runner's baseline curves.
+//!
+//! Determinism: under the lane-stable kernel contract (DESIGN.md §6) each
+//! sample's activations are bit-identical regardless of how requests are
+//! batched together, so an envelope calibrated over a request corpus is
+//! exact for *any* re-batching of that corpus — a clean replica serving the
+//! corpus never trips, deterministically, at every kernel mode and thread
+//! count.
+
+use crate::network::Network;
+use sefi_tensor::{minmax_nan, Tensor};
+
+/// Check bounds for one layer's activations (already widened by the
+/// calibration slack).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerEnvelope {
+    /// Layer name (must match the network's layer at the same index).
+    pub layer: String,
+    /// Inclusive lower bound on every activation element.
+    pub lo: f32,
+    /// Inclusive upper bound on every activation element.
+    pub hi: f32,
+    /// Whether [`Network::forward_guarded`] reduces this layer's output.
+    /// Only parameterized (producer) layers are checked: a corrupted
+    /// weight first surfaces at the output of the layer owning it, while
+    /// parameter-free layers (ReLU, pooling, flatten) merely select or
+    /// clamp values the producer check has already screened — reducing
+    /// them again costs a full pass over the activations and can never
+    /// detect anything new.
+    pub checked: bool,
+}
+
+/// Per-layer activation envelopes calibrated from a clean model, bound to
+/// the (model, dtype) pair they were calibrated on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnvelopeSet {
+    model: String,
+    dtype: String,
+    slack: f32,
+    layers: Vec<LayerEnvelope>,
+}
+
+impl EnvelopeSet {
+    /// Model identifier this set was calibrated for.
+    pub fn model(&self) -> &str {
+        &self.model
+    }
+
+    /// Dtype identifier this set was calibrated for.
+    pub fn dtype(&self) -> &str {
+        &self.dtype
+    }
+
+    /// Slack fraction the observed ranges were widened by.
+    pub fn slack(&self) -> f32 {
+        self.slack
+    }
+
+    /// Per-layer check bounds, in network layer order.
+    pub fn layers(&self) -> &[LayerEnvelope] {
+        &self.layers
+    }
+
+    /// Panic unless this set was calibrated for exactly `(model, dtype)`.
+    ///
+    /// Narrowed weights shift clean activation ranges, so reusing an f32
+    /// envelope on a bf16/f16 replica false-trips; envelopes must be keyed
+    /// on (model, dtype) like the runner's baseline curves.
+    pub fn assert_binding(&self, model: &str, dtype: &str) {
+        assert!(
+            self.model == model && self.dtype == dtype,
+            "activation envelopes calibrated for ({}, {}) used with ({}, {}); \
+             envelopes are keyed on (model, dtype) — recalibrate per dtype",
+            self.model,
+            self.dtype,
+            model,
+            dtype
+        );
+    }
+}
+
+/// A tripped activation guard: which layer deviated and what was observed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivationTrip {
+    /// Index of the tripped layer in the network stack.
+    pub layer_index: usize,
+    /// Name of the tripped layer.
+    pub layer: String,
+    /// Observed batch activation minimum.
+    pub observed_lo: f32,
+    /// Observed batch activation maximum.
+    pub observed_hi: f32,
+    /// Envelope lower bound that was violated (or held, if `nan` tripped).
+    pub bound_lo: f32,
+    /// Envelope upper bound that was violated (or held, if `nan` tripped).
+    pub bound_hi: f32,
+    /// True if the trip was caused by a NaN activation.
+    pub nan: bool,
+}
+
+impl std::fmt::Display for ActivationTrip {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "guard trip at layer {} ({:?}): observed [{:e}, {:e}] vs envelope [{:e}, {:e}]{}",
+            self.layer_index,
+            self.layer,
+            self.observed_lo,
+            self.observed_hi,
+            self.bound_lo,
+            self.bound_hi,
+            if self.nan { ", NaN present" } else { "" }
+        )
+    }
+}
+
+impl Network {
+    /// Calibrate per-layer activation envelopes from clean forward passes
+    /// over `batches`, widening each observed range by `slack` (fraction of
+    /// the range) on both sides. The network must hold *clean* weights;
+    /// calibration panics if any activation is non-finite.
+    ///
+    /// `model` / `dtype` record the binding checked by
+    /// [`EnvelopeSet::assert_binding`] and [`Network::forward_guarded`].
+    pub fn calibrate_envelopes(
+        &mut self,
+        batches: &[Tensor],
+        slack: f32,
+        model: &str,
+        dtype: &str,
+    ) -> EnvelopeSet {
+        assert!(!batches.is_empty(), "calibration needs at least one batch");
+        assert!(slack >= 0.0, "slack must be non-negative");
+        let producers = self.layer_has_params();
+        let mut names: Vec<String> = Vec::new();
+        let mut lo: Vec<f32> = Vec::new();
+        let mut hi: Vec<f32> = Vec::new();
+        for (bi, batch) in batches.iter().enumerate() {
+            let first = bi == 0;
+            self.forward_observed(batch.clone(), false, |i, name, t| {
+                let m = minmax_nan(t.data());
+                assert!(
+                    !m.nan,
+                    "clean calibration forward produced NaN at layer {name:?} — \
+                     calibrate from verified-clean weights only"
+                );
+                if first && i == names.len() {
+                    names.push(name.to_string());
+                    lo.push(m.lo);
+                    hi.push(m.hi);
+                } else {
+                    if m.lo < lo[i] {
+                        lo[i] = m.lo;
+                    }
+                    if m.hi > hi[i] {
+                        hi[i] = m.hi;
+                    }
+                }
+                true
+            });
+        }
+        let layers = names
+            .into_iter()
+            .enumerate()
+            .map(|(i, layer)| {
+                // Degenerate (constant) activations get a floor-width pad so
+                // the envelope is never a zero-width knife edge.
+                let pad = slack * (hi[i] - lo[i]).max(1e-6);
+                LayerEnvelope { layer, lo: lo[i] - pad, hi: hi[i] + pad, checked: producers[i] }
+            })
+            .collect();
+        EnvelopeSet { model: model.to_string(), dtype: dtype.to_string(), slack, layers }
+    }
+
+    /// Guarded inference forward: every *parameterized* layer's output is
+    /// range-checked against `env` with one SIMD min/max reduction
+    /// (parameter-free layers are calibrated but skipped — see
+    /// [`LayerEnvelope::checked`]). Returns the logits, or the first
+    /// [`ActivationTrip`] — in which case downstream layers never ran and
+    /// the corrupted activations were not propagated.
+    ///
+    /// The caller asserts dtype binding separately via
+    /// [`EnvelopeSet::assert_binding`]; here only the structural match
+    /// (layer count and names) is enforced.
+    pub fn forward_guarded(
+        &mut self,
+        x: Tensor,
+        env: &EnvelopeSet,
+    ) -> Result<Tensor, ActivationTrip> {
+        assert_eq!(
+            env.layers.len(),
+            self.layer_names().len(),
+            "envelope layer count does not match network"
+        );
+        let mut trip: Option<ActivationTrip> = None;
+        let out = self.forward_observed(x, false, |i, name, t| {
+            let e = &env.layers[i];
+            debug_assert_eq!(e.layer, name, "envelope/network layer order mismatch");
+            if !e.checked {
+                return true;
+            }
+            let m = minmax_nan(t.data());
+            if m.nan || m.lo < e.lo || m.hi > e.hi {
+                trip = Some(ActivationTrip {
+                    layer_index: i,
+                    layer: name.to_string(),
+                    observed_lo: m.lo,
+                    observed_hi: m.hi,
+                    bound_lo: e.lo,
+                    bound_hi: e.hi,
+                    nan: m.nan,
+                });
+                false
+            } else {
+                true
+            }
+        });
+        match out {
+            Some(t) => Ok(t),
+            None => Err(trip.expect("aborted forward implies a recorded trip")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Conv2d, Dense, Flatten, MaxPool2d, ReLU};
+    use sefi_rng::DetRng;
+
+    fn tiny_net(seed: u64) -> Network {
+        let mut rng = DetRng::new(seed);
+        Network::new(vec![
+            Box::new(Conv2d::new("conv1", 3, 4, 3, 1, 1, &mut rng)),
+            Box::new(ReLU::new("relu1")),
+            Box::new(MaxPool2d::new("pool1", 2, 2)),
+            Box::new(Flatten::new("flat")),
+            Box::new(Dense::new("fc", 4 * 4 * 4, 10, &mut rng)),
+        ])
+    }
+
+    fn corpus(n: usize, seed: u64) -> Vec<Tensor> {
+        let mut rng = DetRng::new(seed);
+        (0..n)
+            .map(|_| {
+                let data: Vec<f32> =
+                    (0..2 * 3 * 8 * 8).map(|_| rng.uniform_range(-1.0, 1.0) as f32).collect();
+                Tensor::from_vec(data, &[2, 3, 8, 8])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn clean_forward_never_trips_on_calibration_corpus() {
+        let mut net = tiny_net(1);
+        let batches = corpus(4, 7);
+        let env = net.calibrate_envelopes(&batches, 0.5, "tiny", "f32");
+        env.assert_binding("tiny", "f32");
+        for b in &batches {
+            let guarded = net.forward_guarded(b.clone(), &env).expect("clean forward tripped");
+            let plain = net.forward(b.clone(), false);
+            assert_eq!(guarded.data(), plain.data(), "guarding must not perturb outputs");
+        }
+    }
+
+    #[test]
+    fn rebatched_corpus_never_trips() {
+        // Batch-composition invariance: samples served one at a time stay
+        // inside envelopes calibrated on two-sample batches.
+        let mut net = tiny_net(1);
+        let batches = corpus(3, 9);
+        let env = net.calibrate_envelopes(&batches, 0.0, "tiny", "f32");
+        for b in &batches {
+            for s in 0..2 {
+                let one = Tensor::from_vec(
+                    b.data()[s * 3 * 64..(s + 1) * 3 * 64].to_vec(),
+                    &[1, 3, 8, 8],
+                );
+                net.forward_guarded(one, &env).expect("single-sample re-batch tripped");
+            }
+        }
+    }
+
+    #[test]
+    fn exponent_msb_weight_flip_trips_within_one_batch() {
+        let mut net = tiny_net(1);
+        let batches = corpus(4, 7);
+        let env = net.calibrate_envelopes(&batches, 0.5, "tiny", "f32");
+        // Flip the exponent MSB of the first conv weight — the paper's
+        // highest-impact single-bit corruption.
+        {
+            let p = &mut net.params_mut()[0];
+            let w = p.value.data_mut();
+            w[0] = f32::from_bits(w[0].to_bits() ^ (1 << 30));
+        }
+        let trip = net
+            .forward_guarded(batches[0].clone(), &env)
+            .expect_err("exponent-MSB flip must trip the guard in one batch");
+        assert_eq!(trip.layer_index, 0, "trip should localise to the corrupted conv layer");
+    }
+
+    #[test]
+    fn nan_weight_trips_with_nan_flag() {
+        let mut net = tiny_net(1);
+        let batches = corpus(2, 3);
+        let env = net.calibrate_envelopes(&batches, 0.5, "tiny", "f32");
+        {
+            let p = &mut net.params_mut()[0];
+            p.value.data_mut()[0] = f32::NAN;
+        }
+        let trip = net.forward_guarded(batches[0].clone(), &env).expect_err("NaN must trip");
+        assert!(trip.nan);
+    }
+
+    #[test]
+    #[should_panic(expected = "keyed on (model, dtype)")]
+    fn binding_mismatch_panics() {
+        let mut net = tiny_net(1);
+        let env = net.calibrate_envelopes(&corpus(1, 3), 0.5, "tiny", "f32");
+        env.assert_binding("tiny", "bf16");
+    }
+
+    #[test]
+    fn slack_widens_bounds() {
+        let mut net = tiny_net(1);
+        let batches = corpus(2, 3);
+        let tight = net.calibrate_envelopes(&batches, 0.0, "tiny", "f32");
+        let wide = net.calibrate_envelopes(&batches, 0.5, "tiny", "f32");
+        for (t, w) in tight.layers().iter().zip(wide.layers()) {
+            assert!(w.lo < t.lo && w.hi > t.hi, "slack must strictly widen {}", t.layer);
+        }
+    }
+}

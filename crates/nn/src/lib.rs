@@ -15,6 +15,7 @@
 
 #![deny(missing_docs)]
 
+mod guard;
 pub mod layers;
 mod loss;
 mod network;
@@ -22,6 +23,7 @@ mod optim;
 mod statedict;
 mod train;
 
+pub use guard::{ActivationTrip, EnvelopeSet, LayerEnvelope};
 pub use layers::{
     AvgPool2d, BatchNorm2d, Conv2d, Dense, Flatten, Layer, MaxPool2d, ParamRefMut, ReLU, Residual,
     StateRefMut,

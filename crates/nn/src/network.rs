@@ -40,6 +40,33 @@ impl Network {
         h
     }
 
+    /// True per layer iff it owns trainable parameters — the "producer"
+    /// layers whose outputs the activation guards reduce.
+    pub fn layer_has_params(&mut self) -> Vec<bool> {
+        self.layers.iter_mut().map(|l| !l.params_mut().is_empty()).collect()
+    }
+
+    /// Forward through all layers, handing each layer's output to an
+    /// observer before it feeds the next layer — the hook the activation
+    /// guards ([`crate::EnvelopeSet`]) build on. An observer returning
+    /// `false` aborts the pass (remaining layers never run, so a detected
+    /// corruption is not propagated further) and yields `None`.
+    pub fn forward_observed(
+        &mut self,
+        x: Tensor,
+        train: bool,
+        mut observe: impl FnMut(usize, &str, &Tensor) -> bool,
+    ) -> Option<Tensor> {
+        let mut h = x;
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            h = layer.forward(h, train);
+            if !observe(i, layer.layer_name(), &h) {
+                return None;
+            }
+        }
+        Some(h)
+    }
+
     /// Backward through all layers (after a forward pass).
     pub fn backward(&mut self, dout: Tensor) -> Tensor {
         let mut d = dout;

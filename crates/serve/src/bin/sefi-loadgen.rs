@@ -1,0 +1,105 @@
+//! Deterministic load-test client for `sefi-serve`.
+//!
+//! Seeded open-loop exponential arrivals over a fixed request corpus;
+//! prints loss/latency stats and optionally writes a sorted `id class`
+//! answers file for byte-comparison across runs. Exits non-zero if any
+//! request went unanswered or was answered twice.
+//!
+//! ```text
+//! sefi-loadgen --port-file /tmp/d/port --requests 200 [--rate 500]
+//!     [--seed 1] [--corpus 64] [--image-size 16] [--data-seed 7]
+//!     [--answers answers.txt] [--addr 127.0.0.1:9000] [--timeout-s 30]
+//! ```
+
+use sefi_serve::{run_loadgen, LoadgenConfig};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("sefi-loadgen: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), String> {
+    let mut addr: Option<String> = None;
+    let mut port_file: Option<PathBuf> = None;
+    let mut seed = 1u64;
+    let mut requests = 100u64;
+    let mut rate = 500.0f64;
+    let mut corpus = 64usize;
+    let mut image_size = 16usize;
+    let mut data_seed = 7u64;
+    let mut answers: Option<PathBuf> = None;
+    let mut timeout_s = 30u64;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let val = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i).cloned().ok_or_else(|| format!("{} needs a value", args[*i - 1]))
+        };
+        match args[i].as_str() {
+            "--addr" => addr = Some(val(&mut i)?),
+            "--port-file" => port_file = Some(val(&mut i)?.into()),
+            "--seed" => seed = val(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--requests" => requests = val(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--rate" => rate = val(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--corpus" => corpus = val(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--image-size" => image_size = val(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--data-seed" => data_seed = val(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--answers" => answers = Some(val(&mut i)?.into()),
+            "--timeout-s" => timeout_s = val(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+    let addr = match (addr, port_file) {
+        (Some(a), _) => a,
+        (None, Some(pf)) => {
+            let port = std::fs::read_to_string(&pf)
+                .map_err(|e| format!("reading {pf:?}: {e}"))?
+                .trim()
+                .to_string();
+            format!("127.0.0.1:{port}")
+        }
+        (None, None) => return Err("need --addr or --port-file".into()),
+    };
+
+    let report = run_loadgen(&LoadgenConfig {
+        addr,
+        seed,
+        requests,
+        rate_hz: rate,
+        corpus,
+        image_size,
+        data_seed,
+        drain_timeout: Duration::from_secs(timeout_s),
+    })
+    .map_err(|e| format!("{e}"))?;
+
+    if let Some(p) = &answers {
+        report.write_answers(p).map_err(|e| format!("writing {p:?}: {e}"))?;
+    }
+    let ms = |p: f64| report.latency_percentile_ns(p) as f64 / 1e6;
+    println!(
+        "sefi-loadgen: answered={} missing={} duplicates={} p50={:.3}ms p99={:.3}ms p999={:.3}ms",
+        report.answered,
+        report.missing.len(),
+        report.duplicates,
+        ms(50.0),
+        ms(99.0),
+        ms(99.9),
+    );
+    if !report.lossless() {
+        return Err(format!(
+            "lossy run: {} missing (first: {:?}), {} duplicates",
+            report.missing.len(),
+            report.missing.first(),
+            report.duplicates
+        ));
+    }
+    Ok(())
+}

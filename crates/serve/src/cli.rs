@@ -1,0 +1,29 @@
+//! Identifier parsing shared by the serving binaries.
+
+use sefi_frameworks::FrameworkKind;
+use sefi_hdf5::Dtype;
+use sefi_models::ModelKind;
+
+/// Parse a framework id ("chainer" | "pytorch" | "tensorflow").
+pub fn parse_fw(s: &str) -> Result<FrameworkKind, String> {
+    FrameworkKind::all()
+        .into_iter()
+        .find(|f| f.id() == s)
+        .ok_or_else(|| format!("unknown framework {s:?}"))
+}
+
+/// Parse a model id ("alexnet" | "vgg16" | "resnet50").
+pub fn parse_model(s: &str) -> Result<ModelKind, String> {
+    ModelKind::all().into_iter().find(|m| m.id() == s).ok_or_else(|| format!("unknown model {s:?}"))
+}
+
+/// Parse a storage dtype id ("f16" | "bf16" | "f32" | "f64").
+pub fn parse_dtype(s: &str) -> Result<Dtype, String> {
+    match s {
+        "f16" => Ok(Dtype::F16),
+        "bf16" => Ok(Dtype::BF16),
+        "f32" => Ok(Dtype::F32),
+        "f64" => Ok(Dtype::F64),
+        _ => Err(format!("unknown dtype {s:?}")),
+    }
+}

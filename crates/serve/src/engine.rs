@@ -1,0 +1,410 @@
+//! Replica pool with guarded batched inference and quarantine-reload
+//! failover.
+//!
+//! Workers map 1:1 onto replicas: worker *w*'s home replica is slot
+//! `w % replicas`, each replica owns its own `sefi-nn` network (and thus
+//! its own pinned conv workspaces — zero steady-state allocation in the
+//! kernels), and a batch is served entirely by one replica. When a
+//! replica's activation guard trips, the batch is *re-served* from the
+//! next healthy replica (no request is dropped or answered twice) while
+//! the tripped replica goes through the recovery state machine:
+//!
+//! ```text
+//! Healthy ──trip──▶ Quarantined ──targeted reload + canary──▶ Healthy
+//!                        │ canary fails
+//!                        ▼
+//!                   full reload + canary ──▶ Healthy
+//!                        │ canary fails
+//!                        ▼
+//!                       Dead
+//! ```
+//!
+//! Reloads re-read only the implicated datasets through the verified v2
+//! reader with ECC escalation (clean → corrected → zero-filled); a canary
+//! batch must pass the guard before the replica is readmitted. If every
+//! replica dies the engine serves *unguarded* from the home replica
+//! rather than dropping requests — degraded, but never silent loss.
+
+use crate::envelopes::dtype_id;
+use crate::queue::{BatchQueue, Request};
+use sefi_frameworks::{load_checkpoint, FrameworkKind, Replica};
+use sefi_hdf5::{Dtype, EccSidecar, H5File};
+use sefi_models::{build, ModelConfig, ModelKind};
+use sefi_nn::{ActivationTrip, EnvelopeSet};
+use sefi_rng::DetRng;
+use sefi_telemetry::{Event, JsonlSink};
+use sefi_tensor::Tensor;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Static serving parameters.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Framework personality of the checkpoint files.
+    pub fw: FrameworkKind,
+    /// Model architecture.
+    pub model: ModelKind,
+    /// Architecture scaling.
+    pub model_config: ModelConfig,
+    /// Checkpoint storage dtype (envelopes are keyed on it).
+    pub dtype: Dtype,
+    /// Batch size cutoff: a batch closes as soon as it reaches this.
+    pub max_batch: usize,
+    /// How long a partial batch waits for stragglers.
+    pub batch_window: Duration,
+    /// Envelope calibration slack (fraction of observed range).
+    pub guard_slack: f32,
+}
+
+/// Where one replica loads from.
+#[derive(Debug, Clone)]
+pub struct ReplicaSpec {
+    /// Checkpoint file (v2) this replica trusts.
+    pub path: PathBuf,
+    /// ECC parity sidecar for reload-time repair, if provisioned.
+    pub sidecar: Option<EccSidecar>,
+}
+
+/// One served answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Answer {
+    /// Echoed request id.
+    pub id: u64,
+    /// Echoed routing tag.
+    pub tag: u64,
+    /// Predicted class.
+    pub class: u32,
+    /// True if the answer was produced after a guard trip (re-served from
+    /// a failover replica or a recovered/degraded one).
+    pub reserved: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReplicaState {
+    Healthy,
+    Dead,
+}
+
+struct Slot {
+    replica: Replica,
+    state: ReplicaState,
+}
+
+/// Lifetime counters, snapshot at shutdown into a `ServeEnd` event.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeTotals {
+    /// Requests answered.
+    pub requests: u64,
+    /// Batches executed (including re-serves).
+    pub batches: u64,
+    /// Guard trips observed.
+    pub guard_trips: u64,
+    /// Recovery reload passes (targeted and full each count once).
+    pub reloads: u64,
+    /// Requests whose answer was re-served after a trip.
+    pub reserved: u64,
+}
+
+/// The serving engine: replica pool + guards + failover.
+pub struct ServeEngine {
+    cfg: EngineConfig,
+    env: Arc<EnvelopeSet>,
+    slots: Vec<Mutex<Slot>>,
+    canary: Tensor,
+    requests: AtomicU64,
+    batches: AtomicU64,
+    guard_trips: AtomicU64,
+    reloads: AtomicU64,
+    reserved: AtomicU64,
+    batch_seq: AtomicU64,
+    sink: Option<Arc<JsonlSink>>,
+    session: String,
+}
+
+/// Calibrate activation envelopes from *verified-clean* checkpoint bytes:
+/// strict decode, build, load, calibrate over `batches` with `slack`.
+/// The returned set is bound to `(model, dtype)` per the baseline-curve
+/// keying discipline.
+pub fn calibrate_from_clean_bytes(
+    cfg: &EngineConfig,
+    clean_bytes: &[u8],
+    batches: &[Tensor],
+) -> Result<EnvelopeSet, String> {
+    let file = H5File::from_bytes(clean_bytes)
+        .map_err(|e| format!("calibration checkpoint failed verification: {e}"))?;
+    let (mut net, _) = build(cfg.model, cfg.model_config, &mut DetRng::new(0));
+    load_checkpoint(cfg.fw, &mut net, &file)?;
+    Ok(net.calibrate_envelopes(batches, cfg.guard_slack, cfg.model.id(), &dtype_id(cfg.dtype)))
+}
+
+impl ServeEngine {
+    /// Load every replica (trusting decode — corruption flows into the
+    /// weights, as in an unprotected stack) and arm the guards. `canary`
+    /// is the batch a recovering replica must pass before readmission;
+    /// use one of the calibration batches.
+    pub fn new(
+        cfg: EngineConfig,
+        specs: &[ReplicaSpec],
+        env: Arc<EnvelopeSet>,
+        canary: Tensor,
+        sink: Option<Arc<JsonlSink>>,
+        session: impl Into<String>,
+    ) -> Result<Self, String> {
+        assert!(!specs.is_empty(), "need at least one replica");
+        env.assert_binding(cfg.model.id(), &dtype_id(cfg.dtype));
+        let mut slots = Vec::with_capacity(specs.len());
+        for spec in specs {
+            let replica = Replica::load_trusting(
+                cfg.fw,
+                cfg.model,
+                cfg.model_config,
+                &spec.path,
+                spec.sidecar.clone(),
+            )?;
+            slots.push(Mutex::new(Slot { replica, state: ReplicaState::Healthy }));
+        }
+        Ok(ServeEngine {
+            cfg,
+            env,
+            slots,
+            canary,
+            requests: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            guard_trips: AtomicU64::new(0),
+            reloads: AtomicU64::new(0),
+            reserved: AtomicU64::new(0),
+            batch_seq: AtomicU64::new(0),
+            sink,
+            session: session.into(),
+        })
+    }
+
+    /// Engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Number of replicas in the pool.
+    pub fn replicas(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Replica states as `(healthy?, …)` for monitoring/tests.
+    pub fn healthy(&self) -> Vec<bool> {
+        self.slots.iter().map(|s| s.lock().unwrap().state == ReplicaState::Healthy).collect()
+    }
+
+    /// Counter snapshot.
+    pub fn totals(&self) -> ServeTotals {
+        ServeTotals {
+            requests: self.requests.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            guard_trips: self.guard_trips.load(Ordering::Relaxed),
+            reloads: self.reloads.load(Ordering::Relaxed),
+            reserved: self.reserved.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Flip the exponent MSB of the first positive weight of replica
+    /// `idx` *in memory* — a runtime SDC the guards must catch and the
+    /// reload path (clean file) must heal. Test/bench hook.
+    pub fn poison_replica(&self, idx: usize) {
+        let mut slot = self.slots[idx].lock().unwrap();
+        let mut params = slot.replica.net_mut().params_mut();
+        let w = params[0].value.data_mut();
+        let i = w.iter().position(|&v| v > 0.0).expect("some weight is positive");
+        w[i] = f32::from_bits(w[i].to_bits() ^ (1 << 30));
+    }
+
+    fn emit(&self, ev: Event) {
+        if let Some(sink) = &self.sink {
+            sink.emit(&ev);
+        }
+    }
+
+    fn stack(&self, batch: &[Request]) -> Tensor {
+        let s = self.cfg.model_config.input_size;
+        let il = 3 * s * s;
+        let mut data = Vec::with_capacity(batch.len() * il);
+        for r in batch {
+            assert_eq!(r.image.len(), il, "request image size mismatch");
+            data.extend_from_slice(&r.image);
+        }
+        Tensor::from_vec(data, &[batch.len(), 3, s, s])
+    }
+
+    fn answers(batch: &[Request], logits: &Tensor, reserved: bool) -> Vec<Answer> {
+        logits
+            .argmax_rows()
+            .into_iter()
+            .zip(batch)
+            .map(|(class, r)| Answer { id: r.id, tag: r.tag, class: class as u32, reserved })
+            .collect()
+    }
+
+    fn canary_passes(&self, slot: &mut Slot) -> bool {
+        slot.replica.net_mut().forward_guarded(self.canary.clone(), &self.env).is_ok()
+    }
+
+    /// Recovery state machine for a quarantined replica; emits one
+    /// `ReplicaReload` event and leaves the slot Healthy or Dead.
+    fn recover(&self, idx: usize, slot: &mut Slot, trip: &ActivationTrip) {
+        let t0 = Instant::now();
+        let mut datasets = 0u64;
+        let mut corrected = 0u64;
+        let mut zero_filled = 0u64;
+        let mut absorb = |r: sefi_frameworks::ReloadReport| {
+            datasets += r.reloaded as u64;
+            corrected += r.corrected as u64;
+            zero_filled += r.zero_filled as u64;
+        };
+        // Tier 1: reload only the tripped layer's datasets.
+        let targets = slot.replica.layer_datasets(&trip.layer);
+        let mut ok = false;
+        if !targets.is_empty() {
+            if let Ok(rep) = slot.replica.reload_datasets(&targets) {
+                self.reloads.fetch_add(1, Ordering::Relaxed);
+                absorb(rep);
+                ok = self.canary_passes(slot);
+            }
+        }
+        // Tier 2: full reload.
+        if !ok {
+            if let Ok(rep) = slot.replica.reload_all() {
+                self.reloads.fetch_add(1, Ordering::Relaxed);
+                absorb(rep);
+                ok = self.canary_passes(slot);
+            }
+        }
+        slot.state = if ok { ReplicaState::Healthy } else { ReplicaState::Dead };
+        self.emit(Event::ReplicaReload {
+            session: self.session.clone(),
+            replica: idx as u64,
+            datasets,
+            corrected,
+            zero_filled,
+            readmitted: ok,
+            duration_ns: t0.elapsed().as_nanos() as u64,
+        });
+    }
+
+    /// Serve one batch with failover. The batch is answered exactly once:
+    /// by the home replica if its guard holds, else by the first replica
+    /// (starting with the recovered home) whose guard holds, else —
+    /// every replica dead — unguarded from the home replica.
+    pub fn serve_with_failover(&self, home: usize, batch: &[Request]) -> Vec<Answer> {
+        assert!(!batch.is_empty());
+        let x = self.stack(batch);
+        let n_slots = self.slots.len();
+        let mut tripped = false;
+        for k in 0..n_slots {
+            let idx = (home + k) % n_slots;
+            let mut slot = self.slots[idx].lock().unwrap();
+            if slot.state != ReplicaState::Healthy {
+                continue;
+            }
+            // Up to two guarded attempts per slot: the initial serve, and
+            // one more if the guard tripped but recovery readmitted it
+            // (essential when this is the only replica).
+            for _ in 0..2 {
+                let t0 = Instant::now();
+                match slot.replica.net_mut().forward_guarded(x.clone(), &self.env) {
+                    Ok(logits) => {
+                        let seq = self.batch_seq.fetch_add(1, Ordering::Relaxed);
+                        self.requests.fetch_add(batch.len() as u64, Ordering::Relaxed);
+                        self.batches.fetch_add(1, Ordering::Relaxed);
+                        if tripped {
+                            self.reserved.fetch_add(batch.len() as u64, Ordering::Relaxed);
+                        }
+                        self.emit(Event::BatchServed {
+                            session: self.session.clone(),
+                            batch: seq,
+                            size: batch.len() as u64,
+                            replica: idx as u64,
+                            tripped,
+                            duration_ns: t0.elapsed().as_nanos() as u64,
+                        });
+                        return Self::answers(batch, &logits, tripped);
+                    }
+                    Err(trip) => {
+                        tripped = true;
+                        self.guard_trips.fetch_add(1, Ordering::Relaxed);
+                        self.emit(Event::GuardTrip {
+                            session: self.session.clone(),
+                            replica: idx as u64,
+                            layer: trip.layer.clone(),
+                            batch: self.batch_seq.load(Ordering::Relaxed),
+                            nan: trip.nan,
+                        });
+                        self.recover(idx, &mut slot, &trip);
+                        if slot.state != ReplicaState::Healthy {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        // Every replica is dead: degraded unguarded serve — an answer of
+        // unknown quality beats a dropped request, and the `reserved`
+        // flag plus telemetry make the degradation visible.
+        let mut slot = self.slots[home % n_slots].lock().unwrap();
+        let t0 = Instant::now();
+        let logits = slot.replica.net_mut().forward(x, false);
+        let seq = self.batch_seq.fetch_add(1, Ordering::Relaxed);
+        self.requests.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.reserved.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        self.emit(Event::BatchServed {
+            session: self.session.clone(),
+            batch: seq,
+            size: batch.len() as u64,
+            replica: (home % n_slots) as u64,
+            tripped: true,
+            duration_ns: t0.elapsed().as_nanos() as u64,
+        });
+        Self::answers(batch, &logits, true)
+    }
+
+    /// Worker loop: drain `queue` into dynamic batches on this worker's
+    /// home replica until the queue closes, delivering each answer.
+    pub fn run_worker(&self, worker: usize, queue: &BatchQueue, deliver: impl Fn(Answer)) {
+        let home = worker % self.slots.len();
+        while let Some(batch) = queue.next_batch(self.cfg.max_batch, self.cfg.batch_window) {
+            for a in self.serve_with_failover(home, &batch) {
+                deliver(a);
+            }
+        }
+    }
+
+    /// Synchronous deterministic driver for experiments: fixed batch
+    /// size, round-robin home replica, single caller thread. Under the
+    /// lane-stable kernel contract every answer is a pure function of the
+    /// corpus and the replica files — independent of worker count, batch
+    /// window timing, and kernel mode.
+    pub fn serve_deterministic(&self, corpus: &[Request], batch: usize) -> Vec<Answer> {
+        assert!(batch > 0);
+        let mut out = Vec::with_capacity(corpus.len());
+        for (bi, chunk) in corpus.chunks(batch).enumerate() {
+            let home = bi % self.slots.len();
+            out.extend(self.serve_with_failover(home, chunk));
+        }
+        out
+    }
+
+    /// Emit the `ServeEnd` roll-up event and return the totals.
+    pub fn finish(&self, duration: Duration) -> ServeTotals {
+        let t = self.totals();
+        self.emit(Event::ServeEnd {
+            session: self.session.clone(),
+            requests: t.requests,
+            batches: t.batches,
+            guard_trips: t.guard_trips,
+            reloads: t.reloads,
+            reserved: t.reserved,
+            duration_ns: duration.as_nanos() as u64,
+        });
+        t
+    }
+}

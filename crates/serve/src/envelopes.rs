@@ -1,0 +1,64 @@
+//! (model, dtype)-keyed envelope cache.
+//!
+//! Activation envelopes depend on the *stored* weights, and narrowed
+//! checkpoint dtypes (bf16/f16 round-trips) shift clean activation
+//! extremes — an f32-calibrated envelope checked against a bf16 replica
+//! false-trips on perfectly healthy traffic. The cache therefore keys on
+//! `(ModelKind, Dtype)`, the same discipline as the experiment runner's
+//! baseline-curve cache, and re-checks the binding recorded inside each
+//! [`EnvelopeSet`] on every hit.
+
+use sefi_hdf5::Dtype;
+use sefi_models::ModelKind;
+use sefi_nn::EnvelopeSet;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Canonical dtype identifier used in envelope bindings ("f32", "bf16",
+/// …) — lower-cased debug name, stable across the workspace.
+pub fn dtype_id(d: Dtype) -> String {
+    format!("{d:?}").to_lowercase()
+}
+
+/// Lazily calibrated envelopes, one set per (model, dtype).
+#[derive(Default)]
+pub struct EnvelopeCache {
+    map: Mutex<HashMap<(ModelKind, Dtype), Arc<EnvelopeSet>>>,
+}
+
+impl EnvelopeCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Return the cached set for `(model, dtype)`, calibrating it with
+    /// `calibrate` on first use. The produced set's recorded binding must
+    /// match the key (calibrating with mismatched ids is a bug — panics).
+    pub fn get_or_calibrate(
+        &self,
+        model: ModelKind,
+        dtype: Dtype,
+        calibrate: impl FnOnce() -> Result<EnvelopeSet, String>,
+    ) -> Result<Arc<EnvelopeSet>, String> {
+        let mut map = self.map.lock().unwrap();
+        if let Some(env) = map.get(&(model, dtype)) {
+            return Ok(Arc::clone(env));
+        }
+        let env = calibrate()?;
+        env.assert_binding(model.id(), &dtype_id(dtype));
+        let env = Arc::new(env);
+        map.insert((model, dtype), Arc::clone(&env));
+        Ok(env)
+    }
+
+    /// Number of calibrated sets held.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// True if nothing has been calibrated yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

@@ -1,0 +1,26 @@
+//! Checkpoint fault injection for serving drills.
+
+use sefi_hdf5::FileIndex;
+
+/// Flip the exponent MSB (bit 30) of the first strictly-positive f32 in
+/// `dataset` inside v2 checkpoint `bytes` — the paper's highest-impact
+/// single-bit corruption, aimed at a positive element so the blown-up
+/// activation survives a following ReLU instead of being masked. Returns
+/// the flipped element's index within the dataset.
+pub fn flip_exponent_msb(bytes: &mut [u8], dataset: &str) -> Result<usize, String> {
+    let index = FileIndex::parse(bytes).map_err(|e| format!("parsing index: {e}"))?;
+    let entry = index
+        .entries()
+        .iter()
+        .find(|e| e.path == dataset)
+        .ok_or_else(|| format!("dataset {dataset:?} not in index"))?
+        .clone();
+    let i = (0..entry.byte_len / 4)
+        .find(|i| {
+            let off = entry.offset + 4 * i;
+            f32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) > 0.0
+        })
+        .ok_or_else(|| format!("no positive f32 element in {dataset:?}"))?;
+    bytes[entry.offset + 4 * i + 3] ^= 0x40;
+    Ok(i)
+}

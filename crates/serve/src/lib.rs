@@ -1,0 +1,43 @@
+//! Async batched inference serving with SDC guards and hot
+//! quarantine-reload failover.
+//!
+//! The paper studies what checkpoint bit flips do to *training*; this
+//! crate carries the same question into *serving*, where an unprotected
+//! stack loads checkpoints trustingly and a silent corruption becomes
+//! wrong answers at the API boundary. The defense layers here:
+//!
+//! 1. **Dynamic batching** ([`BatchQueue`]): requests drain into batches
+//!    under a `max_batch` cutoff and a `batch_window` straggler wait,
+//!    amortizing per-request fixed costs through the SIMD forward path.
+//! 2. **Activation-envelope guards** (`sefi-nn`): per-layer clean-model
+//!    ranges, checked per batch with one SIMD min/max reduction per
+//!    layer; keyed on (model, dtype) via [`EnvelopeCache`].
+//! 3. **Quarantine-reload failover** ([`ServeEngine`]): a tripped
+//!    replica is quarantined, the batch re-serves from a healthy
+//!    replica, and recovery reloads only the implicated datasets through
+//!    the verified v2 reader with ECC escalation, readmitting after a
+//!    canary batch.
+//!
+//! Everything is dependency-free (`std::net`, `std::sync`); the binaries
+//! `sefi-serve` and `sefi-loadgen` drive it over a length-prefixed TCP
+//! protocol ([`proto`]). See DESIGN.md §12.
+
+#![deny(missing_docs)]
+
+pub mod cli;
+mod engine;
+mod envelopes;
+mod fault;
+mod loadgen;
+pub mod proto;
+mod queue;
+mod server;
+
+pub use engine::{
+    calibrate_from_clean_bytes, Answer, EngineConfig, ReplicaSpec, ServeEngine, ServeTotals,
+};
+pub use envelopes::{dtype_id, EnvelopeCache};
+pub use fault::flip_exponent_msb;
+pub use loadgen::{corpus_images, run_loadgen, LoadgenConfig, LoadgenReport};
+pub use queue::{BatchQueue, Request};
+pub use server::{run_server, ServerConfig};

@@ -1,0 +1,129 @@
+//! Wire protocol: length-prefixed binary frames over TCP.
+//!
+//! Request:  `"SFRQ"` · `id: u64` · `n: u32` · `n × f32` (all little-endian)
+//! Response: `"SFRS"` · `id: u64` · `class: u32` · `flags: u32`
+//!
+//! `flags` bit 0 is set when the answer was re-served after a guard trip
+//! (the request's first replica was quarantined). Clients comparing
+//! answers across runs must ignore flags — they encode *how* the answer
+//! was produced, which is scheduling-dependent, not *what* it is.
+
+use std::io::{self, Read, Write};
+
+/// Request frame magic.
+pub const REQ_MAGIC: [u8; 4] = *b"SFRQ";
+/// Response frame magic.
+pub const RESP_MAGIC: [u8; 4] = *b"SFRS";
+/// Response flag: answer was re-served after a guard trip.
+pub const FLAG_RESERVED: u32 = 1;
+
+/// A decoded response frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Response {
+    /// Echoed request id.
+    pub id: u64,
+    /// Predicted class.
+    pub class: u32,
+    /// `FLAG_*` bits.
+    pub flags: u32,
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Write one request frame.
+pub fn write_request(w: &mut impl Write, id: u64, image: &[f32]) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(16 + 4 * image.len());
+    buf.extend_from_slice(&REQ_MAGIC);
+    buf.extend_from_slice(&id.to_le_bytes());
+    buf.extend_from_slice(&(image.len() as u32).to_le_bytes());
+    for v in image {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    w.write_all(&buf)
+}
+
+/// Read one request frame; `Ok(None)` on clean EOF at a frame boundary.
+pub fn read_request(r: &mut impl Read) -> io::Result<Option<(u64, Vec<f32>)>> {
+    let mut magic = [0u8; 4];
+    match r.read_exact(&mut magic) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    if magic != REQ_MAGIC {
+        return Err(bad("bad request magic"));
+    }
+    let mut hdr = [0u8; 12];
+    r.read_exact(&mut hdr)?;
+    let id = u64::from_le_bytes(hdr[0..8].try_into().unwrap());
+    let n = u32::from_le_bytes(hdr[8..12].try_into().unwrap()) as usize;
+    if n > 1 << 24 {
+        return Err(bad("request image too large"));
+    }
+    let mut raw = vec![0u8; 4 * n];
+    r.read_exact(&mut raw)?;
+    let image = raw.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect();
+    Ok(Some((id, image)))
+}
+
+/// Write one response frame.
+pub fn write_response(w: &mut impl Write, resp: Response) -> io::Result<()> {
+    let mut buf = [0u8; 20];
+    buf[0..4].copy_from_slice(&RESP_MAGIC);
+    buf[4..12].copy_from_slice(&resp.id.to_le_bytes());
+    buf[12..16].copy_from_slice(&resp.class.to_le_bytes());
+    buf[16..20].copy_from_slice(&resp.flags.to_le_bytes());
+    w.write_all(&buf)
+}
+
+/// Read one response frame; `Ok(None)` on clean EOF at a frame boundary.
+pub fn read_response(r: &mut impl Read) -> io::Result<Option<Response>> {
+    let mut buf = [0u8; 20];
+    match r.read_exact(&mut buf[0..4]) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    if buf[0..4] != RESP_MAGIC {
+        return Err(bad("bad response magic"));
+    }
+    r.read_exact(&mut buf[4..20])?;
+    Ok(Some(Response {
+        id: u64::from_le_bytes(buf[4..12].try_into().unwrap()),
+        class: u32::from_le_bytes(buf[12..16].try_into().unwrap()),
+        flags: u32::from_le_bytes(buf[16..20].try_into().unwrap()),
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let mut buf = Vec::new();
+        write_request(&mut buf, 42, &[1.5, -0.25, f32::MIN_POSITIVE]).unwrap();
+        let (id, img) = read_request(&mut buf.as_slice()).unwrap().unwrap();
+        assert_eq!(id, 42);
+        assert_eq!(img, vec![1.5, -0.25, f32::MIN_POSITIVE]);
+        assert!(read_request(&mut [].as_slice()).unwrap().is_none());
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let mut buf = Vec::new();
+        let r = Response { id: 7, class: 3, flags: FLAG_RESERVED };
+        write_response(&mut buf, r).unwrap();
+        assert_eq!(read_response(&mut buf.as_slice()).unwrap().unwrap(), r);
+    }
+
+    #[test]
+    fn corrupt_magic_is_an_error() {
+        let mut buf = Vec::new();
+        write_request(&mut buf, 1, &[0.0]).unwrap();
+        buf[0] = b'X';
+        assert!(read_request(&mut buf.as_slice()).is_err());
+    }
+}

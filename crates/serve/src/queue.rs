@@ -1,0 +1,186 @@
+//! Bounded-latency dynamic batching queue.
+//!
+//! Workers drain requests into batches under a two-sided policy: a batch
+//! closes as soon as it holds `max_batch` requests (throughput side) or
+//! when `window` has elapsed since the batch's first request arrived
+//! (latency side). Plain `std::sync` primitives — the queue must work in
+//! the dependency-free server binary.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// One inference request as it travels through the queue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Caller-chosen request id, echoed in the answer.
+    pub id: u64,
+    /// Routing tag (the server uses it as a connection id; the
+    /// deterministic driver leaves it 0).
+    pub tag: u64,
+    /// Flattened `[3, s, s]` image.
+    pub image: Vec<f32>,
+}
+
+struct Inner {
+    q: VecDeque<Request>,
+    closed: bool,
+}
+
+/// MPMC request queue with batch-window draining.
+pub struct BatchQueue {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+}
+
+impl Default for BatchQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BatchQueue {
+    /// Empty, open queue.
+    pub fn new() -> Self {
+        BatchQueue {
+            inner: Mutex::new(Inner { q: VecDeque::new(), closed: false }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Enqueue one request. Returns `false` (request not enqueued) if the
+    /// queue has already closed — connection readers can race the
+    /// request-limit shutdown, and the loser must know its request was
+    /// rejected rather than silently dropped.
+    #[must_use]
+    pub fn push(&self, req: Request) -> bool {
+        let mut g = self.inner.lock().unwrap();
+        if g.closed {
+            return false;
+        }
+        g.q.push_back(req);
+        drop(g);
+        self.cv.notify_one();
+        true
+    }
+
+    /// Close the queue: workers drain what remains, then see `None`.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Requests currently waiting.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().q.len()
+    }
+
+    /// True if no requests are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Block until a batch is available and drain it: up to `max` requests,
+    /// waiting at most `window` past the first request for stragglers.
+    /// Returns `None` once the queue is closed and drained.
+    pub fn next_batch(&self, max: usize, window: Duration) -> Option<Vec<Request>> {
+        assert!(max > 0);
+        let mut g = self.inner.lock().unwrap();
+        loop {
+            // Phase 1: wait for the batch's first request.
+            while g.q.is_empty() {
+                if g.closed {
+                    return None;
+                }
+                g = self.cv.wait(g).unwrap();
+            }
+            // Phase 2: give stragglers `window` to fill the batch.
+            let deadline = Instant::now() + window;
+            while g.q.len() < max && !g.closed {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (ng, timeout) = self.cv.wait_timeout(g, deadline - now).unwrap();
+                g = ng;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+            let n = g.q.len().min(max);
+            if n > 0 {
+                return Some(g.q.drain(..n).collect());
+            }
+            // Another worker drained the queue while phase 2 had the lock
+            // released — go back to waiting rather than emit an empty batch.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn req(id: u64) -> Request {
+        Request { id, tag: 0, image: vec![0.0] }
+    }
+
+    #[test]
+    fn full_batch_closes_immediately() {
+        let q = BatchQueue::new();
+        for i in 0..5 {
+            assert!(q.push(req(i)));
+        }
+        // A long window must not delay a full batch.
+        let t0 = Instant::now();
+        let b = q.next_batch(4, Duration::from_secs(10)).unwrap();
+        assert!(t0.elapsed() < Duration::from_secs(1));
+        assert_eq!(b.iter().map(|r| r.id).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn window_expiry_yields_partial_batch() {
+        let q = BatchQueue::new();
+        assert!(q.push(req(7)));
+        let b = q.next_batch(8, Duration::from_millis(5)).unwrap();
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BatchQueue::new();
+        assert!(q.push(req(1)));
+        q.close();
+        assert_eq!(q.next_batch(8, Duration::from_millis(1)).unwrap().len(), 1);
+        assert!(q.next_batch(8, Duration::from_millis(1)).is_none());
+    }
+
+    #[test]
+    fn concurrent_producers_lose_nothing() {
+        let q = Arc::new(BatchQueue::new());
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        assert!(q.push(req(p * 1000 + i)));
+                    }
+                })
+            })
+            .collect();
+        for h in producers {
+            h.join().unwrap();
+        }
+        q.close();
+        let mut ids = Vec::new();
+        while let Some(b) = q.next_batch(16, Duration::from_millis(1)) {
+            ids.extend(b.into_iter().map(|r| r.id));
+        }
+        ids.sort_unstable();
+        assert_eq!(ids.len(), 200);
+        ids.dedup();
+        assert_eq!(ids.len(), 200, "no duplicates");
+    }
+}

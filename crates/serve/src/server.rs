@@ -1,0 +1,147 @@
+//! TCP serving front end over the replica engine.
+//!
+//! Thread layout on an N-worker configuration:
+//!
+//! - one non-blocking acceptor loop (the caller's thread),
+//! - one reader thread per connection, decoding request frames into the
+//!   shared [`BatchQueue`],
+//! - N worker threads, each draining the queue into dynamic batches and
+//!   serving them on its home replica via
+//!   [`ServeEngine::serve_with_failover`].
+//!
+//! Answers are written back on the connection the request arrived on
+//! (the request's `tag` is the connection id). With `request_limit` set,
+//! the server closes the queue after that many requests have been
+//! *enqueued*, lets the workers drain, emits the `ServeEnd` roll-up, and
+//! returns — the shape the CI smoke and benchmarks drive.
+
+use crate::engine::{Answer, ServeEngine, ServeTotals};
+use crate::proto::{read_request, write_response, Response, FLAG_RESERVED};
+use crate::queue::{BatchQueue, Request};
+use std::collections::HashMap;
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Front-end parameters ([`crate::EngineConfig`] covers the model side).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker (= batch-serving) thread count.
+    pub workers: usize,
+    /// Listen port; 0 picks an ephemeral port.
+    pub port: u16,
+    /// If set, the bound port is written here (decimal, newline) once
+    /// listening — how scripts rendezvous with an ephemeral port.
+    pub port_file: Option<PathBuf>,
+    /// Stop after this many requests have been enqueued.
+    pub request_limit: Option<u64>,
+}
+
+fn deliver(writers: &Mutex<HashMap<u64, TcpStream>>, a: Answer) {
+    let resp =
+        Response { id: a.id, class: a.class, flags: if a.reserved { FLAG_RESERVED } else { 0 } };
+    let mut g = writers.lock().unwrap();
+    if let Some(stream) = g.get_mut(&a.tag) {
+        // A vanished client is its own problem; the server keeps serving.
+        if write_response(stream, resp).is_err() {
+            g.remove(&a.tag);
+        }
+    }
+}
+
+/// Run the server until `request_limit` requests have been enqueued and
+/// answered (never returns if no limit is set). Returns the final
+/// counter totals after emitting `ServeEnd`.
+pub fn run_server(engine: Arc<ServeEngine>, cfg: &ServerConfig) -> Result<ServeTotals, String> {
+    let t0 = Instant::now();
+    let listener = TcpListener::bind(("127.0.0.1", cfg.port))
+        .map_err(|e| format!("bind 127.0.0.1:{}: {e}", cfg.port))?;
+    let port = listener.local_addr().map_err(|e| e.to_string())?.port();
+    if let Some(pf) = &cfg.port_file {
+        std::fs::write(pf, format!("{port}\n")).map_err(|e| format!("writing {pf:?}: {e}"))?;
+    }
+    listener.set_nonblocking(true).map_err(|e| e.to_string())?;
+
+    let queue = Arc::new(BatchQueue::new());
+    let writers: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
+    let stop = Arc::new(AtomicBool::new(false));
+    let received = Arc::new(AtomicU64::new(0));
+
+    let workers: Vec<_> = (0..cfg.workers.max(1))
+        .map(|w| {
+            let engine = Arc::clone(&engine);
+            let queue = Arc::clone(&queue);
+            let writers = Arc::clone(&writers);
+            std::thread::spawn(move || {
+                engine.run_worker(w, &queue, |a| deliver(&writers, a));
+            })
+        })
+        .collect();
+
+    let mut next_conn: u64 = 0;
+    let mut readers = Vec::new();
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // The listener is non-blocking; the per-connection reader
+                // must block on frame boundaries.
+                stream.set_nonblocking(false).map_err(|e| e.to_string())?;
+                let tag = next_conn;
+                next_conn += 1;
+                writers.lock().unwrap().insert(tag, stream.try_clone().map_err(|e| e.to_string())?);
+                let queue = Arc::clone(&queue);
+                let stop = Arc::clone(&stop);
+                let received = Arc::clone(&received);
+                let limit = cfg.request_limit;
+                readers.push(std::thread::spawn(move || {
+                    read_connection(stream, tag, &queue, &stop, &received, limit);
+                }));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(e) => return Err(format!("accept: {e}")),
+        }
+    }
+    // Limit reached: queue is closed; workers drain what remains.
+    for h in workers {
+        h.join().map_err(|_| "worker panicked".to_string())?;
+    }
+    for h in readers {
+        h.join().map_err(|_| "connection reader panicked".to_string())?;
+    }
+    Ok(engine.finish(t0.elapsed()))
+}
+
+fn read_connection(
+    mut stream: TcpStream,
+    tag: u64,
+    queue: &BatchQueue,
+    stop: &AtomicBool,
+    received: &AtomicU64,
+    limit: Option<u64>,
+) {
+    loop {
+        match read_request(&mut stream) {
+            Ok(Some((id, image))) => {
+                if !queue.push(Request { id, tag, image }) {
+                    break; // raced the shutdown; client sees no answer
+                }
+                let n = received.fetch_add(1, Ordering::Relaxed) + 1;
+                if limit == Some(n) {
+                    queue.close();
+                    stop.store(true, Ordering::Relaxed);
+                    break;
+                }
+            }
+            Ok(None) => break,
+            Err(e) => {
+                eprintln!("sefi-serve: connection {tag}: {e}");
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Failover integrity: a replica killed mid-stream must cost zero
+//! answers — nothing dropped, nothing double-answered, nothing wrong.
+
+use sefi_frameworks::{save_checkpoint, FrameworkKind};
+use sefi_hdf5::{Dtype, EccSidecar};
+use sefi_models::{build, ModelConfig, ModelKind};
+use sefi_rng::DetRng;
+use sefi_serve::{
+    calibrate_from_clean_bytes, corpus_images, flip_exponent_msb, BatchQueue, EngineConfig,
+    EnvelopeCache, ReplicaSpec, Request, ServeEngine,
+};
+use sefi_tensor::Tensor;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+const INPUT: usize = 16;
+
+fn test_dir(tag: &str) -> PathBuf {
+    static N: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let d = std::env::temp_dir().join(format!(
+        "sefi-serve-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn engine_config(dtype: Dtype) -> EngineConfig {
+    EngineConfig {
+        fw: FrameworkKind::Chainer,
+        model: ModelKind::AlexNet,
+        model_config: ModelConfig { scale: 0.05, input_size: INPUT, num_classes: 10 },
+        dtype,
+        max_batch: 4,
+        batch_window: Duration::from_millis(1),
+        guard_slack: 0.5,
+    }
+}
+
+fn mint_checkpoint(cfg: &EngineConfig) -> (Vec<u8>, EccSidecar) {
+    let (mut net, _) = build(cfg.model, cfg.model_config, &mut DetRng::new(0xFA11));
+    let bytes = save_checkpoint(cfg.fw, &mut net, 1, cfg.dtype).to_bytes_v2();
+    let sidecar = EccSidecar::protect(&bytes).unwrap();
+    (bytes, sidecar)
+}
+
+fn calib_batches(cfg: &EngineConfig, corpus: &[Vec<f32>]) -> Vec<Tensor> {
+    corpus
+        .chunks(cfg.max_batch)
+        .map(|chunk| {
+            let mut data = Vec::new();
+            for img in chunk {
+                data.extend_from_slice(img);
+            }
+            Tensor::from_vec(data, &[chunk.len(), 3, INPUT, INPUT])
+        })
+        .collect()
+}
+
+fn make_engine(
+    cfg: &EngineConfig,
+    dir: &std::path::Path,
+    clean_bytes: &[u8],
+    sidecar: &EccSidecar,
+    replicas: usize,
+    corrupt: Option<usize>,
+    batches: &[Tensor],
+) -> Arc<ServeEngine> {
+    let mut specs = Vec::new();
+    for r in 0..replicas {
+        let path = dir.join(format!("replica_{r}.h5"));
+        let mut bytes = clean_bytes.to_vec();
+        if corrupt == Some(r) {
+            flip_exponent_msb(&mut bytes, "predictor/conv1/W").unwrap();
+        }
+        std::fs::write(&path, &bytes).unwrap();
+        specs.push(ReplicaSpec { path, sidecar: Some(sidecar.clone()) });
+    }
+    let env = Arc::new(calibrate_from_clean_bytes(cfg, clean_bytes, batches).unwrap());
+    Arc::new(ServeEngine::new(cfg.clone(), &specs, env, batches[0].clone(), None, "test").unwrap())
+}
+
+fn requests(corpus: &[Vec<f32>], n: usize) -> Vec<Request> {
+    (0..n)
+        .map(|i| Request { id: i as u64, tag: 0, image: corpus[i % corpus.len()].clone() })
+        .collect()
+}
+
+#[test]
+fn kill_replica_mid_stream_drops_and_duplicates_nothing() {
+    let dir = test_dir("kill");
+    let cfg = engine_config(Dtype::F32);
+    let (clean_bytes, sidecar) = mint_checkpoint(&cfg);
+    let corpus = corpus_images(32, INPUT, 7);
+    let batches = calib_batches(&cfg, &corpus);
+
+    // Ground truth from a clean single-replica engine.
+    let clean_engine = make_engine(&cfg, &dir, &clean_bytes, &sidecar, 1, None, &batches);
+    let reqs = requests(&corpus, 64);
+    let clean: HashMap<u64, u32> = clean_engine
+        .serve_deterministic(&reqs, cfg.max_batch)
+        .into_iter()
+        .map(|a| (a.id, a.class))
+        .collect();
+
+    // Async pool: 2 workers over 2 replicas; both replicas are poisoned
+    // in memory mid-stream ("killed mid-batch" — whichever batch is in
+    // flight, the next guarded pass trips and recovery reloads from the
+    // clean files).
+    let engine = make_engine(&cfg, &dir, &clean_bytes, &sidecar, 2, None, &batches);
+    let queue = Arc::new(BatchQueue::new());
+    let (tx, rx) = std::sync::mpsc::channel();
+    let workers: Vec<_> = (0..2)
+        .map(|w| {
+            let engine = Arc::clone(&engine);
+            let queue = Arc::clone(&queue);
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                engine.run_worker(w, &queue, |a| tx.send(a).unwrap());
+            })
+        })
+        .collect();
+    drop(tx);
+
+    for r in &reqs[..32] {
+        assert!(queue.push(r.clone()));
+    }
+    engine.poison_replica(0);
+    engine.poison_replica(1);
+    for r in &reqs[32..] {
+        assert!(queue.push(r.clone()));
+    }
+    queue.close();
+    for h in workers {
+        h.join().unwrap();
+    }
+
+    let mut seen: HashMap<u64, u32> = HashMap::new();
+    for a in rx {
+        assert!(seen.insert(a.id, a.class).is_none(), "request {} answered twice", a.id);
+    }
+    assert_eq!(seen.len(), reqs.len(), "every request answered exactly once");
+    for (id, class) in &seen {
+        assert_eq!(class, &clean[id], "request {id} got a wrong answer");
+    }
+    let totals = engine.totals();
+    assert!(totals.guard_trips >= 1, "poisoned replicas must trip");
+    assert!(totals.reloads >= 1, "recovery must reload");
+    assert_eq!(engine.healthy(), vec![true, true], "clean files readmit both replicas");
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn corrupted_file_replica_serves_clean_answers_deterministically() {
+    let dir = test_dir("det");
+    let cfg = engine_config(Dtype::F32);
+    let (clean_bytes, sidecar) = mint_checkpoint(&cfg);
+    let corpus = corpus_images(32, INPUT, 7);
+    let batches = calib_batches(&cfg, &corpus);
+    let reqs = requests(&corpus, 48);
+
+    let clean_engine = make_engine(&cfg, &dir, &clean_bytes, &sidecar, 2, None, &batches);
+    let clean: Vec<_> = clean_engine
+        .serve_deterministic(&reqs, cfg.max_batch)
+        .into_iter()
+        .map(|a| (a.id, a.class))
+        .collect();
+    assert_eq!(clean_engine.totals().guard_trips, 0, "clean replicas never trip");
+
+    // Same corpus, replica 1's file carries an exponent-MSB flip. Twice:
+    // answers must be identical run-to-run and to the clean engine.
+    let mut previous = None;
+    for round in 0..2 {
+        let dir2 = test_dir("detr");
+        let engine = make_engine(&cfg, &dir2, &clean_bytes, &sidecar, 2, Some(1), &batches);
+        let answers: Vec<_> = engine
+            .serve_deterministic(&reqs, cfg.max_batch)
+            .into_iter()
+            .map(|a| (a.id, a.class))
+            .collect();
+        assert_eq!(answers, clean, "failover changed an answer (round {round})");
+        let totals = engine.totals();
+        assert!(totals.guard_trips >= 1 && totals.reloads >= 1 && totals.reserved > 0);
+        if let Some(prev) = previous.replace(totals) {
+            assert_eq!(prev, totals, "failover accounting must be deterministic");
+        }
+        std::fs::remove_dir_all(dir2).ok();
+    }
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn envelope_cache_keys_on_dtype() {
+    let dir = test_dir("dtype");
+    let cache = EnvelopeCache::new();
+    let corpus = corpus_images(16, INPUT, 7);
+    let mut sets = Vec::new();
+    for dtype in [Dtype::F32, Dtype::BF16] {
+        let cfg = engine_config(dtype);
+        let (clean_bytes, sidecar) = mint_checkpoint(&cfg);
+        let batches = calib_batches(&cfg, &corpus);
+        let env = cache
+            .get_or_calibrate(cfg.model, dtype, || {
+                calibrate_from_clean_bytes(&cfg, &clean_bytes, &batches)
+            })
+            .unwrap();
+        // A replica of this dtype never trips under its own envelopes.
+        let engine = make_engine(&cfg, &dir, &clean_bytes, &sidecar, 1, None, &batches);
+        let reqs = requests(&corpus, 16);
+        engine.serve_deterministic(&reqs, cfg.max_batch);
+        assert_eq!(engine.totals().guard_trips, 0, "{dtype:?} false-tripped");
+        sets.push(env);
+    }
+    assert_eq!(cache.len(), 2, "one envelope set per dtype");
+    // Narrowing to bf16 shifts clean activation extremes: the two sets
+    // must differ — sharing f32 envelopes across dtypes is the bug the
+    // (model, dtype) keying exists to prevent.
+    assert_ne!(sets[0].layers(), sets[1].layers(), "bf16 envelopes must differ from f32");
+    std::fs::remove_dir_all(dir).ok();
+}

@@ -303,6 +303,74 @@ pub enum Event {
         /// Whether the rule stopped the cell after this wave.
         stopped: bool,
     },
+    /// An inference batch was served by a replica (serving sessions emit
+    /// one per batch tick, successful or tripped).
+    BatchServed {
+        /// Serving session label.
+        session: String,
+        /// Batch sequence number within the session.
+        batch: u64,
+        /// Requests in the batch.
+        size: u64,
+        /// Replica that executed (or tripped on) the batch.
+        replica: u64,
+        /// Whether an activation guard tripped — a tripped batch is
+        /// requeued, so its requests reappear in a later `BatchServed`.
+        tripped: bool,
+        /// Batch wall-clock duration.
+        duration_ns: u64,
+    },
+    /// A runtime activation-envelope guard tripped: the replica observed
+    /// an out-of-range or NaN activation and was quarantined.
+    GuardTrip {
+        /// Serving session label.
+        session: String,
+        /// Replica quarantined.
+        replica: u64,
+        /// Engine layer whose output violated its envelope.
+        layer: String,
+        /// Batch sequence number the trip occurred on.
+        batch: u64,
+        /// Whether the violation was a NaN (vs a range excursion).
+        nan: bool,
+    },
+    /// A quarantined replica went through checkpoint reload and a canary
+    /// batch (the quarantine-reload failover path).
+    ReplicaReload {
+        /// Serving session label.
+        session: String,
+        /// Replica reloaded.
+        replica: u64,
+        /// Dataset sections re-read from the checkpoint.
+        datasets: u64,
+        /// Sections whose stored bytes needed ECC repair.
+        corrected: u64,
+        /// Sections beyond repair, substituted with zeros.
+        zero_filled: u64,
+        /// Whether the canary batch passed and the replica rejoined the
+        /// healthy pool (false: the replica is dead).
+        readmitted: bool,
+        /// Reload + canary wall-clock duration.
+        duration_ns: u64,
+    },
+    /// A serving session finished — the `CampaignEnd`-style summary for
+    /// fleet runs, so serving telemetry aggregates like campaigns do.
+    ServeEnd {
+        /// Serving session label.
+        session: String,
+        /// Requests answered.
+        requests: u64,
+        /// Batches executed (including tripped ones).
+        batches: u64,
+        /// Guard trips.
+        guard_trips: u64,
+        /// Quarantine-reloads performed.
+        reloads: u64,
+        /// Requests that were re-served by a healthy replica after a trip.
+        reserved: u64,
+        /// Session wall-clock duration.
+        duration_ns: u64,
+    },
     /// A trial completed (or was served from the manifest, `cached: true`).
     TrialEnd {
         /// Experiment name.
@@ -962,5 +1030,49 @@ mod tests {
         let json = serde_json::to_string(&e).unwrap();
         let back: Event = serde_json::from_str(&json).unwrap();
         assert_eq!(back, e);
+    }
+
+    #[test]
+    fn serving_events_roundtrip() {
+        let events = [
+            Event::BatchServed {
+                session: "serve-ci".to_string(),
+                batch: 17,
+                size: 8,
+                replica: 1,
+                tripped: false,
+                duration_ns: 41_000,
+            },
+            Event::GuardTrip {
+                session: "serve-ci".to_string(),
+                replica: 0,
+                layer: "conv2".to_string(),
+                batch: 18,
+                nan: false,
+            },
+            Event::ReplicaReload {
+                session: "serve-ci".to_string(),
+                replica: 0,
+                datasets: 2,
+                corrected: 1,
+                zero_filled: 0,
+                readmitted: true,
+                duration_ns: 900_000,
+            },
+            Event::ServeEnd {
+                session: "serve-ci".to_string(),
+                requests: 96,
+                batches: 13,
+                guard_trips: 1,
+                reloads: 1,
+                reserved: 8,
+                duration_ns: 5_000_000,
+            },
+        ];
+        for e in events {
+            let json = serde_json::to_string(&e).unwrap();
+            let back: Event = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, e);
+        }
     }
 }

@@ -34,6 +34,6 @@ pub use linalg::{
     matmul, matmul_a_bt, matmul_a_bt_naive, matmul_at_b, matmul_at_b_naive, matmul_naive,
     transpose2d,
 };
-pub use simd::{active_isa_name, cpu_features};
+pub use simd::{active_isa_name, cpu_features, minmax_nan, MinMax};
 pub use tensor::Tensor;
 pub use workspace::{workspace_alloc_events, ConvWorkspace};

@@ -504,6 +504,53 @@ mod x86 {
         }
     }
 
+    /// 8-lane NaN-aware min/max sweep, AVX2: each lane keeps a running
+    /// min and max with `vminps`/`vmaxps` select semantics, NaN inputs
+    /// are blended back to the lane's running value (and OR-ed into a
+    /// NaN flag), and the eight lanes combine through the same frozen
+    /// tree as [`super::minmax_nan_ref`] — bit-identical by construction,
+    /// signed zeros included.
+    ///
+    /// # Safety
+    /// Caller must have verified `avx2`.
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn minmax_nan_avx2(xs: &[f32]) -> super::MinMax {
+        let mut lo = _mm256_set1_ps(f32::INFINITY);
+        let mut hi = _mm256_set1_ps(f32::NEG_INFINITY);
+        let mut nan = _mm256_setzero_ps();
+        let chunks = xs.len() / 8;
+        let p = xs.as_ptr();
+        for t in 0..chunks {
+            let v = _mm256_loadu_ps(p.add(8 * t));
+            let unord = _mm256_cmp_ps(v, v, _CMP_UNORD_Q);
+            nan = _mm256_or_ps(nan, unord);
+            // NaN lanes keep the running value: min/max inputs never see
+            // a NaN, so `vminps`'s take-src2-when-unordered rule is moot.
+            let keep_lo = _mm256_blendv_ps(v, lo, unord);
+            let keep_hi = _mm256_blendv_ps(v, hi, unord);
+            lo = _mm256_min_ps(lo, keep_lo);
+            hi = _mm256_max_ps(hi, keep_hi);
+        }
+        let mut lo_l = [0.0f32; 8];
+        let mut hi_l = [0.0f32; 8];
+        _mm256_storeu_ps(lo_l.as_mut_ptr(), lo);
+        _mm256_storeu_ps(hi_l.as_mut_ptr(), hi);
+        let mut out = super::MinMax {
+            lo: super::tree8(&lo_l, super::min_sel),
+            hi: super::tree8(&hi_l, super::max_sel),
+            nan: _mm256_movemask_ps(nan) != 0,
+        };
+        for &x in &xs[8 * chunks..] {
+            if x.is_nan() {
+                out.nan = true;
+            } else {
+                out.lo = super::min_sel(out.lo, x);
+                out.hi = super::max_sel(out.hi, x);
+            }
+        }
+        out
+    }
+
     /// 8-lane k-split sum with the frozen combination tree, AVX2.
     /// Lane adds are plain `vaddps`, bit-identical to the scalar
     /// emulation in [`super::sum_lanes8_ref`].
@@ -623,6 +670,10 @@ mod x86 {
     pub(crate) unsafe fn sum_lanes8_avx2(_xs: &[f32]) -> f32 {
         unreachable!("AVX2 kernel on non-x86_64 host")
     }
+
+    pub(crate) unsafe fn minmax_nan_avx2(_xs: &[f32]) -> super::MinMax {
+        unreachable!("AVX2 kernel on non-x86_64 host")
+    }
 }
 
 pub(crate) use x86::{
@@ -675,6 +726,101 @@ pub(crate) fn sum_lanes8(xs: &[f32]) -> f32 {
         Isa::Avx512 | Isa::Avx2 => unsafe { x86::sum_lanes8_avx2(xs) },
         Isa::Scalar => sum_lanes8_ref(xs.iter().copied()),
     }
+}
+
+/// Result of a NaN-aware min/max reduction: the extreme finite-or-infinite
+/// values observed and whether any NaN appeared.
+///
+/// Over an empty (or all-NaN) slice `lo` is `+inf` and `hi` is `-inf` —
+/// the reduction identities — so range checks against calibrated bounds
+/// vacuously pass and only the `nan` flag can trip. When several bitwise
+/// representations of the extreme value exist (`-0.0` vs `+0.0`), the
+/// frozen 8-lane fold picks one deterministically, and vector and scalar
+/// paths pick the *same* one, so the result is bit-stable across ISAs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MinMax {
+    /// Smallest non-NaN element (`+inf` if none).
+    pub lo: f32,
+    /// Largest non-NaN element (`-inf` if none).
+    pub hi: f32,
+    /// True if any element was NaN.
+    pub nan: bool,
+}
+
+/// `vminps` select semantics on NaN-free inputs: keep `a` only when it is
+/// strictly smaller, otherwise take `b` (ties, including `-0.0` vs `+0.0`,
+/// take `b` — exactly what the vector instruction does).
+#[inline]
+fn min_sel(a: f32, b: f32) -> f32 {
+    if a < b {
+        a
+    } else {
+        b
+    }
+}
+
+/// `vmaxps` select semantics on NaN-free inputs; ties take `b`.
+#[inline]
+fn max_sel(a: f32, b: f32) -> f32 {
+    if a > b {
+        a
+    } else {
+        b
+    }
+}
+
+/// The frozen lane-combination tree shared by the sum and min/max
+/// reductions: `((l0,l1),(l2,l3))` against `((l4,l5),(l6,l7))`.
+#[inline]
+fn tree8(lanes: &[f32; 8], sel: impl Fn(f32, f32) -> f32) -> f32 {
+    sel(
+        sel(sel(lanes[0], lanes[1]), sel(lanes[2], lanes[3])),
+        sel(sel(lanes[4], lanes[5]), sel(lanes[6], lanes[7])),
+    )
+}
+
+/// NaN-aware min/max of a slice with the lane-stable 8-lane split: lane
+/// `l` reduces `xs[8t + l]`, lanes combine through the frozen tree, and
+/// the tail folds in sequentially. NaN elements never enter the extremes;
+/// they only set [`MinMax::nan`]. Vector and scalar paths are
+/// bit-identical by construction, so every kernel mode may use this (it
+/// is the per-batch activation-envelope check of the serving guards).
+#[inline]
+pub fn minmax_nan(xs: &[f32]) -> MinMax {
+    match active_isa() {
+        Isa::Avx512 | Isa::Avx2 => unsafe { x86::minmax_nan_avx2(xs) },
+        Isa::Scalar => minmax_nan_ref(xs),
+    }
+}
+
+/// Scalar emulation of [`minmax_nan`] — the reference the vector path
+/// must match bit-for-bit.
+pub(crate) fn minmax_nan_ref(xs: &[f32]) -> MinMax {
+    let mut lo = [f32::INFINITY; 8];
+    let mut hi = [f32::NEG_INFINITY; 8];
+    let mut nan = false;
+    let chunks = xs.len() / 8;
+    for t in 0..chunks {
+        for l in 0..8 {
+            let x = xs[8 * t + l];
+            if x.is_nan() {
+                nan = true;
+            } else {
+                lo[l] = min_sel(lo[l], x);
+                hi[l] = max_sel(hi[l], x);
+            }
+        }
+    }
+    let mut out = MinMax { lo: tree8(&lo, min_sel), hi: tree8(&hi, max_sel), nan };
+    for &x in &xs[8 * chunks..] {
+        if x.is_nan() {
+            out.nan = true;
+        } else {
+            out.lo = min_sel(out.lo, x);
+            out.hi = max_sel(out.hi, x);
+        }
+    }
+    out
 }
 
 /// Scalar emulation of [`sum_lanes8`] over any element stream — the
@@ -776,5 +922,79 @@ mod tests {
     #[test]
     fn cpu_features_is_nonempty() {
         assert!(!cpu_features().is_empty());
+    }
+
+    #[test]
+    fn minmax_vector_matches_scalar_bitwise() {
+        for n in [0usize, 1, 7, 8, 9, 15, 16, 17, 63, 64, 65, 1000] {
+            let xs = seq(n, 0xfeed);
+            let v = minmax_nan(&xs);
+            let s = minmax_nan_ref(&xs);
+            assert_eq!(v.lo.to_bits(), s.lo.to_bits(), "lo diverged at n={n}");
+            assert_eq!(v.hi.to_bits(), s.hi.to_bits(), "hi diverged at n={n}");
+            assert_eq!(v.nan, s.nan);
+        }
+    }
+
+    #[test]
+    fn minmax_matches_plain_fold_values() {
+        let xs = seq(777, 21);
+        let m = minmax_nan(&xs);
+        let lo = xs.iter().copied().fold(f32::INFINITY, f32::min);
+        let hi = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        assert_eq!(m.lo, lo);
+        assert_eq!(m.hi, hi);
+        assert!(!m.nan);
+    }
+
+    #[test]
+    fn minmax_skips_nans_but_flags_them() {
+        let mut xs = seq(100, 5);
+        xs[3] = f32::NAN;
+        xs[64] = f32::NAN;
+        xs[99] = f32::NAN; // tail position
+        let m = minmax_nan(&xs);
+        assert!(m.nan);
+        assert!(m.lo.is_finite() && m.hi.is_finite(), "NaNs must not poison the extremes");
+        let s = minmax_nan_ref(&xs);
+        assert_eq!((m.lo.to_bits(), m.hi.to_bits()), (s.lo.to_bits(), s.hi.to_bits()));
+    }
+
+    #[test]
+    fn minmax_propagates_infinities_as_values() {
+        let mut xs = seq(33, 9);
+        xs[10] = f32::INFINITY;
+        xs[20] = f32::NEG_INFINITY;
+        let m = minmax_nan(&xs);
+        assert_eq!(m.hi, f32::INFINITY);
+        assert_eq!(m.lo, f32::NEG_INFINITY);
+        assert!(!m.nan);
+    }
+
+    #[test]
+    fn minmax_identities_on_empty_and_all_nan() {
+        let e = minmax_nan(&[]);
+        assert_eq!((e.lo, e.hi, e.nan), (f32::INFINITY, f32::NEG_INFINITY, false));
+        let a = minmax_nan(&[f32::NAN; 19]);
+        assert_eq!((a.lo, a.hi, a.nan), (f32::INFINITY, f32::NEG_INFINITY, true));
+    }
+
+    #[test]
+    fn minmax_signed_zero_is_bit_stable_across_paths() {
+        // A slice whose minimum is zero with both signs present: whichever
+        // representative the frozen fold picks, vector and scalar must
+        // agree bit-for-bit.
+        for flip in 0..4 {
+            let mut xs = vec![1.0f32; 40];
+            xs[7] = 0.0;
+            xs[23] = -0.0;
+            if flip % 2 == 1 {
+                xs.swap(7, 23);
+            }
+            let v = minmax_nan(&xs);
+            let s = minmax_nan_ref(&xs);
+            assert_eq!(v.lo.to_bits(), s.lo.to_bits());
+            assert_eq!(v.hi.to_bits(), s.hi.to_bits());
+        }
     }
 }
